@@ -1,0 +1,29 @@
+//! EXP FIG6/FIG7: Berlin Q1 and Q2 end-to-end latency across scales.
+//!
+//! Paper claim validated (shape): the in-memory tabular+graph engine
+//! answers the Berlin BI queries interactively, with cost growing roughly
+//! linearly in the data scale (binding enumeration is bounded by the
+//! number of matches after per-step culling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::{berlin, run_rows};
+use graql_bsbm::queries;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("berlin_queries");
+    group.sample_size(10);
+    for products in [100usize, 500, 2000] {
+        let mut db = berlin(products);
+        group.bench_with_input(BenchmarkId::new("Q2", products), &products, |b, _| {
+            b.iter(|| black_box(run_rows(&mut db, queries::q2())));
+        });
+        group.bench_with_input(BenchmarkId::new("Q1", products), &products, |b, _| {
+            b.iter(|| black_box(run_rows(&mut db, queries::q1())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

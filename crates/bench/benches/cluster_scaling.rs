@@ -1,0 +1,51 @@
+//! EXP-CLUSTER: the simulated GEMS backend — node-count sweep.
+//!
+//! Measures distributed execution of the Berlin Q2 graph phase while the
+//! node count grows, and prints the communication profile (messages,
+//! bytes, remote ratio) once per configuration. Paper claim (§I/§III):
+//! the design targets a cluster whose aggregated memory holds the data;
+//! the cost of distribution is inter-node traffic — visible here as a
+//! remote-extension ratio that grows with node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::berlin;
+use graql_cluster::Cluster;
+use graql_parser::ast::{PathComposition, SelectSource, Stmt};
+use std::hint::black_box;
+
+const QUERY: &str = "select y.id from graph \
+    ProductVtx (id = %Product1%) --feature--> FeatureVtx() \
+    <--feature-- def y: ProductVtx (id != %Product1%) into table T";
+
+fn path() -> graql_parser::ast::PathQuery {
+    let Stmt::Select(sel) = graql_parser::parse_statement(QUERY).unwrap() else { panic!() };
+    let SelectSource::Graph(PathComposition::Single(p)) = sel.source else { panic!() };
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_scaling");
+    group.sample_size(10);
+    let db = berlin(1000);
+    let p = path();
+    for nodes in [1usize, 2, 4, 8] {
+        let cluster = Cluster::new(&db, nodes).expect("cluster forms");
+        // Communication profile (printed once, recorded in EXPERIMENTS.md).
+        let probe = graql_cluster::run_path_query(&cluster, &db, &p).unwrap();
+        println!(
+            "cluster_scaling/{nodes} nodes: {} bindings, {} supersteps, {} msgs, {} bytes, remote ratio {:.3}",
+            probe.bindings.len(),
+            probe.metrics.supersteps(),
+            probe.metrics.total_messages(),
+            probe.metrics.total_bytes(),
+            probe.metrics.remote_ratio()
+        );
+        group.bench_with_input(BenchmarkId::new("q2_graph_phase", nodes), &(), |b, _| {
+            b.iter(|| black_box(graql_cluster::run_path_query(&cluster, &db, &p).unwrap().bindings.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

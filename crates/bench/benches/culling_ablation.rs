@@ -1,0 +1,38 @@
+//! EXP-CULL: semi-join culling ablation for binding enumeration.
+//!
+//! Paper claim (§II-B1): "the set of vertices selected at a particular
+//! step will be culled by subsequent steps of all vertices that have no
+//! path to vertices selected at that step" — pre-culling bounds the
+//! intermediate results ("the possibility of obtaining large intermediate
+//! results" is one of §I's challenges).
+//!
+//! The query walks offers → products → reviews with a selective final
+//! filter; without culling the enumerator explores every offer.
+//! Expected shape: culling-on ≤ culling-off, widening with scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::{berlin, run_rows};
+use std::hint::black_box;
+
+const QUERY: &str = "select O.id from graph \
+    def O: OfferVtx(deliveryDays = 1) --product--> ProductVtx() \
+    <--reviewFor-- ReviewVtx() --reviewer--> PersonVtx(country = 'CH')";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("culling_ablation");
+    group.sample_size(10);
+    for products in [300usize, 1000] {
+        for culling in [true, false] {
+            let mut db = berlin(products);
+            db.config_mut().culling = culling;
+            let name = if culling { "culling_on" } else { "culling_off" };
+            group.bench_with_input(BenchmarkId::new(name, products), &(), |b, _| {
+                b.iter(|| black_box(run_rows(&mut db, QUERY)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! EXP-INGEST: CSV ingest throughput and graph-view (re)generation.
+//!
+//! Paper claim (§II-A2): "data ingest triggers not only the population of
+//! rows in the table, but also the generation of associated vertex and
+//! edge instances derived from the table" — this bench separates the two
+//! costs: raw CSV → columnar ingest vs the Eq. 1/Eq. 2 view build
+//! (including the four-way `export` join and all bidirectional indexes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graql_bsbm::{generate, graph_ddl, schema_ddl, Scale};
+use graql_core::Database;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    for products in [500usize, 2000] {
+        let data = generate(Scale::new(products));
+        let total_bytes: usize = data.tables().map(|(_, t)| t.len()).sum();
+        group.throughput(Throughput::Bytes(total_bytes as u64));
+        group.bench_with_input(BenchmarkId::new("csv_ingest", products), &(), |b, _| {
+            b.iter(|| {
+                let mut db = Database::new();
+                db.execute_script(schema_ddl()).unwrap();
+                let mut rows = 0;
+                for (t, csv) in data.tables() {
+                    rows += db.ingest_str(t, csv).unwrap();
+                }
+                black_box(rows)
+            });
+        });
+        // View build alone: ingest once, then measure graph regeneration.
+        let mut db = Database::new();
+        db.execute_script(schema_ddl()).unwrap();
+        db.execute_script(graph_ddl()).unwrap();
+        for (t, csv) in data.tables() {
+            db.ingest_str(t, csv).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("view_build", products), &(), |b, _| {
+            b.iter_batched(
+                || db.clone(),
+                |mut fresh| {
+                    let g = fresh.graph().unwrap();
+                    black_box(g.n_edges())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! EXP-IR: the binary intermediate representation (§III).
+//!
+//! Measures encode/decode of the full query corpus against re-parsing the
+//! source text, and prints the size ratio. Paper claim: the binary IR is
+//! "a convenient mechanism for moving the query script from the front-end
+//! … to the backend" — i.e. cheaper to decode than re-parsing and compact
+//! on the wire.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn corpus() -> String {
+    let mut s = String::new();
+    s.push_str(graql_bsbm::schema_ddl());
+    s.push_str(graql_bsbm::graph_ddl());
+    for q in [
+        graql_bsbm::queries::q1(),
+        graql_bsbm::queries::q2(),
+        graql_bsbm::queries::fig9(),
+        graql_bsbm::queries::fig10(),
+        graql_bsbm::queries::fig11().0,
+        graql_bsbm::queries::fig11().1,
+        graql_bsbm::queries::fig12(),
+        graql_bsbm::queries::fig13(),
+    ] {
+        s.push_str(q);
+        s.push('\n');
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let src = corpus();
+    let script = graql_parser::parse(&src).unwrap();
+    let blob = graql_core::ir::encode(&script);
+    println!(
+        "ir_codec: source {} bytes → IR {} bytes (ratio {:.2})",
+        src.len(),
+        blob.len(),
+        blob.len() as f64 / src.len() as f64
+    );
+
+    let mut group = c.benchmark_group("ir_codec");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("parse_text", |b| {
+        b.iter(|| black_box(graql_parser::parse(&src).unwrap().statements.len()));
+    });
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(graql_core::ir::encode(&script).len()));
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(graql_core::ir::decode(&blob).unwrap().statements.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

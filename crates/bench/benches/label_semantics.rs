@@ -1,0 +1,39 @@
+//! EXP-LABEL: `def` (set) vs `foreach` (element-wise) label cost on the
+//! shared-feature cycle pattern.
+//!
+//! Paper claim (§II-B2): element-wise labels are strictly more
+//! restrictive — "the subgraph patterns matched by [set labels] are a
+//! superset of those matched by [element-wise labels]". The foreach
+//! variant must therefore produce no more rows; its same-instance check
+//! also prunes the search earlier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::{berlin, run_rows};
+use std::hint::black_box;
+
+const SET_LABEL: &str = "select z.id from graph \
+    def w: ProductVtx() --feature--> FeatureVtx() <--feature-- def z: ProductVtx()";
+const EACH_LABEL: &str = "select z.id from graph \
+    foreach w: ProductVtx() --feature--> FeatureVtx() <--feature-- def z: w";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_semantics");
+    group.sample_size(10);
+    for products in [100usize, 300] {
+        let mut db = berlin(products);
+        // Superset property, asserted once per scale outside the timing.
+        let set_rows = run_rows(&mut db, SET_LABEL);
+        let each_rows = run_rows(&mut db, EACH_LABEL);
+        assert!(each_rows <= set_rows, "foreach matches ⊆ set matches");
+        group.bench_with_input(BenchmarkId::new("def_set", products), &(), |b, _| {
+            b.iter(|| black_box(run_rows(&mut db, SET_LABEL)));
+        });
+        group.bench_with_input(BenchmarkId::new("foreach_each", products), &(), |b, _| {
+            b.iter(|| black_box(run_rows(&mut db, EACH_LABEL)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

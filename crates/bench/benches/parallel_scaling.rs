@@ -1,0 +1,43 @@
+//! EXP-PAR: intra-node data parallelism (rayon thread sweep).
+//!
+//! Paper claim (§I/§III): the backend targets "massively parallel
+//! execution of graph and tabular queries"; per-step candidate filtering
+//! and the relational kernels are data-parallel. Expected shape: runtime
+//! decreases with threads on scan-heavy work, flattening once the scan is
+//! memory-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::{berlin, run_rows};
+use std::hint::black_box;
+
+/// Scan-heavy: selective per-step filters over every offer + a sort.
+const QUERY: &str = "select id, price from table Offers where price > 100.0 \
+                     order by price desc";
+const GRAPH_QUERY: &str = "select O.id from graph \
+    def O: OfferVtx(price > 5000.0) --product--> ProductVtx(propertyNumeric_1 > 1000)";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for threads in [1usize, 2, 4, 8] {
+        if threads > available.max(2) {
+            continue;
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let mut db = berlin(2000);
+        group.bench_with_input(BenchmarkId::new("table_scan_sort", threads), &(), |b, _| {
+            b.iter(|| pool.install(|| black_box(run_rows(&mut db, QUERY))));
+        });
+        group.bench_with_input(BenchmarkId::new("graph_filtered_hop", threads), &(), |b, _| {
+            b.iter(|| pool.install(|| black_box(run_rows(&mut db, GRAPH_QUERY))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

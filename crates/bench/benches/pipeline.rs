@@ -1,0 +1,35 @@
+//! EXP-PIPE: pipelined statement fusion (§III-B1).
+//!
+//! Berlin Q2 executed (a) with the intermediate `T1` table materialized
+//! and (b) fused, streaming bindings straight into the group-by
+//! accumulator. Paper claim: pipelining "reduce[s] the amount of space
+//! needed to materialize intermediate results" — here it also saves the
+//! build/scan of the intermediate table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::berlin;
+use graql_bsbm::queries;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for products in [500usize, 2000] {
+        let mut db = berlin(products);
+        group.bench_with_input(BenchmarkId::new("materialized", products), &(), |b, _| {
+            b.iter(|| black_box(db.execute_script(queries::q2()).unwrap().len()));
+        });
+        let mut db = berlin(products);
+        group.bench_with_input(BenchmarkId::new("fused", products), &(), |b, _| {
+            b.iter(|| {
+                let outs = graql_core::run_script_pipelined(&mut db, queries::q2()).unwrap();
+                assert!(matches!(outs[0], graql_core::StmtOutput::Pipelined));
+                black_box(outs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

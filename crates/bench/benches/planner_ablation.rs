@@ -1,0 +1,45 @@
+//! EXP-PLAN: bidirectional-index planning ablation.
+//!
+//! The query's *last* step is highly selective (one specific person), so a
+//! lexical-forward execution enumerates the whole fan-out while the
+//! reverse/auto plans start from the selective end. Paper claim (§III-B):
+//! "the existence of both forward and reverse indices enables significant
+//! flexibility … the execution is not restricted to the forward-looking
+//! lexical representation of the path query."
+//!
+//! Expected shape: Auto ≈ ReverseOnly ≪ ForwardOnly on this query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::{berlin, run_rows};
+use graql_core::PlanMode;
+use std::hint::black_box;
+
+/// Broad head (all offers), selective tail (one person).
+const QUERY: &str = "select O.id from graph \
+    def O: OfferVtx() --product--> ProductVtx() <--reviewFor-- ReviewVtx() \
+    --reviewer--> PersonVtx(id = 'person0')";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_ablation");
+    group.sample_size(10);
+    for products in [300usize, 1000] {
+        for (name, mode) in [
+            ("auto", PlanMode::Auto),
+            ("forward_only", PlanMode::ForwardOnly),
+            ("reverse_only", PlanMode::ReverseOnly),
+        ] {
+            let mut db = berlin(products);
+            db.config_mut().plan_mode = mode;
+            // Isolate the plan-order effect: without the semi-join
+            // pre-pass, the enumeration order is the whole story.
+            db.config_mut().culling = false;
+            group.bench_with_input(BenchmarkId::new(name, products), &(), |b, _| {
+                b.iter(|| black_box(run_rows(&mut db, QUERY)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

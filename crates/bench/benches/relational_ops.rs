@@ -1,0 +1,40 @@
+//! EXP TAB1: the Table-1 relational operations over the Offers table.
+//!
+//! Paper claim validated (shape): tabular operations on the columnar
+//! store are fast and scale linearly — the premise for storing all data
+//! "in tabular form" and treating graphs as views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::{berlin, run_rows};
+use std::hint::black_box;
+
+const OPS: &[(&str, &str)] = &[
+    ("select_where", "select id, price from table Offers where price > 5000.0"),
+    ("order_by", "select id, price from table Offers order by price desc"),
+    (
+        "group_by_aggregates",
+        "select vendor, count(*) as n, avg(price) as mean, min(price) as lo, \
+         max(price) as hi, sum(deliveryDays) as d from table Offers group by vendor",
+    ),
+    ("distinct", "select distinct vendor from table Offers"),
+    ("top_n", "select top 10 id, price from table Offers order by price desc"),
+];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_ops");
+    group.sample_size(20);
+    for products in [500usize, 2000] {
+        let mut db = berlin(products);
+        for (name, q) in OPS {
+            group.bench_with_input(
+                BenchmarkId::new(*name, products * 4), // offer rows
+                q,
+                |b, q| b.iter(|| black_box(run_rows(&mut db, q))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

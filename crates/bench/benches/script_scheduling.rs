@@ -1,0 +1,48 @@
+//! EXP-SCHED: multi-statement dependence scheduling (§III-B1).
+//!
+//! An 8-statement script of mutually independent selects runs through (a)
+//! plain sequential execution and (b) the dependence scheduler, which
+//! places all eight in one parallel window. Paper claim: the explicit
+//! `into table` dataflow "enables the query planner to determine whether
+//! two separate query statements … can be executed in parallel".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graql_bench::berlin;
+use std::hint::black_box;
+
+fn script() -> String {
+    // Eight independent table scans/aggregations over different outputs.
+    let mut s = String::new();
+    for i in 0..8 {
+        s.push_str(&format!(
+            "select vendor, count(*) as n, avg(price) as m from table Offers \
+             where deliveryDays >= {} group by vendor order by n desc into table W{i}\n",
+            i % 7 + 1
+        ));
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("script_scheduling");
+    group.sample_size(10);
+    let src = script();
+    for products in [1000usize, 4000] {
+        let mut db_seq = berlin(products);
+        group.bench_with_input(BenchmarkId::new("sequential", products), &(), |b, _| {
+            b.iter(|| black_box(db_seq.execute_script(&src).unwrap().len()));
+        });
+        let mut db_par = berlin(products);
+        group.bench_with_input(BenchmarkId::new("scheduled_parallel", products), &(), |b, _| {
+            b.iter(|| {
+                let report = graql_core::run_script(&mut db_par, &src).unwrap();
+                assert_eq!(report.windows.len(), 1, "all eight in one window");
+                black_box(report.outputs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

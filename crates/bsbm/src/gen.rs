@@ -1,0 +1,380 @@
+//! The deterministic BSBM-style data generator.
+//!
+//! Cardinality structure (scaled from the BSBM specification to keep
+//! in-memory benchmarking practical):
+//!
+//! * producers ≈ products / 25 (≥ 1), each with a country;
+//! * features drawn from a pool of ≈ products / 2 (≥ 10), 3–8 per product;
+//! * a type tree of ≈ products / 10 (≥ 4) nodes, one type per product;
+//! * vendors ≈ products / 10 (≥ 2), each with a country;
+//! * offers = 4 × products, product popularity skewed (power law);
+//! * reviews ≈ 2.5 × products, same skew; persons ≈ reviews / 10 (≥ 2).
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator scale knobs. `products` drives everything else.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub products: usize,
+    pub seed: u64,
+}
+
+impl Scale {
+    pub fn new(products: usize) -> Self {
+        Scale { products, seed: 42 }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn producers(&self) -> usize {
+        (self.products / 25).max(1)
+    }
+    pub fn features(&self) -> usize {
+        (self.products / 2).max(10)
+    }
+    pub fn types(&self) -> usize {
+        (self.products / 10).max(4)
+    }
+    pub fn vendors(&self) -> usize {
+        (self.products / 10).max(2)
+    }
+    pub fn offers(&self) -> usize {
+        self.products * 4
+    }
+    pub fn reviews(&self) -> usize {
+        self.products * 5 / 2
+    }
+    pub fn persons(&self) -> usize {
+        (self.reviews() / 10).max(2)
+    }
+}
+
+/// Country pool (shared by producers, vendors and reviewers).
+pub const COUNTRIES: &[&str] =
+    &["US", "GB", "DE", "FR", "IT", "ES", "JP", "CN", "CA", "RU", "AT", "CH"];
+
+/// Generated CSV text per table.
+#[derive(Debug, Clone)]
+pub struct BsbmData {
+    pub scale: Scale,
+    tables: Vec<(&'static str, String)>,
+}
+
+impl BsbmData {
+    /// `(table name, csv text)` pairs in ingest order.
+    pub fn tables(&self) -> impl Iterator<Item = (&'static str, &str)> {
+        self.tables.iter().map(|(n, t)| (*n, t.as_str()))
+    }
+
+    pub fn csv(&self, table: &str) -> Option<&str> {
+        self.tables.iter().find(|(n, _)| *n == table).map(|(_, t)| t.as_str())
+    }
+
+    /// Writes each table as `<dir>/<table>.csv` (for `ingest table … file`
+    /// flows).
+    pub fn write_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (name, csv) in &self.tables {
+            std::fs::write(dir.join(format!("{name}.csv")), csv)?;
+        }
+        Ok(())
+    }
+}
+
+/// Power-law index skew: maps uniform `u ∈ [0,1)` onto `0..n`, favoring
+/// small indices (popular products get most offers/reviews).
+fn skewed(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.gen();
+    ((u * u) * n as f64) as usize % n.max(1)
+}
+
+fn date(rng: &mut StdRng) -> String {
+    // 2005-01-01 .. 2008-12-28
+    let y = 2005 + rng.gen_range(0..4);
+    let m = rng.gen_range(1..=12);
+    let d = rng.gen_range(1..=28);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn word(rng: &mut StdRng) -> String {
+    const WORDS: &[&str] = &[
+        "alpha", "bravo", "core", "delta", "echo", "flux", "gamma", "hyper", "ion", "jet",
+        "krypton", "lumen", "macro", "nano", "optic", "pulse", "quark", "raster", "sonic", "terra",
+    ];
+    WORDS[rng.gen_range(0..WORDS.len())].to_string()
+}
+
+fn comment(rng: &mut StdRng) -> String {
+    // Occasionally include a comma to exercise CSV quoting end to end.
+    if rng.gen_bool(0.1) {
+        format!("\"{}, {}\"", word(rng), word(rng))
+    } else {
+        format!("{} {}", word(rng), word(rng))
+    }
+}
+
+/// Generates the full dataset at `scale`.
+pub fn generate(scale: Scale) -> BsbmData {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let mut tables: Vec<(&'static str, String)> = Vec::new();
+
+    // Types: a tree — node 0 is the root, every other node subclasses a
+    // random earlier node (guaranteeing acyclicity and full reachability
+    // to the root for the Fig. 10 regex experiments).
+    let n_types = scale.types();
+    {
+        let mut csv = String::new();
+        for i in 0..n_types {
+            let parent = if i == 0 {
+                String::new()
+            } else {
+                format!("type{}", rng.gen_range(0..i))
+            };
+            let _ = writeln!(
+                csv,
+                "type{i},ProductType,{},{parent},pub{},{}",
+                comment(&mut rng),
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Types", csv));
+    }
+
+    // Features.
+    let n_features = scale.features();
+    {
+        let mut csv = String::new();
+        for i in 0..n_features {
+            let _ = writeln!(
+                csv,
+                "feature{i},ProductFeature,{},{},pub{},{}",
+                word(&mut rng),
+                comment(&mut rng),
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Features", csv));
+    }
+
+    // Producers.
+    let n_producers = scale.producers();
+    {
+        let mut csv = String::new();
+        for i in 0..n_producers {
+            let _ = writeln!(
+                csv,
+                "producer{i},Producer,{},{},hp{i},{},pub{},{}",
+                word(&mut rng),
+                comment(&mut rng),
+                COUNTRIES[rng.gen_range(0..COUNTRIES.len())],
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Producers", csv));
+    }
+
+    // Products (+ ProductTypes + ProductFeatures).
+    {
+        let mut csv = String::new();
+        let mut pt = String::new();
+        let mut pf = String::new();
+        for i in 0..scale.products {
+            let producer = rng.gen_range(0..n_producers);
+            let nums: Vec<String> =
+                (0..5).map(|_| rng.gen_range(1..2000).to_string()).collect();
+            let texts: Vec<String> = (0..5).map(|_| word(&mut rng)).collect();
+            let _ = writeln!(
+                csv,
+                "product{i},Product,{},{},producer{producer},{},{},pub{},{}",
+                word(&mut rng),
+                comment(&mut rng),
+                nums.join(","),
+                texts.join(","),
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+            let ty = rng.gen_range(0..n_types);
+            let _ = writeln!(pt, "product{i},type{ty}");
+            let n_feat = rng.gen_range(3..=8).min(n_features);
+            let mut chosen = std::collections::BTreeSet::new();
+            while chosen.len() < n_feat {
+                chosen.insert(rng.gen_range(0..n_features));
+            }
+            for f in chosen {
+                let _ = writeln!(pf, "product{i},feature{f}");
+            }
+        }
+        tables.push(("Products", csv));
+        tables.push(("ProductTypes", pt));
+        tables.push(("ProductFeatures", pf));
+    }
+
+    // Vendors.
+    let n_vendors = scale.vendors();
+    {
+        let mut csv = String::new();
+        for i in 0..n_vendors {
+            let _ = writeln!(
+                csv,
+                "vendor{i},Vendor,{},{},hp{i},{},pub{},{}",
+                word(&mut rng),
+                comment(&mut rng),
+                COUNTRIES[rng.gen_range(0..COUNTRIES.len())],
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Vendors", csv));
+    }
+
+    // Offers.
+    {
+        let mut csv = String::new();
+        for i in 0..scale.offers() {
+            let product = skewed(&mut rng, scale.products);
+            let vendor = rng.gen_range(0..n_vendors);
+            let price = rng.gen_range(5.0..10_000.0f64);
+            let from = date(&mut rng);
+            let _ = writeln!(
+                csv,
+                "offer{i},Offer,product{product},vendor{vendor},{price:.2},{from},{},{},web{i},pub{},{}",
+                date(&mut rng),
+                rng.gen_range(1..=14),
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Offers", csv));
+    }
+
+    // Persons.
+    let n_persons = scale.persons();
+    {
+        let mut csv = String::new();
+        for i in 0..n_persons {
+            let _ = writeln!(
+                csv,
+                "person{i},Person,{},mb{i},{},pub{},{}",
+                word(&mut rng),
+                COUNTRIES[rng.gen_range(0..COUNTRIES.len())],
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Persons", csv));
+    }
+
+    // Reviews (ratings occasionally null — empty field).
+    {
+        let mut csv = String::new();
+        for i in 0..scale.reviews() {
+            let product = skewed(&mut rng, scale.products);
+            let person = rng.gen_range(0..n_persons);
+            let ratings: Vec<String> = (0..4)
+                .map(|_| {
+                    if rng.gen_bool(0.07) {
+                        String::new()
+                    } else {
+                        rng.gen_range(1..=10).to_string()
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                csv,
+                "review{i},Review,product{product},person{person},{},{},{},{},pub{},{}",
+                date(&mut rng),
+                word(&mut rng),
+                word(&mut rng),
+                ratings.join(","),
+                rng.gen_range(0..5),
+                date(&mut rng)
+            );
+        }
+        tables.push(("Reviews", csv));
+    }
+
+    BsbmData { scale, tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(Scale::new(50));
+        let b = generate(Scale::new(50));
+        for ((na, ta), (nb, tb)) in a.tables().zip(b.tables()) {
+            assert_eq!(na, nb);
+            assert_eq!(ta, tb, "table {na} differs between runs");
+        }
+        let c = generate(Scale::new(50).with_seed(7));
+        assert_ne!(a.csv("Products"), c.csv("Products"));
+    }
+
+    #[test]
+    fn row_counts_match_scale() {
+        let scale = Scale::new(100);
+        let d = generate(scale);
+        let lines = |t: &str| d.csv(t).unwrap().lines().count();
+        assert_eq!(lines("Products"), 100);
+        assert_eq!(lines("Offers"), scale.offers());
+        assert_eq!(lines("Reviews"), scale.reviews());
+        assert_eq!(lines("Producers"), scale.producers());
+        assert_eq!(lines("Persons"), scale.persons());
+        // Each product has 3..=8 features.
+        let pf = lines("ProductFeatures");
+        assert!((300..=800).contains(&pf), "{pf}");
+    }
+
+    #[test]
+    fn loads_into_a_database() {
+        let db = crate::build_database(Scale::new(40)).unwrap();
+        let mut db = db;
+        let g = db.graph().unwrap();
+        assert_eq!(g.vset(g.vtype("ProductVtx").unwrap()).len(), 40);
+        assert_eq!(g.eset(g.etype("producer").unwrap()).len(), 40);
+        assert_eq!(g.eset(g.etype("product").unwrap()).len(), 40 * 4);
+        // Subclass tree has n_types - 1 edges (root has no parent).
+        let types = Scale::new(40).types();
+        assert_eq!(g.eset(g.etype("subclass").unwrap()).len(), types - 1);
+        // Many-to-one country vertices exist and export edges formed.
+        assert!(g.vset(g.vtype("ProducerCountry").unwrap()).len() <= COUNTRIES.len());
+        assert!(!g.eset(g.etype("export").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn type_tree_reaches_root() {
+        // Every type chain must terminate at type0 (acyclic by
+        // construction); sanity-check by walking parents.
+        let d = generate(Scale::new(80));
+        let mut parent: Vec<Option<usize>> = Vec::new();
+        for line in d.csv("Types").unwrap().lines() {
+            let f: Vec<&str> = line.split(',').collect();
+            let p = f[3];
+            parent.push(if p.is_empty() {
+                None
+            } else {
+                Some(p.trim_start_matches("type").parse().unwrap())
+            });
+        }
+        for mut i in 0..parent.len() {
+            let mut hops = 0;
+            while let Some(p) = parent[i] {
+                i = p;
+                hops += 1;
+                assert!(hops <= parent.len(), "cycle in type tree");
+            }
+            assert_eq!(i, 0, "chain must end at the root");
+        }
+    }
+}

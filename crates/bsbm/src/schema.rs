@@ -1,0 +1,184 @@
+//! The paper's DDL, verbatim in structure: Appendix A table declarations
+//! and the Fig. 2 / Fig. 3 vertex and edge declarations (plus the Fig. 4
+//! many-to-one country vertices and `export` edge).
+
+/// Appendix A: the Berlin tables. (The paper's appendix declares
+/// `Persons`; Fig. 2 abbreviates it as `Person` — we use `Persons`
+/// throughout.)
+pub fn schema_ddl() -> &'static str {
+    r#"
+create table Types(
+  id varchar(10),
+  type varchar(10),
+  comment varchar(255),
+  subclassOf varchar(10),
+  publisher varchar(10),
+  date date
+)
+create table Features(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  publisher varchar(10),
+  date date
+)
+create table Producers(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  homepage varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+create table Products(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  producer varchar(10),
+  propertyNumeric_1 integer,
+  propertyNumeric_2 integer,
+  propertyNumeric_3 integer,
+  propertyNumeric_4 integer,
+  propertyNumeric_5 integer,
+  propertyText_1 varchar(10),
+  propertyText_2 varchar(10),
+  propertyText_3 varchar(10),
+  propertyText_4 varchar(10),
+  propertyText_5 varchar(10),
+  publisher varchar(10),
+  date date
+)
+create table Vendors(
+  id varchar(10),
+  type varchar(10),
+  label varchar(10),
+  comment varchar(255),
+  homepage varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+create table Offers(
+  id varchar(10),
+  type varchar(10),
+  product varchar(10),
+  vendor varchar(10),
+  price float,
+  validFrom date,
+  validTo date,
+  deliveryDays integer,
+  offerWebPage varchar(10),
+  publisher varchar(10),
+  date date
+)
+create table Persons(
+  id varchar(10),
+  type varchar(10),
+  name varchar(10),
+  mailbox varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+create table Reviews(
+  id varchar(10),
+  type varchar(10),
+  reviewFor varchar(10),
+  reviewer varchar(10),
+  reviewDate date,
+  title varchar(10),
+  text varchar(10),
+  ratings_1 integer,
+  ratings_2 integer,
+  ratings_3 integer,
+  ratings_4 integer,
+  publisher varchar(10),
+  date date
+)
+create table ProductTypes(
+  product varchar(10),
+  type varchar(10)
+)
+create table ProductFeatures(
+  product varchar(10),
+  feature varchar(10)
+)
+"#
+}
+
+/// Fig. 2 vertex declarations + Fig. 3 edge declarations + the Fig. 4
+/// many-to-one extension (`ProducerCountry`, `VendorCountry`, `export`).
+pub fn graph_ddl() -> &'static str {
+    r#"
+create vertex TypeVtx(id) from table Types
+create vertex FeatureVtx(id) from table Features
+create vertex ProducerVtx(id) from table Producers
+create vertex ProductVtx(id) from table Products
+create vertex VendorVtx(id) from table Vendors
+create vertex OfferVtx(id) from table Offers
+create vertex PersonVtx(id) from table Persons
+create vertex ReviewVtx(id) from table Reviews
+
+create edge subclass with
+  vertices (TypeVtx as A, TypeVtx as B)
+  where A.subclassOf = B.id
+create edge producer with
+  vertices (ProductVtx, ProducerVtx)
+  where ProductVtx.producer = ProducerVtx.id
+create edge type with
+  vertices (ProductVtx, TypeVtx)
+  from table ProductTypes
+  where ProductTypes.product = ProductVtx.id and ProductTypes.type = TypeVtx.id
+create edge feature with
+  vertices (ProductVtx, FeatureVtx)
+  from table ProductFeatures
+  where ProductFeatures.product = ProductVtx.id and ProductFeatures.feature = FeatureVtx.id
+create edge product with
+  vertices (OfferVtx, ProductVtx)
+  where OfferVtx.product = ProductVtx.id
+create edge vendor with
+  vertices (OfferVtx, VendorVtx)
+  where OfferVtx.vendor = VendorVtx.id
+create edge reviewFor with
+  vertices (ReviewVtx, ProductVtx)
+  where ReviewVtx.reviewFor = ProductVtx.id
+create edge reviewer with
+  vertices (ReviewVtx, PersonVtx)
+  where ReviewVtx.reviewer = PersonVtx.id
+
+create vertex ProducerCountry(country) from table Producers
+create vertex VendorCountry(country) from table Vendors
+create edge export with
+  vertices (ProducerCountry as PC, VendorCountry as VC)
+  from table Products, Offers
+  where Products.producer = PC.id
+    and Offers.product = Products.id
+    and Offers.vendor = VC.id
+"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddl_parses() {
+        let s = graql_parser::parse(schema_ddl()).unwrap();
+        assert_eq!(s.statements.len(), 10);
+        let g = graql_parser::parse(graph_ddl()).unwrap();
+        assert_eq!(g.statements.len(), 19);
+    }
+
+    #[test]
+    fn ddl_passes_static_analysis() {
+        let catalog = graql_core::Catalog::new();
+        let mut all = String::from(schema_ddl());
+        all.push_str(graph_ddl());
+        let script = graql_parser::parse(&all).unwrap();
+        graql_core::analyze::analyze_script(&catalog, &script).unwrap();
+    }
+}

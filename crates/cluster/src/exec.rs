@@ -1,0 +1,225 @@
+//! Bulk-synchronous distributed path-query execution.
+//!
+//! Partial path bindings ("tuples") live on the node owning their frontier
+//! vertex. Each superstep extends every tuple by one hop through the local
+//! edge fragment; extensions whose new frontier is owned elsewhere are
+//! shipped as messages. After `n-1` supersteps the complete bindings are
+//! gathered at the coordinator.
+//!
+//! This mirrors how the GEMS backend walks its distributed edge index; the
+//! single-node engine (`graql-core`) is the baseline it is validated
+//! against (`cluster == local` on every query, see tests).
+
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+use graql_core::compile::{compile_query, CLink, CompileCtx, CQuery};
+use graql_core::exec::cand::{edge_filters, local_candidates, Cand};
+use graql_core::exec::enumerate::Binding;
+use graql_core::exec::ExecCtx;
+use graql_core::Database;
+use graql_graph::{ETypeId, VTypeId};
+use graql_parser::ast::{self, Dir};
+use graql_table::BitSet;
+use graql_types::{GraqlError, Result};
+use rustc_hash::FxHashMap;
+
+use crate::metrics::{ClusterMetrics, SuperstepMetrics};
+use crate::Cluster;
+
+/// Result of a distributed path query: complete bindings (sorted for
+/// deterministic comparison) + communication metrics.
+#[derive(Debug)]
+pub struct ClusterBindings {
+    pub bindings: Vec<Binding>,
+    pub metrics: ClusterMetrics,
+}
+
+/// A partial binding in flight.
+#[derive(Clone)]
+struct PTuple {
+    v: Vec<(VTypeId, u32)>,
+    e: Vec<(ETypeId, u32)>,
+}
+
+impl PTuple {
+    fn approx_bytes(&self) -> u64 {
+        (self.v.len() * 8 + self.e.len() * 8) as u64
+    }
+}
+
+/// Runs a single linear path query (no groups, no label references, no
+/// seeds) across the cluster. Label *definitions* are permitted — the
+/// Berlin Q2 graph phase carries one.
+pub fn run_path_query(
+    cluster: &Cluster<'_>,
+    db: &Database,
+    path: &ast::PathQuery,
+) -> Result<ClusterBindings> {
+    let cctx = CompileCtx {
+        graph: cluster.graph,
+        storage: cluster.storage,
+        params: db.params(),
+        regex_cap: db.config().regex_cap,
+    };
+    let cquery: CQuery = compile_query(&cctx, &[path])?;
+    let cpath = &cquery.paths[0];
+    if cpath.has_groups() {
+        return Err(GraqlError::cluster(
+            "path regular expressions are not supported on the simulated cluster",
+        ));
+    }
+    if cpath.vsteps.iter().any(|v| v.label_ref.is_some() || v.seed.is_some()) {
+        return Err(GraqlError::cluster(
+            "label references and seeded steps are not supported on the simulated cluster",
+        ));
+    }
+
+    // Global per-step candidates and per-link edge filters (evaluated once;
+    // attribute data is co-partitioned with its vertices on the real
+    // system, so this is node-local work there).
+    let empty_tables: FxHashMap<String, graql_table::Table> = FxHashMap::default();
+    let empty_subgraphs: FxHashMap<String, graql_graph::Subgraph> = FxHashMap::default();
+    let config = db.config().clone();
+    let ctx = ExecCtx {
+        graph: cluster.graph,
+        storage: cluster.storage,
+        result_tables: &empty_tables,
+        result_subgraphs: &empty_subgraphs,
+        config: &config,
+        params: db.params(),
+    };
+    let cands: Vec<Cand> =
+        cpath.vsteps.iter().map(|v| local_candidates(&ctx, v)).collect::<Result<_>>()?;
+    let efilters: Vec<FxHashMap<ETypeId, BitSet>> = cpath
+        .links
+        .iter()
+        .map(|l| match l {
+            CLink::Edge(e) => edge_filters(&ctx, e),
+            CLink::Group(_) => unreachable!("groups rejected above"),
+        })
+        .collect::<Result<_>>()?;
+
+    let n_nodes = cluster.n_nodes();
+    let n_steps = cpath.vsteps.len();
+
+    // Seed tuples: step-0 candidates, assigned to their owners.
+    let mut initial: Vec<Vec<PTuple>> = vec![Vec::new(); n_nodes];
+    for (&vt, set) in &cands[0] {
+        for idx in set.iter() {
+            let owner = cluster.partitioning.owner(vt, idx as u32);
+            initial[owner].push(PTuple { v: vec![(vt, idx as u32)], e: Vec::new() });
+        }
+    }
+
+    // Mailboxes: inbox[node] holds tuples arriving for that node.
+    let inboxes: Vec<Mutex<Vec<PTuple>>> =
+        (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(n_nodes);
+    let metrics = Mutex::new(vec![SuperstepMetrics::default(); n_steps.saturating_sub(1)]);
+    let done: Vec<Mutex<Vec<PTuple>>> = (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for node in 0..n_nodes {
+            let shard = &cluster.shards[node];
+            let part = &cluster.partitioning;
+            let graph = cluster.graph;
+            let cands = &cands;
+            let efilters = &efilters;
+            let cpath = &*cpath;
+            let inboxes = &inboxes;
+            let barrier = &barrier;
+            let metrics = &metrics;
+            let done = &done;
+            let mut tuples = std::mem::take(&mut initial[node]);
+            scope.spawn(move || {
+                for step in 1..n_steps {
+                    let link = match &cpath.links[step - 1] {
+                        CLink::Edge(e) => e,
+                        CLink::Group(_) => unreachable!(),
+                    };
+                    let allowed = &cands[step];
+                    let mut local = SuperstepMetrics::default();
+                    let mut outboxes: Vec<Vec<PTuple>> = vec![Vec::new(); n_nodes];
+                    for t in tuples.drain(..) {
+                        let (vt, v) = *t.v.last().expect("nonempty tuple");
+                        // Applicable edge types from this frontier vertex.
+                        let etypes: Vec<ETypeId> = match &link.domain {
+                            Some(d) => d.clone(),
+                            None => graph.etype_ids().collect(),
+                        };
+                        for et in etypes {
+                            let es = graph.eset(et);
+                            let (from_ty, reached_ty) = match link.dir {
+                                Dir::Out => (es.src_type, es.tgt_type),
+                                Dir::In => (es.tgt_type, es.src_type),
+                            };
+                            if from_ty != vt {
+                                continue;
+                            }
+                            let Some(allowed_set) = allowed.get(&reached_ty) else { continue };
+                            let filt = efilters[step - 1].get(&et);
+                            let neighbors: Vec<(u32, u32)> = match link.dir {
+                                Dir::Out => shard.fwd_neighbors(et, v).collect(),
+                                Dir::In => shard.rev_neighbors(et, v).collect(),
+                            };
+                            for (nbr, eid) in neighbors {
+                                if !allowed_set.contains(nbr as usize) {
+                                    continue;
+                                }
+                                if let Some(f) = filt {
+                                    if !f.contains(eid as usize) {
+                                        continue;
+                                    }
+                                }
+                                let mut t2 = t.clone();
+                                t2.v.push((reached_ty, nbr));
+                                t2.e.push((et, eid));
+                                let dest = part.owner(reached_ty, nbr);
+                                if dest == node {
+                                    local.local_extensions += 1;
+                                } else {
+                                    local.messages += 1;
+                                    local.bytes += t2.approx_bytes();
+                                }
+                                outboxes[dest].push(t2);
+                            }
+                        }
+                    }
+                    // Deliver.
+                    for (dest, out) in outboxes.into_iter().enumerate() {
+                        if !out.is_empty() {
+                            inboxes[dest].lock().extend(out);
+                        }
+                    }
+                    {
+                        let mut m = metrics.lock();
+                        let s = &mut m[step - 1];
+                        s.local_extensions += local.local_extensions;
+                        s.messages += local.messages;
+                        s.bytes += local.bytes;
+                    }
+                    // All sends complete before anyone reads its inbox.
+                    barrier.wait();
+                    tuples = std::mem::take(&mut *inboxes[node].lock());
+                    barrier.wait();
+                }
+                *done[node].lock() = tuples;
+            });
+        }
+    });
+
+    let mut bindings: Vec<Binding> = Vec::new();
+    for d in &done {
+        for t in d.lock().drain(..) {
+            bindings.push(Binding { v: t.v, e: t.e });
+        }
+    }
+    // Deterministic order for comparisons.
+    bindings.sort_by(|a, b| a.v.cmp(&b.v).then_with(|| a.e.cmp(&b.e)));
+    Ok(ClusterBindings {
+        bindings,
+        metrics: ClusterMetrics { per_superstep: metrics.into_inner() },
+    })
+}

@@ -1,0 +1,66 @@
+//! # graql-cluster
+//!
+//! A **simulated GEMS backend cluster** (paper §III): the multi-node,
+//! in-memory execution substrate GraQL targets, reproduced with one OS
+//! thread per "compute node" and message passing through shared
+//! mailboxes in place of InfiniBand.
+//!
+//! What is preserved from the real system (see DESIGN.md §2):
+//!
+//! * **hash partitioning** of vertex instances across nodes;
+//! * **bidirectional edge fragments** per node (an edge lives on its
+//!   source's owner for forward traversal and its target's owner for
+//!   reverse traversal — the §III-B edge index, distributed);
+//! * **bulk-synchronous path-query execution**: partial path bindings flow
+//!   along edges; a binding that crosses to a vertex owned by another node
+//!   becomes a message;
+//! * **measurable communication**: messages and bytes per superstep.
+//!
+//! What is simulated: the network (mailboxes + a barrier), the node count
+//! (threads), and the failure model (none — matching the paper, which does
+//! not discuss fault tolerance).
+
+pub mod exec;
+pub mod metrics;
+pub mod partition;
+pub mod relational;
+pub mod shard;
+
+pub use exec::{run_path_query, ClusterBindings};
+pub use metrics::{ClusterMetrics, SuperstepMetrics};
+pub use partition::Partitioning;
+pub use relational::distributed_group_aggregate;
+pub use shard::Shard;
+
+use graql_core::Database;
+use graql_graph::Graph;
+use graql_types::{GraqlError, Result};
+
+/// A cluster view over a database: partitioning + per-node shards.
+pub struct Cluster<'a> {
+    pub graph: &'a Graph,
+    pub storage: &'a graql_core::ddl::Storage,
+    pub partitioning: Partitioning,
+    pub shards: Vec<Shard>,
+}
+
+impl<'a> Cluster<'a> {
+    /// Partitions the database's graph across `nodes` simulated compute
+    /// nodes. The graph must already be built
+    /// (call [`Database::graph`] first).
+    pub fn new(db: &'a Database, nodes: usize) -> Result<Self> {
+        if nodes == 0 {
+            return Err(GraqlError::cluster("a cluster needs at least one node"));
+        }
+        let graph = db
+            .graph_ref()
+            .ok_or_else(|| GraqlError::cluster("build the graph before forming a cluster"))?;
+        let partitioning = Partitioning::hash(graph, nodes);
+        let shards = (0..nodes).map(|n| Shard::build(graph, &partitioning, n)).collect();
+        Ok(Cluster { graph, storage: db.storage(), partitioning, shards })
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.shards.len()
+    }
+}

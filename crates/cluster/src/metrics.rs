@@ -1,0 +1,68 @@
+//! Communication and work metrics of a cluster query execution — the
+//! stand-in for network counters on the real GEMS cluster.
+
+/// Totals for one BSP superstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperstepMetrics {
+    /// Partial bindings extended locally (stayed on the same node).
+    pub local_extensions: u64,
+    /// Partial bindings shipped to another node.
+    pub messages: u64,
+    /// Approximate payload volume of those messages.
+    pub bytes: u64,
+}
+
+/// Whole-query metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    pub per_superstep: Vec<SuperstepMetrics>,
+}
+
+impl ClusterMetrics {
+    pub fn supersteps(&self) -> usize {
+        self.per_superstep.len()
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.per_superstep.iter().map(|s| s.messages).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.per_superstep.iter().map(|s| s.bytes).sum()
+    }
+
+    pub fn total_local(&self) -> u64 {
+        self.per_superstep.iter().map(|s| s.local_extensions).sum()
+    }
+
+    /// Fraction of extensions that crossed node boundaries (0..=1).
+    pub fn remote_ratio(&self) -> f64 {
+        let m = self.total_messages() as f64;
+        let l = self.total_local() as f64;
+        if m + l == 0.0 {
+            0.0
+        } else {
+            m / (m + l)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let m = ClusterMetrics {
+            per_superstep: vec![
+                SuperstepMetrics { local_extensions: 5, messages: 5, bytes: 100 },
+                SuperstepMetrics { local_extensions: 10, messages: 0, bytes: 0 },
+            ],
+        };
+        assert_eq!(m.supersteps(), 2);
+        assert_eq!(m.total_messages(), 5);
+        assert_eq!(m.total_bytes(), 100);
+        assert!((m.remote_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(ClusterMetrics::default().remote_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Distributed tabular operations (paper §III: the backend supports
+//! "massively parallel execution of graph and tabular queries").
+//!
+//! Rows are range-partitioned across the simulated compute nodes; each
+//! node computes partial per-group aggregates over its slice, and the
+//! coordinator merges the partials. Results are bit-identical to the
+//! single-node kernel ([`graql_table::ops::group_aggregate`]), including
+//! the first-seen group ordering.
+
+use graql_table::ops::{AggFn, AggSpec};
+use graql_table::{ColumnDef, Table, TableSchema};
+use graql_types::{DataType, GraqlError, Result, Value};
+use rustc_hash::FxHashMap;
+
+/// Per-group partial state (mergeable across nodes).
+#[derive(Clone)]
+struct Partial {
+    /// First row index (global) that opened the group — for ordering.
+    first_row: u32,
+    count: i64,
+    non_null: Vec<i64>,
+    sum: Vec<f64>,
+    /// Integer sums accumulate separately in i64 for precision.
+    isum: Vec<i64>,
+    min: Vec<Value>,
+    max: Vec<Value>,
+}
+
+impl Partial {
+    fn new(n_aggs: usize, first_row: u32) -> Partial {
+        Partial {
+            first_row,
+            count: 0,
+            non_null: vec![0; n_aggs],
+            sum: vec![0.0; n_aggs],
+            isum: vec![0; n_aggs],
+            min: vec![Value::Null; n_aggs],
+            max: vec![Value::Null; n_aggs],
+        }
+    }
+
+    fn absorb_row(&mut self, t: &Table, row: usize, aggs: &[AggSpec]) {
+        self.count += 1;
+        for (ai, spec) in aggs.iter().enumerate() {
+            let col = match spec.func {
+                AggFn::CountStar => None,
+                AggFn::Count(c) | AggFn::Sum(c) | AggFn::Avg(c) | AggFn::Min(c) | AggFn::Max(c) => {
+                    Some(c)
+                }
+            };
+            let Some(c) = col else { continue };
+            let v = t.get(row, c);
+            if v.is_null() {
+                continue;
+            }
+            self.non_null[ai] += 1;
+            if let Some(x) = v.as_f64() {
+                self.sum[ai] += x;
+            }
+            if let Some(x) = v.as_int() {
+                self.isum[ai] = self.isum[ai].wrapping_add(x);
+            }
+            if self.min[ai].is_null() || v < self.min[ai] {
+                self.min[ai] = v.clone();
+            }
+            if self.max[ai].is_null() || v > self.max[ai] {
+                self.max[ai] = v;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Partial) {
+        self.first_row = self.first_row.min(other.first_row);
+        self.count += other.count;
+        for i in 0..self.non_null.len() {
+            self.non_null[i] += other.non_null[i];
+            self.sum[i] += other.sum[i];
+            self.isum[i] = self.isum[i].wrapping_add(other.isum[i]);
+            if !other.min[i].is_null() && (self.min[i].is_null() || other.min[i] < self.min[i]) {
+                self.min[i] = other.min[i].clone();
+            }
+            if !other.max[i].is_null() && (self.max[i].is_null() || other.max[i] > self.max[i]) {
+                self.max[i] = other.max[i].clone();
+            }
+        }
+    }
+}
+
+/// Distributed `group by` + aggregates over `nodes` simulated nodes.
+pub fn distributed_group_aggregate(
+    t: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    nodes: usize,
+) -> Result<Table> {
+    if nodes == 0 {
+        return Err(GraqlError::cluster("a cluster needs at least one node"));
+    }
+    // Output schema mirrors the single-node kernel: group columns first,
+    // then aggregate columns.
+    let mut defs: Vec<ColumnDef> =
+        group_cols.iter().map(|&c| t.schema().column(c).clone()).collect();
+    for a in aggs {
+        let dtype = match a.func {
+            AggFn::CountStar | AggFn::Count(_) => DataType::Integer,
+            AggFn::Sum(c) => {
+                let dt = t.schema().column(c).dtype;
+                if !dt.is_numeric() {
+                    return Err(GraqlError::type_error("aggregate over non-numeric column"));
+                }
+                dt
+            }
+            AggFn::Avg(c) => {
+                if !t.schema().column(c).dtype.is_numeric() {
+                    return Err(GraqlError::type_error("aggregate over non-numeric column"));
+                }
+                DataType::Float
+            }
+            AggFn::Min(c) | AggFn::Max(c) => t.schema().column(c).dtype,
+        };
+        defs.push(ColumnDef::new(a.out_name.clone(), dtype));
+    }
+    let schema = TableSchema::new(defs)?;
+
+    // Range partitioning: node i takes rows [i*chunk, …).
+    let n_rows = t.n_rows();
+    let chunk = n_rows.div_ceil(nodes).max(1);
+    let partials: Vec<FxHashMap<Vec<Value>, Partial>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nodes)
+            .map(|node| {
+                scope.spawn(move || {
+                    let mut local: FxHashMap<Vec<Value>, Partial> = FxHashMap::default();
+                    let lo = node * chunk;
+                    let hi = ((node + 1) * chunk).min(n_rows);
+                    for row in lo..hi {
+                        let key: Vec<Value> =
+                            group_cols.iter().map(|&c| t.get(row, c)).collect();
+                        local
+                            .entry(key)
+                            .or_insert_with(|| Partial::new(aggs.len(), row as u32))
+                            .absorb_row(t, row, aggs);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Merge at the coordinator.
+    let mut merged: FxHashMap<Vec<Value>, Partial> = FxHashMap::default();
+    for local in partials {
+        for (key, p) in local {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&p),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(p);
+                }
+            }
+        }
+    }
+    // First-seen order, like the single-node kernel.
+    let mut groups: Vec<(Vec<Value>, Partial)> = merged.into_iter().collect();
+    groups.sort_by_key(|(_, p)| p.first_row);
+
+    let mut out = Table::empty(schema);
+    for (key, p) in &groups {
+        let mut row: Vec<Value> = key.clone();
+        for (ai, spec) in aggs.iter().enumerate() {
+            row.push(match spec.func {
+                AggFn::CountStar => Value::Int(p.count),
+                AggFn::Count(_) => Value::Int(p.non_null[ai]),
+                AggFn::Sum(c) => {
+                    if p.non_null[ai] == 0 {
+                        Value::Null
+                    } else if t.schema().column(c).dtype == DataType::Integer {
+                        Value::Int(p.isum[ai])
+                    } else {
+                        Value::Float(p.sum[ai])
+                    }
+                }
+                AggFn::Avg(_) => {
+                    if p.non_null[ai] == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(p.sum[ai] / p.non_null[ai] as f64)
+                    }
+                }
+                AggFn::Min(_) => p.min[ai].clone(),
+                AggFn::Max(_) => p.max[ai].clone(),
+            });
+        }
+        out.push_row(&row)?;
+    }
+    // Global aggregates over an empty table still yield one row (SQL
+    // semantics, matching the kernel).
+    if group_cols.is_empty() && out.n_rows() == 0 {
+        let row: Vec<Value> = aggs
+            .iter()
+            .map(|a| match a.func {
+                AggFn::CountStar | AggFn::Count(_) => Value::Int(0),
+                _ => Value::Null,
+            })
+            .collect();
+        out.push_row(&row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_table::ops::group_aggregate;
+    use proptest::prelude::*;
+
+    fn table(rows: &[(i64, Option<f64>)]) -> Table {
+        let schema = TableSchema::of(&[("g", DataType::Integer), ("x", DataType::Float)]);
+        Table::from_rows(
+            schema,
+            rows.iter().map(|(g, x)| {
+                vec![Value::Int(*g), x.map(Value::Float).unwrap_or(Value::Null)]
+            }),
+        )
+        .unwrap()
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new(AggFn::CountStar, "n"),
+            AggSpec::new(AggFn::Count(1), "nn"),
+            AggSpec::new(AggFn::Sum(1), "s"),
+            AggSpec::new(AggFn::Avg(1), "a"),
+            AggSpec::new(AggFn::Min(1), "lo"),
+            AggSpec::new(AggFn::Max(1), "hi"),
+        ]
+    }
+
+    #[test]
+    fn matches_single_node_kernel() {
+        let t = table(&[
+            (1, Some(2.0)),
+            (2, Some(8.0)),
+            (1, None),
+            (1, Some(4.0)),
+            (2, Some(1.0)),
+        ]);
+        let expected = group_aggregate(&t, &[0], &specs()).unwrap();
+        for nodes in [1, 2, 3, 7] {
+            let got = distributed_group_aggregate(&t, &[0], &specs(), nodes).unwrap();
+            assert_eq!(got.n_rows(), expected.n_rows(), "{nodes} nodes");
+            for r in 0..expected.n_rows() {
+                assert_eq!(got.row(r), expected.row(r), "{nodes} nodes, row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_aggregate_and_empty_input() {
+        let t = table(&[]);
+        let expected = group_aggregate(&t, &[], &specs()).unwrap();
+        let got = distributed_group_aggregate(&t, &[], &specs(), 4).unwrap();
+        assert_eq!(got.n_rows(), 1);
+        assert_eq!(got.row(0), expected.row(0));
+    }
+
+    proptest! {
+        #[test]
+        fn equals_kernel_on_random_tables(
+            rows in proptest::collection::vec((0i64..6, proptest::option::of(-100.0..100.0f64)), 0..60),
+            nodes in 1usize..6,
+        ) {
+            let t = table(&rows);
+            let expected = group_aggregate(&t, &[0], &specs()).unwrap();
+            let got = distributed_group_aggregate(&t, &[0], &specs(), nodes).unwrap();
+            prop_assert_eq!(got.n_rows(), expected.n_rows());
+            for r in 0..expected.n_rows() {
+                // Float sums can differ by association order; compare with
+                // tolerance on the numeric columns, exactly elsewhere.
+                let (e, g) = (expected.row(r), got.row(r));
+                for (ci, (ev, gv)) in e.iter().zip(&g).enumerate() {
+                    match (ev.as_f64(), gv.as_f64()) {
+                        (Some(a), Some(b)) => {
+                            prop_assert!((a - b).abs() < 1e-9, "row {} col {}: {} vs {}", r, ci, a, b)
+                        }
+                        _ => prop_assert_eq!(ev, gv, "row {} col {}", r, ci),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The cluster's ground truth: for every supported query, the distributed
+//! execution must produce exactly the single-node engine's bindings.
+
+use graql_cluster::Cluster;
+use graql_core::exec::query::run_query;
+use graql_core::exec::ExecCtx;
+use graql_parser::ast::{SelectSource, Stmt};
+use graql_types::Value;
+use rustc_hash::FxHashMap;
+
+fn path_of(src: &str) -> graql_parser::ast::PathQuery {
+    let Stmt::Select(sel) = graql_parser::parse_statement(src).unwrap() else { panic!() };
+    let SelectSource::Graph(comp) = sel.source else { panic!() };
+    match comp {
+        graql_parser::ast::PathComposition::Single(p) => p,
+        other => panic!("expected a single path, got {other:?}"),
+    }
+}
+
+/// Runs the same path on the local engine, returning sorted bindings.
+fn local_bindings(
+    db: &graql_core::Database,
+    path: &graql_parser::ast::PathQuery,
+) -> Vec<graql_core::exec::enumerate::Binding> {
+    let empty_t: FxHashMap<String, graql_table::Table> = FxHashMap::default();
+    let empty_s: FxHashMap<String, graql_graph::Subgraph> = FxHashMap::default();
+    let config = db.config().clone();
+    let ctx = ExecCtx {
+        graph: db.graph_ref().unwrap(),
+        storage: db.storage(),
+        result_tables: &empty_t,
+        result_subgraphs: &empty_s,
+        config: &config,
+        params: db.params(),
+    };
+    let qr = run_query(&ctx, &[path], true).unwrap();
+    let mut out: Vec<_> = qr
+        .bindings
+        .unwrap()
+        .into_iter()
+        .map(|mb| mb.per_path.into_iter().next().unwrap())
+        .collect();
+    out.sort_by(|a, b| a.v.cmp(&b.v).then_with(|| a.e.cmp(&b.e)));
+    out
+}
+
+fn queries() -> Vec<&'static str> {
+    vec![
+        // One hop with a filter.
+        "select * from graph ProductVtx() --producer--> ProducerVtx(country = 'US') into subgraph g",
+        // Reverse hop.
+        "select * from graph ProducerVtx(country = 'DE') <--producer-- ProductVtx() into subgraph g",
+        // The Berlin Q2 graph phase (set label definition, no reference).
+        "select y.id from graph ProductVtx (id = %Product1%) --feature--> FeatureVtx() \
+         <--feature-- def y: ProductVtx (id != %Product1%) into table T",
+        // Three hops crossing several types.
+        "select * from graph PersonVtx(country = 'DE') <--reviewer-- ReviewVtx() \
+         --reviewFor--> ProductVtx() --producer--> ProducerVtx(country = 'US') into subgraph g",
+        // Variant edge and vertex steps.
+        "select * from graph ProductVtx(id = %Product1%) <--[]-- [] into subgraph g",
+        // Edge condition through the assoc table (`type` edge).
+        "select * from graph ProductVtx() --type--> TypeVtx() into subgraph g",
+    ]
+}
+
+#[test]
+fn cluster_matches_local_on_every_query_and_node_count() {
+    let mut db = graql_bsbm::build_database(graql_bsbm::Scale::new(60)).unwrap();
+    db.set_param("Product1", Value::str("product0"));
+    db.graph().unwrap();
+    for src in queries() {
+        let path = path_of(src);
+        let expected = local_bindings(&db, &path);
+        for nodes in [1, 2, 4, 7] {
+            let cluster = Cluster::new(&db, nodes).unwrap();
+            let got = graql_cluster::run_path_query(&cluster, &db, &path)
+                .unwrap_or_else(|e| panic!("{src} on {nodes} nodes: {e}"));
+            assert_eq!(
+                got.bindings.len(),
+                expected.len(),
+                "{src} on {nodes} nodes: binding count"
+            );
+            assert_eq!(got.bindings, expected, "{src} on {nodes} nodes");
+        }
+    }
+}
+
+#[test]
+fn single_node_cluster_sends_no_messages() {
+    let mut db = graql_bsbm::build_database(graql_bsbm::Scale::new(40)).unwrap();
+    db.set_param("Product1", Value::str("product0"));
+    db.graph().unwrap();
+    let path = path_of(
+        "select * from graph ProductVtx() --producer--> ProducerVtx() into subgraph g",
+    );
+    let cluster = Cluster::new(&db, 1).unwrap();
+    let got = graql_cluster::run_path_query(&cluster, &db, &path).unwrap();
+    assert_eq!(got.metrics.total_messages(), 0);
+    assert!(got.metrics.total_local() > 0);
+}
+
+#[test]
+fn more_nodes_mean_more_communication() {
+    let mut db = graql_bsbm::build_database(graql_bsbm::Scale::new(80)).unwrap();
+    db.graph().unwrap();
+    let path = path_of(
+        "select * from graph OfferVtx() --product--> ProductVtx() --producer--> ProducerVtx() \
+         into subgraph g",
+    );
+    let mut last_ratio = -1.0;
+    for nodes in [1, 2, 8] {
+        let cluster = Cluster::new(&db, nodes).unwrap();
+        let got = graql_cluster::run_path_query(&cluster, &db, &path).unwrap();
+        let ratio = got.metrics.remote_ratio();
+        assert!(
+            ratio >= last_ratio,
+            "remote ratio should not decrease with node count: {last_ratio} → {ratio} at {nodes}"
+        );
+        last_ratio = ratio;
+    }
+    assert!(last_ratio > 0.5, "at 8 nodes most extensions are remote: {last_ratio}");
+}
+
+#[test]
+fn unsupported_features_are_rejected() {
+    let mut db = graql_bsbm::build_database(graql_bsbm::Scale::new(20)).unwrap();
+    db.graph().unwrap();
+    let cluster = Cluster::new(&db, 2).unwrap();
+    let path = path_of(
+        "select * from graph TypeVtx() { --subclass--> TypeVtx() }+ --> TypeVtx() into subgraph g",
+    );
+    let err = graql_cluster::run_path_query(&cluster, &db, &path).unwrap_err();
+    assert!(matches!(err, graql_types::GraqlError::Cluster(_)), "{err}");
+}
+
+#[test]
+fn zero_node_cluster_rejected() {
+    let mut db = graql_bsbm::build_database(graql_bsbm::Scale::new(10)).unwrap();
+    db.graph().unwrap();
+    assert!(Cluster::new(&db, 0).is_err());
+}

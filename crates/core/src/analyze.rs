@@ -1,0 +1,739 @@
+//! Static query analysis (paper §III-A): catalog-only checks, no data
+//! access.
+//!
+//! "Correctness checks include a number of different type checking issues:
+//! is the query comparing an attribute with a constant (or other
+//! attribute) of the wrong type? … is the query using an entity of
+//! correct type for certain operations? … is a path query correctly
+//! formulated?"
+//!
+//! The analyzer threads a *working catalog* through the script so that a
+//! statement can reference entities (including `into` results) created by
+//! earlier statements — the front-end server's evolving metadata.
+
+use graql_parser::ast::{self, SelectExpr, SelectTargets, StepName, Stmt};
+use graql_table::{ColumnDef, TableSchema};
+use graql_types::{DataType, GraqlError, Result};
+use rustc_hash::FxHashMap;
+
+use crate::catalog::{Catalog, EdgeDef, VertexDef};
+use crate::cond::{lit_type, typecheck_single_table};
+
+/// Statically checks a whole script against (a working copy of) the
+/// catalog. Returns the catalog state after the script, so callers can
+/// inspect inferred result schemas.
+pub fn analyze_script(catalog: &Catalog, script: &ast::Script) -> Result<Catalog> {
+    let mut work = catalog.clone();
+    for stmt in &script.statements {
+        analyze_statement(&mut work, stmt)?;
+    }
+    Ok(work)
+}
+
+/// Statically checks one statement, updating the working catalog.
+pub fn analyze_statement(work: &mut Catalog, stmt: &Stmt) -> Result<()> {
+    match stmt {
+        Stmt::CreateTable(ct) => {
+            let schema = TableSchema::new(
+                ct.columns
+                    .iter()
+                    .map(|(n, t)| ColumnDef::new(n, t.to_data_type()))
+                    .collect(),
+            )?;
+            work.add_table(&ct.name, schema)
+        }
+        Stmt::CreateVertex(cv) => {
+            let schema = work
+                .table(&cv.from_table)
+                .ok_or_else(|| match work.kind_of(&cv.from_table) {
+                    Some(k) => GraqlError::type_error(format!(
+                        "{:?} is a {k}, not a table",
+                        cv.from_table
+                    )),
+                    None => GraqlError::name(format!("unknown table {:?}", cv.from_table)),
+                })?
+                .clone();
+            if cv.key.is_empty() {
+                return Err(GraqlError::path(format!("vertex {:?} has an empty key", cv.name)));
+            }
+            for k in &cv.key {
+                schema.require(k)?;
+            }
+            if let Some(w) = &cv.where_clause {
+                typecheck_single_table(w, &schema, &[&cv.from_table, &cv.name])?;
+            }
+            work.add_vertex(VertexDef {
+                name: cv.name.clone(),
+                table: cv.from_table.clone(),
+                key: cv.key.clone(),
+                where_clause: cv.where_clause.clone(),
+            })
+        }
+        Stmt::CreateEdge(ce) => {
+            let src = work.require_vertex(&ce.source.vertex_type)?.clone();
+            let tgt = work.require_vertex(&ce.target.vertex_type)?.clone();
+            for t in &ce.from_tables {
+                work.require_any_table(t)?;
+            }
+            if let Some(w) = &ce.where_clause {
+                typecheck_edge_where(work, ce, &src, &tgt, w)?;
+            }
+            work.add_edge(EdgeDef {
+                name: ce.name.clone(),
+                src_type: ce.source.vertex_type.clone(),
+                src_alias: ce.source.alias.clone(),
+                tgt_type: ce.target.vertex_type.clone(),
+                tgt_alias: ce.target.alias.clone(),
+                from_tables: ce.from_tables.clone(),
+                where_clause: ce.where_clause.clone(),
+            })
+        }
+        Stmt::Ingest(ing) => {
+            if work.table(&ing.table).is_none() {
+                return Err(match work.kind_of(&ing.table) {
+                    Some(k) => GraqlError::type_error(format!(
+                        "cannot ingest into {:?}: it is a {k}, not a base table",
+                        ing.table
+                    )),
+                    None => GraqlError::name(format!("unknown table {:?}", ing.table)),
+                });
+            }
+            Ok(())
+        }
+        Stmt::Select(sel) => analyze_select(work, sel),
+    }
+}
+
+/// Type environment of an edge `where` clause: qualifier → schema.
+fn typecheck_edge_where(
+    work: &Catalog,
+    ce: &ast::CreateEdge,
+    src: &VertexDef,
+    tgt: &VertexDef,
+    w: &ast::Expr,
+) -> Result<()> {
+    let mut env: FxHashMap<String, TableSchema> = FxHashMap::default();
+    let src_schema = work.table(&src.table).expect("vertex defs reference tables").clone();
+    let tgt_schema = work.table(&tgt.table).expect("vertex defs reference tables").clone();
+    let src_qual = ce.source.alias.clone().unwrap_or_else(|| ce.source.vertex_type.clone());
+    let tgt_qual = ce.target.alias.clone().unwrap_or_else(|| ce.target.vertex_type.clone());
+    if src_qual == tgt_qual {
+        return Err(GraqlError::name(format!(
+            "edge {:?} endpoints are both referred to as {:?}; disambiguate with 'as' aliases",
+            ce.name, src_qual
+        )));
+    }
+    env.insert(src_qual, src_schema.clone());
+    env.insert(tgt_qual, tgt_schema.clone());
+    if src.table != tgt.table {
+        env.entry(src.table.clone()).or_insert(src_schema);
+        env.entry(tgt.table.clone()).or_insert(tgt_schema);
+    }
+    for t in &ce.from_tables {
+        env.insert(t.clone(), work.require_any_table(t)?.clone());
+    }
+
+    // Walk comparisons, resolving operand types.
+    fn operand_type(
+        work: &Catalog,
+        env: &mut FxHashMap<String, TableSchema>,
+        o: &ast::Operand,
+    ) -> Result<Option<DataType>> {
+        match o {
+            ast::Operand::Lit(l) => Ok(lit_type(l)),
+            ast::Operand::Attr { qualifier: Some(q), name } => {
+                if !env.contains_key(q) {
+                    // Implicit associated table (the Fig. 3 `feature` case).
+                    let schema = work
+                        .table(q)
+                        .ok_or_else(|| GraqlError::name(format!("unknown qualifier {q:?}")))?
+                        .clone();
+                    env.insert(q.clone(), schema);
+                }
+                let schema = &env[q];
+                Ok(Some(schema.column(schema.require(name)?).dtype))
+            }
+            ast::Operand::Attr { qualifier: None, name } => {
+                let hits: Vec<DataType> = env
+                    .values()
+                    .filter_map(|s| s.index_of(name).map(|c| s.column(c).dtype))
+                    .collect();
+                match hits.len() {
+                    1 => Ok(Some(hits[0])),
+                    0 => Err(GraqlError::name(format!("unknown attribute {name:?}"))),
+                    _ => Err(GraqlError::name(format!("ambiguous attribute {name:?}; qualify it"))),
+                }
+            }
+        }
+    }
+    fn walk(
+        work: &Catalog,
+        env: &mut FxHashMap<String, TableSchema>,
+        e: &ast::Expr,
+    ) -> Result<()> {
+        match e {
+            ast::Expr::And(ps) | ast::Expr::Or(ps) => ps.iter().try_for_each(|p| walk(work, env, p)),
+            ast::Expr::Not(inner) => walk(work, env, inner),
+            ast::Expr::Cmp { lhs, rhs, .. } => {
+                let a = operand_type(work, env, lhs)?;
+                let b = operand_type(work, env, rhs)?;
+                if let (Some(a), Some(b)) = (a, b) {
+                    if !a.comparable_with(b) {
+                        return Err(GraqlError::type_error(format!("cannot compare {a} with {b}")));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+    walk(work, &mut env, w)
+}
+
+// ---------------------------------------------------------------------------
+// Select analysis
+// ---------------------------------------------------------------------------
+
+fn analyze_select(work: &mut Catalog, sel: &ast::SelectStmt) -> Result<()> {
+    match &sel.source {
+        ast::SelectSource::Table(t) => analyze_table_select(work, sel, t),
+        ast::SelectSource::Graph(comp) => analyze_graph_select(work, sel, comp),
+    }
+}
+
+fn analyze_table_select(work: &mut Catalog, sel: &ast::SelectStmt, table: &str) -> Result<()> {
+    let schema = work.require_any_table(table)?.clone();
+    // An empty schema marks a result table whose columns could not be
+    // inferred statically (e.g. edge-label projections); skip column-level
+    // checks and let execution validate.
+    if schema.is_empty() {
+        return register_into(work, sel, None);
+    }
+    if let Some(w) = &sel.where_clause {
+        typecheck_single_table(w, &schema, &[table])?;
+    }
+    let col = |c: &ast::ColRef| -> Result<usize> {
+        if let Some(q) = &c.qualifier {
+            if q != table {
+                return Err(GraqlError::name(format!(
+                    "unknown qualifier {q:?}; the table is {table:?}"
+                )));
+            }
+        }
+        schema.require(&c.name)
+    };
+    for g in &sel.group_by {
+        col(g)?;
+    }
+    // Output schema inference.
+    let mut out_defs: Vec<ColumnDef> = Vec::new();
+    match &sel.targets {
+        SelectTargets::Star => {
+            if !sel.group_by.is_empty() {
+                return Err(GraqlError::type_error("'select *' cannot be grouped"));
+            }
+            out_defs = schema.columns().to_vec();
+        }
+        SelectTargets::Items(items) => {
+            let grouped = sel.has_aggregates() || !sel.group_by.is_empty();
+            for (i, item) in items.iter().enumerate() {
+                match &item.expr {
+                    SelectExpr::Col(c) => {
+                        let ci = col(c)?;
+                        if grouped
+                            && !sel
+                                .group_by
+                                .iter()
+                                .any(|g| col(g).is_ok_and(|gi| gi == ci))
+                        {
+                            return Err(GraqlError::type_error(format!(
+                                "column {:?} must appear in 'group by' or inside an aggregate",
+                                c.name
+                            )));
+                        }
+                        let name = item.alias.clone().unwrap_or_else(|| c.name.clone());
+                        out_defs.push(ColumnDef::new(name, schema.column(ci).dtype));
+                    }
+                    SelectExpr::Agg(a) => {
+                        let (dtype, arg) = match a {
+                            ast::AggCall::CountStar => (DataType::Integer, None),
+                            ast::AggCall::Count(c) => (DataType::Integer, Some(c)),
+                            ast::AggCall::Sum(c) => {
+                                (schema.column(col(c)?).dtype, Some(c))
+                            }
+                            ast::AggCall::Avg(c) => (DataType::Float, Some(c)),
+                            ast::AggCall::Min(c) | ast::AggCall::Max(c) => {
+                                (schema.column(col(c)?).dtype, Some(c))
+                            }
+                        };
+                        if let Some(c) = arg {
+                            let ci = col(c)?;
+                            let dt = schema.column(ci).dtype;
+                            let needs_numeric =
+                                matches!(a, ast::AggCall::Sum(_) | ast::AggCall::Avg(_));
+                            if needs_numeric && !dt.is_numeric() {
+                                return Err(GraqlError::type_error(format!(
+                                    "aggregate over non-numeric column {:?}",
+                                    c.name
+                                )));
+                            }
+                        }
+                        let name = item.alias.clone().unwrap_or_else(|| format!("agg_{i}"));
+                        out_defs.push(ColumnDef::new(name, dtype));
+                    }
+                }
+            }
+        }
+    }
+    let out_schema = TableSchema::new(out_defs)?;
+    for k in &sel.order_by {
+        out_schema.require(&k.col.name).map_err(|_| {
+            GraqlError::name(format!(
+                "'order by' column {:?} is not in the select output",
+                k.col.name
+            ))
+        })?;
+    }
+    register_into(work, sel, Some(out_schema))
+}
+
+/// One `or` branch's name scope: vertex labels (kind + optional concrete
+/// type), edge labels (optional concrete edge type), and named steps.
+type BranchScope = (
+    FxHashMap<String, (ast::LabelKind, Option<String>)>,
+    FxHashMap<String, Option<String>>,
+    FxHashMap<String, Vec<StepInfo>>,
+);
+
+/// Static per-step type info for a graph select.
+#[derive(Clone)]
+struct StepInfo {
+    /// `None` = variant (unknown concrete types statically).
+    vtype: Option<String>,
+    display: String,
+}
+
+fn analyze_graph_select(
+    work: &mut Catalog,
+    sel: &ast::SelectStmt,
+    comp: &ast::PathComposition,
+) -> Result<()> {
+    if sel.where_clause.is_some() {
+        return Err(GraqlError::type_error(
+            "graph selects place conditions on steps, not in a 'where' clause",
+        ));
+    }
+    if sel.has_aggregates() || !sel.group_by.is_empty() {
+        return Err(GraqlError::type_error(
+            "aggregates and 'group by' apply to table sources; capture 'into table' first",
+        ));
+    }
+    if !sel.order_by.is_empty() || sel.top.is_some() || sel.distinct {
+        return Err(GraqlError::type_error(
+            "'order by'/'top'/'distinct' apply to table sources; capture 'into table' first",
+        ));
+    }
+
+    let branches = crate::compile::or_branches(comp)?;
+    // Per-branch scopes: labels name → (kind, vtype option); edge labels
+    // tracked separately (they resolve in projections but not in step
+    // conditions). `or` branches are independent queries, so each gets a
+    // fresh scope; projections must resolve in *every* branch.
+    let mut branch_scopes: Vec<BranchScope> = Vec::new();
+
+    for branch in &branches {
+        if branch.len() > 1 {
+            // and-composition must share a label (§II-B3).
+            let mut shares = false;
+            let mut seen: FxHashMap<&str, usize> = FxHashMap::default();
+            for (pi, p) in branch.iter().enumerate() {
+                for v in p.vertex_steps() {
+                    if let Some(l) = &v.label_def {
+                        seen.insert(l.name.as_str(), pi);
+                    }
+                }
+            }
+            for (pi, p) in branch.iter().enumerate() {
+                for v in p.vertex_steps() {
+                    if let StepName::Named(n) = &v.name {
+                        if let Some(&def_pi) = seen.get(n.as_str()) {
+                            if def_pi != pi {
+                                shares = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !shares {
+                return Err(GraqlError::path(
+                    "'and' composition requires the paths to share a label (§II-B3)",
+                ));
+            }
+        }
+        let mut labels: FxHashMap<String, (ast::LabelKind, Option<String>)> =
+            FxHashMap::default();
+        let mut edge_labels: FxHashMap<String, Option<String>> = FxHashMap::default();
+        let mut steps_by_name: FxHashMap<String, Vec<StepInfo>> = FxHashMap::default();
+        for path in branch {
+            analyze_path(work, path, &mut labels, &mut edge_labels, &mut steps_by_name)?;
+        }
+        branch_scopes.push((labels, edge_labels, steps_by_name));
+    }
+
+    // Targets + into consistency.
+    let to_table = matches!(sel.into, Some(ast::IntoClause::Table(_)))
+        || (sel.into.is_none() && !matches!(sel.targets, SelectTargets::Star));
+    let mut out_schema: Option<TableSchema> = None;
+    if let SelectTargets::Items(items) = &sel.targets {
+        // Each `or` branch projects independently, so every item must
+        // resolve in every branch; the schema is inferred from the first.
+        for (bi, (labels, edge_labels, steps_by_name)) in branch_scopes.iter().enumerate() {
+            let mut defs: Vec<ColumnDef> = Vec::new();
+            let mut complete = true;
+            for item in items {
+                let SelectExpr::Col(c) = &item.expr else {
+                    return Err(GraqlError::type_error(
+                        "aggregates are not allowed over a graph source",
+                    ));
+                };
+                let lookup_name = c.qualifier.as_ref().unwrap_or(&c.name);
+                if let Some(et) = edge_labels.get(lookup_name) {
+                    // Labeled edge step: attributes resolve through its
+                    // associated table when the type is concrete.
+                    if to_table {
+                        if c.qualifier.is_none() {
+                            return Err(GraqlError::type_error(
+                                "a bare edge label selects edges into a subgraph; \
+                                 project an attribute (label.attr) for tables",
+                            ));
+                        }
+                        if let Some(et) = et {
+                            let def = work.require_edge(et)?;
+                            if let Some(assoc) = def.from_tables.first().cloned() {
+                                let schema = work.require_any_table(&assoc)?;
+                                schema.require(&c.name)?;
+                            }
+                        }
+                        complete = false; // dtype inference skipped for edge attrs
+                    }
+                    continue;
+                }
+                // Resolve to a step: label first, then unique step name.
+                let vtype: Option<String> = if let Some((_, vt)) = labels.get(lookup_name) {
+                    vt.clone()
+                } else {
+                    match steps_by_name.get(lookup_name).map(Vec::as_slice) {
+                        Some([only]) => only.vtype.clone(),
+                        Some(_) => {
+                            return Err(GraqlError::path(format!(
+                                "step name {lookup_name:?} is ambiguous; label it to disambiguate"
+                            )))
+                        }
+                        None => {
+                            return Err(GraqlError::name(format!(
+                                "unknown step or label {lookup_name:?}"
+                            )))
+                        }
+                    }
+                };
+                if to_table && complete {
+                    let dtype = match (&c.qualifier, &vtype) {
+                        (Some(_), Some(vt)) => {
+                            // step.attr: attr must exist on the step's table.
+                            let def = work.require_vertex(vt)?;
+                            let schema =
+                                work.table(&def.table).expect("vertex defs reference tables");
+                            Some(schema.column(schema.require(&c.name).map_err(|_| {
+                                GraqlError::name(format!(
+                                    "vertex type {vt} has no attribute {:?}",
+                                    c.name
+                                ))
+                            })?).dtype)
+                        }
+                        (None, Some(vt)) => {
+                            let def = work.require_vertex(vt)?;
+                            if def.key.len() == 1 {
+                                let schema = work
+                                    .table(&def.table)
+                                    .expect("vertex defs reference tables");
+                                Some(schema.column(schema.require(&def.key[0])?).dtype)
+                            } else {
+                                None // multi-key: schema widens; skip inference
+                            }
+                        }
+                        _ => None, // variant step: defer to execution
+                    };
+                    match dtype {
+                        Some(dt) => {
+                            let name = item.alias.clone().unwrap_or_else(|| c.name.clone());
+                            defs.push(ColumnDef::new(name, dt));
+                        }
+                        None => complete = false, // partial inference
+                    }
+                }
+            }
+            if bi == 0 && to_table && complete && !defs.is_empty() {
+                // Uniquify like the executor does.
+                let mut seen: FxHashMap<String, usize> = FxHashMap::default();
+                let defs = defs
+                    .into_iter()
+                    .map(|d| {
+                        let n = seen.entry(d.name.clone()).or_insert(0);
+                        *n += 1;
+                        if *n == 1 {
+                            d
+                        } else {
+                            ColumnDef::new(format!("{}_{n}", d.name), d.dtype)
+                        }
+                    })
+                    .collect();
+                out_schema = Some(TableSchema::new(defs)?);
+            }
+        }
+    }
+    match (&sel.into, to_table) {
+        (Some(ast::IntoClause::Table(_)), false) => {
+            return Err(GraqlError::type_error(
+                "'select *' over a graph captures 'into subgraph', not 'into table'",
+            ))
+        }
+        (Some(ast::IntoClause::Subgraph(_)), true) => {
+            // Items → subgraph is fine when the items are bare steps; the
+            // executor enforces the rest.
+        }
+        _ => {}
+    }
+    register_into(work, sel, out_schema)
+}
+
+fn analyze_path(
+    work: &Catalog,
+    path: &ast::PathQuery,
+    labels: &mut FxHashMap<String, (ast::LabelKind, Option<String>)>,
+    edge_labels: &mut FxHashMap<String, Option<String>>,
+    steps_by_name: &mut FxHashMap<String, Vec<StepInfo>>,
+) -> Result<()> {
+    // Checks one vertex step and returns its static info.
+    let mut check_vstep = |v: &ast::VertexStep,
+                           labels: &mut FxHashMap<String, (ast::LabelKind, Option<String>)>,
+                           register: bool|
+     -> Result<StepInfo> {
+        let info = match &v.name {
+            StepName::Any => {
+                if v.cond.is_some() {
+                    return Err(GraqlError::path(
+                        "conditions are not allowed on variant ([ ]) vertex steps",
+                    ));
+                }
+                StepInfo { vtype: None, display: "[]".into() }
+            }
+            StepName::Named(n) => {
+                if let Some((_, vt)) = labels.get(n) {
+                    StepInfo { vtype: vt.clone(), display: n.clone() }
+                } else {
+                    let def = work.require_vertex(n)?;
+                    StepInfo { vtype: Some(def.name.clone()), display: n.clone() }
+                }
+            }
+        };
+        if let Some(l) = &v.label_def {
+            if labels.contains_key(&l.name) {
+                return Err(GraqlError::path(format!("label {:?} defined twice", l.name)));
+            }
+            labels.insert(l.name.clone(), (l.kind, info.vtype.clone()));
+        }
+        if let Some(seed) = &v.seed {
+            if !work.has_result_subgraph(seed) {
+                return Err(match work.kind_of(seed) {
+                    Some(k) => GraqlError::type_error(format!(
+                        "{seed:?} is a {k}, not a result subgraph"
+                    )),
+                    None => GraqlError::name(format!("unknown result subgraph {seed:?}")),
+                });
+            }
+        }
+        // Condition type checking against the step's source table (only
+        // for concrete steps; label-qualified operands checked loosely).
+        if let (Some(cond), Some(vt)) = (&v.cond, &info.vtype) {
+            let def = work.require_vertex(vt)?;
+            let schema = work.table(&def.table).expect("vertex defs reference tables");
+            typecheck_step_cond(work, cond, schema, &info.display, labels)?;
+        }
+        if register && matches!(v.name, StepName::Named(_)) {
+            steps_by_name.entry(info.display.clone()).or_default().push(info.clone());
+        }
+        Ok(info)
+    };
+
+    // Walk the path: top-level steps build `infos` (aligned with hop
+    // endpoint indices); group hops are checked but not positional.
+    let mut infos: Vec<StepInfo> = vec![check_vstep(&path.head, labels, true)?];
+    let mut hop_edges: Vec<(usize, &ast::EdgeStep)> = Vec::new();
+    for seg in &path.segments {
+        match seg {
+            ast::Segment::Hop { edge, vertex } => {
+                if let Some(l) = &edge.label_def {
+                    if labels.contains_key(&l.name) || edge_labels.contains_key(&l.name) {
+                        return Err(GraqlError::path(format!(
+                            "label {:?} defined twice",
+                            l.name
+                        )));
+                    }
+                    let et = match &edge.name {
+                        StepName::Named(n) => Some(n.clone()),
+                        StepName::Any => None,
+                    };
+                    edge_labels.insert(l.name.clone(), et);
+                }
+                hop_edges.push((infos.len() - 1, edge));
+                infos.push(check_vstep(vertex, labels, true)?);
+            }
+            ast::Segment::Group { hops, exit, .. } => {
+                for (e, hv) in hops {
+                    if matches!(e.name, StepName::Any) && e.cond.is_some() {
+                        return Err(GraqlError::path(
+                            "conditions are not allowed on variant ([ ]) edge steps",
+                        ));
+                    }
+                    if let StepName::Named(n) = &e.name {
+                        work.require_edge(n)?;
+                    }
+                    // Hop vertex: full step checks, but not addressable.
+                    check_vstep(hv, labels, false)?;
+                }
+                match exit {
+                    Some(v) => infos.push(check_vstep(v, labels, true)?),
+                    None => infos.push(StepInfo {
+                        vtype: None,
+                        display: format!("exit{}", infos.len()),
+                    }),
+                }
+            }
+        }
+    }
+
+    // Edge existence + endpoint compatibility for plain hops.
+    for (i, e) in hop_edges {
+        match &e.name {
+            StepName::Any => {
+                if e.cond.is_some() {
+                    return Err(GraqlError::path(
+                        "conditions are not allowed on variant ([ ]) edge steps",
+                    ));
+                }
+            }
+            StepName::Named(n) => {
+                let def = work.require_edge(n)?;
+                let (from, to) = (&infos[i], &infos[i + 1]);
+                let (want_src, want_tgt) = match e.dir {
+                    ast::Dir::Out => (from, to),
+                    ast::Dir::In => (to, from),
+                };
+                if let Some(vt) = &want_src.vtype {
+                    if *vt != def.src_type {
+                        return Err(GraqlError::path(format!(
+                            "edge {n:?} starts at {:?}, not {:?}",
+                            def.src_type, vt
+                        )));
+                    }
+                }
+                if let Some(vt) = &want_tgt.vtype {
+                    if *vt != def.tgt_type {
+                        return Err(GraqlError::path(format!(
+                            "edge {n:?} ends at {:?}, not {:?}",
+                            def.tgt_type, vt
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Type-checks a step condition: unqualified attributes against the step's
+/// own schema, label-qualified attributes against the label's step schema
+/// (when concrete).
+fn typecheck_step_cond(
+    work: &Catalog,
+    cond: &ast::Expr,
+    schema: &TableSchema,
+    display: &str,
+    labels: &FxHashMap<String, (ast::LabelKind, Option<String>)>,
+) -> Result<()> {
+    fn operand_type(
+        work: &Catalog,
+        schema: &TableSchema,
+        display: &str,
+        labels: &FxHashMap<String, (ast::LabelKind, Option<String>)>,
+        o: &ast::Operand,
+    ) -> Result<Option<DataType>> {
+        match o {
+            ast::Operand::Lit(l) => Ok(lit_type(l)),
+            ast::Operand::Attr { qualifier: None, name } => {
+                Ok(Some(schema.column(schema.require(name).map_err(|_| {
+                    GraqlError::name(format!("step {display:?} has no attribute {name:?}"))
+                })?).dtype))
+            }
+            ast::Operand::Attr { qualifier: Some(q), name } => {
+                if q == display {
+                    return Ok(Some(schema.column(schema.require(name)?).dtype));
+                }
+                let Some((_, vt)) = labels.get(q) else {
+                    return Err(GraqlError::name(format!(
+                        "unknown label {q:?} in step condition"
+                    )));
+                };
+                match vt {
+                    None => Ok(None), // variant label: checked at runtime
+                    Some(vt) => {
+                        let def = work.require_vertex(vt)?;
+                        let s = work.table(&def.table).expect("vertex defs reference tables");
+                        Ok(Some(s.column(s.require(name)?).dtype))
+                    }
+                }
+            }
+        }
+    }
+    fn walk(
+        work: &Catalog,
+        schema: &TableSchema,
+        display: &str,
+        labels: &FxHashMap<String, (ast::LabelKind, Option<String>)>,
+        e: &ast::Expr,
+    ) -> Result<()> {
+        match e {
+            ast::Expr::And(ps) | ast::Expr::Or(ps) => {
+                ps.iter().try_for_each(|p| walk(work, schema, display, labels, p))
+            }
+            ast::Expr::Not(inner) => walk(work, schema, display, labels, inner),
+            ast::Expr::Cmp { lhs, rhs, .. } => {
+                let a = operand_type(work, schema, display, labels, lhs)?;
+                let b = operand_type(work, schema, display, labels, rhs)?;
+                if let (Some(a), Some(b)) = (a, b) {
+                    if !a.comparable_with(b) {
+                        return Err(GraqlError::type_error(format!(
+                            "cannot compare {a} with {b}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+    walk(work, schema, display, labels, cond)
+}
+
+fn register_into(
+    work: &mut Catalog,
+    sel: &ast::SelectStmt,
+    schema: Option<TableSchema>,
+) -> Result<()> {
+    match &sel.into {
+        Some(ast::IntoClause::Table(name)) => {
+            let schema = schema.unwrap_or_else(|| TableSchema::new(Vec::new()).expect("empty ok"));
+            work.add_result_table(name, schema)
+        }
+        Some(ast::IntoClause::Subgraph(name)) => work.add_result_subgraph(name),
+        None => Ok(()),
+    }
+}

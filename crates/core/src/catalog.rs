@@ -1,0 +1,287 @@
+//! The metadata catalog (paper §III: "a central metadata repository
+//! (catalog) of all existing database objects (tables, vertices, edges)").
+//!
+//! The catalog holds *definitions only* — schemas and declaration ASTs —
+//! so static analysis (§III-A) can run without touching data. Instance
+//! counts live in [`graql_graph::GraphStats`], refreshed after ingest.
+
+use graql_parser::ast;
+use graql_table::TableSchema;
+use graql_types::{GraqlError, Result};
+use rustc_hash::FxHashMap;
+
+/// Declaration of a vertex type (Eq. 1 ingredients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexDef {
+    pub name: String,
+    pub table: String,
+    pub key: Vec<String>,
+    pub where_clause: Option<ast::Expr>,
+}
+
+/// Declaration of an edge type (Eq. 2 ingredients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeDef {
+    pub name: String,
+    pub src_type: String,
+    pub src_alias: Option<String>,
+    pub tgt_type: String,
+    pub tgt_alias: Option<String>,
+    pub from_tables: Vec<String>,
+    pub where_clause: Option<ast::Expr>,
+}
+
+/// Kind of a named database entity, for §III-A "entity of correct type"
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKind {
+    Table,
+    VertexType,
+    EdgeType,
+    /// A named result registered by `into table`.
+    ResultTable,
+    /// A named result registered by `into subgraph`.
+    ResultSubgraph,
+}
+
+impl std::fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EntityKind::Table => "table",
+            EntityKind::VertexType => "vertex type",
+            EntityKind::EdgeType => "edge type",
+            EntityKind::ResultTable => "result table",
+            EntityKind::ResultSubgraph => "result subgraph",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The front-end metadata catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: FxHashMap<String, TableSchema>,
+    table_order: Vec<String>,
+    vertices: FxHashMap<String, VertexDef>,
+    vertex_order: Vec<String>,
+    edges: FxHashMap<String, EdgeDef>,
+    edge_order: Vec<String>,
+    /// Schemas of named `into table` results (registered as statements are
+    /// analyzed/executed, so later statements can be checked).
+    result_tables: FxHashMap<String, TableSchema>,
+    /// Names of registered `into subgraph` results.
+    result_subgraphs: FxHashMap<String, ()>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// What kind of entity `name` denotes, if any.
+    pub fn kind_of(&self, name: &str) -> Option<EntityKind> {
+        if self.tables.contains_key(name) {
+            Some(EntityKind::Table)
+        } else if self.vertices.contains_key(name) {
+            Some(EntityKind::VertexType)
+        } else if self.edges.contains_key(name) {
+            Some(EntityKind::EdgeType)
+        } else if self.result_tables.contains_key(name) {
+            Some(EntityKind::ResultTable)
+        } else if self.result_subgraphs.contains_key(name) {
+            Some(EntityKind::ResultSubgraph)
+        } else {
+            None
+        }
+    }
+
+    fn check_fresh(&self, name: &str) -> Result<()> {
+        if let Some(kind) = self.kind_of(name) {
+            return Err(GraqlError::name(format!("{name:?} already exists as a {kind}")));
+        }
+        Ok(())
+    }
+
+    // -- tables --------------------------------------------------------------
+
+    pub fn add_table(&mut self, name: &str, schema: TableSchema) -> Result<()> {
+        self.check_fresh(name)?;
+        self.tables.insert(name.to_string(), schema);
+        self.table_order.push(name.to_string());
+        Ok(())
+    }
+
+    /// Schema of a base table (not results).
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name)
+    }
+
+    /// Schema of a base table *or* a named result table — what a
+    /// `from table X` reference may denote.
+    pub fn any_table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name).or_else(|| self.result_tables.get(name))
+    }
+
+    pub fn require_any_table(&self, name: &str) -> Result<&TableSchema> {
+        self.any_table(name).ok_or_else(|| match self.kind_of(name) {
+            Some(kind) => {
+                GraqlError::type_error(format!("{name:?} is a {kind}, not a table"))
+            }
+            None => GraqlError::name(format!("unknown table {name:?}")),
+        })
+    }
+
+    pub fn table_names(&self) -> &[String] {
+        &self.table_order
+    }
+
+    // -- vertex / edge types ---------------------------------------------------
+
+    pub fn add_vertex(&mut self, def: VertexDef) -> Result<()> {
+        self.check_fresh(&def.name)?;
+        self.vertex_order.push(def.name.clone());
+        self.vertices.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    pub fn vertex(&self, name: &str) -> Option<&VertexDef> {
+        self.vertices.get(name)
+    }
+
+    pub fn require_vertex(&self, name: &str) -> Result<&VertexDef> {
+        self.vertex(name).ok_or_else(|| match self.kind_of(name) {
+            Some(kind) => {
+                GraqlError::type_error(format!("{name:?} is a {kind}, not a vertex type"))
+            }
+            None => GraqlError::name(format!("unknown vertex type {name:?}")),
+        })
+    }
+
+    pub fn vertex_names(&self) -> &[String] {
+        &self.vertex_order
+    }
+
+    pub fn add_edge(&mut self, def: EdgeDef) -> Result<()> {
+        self.check_fresh(&def.name)?;
+        self.edge_order.push(def.name.clone());
+        self.edges.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    pub fn edge(&self, name: &str) -> Option<&EdgeDef> {
+        self.edges.get(name)
+    }
+
+    pub fn require_edge(&self, name: &str) -> Result<&EdgeDef> {
+        self.edge(name).ok_or_else(|| match self.kind_of(name) {
+            Some(kind) => {
+                GraqlError::type_error(format!("{name:?} is a {kind}, not an edge type"))
+            }
+            None => GraqlError::name(format!("unknown edge type {name:?}")),
+        })
+    }
+
+    pub fn edge_names(&self) -> &[String] {
+        &self.edge_order
+    }
+
+    // -- named results ----------------------------------------------------------
+
+    /// Registers (or replaces) a named `into table` result schema.
+    /// Re-registration under the same result name is allowed (re-running a
+    /// query), but shadowing a base table is not.
+    pub fn add_result_table(&mut self, name: &str, schema: TableSchema) -> Result<()> {
+        match self.kind_of(name) {
+            None | Some(EntityKind::ResultTable) => {
+                self.result_tables.insert(name.to_string(), schema);
+                Ok(())
+            }
+            Some(kind) => {
+                Err(GraqlError::name(format!("{name:?} already exists as a {kind}")))
+            }
+        }
+    }
+
+    pub fn add_result_subgraph(&mut self, name: &str) -> Result<()> {
+        match self.kind_of(name) {
+            None | Some(EntityKind::ResultSubgraph) => {
+                self.result_subgraphs.insert(name.to_string(), ());
+                Ok(())
+            }
+            Some(kind) => {
+                Err(GraqlError::name(format!("{name:?} already exists as a {kind}")))
+            }
+        }
+    }
+
+    pub fn has_result_subgraph(&self, name: &str) -> bool {
+        self.result_subgraphs.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_types::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema::of(&[("id", DataType::Varchar(10))])
+    }
+
+    #[test]
+    fn entity_kinds_share_a_namespace() {
+        let mut c = Catalog::new();
+        c.add_table("Products", schema()).unwrap();
+        c.add_vertex(VertexDef {
+            name: "ProductVtx".into(),
+            table: "Products".into(),
+            key: vec!["id".into()],
+            where_clause: None,
+        })
+        .unwrap();
+        assert_eq!(c.kind_of("Products"), Some(EntityKind::Table));
+        assert_eq!(c.kind_of("ProductVtx"), Some(EntityKind::VertexType));
+        // A vertex type may not reuse a table name and vice versa.
+        assert!(c.add_table("ProductVtx", schema()).is_err());
+        assert!(c
+            .add_vertex(VertexDef {
+                name: "Products".into(),
+                table: "Products".into(),
+                key: vec!["id".into()],
+                where_clause: None,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_kind_errors_mention_actual_kind() {
+        let mut c = Catalog::new();
+        c.add_table("T", schema()).unwrap();
+        let err = c.require_vertex("T").unwrap_err();
+        assert!(err.to_string().contains("is a table"), "{err}");
+        let err = c.require_any_table("nope").unwrap_err();
+        assert!(matches!(err, GraqlError::Name(_)));
+    }
+
+    #[test]
+    fn result_tables_are_visible_as_tables() {
+        let mut c = Catalog::new();
+        c.add_result_table("T1", schema()).unwrap();
+        assert!(c.any_table("T1").is_some());
+        assert!(c.table("T1").is_none(), "results are not base tables");
+        // Re-registration is fine (query re-run)…
+        c.add_result_table("T1", schema()).unwrap();
+        // …but shadowing a base table is not.
+        c.add_table("Base", schema()).unwrap();
+        assert!(c.add_result_table("Base", schema()).is_err());
+    }
+
+    #[test]
+    fn result_subgraphs_tracked() {
+        let mut c = Catalog::new();
+        c.add_result_subgraph("resQ1").unwrap();
+        assert!(c.has_result_subgraph("resQ1"));
+        assert_eq!(c.kind_of("resQ1"), Some(EntityKind::ResultSubgraph));
+        assert!(c.add_table("resQ1", schema()).is_err());
+    }
+}

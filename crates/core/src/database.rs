@@ -1,0 +1,335 @@
+//! The embedded GraQL database: catalog + tabular storage + graph views +
+//! named results, with script execution on top.
+//!
+//! Mirrors the paper's GEMS structure in-process: the catalog plays the
+//! front-end server's metadata repository; the storage/graph pair is the
+//! backend's in-memory data; `graql-cluster` adds the multi-node version.
+
+use std::path::{Path, PathBuf};
+
+use graql_graph::{Graph, GraphStats, Subgraph};
+use graql_parser::ast::{self, Stmt};
+use graql_table::{Table, TableSchema};
+use graql_types::{GraqlError, Result, Value};
+use rustc_hash::FxHashMap;
+
+use crate::catalog::{Catalog, EdgeDef, VertexDef};
+use crate::cond::Params;
+use crate::ddl::{build_graph, Storage};
+use crate::exec::relational::execute_table_select;
+use crate::exec::results::{execute_graph_select, QueryOutput};
+use crate::exec::ExecCtx;
+use crate::plan::ExecConfig;
+
+pub use crate::plan::PlanMode;
+
+/// Output of executing one statement.
+#[derive(Debug, Clone)]
+pub enum StmtOutput {
+    /// DDL executed (`create …`).
+    Created(String),
+    /// `ingest` executed: table name and rows added.
+    Ingested { table: String, rows: usize },
+    /// A select produced a table (possibly also registered by name).
+    Table(Table),
+    /// A select produced a subgraph.
+    Subgraph(Subgraph),
+    /// The statement was fused into the next one (pipelined execution,
+    /// §III-B1): its intermediate result was never materialized.
+    Pipelined,
+}
+
+/// An embedded attributed-graph database speaking GraQL.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    storage: Storage,
+    graph: Option<Graph>,
+    stats: Option<GraphStats>,
+    result_tables: FxHashMap<String, Table>,
+    result_subgraphs: FxHashMap<String, Subgraph>,
+    params: Params,
+    config: ExecConfig,
+    /// Directory `ingest` paths resolve against.
+    data_dir: PathBuf,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Sets the directory ingest file paths are resolved against.
+    pub fn set_data_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.data_dir = dir.into();
+    }
+
+    /// Binds a `%name%` parameter for subsequent queries.
+    pub fn set_param(&mut self, name: impl Into<String>, value: Value) {
+        self.params.insert(name.into(), value);
+    }
+
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    pub fn config_mut(&mut self) -> &mut ExecConfig {
+        &mut self.config
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The current graph views (building them on first use).
+    pub fn graph(&mut self) -> Result<&Graph> {
+        self.ensure_graph()?;
+        Ok(self.graph.as_ref().expect("just built"))
+    }
+
+    /// Current statistics snapshot (§III-B), building graph+stats if
+    /// needed.
+    pub fn stats(&mut self) -> Result<&GraphStats> {
+        self.ensure_graph()?;
+        if self.stats.is_none() {
+            self.stats = Some(GraphStats::compute(self.graph.as_ref().expect("built")));
+        }
+        Ok(self.stats.as_ref().expect("just computed"))
+    }
+
+    /// A base table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.storage.get(name)
+    }
+
+    /// The table storage (for backends layered on this database, e.g. the
+    /// simulated cluster).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// The graph views if already built (immutable; use [`Database::graph`]
+    /// to force a build).
+    pub fn graph_ref(&self) -> Option<&Graph> {
+        self.graph.as_ref()
+    }
+
+    /// The bound query parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// A named `into table` result.
+    pub fn result_table(&self, name: &str) -> Option<&Table> {
+        self.result_tables.get(name)
+    }
+
+    /// A named `into subgraph` result.
+    pub fn result_subgraph(&self, name: &str) -> Option<&Subgraph> {
+        self.result_subgraphs.get(name)
+    }
+
+    fn graph_dirty(&mut self) {
+        self.graph = None;
+        self.stats = None;
+    }
+
+    fn ensure_graph(&mut self) -> Result<()> {
+        if self.graph.is_none() {
+            self.graph = Some(build_graph(&self.catalog, &self.storage, &self.params)?);
+        }
+        Ok(())
+    }
+
+    /// Parses and executes a full script sequentially, returning one
+    /// output per statement. (See [`crate::script`] for the
+    /// dependence-scheduled parallel variant.)
+    pub fn execute_script(&mut self, text: &str) -> Result<Vec<StmtOutput>> {
+        let script = graql_parser::parse(text)?;
+        crate::analyze::analyze_script(&self.catalog, &script)?;
+        script.statements.iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Parses and executes a single statement.
+    pub fn execute_str(&mut self, text: &str) -> Result<StmtOutput> {
+        let stmt = graql_parser::parse_statement(text)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes one (already parsed) statement.
+    pub fn execute(&mut self, stmt: &Stmt) -> Result<StmtOutput> {
+        match stmt {
+            Stmt::CreateTable(ct) => {
+                let schema = TableSchema::new(
+                    ct.columns
+                        .iter()
+                        .map(|(n, t)| graql_table::ColumnDef::new(n, t.to_data_type()))
+                        .collect(),
+                )?;
+                self.catalog.add_table(&ct.name, schema.clone())?;
+                self.storage.insert(ct.name.clone(), Table::empty(schema));
+                Ok(StmtOutput::Created(ct.name.clone()))
+            }
+            Stmt::CreateVertex(cv) => {
+                let schema = self
+                    .catalog
+                    .table(&cv.from_table)
+                    .ok_or_else(|| GraqlError::name(format!("unknown table {:?}", cv.from_table)))?;
+                for k in &cv.key {
+                    schema.require(k)?;
+                }
+                self.catalog.add_vertex(VertexDef {
+                    name: cv.name.clone(),
+                    table: cv.from_table.clone(),
+                    key: cv.key.clone(),
+                    where_clause: cv.where_clause.clone(),
+                })?;
+                self.graph_dirty();
+                Ok(StmtOutput::Created(cv.name.clone()))
+            }
+            Stmt::CreateEdge(ce) => {
+                self.catalog.require_vertex(&ce.source.vertex_type)?;
+                self.catalog.require_vertex(&ce.target.vertex_type)?;
+                for t in &ce.from_tables {
+                    self.catalog.require_any_table(t)?;
+                }
+                self.catalog.add_edge(EdgeDef {
+                    name: ce.name.clone(),
+                    src_type: ce.source.vertex_type.clone(),
+                    src_alias: ce.source.alias.clone(),
+                    tgt_type: ce.target.vertex_type.clone(),
+                    tgt_alias: ce.target.alias.clone(),
+                    from_tables: ce.from_tables.clone(),
+                    where_clause: ce.where_clause.clone(),
+                })?;
+                self.graph_dirty();
+                Ok(StmtOutput::Created(ce.name.clone()))
+            }
+            Stmt::Ingest(ing) => {
+                let rows = {
+                    let path = self.resolve_path(&ing.path);
+                    let text = std::fs::read_to_string(&path).map_err(|e| {
+                        GraqlError::ingest(format!("cannot read {}: {e}", path.display()))
+                    })?;
+                    self.ingest_str(&ing.table, &text)?
+                };
+                Ok(StmtOutput::Ingested { table: ing.table.clone(), rows })
+            }
+            Stmt::Select(sel) => {
+                self.ensure_graph()?;
+                let out = self.execute_select(sel)?;
+                self.register_result(sel, out)
+            }
+        }
+    }
+
+    fn resolve_path(&self, p: &str) -> PathBuf {
+        let path = Path::new(p);
+        if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            self.data_dir.join(path)
+        }
+    }
+
+    /// Ingests CSV text directly into a table (the file-less variant used
+    /// by tests and generators). Atomic: on any error the table is
+    /// unchanged. Triggers regeneration of the graph views.
+    pub fn ingest_str(&mut self, table: &str, csv: &str) -> Result<usize> {
+        let t = self
+            .storage
+            .get(table)
+            .ok_or_else(|| GraqlError::name(format!("unknown table {table:?}")))?;
+        let mut staged = t.clone();
+        let rows = graql_table::csv::ingest_str(&mut staged, csv)?;
+        self.storage.insert(table.to_string(), staged);
+        self.graph_dirty();
+        Ok(rows)
+    }
+
+    /// Renders the execution plan of a (graph) select statement without
+    /// running it to completion — the §III-B planning decisions made
+    /// visible. Table selects get a one-line summary.
+    pub fn explain_str(&mut self, text: &str) -> Result<String> {
+        let stmt = graql_parser::parse_statement(text)?;
+        let ast::Stmt::Select(sel) = &stmt else {
+            return Err(GraqlError::exec("only select statements can be explained"));
+        };
+        self.ensure_graph()?;
+        let graph = self.graph.as_ref().expect("just built");
+        let ctx = crate::exec::ExecCtx {
+            graph,
+            storage: &self.storage,
+            result_tables: &self.result_tables,
+            result_subgraphs: &self.result_subgraphs,
+            config: &self.config,
+            params: &self.params,
+        };
+        match &sel.source {
+            ast::SelectSource::Graph(_) => crate::exec::explain::explain_graph_select(&ctx, sel),
+            ast::SelectSource::Table(t) => Ok(format!(
+                "table scan on {t}{}{}{}\n",
+                if sel.where_clause.is_some() { " + filter" } else { "" },
+                if sel.has_aggregates() || !sel.group_by.is_empty() { " + aggregate" } else { "" },
+                if !sel.order_by.is_empty() { " + sort" } else { "" },
+            )),
+        }
+    }
+
+    /// An execution context over the current state (graph must already be
+    /// built).
+    pub(crate) fn exec_ctx(&self) -> Result<ExecCtx<'_>> {
+        let graph = self
+            .graph
+            .as_ref()
+            .ok_or_else(|| GraqlError::exec("internal: graph not built before select"))?;
+        Ok(ExecCtx {
+            graph,
+            storage: &self.storage,
+            result_tables: &self.result_tables,
+            result_subgraphs: &self.result_subgraphs,
+            config: &self.config,
+            params: &self.params,
+        })
+    }
+
+    /// Executes a select against the current (already built) graph and
+    /// storage, without registering the result — immutable, so script
+    /// scheduling can run independent selects in parallel.
+    pub fn execute_select(&self, sel: &ast::SelectStmt) -> Result<QueryOutput> {
+        let ctx = self.exec_ctx()?;
+        match &sel.source {
+            ast::SelectSource::Graph(_) => execute_graph_select(&ctx, sel),
+            ast::SelectSource::Table(_) => Ok(QueryOutput::Table(execute_table_select(&ctx, sel)?)),
+        }
+    }
+
+    /// Registers a select's output under its `into` name (if any) and
+    /// wraps it as a statement output.
+    pub fn register_result(
+        &mut self,
+        sel: &ast::SelectStmt,
+        out: QueryOutput,
+    ) -> Result<StmtOutput> {
+        match (&sel.into, out) {
+            (Some(ast::IntoClause::Table(name)), QueryOutput::Table(t)) => {
+                self.catalog.add_result_table(name, t.schema().clone())?;
+                self.result_tables.insert(name.clone(), t.clone());
+                Ok(StmtOutput::Table(t))
+            }
+            (Some(ast::IntoClause::Subgraph(name)), QueryOutput::Subgraph(s)) => {
+                self.catalog.add_result_subgraph(name)?;
+                self.result_subgraphs.insert(name.clone(), s.clone());
+                Ok(StmtOutput::Subgraph(s))
+            }
+            (None, QueryOutput::Table(t)) => Ok(StmtOutput::Table(t)),
+            (None, QueryOutput::Subgraph(s)) => Ok(StmtOutput::Subgraph(s)),
+            (Some(ast::IntoClause::Table(_)), QueryOutput::Subgraph(_)) => Err(
+                GraqlError::type_error("'select *' over a graph captures 'into subgraph', not 'into table'"),
+            ),
+            (Some(ast::IntoClause::Subgraph(_)), QueryOutput::Table(_)) => Err(
+                GraqlError::type_error("attribute/table selections capture 'into table', not 'into subgraph'"),
+            ),
+        }
+    }
+}

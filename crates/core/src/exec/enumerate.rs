@@ -1,0 +1,276 @@
+//! Binding enumeration: depth-first expansion of concrete path matches
+//! over the culled candidate sets, in planner-chosen order.
+//!
+//! Set-level results (Eq. 5) answer "which vertices participate in a
+//! match"; bindings answer "what are the matches" — required for table
+//! results (Fig. 13: one row per match, duplicates meaningful — Berlin Q2
+//! counts them), element-wise labels and cross-step conditions.
+
+use graql_graph::{ETypeId, VTypeId};
+use graql_table::BitSet;
+use graql_types::{GraqlError, Result, Value};
+use rustc_hash::FxHashMap;
+
+use graql_parser::ast::LabelKind;
+
+use crate::compile::{BOperand, BindingCond, CLink, CPath};
+use crate::exec::cand::Cand;
+use crate::exec::expand::extensions_of;
+use crate::exec::ExecCtx;
+
+/// One concrete match of a single path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Binding {
+    /// Bound vertex instance per vertex step.
+    pub v: Vec<(VTypeId, u32)>,
+    /// Bound edge instance per link.
+    pub e: Vec<(ETypeId, u32)>,
+}
+
+/// A constraint checked during enumeration, attached to the step at which
+/// all its dependencies are bound.
+enum Check<'a> {
+    /// `foreach` label: the two steps must bind the *same instance*.
+    EqualInstance(usize, usize),
+    /// `def` (set) label over a type-matched step: "the type of the label
+    /// becomes bound at matching time" (§II-B4) — the reference must bind
+    /// the *same vertex type* as the definition.
+    EqualType(usize, usize),
+    /// Cross-step attribute condition (within this path).
+    Cond(&'a BindingCond),
+}
+
+/// Evaluates a binding-level operand against a (partially) bound path.
+fn operand_value(
+    ctx: &ExecCtx<'_>,
+    op: &BOperand,
+    vstep_of_addr: &dyn Fn(crate::compile::StepAddr) -> usize,
+    bound: &[Option<(VTypeId, u32)>],
+) -> Result<Value> {
+    match op {
+        BOperand::Const(v) => Ok(v.clone()),
+        BOperand::Attr { addr, name } => {
+            let (vt, idx) =
+                bound[vstep_of_addr(*addr)].expect("checks run only when deps are bound");
+            ctx.vattr(vt, idx, name)
+        }
+    }
+}
+
+/// Evaluates a [`BindingCond`] whose dependencies live in one path.
+pub fn eval_cond_in_path(
+    ctx: &ExecCtx<'_>,
+    cond: &BindingCond,
+    path_idx: usize,
+    bound: &[Option<(VTypeId, u32)>],
+) -> Result<bool> {
+    let to_vstep = |addr: crate::compile::StepAddr| {
+        debug_assert_eq!(addr.path, path_idx);
+        addr.vstep
+    };
+    let l = operand_value(ctx, &cond.lhs, &to_vstep, bound)?;
+    let r = operand_value(ctx, &cond.rhs, &to_vstep, bound)?;
+    Ok(cond.op.eval(&l, &r))
+}
+
+/// Enumerates all bindings of `path` over culled candidates `cands`,
+/// invoking `on_binding` for each (row cap from the exec config).
+///
+/// `order` must be a contiguous binding order (every step adjacent to the
+/// already-bound region) — see [`crate::plan::choose_order`].
+pub fn enumerate_path(
+    ctx: &ExecCtx<'_>,
+    path: &CPath,
+    path_idx: usize,
+    cands: &[Cand],
+    efilters: &[FxHashMap<ETypeId, BitSet>],
+    order: &[usize],
+    mut on_binding: impl FnMut(Binding) -> Result<()>,
+) -> Result<()> {
+    let n = path.vsteps.len();
+    assert_eq!(order.len(), n);
+    if path.has_groups() {
+        return Err(GraqlError::exec(
+            "internal: binding enumeration over path regular expressions is not defined",
+        ));
+    }
+
+    // Position of each step in the order.
+    let mut pos_of = vec![0usize; n];
+    for (d, &s) in order.iter().enumerate() {
+        pos_of[s] = d;
+    }
+
+    // Attach checks to the depth at which they become decidable.
+    let mut checks_at: Vec<Vec<Check<'_>>> = (0..n).map(|_| Vec::new()).collect();
+    for (j, step) in path.vsteps.iter().enumerate() {
+        for bc in &step.binding_conds {
+            let deps = bc.deps();
+            if deps.iter().all(|a| a.path == path_idx) {
+                let depth = deps
+                    .iter()
+                    .map(|a| pos_of[a.vstep])
+                    .chain([pos_of[j]])
+                    .max()
+                    .unwrap_or(0);
+                checks_at[depth].push(Check::Cond(bc));
+            }
+        }
+    }
+    // Label-reference pairs within this path.
+    for (j, step) in path.vsteps.iter().enumerate() {
+        if step.label_ref.is_none() {
+            continue;
+        }
+        if let Some((def_vstep, kind)) = step_label_target(path, j) {
+            let depth = pos_of[def_vstep].max(pos_of[j]);
+            match kind {
+                LabelKind::Each => checks_at[depth].push(Check::EqualInstance(def_vstep, j)),
+                LabelKind::Set => checks_at[depth].push(Check::EqualType(def_vstep, j)),
+            }
+        }
+    }
+
+    let mut vbind: Vec<Option<(VTypeId, u32)>> = vec![None; n];
+    let mut ebind: Vec<Option<(ETypeId, u32)>> = vec![None; n.saturating_sub(1)];
+
+    struct Dfs<'c, 'p, F: FnMut(Binding) -> Result<()>> {
+        ctx: &'c ExecCtx<'c>,
+        path: &'p CPath,
+        path_idx: usize,
+        cands: &'p [Cand],
+        efilters: &'p [FxHashMap<ETypeId, BitSet>],
+        order: &'p [usize],
+        checks_at: &'p [Vec<Check<'p>>],
+        on_binding: F,
+        produced: usize,
+        max_rows: usize,
+    }
+
+    impl<F: FnMut(Binding) -> Result<()>> Dfs<'_, '_, F> {
+        fn run_checks(
+            &mut self,
+            depth: usize,
+            vbind: &[Option<(VTypeId, u32)>],
+        ) -> Result<bool> {
+            for chk in &self.checks_at[depth] {
+                match chk {
+                    Check::EqualInstance(a, b) => {
+                        if vbind[*a] != vbind[*b] {
+                            return Ok(false);
+                        }
+                    }
+                    Check::EqualType(a, b) => {
+                        match (vbind[*a], vbind[*b]) {
+                            (Some((ta, _)), Some((tb, _))) if ta != tb => return Ok(false),
+                            _ => {}
+                        }
+                    }
+                    Check::Cond(bc) => {
+                        if !eval_cond_in_path(self.ctx, bc, self.path_idx, vbind)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        }
+
+        fn recurse(
+            &mut self,
+            depth: usize,
+            vbind: &mut Vec<Option<(VTypeId, u32)>>,
+            ebind: &mut Vec<Option<(ETypeId, u32)>>,
+        ) -> Result<()> {
+            let n = self.path.vsteps.len();
+            if depth == n {
+                self.produced += 1;
+                if self.produced > self.max_rows {
+                    return Err(GraqlError::exec(format!(
+                        "query produced more than {} rows; raise ExecConfig::max_rows",
+                        self.max_rows
+                    )));
+                }
+                let b = Binding {
+                    v: vbind.iter().map(|x| x.expect("complete binding")).collect(),
+                    e: ebind.iter().map(|x| x.expect("complete binding")).collect(),
+                };
+                return (self.on_binding)(b);
+            }
+            let s = self.order[depth];
+            if depth == 0 {
+                for (&vt, set) in &self.cands[s] {
+                    for v in set.iter() {
+                        vbind[s] = Some((vt, v as u32));
+                        if self.run_checks(depth, vbind)? {
+                            self.recurse(depth + 1, vbind, ebind)?;
+                        }
+                    }
+                }
+                vbind[s] = None;
+                return Ok(());
+            }
+            // Exactly one neighbor of s is already bound (contiguous order).
+            let (neighbor, forward) = if s > 0 && vbind[s - 1].is_some() {
+                (s - 1, true)
+            } else {
+                (s + 1, false)
+            };
+            let link_idx = neighbor.min(s);
+            let CLink::Edge(estep) = &self.path.links[link_idx] else {
+                return Err(GraqlError::exec("internal: group link in enumeration"));
+            };
+            let bound = vbind[neighbor].expect("neighbor bound");
+            // Collect extensions first (extensions_of borrows ctx, not us).
+            let mut exts: Vec<(ETypeId, u32, VTypeId, u32)> = Vec::new();
+            extensions_of(
+                self.ctx,
+                bound,
+                estep,
+                &self.efilters[link_idx],
+                &self.cands[s],
+                forward,
+                |et, e, vt, v| exts.push((et, e, vt, v)),
+            );
+            for (et, e, vt, v) in exts {
+                vbind[s] = Some((vt, v));
+                ebind[link_idx] = Some((et, e));
+                if self.run_checks(depth, vbind)? {
+                    self.recurse(depth + 1, vbind, ebind)?;
+                }
+            }
+            vbind[s] = None;
+            ebind[link_idx] = None;
+            Ok(())
+        }
+    }
+
+    let mut dfs = Dfs {
+        ctx,
+        path,
+        path_idx,
+        cands,
+        efilters,
+        order,
+        checks_at: &checks_at,
+        on_binding: &mut on_binding,
+        produced: 0,
+        max_rows: ctx.config.max_rows,
+    };
+    dfs.recurse(0, &mut vbind, &mut ebind)
+}
+
+/// If step `j` is a label reference, returns the defining vertex step
+/// *within the same path* and the label kind (cross-path definitions
+/// return `None`; they are join keys, not in-path checks).
+fn step_label_target(path: &CPath, j: usize) -> Option<(usize, LabelKind)> {
+    let name = path.vsteps[j].label_ref.as_ref()?;
+    for (i, v) in path.vsteps.iter().enumerate() {
+        if let Some((kind, n)) = &v.label_def {
+            if n == name {
+                return Some((i, *kind));
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,93 @@
+//! Query plan explanation: a textual rendering of the §III-B planning
+//! decisions — per-step candidate counts before and after culling, the
+//! traversal direction of each hop over the bidirectional index, and the
+//! chosen enumeration order.
+
+use std::fmt::Write as _;
+
+use graql_parser::ast::{self, Dir};
+use graql_types::{GraqlError, Result};
+
+use crate::compile::{CLink, CPath};
+use crate::exec::cand::cand_count;
+use crate::exec::query::run_query;
+use crate::exec::ExecCtx;
+use crate::plan::choose_order;
+
+/// Renders the execution plan of a graph select.
+pub fn explain_graph_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<String> {
+    let ast::SelectSource::Graph(comp) = &sel.source else {
+        return Err(GraqlError::exec("internal: not a graph select"));
+    };
+    let mut out = String::new();
+    let branches = crate::compile::or_branches(comp)?;
+    for (bi, branch) in branches.iter().enumerate() {
+        if branches.len() > 1 {
+            let _ = writeln!(out, "or-branch {bi}:");
+        }
+        // Set-level run (no bindings) gives the culled candidate counts.
+        let qr = run_query(ctx, branch, false)?;
+        for (pi, p) in qr.cquery.paths.iter().enumerate() {
+            let _ = writeln!(out, "  path {pi}:");
+            for (vi, v) in p.vsteps.iter().enumerate() {
+                let culled = cand_count(&qr.cands[pi][vi]);
+                let types: Vec<&str> = v
+                    .domain
+                    .iter()
+                    .map(|&vt| ctx.graph.vset(vt).name.as_str())
+                    .collect();
+                let label = match (&v.label_def, &v.label_ref) {
+                    (Some((k, n)), _) => format!(" [{k:?} label {n}]"),
+                    (_, Some(n)) => format!(" [ref {n}]"),
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    v{vi} {} :: {{{}}}{} — {} candidates after culling",
+                    v.display,
+                    types.join(", "),
+                    label,
+                    culled
+                );
+                if vi < p.links.len() {
+                    let _ = writeln!(out, "    {}", describe_link(ctx, p, vi));
+                }
+            }
+            let counts: Vec<usize> = qr.cands[pi].iter().map(cand_count).collect();
+            let order = choose_order(&counts, ctx.config.plan_mode);
+            let _ = writeln!(
+                out,
+                "    enumeration order ({:?}): {:?}",
+                ctx.config.plan_mode, order
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn describe_link(ctx: &ExecCtx<'_>, p: &CPath, li: usize) -> String {
+    match &p.links[li] {
+        CLink::Edge(e) => {
+            let names: Vec<&str> = match &e.domain {
+                Some(d) => d.iter().map(|&et| ctx.graph.eset(et).name.as_str()).collect(),
+                None => vec!["[]"],
+            };
+            let (arrow, index) = match e.dir {
+                Dir::Out => ("--%-->", "forward index"),
+                Dir::In => ("<--%--", "reverse index"),
+            };
+            format!(
+                "{} via {} ({})",
+                arrow.replace('%', &names.join("|")),
+                index,
+                if e.local.is_empty() { "no edge filter" } else { "filtered" }
+            )
+        }
+        CLink::Group(g) => format!(
+            "{{ {} hops }} repeated {}..={} (set-level BFS)",
+            g.hops.len(),
+            g.lo,
+            g.hi
+        ),
+    }
+}

@@ -1,0 +1,60 @@
+//! Query execution: path matching and relational statements.
+
+pub mod cand;
+pub mod explain;
+pub mod pipeline;
+pub mod enumerate;
+pub mod expand;
+pub mod query;
+pub mod regex;
+pub mod relational;
+pub mod results;
+
+use graql_graph::{Graph, Subgraph, VTypeId};
+use graql_table::Table;
+use graql_types::{GraqlError, Result, Value};
+use rustc_hash::FxHashMap;
+
+use crate::cond::Params;
+use crate::ddl::Storage;
+use crate::plan::ExecConfig;
+
+/// Everything a query needs to execute, borrowed from the database.
+pub struct ExecCtx<'a> {
+    pub graph: &'a Graph,
+    pub storage: &'a Storage,
+    pub result_tables: &'a FxHashMap<String, Table>,
+    pub result_subgraphs: &'a FxHashMap<String, Subgraph>,
+    pub config: &'a ExecConfig,
+    pub params: &'a Params,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Source table of a vertex type.
+    pub fn vtable(&self, vt: VTypeId) -> &'a Table {
+        self.storage
+            .get(&self.graph.vset(vt).table)
+            .expect("graph views reference existing tables")
+    }
+
+    /// Attribute `name` of vertex `idx` of type `vt`.
+    pub fn vattr(&self, vt: VTypeId, idx: u32, name: &str) -> Result<Value> {
+        let vset = self.graph.vset(vt);
+        let table = self.vtable(vt);
+        let col = table.schema().require(name).map_err(|_| {
+            GraqlError::name(format!(
+                "vertex type {} has no attribute {name:?}",
+                vset.name
+            ))
+        })?;
+        vset.attr(table, idx, col)
+    }
+
+    /// A table by name: base storage first, then named results.
+    pub fn any_table(&self, name: &str) -> Result<&'a Table> {
+        self.storage
+            .get(name)
+            .or_else(|| self.result_tables.get(name))
+            .ok_or_else(|| GraqlError::name(format!("unknown table {name:?}")))
+    }
+}

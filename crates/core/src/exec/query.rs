@@ -1,0 +1,364 @@
+//! Whole-query driver: candidates → culling → (optional) binding
+//! enumeration and multi-path joins.
+
+use graql_graph::{ETypeId, VTypeId};
+use graql_parser::ast;
+use graql_table::BitSet;
+use graql_types::{GraqlError, Result};
+use rustc_hash::FxHashMap;
+
+use graql_parser::ast::LabelKind;
+
+use crate::compile::{compile_query, BindingCond, CLink, CQuery, CompileCtx, StepAddr};
+use crate::exec::cand::{cand_count, edge_filters, local_candidates, Cand};
+use crate::exec::enumerate::{enumerate_path, Binding};
+use crate::exec::expand::expand;
+use crate::exec::regex::group_frontier;
+use crate::exec::ExecCtx;
+use crate::plan::choose_order;
+
+/// One concrete match across all paths of an and-composition.
+#[derive(Debug, Clone)]
+pub struct MultiBinding {
+    pub per_path: Vec<Binding>,
+}
+
+/// The result of running one and-composition.
+pub struct QueryRun {
+    pub cquery: CQuery,
+    /// Culled candidate sets, per path per vertex step.
+    pub cands: Vec<Vec<Cand>>,
+    /// Edge filters, per path per link (empty map = all pass).
+    pub efilters: Vec<Vec<FxHashMap<ETypeId, BitSet>>>,
+    /// Joined bindings (present only when requested).
+    pub bindings: Option<Vec<MultiBinding>>,
+}
+
+impl QueryRun {
+    /// The bound instance at `addr` in a multi-binding.
+    pub fn instance(b: &MultiBinding, addr: StepAddr) -> (VTypeId, u32) {
+        b.per_path[addr.path].v[addr.vstep]
+    }
+}
+
+/// Compiles and runs an and-composition.
+pub fn run_query(
+    ctx: &ExecCtx<'_>,
+    paths: &[&ast::PathQuery],
+    need_bindings: bool,
+) -> Result<QueryRun> {
+    let cctx = CompileCtx {
+        graph: ctx.graph,
+        storage: ctx.storage,
+        params: ctx.params,
+        regex_cap: ctx.config.regex_cap,
+    };
+    let cquery = compile_query(&cctx, paths)?;
+
+    // Local candidates + edge filters.
+    let mut cands: Vec<Vec<Cand>> = Vec::new();
+    let mut efilters: Vec<Vec<FxHashMap<ETypeId, BitSet>>> = Vec::new();
+    for p in &cquery.paths {
+        let mut pc = Vec::new();
+        for v in &p.vsteps {
+            pc.push(local_candidates(ctx, v)?);
+        }
+        cands.push(pc);
+        let mut pe = Vec::new();
+        for l in &p.links {
+            match l {
+                CLink::Edge(e) => pe.push(edge_filters(ctx, e)?),
+                CLink::Group(_) => pe.push(FxHashMap::default()),
+            }
+        }
+        efilters.push(pe);
+    }
+
+    // Label restriction (Eq. 6–8): per Eq. 7 a referencing step behaves
+    // as if it repeated the defining step's type and condition, so it is
+    // restricted by the definition's *local* candidate set (snapshotted
+    // before culling — using the culled set would be circular and
+    // over-restrict, e.g. Eq. 12's structural query). Same-instance /
+    // same-type semantics are enforced at binding time.
+    let label_local: FxHashMap<String, Cand> = cquery
+        .labels
+        .iter()
+        .map(|(n, i)| (n.clone(), cands[i.def.path][i.def.vstep].clone()))
+        .collect();
+    apply_label_restriction(&cquery, &mut cands, &label_local);
+
+    // For set-level results the semi-join sweeps ARE the semantics of
+    // Eq. 5; only binding-level execution can treat them as an optional
+    // pre-filter (enumeration re-checks every hop). The culling ablation
+    // flag therefore only applies when bindings are produced.
+    if ctx.config.culling || !need_bindings {
+        cull_to_fixpoint(ctx, &cquery, &mut cands, &efilters)?;
+    }
+
+    let bindings = if need_bindings {
+        Some(produce_bindings(ctx, &cquery, &cands, &efilters)?)
+    } else {
+        None
+    };
+
+    Ok(QueryRun { cquery, cands, efilters, bindings })
+}
+
+/// `cand[ref] ∩= local(def)` for every label reference.
+fn apply_label_restriction(
+    q: &CQuery,
+    cands: &mut [Vec<Cand>],
+    label_local: &FxHashMap<String, Cand>,
+) {
+    for (pi, p) in q.paths.iter().enumerate() {
+        for (vi, v) in p.vsteps.iter().enumerate() {
+            let Some(name) = &v.label_ref else { continue };
+            let Some(def_set) = label_local.get(name) else { continue };
+            let here = &mut cands[pi][vi];
+            for (vt, set) in here.iter_mut() {
+                match def_set.get(vt) {
+                    Some(d) => set.intersect_with(d),
+                    None => set.clear(),
+                }
+            }
+        }
+    }
+}
+
+/// Semi-join sweeps over every path (plus label re-restriction) until the
+/// candidate sets stop shrinking.
+fn cull_to_fixpoint(
+    ctx: &ExecCtx<'_>,
+    q: &CQuery,
+    cands: &mut [Vec<Cand>],
+    efilters: &[Vec<FxHashMap<ETypeId, BitSet>>],
+) -> Result<()> {
+    const MAX_SWEEPS: usize = 4;
+    let mut last_total = total_count(cands);
+    for _ in 0..MAX_SWEEPS {
+        for (pi, p) in q.paths.iter().enumerate() {
+            // Forward sweep.
+            for li in 0..p.links.len() {
+                let reached = link_expand(ctx, &p.links[li], &cands[pi][li], &efilters[pi][li], &cands[pi][li + 1], true)?;
+                cands[pi][li + 1] = reached;
+            }
+            // Backward sweep.
+            for li in (0..p.links.len()).rev() {
+                let reached = link_expand(ctx, &p.links[li], &cands[pi][li + 1], &efilters[pi][li], &cands[pi][li], false)?;
+                cands[pi][li] = reached;
+            }
+        }
+        let t = total_count(cands);
+        if t == last_total {
+            break;
+        }
+        last_total = t;
+    }
+    Ok(())
+}
+
+fn total_count(cands: &[Vec<Cand>]) -> usize {
+    cands.iter().flat_map(|p| p.iter().map(cand_count)).sum()
+}
+
+/// Expands through a link (edge hop or regex group). `from` is at the
+/// earlier position when `forward`, at the later position otherwise.
+pub fn link_expand(
+    ctx: &ExecCtx<'_>,
+    link: &CLink,
+    from: &Cand,
+    efilter: &FxHashMap<ETypeId, BitSet>,
+    to_allowed: &Cand,
+    forward: bool,
+) -> Result<Cand> {
+    match link {
+        CLink::Edge(e) => Ok(expand(ctx, from, e, efilter, to_allowed, forward)),
+        CLink::Group(g) => {
+            let mut reached = group_frontier(ctx, from, g, forward)?;
+            // Restrict to the allowed sets on the far side.
+            let mut out = Cand::new();
+            for (vt, allowed) in to_allowed {
+                if let Some(r) = reached.remove(vt) {
+                    let mut r = r;
+                    r.intersect_with(allowed);
+                    out.insert(*vt, r);
+                } else {
+                    out.insert(*vt, BitSet::new(allowed.len()));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Enumerates each path and joins on shared element-wise labels.
+fn produce_bindings(
+    ctx: &ExecCtx<'_>,
+    q: &CQuery,
+    cands: &[Vec<Cand>],
+    efilters: &[Vec<FxHashMap<ETypeId, BitSet>>],
+) -> Result<Vec<MultiBinding>> {
+    // Occurrences of each `foreach` label per path (vstep indices).
+    let occurrences = |pi: usize, label: &str| -> Vec<usize> {
+        let mut out = Vec::new();
+        for (vi, v) in q.paths[pi].vsteps.iter().enumerate() {
+            let matches = v
+                .label_def
+                .as_ref()
+                .is_some_and(|(k, n)| *k == LabelKind::Each && n == label)
+                || v.label_ref.as_deref() == Some(label)
+                    && q.labels.get(label).is_some_and(|i| i.kind == LabelKind::Each);
+            if matches {
+                out.push(vi);
+            }
+        }
+        out
+    };
+    let each_labels: Vec<String> = {
+        let mut v: Vec<String> = q
+            .labels
+            .iter()
+            .filter(|(_, i)| i.kind == LabelKind::Each)
+            .map(|(n, _)| n.clone())
+            .collect();
+        v.sort();
+        v
+    };
+
+    let mut acc: Vec<MultiBinding> = Vec::new();
+    for (pi, p) in q.paths.iter().enumerate() {
+        let counts: Vec<usize> = cands[pi].iter().map(cand_count).collect();
+        let order = choose_order(&counts, ctx.config.plan_mode);
+        let mut rows: Vec<Binding> = Vec::new();
+        enumerate_path(ctx, p, pi, &cands[pi], &efilters[pi], &order, |b| {
+            rows.push(b);
+            Ok(())
+        })?;
+
+        // Within-path multiple occurrences of an Each label whose
+        // definition lives in another path: enforce internal equality.
+        for label in &each_labels {
+            let occ = occurrences(pi, label);
+            if occ.len() > 1 {
+                rows.retain(|b| occ.windows(2).all(|w| b.v[w[0]] == b.v[w[1]]));
+            }
+        }
+
+        if pi == 0 {
+            acc = rows.into_iter().map(|b| MultiBinding { per_path: vec![b] }).collect();
+            continue;
+        }
+
+        // Join keys: Each labels occurring both in the accumulated paths
+        // and in this path.
+        let shared: Vec<&String> = each_labels
+            .iter()
+            .filter(|l| {
+                let in_acc = (0..pi).any(|ppi| !occurrences(ppi, l).is_empty());
+                let here = !occurrences(pi, l).is_empty();
+                in_acc && here
+            })
+            .collect();
+
+        if shared.is_empty() {
+            // Cross product (pure set-label sharing).
+            let guard = acc.len().saturating_mul(rows.len());
+            if guard > ctx.config.max_rows {
+                return Err(GraqlError::exec(
+                    "and-composition without a shared foreach label would exceed the row cap",
+                ));
+            }
+            let mut next = Vec::with_capacity(guard);
+            for a in &acc {
+                for r in &rows {
+                    let mut per_path = a.per_path.clone();
+                    per_path.push(r.clone());
+                    next.push(MultiBinding { per_path });
+                }
+            }
+            acc = next;
+            continue;
+        }
+
+        // Hash join on the shared label instances.
+        let acc_key = |mb: &MultiBinding| -> Vec<(VTypeId, u32)> {
+            shared
+                .iter()
+                .map(|l| {
+                    let (ppi, vi) = (0..pi)
+                        .find_map(|ppi| occurrences(ppi, l).first().map(|&vi| (ppi, vi)))
+                        .expect("label occurs in accumulated paths");
+                    mb.per_path[ppi].v[vi]
+                })
+                .collect()
+        };
+        let row_key = |b: &Binding| -> Vec<(VTypeId, u32)> {
+            shared
+                .iter()
+                .map(|l| {
+                    let vi = *occurrences(pi, l).first().expect("label occurs here");
+                    b.v[vi]
+                })
+                .collect()
+        };
+        let mut index: FxHashMap<Vec<(VTypeId, u32)>, Vec<usize>> = FxHashMap::default();
+        for (i, r) in rows.iter().enumerate() {
+            index.entry(row_key(r)).or_default().push(i);
+        }
+        let mut next = Vec::new();
+        for a in &acc {
+            if let Some(matches) = index.get(&acc_key(a)) {
+                for &ri in matches {
+                    let mut per_path = a.per_path.clone();
+                    per_path.push(rows[ri].clone());
+                    next.push(MultiBinding { per_path });
+                    if next.len() > ctx.config.max_rows {
+                        return Err(GraqlError::exec("joined result exceeds the row cap"));
+                    }
+                }
+            }
+        }
+        acc = next;
+    }
+
+    // Cross-path binding conditions (deps spanning paths).
+    let cross_conds: Vec<(usize, BindingCond)> = q
+        .paths
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            p.vsteps.iter().flat_map(move |v| {
+                v.binding_conds
+                    .iter()
+                    .filter(move |bc| bc.deps().iter().any(|a| a.path != pi))
+                    .map(move |bc| (pi, bc.clone()))
+            })
+        })
+        .collect();
+    if !cross_conds.is_empty() {
+        let mut out = Vec::new();
+        'rows: for mb in acc {
+            for (_, bc) in &cross_conds {
+                if !eval_cross_cond(ctx, bc, &mb)? {
+                    continue 'rows;
+                }
+            }
+            out.push(mb);
+        }
+        return Ok(out);
+    }
+    Ok(acc)
+}
+
+fn eval_cross_cond(ctx: &ExecCtx<'_>, bc: &BindingCond, mb: &MultiBinding) -> Result<bool> {
+    let value = |op: &crate::compile::BOperand| -> Result<graql_types::Value> {
+        match op {
+            crate::compile::BOperand::Const(v) => Ok(v.clone()),
+            crate::compile::BOperand::Attr { addr, name } => {
+                let (vt, idx) = mb.per_path[addr.path].v[addr.vstep];
+                ctx.vattr(vt, idx, name)
+            }
+        }
+    };
+    Ok(bc.op.eval(&value(&bc.lhs)?, &value(&bc.rhs)?))
+}

@@ -1,0 +1,248 @@
+//! Path regular expressions (§II-B4, Fig. 10): bounded repetition of
+//! variant hop sequences, executed as set-level BFS over the edge indexes.
+//!
+//! Binding-level enumeration through an unbounded repetition would be
+//! exponential, so groups produce *set* results: the frontier after valid
+//! repetition counts, and — for subgraph capture — the vertices/edges
+//! lying on some valid path (computed by intersecting forward levels with
+//! backward levels from the exit set).
+//!
+//! Two subtleties the implementation handles explicitly:
+//!
+//! * **Backward landings at repetition boundaries** are either the group's
+//!   *entry* vertex (unconstrained by hop conditions) or an *intermediate*
+//!   boundary vertex, which must still satisfy the last hop's conditions.
+//!   The two are tracked separately ([`GroupLevels::entry_at`] vs the
+//!   conditioned [`GroupLevels::at`]).
+//! * **Early cutoff** requires the boundary frontier to be *stable*
+//!   (identical to the previous boundary's): a merely non-growing
+//!   cumulative set is not enough — frontiers can oscillate on cycles
+//!   (a→b→a), and dropping later levels would lose valid exits.
+
+use graql_graph::{ETypeId, VTypeId};
+use graql_table::BitSet;
+use graql_types::Result;
+use rustc_hash::FxHashMap;
+
+use crate::compile::CGroup;
+use crate::exec::cand::{cand_is_empty, local_candidates, Cand};
+use crate::exec::expand::expand;
+use crate::exec::ExecCtx;
+
+/// All-pass edge filters (group hops are typically `[ ]` variant steps,
+/// which cannot carry conditions; named hops' vertex conditions live in
+/// the hop candidates instead).
+fn no_filters() -> FxHashMap<ETypeId, BitSet> {
+    FxHashMap::default()
+}
+
+/// BFS levels through a group.
+pub struct GroupLevels {
+    /// `at[p]`: vertices reached after exactly `p` hop applications, with
+    /// hop conditions applied at every landing (including boundaries).
+    pub at: Vec<Cand>,
+    /// Backward sweeps only: `entry_at[reps]` is the frontier after
+    /// exactly `reps` full repetitions when the landing is the group
+    /// *entry* (no hop condition applies there). `entry_at[0]` is the
+    /// start set itself. `None` for repetition counts not reached.
+    pub entry_at: Vec<Option<Cand>>,
+}
+
+/// Computes BFS levels from `start` through `group`, walking `forward`
+/// along the path or backward from the exit side.
+pub fn levels(
+    ctx: &ExecCtx<'_>,
+    start: &Cand,
+    group: &CGroup,
+    forward: bool,
+) -> Result<GroupLevels> {
+    let m = group.hops.len();
+    let max_positions = (group.hi as usize).saturating_mul(m);
+    let mut at: Vec<Cand> = vec![start.clone()];
+    let mut entry_at: Vec<Option<Cand>> = vec![Some(start.clone())];
+
+    // Hop candidate sets (domain + any hop conditions).
+    let mut hop_cands: Vec<Cand> = Vec::with_capacity(m);
+    for (_, vstep) in &group.hops {
+        hop_cands.push(local_candidates(ctx, vstep)?);
+    }
+    // Unconstrained universe for backward entry landings.
+    let entry_universe: Cand = ctx
+        .graph
+        .vtype_ids()
+        .map(|vt: VTypeId| (vt, BitSet::full(ctx.graph.vset(vt).len())))
+        .collect();
+
+    for p in 0..max_positions {
+        let hop_idx = if forward { p % m } else { m - 1 - (p % m) };
+        let (estep, _) = &group.hops[hop_idx];
+        // Conditioned universe of this landing: walking forward a hop
+        // lands in its own vertex step's candidates; walking backward it
+        // lands in the *preceding* vertex's (previous hop's vertex, or —
+        // at the repetition boundary — the last hop's vertex of the
+        // previous repetition, which still carries that hop's conditions).
+        let universe: &Cand = if forward {
+            &hop_cands[hop_idx]
+        } else if hop_idx == 0 {
+            &hop_cands[m - 1]
+        } else {
+            &hop_cands[hop_idx - 1]
+        };
+        let next = expand(ctx, &at[p], estep, &no_filters(), universe, forward);
+        let completes_rep = (p + 1) % m == 0;
+        if !forward && completes_rep {
+            // The same expansion, unconditioned: valid when the landing is
+            // the group entry rather than an intermediate boundary.
+            let entry = expand(ctx, &at[p], estep, &no_filters(), &entry_universe, forward);
+            entry_at.push(if cand_is_empty(&entry) { None } else { Some(entry) });
+        } else if completes_rep {
+            entry_at.push(None); // unused on forward sweeps
+        }
+        if cand_is_empty(&next) {
+            break;
+        }
+        at.push(next);
+        // Stable-frontier cutoff at repetition boundaries: identical to
+        // the previous boundary frontier means every later level repeats
+        // with period one — nothing new can appear. (A non-growing
+        // cumulative set is NOT sufficient: frontiers oscillate on
+        // cycles.)
+        let reps_done = (p + 1) / m;
+        if completes_rep && reps_done >= 1 && reps_done >= group.lo as usize {
+            let prev_boundary = (reps_done - 1) * m;
+            if at[reps_done * m] == at[prev_boundary] {
+                break;
+            }
+        }
+    }
+    Ok(GroupLevels { at, entry_at })
+}
+
+/// The frontier after any valid repetition count in `[lo, hi]`, entered
+/// from `start` (walking `forward` along the path). For backward sweeps
+/// this is the set of possible group-entry vertices.
+pub fn group_frontier(
+    ctx: &ExecCtx<'_>,
+    start: &Cand,
+    group: &CGroup,
+    forward: bool,
+) -> Result<Cand> {
+    let m = group.hops.len();
+    let lv = levels(ctx, start, group, forward)?;
+    let mut out = Cand::new();
+    let mut add = |frontier: &Cand| {
+        for (vt, set) in frontier {
+            out.entry(*vt)
+                .and_modify(|s| s.union_with(set))
+                .or_insert_with(|| set.clone());
+        }
+    };
+    if forward {
+        // A stable-frontier cutoff below `hi` means later boundary
+        // frontiers equal the last one computed, which the loop includes.
+        let max_reps = (lv.at.len() - 1) / m;
+        for reps in group.lo as usize..=(group.hi as usize).min(max_reps) {
+            add(&lv.at[reps * m]);
+        }
+    } else {
+        for reps in group.lo as usize..=group.hi as usize {
+            match lv.entry_at.get(reps) {
+                Some(Some(f)) => add(f),
+                Some(None) => {} // reached, but no entry landing possible
+                None => {
+                    // Cut off by stability: the last computed entry
+                    // frontier repeats for every remaining count.
+                    if let Some(Some(last)) =
+                        lv.entry_at.iter().rev().find(|e| e.is_some())
+                    {
+                        add(last);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Vertices and edges on *some* valid path from `entry` to `exit` through
+/// the group: position-wise intersection of forward and backward levels.
+pub fn group_members(
+    ctx: &ExecCtx<'_>,
+    entry: &Cand,
+    exit: &Cand,
+    group: &CGroup,
+) -> Result<(Cand, Vec<(ETypeId, BitSet)>)> {
+    let m = group.hops.len();
+    let fwd = levels(ctx, entry, group, true)?;
+    let bwd = levels(ctx, exit, group, false)?;
+    let lo = group.lo as usize;
+    let hi = group.hi as usize;
+    let mut member_by_pos: Vec<Cand> = vec![Cand::new(); fwd.at.len()];
+    for reps in lo..=hi {
+        let total = reps * m;
+        if total >= fwd.at.len() {
+            break;
+        }
+        for p in 0..=total {
+            let back = total - p;
+            // The backward set constraining path position p: the entry
+            // position (p == 0) uses the unconditioned entry frontier;
+            // everything else uses the conditioned level.
+            let bset: Option<&Cand> = if p == 0 {
+                bwd.entry_at.get(reps).and_then(Option::as_ref)
+            } else if back < bwd.at.len() {
+                Some(&bwd.at[back])
+            } else {
+                None
+            };
+            let Some(b) = bset else { continue };
+            let f = &fwd.at[p];
+            for (vt, fset) in f {
+                if let Some(bs) = b.get(vt) {
+                    let mut inter = fset.clone();
+                    inter.intersect_with(bs);
+                    if !inter.none() {
+                        member_by_pos[p]
+                            .entry(*vt)
+                            .and_modify(|s| s.union_with(&inter))
+                            .or_insert(inter);
+                    }
+                }
+            }
+        }
+    }
+    // Union of members over positions.
+    let mut members = Cand::new();
+    for pos in &member_by_pos {
+        for (vt, set) in pos {
+            members
+                .entry(*vt)
+                .and_modify(|s| s.union_with(set))
+                .or_insert_with(|| set.clone());
+        }
+    }
+    // Matched edges: for each adjacent position pair, edges from members
+    // at p to members at p+1 via the hop at p.
+    let mut edge_sets: FxHashMap<ETypeId, BitSet> = FxHashMap::default();
+    for p in 0..member_by_pos.len().saturating_sub(1) {
+        let hop_idx = p % m;
+        let (estep, _) = &group.hops[hop_idx];
+        let from = &member_by_pos[p];
+        let to = &member_by_pos[p + 1];
+        if from.is_empty() || to.is_empty() {
+            continue;
+        }
+        for (et, hit) in
+            crate::exec::expand::matched_edges(ctx, from, estep, &no_filters(), to)
+        {
+            edge_sets
+                .entry(et)
+                .and_modify(|s| s.union_with(&hit))
+                .or_insert(hit);
+        }
+    }
+    let mut edges: Vec<(ETypeId, BitSet)> = edge_sets.into_iter().collect();
+    edges.sort_by_key(|(et, _)| *et);
+    Ok((members, edges))
+}

@@ -1,0 +1,184 @@
+//! Saving and loading a database to/from a directory.
+//!
+//! The paper trades "data capacity and persistence of storage" for DRAM
+//! performance — GEMS assumes sources live on a parallel filesystem and
+//! the database is rebuilt by ingest. This module implements exactly that
+//! model: `save_dir` writes the catalog back out as a GraQL DDL script
+//! (via the pretty-printer) plus one CSV per base table; `load_dir`
+//! replays them. Graph views and named results are *not* persisted — they
+//! regenerate from the definitions, which is the design's point.
+
+use std::path::Path;
+
+use graql_parser::ast;
+use graql_types::{GraqlError, Result};
+
+use crate::database::Database;
+
+const CATALOG_FILE: &str = "catalog.graql";
+
+/// Writes `db`'s schema (as GraQL DDL) and every base table (as CSV) into
+/// `dir`, creating it if needed.
+pub fn save_dir(db: &Database, dir: &Path) -> Result<()> {
+    let io = |e: std::io::Error| GraqlError::ingest(format!("save: {e}"));
+    std::fs::create_dir_all(dir).map_err(io)?;
+
+    // Reconstruct the DDL script from the catalog.
+    let mut script = ast::Script::default();
+    let catalog = db.catalog();
+    for name in catalog.table_names() {
+        let schema = catalog.table(name).expect("listed tables exist");
+        script.statements.push(ast::Stmt::CreateTable(ast::CreateTable {
+            name: name.clone(),
+            columns: schema
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), type_name(c.dtype)))
+                .collect(),
+        }));
+    }
+    for name in catalog.vertex_names() {
+        let def = catalog.vertex(name).expect("listed vertices exist");
+        script.statements.push(ast::Stmt::CreateVertex(ast::CreateVertex {
+            name: def.name.clone(),
+            key: def.key.clone(),
+            from_table: def.table.clone(),
+            where_clause: def.where_clause.clone(),
+        }));
+    }
+    for name in catalog.edge_names() {
+        let def = catalog.edge(name).expect("listed edges exist");
+        script.statements.push(ast::Stmt::CreateEdge(ast::CreateEdge {
+            name: def.name.clone(),
+            source: ast::EdgeEndpoint {
+                vertex_type: def.src_type.clone(),
+                alias: def.src_alias.clone(),
+            },
+            target: ast::EdgeEndpoint {
+                vertex_type: def.tgt_type.clone(),
+                alias: def.tgt_alias.clone(),
+            },
+            from_tables: def.from_tables.clone(),
+            where_clause: def.where_clause.clone(),
+        }));
+    }
+    // Ingest statements replay the data on load.
+    for name in catalog.table_names() {
+        script.statements.push(ast::Stmt::Ingest(ast::Ingest {
+            table: name.clone(),
+            path: format!("{name}.csv"),
+        }));
+    }
+    std::fs::write(dir.join(CATALOG_FILE), script.to_string()).map_err(io)?;
+
+    for name in catalog.table_names() {
+        let table = db.table(name).expect("catalog and storage are consistent");
+        let mut buf = Vec::new();
+        graql_table::csv::write_csv(table, &mut buf)?;
+        std::fs::write(dir.join(format!("{name}.csv")), buf).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Loads a database previously written by [`save_dir`].
+pub fn load_dir(dir: &Path) -> Result<Database> {
+    let script = std::fs::read_to_string(dir.join(CATALOG_FILE))
+        .map_err(|e| GraqlError::ingest(format!("load: {e}")))?;
+    let mut db = Database::new();
+    db.set_data_dir(dir);
+    db.execute_script(&script)?;
+    Ok(db)
+}
+
+fn type_name(dt: graql_types::DataType) -> ast::TypeName {
+    match dt {
+        graql_types::DataType::Integer => ast::TypeName::Integer,
+        graql_types::DataType::Float => ast::TypeName::Float,
+        graql_types::DataType::Varchar(n) => ast::TypeName::Varchar(n.max(1)),
+        graql_types::DataType::Date => ast::TypeName::Date,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("graql_persist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "create table P(id varchar(8), parent varchar(8), score float, born date)
+             create vertex PV(id) from table P where score > 0.0
+             create edge up with vertices (PV as A, PV as B) where A.parent = B.id",
+        )
+        .unwrap();
+        db.ingest_str(
+            "P",
+            "a,,1.5,2001-01-01\nb,a,2.25,2002-02-02\nc,a,-1.0,2003-03-03\n\"d,x\",b,0.5,2004-04-04\n",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("rt");
+        let mut db = sample();
+        save_dir(&db, &dir).unwrap();
+        let mut back = load_dir(&dir).unwrap();
+        // Tables equal.
+        let (t1, t2) = (db.table("P").unwrap(), back.table("P").unwrap());
+        assert_eq!(t1.n_rows(), t2.n_rows());
+        for r in 0..t1.n_rows() {
+            assert_eq!(t1.row(r), t2.row(r), "row {r}");
+        }
+        // Views regenerate identically — including the vertex filter
+        // (score > 0 excludes c) and the FK edge.
+        let g1 = db.graph().unwrap();
+        let n1 = (g1.n_vertices(), g1.n_edges());
+        let g2 = back.graph().unwrap();
+        assert_eq!(n1, (g2.n_vertices(), g2.n_edges()));
+        assert_eq!(g2.vset(g2.vtype("PV").unwrap()).len(), 3, "c filtered out");
+        // And queries agree.
+        let q = "select B.id from graph PV() --up--> def B: PV()";
+        let crate::database::StmtOutput::Table(r1) = db.execute_str(q).unwrap() else { panic!() };
+        let crate::database::StmtOutput::Table(r2) = back.execute_str(q).unwrap() else { panic!() };
+        assert_eq!(r1.n_rows(), r2.n_rows());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saved_catalog_is_valid_graql() {
+        let dir = tmpdir("ddl");
+        save_dir(&sample(), &dir).unwrap();
+        let text = std::fs::read_to_string(dir.join(CATALOG_FILE)).unwrap();
+        let script = graql_parser::parse(&text).unwrap();
+        // 1 table + 1 vertex + 1 edge + 1 ingest.
+        assert_eq!(script.statements.len(), 4);
+        assert!(text.contains("where score > 0.0"), "filters persist: {text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_fails_cleanly() {
+        let err = load_dir(Path::new("/nonexistent-graql-persist")).unwrap_err();
+        assert!(matches!(err, GraqlError::Ingest(_)));
+    }
+
+    #[test]
+    fn results_are_not_persisted() {
+        let dir = tmpdir("res");
+        let mut db = sample();
+        db.execute_str("select id from table P into table Snapshot").unwrap();
+        assert!(db.result_table("Snapshot").is_some());
+        save_dir(&db, &dir).unwrap();
+        let back = load_dir(&dir).unwrap();
+        assert!(back.result_table("Snapshot").is_none(), "results regenerate, not persist");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! The GEMS front-end server (paper §III): "the server centralizes access
+//! to the database system in order to provide access control, distinct
+//! user accounts, as well as a central metadata repository (catalog) of
+//! all existing database objects … The catalog contains updated
+//! information on the sizes of those objects (e.g. how many rows in
+//! table? how many vertex instances of certain type?)."
+//!
+//! In-process reproduction: user accounts with roles, sessions that gate
+//! statements by role, and a catalog-describe service backed by the live
+//! statistics.
+
+use std::fmt::Write as _;
+
+use graql_parser::ast::Stmt;
+use graql_types::{GraqlError, Result};
+use rustc_hash::FxHashMap;
+
+use crate::database::{Database, StmtOutput};
+
+/// Access level of a user account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Full access: DDL, ingest and queries.
+    Admin,
+    /// Queries only (including `into` result capture).
+    Analyst,
+}
+
+/// The front-end server: one database + user accounts.
+#[derive(Debug, Default)]
+pub struct Server {
+    db: Database,
+    users: FxHashMap<String, Role>,
+}
+
+impl Server {
+    /// Wraps a database. An `admin` account always exists.
+    pub fn new(db: Database) -> Self {
+        let mut users = FxHashMap::default();
+        users.insert("admin".to_string(), Role::Admin);
+        Server { db, users }
+    }
+
+    /// Registers a user account.
+    pub fn create_user(&mut self, name: impl Into<String>, role: Role) -> Result<()> {
+        let name = name.into();
+        if self.users.contains_key(&name) {
+            return Err(GraqlError::name(format!("user {name:?} already exists")));
+        }
+        self.users.insert(name, role);
+        Ok(())
+    }
+
+    /// Opens a session for `user`.
+    pub fn connect(&mut self, user: &str) -> Result<Session<'_>> {
+        let role = *self
+            .users
+            .get(user)
+            .ok_or_else(|| GraqlError::name(format!("unknown user {user:?}")))?;
+        Ok(Session { server: self, user: user.to_string(), role })
+    }
+
+    /// Direct access to the underlying database (bypasses access control;
+    /// for embedding scenarios and tests).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The catalog-describe service: object names with their current
+    /// sizes ("how many rows in table? how many vertex instances?").
+    pub fn describe(&mut self) -> Result<String> {
+        let mut out = String::new();
+        let tables: Vec<(String, usize)> = self
+            .db
+            .catalog()
+            .table_names()
+            .iter()
+            .map(|n| (n.clone(), self.db.table(n).map_or(0, |t| t.n_rows())))
+            .collect();
+        let _ = writeln!(out, "tables:");
+        for (name, rows) in tables {
+            let _ = writeln!(out, "  {name}: {rows} rows");
+        }
+        self.db.graph()?;
+        let stats = self.db.stats()?.clone();
+        let graph = self.db.graph_ref().expect("built above");
+        let _ = writeln!(out, "vertex types:");
+        for vs in &stats.vertices {
+            let _ = writeln!(out, "  {}: {} instances", graph.vset(vs.vtype).name, vs.count);
+        }
+        let _ = writeln!(out, "edge types:");
+        for es in &stats.edges {
+            let _ = writeln!(
+                out,
+                "  {}: {} instances (mean out-degree {:.2}, mean in-degree {:.2})",
+                graph.eset(es.etype).name,
+                es.count,
+                es.mean_out_degree,
+                es.mean_in_degree
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// An authenticated session.
+pub struct Session<'s> {
+    server: &'s mut Server,
+    user: String,
+    role: Role,
+}
+
+impl Session<'_> {
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Executes a script under this session's access level.
+    pub fn execute_script(&mut self, text: &str) -> Result<Vec<StmtOutput>> {
+        let script = graql_parser::parse(text)?;
+        for stmt in &script.statements {
+            self.check(stmt)?;
+        }
+        crate::analyze::analyze_script(self.server.db.catalog(), &script)?;
+        script.statements.iter().map(|s| self.server.db.execute(s)).collect()
+    }
+
+    fn check(&self, stmt: &Stmt) -> Result<()> {
+        let needs_admin = matches!(
+            stmt,
+            Stmt::CreateTable(_) | Stmt::CreateVertex(_) | Stmt::CreateEdge(_) | Stmt::Ingest(_)
+        );
+        if needs_admin && self.role != Role::Admin {
+            return Err(GraqlError::exec(format!(
+                "user {:?} (analyst) may not run data definition or ingest statements",
+                self.user
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_types::Value;
+
+    fn server() -> Server {
+        let mut db = Database::new();
+        db.execute_script(
+            "create table T(a integer)
+             create vertex V(a) from table T",
+        )
+        .unwrap();
+        db.ingest_str("T", "1\n2\n3\n").unwrap();
+        Server::new(db)
+    }
+
+    #[test]
+    fn admin_can_do_everything() {
+        let mut s = server();
+        let mut sess = s.connect("admin").unwrap();
+        assert_eq!(sess.role(), Role::Admin);
+        sess.execute_script("create table U(b integer)").unwrap();
+        let outs = sess.execute_script("select a from table T").unwrap();
+        assert!(matches!(&outs[0], StmtOutput::Table(t) if t.n_rows() == 3));
+    }
+
+    #[test]
+    fn analysts_query_but_cannot_define_or_ingest() {
+        let mut s = server();
+        s.create_user("ada", Role::Analyst).unwrap();
+        let mut sess = s.connect("ada").unwrap();
+        let outs = sess.execute_script("select a from table T where a > 1").unwrap();
+        assert!(matches!(&outs[0], StmtOutput::Table(t) if t.n_rows() == 2));
+        // Result capture is allowed.
+        sess.execute_script("select a from table T into table Mine").unwrap();
+        // DDL and ingest are not.
+        let err = sess.execute_script("create table X(a integer)").unwrap_err();
+        assert!(err.to_string().contains("may not run"), "{err}");
+        let err = sess.execute_script("ingest table T more.csv").unwrap_err();
+        assert!(err.to_string().contains("may not run"), "{err}");
+        // And the check runs before any statement executes: the first
+        // (legal) select of a mixed script must not have run.
+        let err = sess
+            .execute_script("select a from table T into table Probe2\ncreate table Y(a integer)")
+            .unwrap_err();
+        assert!(err.to_string().contains("may not run"), "{err}");
+        assert!(s.database_mut().result_table("Probe2").is_none(), "atomic rejection");
+    }
+
+    #[test]
+    fn unknown_users_and_duplicates() {
+        let mut s = server();
+        assert!(s.connect("nobody").is_err());
+        s.create_user("bob", Role::Analyst).unwrap();
+        assert!(s.create_user("bob", Role::Admin).is_err());
+    }
+
+    #[test]
+    fn describe_reports_sizes() {
+        let mut s = server();
+        s.database_mut().set_param("unused", Value::Int(0));
+        let d = s.describe().unwrap();
+        assert!(d.contains("T: 3 rows"), "{d}");
+        assert!(d.contains("V: 3 instances"), "{d}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Edge types: `(src, tgt)` instance pairs over two vertex sets (Eq. 2),
+//! with optional per-edge attribute rows from an associated table.
+
+use graql_types::{GraqlError, Result};
+use rustc_hash::FxHashSet;
+
+use crate::graph::VTypeId;
+
+/// An edge type. The underlying graph is a multigraph: several edges of
+/// the same type may connect the same vertex pair when they carry distinct
+/// associated rows.
+#[derive(Debug, Clone)]
+pub struct EdgeSet {
+    pub name: String,
+    pub src_type: VTypeId,
+    pub tgt_type: VTypeId,
+    /// Per edge: source vertex instance index (within the source type).
+    pub src: Vec<u32>,
+    /// Per edge: target vertex instance index.
+    pub tgt: Vec<u32>,
+    /// Name of the table providing edge attributes, if any.
+    pub assoc_table: Option<String>,
+    /// Per edge: attribute row in `assoc_table` (parallel to `src`/`tgt`;
+    /// empty when `assoc_table` is `None`).
+    pub assoc_rows: Vec<u32>,
+}
+
+impl EdgeSet {
+    /// Builds an edge set from raw pairs, **deduplicating** identical
+    /// `(src, tgt)` pairs — the rule for declarations without a single
+    /// associated table, which makes the Fig. 5 four-way join produce two
+    /// `export` edges rather than one per join row.
+    pub fn from_pairs(
+        name: impl Into<String>,
+        src_type: VTypeId,
+        tgt_type: VTypeId,
+        pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut seen = FxHashSet::default();
+        let (mut src, mut tgt) = (Vec::new(), Vec::new());
+        for (s, t) in pairs {
+            if seen.insert((s, t)) {
+                src.push(s);
+                tgt.push(t);
+            }
+        }
+        EdgeSet { name: name.into(), src_type, tgt_type, src, tgt, assoc_table: None, assoc_rows: Vec::new() }
+    }
+
+    /// Builds an edge set where each element carries an attribute row of
+    /// `assoc_table` — one edge **per satisfying row** (Fig. 3's
+    /// `create edge type … from table ProductTypes`), no deduplication.
+    pub fn from_assoc_rows(
+        name: impl Into<String>,
+        src_type: VTypeId,
+        tgt_type: VTypeId,
+        assoc_table: impl Into<String>,
+        triples: impl IntoIterator<Item = (u32, u32, u32)>,
+    ) -> Self {
+        let (mut src, mut tgt, mut assoc_rows) = (Vec::new(), Vec::new(), Vec::new());
+        for (s, t, r) in triples {
+            src.push(s);
+            tgt.push(t);
+            assoc_rows.push(r);
+        }
+        EdgeSet {
+            name: name.into(),
+            src_type,
+            tgt_type,
+            src,
+            tgt,
+            assoc_table: Some(assoc_table.into()),
+            assoc_rows,
+        }
+    }
+
+    /// Number of edge instances.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// `(src, tgt)` endpoints of edge `e`.
+    pub fn endpoints(&self, e: u32) -> (u32, u32) {
+        (self.src[e as usize], self.tgt[e as usize])
+    }
+
+    /// Attribute row of edge `e` in the associated table.
+    pub fn assoc_row(&self, e: u32) -> Result<u32> {
+        if self.assoc_table.is_none() {
+            return Err(GraqlError::type_error(format!(
+                "edge type {} has no attributes (no associated table)",
+                self.name
+            )));
+        }
+        Ok(self.assoc_rows[e as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_deduplicates() {
+        let e = EdgeSet::from_pairs("export", VTypeId(0), VTypeId(1), vec![(0, 1), (0, 1), (2, 3)]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.endpoints(0), (0, 1));
+        assert_eq!(e.endpoints(1), (2, 3));
+        assert!(e.assoc_row(0).is_err());
+    }
+
+    #[test]
+    fn assoc_rows_keep_duplicates_as_parallel_edges() {
+        let e = EdgeSet::from_assoc_rows(
+            "type",
+            VTypeId(0),
+            VTypeId(1),
+            "ProductTypes",
+            vec![(0, 1, 10), (0, 1, 11)],
+        );
+        assert_eq!(e.len(), 2, "multigraph: same endpoints, distinct assoc rows");
+        assert_eq!(e.assoc_row(1).unwrap(), 11);
+    }
+}

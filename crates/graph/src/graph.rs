@@ -1,0 +1,207 @@
+//! The overall multigraph: the union of all vertex and edge types
+//! (§II-A1), with per-edge-type bidirectional indexes.
+
+use graql_types::{GraqlError, Result};
+use rustc_hash::FxHashMap;
+
+use crate::csr::EdgeIndex;
+use crate::edge_set::EdgeSet;
+use crate::vertex_set::VertexSet;
+
+/// Identifier of a vertex type within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VTypeId(pub u32);
+
+/// Identifier of an edge type within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ETypeId(pub u32);
+
+/// `G = (V, E)` where `V = ⋃ V_p` and `E = ⋃ E_r`; vertex types partition
+/// V and edge types partition E by construction (each instance belongs to
+/// exactly one set).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    vsets: Vec<VertexSet>,
+    esets: Vec<EdgeSet>,
+    indexes: Vec<EdgeIndex>,
+    vtypes_by_name: FxHashMap<String, VTypeId>,
+    etypes_by_name: FxHashMap<String, ETypeId>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Registers a vertex type; names must be unique.
+    pub fn add_vertex_type(&mut self, vset: VertexSet) -> Result<VTypeId> {
+        if self.vtypes_by_name.contains_key(&vset.name) {
+            return Err(GraqlError::name(format!("vertex type {:?} already exists", vset.name)));
+        }
+        let id = VTypeId(self.vsets.len() as u32);
+        self.vtypes_by_name.insert(vset.name.clone(), id);
+        self.vsets.push(vset);
+        Ok(id)
+    }
+
+    /// Registers an edge type and builds its forward + reverse indexes.
+    pub fn add_edge_type(&mut self, eset: EdgeSet) -> Result<ETypeId> {
+        if self.etypes_by_name.contains_key(&eset.name) {
+            return Err(GraqlError::name(format!("edge type {:?} already exists", eset.name)));
+        }
+        let n_src = self.vset(eset.src_type).len();
+        let n_tgt = self.vset(eset.tgt_type).len();
+        let index = EdgeIndex::build(n_src, n_tgt, &eset.src, &eset.tgt);
+        let id = ETypeId(self.esets.len() as u32);
+        self.etypes_by_name.insert(eset.name.clone(), id);
+        self.esets.push(eset);
+        self.indexes.push(index);
+        Ok(id)
+    }
+
+    pub fn n_vertex_types(&self) -> usize {
+        self.vsets.len()
+    }
+
+    pub fn n_edge_types(&self) -> usize {
+        self.esets.len()
+    }
+
+    /// Total vertex count across all types (|V|).
+    pub fn n_vertices(&self) -> usize {
+        self.vsets.iter().map(VertexSet::len).sum()
+    }
+
+    /// Total edge count across all types (|E|).
+    pub fn n_edges(&self) -> usize {
+        self.esets.iter().map(EdgeSet::len).sum()
+    }
+
+    pub fn vset(&self, id: VTypeId) -> &VertexSet {
+        &self.vsets[id.0 as usize]
+    }
+
+    pub fn eset(&self, id: ETypeId) -> &EdgeSet {
+        &self.esets[id.0 as usize]
+    }
+
+    pub fn edge_index(&self, id: ETypeId) -> &EdgeIndex {
+        &self.indexes[id.0 as usize]
+    }
+
+    pub fn vtype(&self, name: &str) -> Option<VTypeId> {
+        self.vtypes_by_name.get(name).copied()
+    }
+
+    pub fn etype(&self, name: &str) -> Option<ETypeId> {
+        self.etypes_by_name.get(name).copied()
+    }
+
+    pub fn vtype_or_err(&self, name: &str) -> Result<VTypeId> {
+        self.vtype(name)
+            .ok_or_else(|| GraqlError::name(format!("unknown vertex type {name:?}")))
+    }
+
+    pub fn etype_or_err(&self, name: &str) -> Result<ETypeId> {
+        self.etype(name)
+            .ok_or_else(|| GraqlError::name(format!("unknown edge type {name:?}")))
+    }
+
+    pub fn vtype_ids(&self) -> impl Iterator<Item = VTypeId> {
+        (0..self.vsets.len() as u32).map(VTypeId)
+    }
+
+    pub fn etype_ids(&self) -> impl Iterator<Item = ETypeId> {
+        (0..self.esets.len() as u32).map(ETypeId)
+    }
+
+    /// All edge types with source type `src` and target type `tgt` —
+    /// the `⋃_j E_j(V_a, V_b)` of §II-A1, used by variant (`[ ]`) steps.
+    pub fn edge_types_between(&self, src: VTypeId, tgt: VTypeId) -> Vec<ETypeId> {
+        self.etype_ids()
+            .filter(|&e| {
+                let es = self.eset(e);
+                es.src_type == src && es.tgt_type == tgt
+            })
+            .collect()
+    }
+
+    /// All edge types whose source is `src` (variant expansion forward).
+    pub fn edge_types_from(&self, src: VTypeId) -> Vec<ETypeId> {
+        self.etype_ids().filter(|&e| self.eset(e).src_type == src).collect()
+    }
+
+    /// All edge types whose target is `tgt` (variant expansion backward).
+    pub fn edge_types_into(&self, tgt: VTypeId) -> Vec<ETypeId> {
+        self.etype_ids().filter(|&e| self.eset(e).tgt_type == tgt).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_table::{Table, TableSchema};
+    use graql_types::{DataType, Value};
+
+    fn tiny_table(n: i64) -> Table {
+        let schema = TableSchema::of(&[("id", DataType::Integer)]);
+        Table::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)])).unwrap()
+    }
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let ta = tiny_table(3);
+        let tb = tiny_table(2);
+        let a = g
+            .add_vertex_type(VertexSet::build("A", "ta", &ta, vec![0], None).unwrap())
+            .unwrap();
+        let b = g
+            .add_vertex_type(VertexSet::build("B", "tb", &tb, vec![0], None).unwrap())
+            .unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("ab", a, b, vec![(0, 0), (1, 1), (2, 0)])).unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("ab2", a, b, vec![(0, 1)])).unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("aa", a, a, vec![(0, 1)])).unwrap();
+        g
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let g = tiny_graph();
+        assert_eq!(g.n_vertex_types(), 2);
+        assert_eq!(g.n_edge_types(), 3);
+        assert_eq!(g.n_vertices(), 5);
+        assert_eq!(g.n_edges(), 5);
+        assert!(g.vtype("A").is_some());
+        assert!(g.vtype("Z").is_none());
+        assert!(g.etype_or_err("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_type_names_rejected() {
+        let mut g = tiny_graph();
+        let ta = tiny_table(1);
+        let v = VertexSet::build("A", "ta", &ta, vec![0], None).unwrap();
+        assert!(g.add_vertex_type(v).is_err());
+    }
+
+    #[test]
+    fn edge_types_between_unions_multiple_types() {
+        let g = tiny_graph();
+        let a = g.vtype("A").unwrap();
+        let b = g.vtype("B").unwrap();
+        let between = g.edge_types_between(a, b);
+        assert_eq!(between.len(), 2, "ab and ab2");
+        assert_eq!(g.edge_types_between(b, a).len(), 0);
+        assert_eq!(g.edge_types_from(a).len(), 3);
+        assert_eq!(g.edge_types_into(a).len(), 1);
+    }
+
+    #[test]
+    fn indexes_are_built_on_registration() {
+        let g = tiny_graph();
+        let ab = g.etype("ab").unwrap();
+        let idx = g.edge_index(ab);
+        assert_eq!(idx.fwd.neighbors(0), &[0]);
+        assert_eq!(idx.rev.neighbors(0), &[0, 2]);
+    }
+}

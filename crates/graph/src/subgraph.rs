@@ -1,0 +1,272 @@
+//! Subgraphs: per-type vertex and edge selections.
+//!
+//! The result form of `into subgraph` (§II-C): "a selection of certain
+//! vertices or edges of the subgraph corresponds to extracting those from
+//! the full matching subgraph and representing them as a (possibly
+//! disconnected) subgraph."
+
+use graql_table::BitSet;
+use rustc_hash::FxHashMap;
+
+use crate::graph::{ETypeId, Graph, VTypeId};
+
+/// A subgraph over a [`Graph`]: bitsets of selected instances per type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Subgraph {
+    vertices: FxHashMap<VTypeId, BitSet>,
+    edges: FxHashMap<ETypeId, BitSet>,
+}
+
+impl Subgraph {
+    pub fn new() -> Self {
+        Subgraph::default()
+    }
+
+    /// Adds a whole vertex-candidate set for a type (unions when the type
+    /// is already present).
+    pub fn add_vertices(&mut self, g: &Graph, vt: VTypeId, set: &BitSet) {
+        let entry = self
+            .vertices
+            .entry(vt)
+            .or_insert_with(|| BitSet::new(g.vset(vt).len()));
+        entry.union_with(set);
+    }
+
+    /// Adds a single vertex instance.
+    pub fn add_vertex(&mut self, g: &Graph, vt: VTypeId, idx: u32) {
+        self.vertices
+            .entry(vt)
+            .or_insert_with(|| BitSet::new(g.vset(vt).len()))
+            .insert(idx as usize);
+    }
+
+    /// Adds a whole edge set for a type.
+    pub fn add_edges(&mut self, g: &Graph, et: ETypeId, set: &BitSet) {
+        let entry = self
+            .edges
+            .entry(et)
+            .or_insert_with(|| BitSet::new(g.eset(et).len()));
+        entry.union_with(set);
+    }
+
+    /// Adds a single edge instance.
+    pub fn add_edge(&mut self, g: &Graph, et: ETypeId, idx: u32) {
+        self.edges
+            .entry(et)
+            .or_insert_with(|| BitSet::new(g.eset(et).len()))
+            .insert(idx as usize);
+    }
+
+    /// Union with another subgraph (`or` composition, Eq. 9–10).
+    pub fn union_with(&mut self, g: &Graph, other: &Subgraph) {
+        for (&vt, set) in &other.vertices {
+            self.add_vertices(g, vt, set);
+        }
+        for (&et, set) in &other.edges {
+            self.add_edges(g, et, set);
+        }
+    }
+
+    /// Selected vertices of type `vt`.
+    pub fn vertices_of(&self, vt: VTypeId) -> Option<&BitSet> {
+        self.vertices.get(&vt)
+    }
+
+    /// Selected edges of type `et`.
+    pub fn edges_of(&self, et: ETypeId) -> Option<&BitSet> {
+        self.edges.get(&et)
+    }
+
+    /// Vertex types present (with at least one instance selected).
+    pub fn vertex_types(&self) -> impl Iterator<Item = VTypeId> + '_ {
+        self.vertices.iter().filter(|(_, s)| !s.none()).map(|(&t, _)| t)
+    }
+
+    pub fn edge_types(&self) -> impl Iterator<Item = ETypeId> + '_ {
+        self.edges.iter().filter(|(_, s)| !s.none()).map(|(&t, _)| t)
+    }
+
+    /// Total selected vertex count.
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.values().map(BitSet::count).sum()
+    }
+
+    /// Total selected edge count.
+    pub fn n_edges(&self) -> usize {
+        self.edges.values().map(BitSet::count).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_vertices() == 0 && self.n_edges() == 0
+    }
+
+    /// True if vertex `idx` of type `vt` is in the subgraph.
+    pub fn contains_vertex(&self, vt: VTypeId, idx: u32) -> bool {
+        self.vertices.get(&vt).is_some_and(|s| s.contains(idx as usize))
+    }
+
+    pub fn contains_edge(&self, et: ETypeId, idx: u32) -> bool {
+        self.edges.get(&et).is_some_and(|s| s.contains(idx as usize))
+    }
+
+    /// Renders the subgraph in Graphviz DOT format: one node per selected
+    /// vertex (labeled `Type:key`), one edge per selected edge instance
+    /// (labeled with its type). Vertices referenced only by selected edges
+    /// are included too, so the drawing is always well-formed.
+    pub fn to_dot(&self, g: &Graph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph graql {\n  rankdir=LR;\n  node [shape=box];\n");
+        let node_id = |vt: VTypeId, idx: u32| format!("v{}_{idx}", vt.0);
+        let mut emitted: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        let mut emit_vertex = |out: &mut String, vt: VTypeId, idx: u32| {
+            if emitted.insert((vt.0, idx)) {
+                let vs = g.vset(vt);
+                let key: Vec<String> =
+                    vs.key_of(idx).iter().map(ToString::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{}:{}\"];",
+                    node_id(vt, idx),
+                    vs.name,
+                    key.join(",")
+                );
+            }
+        };
+        let mut vts: Vec<VTypeId> = self.vertices.keys().copied().collect();
+        vts.sort();
+        for vt in vts {
+            for idx in self.vertices[&vt].iter() {
+                emit_vertex(&mut out, vt, idx as u32);
+            }
+        }
+        let mut ets: Vec<ETypeId> = self.edges.keys().copied().collect();
+        ets.sort();
+        for et in ets {
+            let es = g.eset(et);
+            for e in self.edges[&et].iter() {
+                let (s, t) = es.endpoints(e as u32);
+                emit_vertex(&mut out, es.src_type, s);
+                emit_vertex(&mut out, es.tgt_type, t);
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{}\"];",
+                    node_id(es.src_type, s),
+                    node_id(es.tgt_type, t),
+                    es.name
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable summary (`N vertices (T1: n1, …), M edges (…)`).
+    pub fn summary(&self, g: &Graph) -> String {
+        let mut vparts: Vec<String> = self
+            .vertices
+            .iter()
+            .filter(|(_, s)| !s.none())
+            .map(|(&t, s)| format!("{}: {}", g.vset(t).name, s.count()))
+            .collect();
+        vparts.sort();
+        let mut eparts: Vec<String> = self
+            .edges
+            .iter()
+            .filter(|(_, s)| !s.none())
+            .map(|(&t, s)| format!("{}: {}", g.eset(t).name, s.count()))
+            .collect();
+        eparts.sort();
+        format!(
+            "{} vertices ({}), {} edges ({})",
+            self.n_vertices(),
+            vparts.join(", "),
+            self.n_edges(),
+            eparts.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_set::EdgeSet;
+    use crate::vertex_set::VertexSet;
+    use graql_table::{Table, TableSchema};
+    use graql_types::{DataType, Value};
+
+    fn g() -> Graph {
+        let mut g = Graph::new();
+        let schema = TableSchema::of(&[("id", DataType::Integer)]);
+        let t = Table::from_rows(schema, (0..4i64).map(|i| vec![Value::Int(i)])).unwrap();
+        let a = g.add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap()).unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("e", a, a, vec![(0, 1), (1, 2), (2, 3)])).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_and_query() {
+        let g = g();
+        let a = g.vtype("A").unwrap();
+        let e = g.etype("e").unwrap();
+        let mut s = Subgraph::new();
+        s.add_vertex(&g, a, 1);
+        s.add_edge(&g, e, 0);
+        assert!(s.contains_vertex(a, 1));
+        assert!(!s.contains_vertex(a, 0));
+        assert!(s.contains_edge(e, 0));
+        assert_eq!(s.n_vertices(), 1);
+        assert_eq!(s.n_edges(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn union_composition() {
+        let g = g();
+        let a = g.vtype("A").unwrap();
+        let mut s1 = Subgraph::new();
+        s1.add_vertex(&g, a, 0);
+        let mut s2 = Subgraph::new();
+        s2.add_vertex(&g, a, 0);
+        s2.add_vertex(&g, a, 3);
+        s1.union_with(&g, &s2);
+        assert_eq!(s1.n_vertices(), 2);
+        assert!(s1.contains_vertex(a, 3));
+    }
+
+    #[test]
+    fn summary_mentions_types_and_counts() {
+        let g = g();
+        let a = g.vtype("A").unwrap();
+        let mut s = Subgraph::new();
+        s.add_vertex(&g, a, 0);
+        s.add_vertex(&g, a, 2);
+        let txt = s.summary(&g);
+        assert!(txt.contains("2 vertices"), "{txt}");
+        assert!(txt.contains("A: 2"), "{txt}");
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let s = Subgraph::new();
+        assert!(s.is_empty());
+        assert_eq!(s.vertex_types().count(), 0);
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let g = g();
+        let a = g.vtype("A").unwrap();
+        let e = g.etype("e").unwrap();
+        let mut s = Subgraph::new();
+        s.add_vertex(&g, a, 0);
+        s.add_edge(&g, e, 1); // edge 1 → 2: endpoints not explicitly added
+        let dot = s.to_dot(&g);
+        assert!(dot.starts_with("digraph graql {"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("label=\"A:0\""), "explicit vertex: {dot}");
+        assert!(dot.contains("label=\"A:1\""), "edge endpoint pulled in: {dot}");
+        assert!(dot.contains("-> ") && dot.contains("label=\"e\""), "{dot}");
+        // Each node emitted once even when shared by vertex+edge selection.
+        assert_eq!(dot.matches("label=\"A:1\"").count(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Abstract syntax tree for GraQL.
+//!
+//! The shapes follow the paper's grammar fragments: DDL (Figs. 2–4 and
+//! Appendix A), ingest (§II-A2), path queries with labels, variant steps
+//! and regexes (§II-B), and select statements with graph or table sources
+//! and `into table` / `into subgraph` result capture (§II-C).
+
+use graql_types::CmpOp;
+
+/// A full GraQL script: an ordered sequence of statements (§III, Ω).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    pub statements: Vec<Stmt>,
+}
+
+/// One GraQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable(CreateTable),
+    CreateVertex(CreateVertex),
+    CreateEdge(CreateEdge),
+    Ingest(Ingest),
+    Select(SelectStmt),
+}
+
+/// Surface type names of Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    Integer,
+    Float,
+    Varchar(u32),
+    Date,
+}
+
+impl TypeName {
+    pub fn to_data_type(self) -> graql_types::DataType {
+        match self {
+            TypeName::Integer => graql_types::DataType::Integer,
+            TypeName::Float => graql_types::DataType::Float,
+            TypeName::Varchar(n) => graql_types::DataType::Varchar(n),
+            TypeName::Date => graql_types::DataType::Date,
+        }
+    }
+}
+
+/// `create table T (col type, …)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<(String, TypeName)>,
+}
+
+/// `create vertex V(key, …) from table T [where cond]` (Eq. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateVertex {
+    pub name: String,
+    /// Key columns of the vertex type (the unique identifier).
+    pub key: Vec<String>,
+    pub from_table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// One endpoint in a `create edge … with vertices (…)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeEndpoint {
+    /// Vertex type name.
+    pub vertex_type: String,
+    /// Optional alias (`TypeVtx as A`), needed when both endpoints share a
+    /// type (the `subclass` edge of Fig. 3).
+    pub alias: Option<String>,
+}
+
+/// `create edge E with vertices (S [as A], T [as B]) [from table R,…] where cond`
+/// (Eq. 2). Order of the endpoints fixes the edge direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateEdge {
+    pub name: String,
+    pub source: EdgeEndpoint,
+    pub target: EdgeEndpoint,
+    /// Associated tables. With exactly one, each satisfying row becomes an
+    /// edge instance carrying that table's attributes; with zero or
+    /// several, edges are the distinct endpoint pairs of the join.
+    pub from_tables: Vec<String>,
+    pub where_clause: Option<Expr>,
+}
+
+/// `ingest table T path.csv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ingest {
+    pub table: String,
+    pub path: String,
+}
+
+// ---------------------------------------------------------------------------
+// Conditions
+// ---------------------------------------------------------------------------
+
+/// A boolean condition over attributes, labels and constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    Cmp { op: CmpOp, lhs: Operand, rhs: Operand },
+}
+
+/// A scalar operand of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `name` (attribute of the current step / sole table) or
+    /// `qualifier.name` (endpoint alias, table name, vertex type or label).
+    Attr { qualifier: Option<String>, name: String },
+    Lit(Lit),
+}
+
+/// Literal constants; `Param` is a `%Name%` placeholder bound at execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `date 'YYYY-MM-DD'`.
+    Date(graql_types::Date),
+    Param(String),
+}
+
+// ---------------------------------------------------------------------------
+// Path queries
+// ---------------------------------------------------------------------------
+
+/// Label kinds (§II-B2): `def X:` (set) vs `foreach x:` (element-wise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelKind {
+    Set,
+    Each,
+}
+
+/// A label definition attached to a step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelDef {
+    pub kind: LabelKind,
+    pub name: String,
+}
+
+/// Name position of a step: a concrete type / label name, or the `[ ]`
+/// variant metavariable (§II-B4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepName {
+    Named(String),
+    Any,
+}
+
+/// A vertex step `def X: resQ1.V(cond)` in all its optional glory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexStep {
+    pub label_def: Option<LabelDef>,
+    /// `result.` prefix seeding this step from a named prior result
+    /// (Fig. 12).
+    pub seed: Option<String>,
+    /// Vertex type name, label reference, or `[ ]`. Which of the first two
+    /// it is gets resolved during analysis, since labels and types share
+    /// the namespace syntax.
+    pub name: StepName,
+    /// Filter condition; `()` parses as `None`. Variant steps must not
+    /// carry conditions (checked in analysis, not in the grammar).
+    pub cond: Option<Expr>,
+}
+
+/// Direction of an edge traversal in path syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `--edge-->`: follow out-edges (declared direction).
+    Out,
+    /// `<--edge--`: follow in-edges (reverse direction).
+    In,
+}
+
+/// An edge step with its traversal direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeStep {
+    pub label_def: Option<LabelDef>,
+    pub name: StepName,
+    pub cond: Option<Expr>,
+    pub dir: Dir,
+}
+
+/// A path continuation following a vertex step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// `--e--> V` or `<--e-- V`.
+    Hop { edge: EdgeStep, vertex: VertexStep },
+    /// `{ hop+ }quant [V]`: a path regular expression over variant steps
+    /// (Fig. 10). The optional trailing vertex step unifies with the
+    /// frontier after repetition (the `VertexB(conditionsB)` terminator).
+    Group { hops: Vec<(EdgeStep, VertexStep)>, quant: Quant, exit: Option<VertexStep> },
+}
+
+/// Regular-expression quantifier on a path group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// `*` — zero or more repetitions.
+    Star,
+    /// `+` — one or more repetitions.
+    Plus,
+    /// `{n}` / `{n,m}` — bounded repetitions.
+    Range(u32, u32),
+}
+
+impl Quant {
+    pub fn bounds(self, max_cap: u32) -> (u32, u32) {
+        match self {
+            Quant::Star => (0, max_cap),
+            Quant::Plus => (1, max_cap),
+            Quant::Range(a, b) => (a, b),
+        }
+    }
+}
+
+/// A simple linear path query: head vertex step + segments (Eq. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathQuery {
+    pub head: VertexStep,
+    pub segments: Vec<Segment>,
+}
+
+/// Multi-path composition (§II-B3): `and` requires a shared label, `or`
+/// unions results. `or` binds looser than `and`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathComposition {
+    Single(PathQuery),
+    And(Vec<PathComposition>),
+    Or(Vec<PathComposition>),
+}
+
+// ---------------------------------------------------------------------------
+// Select statements
+// ---------------------------------------------------------------------------
+
+/// A column / attribute reference in a select context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+/// Aggregate function call in a projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggCall {
+    CountStar,
+    Count(ColRef),
+    Sum(ColRef),
+    Avg(ColRef),
+    Min(ColRef),
+    Max(ColRef),
+}
+
+/// One projected item.
+///
+/// A bare identifier parses as an unqualified [`ColRef`]; over a graph
+/// source, analysis reinterprets it as a step/label reference (`select V0,
+/// Vn from graph …`), while over a table source it is a column name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectExpr {
+    /// `step.attr`, bare `attr` (table context) or bare step name (graph
+    /// context).
+    Col(ColRef),
+    Agg(AggCall),
+}
+
+/// Projection item with optional `as` alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SelectExpr,
+    pub alias: Option<String>,
+}
+
+/// The projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectTargets {
+    /// `select *`.
+    Star,
+    Items(Vec<SelectItem>),
+}
+
+/// What the select draws from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectSource {
+    /// `from graph <path composition>`.
+    Graph(PathComposition),
+    /// `from table T`.
+    Table(String),
+}
+
+/// Result capture (§II-C).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntoClause {
+    Table(String),
+    Subgraph(String),
+}
+
+/// `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub col: ColRef,
+    pub desc: bool,
+}
+
+/// The unified select statement (graph or table source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    /// `top n`.
+    pub top: Option<u64>,
+    pub targets: SelectTargets,
+    pub source: SelectSource,
+    /// `where` over a table source (graph sources place conditions on
+    /// steps instead).
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<ColRef>,
+    pub order_by: Vec<OrderKey>,
+    pub into: Option<IntoClause>,
+}
+
+impl SelectStmt {
+    /// True if any projection item is an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        match &self.targets {
+            SelectTargets::Star => false,
+            SelectTargets::Items(items) => {
+                items.iter().any(|i| matches!(i.expr, SelectExpr::Agg(_)))
+            }
+        }
+    }
+}
+
+impl PathQuery {
+    /// Iterates all vertex steps (head, hop vertices, group hops and group
+    /// exits) in syntactic order.
+    pub fn vertex_steps(&self) -> Vec<&VertexStep> {
+        let mut out = vec![&self.head];
+        for s in &self.segments {
+            match s {
+                Segment::Hop { vertex, .. } => out.push(vertex),
+                Segment::Group { hops, exit, .. } => {
+                    out.extend(hops.iter().map(|(_, v)| v));
+                    if let Some(v) = exit {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates all edge steps in syntactic order.
+    pub fn edge_steps(&self) -> Vec<&EdgeStep> {
+        let mut out = Vec::new();
+        for s in &self.segments {
+            match s {
+                Segment::Hop { edge, .. } => out.push(edge),
+                Segment::Group { hops, .. } => out.extend(hops.iter().map(|(e, _)| e)),
+            }
+        }
+        out
+    }
+}
+
+impl PathComposition {
+    /// All simple paths in the composition, left to right.
+    pub fn paths(&self) -> Vec<&PathQuery> {
+        match self {
+            PathComposition::Single(p) => vec![p],
+            PathComposition::And(cs) | PathComposition::Or(cs) => {
+                cs.iter().flat_map(|c| c.paths()).collect()
+            }
+        }
+    }
+}

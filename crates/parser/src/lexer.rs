@@ -1,0 +1,377 @@
+//! The GraQL lexer.
+//!
+//! Hand-rolled single-pass scanner with longest-match punctuation
+//! (`-->` before `--` before `-`; `<--` before `<=` before `<`). Line
+//! comments start with `//` (as used in the paper's Appendix A).
+
+use graql_types::{GraqlError, Result};
+
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `input`, appending a single [`TokenKind::Eof`] sentinel.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, tokens: Vec::new(), _src: src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32, col: u32) {
+        self.tokens.push(Token { kind, line, col });
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GraqlError {
+        GraqlError::parse(msg, self.line, self.col)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            s.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Ident(s), line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    self.lex_number(line, col)?;
+                }
+                '\'' | '"' => {
+                    let quote = c;
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated string literal")),
+                            Some(c) if c == quote => {
+                                // Doubled quote is an escaped quote.
+                                if self.peek() == Some(quote) {
+                                    self.bump();
+                                    s.push(quote);
+                                } else {
+                                    break;
+                                }
+                            }
+                            Some(c) => s.push(c),
+                        }
+                    }
+                    self.push(TokenKind::Str(s), line, col);
+                }
+                '%' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated %parameter%")),
+                            Some('%') => break,
+                            Some(c) if c.is_ascii_alphanumeric() || c == '_' => s.push(c),
+                            Some(c) => {
+                                return Err(self.err(format!("invalid character {c:?} in parameter")))
+                            }
+                        }
+                    }
+                    if s.is_empty() {
+                        return Err(self.err("empty %parameter% name"));
+                    }
+                    self.push(TokenKind::Param(s), line, col);
+                }
+                '-' => {
+                    if self.peek_at(1) == Some('-') && self.peek_at(2) == Some('>') {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Arrow, line, col);
+                    } else if self.peek_at(1) == Some('-') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::DashDash, line, col);
+                    } else {
+                        self.bump();
+                        self.push(TokenKind::Minus, line, col);
+                    }
+                }
+                '<' => {
+                    if self.peek_at(1) == Some('-') && self.peek_at(2) == Some('-') {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::LArrow, line, col);
+                    } else if self.peek_at(1) == Some('=') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Le, line, col);
+                    } else if self.peek_at(1) == Some('>') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Ne, line, col);
+                    } else {
+                        self.bump();
+                        self.push(TokenKind::Lt, line, col);
+                    }
+                }
+                '>' => {
+                    if self.peek_at(1) == Some('=') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Ge, line, col);
+                    } else {
+                        self.bump();
+                        self.push(TokenKind::Gt, line, col);
+                    }
+                }
+                '!' => {
+                    if self.peek_at(1) == Some('=') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Ne, line, col);
+                    } else {
+                        return Err(self.err("expected != after !"));
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    self.push(TokenKind::Eq, line, col);
+                }
+                _ => {
+                    let kind = match c {
+                        '(' => TokenKind::LParen,
+                        ')' => TokenKind::RParen,
+                        '{' => TokenKind::LBrace,
+                        '}' => TokenKind::RBrace,
+                        '[' => TokenKind::LBracket,
+                        ']' => TokenKind::RBracket,
+                        ',' => TokenKind::Comma,
+                        '.' => TokenKind::Dot,
+                        ':' => TokenKind::Colon,
+                        ';' => TokenKind::Semi,
+                        '*' => TokenKind::Star,
+                        '+' => TokenKind::Plus,
+                        other => return Err(self.err(format!("unexpected character {other:?}"))),
+                    };
+                    self.bump();
+                    self.push(kind, line, col);
+                }
+            }
+        }
+        let (line, col) = (self.line, self.col);
+        self.push(TokenKind::Eof, line, col);
+        Ok(self.tokens)
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) -> Result<()> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        // A '.' starts a fraction only when followed by a digit, so that
+        // `resQ1.Vn`-style qualified names lex as ident DOT ident.
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            s.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E'))
+            && self
+                .peek_at(1)
+                .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-')
+        {
+            is_float = true;
+            s.push('e');
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                s.push(self.bump().unwrap());
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let kind = if is_float {
+            TokenKind::Float(s.parse().map_err(|_| self.err(format!("bad float literal {s}")))?)
+        } else {
+            TokenKind::Int(s.parse().map_err(|_| self.err(format!("bad integer literal {s}")))?)
+        };
+        self.push(kind, line, col);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        let mut v: Vec<TokenKind> = lex(s).unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(v.pop(), Some(Eof));
+        v
+    }
+
+    #[test]
+    fn idents_and_numbers() {
+        assert_eq!(
+            kinds("foo Bar_9 42 1.5 2e3"),
+            vec![
+                Ident("foo".into()),
+                Ident("Bar_9".into()),
+                Int(42),
+                Float(1.5),
+                Float(2000.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn path_arrows_longest_match() {
+        assert_eq!(
+            kinds("--producer--> <--reviewer--"),
+            vec![
+                DashDash,
+                Ident("producer".into()),
+                Arrow,
+                LArrow,
+                Ident("reviewer".into()),
+                DashDash,
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_is_not_a_float() {
+        assert_eq!(
+            kinds("resQ1.Vn"),
+            vec![Ident("resQ1".into()), Dot, Ident("Vn".into())]
+        );
+        // After an identifier, `.` is a qualifier dot, never a fraction.
+        assert_eq!(kinds("x1.5"), vec![Ident("x1".into()), Dot, Int(5)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("= != <> < <= > >="), vec![Eq, Ne, Ne, Lt, Le, Gt, Ge]);
+    }
+
+    #[test]
+    fn lt_is_not_swallowed_by_larrow() {
+        assert_eq!(kinds("a <- b"), vec![Ident("a".into()), Lt, Minus, Ident("b".into())]);
+        assert_eq!(kinds("a <-- b"), vec![Ident("a".into()), LArrow, Ident("b".into())]);
+    }
+
+    #[test]
+    fn strings_and_params() {
+        assert_eq!(
+            kinds("'US' \"it's\" %Product1%"),
+            vec![Str("US".into()), Str("it's".into()), Param("Product1".into())]
+        );
+        // doubled-quote escape in single quotes
+        assert_eq!(kinds("'a''b'"), vec![Str("a'b".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // rest of line\nb"),
+            vec![Ident("a".into()), Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_regex_tokens() {
+        assert_eq!(
+            kinds("( ) { }+ [ ] , . : ; * {3}"),
+            vec![LParen, RParen, LBrace, RBrace, Plus, LBracket, RBracket, Comma, Dot, Colon, Semi, Star, LBrace, Int(3), RBrace]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = lex("a\n  @").unwrap_err();
+        match e {
+            GraqlError::Parse { line, col, .. } => {
+                assert_eq!((line, col), (2, 3));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("%abc").is_err());
+        assert!(lex("%a b%").is_err());
+    }
+}

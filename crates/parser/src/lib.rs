@@ -1,0 +1,45 @@
+//! # graql-parser
+//!
+//! Lexer, abstract syntax tree, recursive-descent parser and pretty-printer
+//! for the GraQL language as specified in the paper:
+//!
+//! * data definition: `create table`, `create vertex`, `create edge`
+//!   (Figs. 2–4, Appendix A);
+//! * data ingest: `ingest table T file.csv` (§II-A2);
+//! * queries: `select … from graph <path composition> into table|subgraph`
+//!   (Figs. 6–13) and the relational `select … from table` statements with
+//!   the Table-1 operations;
+//! * path syntax: `--edge-->` / `<--edge--` steps, `def X:` / `foreach x:`
+//!   labels, `[ ]` variant steps, `{ … }+` path regular expressions, `and` /
+//!   `or` multi-path composition, and `result.Vertex` seeding.
+//!
+//! Keywords are case-insensitive and contextual; identifiers are
+//! case-sensitive. `%Name%` parameters (as in the Berlin queries) are
+//! substituted at execution time.
+//!
+//! ```
+//! use graql_parser::{ast, parse_statement};
+//!
+//! let stmt = parse_statement(
+//!     "select y.id from graph ProductVtx(id = %Product1%) \
+//!      --feature--> FeatureVtx() <--feature-- def y: ProductVtx() into table T1",
+//! ).unwrap();
+//! let ast::Stmt::Select(sel) = &stmt else { unreachable!() };
+//! assert!(matches!(sel.source, ast::SelectSource::Graph(_)));
+//! // The pretty-printer round-trips the AST.
+//! assert_eq!(parse_statement(&stmt.to_string()).unwrap(), stmt);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+pub mod token;
+
+pub use ast::*;
+pub use parser::{parse_expr, parse_script, parse_statement};
+
+/// Parses a full GraQL script (sequence of statements).
+pub fn parse(input: &str) -> graql_types::Result<ast::Script> {
+    parse_script(input)
+}

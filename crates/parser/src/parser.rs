@@ -1,0 +1,966 @@
+//! Recursive-descent parser for GraQL.
+//!
+//! Keywords are matched case-insensitively against identifier tokens, so
+//! none of them are reserved — the Berlin schema's `date` column keeps
+//! working even though `date` also introduces date literals and the `date`
+//! type name.
+
+use graql_types::{CmpOp, GraqlError, Result};
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete script.
+pub fn parse_script(input: &str) -> Result<Script> {
+    let mut p = Parser::new(input)?;
+    let mut statements = Vec::new();
+    while !p.at_eof() {
+        statements.push(p.statement()?);
+        while p.eat(&TokenKind::Semi) {}
+    }
+    Ok(Script { statements })
+}
+
+/// Parses exactly one statement (must consume all input).
+pub fn parse_statement(input: &str) -> Result<Stmt> {
+    let mut p = Parser::new(input)?;
+    let s = p.statement()?;
+    while p.eat(&TokenKind::Semi) {}
+    p.expect_eof()?;
+    Ok(s)
+}
+
+/// Parses a standalone condition expression (used by tests and the DDL
+/// builders).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(Parser { tokens: lex(input)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GraqlError {
+        let (line, col) = self.here();
+        GraqlError::parse(format!("{} (found {})", msg.into(), self.peek()), line, col)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err("expected end of input"))
+        }
+    }
+
+    /// Case-insensitive keyword test.
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.at_kw("create") {
+            self.bump();
+            if self.eat_kw("table") {
+                return Ok(Stmt::CreateTable(self.create_table()?));
+            }
+            if self.eat_kw("vertex") {
+                return Ok(Stmt::CreateVertex(self.create_vertex()?));
+            }
+            if self.eat_kw("edge") {
+                return Ok(Stmt::CreateEdge(self.create_edge()?));
+            }
+            return Err(self.err("expected 'table', 'vertex' or 'edge' after 'create'"));
+        }
+        if self.at_kw("ingest") {
+            self.bump();
+            return Ok(Stmt::Ingest(self.ingest()?));
+        }
+        if self.at_kw("select") {
+            self.bump();
+            return Ok(Stmt::Select(self.select()?));
+        }
+        Err(self.err("expected a statement ('create', 'ingest' or 'select')"))
+    }
+
+    fn create_table(&mut self) -> Result<CreateTable> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.type_name()?;
+            columns.push((col, ty));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(CreateTable { name, columns })
+    }
+
+    fn type_name(&mut self) -> Result<TypeName> {
+        if self.eat_kw("integer") {
+            return Ok(TypeName::Integer);
+        }
+        if self.eat_kw("float") {
+            return Ok(TypeName::Float);
+        }
+        if self.eat_kw("date") {
+            return Ok(TypeName::Date);
+        }
+        if self.eat_kw("varchar") {
+            self.expect(&TokenKind::LParen)?;
+            let n = match self.bump() {
+                TokenKind::Int(n) if n > 0 => n as u32,
+                _ => return Err(self.err("expected varchar length")),
+            };
+            self.expect(&TokenKind::RParen)?;
+            return Ok(TypeName::Varchar(n));
+        }
+        Err(self.err("expected a type (integer, float, varchar(n), date)"))
+    }
+
+    fn create_vertex(&mut self) -> Result<CreateVertex> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut key = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            key.push(self.ident()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect_kw("from")?;
+        self.expect_kw("table")?;
+        let from_table = self.ident()?;
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(CreateVertex { name, key, from_table, where_clause })
+    }
+
+    fn create_edge(&mut self) -> Result<CreateEdge> {
+        let name = self.ident()?;
+        self.expect_kw("with")?;
+        self.expect_kw("vertices")?;
+        self.expect(&TokenKind::LParen)?;
+        let source = self.edge_endpoint()?;
+        self.expect(&TokenKind::Comma)?;
+        let target = self.edge_endpoint()?;
+        self.expect(&TokenKind::RParen)?;
+        let mut from_tables = Vec::new();
+        if self.eat_kw("from") {
+            self.expect_kw("table")?;
+            from_tables.push(self.ident()?);
+            while self.eat(&TokenKind::Comma) {
+                from_tables.push(self.ident()?);
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(CreateEdge { name, source, target, from_tables, where_clause })
+    }
+
+    fn edge_endpoint(&mut self) -> Result<EdgeEndpoint> {
+        let vertex_type = self.ident()?;
+        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        Ok(EdgeEndpoint { vertex_type, alias })
+    }
+
+    fn ingest(&mut self) -> Result<Ingest> {
+        self.expect_kw("table")?;
+        let table = self.ident()?;
+        // Filename: quoted string, or bare dotted name (`products.csv`).
+        let path = match self.peek().clone() {
+            TokenKind::Str(s) => {
+                self.bump();
+                s
+            }
+            TokenKind::Ident(_) => {
+                let mut s = self.ident()?;
+                while self.eat(&TokenKind::Dot) {
+                    s.push('.');
+                    s.push_str(&self.ident()?);
+                }
+                s
+            }
+            _ => return Err(self.err("expected a file name")),
+        };
+        Ok(Ingest { table, path })
+    }
+
+    // -- select -------------------------------------------------------------
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let mut top = None;
+        let mut distinct = false;
+        loop {
+            if self.at_kw("top") && matches!(self.peek_at(1), TokenKind::Int(_)) {
+                self.bump();
+                if let TokenKind::Int(n) = self.bump() {
+                    top = Some(n as u64);
+                }
+            } else if self.at_kw("distinct") {
+                self.bump();
+                distinct = true;
+            } else {
+                break;
+            }
+        }
+        let targets = self.select_targets()?;
+        self.expect_kw("from")?;
+        let source = if self.eat_kw("graph") {
+            SelectSource::Graph(self.path_composition()?)
+        } else if self.eat_kw("table") {
+            SelectSource::Table(self.ident()?)
+        } else {
+            return Err(self.err("expected 'graph' or 'table' after 'from'"));
+        };
+        let mut where_clause = None;
+        let mut group_by = Vec::new();
+        let mut order_by = Vec::new();
+        let mut into = None;
+        loop {
+            if self.eat_kw("where") {
+                where_clause = Some(self.expr()?);
+            } else if self.at_kw("group") {
+                self.bump();
+                self.expect_kw("by")?;
+                group_by.push(self.col_ref()?);
+                while self.eat(&TokenKind::Comma) {
+                    group_by.push(self.col_ref()?);
+                }
+            } else if self.at_kw("order") {
+                self.bump();
+                self.expect_kw("by")?;
+                loop {
+                    let col = self.col_ref()?;
+                    let desc = if self.eat_kw("desc") {
+                        true
+                    } else {
+                        self.eat_kw("asc");
+                        false
+                    };
+                    order_by.push(OrderKey { col, desc });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            } else if self.at_kw("into") {
+                self.bump();
+                if self.eat_kw("table") {
+                    into = Some(IntoClause::Table(self.ident()?));
+                } else if self.eat_kw("subgraph") {
+                    into = Some(IntoClause::Subgraph(self.ident()?));
+                } else {
+                    return Err(self.err("expected 'table' or 'subgraph' after 'into'"));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(SelectStmt { distinct, top, targets, source, where_clause, group_by, order_by, into })
+    }
+
+    fn select_targets(&mut self) -> Result<SelectTargets> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectTargets::Star);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(SelectTargets::Items(items))
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = if let Some(agg) = self.try_agg_call()? {
+            SelectExpr::Agg(agg)
+        } else {
+            SelectExpr::Col(self.col_ref()?)
+        };
+        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn try_agg_call(&mut self) -> Result<Option<AggCall>> {
+        let func = match self.peek() {
+            TokenKind::Ident(s) => s.to_ascii_lowercase(),
+            _ => return Ok(None),
+        };
+        if !matches!(func.as_str(), "count" | "sum" | "avg" | "min" | "max")
+            || self.peek_at(1) != &TokenKind::LParen
+        {
+            return Ok(None);
+        }
+        self.bump();
+        self.expect(&TokenKind::LParen)?;
+        let call = if func == "count" && self.eat(&TokenKind::Star) {
+            AggCall::CountStar
+        } else {
+            let col = self.col_ref()?;
+            match func.as_str() {
+                "count" => AggCall::Count(col),
+                "sum" => AggCall::Sum(col),
+                "avg" => AggCall::Avg(col),
+                "min" => AggCall::Min(col),
+                "max" => AggCall::Max(col),
+                _ => unreachable!(),
+            }
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(Some(call))
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef> {
+        let first = self.ident()?;
+        if self.eat(&TokenKind::Dot) {
+            let name = self.ident()?;
+            Ok(ColRef { qualifier: Some(first), name })
+        } else {
+            Ok(ColRef { qualifier: None, name: first })
+        }
+    }
+
+    // -- path queries ---------------------------------------------------------
+
+    fn path_composition(&mut self) -> Result<PathComposition> {
+        // or binds loosest.
+        let mut parts = vec![self.path_and()?];
+        while self.eat_kw("or") {
+            parts.push(self.path_and()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { PathComposition::Or(parts) })
+    }
+
+    fn path_and(&mut self) -> Result<PathComposition> {
+        let mut parts = vec![self.path_primary()?];
+        while self.at_kw("and") {
+            self.bump();
+            parts.push(self.path_primary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { PathComposition::And(parts) })
+    }
+
+    fn path_primary(&mut self) -> Result<PathComposition> {
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.path_composition()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        Ok(PathComposition::Single(self.path_query()?))
+    }
+
+    fn path_query(&mut self) -> Result<PathQuery> {
+        let head = self.vertex_step()?;
+        let mut segments = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::DashDash => {
+                    self.bump();
+                    let mut edge = self.edge_inner()?;
+                    edge.dir = Dir::Out;
+                    self.expect(&TokenKind::Arrow)?;
+                    let vertex = self.vertex_step()?;
+                    segments.push(Segment::Hop { edge, vertex });
+                }
+                TokenKind::LArrow => {
+                    self.bump();
+                    let mut edge = self.edge_inner()?;
+                    edge.dir = Dir::In;
+                    self.expect(&TokenKind::DashDash)?;
+                    let vertex = self.vertex_step()?;
+                    segments.push(Segment::Hop { edge, vertex });
+                }
+                // Cosmetic arrow before a regex group (Fig. 10).
+                TokenKind::Arrow if self.peek_at(1) == &TokenKind::LBrace => {
+                    self.bump();
+                    segments.push(self.group_segment()?);
+                }
+                TokenKind::LBrace => {
+                    segments.push(self.group_segment()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(PathQuery { head, segments })
+    }
+
+    fn group_segment(&mut self) -> Result<Segment> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut hops = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::DashDash => {
+                    self.bump();
+                    let mut edge = self.edge_inner()?;
+                    edge.dir = Dir::Out;
+                    self.expect(&TokenKind::Arrow)?;
+                    hops.push((edge, self.vertex_step()?));
+                }
+                TokenKind::LArrow => {
+                    self.bump();
+                    let mut edge = self.edge_inner()?;
+                    edge.dir = Dir::In;
+                    self.expect(&TokenKind::DashDash)?;
+                    hops.push((edge, self.vertex_step()?));
+                }
+                TokenKind::RBrace => break,
+                _ => return Err(self.err("expected an edge step or '}' inside a path group")),
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        if hops.is_empty() {
+            return Err(self.err("a path group must contain at least one step"));
+        }
+        let quant = self.quantifier()?;
+        // Optional exit vertex after `-->` (the VertexB terminator).
+        let exit = if self.eat(&TokenKind::Arrow) { Some(self.vertex_step()?) } else { None };
+        Ok(Segment::Group { hops, quant, exit })
+    }
+
+    fn quantifier(&mut self) -> Result<Quant> {
+        match self.peek().clone() {
+            TokenKind::Plus => {
+                self.bump();
+                Ok(Quant::Plus)
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Quant::Star)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let lo = match self.bump() {
+                    TokenKind::Int(n) if n >= 0 => n as u32,
+                    _ => return Err(self.err("expected repetition count")),
+                };
+                let hi = if self.eat(&TokenKind::Comma) {
+                    match self.bump() {
+                        TokenKind::Int(n) if n >= lo as i64 => n as u32,
+                        _ => return Err(self.err("expected upper repetition bound >= lower")),
+                    }
+                } else {
+                    lo
+                };
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Quant::Range(lo, hi))
+            }
+            _ => Err(self.err("expected a quantifier (+, * or {n})")),
+        }
+    }
+
+    /// Parses a vertex step: `[def X:|foreach x:] [seed.] (name|[ ]) [(cond)]`.
+    fn vertex_step(&mut self) -> Result<VertexStep> {
+        let label_def = self.try_label_def()?;
+        // Seed prefix: ident '.' ident.
+        let (seed, name) = match self.peek() {
+            TokenKind::LBracket => {
+                self.bump();
+                self.expect(&TokenKind::RBracket)?;
+                (None, StepName::Any)
+            }
+            TokenKind::Ident(_) => {
+                let first = self.ident()?;
+                if self.eat(&TokenKind::Dot) {
+                    (Some(first), StepName::Named(self.ident()?))
+                } else {
+                    (None, StepName::Named(first))
+                }
+            }
+            _ => return Err(self.err("expected a vertex step")),
+        };
+        let cond = self.opt_step_condition()?;
+        Ok(VertexStep { label_def, seed, name, cond })
+    }
+
+    /// The inside of an edge step (between the arrow delimiters); direction
+    /// is patched in by the caller.
+    fn edge_inner(&mut self) -> Result<EdgeStep> {
+        let label_def = self.try_label_def()?;
+        let name = match self.peek() {
+            TokenKind::LBracket => {
+                self.bump();
+                self.expect(&TokenKind::RBracket)?;
+                StepName::Any
+            }
+            TokenKind::Ident(_) => StepName::Named(self.ident()?),
+            _ => return Err(self.err("expected an edge step")),
+        };
+        let cond = self.opt_step_condition()?;
+        Ok(EdgeStep { label_def, name, cond, dir: Dir::Out })
+    }
+
+    fn try_label_def(&mut self) -> Result<Option<LabelDef>> {
+        let kind = if self.at_kw("def") {
+            LabelKind::Set
+        } else if self.at_kw("foreach") {
+            LabelKind::Each
+        } else {
+            return Ok(None);
+        };
+        // Only a label definition if followed by `name :`.
+        if matches!(self.peek_at(1), TokenKind::Ident(_)) && self.peek_at(2) == &TokenKind::Colon {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(&TokenKind::Colon)?;
+            Ok(Some(LabelDef { kind, name }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn opt_step_condition(&mut self) -> Result<Option<Expr>> {
+        if !self.eat(&TokenKind::LParen) {
+            return Ok(None);
+        }
+        if self.eat(&TokenKind::RParen) {
+            return Ok(None); // `( )` = no filter
+        }
+        let e = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Some(e))
+    }
+
+    // -- conditions -----------------------------------------------------------
+
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        let mut parts = vec![self.and_expr()?];
+        while self.at_kw("or") {
+            self.bump();
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::Or(parts) })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut parts = vec![self.not_expr()?];
+        while self.at_kw("and") {
+            self.bump();
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::And(parts) })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.at_kw("not") {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        if self.peek() == &TokenKind::LParen {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(e);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.operand()?;
+        let op = match self.bump() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("expected a comparison operator"));
+            }
+        };
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp { op, lhs, rhs })
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Operand::Lit(Lit::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Operand::Lit(Lit::Float(f)))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.bump() {
+                    TokenKind::Int(i) => Ok(Operand::Lit(Lit::Int(-i))),
+                    TokenKind::Float(f) => Ok(Operand::Lit(Lit::Float(-f))),
+                    _ => {
+                        self.pos -= 1;
+                        Err(self.err("expected a number after unary minus"))
+                    }
+                }
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Operand::Lit(Lit::Str(s)))
+            }
+            TokenKind::Param(p) => {
+                self.bump();
+                Ok(Operand::Lit(Lit::Param(p)))
+            }
+            // `date '2008-01-01'` literal (but `date = …` is a column ref).
+            TokenKind::Ident(s)
+                if s.eq_ignore_ascii_case("date")
+                    && matches!(self.peek_at(1), TokenKind::Str(_)) =>
+            {
+                self.bump();
+                if let TokenKind::Str(d) = self.bump() {
+                    let parsed: graql_types::Date = d
+                        .parse()
+                        .map_err(|e: GraqlError| {
+                            let (line, col) = self.here();
+                            GraqlError::parse(e.to_string(), line, col)
+                        })?;
+                    Ok(Operand::Lit(Lit::Date(parsed)))
+                } else {
+                    unreachable!("peeked a string literal")
+                }
+            }
+            TokenKind::Ident(_) => {
+                let c = self.col_ref()?;
+                Ok(Operand::Attr { qualifier: c.qualifier, name: c.name })
+            }
+            _ => Err(self.err("expected an operand (attribute, literal or %param%)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_with_all_types() {
+        let s = parse_statement(
+            "create table Offers(id varchar(10), price float, deliveryDays integer, validFrom date)",
+        )
+        .unwrap();
+        let Stmt::CreateTable(t) = s else { panic!("wrong statement") };
+        assert_eq!(t.name, "Offers");
+        assert_eq!(t.columns.len(), 4);
+        assert_eq!(t.columns[0], ("id".into(), TypeName::Varchar(10)));
+        assert_eq!(t.columns[3], ("validFrom".into(), TypeName::Date));
+    }
+
+    #[test]
+    fn create_vertex_fig2() {
+        let s = parse_statement("create vertex ProductVtx(id) from table Products").unwrap();
+        let Stmt::CreateVertex(v) = s else { panic!() };
+        assert_eq!(v.name, "ProductVtx");
+        assert_eq!(v.key, vec!["id"]);
+        assert_eq!(v.from_table, "Products");
+        assert!(v.where_clause.is_none());
+    }
+
+    #[test]
+    fn create_edge_fig3_subclass_with_aliases() {
+        let s = parse_statement(
+            "create edge subclass with vertices (TypeVtx as A, TypeVtx as B) where A.subclassOf = B.id",
+        )
+        .unwrap();
+        let Stmt::CreateEdge(e) = s else { panic!() };
+        assert_eq!(e.name, "subclass");
+        assert_eq!(e.source.alias.as_deref(), Some("A"));
+        assert_eq!(e.target.vertex_type, "TypeVtx");
+        assert!(e.from_tables.is_empty());
+        let Some(Expr::Cmp { op: CmpOp::Eq, lhs, .. }) = e.where_clause else { panic!() };
+        assert_eq!(
+            lhs,
+            Operand::Attr { qualifier: Some("A".into()), name: "subclassOf".into() }
+        );
+    }
+
+    #[test]
+    fn create_edge_fig3_type_with_assoc_table() {
+        let s = parse_statement(
+            "create edge type with vertices (ProductVtx, TypeVtx) from table ProductTypes \
+             where ProductTypes.product = ProductVtx.id and ProductTypes.type = TypeVtx.id",
+        )
+        .unwrap();
+        let Stmt::CreateEdge(e) = s else { panic!() };
+        assert_eq!(e.from_tables, vec!["ProductTypes"]);
+        assert!(matches!(e.where_clause, Some(Expr::And(ref xs)) if xs.len() == 2));
+    }
+
+    #[test]
+    fn ingest_with_bare_and_quoted_paths() {
+        let Stmt::Ingest(i) = parse_statement("ingest table Products products.csv").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((i.table.as_str(), i.path.as_str()), ("Products", "products.csv"));
+        let Stmt::Ingest(i) =
+            parse_statement("ingest table Products '/data/products v2.csv'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(i.path, "/data/products v2.csv");
+    }
+
+    #[test]
+    fn berlin_query_2_figure_6() {
+        // First statement of Fig. 6 (graph select into table).
+        let s = parse_statement(
+            "select y.id from graph \
+             ProductVtx (id = %Product1%) --feature--> FeatureVtx \
+             <--feature-- def y: ProductVtx (id != %Product1%) \
+             into table T1",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(path)) = &sel.source else { panic!() };
+        assert_eq!(path.segments.len(), 2);
+        let Segment::Hop { edge, vertex } = &path.segments[1] else { panic!() };
+        assert_eq!(edge.dir, Dir::In);
+        assert_eq!(
+            vertex.label_def,
+            Some(LabelDef { kind: LabelKind::Set, name: "y".into() })
+        );
+        assert_eq!(sel.into, Some(IntoClause::Table("T1".into())));
+
+        // Second statement of Fig. 6 (relational postprocessing).
+        let s2 = parse_statement(
+            "select top 10 id, count(*) as groupCount from table T1 \
+             group by id order by groupCount desc",
+        )
+        .unwrap();
+        let Stmt::Select(sel2) = s2 else { panic!() };
+        assert_eq!(sel2.top, Some(10));
+        assert!(sel2.has_aggregates());
+        assert_eq!(sel2.group_by.len(), 1);
+        assert!(sel2.order_by[0].desc);
+    }
+
+    #[test]
+    fn berlin_query_1_figure_7_multipath() {
+        let s = parse_statement(
+            "select TypeVtx.id from graph \
+             PersonVtx (country = %Country2%) <--reviewer-- ReviewVtx \
+             --reviewFor--> foreach y: ProductVtx \
+             --producer--> ProducerVtx (country = %Country1%) \
+             and (y --type--> TypeVtx) \
+             into table T1",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::And(parts)) = &sel.source else {
+            panic!("expected and-composition, got {:?}", sel.source)
+        };
+        assert_eq!(parts.len(), 2);
+        let PathComposition::Single(branch) = &parts[1] else { panic!() };
+        assert_eq!(branch.head.name, StepName::Named("y".into()));
+    }
+
+    #[test]
+    fn variant_steps_figure_9() {
+        let s = parse_statement(
+            "select * from graph ProductVtx(id = %Product1%) <--[]-- [] into subgraph res",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        let Segment::Hop { edge, vertex } = &p.segments[0] else { panic!() };
+        assert_eq!(edge.name, StepName::Any);
+        assert_eq!(vertex.name, StepName::Any);
+        assert_eq!(sel.into, Some(IntoClause::Subgraph("res".into())));
+    }
+
+    #[test]
+    fn regex_path_figure_10() {
+        let s = parse_statement(
+            "select * from graph VertexA(x = 1) --> { --[]--> [] }+ --> VertexB(y = 2) \
+             into subgraph r",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        assert_eq!(p.segments.len(), 1);
+        let Segment::Group { hops, quant, exit } = &p.segments[0] else { panic!() };
+        assert_eq!(hops.len(), 1);
+        assert_eq!(*quant, Quant::Plus);
+        assert!(exit.is_some());
+    }
+
+    #[test]
+    fn regex_quantifiers() {
+        for (src, expected) in [
+            ("{ --[]--> [] }*", Quant::Star),
+            ("{ --[]--> [] }{10}", Quant::Range(10, 10)),
+            ("{ --[]--> [] }{2,5}", Quant::Range(2, 5)),
+        ] {
+            let q = format!("select * from graph A() {src}");
+            let Stmt::Select(sel) = parse_statement(&q).unwrap() else { panic!() };
+            let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+            let Segment::Group { quant, .. } = &p.segments[0] else { panic!() };
+            assert_eq!(*quant, expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn structural_query_eq12() {
+        // def X : [] --[]--> X
+        let s = parse_statement("select * from graph def X: [] --[]--> X").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        assert_eq!(p.head.label_def.as_ref().unwrap().name, "X");
+        assert_eq!(p.head.name, StepName::Any);
+        let Segment::Hop { vertex, .. } = &p.segments[0] else { panic!() };
+        assert_eq!(vertex.name, StepName::Named("X".into()));
+    }
+
+    #[test]
+    fn seeded_query_figure_12() {
+        let s = parse_statement("select * from graph resQ1.Vn(c = 1) --e--> W").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        assert_eq!(p.head.seed.as_deref(), Some("resQ1"));
+        assert_eq!(p.head.name, StepName::Named("Vn".into()));
+    }
+
+    #[test]
+    fn empty_parens_mean_no_filter() {
+        let s = parse_statement("select * from graph V() --e--> W()").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        assert!(p.head.cond.is_none());
+    }
+
+    #[test]
+    fn expression_precedence_and_not() {
+        let e = parse_expr("a = 1 or b = 2 and not c = 3").unwrap();
+        let Expr::Or(parts) = e else { panic!() };
+        assert_eq!(parts.len(), 2);
+        let Expr::And(rhs) = &parts[1] else { panic!() };
+        assert!(matches!(rhs[1], Expr::Not(_)));
+    }
+
+    #[test]
+    fn date_literals_and_column_named_date() {
+        let e = parse_expr("validFrom <= date '2008-06-01' and date = 7").unwrap();
+        let Expr::And(parts) = e else { panic!() };
+        let Expr::Cmp { rhs, .. } = &parts[0] else { panic!() };
+        assert!(matches!(rhs, Operand::Lit(Lit::Date(_))));
+        let Expr::Cmp { lhs, .. } = &parts[1] else { panic!() };
+        assert_eq!(lhs, &Operand::Attr { qualifier: None, name: "date".into() });
+    }
+
+    #[test]
+    fn negative_literals() {
+        let e = parse_expr("x > -5").unwrap();
+        let Expr::Cmp { rhs, .. } = e else { panic!() };
+        assert_eq!(rhs, Operand::Lit(Lit::Int(-5)));
+    }
+
+    #[test]
+    fn script_with_multiple_statements() {
+        let script = parse_script(
+            "create table T(a integer)\n\
+             ingest table T t.csv;\n\
+             select a from table T",
+        )
+        .unwrap();
+        assert_eq!(script.statements.len(), 3);
+    }
+
+    #[test]
+    fn errors_report_positions() {
+        let err = parse_statement("create table T(a integer,)").unwrap_err();
+        assert!(matches!(err, GraqlError::Parse { .. }), "{err}");
+        let err = parse_statement("select from table T").unwrap_err();
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_statement("SELECT a FROM TABLE T").is_ok());
+        assert!(parse_statement("Create Table T(a Integer)").is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("select a from table T xyz()").is_err());
+    }
+}

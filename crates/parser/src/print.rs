@@ -1,0 +1,386 @@
+//! Pretty-printer: renders the AST back to valid GraQL.
+//!
+//! The invariant `parse(print(ast)) == ast` is property-tested in the
+//! parser tests and gives the IR layer (graql-core) a human-readable dump
+//! of compiled queries.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.statements.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::CreateTable(t) => write!(f, "{t}"),
+            Stmt::CreateVertex(v) => write!(f, "{v}"),
+            Stmt::CreateEdge(e) => write!(f, "{e}"),
+            Stmt::Ingest(i) => write!(f, "{i}"),
+            Stmt::Select(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeName::Integer => write!(f, "integer"),
+            TypeName::Float => write!(f, "float"),
+            TypeName::Varchar(n) => write!(f, "varchar({n})"),
+            TypeName::Date => write!(f, "date"),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create table {}(", self.name)?;
+        for (i, (n, t)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n} {t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for CreateVertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create vertex {}({}) from table {}", self.name, self.key.join(", "), self.from_table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EdgeEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vertex_type)?;
+        if let Some(a) = &self.alias {
+            write!(f, " as {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CreateEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create edge {} with vertices ({}, {})", self.name, self.source, self.target)?;
+        if !self.from_tables.is_empty() {
+            write!(f, " from table {}", self.from_tables.join(", "))?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ingest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ingest table {} '{}'", self.table, self.path.replace('\'', "''"))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::And(parts) => join_bool(f, parts, "and"),
+            Expr::Or(parts) => join_bool(f, parts, "or"),
+            Expr::Not(x) => write!(f, "not ({x})"),
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+fn join_bool(f: &mut fmt::Formatter<'_>, parts: &[Expr], word: &str) -> fmt::Result {
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            write!(f, " {word} ")?;
+        }
+        // Parenthesize nested boolean structure to preserve shape.
+        match p {
+            Expr::And(_) | Expr::Or(_) => write!(f, "({p})")?,
+            _ => write!(f, "{p}")?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Operand::Attr { qualifier: None, name } => write!(f, "{name}"),
+            Operand::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(i) => write!(f, "{i}"),
+            Lit::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Lit::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Lit::Date(d) => write!(f, "date '{d}'"),
+            Lit::Param(p) => write!(f, "%{p}%"),
+        }
+    }
+}
+
+impl fmt::Display for LabelDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LabelKind::Set => write!(f, "def {}: ", self.name),
+            LabelKind::Each => write!(f, "foreach {}: ", self.name),
+        }
+    }
+}
+
+impl fmt::Display for StepName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepName::Named(n) => write!(f, "{n}"),
+            StepName::Any => write!(f, "[]"),
+        }
+    }
+}
+
+impl fmt::Display for VertexStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = &self.label_def {
+            write!(f, "{l}")?;
+        }
+        if let Some(s) = &self.seed {
+            write!(f, "{s}.")?;
+        }
+        write!(f, "{}", self.name)?;
+        if let Some(c) = &self.cond {
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EdgeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Direction arrows are printed by the segment, not here.
+        if let Some(l) = &self.label_def {
+            write!(f, "{l}")?;
+        }
+        write!(f, "{}", self.name)?;
+        if let Some(c) = &self.cond {
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+fn write_hop(f: &mut fmt::Formatter<'_>, edge: &EdgeStep, vertex: &VertexStep) -> fmt::Result {
+    match edge.dir {
+        Dir::Out => write!(f, " --{edge}--> {vertex}"),
+        Dir::In => write!(f, " <--{edge}-- {vertex}"),
+    }
+}
+
+impl fmt::Display for Quant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quant::Star => write!(f, "*"),
+            Quant::Plus => write!(f, "+"),
+            Quant::Range(a, b) if a == b => write!(f, "{{{a}}}"),
+            Quant::Range(a, b) => write!(f, "{{{a},{b}}}"),
+        }
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        for seg in &self.segments {
+            match seg {
+                Segment::Hop { edge, vertex } => write_hop(f, edge, vertex)?,
+                Segment::Group { hops, quant, exit } => {
+                    write!(f, " {{")?;
+                    for (e, v) in hops {
+                        write_hop(f, e, v)?;
+                    }
+                    write!(f, " }}{quant}")?;
+                    if let Some(v) = exit {
+                        write!(f, " --> {v}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PathComposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathComposition::Single(p) => write!(f, "{p}"),
+            PathComposition::And(parts) => join_paths(f, parts, "and"),
+            PathComposition::Or(parts) => join_paths(f, parts, "or"),
+        }
+    }
+}
+
+fn join_paths(f: &mut fmt::Formatter<'_>, parts: &[PathComposition], word: &str) -> fmt::Result {
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            write!(f, " {word} ")?;
+        }
+        match p {
+            PathComposition::Single(_) => write!(f, "({p})")?,
+            _ => write!(f, "({p})")?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggCall::CountStar => write!(f, "count(*)"),
+            AggCall::Count(c) => write!(f, "count({c})"),
+            AggCall::Sum(c) => write!(f, "sum({c})"),
+            AggCall::Avg(c) => write!(f, "avg({c})"),
+            AggCall::Min(c) => write!(f, "min({c})"),
+            AggCall::Max(c) => write!(f, "max({c})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.expr {
+            SelectExpr::Col(c) => write!(f, "{c}")?,
+            SelectExpr::Agg(a) => write!(f, "{a}")?,
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " as {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select")?;
+        if let Some(n) = self.top {
+            write!(f, " top {n}")?;
+        }
+        if self.distinct {
+            write!(f, " distinct")?;
+        }
+        match &self.targets {
+            SelectTargets::Star => write!(f, " *")?,
+            SelectTargets::Items(items) => {
+                for (i, it) in items.iter().enumerate() {
+                    write!(f, "{}{it}", if i == 0 { " " } else { ", " })?;
+                }
+            }
+        }
+        match &self.source {
+            SelectSource::Graph(p) => write!(f, " from graph {p}")?,
+            SelectSource::Table(t) => write!(f, " from table {t}")?,
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " group by ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                write!(f, "{}{c}", if i == 0 { "" } else { ", " })?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " order by ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                write!(f, "{}{}{}", if i == 0 { "" } else { ", " }, k.col, if k.desc { " desc" } else { " asc" })?;
+            }
+        }
+        match &self.into {
+            Some(IntoClause::Table(n)) => write!(f, " into table {n}")?,
+            Some(IntoClause::Subgraph(n)) => write!(f, " into subgraph {n}")?,
+            None => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_script, parse_statement};
+
+    /// Statements that exercise every printable construct.
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "create table Products(id varchar(10), producer varchar(10), propertyNumeric_1 integer, price float, date date)",
+            "create vertex ProductVtx(id) from table Products",
+            "create vertex ProducerCountry(country) from table Producers where country != 'XX'",
+            "create edge subclass with vertices (TypeVtx as A, TypeVtx as B) where A.subclassOf = B.id",
+            "create edge type with vertices (ProductVtx, TypeVtx) from table ProductTypes where ProductTypes.product = ProductVtx.id and ProductTypes.type = TypeVtx.id",
+            "ingest table Products 'products.csv'",
+            "select y.id from graph ProductVtx(id = %Product1%) --feature--> FeatureVtx <--feature-- def y: ProductVtx(id != %Product1%) into table T1",
+            "select top 10 id, count(*) as groupCount from table T1 group by id order by groupCount desc",
+            "select TypeVtx.id from graph (PersonVtx(country = %Country2%) <--reviewer-- ReviewVtx --reviewFor--> foreach y: ProductVtx --producer--> ProducerVtx(country = %Country1%)) and (y --type--> TypeVtx) into table T2",
+            "select * from graph ProductVtx(id = 'p1') <--[]-- [] into subgraph resultsG",
+            "select V0, Vn from graph V0() --e--> V1 --f--> Vn into subgraph resultsBE",
+            "select * from graph VertexA(a = 1) { --[]--> [] }+ --> VertexB(b = 2.5) into subgraph r",
+            "select * from graph A() { --x--> B <--y-- C }{2,5}",
+            "select * from graph def X: [] --[]--> X",
+            "select * from graph resQ1.Vn(c = date '2008-01-01') --e--> W",
+            "select distinct a, max(b) as m from table T where a > -3 and (b = 1 or not c = 'q''s') group by a order by m asc, a desc into table Out",
+        ]
+    }
+
+    #[test]
+    fn print_parse_round_trip_is_identity() {
+        for src in corpus() {
+            let ast1 = parse_statement(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let printed = ast1.to_string();
+            let ast2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+            assert_eq!(ast1, ast2, "round trip changed AST for:\n  {src}\n  {printed}");
+        }
+    }
+
+    #[test]
+    fn script_print_round_trip() {
+        let src = corpus().join("\n");
+        let s1 = parse_script(&src).unwrap();
+        let s2 = parse_script(&s1.to_string()).unwrap();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Token kinds produced by the GraQL lexer.
+
+use std::fmt;
+
+/// A lexical token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The token vocabulary of GraQL.
+///
+/// There are no reserved words at the lexical level: keywords are
+/// identifiers matched case-insensitively by the parser in context, so
+/// users may name a column `date` or a vertex type `Graph`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (case-sensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal (single or double quotes).
+    Str(String),
+    /// `%Name%` substitution parameter (Berlin-query style).
+    Param(String),
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Colon,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+
+    // Comparison operators.
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    // Path arrows.
+    /// `--` (edge-step delimiter).
+    DashDash,
+    /// `-->` (out-edge arrowhead).
+    Arrow,
+    /// `<--` (in-edge arrowhead).
+    LArrow,
+
+    /// End of input (single trailing sentinel).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Param(p) => write!(f, "%{p}%"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::DashDash => write!(f, "--"),
+            TokenKind::Arrow => write!(f, "-->"),
+            TokenKind::LArrow => write!(f, "<--"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Case-insensitive keyword check against an identifier token.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}

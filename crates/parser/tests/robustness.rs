@@ -1,0 +1,100 @@
+//! Parser robustness: no input may panic the front end, and every parse
+//! failure must carry a source position.
+
+use graql_parser::{parse_script, parse_statement};
+use graql_types::GraqlError;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable input never panics — it parses or errors.
+    #[test]
+    fn arbitrary_text_never_panics(s in "[ -~\\n\\t]{0,200}") {
+        let _ = parse_script(&s);
+    }
+
+    /// Arbitrary bytes assembled from GraQL-ish tokens never panic either
+    /// (denser coverage of the parser's branch space).
+    #[test]
+    fn token_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("select".to_string()), Just("from".to_string()), Just("graph".to_string()),
+            Just("table".to_string()), Just("create".to_string()), Just("vertex".to_string()),
+            Just("edge".to_string()), Just("where".to_string()), Just("def".to_string()),
+            Just("foreach".to_string()), Just("into".to_string()), Just("and".to_string()),
+            Just("or".to_string()), Just("--".to_string()), Just("-->".to_string()),
+            Just("<--".to_string()), Just("(".to_string()), Just(")".to_string()),
+            Just("[".to_string()), Just("]".to_string()), Just("{".to_string()),
+            Just("}".to_string()), Just("*".to_string()), Just("+".to_string()),
+            Just(",".to_string()), Just(".".to_string()), Just(":".to_string()),
+            Just("=".to_string()), Just("x".to_string()), Just("V".to_string()),
+            Just("1".to_string()), Just("'s'".to_string()), Just("%p%".to_string()),
+        ],
+        0..30,
+    )) {
+        let src = parts.join(" ");
+        let _ = parse_script(&src);
+    }
+
+    /// Valid-ish identifiers round-trip through a simple statement.
+    #[test]
+    fn identifier_round_trip(name in "[A-Za-z_][A-Za-z0-9_]{0,20}") {
+        // Skip the contextual keywords that open other statement forms.
+        prop_assume!(!["select", "create", "ingest"].contains(&name.to_ascii_lowercase().as_str()));
+        let src = format!("select a from table {name}");
+        let stmt = parse_statement(&src).unwrap();
+        let printed = stmt.to_string();
+        prop_assert_eq!(parse_statement(&printed).unwrap(), stmt);
+    }
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    for src in [
+        "select",
+        "select a from",
+        "select a from table",
+        "create vertex V(",
+        "create edge e with vertices (A",
+        "select * from graph V() --",
+        "select * from graph V() --e--> ",
+        "select * from graph V() { }+",
+        "select * from graph V() { --e--> W }",
+        "ingest table",
+        "select a from table T order by",
+        "%",
+        "'unterminated",
+    ] {
+        match parse_statement(src) {
+            Err(GraqlError::Parse { line, col, .. }) => {
+                assert!(line >= 1 && col >= 1, "bad position for {src:?}");
+            }
+            Err(other) => panic!("{src:?}: expected a parse error, got {other:?}"),
+            Ok(ast) => panic!("{src:?}: unexpectedly parsed as {ast:?}"),
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_conditions_parse() {
+    // 64 levels of parentheses must not overflow anything.
+    let mut cond = String::from("a = 1");
+    for _ in 0..64 {
+        cond = format!("({cond})");
+    }
+    let src = format!("select x from table T where {cond}");
+    parse_statement(&src).unwrap();
+}
+
+#[test]
+fn long_paths_parse() {
+    let mut path = String::from("V0()");
+    for i in 1..100 {
+        path.push_str(&format!(" --e{i}--> V{i}()"));
+    }
+    let src = format!("select * from graph {path} into subgraph g");
+    let stmt = parse_statement(&src).unwrap();
+    let printed = stmt.to_string();
+    assert_eq!(parse_statement(&printed).unwrap(), stmt);
+}

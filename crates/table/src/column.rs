@@ -1,0 +1,325 @@
+//! Typed columnar storage.
+//!
+//! One [`Column`] per declared attribute. Strings are dictionary-encoded
+//! (`u32` code per row plus an `Arc<str>` dictionary) so that equality
+//! filters compare codes and row materialization clones an `Arc` instead of
+//! copying bytes. Nulls live in a per-column bitmask.
+
+use std::sync::Arc;
+
+use graql_types::{DataType, GraqlError, Result, Value};
+use rustc_hash::FxHashMap;
+
+use crate::bitset::BitSet;
+
+/// Dictionary for a string column: code → `Arc<str>` plus reverse lookup.
+#[derive(Debug, Clone, Default)]
+pub struct StrDict {
+    strings: Vec<Arc<str>>,
+    lookup: FxHashMap<Arc<str>, u32>,
+}
+
+impl StrDict {
+    /// Interns `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.lookup.get(s) {
+            return c;
+        }
+        let code = self.strings.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(arc.clone());
+        self.lookup.insert(arc, code);
+        code
+    }
+
+    /// Code of `s` if already interned (used to pre-compile equality
+    /// predicates against constants).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    pub fn resolve(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// A typed column of values with a null mask.
+#[derive(Debug, Clone)]
+pub enum Column {
+    Int { data: Vec<i64>, nulls: BitSet },
+    Float { data: Vec<f64>, nulls: BitSet },
+    Str { dict: StrDict, codes: Vec<u32>, nulls: BitSet },
+    Date { data: Vec<i32>, nulls: BitSet },
+}
+
+impl Column {
+    /// An empty column of the given declared type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Integer => Column::Int { data: Vec::new(), nulls: BitSet::new(0) },
+            DataType::Float => Column::Float { data: Vec::new(), nulls: BitSet::new(0) },
+            DataType::Varchar(_) => {
+                Column::Str { dict: StrDict::default(), codes: Vec::new(), nulls: BitSet::new(0) }
+            }
+            DataType::Date => Column::Date { data: Vec::new(), nulls: BitSet::new(0) },
+        }
+    }
+
+    /// The column's type family (varchar capacity is not tracked here).
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int { .. } => DataType::Integer,
+            Column::Float { .. } => DataType::Float,
+            Column::Str { .. } => DataType::Varchar(0),
+            Column::Date { .. } => DataType::Date,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Date { data, .. } => data.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, widening `integer → float` where the column is a
+    /// float column. Any other type mismatch is an error (strong typing).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match (self, v) {
+            (Column::Int { data, nulls }, Value::Int(i)) => {
+                data.push(*i);
+                nulls.push_bit(false);
+            }
+            (Column::Float { data, nulls }, Value::Float(f)) => {
+                data.push(*f);
+                nulls.push_bit(false);
+            }
+            (Column::Float { data, nulls }, Value::Int(i)) => {
+                data.push(*i as f64);
+                nulls.push_bit(false);
+            }
+            (Column::Str { dict, codes, nulls }, Value::Str(s)) => {
+                codes.push(dict.intern(s));
+                nulls.push_bit(false);
+            }
+            (Column::Date { data, nulls }, Value::Date(d)) => {
+                data.push(d.days());
+                nulls.push_bit(false);
+            }
+            (col, Value::Null) => match col {
+                Column::Int { data, nulls } => {
+                    data.push(0);
+                    nulls.push_bit(true);
+                }
+                Column::Float { data, nulls } => {
+                    data.push(0.0);
+                    nulls.push_bit(true);
+                }
+                Column::Str { codes, nulls, .. } => {
+                    codes.push(0);
+                    nulls.push_bit(true);
+                }
+                Column::Date { data, nulls } => {
+                    data.push(0);
+                    nulls.push_bit(true);
+                }
+            },
+            (col, v) => {
+                return Err(GraqlError::type_error(format!(
+                    "cannot store {:?} in a {} column",
+                    v,
+                    col.dtype()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// True if row `i` holds null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int { nulls, .. }
+            | Column::Float { nulls, .. }
+            | Column::Str { nulls, .. }
+            | Column::Date { nulls, .. } => nulls.contains(i),
+        }
+    }
+
+    /// Materializes row `i` as a [`Value`]. String values are `Arc` clones.
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int { data, .. } => Value::Int(data[i]),
+            Column::Float { data, .. } => Value::Float(data[i]),
+            Column::Str { dict, codes, .. } => Value::Str(dict.resolve(codes[i]).clone()),
+            Column::Date { data, .. } => Value::Date(graql_types::Date(data[i])),
+        }
+    }
+
+    /// The string dictionary, for string columns.
+    pub fn str_dict(&self) -> Option<&StrDict> {
+        match self {
+            Column::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Raw dictionary code of row `i` (string columns; null rows return
+    /// `None`).
+    #[inline]
+    pub fn str_code(&self, i: usize) -> Option<u32> {
+        match self {
+            Column::Str { codes, nulls, .. } if !nulls.contains(i) => Some(codes[i]),
+            _ => None,
+        }
+    }
+
+    /// A new column containing rows `indices` in order.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        let mut out = Column::new(self.dtype());
+        match (&mut out, self) {
+            (Column::Int { data, nulls }, Column::Int { data: src, nulls: sn }) => {
+                data.reserve(indices.len());
+                for &i in indices {
+                    data.push(src[i as usize]);
+                    nulls.push_bit(sn.contains(i as usize));
+                }
+            }
+            (Column::Float { data, nulls }, Column::Float { data: src, nulls: sn }) => {
+                data.reserve(indices.len());
+                for &i in indices {
+                    data.push(src[i as usize]);
+                    nulls.push_bit(sn.contains(i as usize));
+                }
+            }
+            (
+                Column::Str { dict, codes, nulls },
+                Column::Str { dict: sd, codes: sc, nulls: sn },
+            ) => {
+                codes.reserve(indices.len());
+                // Remap codes through a cache so the output dictionary only
+                // holds strings that actually occur in the gathered rows.
+                let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+                for &i in indices {
+                    let i = i as usize;
+                    if sn.contains(i) {
+                        codes.push(0);
+                        nulls.push_bit(true);
+                    } else {
+                        let code = *remap
+                            .entry(sc[i])
+                            .or_insert_with(|| dict.intern(sd.resolve(sc[i])));
+                        codes.push(code);
+                        nulls.push_bit(false);
+                    }
+                }
+            }
+            (Column::Date { data, nulls }, Column::Date { data: src, nulls: sn }) => {
+                data.reserve(indices.len());
+                for &i in indices {
+                    data.push(src[i as usize]);
+                    nulls.push_bit(sn.contains(i as usize));
+                }
+            }
+            _ => unreachable!("gather output column was constructed with the same dtype"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_types::Date;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut c = Column::new(DataType::Integer);
+        c.push(&Value::Int(5)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int(-1)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.get(2), Value::Int(-1));
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::new(DataType::Float);
+        c.push(&Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Date);
+        assert!(c.push(&Value::Int(3)).is_err());
+        let mut c = Column::new(DataType::Integer);
+        assert!(c.push(&Value::Float(1.0)).is_err()); // no narrowing
+        assert!(c.push(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn string_dictionary_deduplicates() {
+        let mut c = Column::new(DataType::Varchar(10));
+        for s in ["US", "IT", "US", "US", "FR"] {
+            c.push(&Value::str(s)).unwrap();
+        }
+        let dict = c.str_dict().unwrap();
+        assert_eq!(dict.len(), 3);
+        assert_eq!(c.get(2), Value::str("US"));
+        assert_eq!(c.str_code(0), c.str_code(3));
+        assert_ne!(c.str_code(0), c.str_code(1));
+    }
+
+    #[test]
+    fn null_string_has_no_code() {
+        let mut c = Column::new(DataType::Varchar(4));
+        c.push(&Value::Null).unwrap();
+        assert_eq!(c.str_code(0), None);
+        assert!(c.get(0).is_null());
+    }
+
+    #[test]
+    fn gather_reorders_and_compacts_dictionary() {
+        let mut c = Column::new(DataType::Varchar(4));
+        for s in ["a", "b", "c", "d"] {
+            c.push(&Value::str(s)).unwrap();
+        }
+        let g = c.gather(&[3, 1, 3]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get(0), Value::str("d"));
+        assert_eq!(g.get(1), Value::str("b"));
+        assert_eq!(g.get(2), Value::str("d"));
+        assert_eq!(g.str_dict().unwrap().len(), 2); // only b and d remain
+    }
+
+    #[test]
+    fn gather_preserves_nulls() {
+        let mut c = Column::new(DataType::Date);
+        c.push(&Value::Date(Date(10))).unwrap();
+        c.push(&Value::Null).unwrap();
+        let g = c.gather(&[1, 0]);
+        assert!(g.get(0).is_null());
+        assert_eq!(g.get(1), Value::Date(Date(10)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Physical scalar / boolean expressions evaluated against table rows.
+//!
+//! These are the compiled form of GraQL `where` conditions after name
+//! resolution: column references are positional, constants are typed
+//! values. Used by relational `select` statements, by vertex/edge builders
+//! (Eq. 1–2 selection conditions) and by per-step filters in the path
+//! engine.
+
+use graql_types::{CmpOp, Value};
+
+use crate::table::Table;
+
+/// A compiled expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysExpr {
+    /// Positional column reference.
+    Col(usize),
+    /// Typed literal.
+    Const(Value),
+    /// Comparison of two scalar subexpressions.
+    Cmp(CmpOp, Box<PhysExpr>, Box<PhysExpr>),
+    /// Conjunction (empty = true).
+    And(Vec<PhysExpr>),
+    /// Disjunction (empty = false).
+    Or(Vec<PhysExpr>),
+    Not(Box<PhysExpr>),
+}
+
+impl PhysExpr {
+    /// Shorthand: `col op const`.
+    pub fn cmp_col_const(col: usize, op: CmpOp, v: Value) -> Self {
+        PhysExpr::Cmp(op, Box::new(PhysExpr::Col(col)), Box::new(PhysExpr::Const(v)))
+    }
+
+    /// Shorthand: `col op col`.
+    pub fn cmp_cols(a: usize, op: CmpOp, b: usize) -> Self {
+        PhysExpr::Cmp(op, Box::new(PhysExpr::Col(a)), Box::new(PhysExpr::Col(b)))
+    }
+
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        PhysExpr::And(Vec::new())
+    }
+
+    /// Evaluates a *scalar* subexpression at `row` of `t`.
+    ///
+    /// # Panics
+    /// Panics if called on a boolean node — the compiler never nests
+    /// booleans under comparisons.
+    pub fn eval_value(&self, t: &Table, row: usize) -> Value {
+        match self {
+            PhysExpr::Col(c) => t.get(row, *c),
+            PhysExpr::Const(v) => v.clone(),
+            _ => panic!("eval_value called on a boolean expression"),
+        }
+    }
+
+    /// Evaluates the predicate at `row` of `t`.
+    pub fn eval_bool(&self, t: &Table, row: usize) -> bool {
+        match self {
+            PhysExpr::Cmp(op, a, b) => op.eval(&a.eval_value(t, row), &b.eval_value(t, row)),
+            PhysExpr::And(xs) => xs.iter().all(|x| x.eval_bool(t, row)),
+            PhysExpr::Or(xs) => xs.iter().any(|x| x.eval_bool(t, row)),
+            PhysExpr::Not(x) => !x.eval_bool(t, row),
+            PhysExpr::Col(_) | PhysExpr::Const(_) => {
+                panic!("scalar expression used as a predicate")
+            }
+        }
+    }
+
+    /// All column indices referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_cols(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            PhysExpr::Col(c) => out.push(*c),
+            PhysExpr::Const(_) => {}
+            PhysExpr::Cmp(_, a, b) => {
+                a.collect_cols(out);
+                b.collect_cols(out);
+            }
+            PhysExpr::And(xs) | PhysExpr::Or(xs) => xs.iter().for_each(|x| x.collect_cols(out)),
+            PhysExpr::Not(x) => x.collect_cols(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use graql_types::DataType;
+
+    fn t() -> Table {
+        let schema = TableSchema::of(&[
+            ("country", DataType::Varchar(10)),
+            ("price", DataType::Float),
+            ("days", DataType::Integer),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("US"), Value::Float(10.0), Value::Int(3)],
+                vec![Value::str("IT"), Value::Float(5.0), Value::Int(7)],
+                vec![Value::str("US"), Value::Null, Value::Int(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn col_const_comparison() {
+        let t = t();
+        let e = PhysExpr::cmp_col_const(0, CmpOp::Eq, Value::str("US"));
+        assert!(e.eval_bool(&t, 0));
+        assert!(!e.eval_bool(&t, 1));
+        assert!(e.eval_bool(&t, 2));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let t = t();
+        let e = PhysExpr::cmp_col_const(1, CmpOp::Lt, Value::Float(100.0));
+        assert!(e.eval_bool(&t, 0));
+        assert!(!e.eval_bool(&t, 2), "null price matches nothing");
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = t();
+        let us = PhysExpr::cmp_col_const(0, CmpOp::Eq, Value::str("US"));
+        let fast = PhysExpr::cmp_col_const(2, CmpOp::Le, Value::Int(3));
+        let both = PhysExpr::And(vec![us.clone(), fast.clone()]);
+        assert!(both.eval_bool(&t, 0));
+        assert!(!both.eval_bool(&t, 1));
+        let either = PhysExpr::Or(vec![us.clone(), fast]);
+        assert!(!either.eval_bool(&t, 1));
+        assert!(either.eval_bool(&t, 2));
+        let not_us = PhysExpr::Not(Box::new(us));
+        assert!(not_us.eval_bool(&t, 1));
+    }
+
+    #[test]
+    fn empty_connectives() {
+        let t = t();
+        assert!(PhysExpr::always().eval_bool(&t, 0));
+        assert!(!PhysExpr::Or(vec![]).eval_bool(&t, 0));
+    }
+
+    #[test]
+    fn cross_column_comparison_with_numeric_widening() {
+        let t = t();
+        // price > days: 10.0 > 3 true; 5.0 > 7 false; null > 1 false.
+        let e = PhysExpr::cmp_cols(1, CmpOp::Gt, 2);
+        assert!(e.eval_bool(&t, 0));
+        assert!(!e.eval_bool(&t, 1));
+        assert!(!e.eval_bool(&t, 2));
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated_sorted() {
+        let e = PhysExpr::And(vec![
+            PhysExpr::cmp_cols(2, CmpOp::Eq, 0),
+            PhysExpr::cmp_col_const(2, CmpOp::Ne, Value::Int(0)),
+        ]);
+        assert_eq!(e.referenced_columns(), vec![0, 2]);
+    }
+}

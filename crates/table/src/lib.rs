@@ -1,0 +1,40 @@
+//! # graql-table
+//!
+//! The tabular substrate of the GraQL / GEMS reproduction.
+//!
+//! Design principle 1 of the paper: *all data is stored in tabular form*.
+//! This crate provides the in-memory columnar table store that everything
+//! else is a view over — typed columns with dictionary-encoded strings and
+//! null masks, CSV ingest/output, and the relational kernels behind every
+//! operation in the paper's Table 1 (select, order by, group by, distinct,
+//! count, avg, min, max, sum, top n, as) plus the hash join used by edge
+//! construction (Eq. 2).
+//!
+//! ```
+//! use graql_table::{ops, PhysExpr, Table, TableSchema};
+//! use graql_types::{CmpOp, DataType, Value};
+//!
+//! let schema = TableSchema::of(&[("city", DataType::Varchar(16)), ("pop", DataType::Integer)]);
+//! let mut t = Table::empty(schema);
+//! graql_table::csv::ingest_str(&mut t, "rome,2800000\nmilan,1400000\nlyon,520000\n").unwrap();
+//!
+//! // select city from t where pop > 1000000 order by pop desc
+//! let big = ops::filter(&t, &PhysExpr::cmp_col_const(1, CmpOp::Gt, Value::Int(1_000_000)));
+//! let sorted = ops::sort(&big, &[ops::SortKey::desc(1)]);
+//! assert_eq!(sorted.get(0, 0), Value::str("rome"));
+//! assert_eq!(sorted.n_rows(), 2);
+//! ```
+
+pub mod bitset;
+pub mod column;
+pub mod csv;
+pub mod expr;
+pub mod ops;
+pub mod schema;
+pub mod table;
+
+pub use bitset::BitSet;
+pub use column::Column;
+pub use expr::PhysExpr;
+pub use schema::{ColumnDef, TableSchema};
+pub use table::Table;

@@ -1,0 +1,86 @@
+//! `distinct`: duplicate elimination, keeping first occurrences.
+
+use graql_types::Value;
+use rustc_hash::FxHashSet;
+
+use crate::table::Table;
+
+/// Indices of the first occurrence of each distinct tuple of `cols`
+/// (in ascending row order). With `cols` empty, all columns are keyed.
+pub fn distinct_indices(t: &Table, cols: &[usize]) -> Vec<u32> {
+    let all: Vec<usize>;
+    let cols = if cols.is_empty() {
+        all = (0..t.n_cols()).collect();
+        &all
+    } else {
+        cols
+    };
+    let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+    let mut out = Vec::new();
+    for i in 0..t.n_rows() {
+        let key: Vec<Value> = cols.iter().map(|&c| t.get(i, c)).collect();
+        if seen.insert(key) {
+            out.push(i as u32);
+        }
+    }
+    out
+}
+
+/// Materialized `select distinct` over all columns.
+pub fn distinct(t: &Table) -> Table {
+    t.gather(&distinct_indices(t, &[]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use graql_types::DataType;
+
+    fn t() -> Table {
+        let schema = TableSchema::of(&[("a", DataType::Integer), ("b", DataType::Integer)]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(10)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distinct_all_columns() {
+        let d = distinct(&t());
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.get(0, 1), Value::Int(10));
+        assert_eq!(d.get(1, 1), Value::Int(20));
+        assert_eq!(d.get(2, 0), Value::Int(2));
+    }
+
+    #[test]
+    fn distinct_on_subset_keeps_first_row() {
+        let idx = distinct_indices(&t(), &[0]);
+        assert_eq!(idx, vec![0, 3]);
+    }
+
+    #[test]
+    fn nulls_group_as_one_distinct_value() {
+        let schema = TableSchema::of(&[("a", DataType::Integer)]);
+        let t = Table::from_rows(
+            schema,
+            vec![vec![Value::Null], vec![Value::Null], vec![Value::Int(1)]],
+        )
+        .unwrap();
+        assert_eq!(distinct(&t).n_rows(), 2);
+    }
+
+    #[test]
+    fn int_float_equal_values_deduplicate() {
+        let schema = TableSchema::of(&[("a", DataType::Float)]);
+        let t = Table::from_rows(schema, vec![vec![Value::Int(2)], vec![Value::Float(2.0)]]).unwrap();
+        assert_eq!(distinct(&t).n_rows(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Selection (`where` clauses).
+
+use rayon::prelude::*;
+
+use crate::expr::PhysExpr;
+use crate::table::Table;
+
+/// Rows below this size are filtered sequentially; parallelism only pays
+/// for itself on larger scans.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Indices (ascending) of rows satisfying `pred`.
+pub fn filter_indices(t: &Table, pred: &PhysExpr) -> Vec<u32> {
+    let n = t.n_rows();
+    if n < PAR_THRESHOLD {
+        (0..n as u32).filter(|&i| pred.eval_bool(t, i as usize)).collect()
+    } else {
+        // Data-parallel scan; rayon's ordered collect keeps indices sorted.
+        (0..n as u32)
+            .into_par_iter()
+            .filter(|&i| pred.eval_bool(t, i as usize))
+            .collect()
+    }
+}
+
+/// Materialized selection.
+pub fn filter(t: &Table, pred: &PhysExpr) -> Table {
+    t.gather(&filter_indices(t, pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use graql_types::{CmpOp, DataType, Value};
+
+    fn numbers(n: i64) -> Table {
+        let schema = TableSchema::of(&[("x", DataType::Integer)]);
+        Table::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)])).unwrap()
+    }
+
+    #[test]
+    fn small_table_sequential_path() {
+        let t = numbers(10);
+        let sel = filter_indices(&t, &PhysExpr::cmp_col_const(0, CmpOp::Ge, Value::Int(7)));
+        assert_eq!(sel, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn large_table_parallel_path_keeps_order() {
+        let t = numbers(10_000);
+        let sel = filter_indices(&t, &PhysExpr::cmp_col_const(0, CmpOp::Lt, Value::Int(5)));
+        assert_eq!(sel, vec![0, 1, 2, 3, 4]);
+        let all = filter_indices(&t, &PhysExpr::always());
+        assert_eq!(all.len(), 10_000);
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "ascending order");
+    }
+
+    #[test]
+    fn filter_materializes() {
+        let t = numbers(100);
+        let f = filter(&t, &PhysExpr::cmp_col_const(0, CmpOp::Eq, Value::Int(42)));
+        assert_eq!(f.n_rows(), 1);
+        assert_eq!(f.get(0, 0), Value::Int(42));
+    }
+}

@@ -1,0 +1,128 @@
+//! Hash join: the workhorse behind edge construction (paper Eq. 2) and the
+//! implicit join of endpoint tables in `create edge … where` declarations.
+
+use graql_types::Value;
+use rustc_hash::FxHashMap;
+
+use crate::table::Table;
+
+/// Equi-join `l` and `r` on the given key columns, returning matching
+/// `(left_row, right_row)` index pairs in left-major order.
+///
+/// Null keys never join (SQL semantics). Keys compare under semantic
+/// equality, so an `integer` column can join a `float` column.
+pub fn hash_join_pairs(
+    l: &Table,
+    lkeys: &[usize],
+    r: &Table,
+    rkeys: &[usize],
+) -> Vec<(u32, u32)> {
+    assert_eq!(lkeys.len(), rkeys.len(), "join key arity mismatch");
+    // Build on the right side.
+    let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+    'rows: for i in 0..r.n_rows() {
+        let mut key = Vec::with_capacity(rkeys.len());
+        for &c in rkeys {
+            let v = r.get(i, c);
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v);
+        }
+        index.entry(key).or_default().push(i as u32);
+    }
+    let mut out = Vec::new();
+    'probe: for i in 0..l.n_rows() {
+        let mut key = Vec::with_capacity(lkeys.len());
+        for &c in lkeys {
+            let v = l.get(i, c);
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v);
+        }
+        if let Some(matches) = index.get(&key) {
+            for &j in matches {
+                out.push((i as u32, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use graql_types::DataType;
+
+    fn products() -> Table {
+        let schema =
+            TableSchema::of(&[("id", DataType::Varchar(8)), ("producer", DataType::Varchar(8))]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("p1"), Value::str("m1")],
+                vec![Value::str("p2"), Value::str("m2")],
+                vec![Value::str("p3"), Value::str("m1")],
+                vec![Value::str("p4"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn producers() -> Table {
+        let schema = TableSchema::of(&[("id", DataType::Varchar(8))]);
+        Table::from_rows(schema, vec![vec![Value::str("m1")], vec![Value::str("m2")]]).unwrap()
+    }
+
+    #[test]
+    fn fk_join_matches_paper_producer_edge() {
+        // `create edge producer … where ProductVtx.producer = ProducerVtx.id`
+        let pairs = hash_join_pairs(&products(), &[1], &producers(), &[0]);
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let pairs = hash_join_pairs(&products(), &[1], &producers(), &[0]);
+        assert!(pairs.iter().all(|&(l, _)| l != 3));
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let pairs = hash_join_pairs(&producers(), &[0], &products(), &[1]);
+        // m1 matches p1 and p3.
+        assert_eq!(pairs, vec![(0, 0), (0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let schema = TableSchema::of(&[("a", DataType::Integer), ("b", DataType::Integer)]);
+        let l = Table::from_rows(
+            schema.clone(),
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(1), Value::Int(3)]],
+        )
+        .unwrap();
+        let r = Table::from_rows(schema, vec![vec![Value::Int(1), Value::Int(3)]]).unwrap();
+        let pairs = hash_join_pairs(&l, &[0, 1], &r, &[0, 1]);
+        assert_eq!(pairs, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn cross_numeric_family_join() {
+        let ls = TableSchema::of(&[("x", DataType::Integer)]);
+        let rs = TableSchema::of(&[("y", DataType::Float)]);
+        let l = Table::from_rows(ls, vec![vec![Value::Int(2)]]).unwrap();
+        let r = Table::from_rows(rs, vec![vec![Value::Float(2.0)]]).unwrap();
+        assert_eq!(hash_join_pairs(&l, &[0], &r, &[0]), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let p = products();
+        let empty = Table::empty(p.schema().clone());
+        assert!(hash_join_pairs(&empty, &[1], &p, &[1]).is_empty());
+        assert!(hash_join_pairs(&p, &[1], &empty, &[1]).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Relational kernels backing the paper's Table 1.
+//!
+//! | Table 1 op | kernel |
+//! |---|---|
+//! | select (selection) | [`filter::filter`] |
+//! | select (projection) | [`project`] |
+//! | order by | [`sort::sort`] |
+//! | group by / count / avg / min / max / sum | [`group::group_aggregate`] |
+//! | distinct | [`distinct::distinct`] |
+//! | top n | [`top_n`] |
+//! | as x | aliasing is handled at the schema level ([`rename`]) |
+//!
+//! Joins ([`join::hash_join_pairs`]) are not in Table 1 but are required by
+//! edge construction (paper Eq. 2) and by many-to-one vertex mappings.
+
+pub mod distinct;
+pub mod filter;
+pub mod group;
+pub mod join;
+pub mod sort;
+
+pub use distinct::{distinct, distinct_indices};
+pub use filter::{filter, filter_indices};
+pub use group::{group_aggregate, group_indices, AggFn, AggSpec};
+pub use join::hash_join_pairs;
+pub use sort::{sort, sort_indices, SortKey};
+
+use graql_types::Result;
+
+use crate::schema::TableSchema;
+use crate::table::Table;
+
+/// Projection: a new table with the chosen columns, in order.
+pub fn project(t: &Table, cols: &[usize]) -> Table {
+    let schema = t.schema().project(cols);
+    let columns = cols.iter().map(|&c| t.column(c).clone()).collect();
+    Table::from_columns(schema, columns)
+}
+
+/// `top n`: the first `n` rows of `t` (callers sort first, as in
+/// `select top 10 … order by …`).
+pub fn top_n(t: &Table, n: usize) -> Table {
+    let n = n.min(t.n_rows());
+    let idx: Vec<u32> = (0..n as u32).collect();
+    t.gather(&idx)
+}
+
+/// `as x`: renames columns (length must equal arity).
+pub fn rename(t: &Table, names: &[&str]) -> Result<Table> {
+    let defs = t
+        .schema()
+        .columns()
+        .iter()
+        .zip(names)
+        .map(|(c, n)| crate::schema::ColumnDef::new(*n, c.dtype))
+        .collect();
+    let schema = TableSchema::new(defs)?;
+    Ok(Table::from_columns(
+        schema,
+        (0..t.n_cols()).map(|i| t.column(i).clone()).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_types::{DataType, Value};
+
+    fn t() -> Table {
+        let schema = TableSchema::of(&[("a", DataType::Integer), ("b", DataType::Integer)]);
+        Table::from_rows(
+            schema,
+            (0..5).map(|i| vec![Value::Int(i), Value::Int(i * 10)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let p = project(&t(), &[1]);
+        assert_eq!(p.n_cols(), 1);
+        assert_eq!(p.schema().column(0).name, "b");
+        assert_eq!(p.get(3, 0), Value::Int(30));
+    }
+
+    #[test]
+    fn top_n_truncates_and_handles_overflow() {
+        assert_eq!(top_n(&t(), 2).n_rows(), 2);
+        assert_eq!(top_n(&t(), 99).n_rows(), 5);
+        assert_eq!(top_n(&t(), 0).n_rows(), 0);
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let r = rename(&t(), &["x", "y"]).unwrap();
+        assert_eq!(r.schema().column(0).name, "x");
+        assert_eq!(r.get(1, 1), Value::Int(10));
+        assert!(rename(&t(), &["x", "x"]).is_err(), "duplicate names rejected");
+    }
+}

@@ -1,0 +1,243 @@
+//! The in-memory table: a schema plus one [`Column`] per attribute.
+
+use graql_types::{GraqlError, Result, Value};
+
+use crate::column::Column;
+use crate::schema::TableSchema;
+
+/// A columnar, strongly typed, in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: TableSchema) -> Self {
+        let columns = schema.columns().iter().map(|c| Column::new(c.dtype)).collect();
+        Table { schema, columns, rows: 0 }
+    }
+
+    /// Builds a table from row tuples (mainly for tests and small fixtures).
+    pub fn from_rows(schema: TableSchema, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<Self> {
+        let mut t = Table::empty(schema);
+        for row in rows {
+            t.push_row(&row)?;
+        }
+        Ok(t)
+    }
+
+    /// Assembles a table directly from pre-built columns.
+    ///
+    /// # Panics
+    /// Panics if column count or lengths disagree with the schema — this is
+    /// an internal constructor for kernels that have already validated
+    /// shape.
+    pub fn from_columns(schema: TableSchema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "column count mismatch");
+        let rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            assert_eq!(c.len(), rows, "ragged columns");
+        }
+        Table { schema, columns, rows }
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column reference by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.require(name)?])
+    }
+
+    /// Appends one row; the tuple must match the schema arity and types.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(GraqlError::ingest(format!(
+                "row has {} fields, table has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        // Validate all fields before mutating any column so a failed push
+        // cannot leave ragged columns behind.
+        for (v, def) in row.iter().zip(self.schema.columns()) {
+            let ok = matches!(
+                (v, def.dtype),
+                (Value::Null, _)
+                    | (Value::Int(_), graql_types::DataType::Integer | graql_types::DataType::Float)
+                    | (Value::Float(_), graql_types::DataType::Float)
+                    | (Value::Str(_), graql_types::DataType::Varchar(_))
+                    | (Value::Date(_), graql_types::DataType::Date)
+            );
+            if !ok {
+                return Err(GraqlError::type_error(format!(
+                    "cannot store {v:?} in column {:?} of type {}",
+                    def.name, def.dtype
+                )));
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v).expect("types were validated above");
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Value at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Materializes row `row` as a value tuple.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Iterator over materialized rows (cold paths: tests, display, CSV out).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// New table containing `indices` rows in order (duplicates allowed).
+    pub fn gather(&self, indices: &[u32]) -> Table {
+        let columns = self.columns.iter().map(|c| c.gather(indices)).collect();
+        Table { schema: self.schema.clone(), columns, rows: indices.len() }
+    }
+
+    /// Appends all rows of `other` (schemas must be type-compatible).
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.schema.len() != other.schema.len() {
+            return Err(GraqlError::type_error("cannot append tables of different arity"));
+        }
+        for i in 0..other.n_rows() {
+            self.push_row(&other.row(i))?;
+        }
+        Ok(())
+    }
+
+    /// Renders the table as aligned ASCII art (clients / examples / tests).
+    pub fn render(&self) -> String {
+        let header: Vec<String> =
+            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .iter_rows()
+            .map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&header, &widths));
+        out.push_str(&format!("|{}\n", widths.iter().map(|w| format!("{:-<w$}--|", "", w = w)).collect::<String>()));
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_types::DataType;
+
+    fn people() -> Table {
+        let schema = TableSchema::of(&[
+            ("id", DataType::Varchar(10)),
+            ("age", DataType::Integer),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("p1"), Value::Int(30)],
+                vec![Value::str("p2"), Value::Int(25)],
+                vec![Value::str("p3"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let t = people();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(1, 0), Value::str("p2"));
+        assert_eq!(t.get(1, 1), Value::Int(25));
+        assert!(t.get(2, 1).is_null());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = people();
+        assert!(t.push_row(&[Value::str("p4")]).is_err());
+        assert_eq!(t.n_rows(), 3, "failed push must not change the table");
+    }
+
+    #[test]
+    fn type_mismatch_rejected_atomically() {
+        let mut t = people();
+        // First field is fine, second is not: nothing may be written.
+        assert!(t.push_row(&[Value::str("p4"), Value::str("oops")]).is_err());
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.column(0).len(), 3, "no partial column writes");
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let t = people();
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.get(0, 0), Value::str("p3"));
+        assert_eq!(g.get(1, 0), Value::str("p1"));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = people();
+        let b = people();
+        a.append(&b).unwrap();
+        assert_eq!(a.n_rows(), 6);
+        assert_eq!(a.get(5, 0), Value::str("p3"));
+    }
+
+    #[test]
+    fn render_contains_header_and_cells() {
+        let s = people().render();
+        assert!(s.contains("id"));
+        assert!(s.contains("age"));
+        assert!(s.contains("p2"));
+        assert!(s.contains("25"));
+    }
+}

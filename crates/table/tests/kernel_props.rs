@@ -1,0 +1,164 @@
+//! Kernel laws: every relational kernel must agree with a naive reference
+//! implementation on arbitrary inputs.
+
+use std::collections::{BTreeMap, HashSet};
+
+use graql_table::ops;
+use graql_table::{PhysExpr, Table, TableSchema};
+use graql_types::{CmpOp, DataType, Value};
+use proptest::prelude::*;
+
+fn schema() -> TableSchema {
+    TableSchema::of(&[("k", DataType::Integer), ("v", DataType::Integer)])
+}
+
+fn arb_table() -> impl Strategy<Value = Vec<(i64, Option<i64>)>> {
+    proptest::collection::vec((0i64..8, proptest::option::of(-50i64..50)), 0..60)
+}
+
+fn build(rows: &[(i64, Option<i64>)]) -> Table {
+    Table::from_rows(
+        schema(),
+        rows.iter()
+            .map(|(k, v)| vec![Value::Int(*k), v.map(Value::Int).unwrap_or(Value::Null)]),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// filter == retain on the reference rows.
+    #[test]
+    fn filter_law(rows in arb_table(), threshold in -50i64..50) {
+        let t = build(&rows);
+        let pred = PhysExpr::cmp_col_const(1, CmpOp::Ge, Value::Int(threshold));
+        let got = ops::filter(&t, &pred);
+        let expected: Vec<&(i64, Option<i64>)> =
+            rows.iter().filter(|(_, v)| v.is_some_and(|v| v >= threshold)).collect();
+        prop_assert_eq!(got.n_rows(), expected.len());
+        for (r, (k, v)) in expected.iter().enumerate() {
+            prop_assert_eq!(got.get(r, 0), Value::Int(*k));
+            prop_assert_eq!(got.get(r, 1), Value::Int(v.unwrap()));
+        }
+    }
+
+    /// sort == stable reference sort (nulls first).
+    #[test]
+    fn sort_law(rows in arb_table()) {
+        let t = build(&rows);
+        let got = ops::sort(&t, &[ops::SortKey::asc(1)]);
+        let mut expected: Vec<(usize, &(i64, Option<i64>))> = rows.iter().enumerate().collect();
+        expected.sort_by(|(ia, (_, va)), (ib, (_, vb))| {
+            // Nulls first, then value, then original index (stability).
+            match (va, vb) {
+                (None, None) => ia.cmp(ib),
+                (None, _) => std::cmp::Ordering::Less,
+                (_, None) => std::cmp::Ordering::Greater,
+                (Some(a), Some(b)) => a.cmp(b).then(ia.cmp(ib)),
+            }
+        });
+        for (r, (_, (k, _))) in expected.iter().enumerate() {
+            prop_assert_eq!(got.get(r, 0), Value::Int(*k), "row {}", r);
+        }
+    }
+
+    /// distinct == first-occurrence dedup.
+    #[test]
+    fn distinct_law(rows in arb_table()) {
+        let t = build(&rows);
+        let got = ops::distinct(&t);
+        let mut seen = HashSet::new();
+        let expected: Vec<&(i64, Option<i64>)> =
+            rows.iter().filter(|r| seen.insert(**r)).collect();
+        prop_assert_eq!(got.n_rows(), expected.len());
+        for (r, (k, _)) in expected.iter().enumerate() {
+            prop_assert_eq!(got.get(r, 0), Value::Int(*k), "row {}", r);
+        }
+    }
+
+    /// group_aggregate == BTreeMap reference (count*, count, sum, min, max).
+    #[test]
+    fn group_law(rows in arb_table()) {
+        let t = build(&rows);
+        let got = ops::group_aggregate(
+            &t,
+            &[0],
+            &[
+                ops::AggSpec::new(ops::AggFn::CountStar, "n"),
+                ops::AggSpec::new(ops::AggFn::Count(1), "nn"),
+                ops::AggSpec::new(ops::AggFn::Sum(1), "s"),
+                ops::AggSpec::new(ops::AggFn::Min(1), "lo"),
+                ops::AggSpec::new(ops::AggFn::Max(1), "hi"),
+            ],
+        )
+        .unwrap();
+        #[derive(Default)]
+        struct Ref {
+            n: i64,
+            vals: Vec<i64>,
+        }
+        let mut groups: BTreeMap<i64, Ref> = BTreeMap::new();
+        for (k, v) in &rows {
+            let e = groups.entry(*k).or_default();
+            e.n += 1;
+            if let Some(v) = v {
+                e.vals.push(*v);
+            }
+        }
+        prop_assert_eq!(got.n_rows(), groups.len());
+        for r in 0..got.n_rows() {
+            let k = got.get(r, 0).as_int().unwrap();
+            let g = &groups[&k];
+            prop_assert_eq!(got.get(r, 1), Value::Int(g.n), "count* for {}", k);
+            prop_assert_eq!(got.get(r, 2), Value::Int(g.vals.len() as i64), "count for {}", k);
+            let expect_sum = if g.vals.is_empty() {
+                Value::Null
+            } else {
+                Value::Int(g.vals.iter().sum())
+            };
+            prop_assert_eq!(got.get(r, 3), expect_sum, "sum for {}", k);
+            let expect_min =
+                g.vals.iter().min().map(|&m| Value::Int(m)).unwrap_or(Value::Null);
+            let expect_max =
+                g.vals.iter().max().map(|&m| Value::Int(m)).unwrap_or(Value::Null);
+            prop_assert_eq!(got.get(r, 4), expect_min, "min for {}", k);
+            prop_assert_eq!(got.get(r, 5), expect_max, "max for {}", k);
+        }
+    }
+
+    /// hash join == nested-loop reference (null keys never join).
+    #[test]
+    fn join_law(left in arb_table(), right in arb_table()) {
+        let l = build(&left);
+        let r = build(&right);
+        let got = ops::hash_join_pairs(&l, &[1], &r, &[1]);
+        let mut expected = Vec::new();
+        for (li, (_, lv)) in left.iter().enumerate() {
+            for (ri, (_, rv)) in right.iter().enumerate() {
+                if let (Some(a), Some(b)) = (lv, rv) {
+                    if a == b {
+                        expected.push((li as u32, ri as u32));
+                    }
+                }
+            }
+        }
+        let mut got_sorted = got;
+        got_sorted.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got_sorted, expected);
+    }
+
+    /// top_n after sort == reference k-smallest.
+    #[test]
+    fn top_n_law(rows in arb_table(), n in 0usize..20) {
+        let t = build(&rows);
+        let got = ops::top_n(&ops::sort(&t, &[ops::SortKey::desc(0)]), n);
+        let mut keys: Vec<i64> = rows.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+        keys.truncate(n);
+        let got_keys: Vec<i64> =
+            (0..got.n_rows()).map(|r| got.get(r, 0).as_int().unwrap()).collect();
+        prop_assert_eq!(got_keys, keys);
+    }
+}

@@ -1,0 +1,211 @@
+//! Calendar dates for the `date` GraQL data type.
+//!
+//! The Berlin schema (paper Appendix A) uses `date` columns for publication
+//! dates, offer validity windows and review dates. Dates are stored as a
+//! count of days since the Unix epoch (1970-01-01), which keeps them 4 bytes
+//! wide, totally ordered by integer comparison, and trivially columnar.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::GraqlError;
+
+/// A proleptic-Gregorian calendar date, stored as days since 1970-01-01.
+///
+/// Supports the ISO `YYYY-MM-DD` textual form used by GraQL literals and
+/// CSV ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Builds a date from a civil (year, month, day) triple.
+    ///
+    /// Returns an error if the triple does not name a real calendar day
+    /// (month out of 1..=12, day out of range for the month).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self, GraqlError> {
+        // Beyond ±5,000,000 years the day count would overflow i32; no
+        // calendar data is remotely close, so reject instead of wrapping.
+        if !(-5_000_000..=5_000_000).contains(&year) {
+            return Err(GraqlError::ingest(format!("year {year} out of supported range")));
+        }
+        if !(1..=12).contains(&month) {
+            return Err(GraqlError::ingest(format!("invalid month {month} in date")));
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(GraqlError::ingest(format!(
+                "invalid day {day} for {year:04}-{month:02}"
+            )));
+        }
+        Ok(Date(days_from_civil(year, month, day)))
+    }
+
+    /// Decomposes the date into a civil (year, month, day) triple.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// The number of days since the Unix epoch (can be negative).
+    pub fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Returns the date `n` days after `self` (negative `n` goes back).
+    pub fn plus_days(self, n: i32) -> Self {
+        Date(self.0 + n)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl FromStr for Date {
+    type Err = GraqlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || GraqlError::ingest(format!("invalid date literal {s:?}, expected YYYY-MM-DD"));
+        let mut it = s.split('-');
+        // A leading '-' would produce an empty first field; GraQL does not
+        // use negative years in literals.
+        let y = it.next().ok_or_else(err)?.parse::<i32>().map_err(|_| err())?;
+        let m = it.next().ok_or_else(err)?.parse::<u32>().map_err(|_| err())?;
+        let d = it.next().ok_or_else(err)?.parse::<u32>().map_err(|_| err())?;
+        if it.next().is_some() {
+            return Err(err());
+        }
+        Date::from_ymd(y, m, d)
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+// Civil-from-days / days-from-civil use Howard Hinnant's public-domain
+// chrono-compatible algorithms, which are exact over the full i32 range.
+
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11], March-based
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+        assert_eq!(Date(0).ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        for (y, m, d, days) in [
+            (1970, 1, 2, 1),
+            (1969, 12, 31, -1),
+            (2000, 3, 1, 11017),
+            (2008, 1, 15, 13893),
+            (1600, 2, 29, -135081),
+        ] {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.days(), days, "{y}-{m}-{d}");
+            assert_eq!(date.ymd(), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d: Date = "2008-06-20".parse().unwrap();
+        assert_eq!(d.to_string(), "2008-06-20");
+        assert_eq!(d.ymd(), (2008, 6, 20));
+    }
+
+    #[test]
+    fn extreme_years_rejected_not_wrapped() {
+        assert!(Date::from_ymd(2_000_000_000, 1, 1).is_err());
+        assert!(Date::from_ymd(-2_000_000_000, 1, 1).is_err());
+        assert!("999999999-01-01".parse::<Date>().is_err());
+        // The supported range is generous.
+        assert!(Date::from_ymd(4_000_000, 6, 15).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("2008-13-01".parse::<Date>().is_err());
+        assert!("2008-02-30".parse::<Date>().is_err());
+        assert!("2008-02".parse::<Date>().is_err());
+        assert!("2008-02-01-04".parse::<Date>().is_err());
+        assert!("date".parse::<Date>().is_err());
+        assert!("".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2001));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn ordering_matches_calendar() {
+        let a = Date::from_ymd(1999, 12, 31).unwrap();
+        let b = Date::from_ymd(2000, 1, 1).unwrap();
+        assert!(a < b);
+        assert_eq!(b.plus_days(-1), a);
+    }
+
+    #[test]
+    fn every_day_of_a_leap_and_common_year_round_trips() {
+        for y in [1999, 2000] {
+            for m in 1..=12 {
+                for d in 1..=days_in_month(y, m) {
+                    let date = Date::from_ymd(y, m, d).unwrap();
+                    assert_eq!(date.ymd(), (y, m, d));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Error taxonomy for the whole GraQL / GEMS stack.
+//!
+//! The paper distinguishes *static* failures caught by front-end analysis
+//! (§III-A: type errors, entity-kind misuse, malformed paths) from runtime
+//! failures during ingest or execution. The variants below mirror those
+//! phases so callers (and tests) can assert on the failure class.
+
+use std::fmt;
+
+/// Convenience alias used across all GraQL crates.
+pub type Result<T> = std::result::Result<T, GraqlError>;
+
+/// Classified error for every stage of the GraQL pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraqlError {
+    /// Lexical or syntactic error, with 1-based line/column of the offence.
+    Parse { message: String, line: u32, col: u32 },
+    /// Static type error (paper §III-A): e.g. comparing a date to a float.
+    Type(String),
+    /// Name resolution error: unknown entity, duplicate definition, or an
+    /// entity of the wrong kind (table where a vertex type is required…).
+    Name(String),
+    /// Malformed path query: broken vertex/edge alternation, conditions on
+    /// a variant step, label misuse, incompatible edge endpoints.
+    Path(String),
+    /// Data ingest failure (CSV shape or value coercion).
+    Ingest(String),
+    /// Query planning failure.
+    Plan(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Binary IR encoding/decoding failure.
+    Ir(String),
+    /// Failure inside the simulated GEMS backend cluster.
+    Cluster(String),
+}
+
+impl GraqlError {
+    pub fn parse(message: impl Into<String>, line: u32, col: u32) -> Self {
+        GraqlError::Parse { message: message.into(), line, col }
+    }
+    pub fn type_error(m: impl Into<String>) -> Self {
+        GraqlError::Type(m.into())
+    }
+    pub fn name(m: impl Into<String>) -> Self {
+        GraqlError::Name(m.into())
+    }
+    pub fn path(m: impl Into<String>) -> Self {
+        GraqlError::Path(m.into())
+    }
+    pub fn ingest(m: impl Into<String>) -> Self {
+        GraqlError::Ingest(m.into())
+    }
+    pub fn plan(m: impl Into<String>) -> Self {
+        GraqlError::Plan(m.into())
+    }
+    pub fn exec(m: impl Into<String>) -> Self {
+        GraqlError::Exec(m.into())
+    }
+    pub fn ir(m: impl Into<String>) -> Self {
+        GraqlError::Ir(m.into())
+    }
+    pub fn cluster(m: impl Into<String>) -> Self {
+        GraqlError::Cluster(m.into())
+    }
+
+    /// True when the error would be caught by static analysis alone
+    /// (no access to the actual data, only the catalog — paper §III-A).
+    pub fn is_static(&self) -> bool {
+        matches!(
+            self,
+            GraqlError::Parse { .. }
+                | GraqlError::Type(_)
+                | GraqlError::Name(_)
+                | GraqlError::Path(_)
+        )
+    }
+}
+
+impl fmt::Display for GraqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraqlError::Parse { message, line, col } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            GraqlError::Type(m) => write!(f, "type error: {m}"),
+            GraqlError::Name(m) => write!(f, "name error: {m}"),
+            GraqlError::Path(m) => write!(f, "path error: {m}"),
+            GraqlError::Ingest(m) => write!(f, "ingest error: {m}"),
+            GraqlError::Plan(m) => write!(f, "plan error: {m}"),
+            GraqlError::Exec(m) => write!(f, "execution error: {m}"),
+            GraqlError::Ir(m) => write!(f, "IR error: {m}"),
+            GraqlError::Cluster(m) => write!(f, "cluster error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_for_parse_errors() {
+        let e = GraqlError::parse("unexpected token", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+    }
+
+    #[test]
+    fn static_classification() {
+        assert!(GraqlError::type_error("x").is_static());
+        assert!(GraqlError::name("x").is_static());
+        assert!(GraqlError::path("x").is_static());
+        assert!(GraqlError::parse("x", 1, 1).is_static());
+        assert!(!GraqlError::exec("x").is_static());
+        assert!(!GraqlError::ingest("x").is_static());
+        assert!(!GraqlError::cluster("x").is_static());
+    }
+}

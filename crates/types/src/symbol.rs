@@ -1,0 +1,126 @@
+//! String interning.
+//!
+//! Identifiers (table, vertex-type, edge-type, column and label names) and
+//! dictionary-encoded varchar values both benefit from interning: hot query
+//! paths compare `u32` symbols instead of strings, and columnar string
+//! storage stores one copy per distinct value (the Rust Performance Book's
+//! "compact representation for common values" advice).
+
+use rustc_hash::FxHashMap;
+
+/// Handle to an interned string. Cheap to copy, hash and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index into the owning [`Interner`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only string interner.
+///
+/// Strings are stored once; [`Interner::intern`] returns a stable
+/// [`Symbol`]. Lookup by symbol is O(1); intern of an existing string is a
+/// single hash probe.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol was produced by a different interner and is out
+    /// of range; symbols are not transferable between interners.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("ProductVtx");
+        let b = i.intern("ProductVtx");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "a");
+        assert_eq!(i.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("one");
+        i.intern("two");
+        let all: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(all, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let mut i = Interner::new();
+        let s = i.intern("");
+        assert_eq!(i.resolve(s), "");
+    }
+}

@@ -1,0 +1,452 @@
+//! GraQL data types and runtime values.
+//!
+//! The paper's DDL (Appendix A) uses four scalar types: `integer`, `float`,
+//! `varchar(n)` and `date`. All database elements are strongly typed
+//! (design principle 3), so cross-type comparisons other than
+//! integer↔float are *static* errors — but the runtime still needs a total
+//! order over values for sorting, grouping and distinct.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::date::Date;
+use crate::error::{GraqlError, Result};
+
+/// Declared type of a column / attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`integer`).
+    Integer,
+    /// 64-bit IEEE float (`float`).
+    Float,
+    /// Bounded string (`varchar(n)`); `n` is a declared capacity used for
+    /// static checking and layout hints, not enforced truncation.
+    Varchar(u32),
+    /// Calendar date (`date`).
+    Date,
+}
+
+impl DataType {
+    /// True when values of `self` and `other` may be compared.
+    ///
+    /// Integer and float are mutually comparable (numeric family); varchar
+    /// lengths are a storage hint and do not affect comparability.
+    pub fn comparable_with(self, other: DataType) -> bool {
+        use DataType::*;
+        matches!(
+            (self, other),
+            (Integer | Float, Integer | Float) | (Varchar(_), Varchar(_)) | (Date, Date)
+        )
+    }
+
+    /// True for the numeric family (`integer`, `float`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Integer | DataType::Float)
+    }
+
+    /// Parses a raw textual field (e.g. from CSV ingest) into a typed value.
+    /// Empty fields ingest as [`Value::Null`].
+    pub fn parse_value(self, raw: &str) -> Result<Value> {
+        if raw.is_empty() {
+            return Ok(Value::Null);
+        }
+        match self {
+            DataType::Integer => raw
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| GraqlError::ingest(format!("{raw:?} is not an integer"))),
+            DataType::Float => raw
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| GraqlError::ingest(format!("{raw:?} is not a float"))),
+            DataType::Varchar(_) => Ok(Value::str(raw)),
+            DataType::Date => raw.trim().parse::<Date>().map(Value::Date),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "integer"),
+            DataType::Float => write!(f, "float"),
+            DataType::Varchar(n) => write!(f, "varchar({n})"),
+            DataType::Date => write!(f, "date"),
+        }
+    }
+}
+
+/// Comparison operators shared by the GraQL surface syntax, the physical
+/// predicate evaluators and the static type checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison with SQL-style null semantics: any
+    /// comparison involving null is false.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a.sem_eq(b),
+            CmpOp::Ne => !a.is_null() && !b.is_null() && !a.sem_eq(b),
+            CmpOp::Lt => a.sem_cmp(b) == Some(Ordering::Less),
+            CmpOp::Le => matches!(a.sem_cmp(b), Some(Ordering::Less | Ordering::Equal)),
+            CmpOp::Gt => a.sem_cmp(b) == Some(Ordering::Greater),
+            CmpOp::Ge => matches!(a.sem_cmp(b), Some(Ordering::Greater | Ordering::Equal)),
+        }
+    }
+
+    /// The operator with its operands swapped: `a op b == b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A runtime scalar value.
+///
+/// Strings are `Arc<str>` so cloning rows and shipping values between the
+/// engine and the (simulated) cluster nodes is cheap.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style missing value (empty CSV field).
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    Date(Date),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type, or `None` for null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Integer),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Varchar(0)),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (integers widen to float), used by `sum`/`avg`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Total order over all values, used by `order by`, `group by`,
+    /// `distinct` and `min`/`max`.
+    ///
+    /// Nulls sort first; the numeric family compares cross-type by value;
+    /// different families order by a fixed type rank (numeric < string <
+    /// date). NaN floats sort after all other floats (total order).
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// Semantic equality (the `=` operator): null equals nothing, including
+    /// null, matching SQL three-valued logic collapsed to boolean.
+    pub fn sem_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.cmp_total(other) == Ordering::Equal
+    }
+
+    /// Semantic comparison for `<`, `<=`, `>`, `>=`: `None` when either
+    /// side is null (comparison with null never matches).
+    pub fn sem_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp_total(other))
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Float(_) => 1,
+        Value::Str(_) => 2,
+        Value::Date(_) => 3,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Int and Float must hash alike when they compare equal
+            // (cmp_total compares them numerically), so hash the numeric
+            // family through the f64 bit pattern of the widened value.
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cmp_op_null_semantics_and_flip() {
+        let one = Value::Int(1);
+        let two = Value::Int(2);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!op.eval(&Value::Null, &one), "{op} with null must be false");
+            assert!(!op.eval(&one, &Value::Null));
+            assert_eq!(op.eval(&one, &two), op.flip().eval(&two, &one), "flip law for {op}");
+        }
+        assert!(CmpOp::Lt.eval(&one, &two));
+        assert!(CmpOp::Ne.eval(&one, &two));
+        assert!(CmpOp::Ge.eval(&two, &two));
+        assert!(!CmpOp::Gt.eval(&two, &two));
+    }
+
+    #[test]
+    fn comparability_matrix() {
+        use DataType::*;
+        assert!(Integer.comparable_with(Float));
+        assert!(Float.comparable_with(Integer));
+        assert!(Varchar(10).comparable_with(Varchar(255)));
+        assert!(Date.comparable_with(Date));
+        assert!(!Date.comparable_with(Float));
+        assert!(!Varchar(10).comparable_with(Integer));
+        assert!(!Integer.comparable_with(Date));
+    }
+
+    #[test]
+    fn parse_value_per_type() {
+        assert_eq!(DataType::Integer.parse_value("42").unwrap(), Value::Int(42));
+        assert_eq!(DataType::Float.parse_value("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(DataType::Varchar(10).parse_value("x").unwrap(), Value::str("x"));
+        assert_eq!(
+            DataType::Date.parse_value("2008-01-15").unwrap(),
+            Value::Date(Date::from_ymd(2008, 1, 15).unwrap())
+        );
+        assert!(DataType::Integer.parse_value("x").is_err());
+        assert!(DataType::Date.parse_value("12").is_err());
+    }
+
+    #[test]
+    fn empty_fields_parse_as_null() {
+        for dt in [DataType::Integer, DataType::Float, DataType::Varchar(4), DataType::Date] {
+            assert!(dt.parse_value("").unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn numeric_family_compares_across_types() {
+        assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).cmp_total(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(!Value::Null.sem_eq(&Value::Null));
+        assert!(!Value::Null.sem_eq(&Value::Int(1)));
+        assert_eq!(Value::Null.sem_cmp(&Value::Int(1)), None);
+        // ... but total ordering still places null first for sorting.
+        assert_eq!(Value::Null.cmp_total(&Value::Int(1)), Ordering::Less);
+    }
+
+    #[test]
+    fn equal_int_and_float_hash_alike() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let vals = [
+            (DataType::Integer, Value::Int(-9)),
+            (DataType::Float, Value::Float(2.25)),
+            (DataType::Varchar(8), Value::str("abc")),
+            (DataType::Date, Value::Date(Date::from_ymd(1999, 12, 31).unwrap())),
+        ];
+        for (dt, v) in vals {
+            assert_eq!(dt.parse_value(&v.to_string()).unwrap(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn cmp_total_is_a_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+            // antisymmetry
+            prop_assert_eq!(a.cmp_total(&b), b.cmp_total(&a).reverse());
+            // transitivity (on a sorted triple)
+            let mut v = [a.clone(), b.clone(), c.clone()];
+            v.sort_by(|x, y| x.cmp_total(y));
+            prop_assert!(v[0].cmp_total(&v[2]) != Ordering::Greater);
+            // reflexivity
+            prop_assert_eq!(a.cmp_total(&a), Ordering::Equal);
+        }
+
+        #[test]
+        fn int_parse_round_trip(i in any::<i64>()) {
+            let v = DataType::Integer.parse_value(&i.to_string()).unwrap();
+            prop_assert_eq!(v, Value::Int(i));
+        }
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            "[a-z]{0,6}".prop_map(Value::str),
+            (-100000i32..100000).prop_map(|d| Value::Date(Date(d))),
+        ]
+    }
+}

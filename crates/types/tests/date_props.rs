@@ -1,0 +1,50 @@
+//! Property tests for the calendar-date codec.
+
+use graql_types::date::{days_in_month, is_leap_year};
+use graql_types::Date;
+use proptest::prelude::*;
+
+proptest! {
+    /// days → (y,m,d) → days is the identity over ±5000 years.
+    #[test]
+    fn days_ymd_round_trip(days in -2_000_000i32..2_000_000) {
+        let d = Date(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=days_in_month(y, m)).contains(&dd));
+        prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap().days(), days);
+    }
+
+    /// Textual form round-trips (for non-negative years, as used in CSV).
+    #[test]
+    fn display_parse_round_trip(days in 0i32..2_000_000) {
+        let d = Date(days);
+        let s = d.to_string();
+        prop_assert_eq!(s.parse::<Date>().unwrap(), d);
+    }
+
+    /// Successive days differ by exactly one calendar position.
+    #[test]
+    fn successor_is_calendar_increment(days in -1_000_000i32..1_000_000) {
+        let a = Date(days);
+        let b = a.plus_days(1);
+        prop_assert!(b > a);
+        let (ya, ma, da) = a.ymd();
+        let (yb, mb, db) = b.ymd();
+        if da < days_in_month(ya, ma) {
+            prop_assert_eq!((yb, mb, db), (ya, ma, da + 1));
+        } else if ma < 12 {
+            prop_assert_eq!((yb, mb, db), (ya, ma + 1, 1));
+        } else {
+            prop_assert_eq!((yb, mb, db), (ya + 1, 1, 1));
+        }
+    }
+}
+
+#[test]
+fn century_rules() {
+    assert!(is_leap_year(2000) && !is_leap_year(1900) && !is_leap_year(2100));
+    // 1900-02-28 + 1 = 1900-03-01 (not Feb 29).
+    let d = Date::from_ymd(1900, 2, 28).unwrap().plus_days(1);
+    assert_eq!(d.ymd(), (1900, 3, 1));
+}

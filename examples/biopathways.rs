@@ -1,0 +1,90 @@
+//! Computational-biology scenario from the paper's introduction:
+//! "modeling of biological pathways which represent the flow of molecular
+//! 'signals' inside a cell."
+//!
+//! Builds a small signaling-network model (molecules + directed
+//! activation/inhibition interactions, each evidenced by publications),
+//! then asks pathway questions: direct targets of a receptor, signal
+//! propagation to transcription factors (regex reachability), and a
+//! literature-support report (relational aggregation).
+//!
+//! ```sh
+//! cargo run --example biopathways
+//! ```
+
+use graql::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+    db.execute_script(
+        "create table Molecules(id varchar(12), kind varchar(12), compartment varchar(12))
+         create table Interactions(id varchar(12), src varchar(12), dst varchar(12),
+                                   effect varchar(10), pubs integer)
+         create vertex Molecule(id) from table Molecules
+         create edge interacts with vertices (Molecule as A, Molecule as B)
+             from table Interactions
+             where Interactions.src = A.id and Interactions.dst = B.id",
+    )?;
+
+    // A toy EGFR-like cascade:
+    //   EGF → EGFR → GRB2 → SOS → RAS → RAF → MEK → ERK → {MYC, FOS} (TFs)
+    //   PTEN ⊣ AKT; PI3K branch: EGFR → PI3K → AKT → MTOR
+    db.ingest_str(
+        "Molecules",
+        "EGF,ligand,extracell\nEGFR,receptor,membrane\nGRB2,adaptor,cytoplasm\n\
+         SOS,gef,cytoplasm\nRAS,gtpase,membrane\nRAF,kinase,cytoplasm\n\
+         MEK,kinase,cytoplasm\nERK,kinase,cytoplasm\nMYC,tf,nucleus\n\
+         FOS,tf,nucleus\nPI3K,kinase,membrane\nAKT,kinase,cytoplasm\n\
+         MTOR,kinase,cytoplasm\nPTEN,phosphatase,cytoplasm\n",
+    )?;
+    db.ingest_str(
+        "Interactions",
+        "i1,EGF,EGFR,activates,120\ni2,EGFR,GRB2,activates,80\ni3,GRB2,SOS,activates,60\n\
+         i4,SOS,RAS,activates,90\ni5,RAS,RAF,activates,150\ni6,RAF,MEK,activates,200\n\
+         i7,MEK,ERK,activates,250\ni8,ERK,MYC,activates,70\ni9,ERK,FOS,activates,65\n\
+         i10,EGFR,PI3K,activates,110\ni11,PI3K,AKT,activates,140\ni12,AKT,MTOR,activates,95\n\
+         i13,PTEN,AKT,inhibits,130\n",
+    )?;
+
+    // 1. Direct targets of the receptor.
+    let out = db.execute_str(
+        "select B.id as target, B.kind as kind from graph \
+         Molecule(kind = 'receptor') --interacts--> def B: Molecule()",
+    )?;
+    if let StmtOutput::Table(t) = &out {
+        println!("Direct receptor targets:\n{}", t.render());
+    }
+
+    // 2. Which transcription factors can the ligand's signal reach?
+    let out = db.execute_str(
+        "select * from graph Molecule(id = 'EGF') { --interacts--> Molecule() }+ \
+         --> Molecule(kind = 'tf') into subgraph cascade",
+    )?;
+    if let StmtOutput::Subgraph(sg) = &out {
+        let g = db.graph()?;
+        println!("Signal cascade EGF → … → TFs: {}", sg.summary(g));
+    }
+
+    // 3. Strongly-evidenced activation steps (edge conditions), as a table.
+    let out = db.execute_str(
+        "select A.id as src, B.id as dst from graph \
+         def A: Molecule() --interacts(effect = 'activates' and pubs >= 100)--> def B: Molecule()",
+    )?;
+    if let StmtOutput::Table(t) = &out {
+        println!("Well-evidenced activations (≥100 publications):\n{}", t.render());
+    }
+
+    // 4. Literature support by compartment (graph → table → aggregate).
+    db.execute_str(
+        "select B.compartment as compartment from graph \
+         Molecule() --interacts--> def B: Molecule() into table Targets",
+    )?;
+    let out = db.execute_str(
+        "select compartment, count(*) as inbound from table Targets \
+         group by compartment order by inbound desc",
+    )?;
+    if let StmtOutput::Table(t) = &out {
+        println!("Signal flow by compartment:\n{}", t.render());
+    }
+    Ok(())
+}

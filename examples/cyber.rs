@@ -1,0 +1,112 @@
+//! Cybersecurity scenario from the paper's introduction: "interaction
+//! graphs representing communication occurring over time between different
+//! hosts or devices on a network."
+//!
+//! Builds a synthetic enterprise network-flow dataset, then hunts for:
+//!  * hosts talking to a known-bad external address,
+//!  * fan-out scanners (relational aggregation over a graph result),
+//!  * multi-hop lateral movement from the DMZ to a domain controller
+//!    (path regular expression).
+//!
+//! ```sh
+//! cargo run --release --example cyber
+//! ```
+
+use graql::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+    db.execute_script(
+        "create table Hosts(ip varchar(16), zone varchar(8), os varchar(10))
+         create table Flows(id varchar(12), src varchar(16), dst varchar(16),
+                            port integer, bytes integer, day date)
+         create vertex Host(ip) from table Hosts
+         create edge flow with vertices (Host as S, Host as D)
+             from table Flows
+             where Flows.src = S.ip and Flows.dst = D.ip",
+    )?;
+
+    // --- synthetic network -------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(7);
+    let zones = ["dmz", "office", "server", "dc"];
+    let mut hosts = String::new();
+    let n_hosts = 120;
+    for i in 0..n_hosts {
+        // Host 0 is the domain controller; the planted chain 5 → 17 → 42
+        // crosses dmz → office → server.
+        let zone = match i {
+            0 => zones[3],
+            5 => "dmz",
+            17 => "office",
+            42 => "server",
+            _ => zones[rng.gen_range(0..3)],
+        };
+        let os = if rng.gen_bool(0.7) { "linux" } else { "windows" };
+        let _ = writeln!(hosts, "10.0.0.{i},{zone},{os}");
+    }
+    let _ = writeln!(hosts, "203.0.113.66,external,unknown"); // known-bad IP
+    db.ingest_str("Hosts", &hosts)?;
+
+    let mut flows = String::new();
+    for f in 0..2500 {
+        let s = rng.gen_range(0..n_hosts);
+        let d = rng.gen_range(0..n_hosts);
+        if s == d {
+            continue;
+        }
+        let port = [22, 80, 443, 445, 3389][rng.gen_range(0..5)];
+        let _ = writeln!(
+            flows,
+            "f{f},10.0.0.{s},10.0.0.{d},{port},{},2026-0{}-1{}",
+            rng.gen_range(100..1_000_000),
+            rng.gen_range(1..7),
+            rng.gen_range(0..9),
+        );
+    }
+    // A small compromised chain: dmz host 5 → office 17 → server 42 → DC 0,
+    // plus beaconing to the bad external IP.
+    flows.push_str(
+        "x1,10.0.0.5,10.0.0.17,445,9999,2026-06-01\n\
+         x2,10.0.0.17,10.0.0.42,445,9999,2026-06-02\n\
+         x3,10.0.0.42,10.0.0.0,3389,9999,2026-06-03\n\
+         x4,10.0.0.5,203.0.113.66,443,123456,2026-06-04\n\
+         x5,10.0.0.17,203.0.113.66,443,123456,2026-06-05\n",
+    );
+    db.ingest_str("Flows", &flows)?;
+
+    // --- 1. who talks to the known-bad address? ----------------------------
+    let out = db.execute_str(
+        "select S.ip as compromised, S.zone as zone from graph \
+         def S: Host() --flow--> Host(ip = '203.0.113.66')",
+    )?;
+    if let StmtOutput::Table(t) = &out {
+        println!("Hosts contacting the known-bad address:\n{}", t.render());
+    }
+
+    // --- 2. SMB fan-out (potential scanners) -------------------------------
+    db.execute_str(
+        "select S.ip as src from graph def S: Host() --flow(port = 445)--> Host() \
+         into table Smb",
+    )?;
+    let out = db.execute_str(
+        "select top 5 src, count(*) as targets from table Smb \
+         group by src order by targets desc, src asc",
+    )?;
+    if let StmtOutput::Table(t) = &out {
+        println!("Top SMB fan-out:\n{}", t.render());
+    }
+
+    // --- 3. lateral movement: DMZ → … → domain controller ------------------
+    let out = db.execute_str(
+        "select * from graph Host(zone = 'dmz') { --flow--> Host() }{1,3} --> Host(zone = 'dc') \
+         into subgraph lateral",
+    )?;
+    if let StmtOutput::Subgraph(sg) = &out {
+        let g = db.graph()?;
+        println!("Hosts on a ≤3-hop DMZ→DC path: {}", sg.summary(g));
+    }
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! `gems-shell` — a command-line client for the embedded GEMS/GraQL
+//! database (the "simple command-line interface" client of paper §III).
+//!
+//! ```sh
+//! gems-shell script.graql [--data-dir DIR] [--param NAME=VALUE]... [--parallel]
+//! ```
+//!
+//! Executes the script statement by statement (or with the dependence
+//! scheduler under `--parallel`) and prints each result. `ingest` paths in
+//! the script resolve against `--data-dir`.
+
+use std::process::ExitCode;
+
+use graql::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gems-shell <script.graql> [--data-dir DIR] [--param NAME=VALUE]... \
+         [--parallel] [--out FILE] [--save DIR] [--dot SUBGRAPH=FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_param(s: &str) -> Option<(String, Value)> {
+    let (name, raw) = s.split_once('=')?;
+    // Best-effort typing: integer, float, date, else string.
+    let value = if let Ok(i) = raw.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(f) = raw.parse::<f64>() {
+        Value::Float(f)
+    } else if let Ok(d) = raw.parse::<Date>() {
+        Value::Date(d)
+    } else {
+        Value::str(raw)
+    };
+    Some((name.to_string(), value))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut script_path: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut params: Vec<(String, Value)> = Vec::new();
+    let mut parallel = false;
+    let mut out_path: Option<String> = None;
+    let mut save_dir: Option<String> = None;
+    let mut dot_spec: Option<(String, String)> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--param" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match parse_param(&spec) {
+                    Some(kv) => params.push(kv),
+                    None => usage(),
+                }
+            }
+            "--parallel" => parallel = true,
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--save" => save_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--dot" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match spec.split_once('=') {
+                    Some((n, f)) => dot_spec = Some((n.to_string(), f.to_string())),
+                    None => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ if script_path.is_none() => script_path = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(script_path) = script_path else { usage() };
+    let text = match std::fs::read_to_string(&script_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gems-shell: cannot read {script_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut db = Database::new();
+    if let Some(dir) = data_dir {
+        db.set_data_dir(dir);
+    }
+    for (k, v) in params {
+        db.set_param(k, v);
+    }
+
+    let outputs = if parallel {
+        run_script(&mut db, &text).map(|r| r.outputs)
+    } else {
+        db.execute_script(&text)
+    };
+    match outputs {
+        Ok(outputs) => {
+            // `--out`: the last table result also goes to a CSV file.
+            if let Some(path) = &out_path {
+                let last_table = outputs.iter().rev().find_map(|o| match o {
+                    StmtOutput::Table(t) => Some(t),
+                    _ => None,
+                });
+                match last_table {
+                    Some(t) => {
+                        let mut buf = Vec::new();
+                        if let Err(e) = graql::table::csv::write_csv(t, &mut buf)
+                            .and_then(|()| {
+                                std::fs::write(path, buf)
+                                    .map_err(|e| GraqlError::ingest(e.to_string()))
+                            })
+                        {
+                            eprintln!("gems-shell: cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote last table result to {path}");
+                    }
+                    None => eprintln!("gems-shell: no table result to write to {path}"),
+                }
+            }
+            // `--dot`: export a named result subgraph as Graphviz DOT.
+            if let Some((name, file)) = &dot_spec {
+                match (db.result_subgraph(name), db.graph_ref()) {
+                    (Some(sg), Some(g)) => {
+                        if let Err(e) = std::fs::write(file, sg.to_dot(g)) {
+                            eprintln!("gems-shell: cannot write {file}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote subgraph {name} as DOT to {file}");
+                    }
+                    _ => eprintln!("gems-shell: no result subgraph named {name}"),
+                }
+            }
+            // `--save`: persist the database (catalog DDL + CSVs).
+            if let Some(dir) = &save_dir {
+                if let Err(e) = graql::core::save_dir(&db, std::path::Path::new(dir)) {
+                    eprintln!("gems-shell: cannot save to {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("saved database to {dir}");
+            }
+            for (i, out) in outputs.iter().enumerate() {
+                match out {
+                    StmtOutput::Created(name) => println!("[{i}] created {name}"),
+                    StmtOutput::Ingested { table, rows } => {
+                        println!("[{i}] ingested {rows} rows into {table}")
+                    }
+                    StmtOutput::Table(t) => {
+                        println!("[{i}] table ({} rows):", t.n_rows());
+                        print!("{}", t.render());
+                    }
+                    StmtOutput::Subgraph(sg) => match db.graph_ref() {
+                        Some(g) => println!("[{i}] subgraph: {}", sg.summary(g)),
+                        None => println!("[{i}] subgraph"),
+                    },
+                    StmtOutput::Pipelined => {
+                        println!("[{i}] pipelined into the next statement")
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gems-shell: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Berlin Q1/Q2 validated against an *independent* reference
+//! implementation: plain Rust hash-joins directly over the generated CSV
+//! text, sharing no code with the query engine.
+
+use std::collections::HashMap;
+
+use graql::bsbm::{self, queries, Scale};
+use graql::prelude::*;
+
+/// Parses a generated CSV table into rows of fields (the generator only
+/// quotes comment fields, which the reference splits around carefully).
+fn rows(csv: &str) -> Vec<Vec<String>> {
+    graql::table::csv::parse_csv(csv)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.into_iter().collect())
+        .collect()
+}
+
+struct Reference {
+    /// product → features
+    product_features: HashMap<String, Vec<String>>,
+    /// product → producer
+    producer_of: HashMap<String, String>,
+    /// producer → country
+    producer_country: HashMap<String, String>,
+    /// review → (product, person)
+    reviews: Vec<(String, String)>,
+    /// person → country
+    person_country: HashMap<String, String>,
+    /// product → types
+    product_types: HashMap<String, Vec<String>>,
+}
+
+impl Reference {
+    fn build(data: &bsbm::BsbmData) -> Reference {
+        let mut product_features: HashMap<String, Vec<String>> = HashMap::new();
+        for r in rows(data.csv("ProductFeatures").unwrap()) {
+            product_features.entry(r[0].clone()).or_default().push(r[1].clone());
+        }
+        let mut producer_of = HashMap::new();
+        for r in rows(data.csv("Products").unwrap()) {
+            producer_of.insert(r[0].clone(), r[4].clone());
+        }
+        let mut producer_country = HashMap::new();
+        for r in rows(data.csv("Producers").unwrap()) {
+            producer_country.insert(r[0].clone(), r[5].clone());
+        }
+        let reviews = rows(data.csv("Reviews").unwrap())
+            .into_iter()
+            .map(|r| (r[2].clone(), r[3].clone()))
+            .collect();
+        let mut person_country = HashMap::new();
+        for r in rows(data.csv("Persons").unwrap()) {
+            person_country.insert(r[0].clone(), r[4].clone());
+        }
+        let mut product_types: HashMap<String, Vec<String>> = HashMap::new();
+        for r in rows(data.csv("ProductTypes").unwrap()) {
+            product_types.entry(r[0].clone()).or_default().push(r[1].clone());
+        }
+        Reference {
+            product_features,
+            producer_of,
+            producer_country,
+            reviews,
+            person_country,
+            product_types,
+        }
+    }
+
+    /// Q2 reference: products sharing a feature with `product`, with the
+    /// shared-feature count, sorted by (count desc, id asc), top 10.
+    fn q2(&self, product: &str) -> Vec<(String, i64)> {
+        let own: std::collections::HashSet<&String> = self
+            .product_features
+            .get(product)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default();
+        let mut counts: HashMap<&String, i64> = HashMap::new();
+        for (other, feats) in &self.product_features {
+            if other == product {
+                continue;
+            }
+            let shared = feats.iter().filter(|f| own.contains(f)).count() as i64;
+            if shared > 0 {
+                counts.insert(other, shared);
+            }
+        }
+        let mut out: Vec<(String, i64)> =
+            counts.into_iter().map(|(k, v)| (k.clone(), v)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(10);
+        out
+    }
+
+    /// Q1 reference: for reviews by persons from `c2` of products whose
+    /// producer is from `c1`, count (review, type) pairs per type.
+    fn q1(&self, c1: &str, c2: &str) -> Vec<(String, i64)> {
+        let mut counts: HashMap<&String, i64> = HashMap::new();
+        for (product, person) in &self.reviews {
+            if self.person_country.get(person).map(String::as_str) != Some(c2) {
+                continue;
+            }
+            let Some(producer) = self.producer_of.get(product) else { continue };
+            if self.producer_country.get(producer).map(String::as_str) != Some(c1) {
+                continue;
+            }
+            for ty in self.product_types.get(product).into_iter().flatten() {
+                *counts.entry(ty).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(String, i64)> =
+            counts.into_iter().map(|(k, v)| (k.clone(), v)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(10);
+        out
+    }
+}
+
+fn run_to_table(db: &mut Database, script: &str) -> graql::table::Table {
+    let outs = db.execute_script(script).unwrap();
+    match outs.into_iter().last().unwrap() {
+        StmtOutput::Table(t) => t,
+        other => panic!("expected table, got {other:?}"),
+    }
+}
+
+fn table_pairs(t: &graql::table::Table) -> Vec<(String, i64)> {
+    (0..t.n_rows())
+        .map(|r| (t.get(r, 0).to_string(), t.get(r, 1).as_int().unwrap()))
+        .collect()
+}
+
+#[test]
+fn q2_matches_reference_at_multiple_scales_and_products() {
+    for products in [60, 250] {
+        let scale = Scale::new(products);
+        let data = bsbm::generate(scale);
+        let reference = Reference::build(&data);
+        let mut db = Database::new();
+        db.execute_script(bsbm::schema_ddl()).unwrap();
+        db.execute_script(bsbm::graph_ddl()).unwrap();
+        bsbm::load(&mut db, &data).unwrap();
+        for pid in ["product0", "product7"] {
+            db.set_param("Product1", Value::str(pid));
+            let got = table_pairs(&run_to_table(&mut db, queries::q2()));
+            let expected = reference.q2(pid);
+            assert_eq!(got, expected, "Q2({pid}) at scale {products}");
+        }
+    }
+}
+
+#[test]
+fn q1_matches_reference_across_country_pairs() {
+    let scale = Scale::new(300);
+    let data = bsbm::generate(scale);
+    let reference = Reference::build(&data);
+    let mut db = Database::new();
+    db.execute_script(bsbm::schema_ddl()).unwrap();
+    db.execute_script(bsbm::graph_ddl()).unwrap();
+    bsbm::load(&mut db, &data).unwrap();
+    let mut nonempty = 0;
+    for (c1, c2) in [("US", "DE"), ("DE", "US"), ("IT", "FR"), ("US", "US")] {
+        db.set_param("Country1", Value::str(c1));
+        db.set_param("Country2", Value::str(c2));
+        let got = table_pairs(&run_to_table(&mut db, queries::q1()));
+        let expected = reference.q1(c1, c2);
+        assert_eq!(got, expected, "Q1({c1}, {c2})");
+        if !expected.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(nonempty >= 2, "the scale must be large enough for meaningful Q1 answers");
+}

@@ -1,0 +1,340 @@
+//! Property tests: on random graphs, the engine's results must equal a
+//! brute-force evaluation of the paper's semantics (Eq. 5), under every
+//! planner mode and with culling on or off — and the simulated cluster
+//! must agree with the single-node engine.
+
+use graql::prelude::*;
+use proptest::prelude::*;
+
+/// A random bipartite-ish dataset: n_a rows of A(id, x), n_b rows of
+/// B(id, y), plus `ab` edge pairs.
+#[derive(Debug, Clone)]
+struct Fixture {
+    xs: Vec<i64>,
+    ys: Vec<i64>,
+    ab: Vec<(usize, usize)>,
+    p: i64,
+    q: i64,
+}
+
+fn fixture() -> impl Strategy<Value = Fixture> {
+    (2usize..8, 2usize..8).prop_flat_map(|(na, nb)| {
+        (
+            proptest::collection::vec(0i64..10, na),
+            proptest::collection::vec(0i64..10, nb),
+            proptest::collection::vec((0..na, 0..nb), 0..20),
+            0i64..10,
+            0i64..10,
+        )
+            .prop_map(|(xs, ys, ab, p, q)| {
+                let mut ab = ab;
+                ab.sort();
+                ab.dedup();
+                Fixture { xs, ys, ab, p, q }
+            })
+    })
+}
+
+fn build_db(f: &Fixture) -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "create table A(id integer, x integer)
+         create table B(id integer, y integer)
+         create table AB(a integer, b integer)
+         create vertex VA(id) from table A
+         create vertex VB(id) from table B
+         create edge ab with vertices (VA, VB) from table AB
+             where AB.a = VA.id and AB.b = VB.id",
+    )
+    .unwrap();
+    let a_csv: String =
+        f.xs.iter().enumerate().map(|(i, x)| format!("{i},{x}\n")).collect();
+    let b_csv: String =
+        f.ys.iter().enumerate().map(|(i, y)| format!("{i},{y}\n")).collect();
+    let ab_csv: String = f.ab.iter().map(|(a, b)| format!("{a},{b}\n")).collect();
+    db.ingest_str("A", &a_csv).unwrap();
+    db.ingest_str("B", &b_csv).unwrap();
+    if !ab_csv.is_empty() {
+        db.ingest_str("AB", &ab_csv).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 5 set semantics: subgraph of `VA(x<p) --ab--> VB(y<q)` equals
+    /// the brute-force participant sets, for all planner/culling modes.
+    #[test]
+    fn one_hop_set_semantics(f in fixture()) {
+        // Brute force.
+        let mut exp_a = std::collections::BTreeSet::new();
+        let mut exp_b = std::collections::BTreeSet::new();
+        for &(a, b) in &f.ab {
+            if f.xs[a] < f.p && f.ys[b] < f.q {
+                exp_a.insert(a);
+                exp_b.insert(b);
+            }
+        }
+        for culling in [true, false] {
+            let mut db = build_db(&f);
+            db.config_mut().culling = culling;
+            let q = format!(
+                "select * from graph VA(x < {}) --ab--> VB(y < {}) into subgraph g",
+                f.p, f.q
+            );
+            let StmtOutput::Subgraph(sg) = db.execute_str(&q).unwrap() else { panic!() };
+            db.graph().unwrap();
+            let g = db.graph_ref().unwrap();
+            let va = g.vtype("VA").unwrap();
+            let vb = g.vtype("VB").unwrap();
+            let got_a: std::collections::BTreeSet<usize> =
+                sg.vertices_of(va).map(|s| s.iter().collect()).unwrap_or_default();
+            let got_b: std::collections::BTreeSet<usize> =
+                sg.vertices_of(vb).map(|s| s.iter().collect()).unwrap_or_default();
+            prop_assert_eq!(&got_a, &exp_a, "A side, culling={}", culling);
+            prop_assert_eq!(&got_b, &exp_b, "B side, culling={}", culling);
+            // Matched edges too.
+            let et = g.etype("ab").unwrap();
+            let exp_edges = f
+                .ab
+                .iter()
+                .filter(|&&(a, b)| f.xs[a] < f.p && f.ys[b] < f.q)
+                .count();
+            prop_assert_eq!(
+                sg.edges_of(et).map(|s| s.count()).unwrap_or(0),
+                exp_edges,
+                "edges, culling={}", culling
+            );
+        }
+    }
+
+    /// Binding semantics: the V-path `VA --ab--> VB <--ab-- VA` produces
+    /// one row per (a1, b, a2) triple; foreach closes it into a cycle.
+    #[test]
+    fn v_path_binding_semantics(f in fixture()) {
+        let mut exp_rows = 0usize;
+        let mut exp_cycles = 0usize;
+        for &(a1, b1) in &f.ab {
+            for &(a2, b2) in &f.ab {
+                if b1 == b2 && f.xs[a1] < f.p {
+                    exp_rows += 1;
+                    if a1 == a2 {
+                        exp_cycles += 1;
+                    }
+                }
+            }
+        }
+        for mode in [PlanMode::Auto, PlanMode::ForwardOnly, PlanMode::ReverseOnly] {
+            let mut db = build_db(&f);
+            db.config_mut().plan_mode = mode;
+            let q = format!(
+                "select z.id from graph VA(x < {}) --ab--> VB() <--ab-- def z: VA()",
+                f.p
+            );
+            let StmtOutput::Table(t) = db.execute_str(&q).unwrap() else { panic!() };
+            prop_assert_eq!(t.n_rows(), exp_rows, "set-label rows, mode={:?}", mode);
+            let q = format!(
+                "select z.id from graph foreach w: VA(x < {}) --ab--> VB() <--ab-- def z: w",
+                f.p
+            );
+            let StmtOutput::Table(t) = db.execute_str(&q).unwrap() else { panic!() };
+            prop_assert_eq!(t.n_rows(), exp_cycles, "foreach cycles, mode={:?}", mode);
+        }
+    }
+
+    /// The simulated cluster agrees with the local engine on bindings.
+    #[test]
+    fn cluster_matches_local(f in fixture(), nodes in 1usize..5) {
+        let mut db = build_db(&f);
+        db.graph().unwrap();
+        let src = format!(
+            "select * from graph VA(x < {}) --ab--> VB(y < {}) into subgraph g",
+            f.p, f.q
+        );
+        let Stmt::Select(sel) = graql::parser::parse_statement(&src).unwrap() else {
+            unreachable!()
+        };
+        let graql::parser::ast::SelectSource::Graph(
+            graql::parser::ast::PathComposition::Single(path),
+        ) = sel.source else { unreachable!() };
+        let cluster = graql::cluster::Cluster::new(&db, nodes).unwrap();
+        let got = graql::cluster::run_path_query(&cluster, &db, &path).unwrap();
+        let exp = f
+            .ab
+            .iter()
+            .filter(|&&(a, b)| f.xs[a] < f.p && f.ys[b] < f.q)
+            .count();
+        prop_assert_eq!(got.bindings.len(), exp, "nodes={}", nodes);
+    }
+}
+
+use graql::parser::ast::Stmt;
+
+// ---------------------------------------------------------------------------
+// Randomized path queries vs a brute-force evaluator
+// ---------------------------------------------------------------------------
+
+/// A randomly shaped linear path query over the A/B fixture: steps
+/// alternate VA, VB, VA, … joined by `ab` hops (`--ab-->` from an A step,
+/// `<--ab--` from a B step), each step carrying an optional threshold
+/// condition.
+#[derive(Debug, Clone)]
+struct RandQuery {
+    /// Number of vertex steps (2..=4).
+    steps: usize,
+    /// Optional per-step thresholds (`x < t` on A steps, `y < t` on B).
+    conds: Vec<Option<i64>>,
+}
+
+fn rand_query() -> impl Strategy<Value = RandQuery> {
+    (2usize..=4).prop_flat_map(|steps| {
+        proptest::collection::vec(proptest::option::of(0i64..10), steps)
+            .prop_map(move |conds| RandQuery { steps, conds })
+    })
+}
+
+impl RandQuery {
+    fn to_graql(&self) -> String {
+        let mut q = String::from("select ");
+        let cols: Vec<String> = (0..self.steps).map(|i| format!("s{i}.id as c{i}")).collect();
+        q.push_str(&cols.join(", "));
+        q.push_str(" from graph ");
+        for i in 0..self.steps {
+            if i > 0 {
+                // Even → odd position: A --ab--> B; odd → even: B <--ab-- A.
+                q.push_str(if i % 2 == 1 { " --ab--> " } else { " <--ab-- " });
+            }
+            let ty = if i % 2 == 0 { "VA" } else { "VB" };
+            let attr = if i % 2 == 0 { "x" } else { "y" };
+            match self.conds[i] {
+                Some(t) => q.push_str(&format!("def s{i}: {ty}({attr} < {t})")),
+                None => q.push_str(&format!("def s{i}: {ty}()")),
+            }
+        }
+        q
+    }
+
+    /// Brute-force enumeration: count of bindings and per-step participant
+    /// sets.
+    fn brute_force(&self, f: &Fixture) -> (usize, Vec<std::collections::BTreeSet<usize>>) {
+        let passes = |i: usize, v: usize| -> bool {
+            let val = if i.is_multiple_of(2) { f.xs[v] } else { f.ys[v] };
+            self.conds[i].is_none_or(|t| val < t)
+        };
+        let mut count = 0usize;
+        let mut members: Vec<std::collections::BTreeSet<usize>> =
+            vec![Default::default(); self.steps];
+        // DFS over concrete assignments.
+        fn rec(
+            q: &RandQuery,
+            f: &Fixture,
+            passes: &dyn Fn(usize, usize) -> bool,
+            binding: &mut Vec<usize>,
+            count: &mut usize,
+            members: &mut [std::collections::BTreeSet<usize>],
+        ) {
+            let i = binding.len();
+            if i == q.steps {
+                *count += 1;
+                for (s, &v) in binding.iter().enumerate() {
+                    members[s].insert(v);
+                }
+                return;
+            }
+            let domain = if i.is_multiple_of(2) { f.xs.len() } else { f.ys.len() };
+            for v in 0..domain {
+                if !passes(i, v) {
+                    continue;
+                }
+                if i > 0 {
+                    let prev = binding[i - 1];
+                    // Edge between positions i-1 and i is always `ab`,
+                    // oriented A→B; the A side is the even position.
+                    let (a, b) = if i % 2 == 1 { (prev, v) } else { (v, prev) };
+                    if !f.ab.contains(&(a, b)) {
+                        continue;
+                    }
+                }
+                binding.push(v);
+                rec(q, f, passes, binding, count, members);
+                binding.pop();
+            }
+        }
+        rec(self, f, &passes, &mut Vec::new(), &mut count, &mut members);
+        (count, members)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary linear path queries agree with brute force on binding
+    /// count, and on participant sets via subgraph capture — for every
+    /// plan mode.
+    #[test]
+    fn random_path_queries_match_brute_force(
+        f in fixture(),
+        q in rand_query(),
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [PlanMode::Auto, PlanMode::ForwardOnly, PlanMode::ReverseOnly][mode_idx];
+        let (exp_count, exp_members) = q.brute_force(&f);
+        let mut db = build_db(&f);
+        db.config_mut().plan_mode = mode;
+        // Binding count via table output.
+        let src = q.to_graql();
+        let StmtOutput::Table(t) = db.execute_str(&src).unwrap() else { panic!() };
+        prop_assert_eq!(t.n_rows(), exp_count, "bindings for {}", src);
+        // Participant sets via star subgraph capture. All steps share two
+        // types, so compare unions per type.
+        let sg_src = format!(
+            "select * from graph {} into subgraph g",
+            src.split(" from graph ").nth(1).unwrap()
+        );
+        let StmtOutput::Subgraph(sg) = db.execute_str(&sg_src).unwrap() else { panic!() };
+        db.graph().unwrap();
+        let g = db.graph_ref().unwrap();
+        let va = g.vtype("VA").unwrap();
+        let vb = g.vtype("VB").unwrap();
+        let mut exp_a = std::collections::BTreeSet::new();
+        let mut exp_b = std::collections::BTreeSet::new();
+        for (i, m) in exp_members.iter().enumerate() {
+            if i % 2 == 0 {
+                exp_a.extend(m.iter().copied());
+            } else {
+                exp_b.extend(m.iter().copied());
+            }
+        }
+        let got_a: std::collections::BTreeSet<usize> =
+            sg.vertices_of(va).map(|s| s.iter().collect()).unwrap_or_default();
+        let got_b: std::collections::BTreeSet<usize> =
+            sg.vertices_of(vb).map(|s| s.iter().collect()).unwrap_or_default();
+        prop_assert_eq!(got_a, exp_a, "A participants for {}", sg_src);
+        prop_assert_eq!(got_b, exp_b, "B participants for {}", sg_src);
+    }
+}
+
+/// Deterministic output ordering: the same query yields byte-identical
+/// rendered tables across runs.
+#[test]
+fn deterministic_results() {
+    let f = Fixture {
+        xs: vec![1, 5, 9, 3],
+        ys: vec![2, 8, 4],
+        ab: vec![(0, 0), (0, 1), (1, 2), (2, 0), (3, 1)],
+        p: 6,
+        q: 9,
+    };
+    let run = || {
+        let mut db = build_db(&f);
+        let q = "select z.id, w.id as peer from graph \
+                 def w: VA() --ab--> VB() <--ab-- def z: VA()";
+        let StmtOutput::Table(t) = db.execute_str(q).unwrap() else { panic!() };
+        t.render()
+    };
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}
