@@ -18,8 +18,12 @@ const QUERY: &str = "select y.id from graph \
     <--feature-- def y: ProductVtx (id != %Product1%) into table T";
 
 fn path() -> graql_parser::ast::PathQuery {
-    let Stmt::Select(sel) = graql_parser::parse_statement(QUERY).unwrap() else { panic!() };
-    let SelectSource::Graph(PathComposition::Single(p)) = sel.source else { panic!() };
+    let Stmt::Select(sel) = graql_parser::parse_statement(QUERY).unwrap() else {
+        panic!()
+    };
+    let SelectSource::Graph(PathComposition::Single(p)) = sel.source else {
+        panic!()
+    };
     p
 }
 
@@ -41,7 +45,14 @@ fn bench(c: &mut Criterion) {
             probe.metrics.remote_ratio()
         );
         group.bench_with_input(BenchmarkId::new("q2_graph_phase", nodes), &(), |b, _| {
-            b.iter(|| black_box(graql_cluster::run_path_query(&cluster, &db, &p).unwrap().bindings.len()));
+            b.iter(|| {
+                black_box(
+                    graql_cluster::run_path_query(&cluster, &db, &p)
+                        .unwrap()
+                        .bindings
+                        .len(),
+                )
+            });
         });
     }
     group.finish();

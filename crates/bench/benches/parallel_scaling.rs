@@ -19,7 +19,9 @@ const GRAPH_QUERY: &str = "select O.id from graph \
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(10);
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     for threads in [1usize, 2, 4, 8] {
         if threads > available.max(2) {
             continue;
@@ -32,9 +34,13 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("table_scan_sort", threads), &(), |b, _| {
             b.iter(|| pool.install(|| black_box(run_rows(&mut db, QUERY))));
         });
-        group.bench_with_input(BenchmarkId::new("graph_filtered_hop", threads), &(), |b, _| {
-            b.iter(|| pool.install(|| black_box(run_rows(&mut db, GRAPH_QUERY))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("graph_filtered_hop", threads),
+            &(),
+            |b, _| {
+                b.iter(|| pool.install(|| black_box(run_rows(&mut db, GRAPH_QUERY))));
+            },
+        );
     }
     group.finish();
 }

@@ -9,15 +9,24 @@ use graql_bench::{berlin, run_rows};
 use std::hint::black_box;
 
 const OPS: &[(&str, &str)] = &[
-    ("select_where", "select id, price from table Offers where price > 5000.0"),
-    ("order_by", "select id, price from table Offers order by price desc"),
+    (
+        "select_where",
+        "select id, price from table Offers where price > 5000.0",
+    ),
+    (
+        "order_by",
+        "select id, price from table Offers order by price desc",
+    ),
     (
         "group_by_aggregates",
         "select vendor, count(*) as n, avg(price) as mean, min(price) as lo, \
          max(price) as hi, sum(deliveryDays) as d from table Offers group by vendor",
     ),
     ("distinct", "select distinct vendor from table Offers"),
-    ("top_n", "select top 10 id, price from table Offers order by price desc"),
+    (
+        "top_n",
+        "select top 10 id, price from table Offers order by price desc",
+    ),
 ];
 
 fn bench(c: &mut Criterion) {

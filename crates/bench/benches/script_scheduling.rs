@@ -33,13 +33,17 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(db_seq.execute_script(&src).unwrap().len()));
         });
         let mut db_par = berlin(products);
-        group.bench_with_input(BenchmarkId::new("scheduled_parallel", products), &(), |b, _| {
-            b.iter(|| {
-                let report = graql_core::run_script(&mut db_par, &src).unwrap();
-                assert_eq!(report.windows.len(), 1, "all eight in one window");
-                black_box(report.outputs.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scheduled_parallel", products),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let report = graql_core::run_script(&mut db_par, &src).unwrap();
+                    assert_eq!(report.windows.len(), 1, "all eight in one window");
+                    black_box(report.outputs.len())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -56,8 +56,9 @@ impl Scale {
 }
 
 /// Country pool (shared by producers, vendors and reviewers).
-pub const COUNTRIES: &[&str] =
-    &["US", "GB", "DE", "FR", "IT", "ES", "JP", "CN", "CA", "RU", "AT", "CH"];
+pub const COUNTRIES: &[&str] = &[
+    "US", "GB", "DE", "FR", "IT", "ES", "JP", "CN", "CA", "RU", "AT", "CH",
+];
 
 /// Generated CSV text per table.
 #[derive(Debug, Clone)]
@@ -73,7 +74,10 @@ impl BsbmData {
     }
 
     pub fn csv(&self, table: &str) -> Option<&str> {
-        self.tables.iter().find(|(n, _)| *n == table).map(|(_, t)| t.as_str())
+        self.tables
+            .iter()
+            .find(|(n, _)| *n == table)
+            .map(|(_, t)| t.as_str())
     }
 
     /// Writes each table as `<dir>/<table>.csv` (for `ingest table … file`
@@ -189,8 +193,7 @@ pub fn generate(scale: Scale) -> BsbmData {
         let mut pf = String::new();
         for i in 0..scale.products {
             let producer = rng.gen_range(0..n_producers);
-            let nums: Vec<String> =
-                (0..5).map(|_| rng.gen_range(1..2000).to_string()).collect();
+            let nums: Vec<String> = (0..5).map(|_| rng.gen_range(1..2000).to_string()).collect();
             let texts: Vec<String> = (0..5).map(|_| word(&mut rng)).collect();
             let _ = writeln!(
                 csv,

@@ -140,7 +140,8 @@ mod tests {
         for src in all {
             // Analysis piggybacks on execute_script; execution also checks
             // the corpus actually runs at a small scale.
-            db.execute_script(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            db.execute_script(src)
+                .unwrap_or_else(|e| panic!("{src}: {e}"));
         }
     }
 
@@ -151,10 +152,15 @@ mod tests {
         let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else {
             panic!()
         };
-        assert!(t.n_rows() > 0, "product0 shares features with someone at scale 60");
+        assert!(
+            t.n_rows() > 0,
+            "product0 shares features with someone at scale 60"
+        );
         assert!(t.n_rows() <= 10);
         // Counts are non-increasing.
-        let counts: Vec<i64> = (0..t.n_rows()).map(|r| t.get(r, 1).as_int().unwrap()).collect();
+        let counts: Vec<i64> = (0..t.n_rows())
+            .map(|r| t.get(r, 1).as_int().unwrap())
+            .collect();
         assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
     }
 
@@ -163,19 +169,27 @@ mod tests {
         let mut db = db();
         // Q3: every reported cheapest price respects the cap.
         let outs = db.execute_script(q3()).unwrap();
-        let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else { panic!() };
+        let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else {
+            panic!()
+        };
         for r in 0..t.n_rows() {
             assert!(t.get(r, 1).as_f64().unwrap() < 5000.0);
         }
         // Q4: vendor offer counts are positive and sorted.
         let outs = db.execute_script(q4()).unwrap();
-        let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else { panic!() };
-        let counts: Vec<i64> = (0..t.n_rows()).map(|r| t.get(r, 1).as_int().unwrap()).collect();
+        let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else {
+            panic!()
+        };
+        let counts: Vec<i64> = (0..t.n_rows())
+            .map(|r| t.get(r, 1).as_int().unwrap())
+            .collect();
         assert!(counts.iter().all(|&c| c > 0));
         assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
         // Q5: runs (or-composition over the type tree).
         let outs = db.execute_script(q5()).unwrap();
-        let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else { panic!() };
+        let graql_core::StmtOutput::Table(t) = outs.into_iter().last().unwrap() else {
+            panic!()
+        };
         assert!(t.n_rows() <= 5);
     }
 
@@ -193,6 +207,9 @@ mod tests {
         let reached = sg.vertices_of(tv).expect("some types reached");
         // The root of the type tree must be among the reached ancestors
         // (star quantifier: includes the product's own type).
-        assert!(reached.contains(root as usize), "type tree root reachable by {{subclass}}*");
+        assert!(
+            reached.contains(root as usize),
+            "type tree root reachable by {{subclass}}*"
+        );
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Barrier;
 
 use parking_lot::Mutex;
 
-use graql_core::compile::{compile_query, CLink, CompileCtx, CQuery};
+use graql_core::compile::{compile_query, CLink, CQuery, CompileCtx};
 use graql_core::exec::cand::{edge_filters, local_candidates, Cand};
 use graql_core::exec::enumerate::Binding;
 use graql_core::exec::ExecCtx;
@@ -70,7 +70,11 @@ pub fn run_path_query(
             "path regular expressions are not supported on the simulated cluster",
         ));
     }
-    if cpath.vsteps.iter().any(|v| v.label_ref.is_some() || v.seed.is_some()) {
+    if cpath
+        .vsteps
+        .iter()
+        .any(|v| v.label_ref.is_some() || v.seed.is_some())
+    {
         return Err(GraqlError::cluster(
             "label references and seeded steps are not supported on the simulated cluster",
         ));
@@ -90,8 +94,11 @@ pub fn run_path_query(
         config: &config,
         params: db.params(),
     };
-    let cands: Vec<Cand> =
-        cpath.vsteps.iter().map(|v| local_candidates(&ctx, v)).collect::<Result<_>>()?;
+    let cands: Vec<Cand> = cpath
+        .vsteps
+        .iter()
+        .map(|v| local_candidates(&ctx, v))
+        .collect::<Result<_>>()?;
     let efilters: Vec<FxHashMap<ETypeId, BitSet>> = cpath
         .links
         .iter()
@@ -109,13 +116,15 @@ pub fn run_path_query(
     for (&vt, set) in &cands[0] {
         for idx in set.iter() {
             let owner = cluster.partitioning.owner(vt, idx as u32);
-            initial[owner].push(PTuple { v: vec![(vt, idx as u32)], e: Vec::new() });
+            initial[owner].push(PTuple {
+                v: vec![(vt, idx as u32)],
+                e: Vec::new(),
+            });
         }
     }
 
     // Mailboxes: inbox[node] holds tuples arriving for that node.
-    let inboxes: Vec<Mutex<Vec<PTuple>>> =
-        (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect();
+    let inboxes: Vec<Mutex<Vec<PTuple>>> = (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = Barrier::new(n_nodes);
     let metrics = Mutex::new(vec![SuperstepMetrics::default(); n_steps.saturating_sub(1)]);
     let done: Vec<Mutex<Vec<PTuple>>> = (0..n_nodes).map(|_| Mutex::new(Vec::new())).collect();
@@ -158,7 +167,9 @@ pub fn run_path_query(
                             if from_ty != vt {
                                 continue;
                             }
-                            let Some(allowed_set) = allowed.get(&reached_ty) else { continue };
+                            let Some(allowed_set) = allowed.get(&reached_ty) else {
+                                continue;
+                            };
                             let filt = efilters[step - 1].get(&et);
                             let neighbors: Vec<(u32, u32)> = match link.dir {
                                 Dir::Out => shard.fwd_neighbors(et, v).collect(),
@@ -220,6 +231,8 @@ pub fn run_path_query(
     bindings.sort_by(|a, b| a.v.cmp(&b.v).then_with(|| a.e.cmp(&b.e)));
     Ok(ClusterBindings {
         bindings,
-        metrics: ClusterMetrics { per_superstep: metrics.into_inner() },
+        metrics: ClusterMetrics {
+            per_superstep: metrics.into_inner(),
+        },
     })
 }

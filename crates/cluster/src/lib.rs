@@ -56,8 +56,15 @@ impl<'a> Cluster<'a> {
             .graph_ref()
             .ok_or_else(|| GraqlError::cluster("build the graph before forming a cluster"))?;
         let partitioning = Partitioning::hash(graph, nodes);
-        let shards = (0..nodes).map(|n| Shard::build(graph, &partitioning, n)).collect();
-        Ok(Cluster { graph, storage: db.storage(), partitioning, shards })
+        let shards = (0..nodes)
+            .map(|n| Shard::build(graph, &partitioning, n))
+            .collect();
+        Ok(Cluster {
+            graph,
+            storage: db.storage(),
+            partitioning,
+            shards,
+        })
     }
 
     pub fn n_nodes(&self) -> usize {

@@ -55,8 +55,16 @@ mod tests {
     fn aggregation() {
         let m = ClusterMetrics {
             per_superstep: vec![
-                SuperstepMetrics { local_extensions: 5, messages: 5, bytes: 100 },
-                SuperstepMetrics { local_extensions: 10, messages: 0, bytes: 0 },
+                SuperstepMetrics {
+                    local_extensions: 5,
+                    messages: 5,
+                    bytes: 100,
+                },
+                SuperstepMetrics {
+                    local_extensions: 10,
+                    messages: 0,
+                    bytes: 0,
+                },
             ],
         };
         assert_eq!(m.supersteps(), 2);

@@ -67,9 +67,16 @@ mod tests {
         let mut g = Graph::new();
         let schema = TableSchema::of(&[("id", DataType::Integer)]);
         let t = Table::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)])).unwrap();
-        let a = g.add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap()).unwrap();
-        g.add_edge_type(EdgeSet::from_pairs("e", a, a, (0..n as u32 - 1).map(|i| (i, i + 1))))
+        let a = g
+            .add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap())
             .unwrap();
+        g.add_edge_type(EdgeSet::from_pairs(
+            "e",
+            a,
+            a,
+            (0..n as u32 - 1).map(|i| (i, i + 1)),
+        ))
+        .unwrap();
         g
     }
 

@@ -98,8 +98,10 @@ pub fn distributed_group_aggregate(
     }
     // Output schema mirrors the single-node kernel: group columns first,
     // then aggregate columns.
-    let mut defs: Vec<ColumnDef> =
-        group_cols.iter().map(|&c| t.schema().column(c).clone()).collect();
+    let mut defs: Vec<ColumnDef> = group_cols
+        .iter()
+        .map(|&c| t.schema().column(c).clone())
+        .collect();
     for a in aggs {
         let dtype = match a.func {
             AggFn::CountStar | AggFn::Count(_) => DataType::Integer,
@@ -133,8 +135,7 @@ pub fn distributed_group_aggregate(
                     let lo = node * chunk;
                     let hi = ((node + 1) * chunk).min(n_rows);
                     for row in lo..hi {
-                        let key: Vec<Value> =
-                            group_cols.iter().map(|&c| t.get(row, c)).collect();
+                        let key: Vec<Value> = group_cols.iter().map(|&c| t.get(row, c)).collect();
                         local
                             .entry(key)
                             .or_insert_with(|| Partial::new(aggs.len(), row as u32))
@@ -144,7 +145,10 @@ pub fn distributed_group_aggregate(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     // Merge at the coordinator.
@@ -217,9 +221,8 @@ mod tests {
         let schema = TableSchema::of(&[("g", DataType::Integer), ("x", DataType::Float)]);
         Table::from_rows(
             schema,
-            rows.iter().map(|(g, x)| {
-                vec![Value::Int(*g), x.map(Value::Float).unwrap_or(Value::Null)]
-            }),
+            rows.iter()
+                .map(|(g, x)| vec![Value::Int(*g), x.map(Value::Float).unwrap_or(Value::Null)]),
         )
         .unwrap()
     }

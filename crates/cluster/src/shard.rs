@@ -50,8 +50,14 @@ impl Shard {
                     rid.push(e);
                 }
             }
-            fwd.push(Fragment { csr: Csr::build(n_src, &fs, &ft), global_ids: fid });
-            rev.push(Fragment { csr: Csr::build(n_tgt, &rs, &rt), global_ids: rid });
+            fwd.push(Fragment {
+                csr: Csr::build(n_src, &fs, &ft),
+                global_ids: fid,
+            });
+            rev.push(Fragment {
+                csr: Csr::build(n_tgt, &rs, &rt),
+                global_ids: rid,
+            });
         }
         Shard { node, fwd, rev }
     }
@@ -113,7 +119,9 @@ mod tests {
         let mut g = Graph::new();
         let schema = TableSchema::of(&[("id", DataType::Integer)]);
         let t = Table::from_rows(schema, (0..10i64).map(|i| vec![Value::Int(i)])).unwrap();
-        let a = g.add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap()).unwrap();
+        let a = g
+            .add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap())
+            .unwrap();
         g.add_edge_type(EdgeSet::from_pairs(
             "e",
             a,

@@ -9,8 +9,12 @@ use graql_types::Value;
 use rustc_hash::FxHashMap;
 
 fn path_of(src: &str) -> graql_parser::ast::PathQuery {
-    let Stmt::Select(sel) = graql_parser::parse_statement(src).unwrap() else { panic!() };
-    let SelectSource::Graph(comp) = sel.source else { panic!() };
+    let Stmt::Select(sel) = graql_parser::parse_statement(src).unwrap() else {
+        panic!()
+    };
+    let SelectSource::Graph(comp) = sel.source else {
+        panic!()
+    };
     match comp {
         graql_parser::ast::PathComposition::Single(p) => p,
         other => panic!("expected a single path, got {other:?}"),
@@ -90,9 +94,8 @@ fn single_node_cluster_sends_no_messages() {
     let mut db = graql_bsbm::build_database(graql_bsbm::Scale::new(40)).unwrap();
     db.set_param("Product1", Value::str("product0"));
     db.graph().unwrap();
-    let path = path_of(
-        "select * from graph ProductVtx() --producer--> ProducerVtx() into subgraph g",
-    );
+    let path =
+        path_of("select * from graph ProductVtx() --producer--> ProducerVtx() into subgraph g");
     let cluster = Cluster::new(&db, 1).unwrap();
     let got = graql_cluster::run_path_query(&cluster, &db, &path).unwrap();
     assert_eq!(got.metrics.total_messages(), 0);
@@ -118,7 +121,10 @@ fn more_nodes_mean_more_communication() {
         );
         last_ratio = ratio;
     }
-    assert!(last_ratio > 0.5, "at 8 nodes most extensions are remote: {last_ratio}");
+    assert!(
+        last_ratio > 0.5,
+        "at 8 nodes most extensions are remote: {last_ratio}"
+    );
 }
 
 #[test]

@@ -10,28 +10,141 @@
 //! The analyzer threads a *working catalog* through the script so that a
 //! statement can reference entities (including `into` results) created by
 //! earlier statements — the front-end server's evolving metadata.
+//!
+//! Two reporting modes share one code path:
+//!
+//! * [`analyze_script`] is **fail-fast**: it stops at the first error and
+//!   returns it as a classified [`GraqlError`] (the legacy contract that
+//!   execution paths rely on).
+//! * [`check_script`] **collects**: it records every problem as a located
+//!   [`Diagnostic`] in a [`Diagnostics`] sink, recovering where it can
+//!   (e.g. an unknown attribute in a `where` clause does not stop the
+//!   rest of the clause from being checked), and then runs the lint
+//!   passes in [`crate::lint`].
 
 use graql_parser::ast::{self, SelectExpr, SelectTargets, StepName, Stmt};
 use graql_table::{ColumnDef, TableSchema};
-use graql_types::{DataType, GraqlError, Result};
+use graql_types::{codes, DataType, Diagnostic, Diagnostics, GraqlError, Result, Span};
 use rustc_hash::FxHashMap;
 
 use crate::catalog::{Catalog, EdgeDef, VertexDef};
-use crate::cond::{lit_type, typecheck_single_table};
+use crate::cond::lit_type;
+use crate::lint;
+
+/// Result of the span-aware checks: the error side is a located
+/// [`Diagnostic`], converted back to [`GraqlError`] only at the public
+/// fail-fast boundary.
+pub(crate) type DResult<T> = std::result::Result<T, Diagnostic>;
+
+/// How a check run reports problems.
+///
+/// In fail-fast mode (no sink) [`Ctx::emit`] aborts with the diagnostic;
+/// in collecting mode it records the diagnostic and analysis continues,
+/// so one pass surfaces every problem it can reach.
+pub(crate) struct Ctx<'a> {
+    sink: Option<&'a mut Diagnostics>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn fail_fast() -> Ctx<'static> {
+        Ctx { sink: None }
+    }
+
+    pub(crate) fn collecting(sink: &'a mut Diagnostics) -> Ctx<'a> {
+        Ctx { sink: Some(sink) }
+    }
+
+    /// Reports a recoverable problem: recorded (analysis continues) in
+    /// collecting mode, aborts the enclosing statement in fail-fast mode.
+    pub(crate) fn emit(&mut self, d: Diagnostic) -> DResult<()> {
+        match self.sink.as_deref_mut() {
+            Some(s) => {
+                s.push(d);
+                Ok(())
+            }
+            None => Err(d),
+        }
+    }
+}
+
+/// Locates a bubbled catalog/schema error, recoding plain name errors as
+/// "unknown entity" and type errors as "wrong kind".
+pub(crate) fn entity_err(e: &GraqlError, span: Span) -> Diagnostic {
+    let d = Diagnostic::from_error(e, span);
+    match e {
+        GraqlError::Name(_) => d.with_code(codes::UNKNOWN_NAME),
+        GraqlError::Type(_) => d.with_code(codes::WRONG_KIND),
+        _ => d,
+    }
+}
+
+/// Locates a bubbled column/attribute lookup error.
+pub(crate) fn attr_err(e: &GraqlError, span: Span) -> Diagnostic {
+    let d = Diagnostic::from_error(e, span);
+    match e {
+        GraqlError::Name(_) => d.with_code(codes::UNKNOWN_ATTR),
+        _ => d,
+    }
+}
+
+/// Locates a duplicate-definition error from the catalog.
+fn dup_err(e: &GraqlError, span: Span) -> Diagnostic {
+    let d = Diagnostic::from_error(e, span);
+    match e {
+        GraqlError::Name(_) => d.with_code(codes::DUPLICATE),
+        _ => d,
+    }
+}
 
 /// Statically checks a whole script against (a working copy of) the
-/// catalog. Returns the catalog state after the script, so callers can
-/// inspect inferred result schemas.
+/// catalog, stopping at the first error. Returns the catalog state after
+/// the script, so callers can inspect inferred result schemas.
 pub fn analyze_script(catalog: &Catalog, script: &ast::Script) -> Result<Catalog> {
     let mut work = catalog.clone();
     for stmt in &script.statements {
-        analyze_statement(&mut work, stmt)?;
+        check_statement(&mut work, stmt, &mut Ctx::fail_fast()).map_err(Diagnostic::into_error)?;
     }
     Ok(work)
 }
 
-/// Statically checks one statement, updating the working catalog.
+/// Statically checks one statement (fail-fast), updating the working
+/// catalog.
 pub fn analyze_statement(work: &mut Catalog, stmt: &Stmt) -> Result<()> {
+    check_statement(work, stmt, &mut Ctx::fail_fast()).map_err(Diagnostic::into_error)
+}
+
+/// Statically checks a whole script, collecting *every* diagnostic —
+/// errors, lint warnings and hints — instead of stopping at the first
+/// error. Statements that fail still leave later statements checked
+/// (against the catalog state that did materialize), so one call reports
+/// the full damage of a bad script.
+pub fn check_script(catalog: &Catalog, script: &ast::Script) -> (Catalog, Diagnostics) {
+    check_script_with_stats(catalog, script, None)
+}
+
+/// [`check_script`] with graph statistics: mean out/in degree per edge
+/// type name enables the path-cost lints (`W0301`).
+pub fn check_script_with_stats(
+    catalog: &Catalog,
+    script: &ast::Script,
+    fanout: Option<&lint::EdgeFanout>,
+) -> (Catalog, Diagnostics) {
+    let mut sink = Diagnostics::new();
+    let mut work = catalog.clone();
+    for stmt in &script.statements {
+        let res = check_statement(&mut work, stmt, &mut Ctx::collecting(&mut sink));
+        if let Err(d) = res {
+            sink.push(d);
+        }
+    }
+    lint::run(&work, script, fanout, &mut sink);
+    (work, sink)
+}
+
+/// Checks one statement, updating the working catalog. A returned `Err`
+/// is a problem the statement could not recover from (the entity was not
+/// registered); recoverable problems go through `ctx`.
+fn check_statement(work: &mut Catalog, stmt: &Stmt, ctx: &mut Ctx) -> DResult<()> {
     match stmt {
         Stmt::CreateTable(ct) => {
             let schema = TableSchema::new(
@@ -39,28 +152,45 @@ pub fn analyze_statement(work: &mut Catalog, stmt: &Stmt) -> Result<()> {
                     .iter()
                     .map(|(n, t)| ColumnDef::new(n, t.to_data_type()))
                     .collect(),
-            )?;
+            )
+            .map_err(|e| Diagnostic::from_error(&e, ct.span))?;
             work.add_table(&ct.name, schema)
+                .map_err(|e| dup_err(&e, ct.span))
         }
         Stmt::CreateVertex(cv) => {
-            let schema = work
-                .table(&cv.from_table)
-                .ok_or_else(|| match work.kind_of(&cv.from_table) {
-                    Some(k) => GraqlError::type_error(format!(
-                        "{:?} is a {k}, not a table",
-                        cv.from_table
-                    )),
-                    None => GraqlError::name(format!("unknown table {:?}", cv.from_table)),
-                })?
-                .clone();
+            let Some(schema) = work.table(&cv.from_table).cloned() else {
+                return Err(match work.kind_of(&cv.from_table) {
+                    Some(k) => Diagnostic::error(
+                        codes::WRONG_KIND,
+                        format!("'{}' is a {k}, not a table", cv.from_table),
+                        cv.span,
+                    ),
+                    None => Diagnostic::error(
+                        codes::UNKNOWN_NAME,
+                        format!("unknown table '{}'", cv.from_table),
+                        cv.span,
+                    ),
+                });
+            };
             if cv.key.is_empty() {
-                return Err(GraqlError::path(format!("vertex {:?} has an empty key", cv.name)));
+                ctx.emit(Diagnostic::error(
+                    codes::BAD_PATH,
+                    format!("vertex '{}' has an empty key", cv.name),
+                    cv.span,
+                ))?;
             }
             for k in &cv.key {
-                schema.require(k)?;
+                if let Err(e) = schema.require(k) {
+                    ctx.emit(attr_err(&e, cv.span))?;
+                }
             }
             if let Some(w) = &cv.where_clause {
-                typecheck_single_table(w, &schema, &[&cv.from_table, &cv.name])?;
+                crate::cond::typecheck_single_table_ctx(
+                    w,
+                    &schema,
+                    &[&cv.from_table, &cv.name],
+                    ctx,
+                )?;
             }
             work.add_vertex(VertexDef {
                 name: cv.name.clone(),
@@ -68,15 +198,24 @@ pub fn analyze_statement(work: &mut Catalog, stmt: &Stmt) -> Result<()> {
                 key: cv.key.clone(),
                 where_clause: cv.where_clause.clone(),
             })
+            .map_err(|e| dup_err(&e, cv.span))
         }
         Stmt::CreateEdge(ce) => {
-            let src = work.require_vertex(&ce.source.vertex_type)?.clone();
-            let tgt = work.require_vertex(&ce.target.vertex_type)?.clone();
+            let src = work
+                .require_vertex(&ce.source.vertex_type)
+                .map_err(|e| entity_err(&e, ce.span))?
+                .clone();
+            let tgt = work
+                .require_vertex(&ce.target.vertex_type)
+                .map_err(|e| entity_err(&e, ce.span))?
+                .clone();
             for t in &ce.from_tables {
-                work.require_any_table(t)?;
+                if let Err(e) = work.require_any_table(t) {
+                    ctx.emit(entity_err(&e, ce.span))?;
+                }
             }
             if let Some(w) = &ce.where_clause {
-                typecheck_edge_where(work, ce, &src, &tgt, w)?;
+                typecheck_edge_where(work, ce, &src, &tgt, w, ctx)?;
             }
             work.add_edge(EdgeDef {
                 name: ce.name.clone(),
@@ -87,20 +226,30 @@ pub fn analyze_statement(work: &mut Catalog, stmt: &Stmt) -> Result<()> {
                 from_tables: ce.from_tables.clone(),
                 where_clause: ce.where_clause.clone(),
             })
+            .map_err(|e| dup_err(&e, ce.span))
         }
         Stmt::Ingest(ing) => {
             if work.table(&ing.table).is_none() {
-                return Err(match work.kind_of(&ing.table) {
-                    Some(k) => GraqlError::type_error(format!(
-                        "cannot ingest into {:?}: it is a {k}, not a base table",
-                        ing.table
-                    )),
-                    None => GraqlError::name(format!("unknown table {:?}", ing.table)),
-                });
+                let d = match work.kind_of(&ing.table) {
+                    Some(k) => Diagnostic::error(
+                        codes::WRONG_KIND,
+                        format!(
+                            "cannot ingest into '{}': it is a {k}, not a base table",
+                            ing.table
+                        ),
+                        ing.span,
+                    ),
+                    None => Diagnostic::error(
+                        codes::UNKNOWN_NAME,
+                        format!("unknown table '{}'", ing.table),
+                        ing.span,
+                    ),
+                };
+                ctx.emit(d)?;
             }
             Ok(())
         }
-        Stmt::Select(sel) => analyze_select(work, sel),
+        Stmt::Select(sel) => check_select(work, sel, ctx),
     }
 }
 
@@ -111,17 +260,38 @@ fn typecheck_edge_where(
     src: &VertexDef,
     tgt: &VertexDef,
     w: &ast::Expr,
-) -> Result<()> {
+    ctx: &mut Ctx,
+) -> DResult<()> {
     let mut env: FxHashMap<String, TableSchema> = FxHashMap::default();
-    let src_schema = work.table(&src.table).expect("vertex defs reference tables").clone();
-    let tgt_schema = work.table(&tgt.table).expect("vertex defs reference tables").clone();
-    let src_qual = ce.source.alias.clone().unwrap_or_else(|| ce.source.vertex_type.clone());
-    let tgt_qual = ce.target.alias.clone().unwrap_or_else(|| ce.target.vertex_type.clone());
+    let src_schema = work
+        .table(&src.table)
+        .expect("vertex defs reference tables")
+        .clone();
+    let tgt_schema = work
+        .table(&tgt.table)
+        .expect("vertex defs reference tables")
+        .clone();
+    let src_qual = ce
+        .source
+        .alias
+        .clone()
+        .unwrap_or_else(|| ce.source.vertex_type.clone());
+    let tgt_qual = ce
+        .target
+        .alias
+        .clone()
+        .unwrap_or_else(|| ce.target.vertex_type.clone());
     if src_qual == tgt_qual {
-        return Err(GraqlError::name(format!(
-            "edge {:?} endpoints are both referred to as {:?}; disambiguate with 'as' aliases",
-            ce.name, src_qual
-        )));
+        // The environment would be ambiguous; skip the clause walk.
+        return ctx.emit(Diagnostic::error(
+            codes::DUPLICATE,
+            format!(
+                "edge '{}' endpoints are both referred to as '{src_qual}'; \
+                 disambiguate with 'as' aliases",
+                ce.name
+            ),
+            ce.span,
+        ));
     }
     env.insert(src_qual, src_schema.clone());
     env.insert(tgt_qual, tgt_schema.clone());
@@ -130,7 +300,10 @@ fn typecheck_edge_where(
         env.entry(tgt.table.clone()).or_insert(tgt_schema);
     }
     for t in &ce.from_tables {
-        env.insert(t.clone(), work.require_any_table(t)?.clone());
+        // Unknown from-tables were already reported by the caller.
+        if let Ok(s) = work.require_any_table(t) {
+            env.insert(t.clone(), s.clone());
+        }
     }
 
     // Walk comparisons, resolving operand types.
@@ -138,30 +311,52 @@ fn typecheck_edge_where(
         work: &Catalog,
         env: &mut FxHashMap<String, TableSchema>,
         o: &ast::Operand,
-    ) -> Result<Option<DataType>> {
+        span: Span,
+    ) -> DResult<Option<DataType>> {
         match o {
             ast::Operand::Lit(l) => Ok(lit_type(l)),
-            ast::Operand::Attr { qualifier: Some(q), name } => {
+            ast::Operand::Attr {
+                qualifier: Some(q),
+                name,
+            } => {
                 if !env.contains_key(q) {
                     // Implicit associated table (the Fig. 3 `feature` case).
                     let schema = work
                         .table(q)
-                        .ok_or_else(|| GraqlError::name(format!("unknown qualifier {q:?}")))?
+                        .ok_or_else(|| {
+                            Diagnostic::error(
+                                codes::BAD_QUALIFIER,
+                                format!("unknown qualifier '{q}'"),
+                                span,
+                            )
+                        })?
                         .clone();
                     env.insert(q.clone(), schema);
                 }
                 let schema = &env[q];
-                Ok(Some(schema.column(schema.require(name)?).dtype))
+                let ci = schema.require(name).map_err(|e| attr_err(&e, span))?;
+                Ok(Some(schema.column(ci).dtype))
             }
-            ast::Operand::Attr { qualifier: None, name } => {
+            ast::Operand::Attr {
+                qualifier: None,
+                name,
+            } => {
                 let hits: Vec<DataType> = env
                     .values()
                     .filter_map(|s| s.index_of(name).map(|c| s.column(c).dtype))
                     .collect();
                 match hits.len() {
                     1 => Ok(Some(hits[0])),
-                    0 => Err(GraqlError::name(format!("unknown attribute {name:?}"))),
-                    _ => Err(GraqlError::name(format!("ambiguous attribute {name:?}; qualify it"))),
+                    0 => Err(Diagnostic::error(
+                        codes::UNKNOWN_ATTR,
+                        format!("unknown attribute '{name}'"),
+                        span,
+                    )),
+                    _ => Err(Diagnostic::error(
+                        codes::AMBIGUOUS,
+                        format!("ambiguous attribute '{name}'; qualify it"),
+                        span,
+                    )),
                 }
             }
         }
@@ -170,38 +365,65 @@ fn typecheck_edge_where(
         work: &Catalog,
         env: &mut FxHashMap<String, TableSchema>,
         e: &ast::Expr,
-    ) -> Result<()> {
+        ctx: &mut Ctx,
+    ) -> DResult<()> {
         match e {
-            ast::Expr::And(ps) | ast::Expr::Or(ps) => ps.iter().try_for_each(|p| walk(work, env, p)),
-            ast::Expr::Not(inner) => walk(work, env, inner),
-            ast::Expr::Cmp { lhs, rhs, .. } => {
-                let a = operand_type(work, env, lhs)?;
-                let b = operand_type(work, env, rhs)?;
+            ast::Expr::And(ps) | ast::Expr::Or(ps) => {
+                ps.iter().try_for_each(|p| walk(work, env, p, ctx))
+            }
+            ast::Expr::Not(inner) => walk(work, env, inner, ctx),
+            ast::Expr::Cmp { lhs, rhs, span, .. } => {
+                let a = match operand_type(work, env, lhs, *span) {
+                    Ok(t) => t,
+                    Err(d) => {
+                        ctx.emit(d)?;
+                        None
+                    }
+                };
+                let b = match operand_type(work, env, rhs, *span) {
+                    Ok(t) => t,
+                    Err(d) => {
+                        ctx.emit(d)?;
+                        None
+                    }
+                };
                 if let (Some(a), Some(b)) = (a, b) {
                     if !a.comparable_with(b) {
-                        return Err(GraqlError::type_error(format!("cannot compare {a} with {b}")));
+                        ctx.emit(Diagnostic::error(
+                            codes::INCOMPARABLE,
+                            format!("cannot compare {a} with {b}"),
+                            *span,
+                        ))?;
                     }
                 }
                 Ok(())
             }
         }
     }
-    walk(work, &mut env, w)
+    walk(work, &mut env, w, ctx)
 }
 
 // ---------------------------------------------------------------------------
 // Select analysis
 // ---------------------------------------------------------------------------
 
-fn analyze_select(work: &mut Catalog, sel: &ast::SelectStmt) -> Result<()> {
+fn check_select(work: &mut Catalog, sel: &ast::SelectStmt, ctx: &mut Ctx) -> DResult<()> {
     match &sel.source {
-        ast::SelectSource::Table(t) => analyze_table_select(work, sel, t),
-        ast::SelectSource::Graph(comp) => analyze_graph_select(work, sel, comp),
+        ast::SelectSource::Table(t) => check_table_select(work, sel, t, ctx),
+        ast::SelectSource::Graph(comp) => check_graph_select(work, sel, comp, ctx),
     }
 }
 
-fn analyze_table_select(work: &mut Catalog, sel: &ast::SelectStmt, table: &str) -> Result<()> {
-    let schema = work.require_any_table(table)?.clone();
+fn check_table_select(
+    work: &mut Catalog,
+    sel: &ast::SelectStmt,
+    table: &str,
+    ctx: &mut Ctx,
+) -> DResult<()> {
+    let schema = work
+        .require_any_table(table)
+        .map_err(|e| entity_err(&e, sel.span))?
+        .clone();
     // An empty schema marks a result table whose columns could not be
     // inferred statically (e.g. edge-label projections); skip column-level
     // checks and let execution validate.
@@ -209,27 +431,38 @@ fn analyze_table_select(work: &mut Catalog, sel: &ast::SelectStmt, table: &str) 
         return register_into(work, sel, None);
     }
     if let Some(w) = &sel.where_clause {
-        typecheck_single_table(w, &schema, &[table])?;
+        crate::cond::typecheck_single_table_ctx(w, &schema, &[table], ctx)?;
     }
-    let col = |c: &ast::ColRef| -> Result<usize> {
+    let col = |c: &ast::ColRef| -> DResult<usize> {
         if let Some(q) = &c.qualifier {
             if q != table {
-                return Err(GraqlError::name(format!(
-                    "unknown qualifier {q:?}; the table is {table:?}"
-                )));
+                return Err(Diagnostic::error(
+                    codes::BAD_QUALIFIER,
+                    format!("unknown qualifier '{q}'; the table is '{table}'"),
+                    sel.span,
+                ));
             }
         }
-        schema.require(&c.name)
+        schema.require(&c.name).map_err(|e| attr_err(&e, sel.span))
     };
     for g in &sel.group_by {
-        col(g)?;
+        if let Err(d) = col(g) {
+            ctx.emit(d)?;
+        }
     }
-    // Output schema inference.
+    // Output schema inference. `complete` drops to false when a problem
+    // leaves a column's type unknown; the result is then registered with
+    // an empty schema (checked at execution instead).
     let mut out_defs: Vec<ColumnDef> = Vec::new();
+    let mut complete = true;
     match &sel.targets {
         SelectTargets::Star => {
             if !sel.group_by.is_empty() {
-                return Err(GraqlError::type_error("'select *' cannot be grouped"));
+                ctx.emit(Diagnostic::error(
+                    codes::BAD_AGGREGATE,
+                    "'select *' cannot be grouped",
+                    sel.span,
+                ))?;
             }
             out_defs = schema.columns().to_vec();
         }
@@ -238,62 +471,102 @@ fn analyze_table_select(work: &mut Catalog, sel: &ast::SelectStmt, table: &str) 
             for (i, item) in items.iter().enumerate() {
                 match &item.expr {
                     SelectExpr::Col(c) => {
-                        let ci = col(c)?;
-                        if grouped
-                            && !sel
-                                .group_by
-                                .iter()
-                                .any(|g| col(g).is_ok_and(|gi| gi == ci))
+                        let ci = match col(c) {
+                            Ok(ci) => ci,
+                            Err(d) => {
+                                ctx.emit(d)?;
+                                complete = false;
+                                continue;
+                            }
+                        };
+                        if grouped && !sel.group_by.iter().any(|g| col(g).is_ok_and(|gi| gi == ci))
                         {
-                            return Err(GraqlError::type_error(format!(
-                                "column {:?} must appear in 'group by' or inside an aggregate",
-                                c.name
-                            )));
+                            ctx.emit(Diagnostic::error(
+                                codes::BAD_AGGREGATE,
+                                format!(
+                                    "column '{}' must appear in 'group by' or inside an aggregate",
+                                    c.name
+                                ),
+                                sel.span,
+                            ))?;
                         }
                         let name = item.alias.clone().unwrap_or_else(|| c.name.clone());
                         out_defs.push(ColumnDef::new(name, schema.column(ci).dtype));
                     }
                     SelectExpr::Agg(a) => {
-                        let (dtype, arg) = match a {
-                            ast::AggCall::CountStar => (DataType::Integer, None),
-                            ast::AggCall::Count(c) => (DataType::Integer, Some(c)),
-                            ast::AggCall::Sum(c) => {
-                                (schema.column(col(c)?).dtype, Some(c))
-                            }
-                            ast::AggCall::Avg(c) => (DataType::Float, Some(c)),
-                            ast::AggCall::Min(c) | ast::AggCall::Max(c) => {
-                                (schema.column(col(c)?).dtype, Some(c))
-                            }
+                        let needs_numeric =
+                            matches!(a, ast::AggCall::Sum(_) | ast::AggCall::Avg(_));
+                        let arg = match a {
+                            ast::AggCall::CountStar => None,
+                            ast::AggCall::Count(c)
+                            | ast::AggCall::Sum(c)
+                            | ast::AggCall::Avg(c)
+                            | ast::AggCall::Min(c)
+                            | ast::AggCall::Max(c) => Some(c),
                         };
+                        let mut arg_dtype = None;
                         if let Some(c) = arg {
-                            let ci = col(c)?;
-                            let dt = schema.column(ci).dtype;
-                            let needs_numeric =
-                                matches!(a, ast::AggCall::Sum(_) | ast::AggCall::Avg(_));
-                            if needs_numeric && !dt.is_numeric() {
-                                return Err(GraqlError::type_error(format!(
-                                    "aggregate over non-numeric column {:?}",
-                                    c.name
-                                )));
+                            match col(c) {
+                                Ok(ci) => {
+                                    let dt = schema.column(ci).dtype;
+                                    arg_dtype = Some(dt);
+                                    if needs_numeric && !dt.is_numeric() {
+                                        ctx.emit(Diagnostic::error(
+                                            codes::BAD_AGGREGATE,
+                                            format!(
+                                                "aggregate over non-numeric column '{}'",
+                                                c.name
+                                            ),
+                                            sel.span,
+                                        ))?;
+                                    }
+                                }
+                                Err(d) => {
+                                    ctx.emit(d)?;
+                                }
                             }
                         }
-                        let name = item.alias.clone().unwrap_or_else(|| format!("agg_{i}"));
-                        out_defs.push(ColumnDef::new(name, dtype));
+                        let dtype = match a {
+                            ast::AggCall::CountStar | ast::AggCall::Count(_) => {
+                                Some(DataType::Integer)
+                            }
+                            ast::AggCall::Avg(_) => Some(DataType::Float),
+                            ast::AggCall::Sum(_) | ast::AggCall::Min(_) | ast::AggCall::Max(_) => {
+                                arg_dtype
+                            }
+                        };
+                        match dtype {
+                            Some(dt) => {
+                                let name = item.alias.clone().unwrap_or_else(|| format!("agg_{i}"));
+                                out_defs.push(ColumnDef::new(name, dt));
+                            }
+                            None => complete = false,
+                        }
                     }
                 }
             }
         }
     }
-    let out_schema = TableSchema::new(out_defs)?;
-    for k in &sel.order_by {
-        out_schema.require(&k.col.name).map_err(|_| {
-            GraqlError::name(format!(
-                "'order by' column {:?} is not in the select output",
-                k.col.name
-            ))
-        })?;
+    let out_schema = if complete {
+        Some(TableSchema::new(out_defs).map_err(|e| Diagnostic::from_error(&e, sel.span))?)
+    } else {
+        None
+    };
+    if let Some(os) = &out_schema {
+        for k in &sel.order_by {
+            if os.require(&k.col.name).is_err() {
+                ctx.emit(Diagnostic::error(
+                    codes::UNKNOWN_ATTR,
+                    format!(
+                        "'order by' column '{}' is not in the select output",
+                        k.col.name
+                    ),
+                    sel.span,
+                ))?;
+            }
+        }
     }
-    register_into(work, sel, Some(out_schema))
+    register_into(work, sel, out_schema)
 }
 
 /// One `or` branch's name scope: vertex labels (kind + optional concrete
@@ -312,28 +585,36 @@ struct StepInfo {
     display: String,
 }
 
-fn analyze_graph_select(
+fn check_graph_select(
     work: &mut Catalog,
     sel: &ast::SelectStmt,
     comp: &ast::PathComposition,
-) -> Result<()> {
+    ctx: &mut Ctx,
+) -> DResult<()> {
     if sel.where_clause.is_some() {
-        return Err(GraqlError::type_error(
+        ctx.emit(Diagnostic::error(
+            codes::MISPLACED_CLAUSE,
             "graph selects place conditions on steps, not in a 'where' clause",
-        ));
+            sel.span,
+        ))?;
     }
     if sel.has_aggregates() || !sel.group_by.is_empty() {
-        return Err(GraqlError::type_error(
+        ctx.emit(Diagnostic::error(
+            codes::MISPLACED_CLAUSE,
             "aggregates and 'group by' apply to table sources; capture 'into table' first",
-        ));
+            sel.span,
+        ))?;
     }
     if !sel.order_by.is_empty() || sel.top.is_some() || sel.distinct {
-        return Err(GraqlError::type_error(
+        ctx.emit(Diagnostic::error(
+            codes::MISPLACED_CLAUSE,
             "'order by'/'top'/'distinct' apply to table sources; capture 'into table' first",
-        ));
+            sel.span,
+        ))?;
     }
 
-    let branches = crate::compile::or_branches(comp)?;
+    let branches = crate::compile::or_branches(comp)
+        .map_err(|e| Diagnostic::from_error(&e, sel.span).with_code(codes::BAD_PATH))?;
     // Per-branch scopes: labels name → (kind, vtype option); edge labels
     // tracked separately (they resolve in projections but not in step
     // conditions). `or` branches are independent queries, so each gets a
@@ -364,17 +645,25 @@ fn analyze_graph_select(
                 }
             }
             if !shares {
-                return Err(GraqlError::path(
+                ctx.emit(Diagnostic::error(
+                    codes::BAD_PATH,
                     "'and' composition requires the paths to share a label (§II-B3)",
-                ));
+                    sel.span,
+                ))?;
             }
         }
-        let mut labels: FxHashMap<String, (ast::LabelKind, Option<String>)> =
-            FxHashMap::default();
+        let mut labels: FxHashMap<String, (ast::LabelKind, Option<String>)> = FxHashMap::default();
         let mut edge_labels: FxHashMap<String, Option<String>> = FxHashMap::default();
         let mut steps_by_name: FxHashMap<String, Vec<StepInfo>> = FxHashMap::default();
         for path in branch {
-            analyze_path(work, path, &mut labels, &mut edge_labels, &mut steps_by_name)?;
+            check_path(
+                work,
+                path,
+                &mut labels,
+                &mut edge_labels,
+                &mut steps_by_name,
+                ctx,
+            )?;
         }
         branch_scopes.push((labels, edge_labels, steps_by_name));
     }
@@ -391,9 +680,13 @@ fn analyze_graph_select(
             let mut complete = true;
             for item in items {
                 let SelectExpr::Col(c) = &item.expr else {
-                    return Err(GraqlError::type_error(
+                    ctx.emit(Diagnostic::error(
+                        codes::MISPLACED_CLAUSE,
                         "aggregates are not allowed over a graph source",
-                    ));
+                        sel.span,
+                    ))?;
+                    complete = false;
+                    continue;
                 };
                 let lookup_name = c.qualifier.as_ref().unwrap_or(&c.name);
                 if let Some(et) = edge_labels.get(lookup_name) {
@@ -401,16 +694,27 @@ fn analyze_graph_select(
                     // associated table when the type is concrete.
                     if to_table {
                         if c.qualifier.is_none() {
-                            return Err(GraqlError::type_error(
+                            ctx.emit(Diagnostic::error(
+                                codes::WRONG_KIND,
                                 "a bare edge label selects edges into a subgraph; \
                                  project an attribute (label.attr) for tables",
-                            ));
+                                sel.span,
+                            ))?;
+                            complete = false;
+                            continue;
                         }
                         if let Some(et) = et {
-                            let def = work.require_edge(et)?;
-                            if let Some(assoc) = def.from_tables.first().cloned() {
-                                let schema = work.require_any_table(&assoc)?;
-                                schema.require(&c.name)?;
+                            let assoc = match work.require_edge(et) {
+                                Ok(def) => def.from_tables.first().cloned(),
+                                Err(_) => None, // reported during path checks
+                            };
+                            if let Some(assoc) = assoc {
+                                let schema = work
+                                    .require_any_table(&assoc)
+                                    .map_err(|e| entity_err(&e, sel.span))?;
+                                if let Err(e) = schema.require(&c.name) {
+                                    ctx.emit(attr_err(&e, sel.span))?;
+                                }
                             }
                         }
                         complete = false; // dtype inference skipped for edge attrs
@@ -424,14 +728,25 @@ fn analyze_graph_select(
                     match steps_by_name.get(lookup_name).map(Vec::as_slice) {
                         Some([only]) => only.vtype.clone(),
                         Some(_) => {
-                            return Err(GraqlError::path(format!(
-                                "step name {lookup_name:?} is ambiguous; label it to disambiguate"
-                            )))
+                            ctx.emit(Diagnostic::error(
+                                codes::BAD_PATH,
+                                format!(
+                                    "step name '{lookup_name}' is ambiguous; \
+                                     label it to disambiguate"
+                                ),
+                                sel.span,
+                            ))?;
+                            complete = false;
+                            continue;
                         }
                         None => {
-                            return Err(GraqlError::name(format!(
-                                "unknown step or label {lookup_name:?}"
-                            )))
+                            ctx.emit(Diagnostic::error(
+                                codes::UNKNOWN_NAME,
+                                format!("unknown step or label '{lookup_name}'"),
+                                sel.span,
+                            ))?;
+                            complete = false;
+                            continue;
                         }
                     }
                 };
@@ -439,23 +754,37 @@ fn analyze_graph_select(
                     let dtype = match (&c.qualifier, &vtype) {
                         (Some(_), Some(vt)) => {
                             // step.attr: attr must exist on the step's table.
-                            let def = work.require_vertex(vt)?;
-                            let schema =
-                                work.table(&def.table).expect("vertex defs reference tables");
-                            Some(schema.column(schema.require(&c.name).map_err(|_| {
-                                GraqlError::name(format!(
-                                    "vertex type {vt} has no attribute {:?}",
-                                    c.name
-                                ))
-                            })?).dtype)
+                            let def = work
+                                .require_vertex(vt)
+                                .map_err(|e| entity_err(&e, sel.span))?;
+                            let schema = work
+                                .table(&def.table)
+                                .expect("vertex defs reference tables");
+                            match schema.require(&c.name) {
+                                Ok(ci) => Some(schema.column(ci).dtype),
+                                Err(_) => {
+                                    ctx.emit(Diagnostic::error(
+                                        codes::UNKNOWN_ATTR,
+                                        format!("vertex type {vt} has no attribute '{}'", c.name),
+                                        sel.span,
+                                    ))?;
+                                    complete = false;
+                                    continue;
+                                }
+                            }
                         }
                         (None, Some(vt)) => {
-                            let def = work.require_vertex(vt)?;
+                            let def = work
+                                .require_vertex(vt)
+                                .map_err(|e| entity_err(&e, sel.span))?;
                             if def.key.len() == 1 {
                                 let schema = work
                                     .table(&def.table)
                                     .expect("vertex defs reference tables");
-                                Some(schema.column(schema.require(&def.key[0])?).dtype)
+                                let ci = schema
+                                    .require(&def.key[0])
+                                    .map_err(|e| attr_err(&e, sel.span))?;
+                                Some(schema.column(ci).dtype)
                             } else {
                                 None // multi-key: schema widens; skip inference
                             }
@@ -486,122 +815,177 @@ fn analyze_graph_select(
                         }
                     })
                     .collect();
-                out_schema = Some(TableSchema::new(defs)?);
+                out_schema =
+                    Some(TableSchema::new(defs).map_err(|e| Diagnostic::from_error(&e, sel.span))?);
             }
         }
     }
-    match (&sel.into, to_table) {
-        (Some(ast::IntoClause::Table(_)), false) => {
-            return Err(GraqlError::type_error(
-                "'select *' over a graph captures 'into subgraph', not 'into table'",
-            ))
-        }
-        (Some(ast::IntoClause::Subgraph(_)), true) => {
-            // Items → subgraph is fine when the items are bare steps; the
-            // executor enforces the rest.
-        }
-        _ => {}
+    if let (Some(ast::IntoClause::Table(_)), false) = (&sel.into, to_table) {
+        ctx.emit(Diagnostic::error(
+            codes::MISPLACED_CLAUSE,
+            "'select *' over a graph captures 'into subgraph', not 'into table'",
+            sel.span,
+        ))?;
     }
     register_into(work, sel, out_schema)
 }
 
-fn analyze_path(
+/// Checks one vertex step and returns its static info. With a collecting
+/// context, unknown vertex types degrade to a variant (`vtype: None`)
+/// step so the rest of the path is still checked.
+#[allow(clippy::too_many_arguments)]
+fn check_vstep(
+    work: &Catalog,
+    v: &ast::VertexStep,
+    labels: &mut FxHashMap<String, (ast::LabelKind, Option<String>)>,
+    steps_by_name: &mut FxHashMap<String, Vec<StepInfo>>,
+    register: bool,
+    ctx: &mut Ctx,
+) -> DResult<StepInfo> {
+    let info = match &v.name {
+        StepName::Any => {
+            if v.cond.is_some() {
+                ctx.emit(Diagnostic::error(
+                    codes::BAD_LABEL,
+                    "conditions are not allowed on variant ([ ]) vertex steps",
+                    v.span,
+                ))?;
+            }
+            StepInfo {
+                vtype: None,
+                display: "[]".into(),
+            }
+        }
+        StepName::Named(n) => {
+            if let Some((_, vt)) = labels.get(n) {
+                StepInfo {
+                    vtype: vt.clone(),
+                    display: n.clone(),
+                }
+            } else {
+                match work.require_vertex(n) {
+                    Ok(def) => StepInfo {
+                        vtype: Some(def.name.clone()),
+                        display: n.clone(),
+                    },
+                    Err(e) => {
+                        ctx.emit(entity_err(&e, v.span))?;
+                        StepInfo {
+                            vtype: None,
+                            display: n.clone(),
+                        }
+                    }
+                }
+            }
+        }
+    };
+    if let Some(l) = &v.label_def {
+        if labels.contains_key(&l.name) {
+            ctx.emit(Diagnostic::error(
+                codes::BAD_LABEL,
+                format!("label '{}' defined twice", l.name),
+                l.span,
+            ))?;
+        } else {
+            labels.insert(l.name.clone(), (l.kind, info.vtype.clone()));
+        }
+    }
+    if let Some(seed) = &v.seed {
+        if !work.has_result_subgraph(seed) {
+            let d = match work.kind_of(seed) {
+                Some(k) => Diagnostic::error(
+                    codes::WRONG_KIND,
+                    format!("'{seed}' is a {k}, not a result subgraph"),
+                    v.span,
+                ),
+                None => Diagnostic::error(
+                    codes::UNKNOWN_NAME,
+                    format!("unknown result subgraph '{seed}'"),
+                    v.span,
+                ),
+            };
+            ctx.emit(d)?;
+        }
+    }
+    // Condition type checking against the step's source table (only
+    // for concrete steps; label-qualified operands checked loosely).
+    if let (Some(cond), Some(vt)) = (&v.cond, &info.vtype) {
+        let def = work
+            .require_vertex(vt)
+            .map_err(|e| entity_err(&e, v.span))?;
+        let schema = work
+            .table(&def.table)
+            .expect("vertex defs reference tables");
+        typecheck_step_cond(work, cond, schema, &info.display, labels, ctx)?;
+    }
+    if register && matches!(v.name, StepName::Named(_)) {
+        steps_by_name
+            .entry(info.display.clone())
+            .or_default()
+            .push(info.clone());
+    }
+    Ok(info)
+}
+
+fn check_path(
     work: &Catalog,
     path: &ast::PathQuery,
     labels: &mut FxHashMap<String, (ast::LabelKind, Option<String>)>,
     edge_labels: &mut FxHashMap<String, Option<String>>,
     steps_by_name: &mut FxHashMap<String, Vec<StepInfo>>,
-) -> Result<()> {
-    // Checks one vertex step and returns its static info.
-    let mut check_vstep = |v: &ast::VertexStep,
-                           labels: &mut FxHashMap<String, (ast::LabelKind, Option<String>)>,
-                           register: bool|
-     -> Result<StepInfo> {
-        let info = match &v.name {
-            StepName::Any => {
-                if v.cond.is_some() {
-                    return Err(GraqlError::path(
-                        "conditions are not allowed on variant ([ ]) vertex steps",
-                    ));
-                }
-                StepInfo { vtype: None, display: "[]".into() }
-            }
-            StepName::Named(n) => {
-                if let Some((_, vt)) = labels.get(n) {
-                    StepInfo { vtype: vt.clone(), display: n.clone() }
-                } else {
-                    let def = work.require_vertex(n)?;
-                    StepInfo { vtype: Some(def.name.clone()), display: n.clone() }
-                }
-            }
-        };
-        if let Some(l) = &v.label_def {
-            if labels.contains_key(&l.name) {
-                return Err(GraqlError::path(format!("label {:?} defined twice", l.name)));
-            }
-            labels.insert(l.name.clone(), (l.kind, info.vtype.clone()));
-        }
-        if let Some(seed) = &v.seed {
-            if !work.has_result_subgraph(seed) {
-                return Err(match work.kind_of(seed) {
-                    Some(k) => GraqlError::type_error(format!(
-                        "{seed:?} is a {k}, not a result subgraph"
-                    )),
-                    None => GraqlError::name(format!("unknown result subgraph {seed:?}")),
-                });
-            }
-        }
-        // Condition type checking against the step's source table (only
-        // for concrete steps; label-qualified operands checked loosely).
-        if let (Some(cond), Some(vt)) = (&v.cond, &info.vtype) {
-            let def = work.require_vertex(vt)?;
-            let schema = work.table(&def.table).expect("vertex defs reference tables");
-            typecheck_step_cond(work, cond, schema, &info.display, labels)?;
-        }
-        if register && matches!(v.name, StepName::Named(_)) {
-            steps_by_name.entry(info.display.clone()).or_default().push(info.clone());
-        }
-        Ok(info)
-    };
-
+    ctx: &mut Ctx,
+) -> DResult<()> {
     // Walk the path: top-level steps build `infos` (aligned with hop
     // endpoint indices); group hops are checked but not positional.
-    let mut infos: Vec<StepInfo> = vec![check_vstep(&path.head, labels, true)?];
+    let mut infos: Vec<StepInfo> = vec![check_vstep(
+        work,
+        &path.head,
+        labels,
+        steps_by_name,
+        true,
+        ctx,
+    )?];
     let mut hop_edges: Vec<(usize, &ast::EdgeStep)> = Vec::new();
     for seg in &path.segments {
         match seg {
             ast::Segment::Hop { edge, vertex } => {
                 if let Some(l) = &edge.label_def {
                     if labels.contains_key(&l.name) || edge_labels.contains_key(&l.name) {
-                        return Err(GraqlError::path(format!(
-                            "label {:?} defined twice",
-                            l.name
-                        )));
+                        ctx.emit(Diagnostic::error(
+                            codes::BAD_LABEL,
+                            format!("label '{}' defined twice", l.name),
+                            l.span,
+                        ))?;
+                    } else {
+                        let et = match &edge.name {
+                            StepName::Named(n) => Some(n.clone()),
+                            StepName::Any => None,
+                        };
+                        edge_labels.insert(l.name.clone(), et);
                     }
-                    let et = match &edge.name {
-                        StepName::Named(n) => Some(n.clone()),
-                        StepName::Any => None,
-                    };
-                    edge_labels.insert(l.name.clone(), et);
                 }
                 hop_edges.push((infos.len() - 1, edge));
-                infos.push(check_vstep(vertex, labels, true)?);
+                infos.push(check_vstep(work, vertex, labels, steps_by_name, true, ctx)?);
             }
             ast::Segment::Group { hops, exit, .. } => {
                 for (e, hv) in hops {
                     if matches!(e.name, StepName::Any) && e.cond.is_some() {
-                        return Err(GraqlError::path(
+                        ctx.emit(Diagnostic::error(
+                            codes::BAD_LABEL,
                             "conditions are not allowed on variant ([ ]) edge steps",
-                        ));
+                            e.span,
+                        ))?;
                     }
                     if let StepName::Named(n) = &e.name {
-                        work.require_edge(n)?;
+                        if let Err(err) = work.require_edge(n) {
+                            ctx.emit(entity_err(&err, e.span))?;
+                        }
                     }
                     // Hop vertex: full step checks, but not addressable.
-                    check_vstep(hv, labels, false)?;
+                    check_vstep(work, hv, labels, steps_by_name, false, ctx)?;
                 }
                 match exit {
-                    Some(v) => infos.push(check_vstep(v, labels, true)?),
+                    Some(v) => infos.push(check_vstep(work, v, labels, steps_by_name, true, ctx)?),
                     None => infos.push(StepInfo {
                         vtype: None,
                         display: format!("exit{}", infos.len()),
@@ -616,13 +1000,21 @@ fn analyze_path(
         match &e.name {
             StepName::Any => {
                 if e.cond.is_some() {
-                    return Err(GraqlError::path(
+                    ctx.emit(Diagnostic::error(
+                        codes::BAD_LABEL,
                         "conditions are not allowed on variant ([ ]) edge steps",
-                    ));
+                        e.span,
+                    ))?;
                 }
             }
             StepName::Named(n) => {
-                let def = work.require_edge(n)?;
+                let def = match work.require_edge(n) {
+                    Ok(def) => def,
+                    Err(err) => {
+                        ctx.emit(entity_err(&err, e.span))?;
+                        continue;
+                    }
+                };
                 let (from, to) = (&infos[i], &infos[i + 1]);
                 let (want_src, want_tgt) = match e.dir {
                     ast::Dir::Out => (from, to),
@@ -630,18 +1022,20 @@ fn analyze_path(
                 };
                 if let Some(vt) = &want_src.vtype {
                     if *vt != def.src_type {
-                        return Err(GraqlError::path(format!(
-                            "edge {n:?} starts at {:?}, not {:?}",
-                            def.src_type, vt
-                        )));
+                        ctx.emit(Diagnostic::error(
+                            codes::BAD_ENDPOINT,
+                            format!("edge '{n}' starts at '{}', not '{vt}'", def.src_type),
+                            e.span,
+                        ))?;
                     }
                 }
                 if let Some(vt) = &want_tgt.vtype {
                     if *vt != def.tgt_type {
-                        return Err(GraqlError::path(format!(
-                            "edge {n:?} ends at {:?}, not {:?}",
-                            def.tgt_type, vt
-                        )));
+                        ctx.emit(Diagnostic::error(
+                            codes::BAD_ENDPOINT,
+                            format!("edge '{n}' ends at '{}', not '{vt}'", def.tgt_type),
+                            e.span,
+                        ))?;
                     }
                 }
             }
@@ -659,36 +1053,55 @@ fn typecheck_step_cond(
     schema: &TableSchema,
     display: &str,
     labels: &FxHashMap<String, (ast::LabelKind, Option<String>)>,
-) -> Result<()> {
+    ctx: &mut Ctx,
+) -> DResult<()> {
     fn operand_type(
         work: &Catalog,
         schema: &TableSchema,
         display: &str,
         labels: &FxHashMap<String, (ast::LabelKind, Option<String>)>,
         o: &ast::Operand,
-    ) -> Result<Option<DataType>> {
+        span: Span,
+    ) -> DResult<Option<DataType>> {
         match o {
             ast::Operand::Lit(l) => Ok(lit_type(l)),
-            ast::Operand::Attr { qualifier: None, name } => {
-                Ok(Some(schema.column(schema.require(name).map_err(|_| {
-                    GraqlError::name(format!("step {display:?} has no attribute {name:?}"))
-                })?).dtype))
+            ast::Operand::Attr {
+                qualifier: None,
+                name,
+            } => {
+                let ci = schema.require(name).map_err(|_| {
+                    Diagnostic::error(
+                        codes::UNKNOWN_ATTR,
+                        format!("step '{display}' has no attribute '{name}'"),
+                        span,
+                    )
+                })?;
+                Ok(Some(schema.column(ci).dtype))
             }
-            ast::Operand::Attr { qualifier: Some(q), name } => {
+            ast::Operand::Attr {
+                qualifier: Some(q),
+                name,
+            } => {
                 if q == display {
-                    return Ok(Some(schema.column(schema.require(name)?).dtype));
+                    let ci = schema.require(name).map_err(|e| attr_err(&e, span))?;
+                    return Ok(Some(schema.column(ci).dtype));
                 }
                 let Some((_, vt)) = labels.get(q) else {
-                    return Err(GraqlError::name(format!(
-                        "unknown label {q:?} in step condition"
-                    )));
+                    return Err(Diagnostic::error(
+                        codes::BAD_QUALIFIER,
+                        format!("unknown label '{q}' in step condition"),
+                        span,
+                    ));
                 };
                 match vt {
                     None => Ok(None), // variant label: checked at runtime
                     Some(vt) => {
-                        let def = work.require_vertex(vt)?;
-                        let s = work.table(&def.table).expect("vertex defs reference tables");
-                        Ok(Some(s.column(s.require(name)?).dtype))
+                        let def = work.require_vertex(vt).map_err(|e| entity_err(&e, span))?;
+                        let s = work
+                            .table(&def.table)
+                            .expect("vertex defs reference tables");
+                        let ci = s.require(name).map_err(|e| attr_err(&e, span))?;
+                        Ok(Some(s.column(ci).dtype))
                     }
                 }
             }
@@ -700,40 +1113,58 @@ fn typecheck_step_cond(
         display: &str,
         labels: &FxHashMap<String, (ast::LabelKind, Option<String>)>,
         e: &ast::Expr,
-    ) -> Result<()> {
+        ctx: &mut Ctx,
+    ) -> DResult<()> {
         match e {
-            ast::Expr::And(ps) | ast::Expr::Or(ps) => {
-                ps.iter().try_for_each(|p| walk(work, schema, display, labels, p))
-            }
-            ast::Expr::Not(inner) => walk(work, schema, display, labels, inner),
-            ast::Expr::Cmp { lhs, rhs, .. } => {
-                let a = operand_type(work, schema, display, labels, lhs)?;
-                let b = operand_type(work, schema, display, labels, rhs)?;
+            ast::Expr::And(ps) | ast::Expr::Or(ps) => ps
+                .iter()
+                .try_for_each(|p| walk(work, schema, display, labels, p, ctx)),
+            ast::Expr::Not(inner) => walk(work, schema, display, labels, inner, ctx),
+            ast::Expr::Cmp { lhs, rhs, span, .. } => {
+                let a = match operand_type(work, schema, display, labels, lhs, *span) {
+                    Ok(t) => t,
+                    Err(d) => {
+                        ctx.emit(d)?;
+                        None
+                    }
+                };
+                let b = match operand_type(work, schema, display, labels, rhs, *span) {
+                    Ok(t) => t,
+                    Err(d) => {
+                        ctx.emit(d)?;
+                        None
+                    }
+                };
                 if let (Some(a), Some(b)) = (a, b) {
                     if !a.comparable_with(b) {
-                        return Err(GraqlError::type_error(format!(
-                            "cannot compare {a} with {b}"
-                        )));
+                        ctx.emit(Diagnostic::error(
+                            codes::INCOMPARABLE,
+                            format!("cannot compare {a} with {b}"),
+                            *span,
+                        ))?;
                     }
                 }
                 Ok(())
             }
         }
     }
-    walk(work, schema, display, labels, cond)
+    walk(work, schema, display, labels, cond, ctx)
 }
 
 fn register_into(
     work: &mut Catalog,
     sel: &ast::SelectStmt,
     schema: Option<TableSchema>,
-) -> Result<()> {
+) -> DResult<()> {
     match &sel.into {
         Some(ast::IntoClause::Table(name)) => {
             let schema = schema.unwrap_or_else(|| TableSchema::new(Vec::new()).expect("empty ok"));
             work.add_result_table(name, schema)
+                .map_err(|e| dup_err(&e, sel.span))
         }
-        Some(ast::IntoClause::Subgraph(name)) => work.add_result_subgraph(name),
+        Some(ast::IntoClause::Subgraph(name)) => work
+            .add_result_subgraph(name)
+            .map_err(|e| dup_err(&e, sel.span)),
         None => Ok(()),
     }
 }

@@ -97,7 +97,9 @@ impl Catalog {
 
     fn check_fresh(&self, name: &str) -> Result<()> {
         if let Some(kind) = self.kind_of(name) {
-            return Err(GraqlError::name(format!("{name:?} already exists as a {kind}")));
+            return Err(GraqlError::name(format!(
+                "'{name}' already exists as a {kind}"
+            )));
         }
         Ok(())
     }
@@ -119,16 +121,17 @@ impl Catalog {
     /// Schema of a base table *or* a named result table — what a
     /// `from table X` reference may denote.
     pub fn any_table(&self, name: &str) -> Option<&TableSchema> {
-        self.tables.get(name).or_else(|| self.result_tables.get(name))
+        self.tables
+            .get(name)
+            .or_else(|| self.result_tables.get(name))
     }
 
     pub fn require_any_table(&self, name: &str) -> Result<&TableSchema> {
-        self.any_table(name).ok_or_else(|| match self.kind_of(name) {
-            Some(kind) => {
-                GraqlError::type_error(format!("{name:?} is a {kind}, not a table"))
-            }
-            None => GraqlError::name(format!("unknown table {name:?}")),
-        })
+        self.any_table(name)
+            .ok_or_else(|| match self.kind_of(name) {
+                Some(kind) => GraqlError::type_error(format!("'{name}' is a {kind}, not a table")),
+                None => GraqlError::name(format!("unknown table '{name}'")),
+            })
     }
 
     pub fn table_names(&self) -> &[String] {
@@ -151,9 +154,9 @@ impl Catalog {
     pub fn require_vertex(&self, name: &str) -> Result<&VertexDef> {
         self.vertex(name).ok_or_else(|| match self.kind_of(name) {
             Some(kind) => {
-                GraqlError::type_error(format!("{name:?} is a {kind}, not a vertex type"))
+                GraqlError::type_error(format!("'{name}' is a {kind}, not a vertex type"))
             }
-            None => GraqlError::name(format!("unknown vertex type {name:?}")),
+            None => GraqlError::name(format!("unknown vertex type '{name}'")),
         })
     }
 
@@ -174,10 +177,8 @@ impl Catalog {
 
     pub fn require_edge(&self, name: &str) -> Result<&EdgeDef> {
         self.edge(name).ok_or_else(|| match self.kind_of(name) {
-            Some(kind) => {
-                GraqlError::type_error(format!("{name:?} is a {kind}, not an edge type"))
-            }
-            None => GraqlError::name(format!("unknown edge type {name:?}")),
+            Some(kind) => GraqlError::type_error(format!("'{name}' is a {kind}, not an edge type")),
+            None => GraqlError::name(format!("unknown edge type '{name}'")),
         })
     }
 
@@ -196,9 +197,9 @@ impl Catalog {
                 self.result_tables.insert(name.to_string(), schema);
                 Ok(())
             }
-            Some(kind) => {
-                Err(GraqlError::name(format!("{name:?} already exists as a {kind}")))
-            }
+            Some(kind) => Err(GraqlError::name(format!(
+                "'{name}' already exists as a {kind}"
+            ))),
         }
     }
 
@@ -208,9 +209,9 @@ impl Catalog {
                 self.result_subgraphs.insert(name.to_string(), ());
                 Ok(())
             }
-            Some(kind) => {
-                Err(GraqlError::name(format!("{name:?} already exists as a {kind}")))
-            }
+            Some(kind) => Err(GraqlError::name(format!(
+                "'{name}' already exists as a {kind}"
+            ))),
         }
     }
 

@@ -33,7 +33,10 @@ pub struct LabelInfo {
 #[derive(Debug, Clone)]
 pub enum BOperand {
     /// Attribute `name` of the vertex bound at `addr`.
-    Attr { addr: StepAddr, name: String },
+    Attr {
+        addr: StepAddr,
+        name: String,
+    },
     Const(Value),
 }
 
@@ -147,15 +150,18 @@ impl CQuery {
         for (pi, p) in self.paths.iter().enumerate() {
             for (vi, v) in p.vsteps.iter().enumerate() {
                 if v.display == name && v.label_ref.is_none() {
-                    hits.push(StepAddr { path: pi, vstep: vi });
+                    hits.push(StepAddr {
+                        path: pi,
+                        vstep: vi,
+                    });
                 }
             }
         }
         match hits.len() {
             1 => Ok(hits[0]),
-            0 => Err(GraqlError::name(format!("unknown step or label {name:?}"))),
+            0 => Err(GraqlError::name(format!("unknown step or label '{name}'"))),
             _ => Err(GraqlError::path(format!(
-                "step name {name:?} is ambiguous; label it to disambiguate"
+                "step name '{name}' is ambiguous; label it to disambiguate"
             ))),
         }
     }
@@ -187,13 +193,17 @@ impl<'a> CompileCtx<'a> {
     /// Source table of a vertex type.
     pub fn vtable(&self, vt: VTypeId) -> &'a Table {
         let name = &self.graph.vset(vt).table;
-        self.storage.get(name).expect("catalog and storage are consistent")
+        self.storage
+            .get(name)
+            .expect("catalog and storage are consistent")
     }
 
     /// Associated table of an edge type, if it has attributes.
     pub fn etable(&self, et: ETypeId) -> Option<&'a Table> {
         self.graph.eset(et).assoc_table.as_ref().map(|n| {
-            self.storage.get(n).expect("catalog and storage are consistent")
+            self.storage
+                .get(n)
+                .expect("catalog and storage are consistent")
         })
     }
 }
@@ -212,9 +222,10 @@ pub fn compile_query(ctx: &CompileCtx<'_>, paths: &[&ast::PathQuery]) -> Result<
             if let CLink::Edge(e) = link {
                 if let Some((_, name)) = &e.label_def {
                     if q.labels.contains_key(name) || q.edge_labels.contains_key(name) {
-                        return Err(GraqlError::path(format!("label {name:?} defined twice")));
+                        return Err(GraqlError::path(format!("label '{name}' defined twice")));
                     }
-                    q.edge_labels.insert(name.clone(), LinkAddr { path: pi, link: li });
+                    q.edge_labels
+                        .insert(name.clone(), LinkAddr { path: pi, link: li });
                 }
             }
         }
@@ -239,16 +250,25 @@ fn compile_path(
     let mut links: Vec<CLink> = Vec::new();
 
     let push_vstep = |vsteps: &mut Vec<CVStep>,
-                          step: &ast::VertexStep,
-                          labels: &mut FxHashMap<String, LabelInfo>|
+                      step: &ast::VertexStep,
+                      labels: &mut FxHashMap<String, LabelInfo>|
      -> Result<()> {
-        let addr = StepAddr { path: path_idx, vstep: vsteps.len() };
+        let addr = StepAddr {
+            path: path_idx,
+            vstep: vsteps.len(),
+        };
         let cv = compile_vertex_step(ctx, step, addr, labels)?;
         if let Some((kind, name)) = &cv.label_def {
             if labels.contains_key(name) {
-                return Err(GraqlError::path(format!("label {name:?} defined twice")));
+                return Err(GraqlError::path(format!("label '{name}' defined twice")));
             }
-            labels.insert(name.clone(), LabelInfo { kind: *kind, def: addr });
+            labels.insert(
+                name.clone(),
+                LabelInfo {
+                    kind: *kind,
+                    def: addr,
+                },
+            );
         }
         vsteps.push(cv);
         Ok(())
@@ -261,7 +281,9 @@ fn compile_path(
                 links.push(CLink::Edge(compile_edge_step(ctx, edge)?));
                 push_vstep(&mut vsteps, vertex, labels)?;
             }
-            Segment::Group { hops, quant, exit } => {
+            Segment::Group {
+                hops, quant, exit, ..
+            } => {
                 let mut chops = Vec::new();
                 for (e, v) in hops {
                     if v.label_def.is_some() || e.label_def.is_some() {
@@ -270,9 +292,14 @@ fn compile_path(
                         ));
                     }
                     if v.seed.is_some() {
-                        return Err(GraqlError::path("seeds inside path groups are not supported"));
+                        return Err(GraqlError::path(
+                            "seeds inside path groups are not supported",
+                        ));
                     }
-                    let addr = StepAddr { path: path_idx, vstep: usize::MAX };
+                    let addr = StepAddr {
+                        path: path_idx,
+                        vstep: usize::MAX,
+                    };
                     let mut cv = compile_vertex_step(ctx, v, addr, labels)?;
                     if cv.label_ref.is_some() {
                         return Err(GraqlError::path(
@@ -304,7 +331,11 @@ fn compile_path(
                 // Explicit ranges are honored up to the cap (guarding
                 // against pathological `{0,1000000000}` requests).
                 let hi = hi.min(lo.saturating_add(cap));
-                links.push(CLink::Group(CGroup { hops: chops, lo, hi }));
+                links.push(CLink::Group(CGroup {
+                    hops: chops,
+                    lo,
+                    hi,
+                }));
                 // The step after a group is its explicit exit, or a
                 // synthetic unconstrained step typed like the group's last
                 // hop vertex.
@@ -355,7 +386,7 @@ fn compile_vertex_step(
                 (Vec::new(), false, Some(n.clone()), n.clone())
             } else {
                 let vt = ctx.graph.vtype(n).ok_or_else(|| {
-                    GraqlError::name(format!("unknown vertex type or label {n:?}"))
+                    GraqlError::name(format!("unknown vertex type or label '{n}'"))
                 })?;
                 (vec![vt], false, None, n.clone())
             }
@@ -389,7 +420,7 @@ fn compile_edge_step(ctx: &CompileCtx<'_>, step: &ast::EdgeStep) -> Result<CESte
             let et = ctx
                 .graph
                 .etype(n)
-                .ok_or_else(|| GraqlError::name(format!("unknown edge type {n:?}")))?;
+                .ok_or_else(|| GraqlError::name(format!("unknown edge type '{n}'")))?;
             (Some(vec![et]), n.clone())
         }
     };
@@ -399,11 +430,14 @@ fn compile_edge_step(ctx: &CompileCtx<'_>, step: &ast::EdgeStep) -> Result<CESte
         for &et in ets {
             let table = ctx.etable(et).ok_or_else(|| {
                 GraqlError::type_error(format!(
-                    "edge type {display:?} has no attributes; conditions are not applicable"
+                    "edge type '{display}' has no attributes; conditions are not applicable"
                 ))
             })?;
             let quals: Vec<&str> = vec![&display];
-            local.insert(et, compile_single_table(cond, table.schema(), &quals, ctx.params)?);
+            local.insert(
+                et,
+                compile_single_table(cond, table.schema(), &quals, ctx.params)?,
+            );
         }
     }
     Ok(CEStep {
@@ -513,13 +547,17 @@ fn compile_local_conds(
                 "conditions are not allowed on variant ([ ]) vertex steps",
             ));
         }
-        let addr = StepAddr { path: path_idx, vstep: vi };
+        let addr = StepAddr {
+            path: path_idx,
+            vstep: vi,
+        };
         let mut conjuncts = Vec::new();
         flatten_and(cond, &mut conjuncts);
         let mut local_parts: Vec<&ast::Expr> = Vec::new();
         for c in conjuncts {
             if references_label(c, labels) {
-                cv.binding_conds.push(compile_binding_cond(ctx, c, addr, labels)?);
+                cv.binding_conds
+                    .push(compile_binding_cond(ctx, c, addr, labels)?);
             } else {
                 local_parts.push(c);
             }
@@ -528,15 +566,20 @@ fn compile_local_conds(
             let merged = ast::Expr::And(local_parts.into_iter().cloned().collect());
             // Conditions on a label-reference step are rejected below, so
             // an empty domain simply skips the per-type compilation loop.
-            let domain =
-                if cv.label_ref.is_some() { Vec::new() } else { cv.domain.clone() };
+            let domain = if cv.label_ref.is_some() {
+                Vec::new()
+            } else {
+                cv.domain.clone()
+            };
             for vt in domain {
                 let table = ctx.vtable(vt);
                 let vset = ctx.graph.vset(vt);
                 check_many_to_one_cols(&merged, vset, table)?;
                 let quals: Vec<&str> = vec![&cv.display];
-                cv.local
-                    .insert(vt, compile_single_table(&merged, table.schema(), &quals, ctx.params)?);
+                cv.local.insert(
+                    vt,
+                    compile_single_table(&merged, table.schema(), &quals, ctx.params)?,
+                );
             }
             if cv.label_ref.is_some() {
                 return Err(GraqlError::path(format!(
@@ -566,7 +609,7 @@ fn check_many_to_one_cols(
             if let Some(c) = table.schema().index_of(name) {
                 if !vset.key_cols.contains(&c) {
                     err = Some(GraqlError::type_error(format!(
-                        "attribute {name:?} of many-to-one vertex type {} is not single-valued",
+                        "attribute '{name}' of many-to-one vertex type {} is not single-valued",
                         vset.name
                     )));
                 }
@@ -582,26 +625,40 @@ fn compile_binding_cond(
     here: StepAddr,
     labels: &FxHashMap<String, LabelInfo>,
 ) -> Result<BindingCond> {
-    let ast::Expr::Cmp { op, lhs, rhs } = expr else {
+    let ast::Expr::Cmp { op, lhs, rhs, .. } = expr else {
         return Err(GraqlError::path(
             "label references must appear in simple comparisons (no nested and/or/not)",
         ));
     };
     let comp = |o: &ast::Operand| -> Result<BOperand> {
         Ok(match o {
-            ast::Operand::Attr { qualifier: Some(q), name } => {
-                let info = labels.get(q).ok_or_else(|| {
-                    GraqlError::name(format!("unknown label {q:?} in condition"))
-                })?;
-                BOperand::Attr { addr: info.def, name: name.clone() }
+            ast::Operand::Attr {
+                qualifier: Some(q),
+                name,
+            } => {
+                let info = labels
+                    .get(q)
+                    .ok_or_else(|| GraqlError::name(format!("unknown label '{q}' in condition")))?;
+                BOperand::Attr {
+                    addr: info.def,
+                    name: name.clone(),
+                }
             }
-            ast::Operand::Attr { qualifier: None, name } => {
-                BOperand::Attr { addr: here, name: name.clone() }
-            }
+            ast::Operand::Attr {
+                qualifier: None,
+                name,
+            } => BOperand::Attr {
+                addr: here,
+                name: name.clone(),
+            },
             ast::Operand::Lit(l) => BOperand::Const(lit_value(l, ctx.params)?),
         })
     };
-    Ok(BindingCond { op: *op, lhs: comp(lhs)?, rhs: comp(rhs)? })
+    Ok(BindingCond {
+        op: *op,
+        lhs: comp(lhs)?,
+        rhs: comp(rhs)?,
+    })
 }
 
 fn references_label(expr: &ast::Expr, labels: &FxHashMap<String, LabelInfo>) -> bool {
@@ -653,7 +710,7 @@ fn propagate_label_domains(q: &mut CQuery) -> Result<()> {
         for v in &mut p.vsteps {
             if let Some(name) = &v.label_ref {
                 let dom = domains.get(name).ok_or_else(|| {
-                    GraqlError::path(format!("label {name:?} referenced before definition"))
+                    GraqlError::path(format!("label '{name}' referenced before definition"))
                 })?;
                 v.domain = dom.clone();
             }
@@ -672,9 +729,7 @@ pub fn or_branches(comp: &ast::PathComposition) -> Result<Vec<Vec<&ast::PathQuer
                 out.push(p);
                 Ok(())
             }
-            ast::PathComposition::And(parts) => {
-                parts.iter().try_for_each(|p| and_paths(p, out))
-            }
+            ast::PathComposition::And(parts) => parts.iter().try_for_each(|p| and_paths(p, out)),
             ast::PathComposition::Or(_) => Err(GraqlError::path(
                 "'or' may not be nested under 'and' in a path composition",
             )),

@@ -64,7 +64,7 @@ pub fn compile_single_table(
         Expr::Not(inner) => Ok(PhysExpr::Not(Box::new(compile_single_table(
             inner, schema, qualifiers, params,
         )?))),
-        Expr::Cmp { op, lhs, rhs } => {
+        Expr::Cmp { op, lhs, rhs, .. } => {
             let l = compile_operand(lhs, schema, qualifiers, params)?;
             let r = compile_operand(rhs, schema, qualifiers, params)?;
             check_comparable(&l, &r, schema)?;
@@ -114,29 +114,78 @@ fn check_comparable(l: &PhysExpr, r: &PhysExpr, schema: &TableSchema) -> Result<
 
 /// Statically type-checks a single-relation condition without compiling
 /// constants (parameters stay unknown) — the §III-A front-end check.
-pub fn typecheck_single_table(expr: &Expr, schema: &TableSchema, qualifiers: &[&str]) -> Result<()> {
+/// Fail-fast wrapper over [`typecheck_single_table_ctx`].
+pub fn typecheck_single_table(
+    expr: &Expr,
+    schema: &TableSchema,
+    qualifiers: &[&str],
+) -> Result<()> {
+    typecheck_single_table_ctx(
+        expr,
+        schema,
+        qualifiers,
+        &mut crate::analyze::Ctx::fail_fast(),
+    )
+    .map_err(graql_types::Diagnostic::into_error)
+}
+
+/// Span-aware variant of [`typecheck_single_table`]: each comparison is
+/// checked independently, so a collecting context reports every bad
+/// comparison in the clause, located at the comparison's own span.
+pub(crate) fn typecheck_single_table_ctx(
+    expr: &Expr,
+    schema: &TableSchema,
+    qualifiers: &[&str],
+    ctx: &mut crate::analyze::Ctx,
+) -> crate::analyze::DResult<()> {
+    use graql_types::{codes, Diagnostic};
     match expr {
-        Expr::And(parts) | Expr::Or(parts) => {
-            parts.iter().try_for_each(|p| typecheck_single_table(p, schema, qualifiers))
-        }
-        Expr::Not(inner) => typecheck_single_table(inner, schema, qualifiers),
-        Expr::Cmp { lhs, rhs, .. } => {
-            let ty_of = |o: &Operand| -> Result<Option<graql_types::DataType>> {
+        Expr::And(parts) | Expr::Or(parts) => parts
+            .iter()
+            .try_for_each(|p| typecheck_single_table_ctx(p, schema, qualifiers, ctx)),
+        Expr::Not(inner) => typecheck_single_table_ctx(inner, schema, qualifiers, ctx),
+        Expr::Cmp { lhs, rhs, span, .. } => {
+            let ty_of = |o: &Operand| -> crate::analyze::DResult<Option<graql_types::DataType>> {
                 match o {
                     Operand::Attr { qualifier, name } => {
                         if let Some(q) = qualifier {
                             if !qualifiers.iter().any(|&a| a == q) {
-                                return Err(GraqlError::name(format!("unknown qualifier {q:?}")));
+                                return Err(Diagnostic::error(
+                                    codes::BAD_QUALIFIER,
+                                    format!("unknown qualifier '{q}'"),
+                                    *span,
+                                ));
                             }
                         }
-                        Ok(Some(schema.column(schema.require(name)?).dtype))
+                        let ci = schema
+                            .require(name)
+                            .map_err(|e| crate::analyze::attr_err(&e, *span))?;
+                        Ok(Some(schema.column(ci).dtype))
                     }
                     Operand::Lit(l) => Ok(lit_type(l)),
                 }
             };
-            if let (Some(a), Some(b)) = (ty_of(lhs)?, ty_of(rhs)?) {
+            let a = match ty_of(lhs) {
+                Ok(t) => t,
+                Err(d) => {
+                    ctx.emit(d)?;
+                    None
+                }
+            };
+            let b = match ty_of(rhs) {
+                Ok(t) => t,
+                Err(d) => {
+                    ctx.emit(d)?;
+                    None
+                }
+            };
+            if let (Some(a), Some(b)) = (a, b) {
                 if !a.comparable_with(b) {
-                    return Err(GraqlError::type_error(format!("cannot compare {a} with {b}")));
+                    ctx.emit(Diagnostic::error(
+                        codes::INCOMPARABLE,
+                        format!("cannot compare {a} with {b}"),
+                        *span,
+                    ))?;
                 }
             }
             Ok(())
@@ -166,8 +215,14 @@ mod tests {
         let phys = compile_single_table(&e, &schema(), &["Offers"], &params).unwrap();
         let PhysExpr::And(parts) = phys else { panic!() };
         assert_eq!(parts.len(), 2);
-        assert_eq!(parts[0], PhysExpr::cmp_col_const(1, CmpOp::Gt, Value::Float(10.0)));
-        assert_eq!(parts[1], PhysExpr::cmp_col_const(0, CmpOp::Eq, Value::str("o1")));
+        assert_eq!(
+            parts[0],
+            PhysExpr::cmp_col_const(1, CmpOp::Gt, Value::Float(10.0))
+        );
+        assert_eq!(
+            parts[1],
+            PhysExpr::cmp_col_const(0, CmpOp::Eq, Value::str("o1"))
+        );
     }
 
     #[test]
@@ -192,7 +247,10 @@ mod tests {
         assert!(compile_single_table(&e, &schema(), &[], &Params::default()).is_err());
         // and the static (no-params) variant
         let e = parse_expr("validFrom = %D%").unwrap();
-        assert!(typecheck_single_table(&e, &schema(), &[]).is_ok(), "param type unknown → ok");
+        assert!(
+            typecheck_single_table(&e, &schema(), &[]).is_ok(),
+            "param type unknown → ok"
+        );
         let e = parse_expr("validFrom = 'x'").unwrap();
         assert!(typecheck_single_table(&e, &schema(), &[]).is_err());
     }

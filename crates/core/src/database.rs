@@ -141,6 +141,53 @@ impl Database {
         Ok(())
     }
 
+    /// Statically checks a script without executing it, collecting *every*
+    /// diagnostic (errors, warnings, hints) instead of stopping at the
+    /// first problem. Parse failures become a single `E0001` diagnostic.
+    ///
+    /// The database is not modified.
+    pub fn check_script_str(&mut self, text: &str) -> graql_types::Diagnostics {
+        match graql_parser::parse(text) {
+            Ok(script) => self.check_script(&script),
+            Err(e) => {
+                let mut sink = graql_types::Diagnostics::new();
+                sink.push(graql_types::Diagnostic::from_error(
+                    &e,
+                    graql_types::Span::default(),
+                ));
+                sink
+            }
+        }
+    }
+
+    /// Statically checks a parsed script (all diagnostics; no execution).
+    ///
+    /// When the graph views have already been built, per-edge-type degree
+    /// statistics feed the path-cost lints (`W0301`); a check never forces
+    /// a graph build on its own.
+    pub fn check_script(&mut self, script: &ast::Script) -> graql_types::Diagnostics {
+        let fanout = self.edge_fanout();
+        let (_, diags) =
+            crate::analyze::check_script_with_stats(&self.catalog, script, fanout.as_ref());
+        diags
+    }
+
+    /// Mean out/in degree per edge-type name, if the graph (and therefore
+    /// meaningful statistics) already exists.
+    fn edge_fanout(&mut self) -> Option<crate::lint::EdgeFanout> {
+        let graph = self.graph.as_ref()?;
+        if self.stats.is_none() {
+            self.stats = Some(GraphStats::compute(graph));
+        }
+        let stats = self.stats.as_ref().expect("just computed");
+        let mut map = crate::lint::EdgeFanout::default();
+        for es in &stats.edges {
+            let name = graph.eset(es.etype).name.clone();
+            map.insert(name, (es.mean_out_degree, es.mean_in_degree));
+        }
+        Some(map)
+    }
+
     /// Parses and executes a full script sequentially, returning one
     /// output per statement. (See [`crate::script`] for the
     /// dependence-scheduled parallel variant.)
@@ -171,10 +218,9 @@ impl Database {
                 Ok(StmtOutput::Created(ct.name.clone()))
             }
             Stmt::CreateVertex(cv) => {
-                let schema = self
-                    .catalog
-                    .table(&cv.from_table)
-                    .ok_or_else(|| GraqlError::name(format!("unknown table {:?}", cv.from_table)))?;
+                let schema = self.catalog.table(&cv.from_table).ok_or_else(|| {
+                    GraqlError::name(format!("unknown table '{}'", cv.from_table))
+                })?;
                 for k in &cv.key {
                     schema.require(k)?;
                 }
@@ -213,7 +259,10 @@ impl Database {
                     })?;
                     self.ingest_str(&ing.table, &text)?
                 };
-                Ok(StmtOutput::Ingested { table: ing.table.clone(), rows })
+                Ok(StmtOutput::Ingested {
+                    table: ing.table.clone(),
+                    rows,
+                })
             }
             Stmt::Select(sel) => {
                 self.ensure_graph()?;
@@ -239,7 +288,7 @@ impl Database {
         let t = self
             .storage
             .get(table)
-            .ok_or_else(|| GraqlError::name(format!("unknown table {table:?}")))?;
+            .ok_or_else(|| GraqlError::name(format!("unknown table '{table}'")))?;
         let mut staged = t.clone();
         let rows = graql_table::csv::ingest_str(&mut staged, csv)?;
         self.storage.insert(table.to_string(), staged);
@@ -269,9 +318,21 @@ impl Database {
             ast::SelectSource::Graph(_) => crate::exec::explain::explain_graph_select(&ctx, sel),
             ast::SelectSource::Table(t) => Ok(format!(
                 "table scan on {t}{}{}{}\n",
-                if sel.where_clause.is_some() { " + filter" } else { "" },
-                if sel.has_aggregates() || !sel.group_by.is_empty() { " + aggregate" } else { "" },
-                if !sel.order_by.is_empty() { " + sort" } else { "" },
+                if sel.where_clause.is_some() {
+                    " + filter"
+                } else {
+                    ""
+                },
+                if sel.has_aggregates() || !sel.group_by.is_empty() {
+                    " + aggregate"
+                } else {
+                    ""
+                },
+                if !sel.order_by.is_empty() {
+                    " + sort"
+                } else {
+                    ""
+                },
             )),
         }
     }
@@ -324,12 +385,16 @@ impl Database {
             }
             (None, QueryOutput::Table(t)) => Ok(StmtOutput::Table(t)),
             (None, QueryOutput::Subgraph(s)) => Ok(StmtOutput::Subgraph(s)),
-            (Some(ast::IntoClause::Table(_)), QueryOutput::Subgraph(_)) => Err(
-                GraqlError::type_error("'select *' over a graph captures 'into subgraph', not 'into table'"),
-            ),
-            (Some(ast::IntoClause::Subgraph(_)), QueryOutput::Table(_)) => Err(
-                GraqlError::type_error("attribute/table selections capture 'into table', not 'into subgraph'"),
-            ),
+            (Some(ast::IntoClause::Table(_)), QueryOutput::Subgraph(_)) => {
+                Err(GraqlError::type_error(
+                    "'select *' over a graph captures 'into subgraph', not 'into table'",
+                ))
+            }
+            (Some(ast::IntoClause::Subgraph(_)), QueryOutput::Table(_)) => {
+                Err(GraqlError::type_error(
+                    "attribute/table selections capture 'into table', not 'into subgraph'",
+                ))
+            }
         }
     }
 }

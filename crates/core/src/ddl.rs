@@ -30,7 +30,7 @@ pub type Storage = FxHashMap<String, Table>;
 pub fn build_vertex_set(def: &VertexDef, storage: &Storage, params: &Params) -> Result<VertexSet> {
     let table = storage
         .get(&def.table)
-        .ok_or_else(|| GraqlError::name(format!("unknown table {:?}", def.table)))?;
+        .ok_or_else(|| GraqlError::name(format!("unknown table '{}'", def.table)))?;
     let key_cols = def
         .key
         .iter()
@@ -148,15 +148,21 @@ pub fn build_edge_set(
     let tgt_vset = graph.vset(tgt_vt);
     let src_table = storage
         .get(&src_vset.table)
-        .ok_or_else(|| GraqlError::name(format!("unknown table {:?}", src_vset.table)))?;
+        .ok_or_else(|| GraqlError::name(format!("unknown table '{}'", src_vset.table)))?;
     let tgt_table = storage
         .get(&tgt_vset.table)
-        .ok_or_else(|| GraqlError::name(format!("unknown table {:?}", tgt_vset.table)))?;
+        .ok_or_else(|| GraqlError::name(format!("unknown table '{}'", tgt_vset.table)))?;
 
     // Relation 0 = source endpoint; 1..=k assoc tables; last = target.
     let mut rels: Vec<Rel<'_>> = Vec::new();
-    let src_qual = def.src_alias.clone().unwrap_or_else(|| def.src_type.clone());
-    let tgt_qual = def.tgt_alias.clone().unwrap_or_else(|| def.tgt_type.clone());
+    let src_qual = def
+        .src_alias
+        .clone()
+        .unwrap_or_else(|| def.src_type.clone());
+    let tgt_qual = def
+        .tgt_alias
+        .clone()
+        .unwrap_or_else(|| def.tgt_type.clone());
     if src_qual == tgt_qual {
         return Err(GraqlError::name(format!(
             "edge {:?} endpoints are both referred to as {:?}; disambiguate with 'as' aliases",
@@ -173,14 +179,24 @@ pub fn build_edge_set(
     if src_vset.table != tgt_vset.table && !def.from_tables.contains(&tgt_vset.table) {
         tgt_quals.push(tgt_vset.table.clone());
     }
-    rels.push(Rel { quals: src_quals, table: src_table, filters: Vec::new(), rows: Vec::new() });
+    rels.push(Rel {
+        quals: src_quals,
+        table: src_table,
+        filters: Vec::new(),
+        rows: Vec::new(),
+    });
     let mut assoc_rels: Vec<usize> = Vec::new();
     for t in &def.from_tables {
         let table = storage
             .get(t)
             .ok_or_else(|| GraqlError::name(format!("unknown table {t:?}")))?;
         assoc_rels.push(rels.len());
-        rels.push(Rel { quals: vec![t.clone()], table, filters: Vec::new(), rows: Vec::new() });
+        rels.push(Rel {
+            quals: vec![t.clone()],
+            table,
+            filters: Vec::new(),
+            rows: Vec::new(),
+        });
     }
     // Classify conditions.
     let mut joins: Vec<JoinCond> = Vec::new();
@@ -196,8 +212,7 @@ pub fn build_edge_set(
         collect_qualifiers(c, &mut quals_seen);
     }
     for q in &quals_seen {
-        let known = rels.iter().any(|r| r.answers_to(q))
-            || tgt_quals.iter().any(|x| x == q);
+        let known = rels.iter().any(|r| r.answers_to(q)) || tgt_quals.iter().any(|x| x == q);
         if !known {
             if catalog.table(q).is_some() {
                 let table = storage
@@ -220,7 +235,12 @@ pub fn build_edge_set(
     }
     // Now append the target relation.
     let tgt_rel = rels.len();
-    rels.push(Rel { quals: tgt_quals, table: tgt_table, filters: Vec::new(), rows: Vec::new() });
+    rels.push(Rel {
+        quals: tgt_quals,
+        table: tgt_table,
+        filters: Vec::new(),
+        rows: Vec::new(),
+    });
 
     // Resolve an operand to (rel, col).
     let resolve = |q: &Option<String>, name: &str, rels: &[Rel<'_>]| -> Result<(usize, usize)> {
@@ -280,8 +300,17 @@ pub fn build_edge_set(
                 2,
                 Expr::Cmp {
                     op: CmpOp::Eq,
-                    lhs: Operand::Attr { qualifier: ql, name: nl },
-                    rhs: Operand::Attr { qualifier: qr, name: nr },
+                    lhs:
+                        Operand::Attr {
+                            qualifier: ql,
+                            name: nl,
+                        },
+                    rhs:
+                        Operand::Attr {
+                            qualifier: qr,
+                            name: nr,
+                        },
+                    ..
                 },
             ) => {
                 let (ra, ca) = resolve(ql, nl, &rels)?;
@@ -295,7 +324,12 @@ pub fn build_edge_set(
                         def.name
                     )));
                 }
-                joins.push(JoinCond { rel_a: ra, col_a: ca, rel_b: rb, col_b: cb });
+                joins.push(JoinCond {
+                    rel_a: ra,
+                    col_a: ca,
+                    rel_b: rb,
+                    col_b: cb,
+                });
             }
             _ => residual_exprs.push(c),
         }
@@ -412,7 +446,9 @@ pub fn build_edge_set(
                 triples.push((s, g, row));
             }
         }
-        Ok(EdgeSet::from_assoc_rows(&def.name, src_vt, tgt_vt, assoc_name, triples))
+        Ok(EdgeSet::from_assoc_rows(
+            &def.name, src_vt, tgt_vt, assoc_name, triples,
+        ))
     } else {
         let pairs = tuples.iter().map(|t| {
             let s = src_map[t[0] as usize].expect("filtered to mapped rows");
@@ -429,7 +465,12 @@ fn usable_joins(joins: &[JoinCond], joined: &[bool], next: usize) -> Vec<JoinCon
         .filter(|jc| {
             (jc.rel_a == next && joined[jc.rel_b]) || (jc.rel_b == next && joined[jc.rel_a])
         })
-        .map(|jc| JoinCond { rel_a: jc.rel_a, col_a: jc.col_a, rel_b: jc.rel_b, col_b: jc.col_b })
+        .map(|jc| JoinCond {
+            rel_a: jc.rel_a,
+            col_a: jc.col_a,
+            rel_b: jc.rel_b,
+            col_b: jc.col_b,
+        })
         .collect()
 }
 
@@ -491,13 +532,21 @@ fn compile_tuple_expr(
 ) -> Result<TupleExpr> {
     Ok(match e {
         Expr::And(parts) => TupleExpr::And(
-            parts.iter().map(|p| compile_tuple_expr(p, rels, resolve, params)).collect::<Result<_>>()?,
+            parts
+                .iter()
+                .map(|p| compile_tuple_expr(p, rels, resolve, params))
+                .collect::<Result<_>>()?,
         ),
         Expr::Or(parts) => TupleExpr::Or(
-            parts.iter().map(|p| compile_tuple_expr(p, rels, resolve, params)).collect::<Result<_>>()?,
+            parts
+                .iter()
+                .map(|p| compile_tuple_expr(p, rels, resolve, params))
+                .collect::<Result<_>>()?,
         ),
-        Expr::Not(inner) => TupleExpr::Not(Box::new(compile_tuple_expr(inner, rels, resolve, params)?)),
-        Expr::Cmp { op, lhs, rhs } => {
+        Expr::Not(inner) => {
+            TupleExpr::Not(Box::new(compile_tuple_expr(inner, rels, resolve, params)?))
+        }
+        Expr::Cmp { op, lhs, rhs, .. } => {
             let comp = |o: &Operand| -> Result<TupleOperand> {
                 Ok(match o {
                     Operand::Attr { qualifier, name } => {
@@ -639,16 +688,17 @@ mod tests {
         let et = graph.etype("export").unwrap();
         let es = graph.eset(et);
         // Fig. 5: exactly two edges, US→CA and IT→CN.
-        assert_eq!(es.len(), 2, "four-way join must deduplicate to two country pairs");
+        assert_eq!(
+            es.len(),
+            2,
+            "four-way join must deduplicate to two country pairs"
+        );
         let pc = graph.vset(graph.vtype("ProducerCountry").unwrap());
         let vc = graph.vset(graph.vtype("VendorCountry").unwrap());
         let mut pairs: Vec<(String, String)> = (0..es.len() as u32)
             .map(|e| {
                 let (s, t) = es.endpoints(e);
-                (
-                    pc.key_of(s)[0].to_string(),
-                    vc.key_of(t)[0].to_string(),
-                )
+                (pc.key_of(s)[0].to_string(), vc.key_of(t)[0].to_string())
             })
             .collect();
         pairs.sort();
@@ -716,7 +766,10 @@ mod tests {
         // A ProductTypes-like relation with a duplicated row: duplicates
         // stay because each row is a distinct edge instance.
         let pt = Table::from_rows(
-            TableSchema::of(&[("product", DataType::Integer), ("producer", DataType::Integer)]),
+            TableSchema::of(&[
+                ("product", DataType::Integer),
+                ("producer", DataType::Integer),
+            ]),
             vec![
                 vec![Value::Int(1), Value::Int(1)],
                 vec![Value::Int(1), Value::Int(1)],
@@ -787,8 +840,14 @@ mod tests {
         // `from table` clause; the table is picked up implicitly.
         let (mut catalog, mut storage) = storage_fig5();
         let pf = Table::from_rows(
-            TableSchema::of(&[("product", DataType::Integer), ("vendorId", DataType::Integer)]),
-            vec![vec![Value::Int(1), Value::Int(1)], vec![Value::Int(2), Value::Int(2)]],
+            TableSchema::of(&[
+                ("product", DataType::Integer),
+                ("vendorId", DataType::Integer),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ],
         )
         .unwrap();
         catalog.add_table("Rel", pf.schema().clone()).unwrap();

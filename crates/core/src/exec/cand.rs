@@ -84,7 +84,11 @@ pub fn edge_filters(ctx: &ExecCtx<'_>, step: &CEStep) -> Result<FxHashMap<ETypeI
         let eset = ctx.graph.eset(et);
         let table = ctx
             .storage
-            .get(eset.assoc_table.as_deref().expect("conditions imply an assoc table"))
+            .get(
+                eset.assoc_table
+                    .as_deref()
+                    .expect("conditions imply an assoc table"),
+            )
             .expect("graph views reference existing tables");
         let n = eset.len();
         let hits = (0..n as u32)

@@ -148,11 +148,7 @@ pub fn enumerate_path(
     }
 
     impl<F: FnMut(Binding) -> Result<()>> Dfs<'_, '_, F> {
-        fn run_checks(
-            &mut self,
-            depth: usize,
-            vbind: &[Option<(VTypeId, u32)>],
-        ) -> Result<bool> {
+        fn run_checks(&mut self, depth: usize, vbind: &[Option<(VTypeId, u32)>]) -> Result<bool> {
             for chk in &self.checks_at[depth] {
                 match chk {
                     Check::EqualInstance(a, b) => {
@@ -160,12 +156,10 @@ pub fn enumerate_path(
                             return Ok(false);
                         }
                     }
-                    Check::EqualType(a, b) => {
-                        match (vbind[*a], vbind[*b]) {
-                            (Some((ta, _)), Some((tb, _))) if ta != tb => return Ok(false),
-                            _ => {}
-                        }
-                    }
+                    Check::EqualType(a, b) => match (vbind[*a], vbind[*b]) {
+                        (Some((ta, _)), Some((tb, _))) if ta != tb => return Ok(false),
+                        _ => {}
+                    },
                     Check::Cond(bc) => {
                         if !eval_cond_in_path(self.ctx, bc, self.path_idx, vbind)? {
                             return Ok(false);

@@ -69,7 +69,10 @@ fn describe_link(ctx: &ExecCtx<'_>, p: &CPath, li: usize) -> String {
     match &p.links[li] {
         CLink::Edge(e) => {
             let names: Vec<&str> = match &e.domain {
-                Some(d) => d.iter().map(|&et| ctx.graph.eset(et).name.as_str()).collect(),
+                Some(d) => d
+                    .iter()
+                    .map(|&et| ctx.graph.eset(et).name.as_str())
+                    .collect(),
                 None => vec!["[]"],
             };
             let (arrow, index) = match e.dir {
@@ -80,7 +83,11 @@ fn describe_link(ctx: &ExecCtx<'_>, p: &CPath, li: usize) -> String {
                 "{} via {} ({})",
                 arrow.replace('%', &names.join("|")),
                 index,
-                if e.local.is_empty() { "no edge filter" } else { "filtered" }
+                if e.local.is_empty() {
+                    "no edge filter"
+                } else {
+                    "filtered"
+                }
             )
         }
         CLink::Group(g) => format!(

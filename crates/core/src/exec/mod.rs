@@ -1,10 +1,10 @@
 //! Query execution: path matching and relational statements.
 
 pub mod cand;
-pub mod explain;
-pub mod pipeline;
 pub mod enumerate;
 pub mod expand;
+pub mod explain;
+pub mod pipeline;
 pub mod query;
 pub mod regex;
 pub mod relational;

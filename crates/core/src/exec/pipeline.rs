@@ -28,8 +28,12 @@ use crate::exec::ExecCtx;
 /// only group over the producer's projected columns and aggregate with
 /// `count(*)` / `count` / `sum` / `avg` / `min` / `max`.
 pub fn can_fuse(producer: &Stmt, consumer: &Stmt) -> bool {
-    let (Stmt::Select(p), Stmt::Select(c)) = (producer, consumer) else { return false };
-    let Some(ast::IntoClause::Table(t_out)) = &p.into else { return false };
+    let (Stmt::Select(p), Stmt::Select(c)) = (producer, consumer) else {
+        return false;
+    };
+    let Some(ast::IntoClause::Table(t_out)) = &p.into else {
+        return false;
+    };
     if !matches!(p.source, SelectSource::Graph(_)) {
         return false;
     }
@@ -39,16 +43,20 @@ pub fn can_fuse(producer: &Stmt, consumer: &Stmt) -> bool {
     // expands to several columns.)
     match &p.targets {
         SelectTargets::Items(items) => {
-            if !items.iter().all(|i| matches!(
-                &i.expr,
-                SelectExpr::Col(c) if c.qualifier.is_some()
-            )) {
+            if !items.iter().all(|i| {
+                matches!(
+                    &i.expr,
+                    SelectExpr::Col(c) if c.qualifier.is_some()
+                )
+            }) {
                 return false;
             }
         }
         SelectTargets::Star => return false,
     }
-    let SelectSource::Table(t_in) = &c.source else { return false };
+    let SelectSource::Table(t_in) = &c.source else {
+        return false;
+    };
     if t_in != t_out || c.where_clause.is_some() || c.distinct || c.into.is_some() {
         return false;
     }
@@ -65,10 +73,14 @@ pub fn execute_fused(
     consumer: &ast::SelectStmt,
 ) -> Result<Table> {
     let SelectSource::Graph(comp) = &producer.source else {
-        return Err(GraqlError::exec("internal: fused producer must be a graph select"));
+        return Err(GraqlError::exec(
+            "internal: fused producer must be a graph select",
+        ));
     };
     let SelectTargets::Items(p_items) = &producer.targets else {
-        return Err(GraqlError::exec("internal: fused producer needs explicit items"));
+        return Err(GraqlError::exec(
+            "internal: fused producer needs explicit items",
+        ));
     };
 
     // Producer column names (as the consumer sees them).
@@ -102,10 +114,15 @@ pub fn execute_fused(
         Max(usize),
     }
     let SelectTargets::Items(c_items) = &consumer.targets else {
-        return Err(GraqlError::exec("internal: fused consumer needs explicit items"));
+        return Err(GraqlError::exec(
+            "internal: fused consumer needs explicit items",
+        ));
     };
-    let group_cols: Vec<usize> =
-        consumer.group_by.iter().map(|g| col_of(&g.name)).collect::<Result<_>>()?;
+    let group_cols: Vec<usize> = consumer
+        .group_by
+        .iter()
+        .map(|g| col_of(&g.name))
+        .collect::<Result<_>>()?;
     let mut aggs: Vec<StreamAgg> = Vec::new();
     let mut slots: Vec<(Slot, String)> = Vec::new();
     for (i, item) in c_items.iter().enumerate() {
@@ -118,7 +135,10 @@ pub fn execute_fused(
                         c.name
                     ))
                 })?;
-                slots.push((Slot::Group(gi), item.alias.clone().unwrap_or_else(|| c.name.clone())));
+                slots.push((
+                    Slot::Group(gi),
+                    item.alias.clone().unwrap_or_else(|| c.name.clone()),
+                ));
             }
             SelectExpr::Agg(a) => {
                 let agg = match a {
@@ -307,10 +327,8 @@ mod tests {
         )
     }
 
-    const PROD: &str =
-        "select y.id from graph V(a = 1) --e--> def y: W() into table T1";
-    const CONS: &str =
-        "select top 10 id, count(*) as n from table T1 group by id order by n desc";
+    const PROD: &str = "select y.id from graph V(a = 1) --e--> def y: W() into table T1";
+    const CONS: &str = "select top 10 id, count(*) as n from table T1 group by id order by n desc";
 
     #[test]
     fn fusable_pair_accepted() {
@@ -321,18 +339,30 @@ mod tests {
     #[test]
     fn gates_reject_everything_else() {
         // Wrong intermediate name.
-        let (p, c) = pair(PROD, "select id, count(*) as n from table OTHER group by id");
+        let (p, c) = pair(
+            PROD,
+            "select id, count(*) as n from table OTHER group by id",
+        );
         assert!(!can_fuse(&p, &c));
         // Consumer filters (would need predicate pushdown; not fused).
-        let (p, c) = pair(PROD, "select id, count(*) as n from table T1 where id = 'x' group by id");
+        let (p, c) = pair(
+            PROD,
+            "select id, count(*) as n from table T1 where id = 'x' group by id",
+        );
         assert!(!can_fuse(&p, &c));
         // Consumer without aggregation: nothing to shrink.
         let (p, c) = pair(PROD, "select id from table T1");
         assert!(!can_fuse(&p, &c));
         // Consumer is distinct / captured: stays materialized.
-        let (p, c) = pair(PROD, "select distinct id, count(*) as n from table T1 group by id");
+        let (p, c) = pair(
+            PROD,
+            "select distinct id, count(*) as n from table T1 group by id",
+        );
         assert!(!can_fuse(&p, &c));
-        let (p, c) = pair(PROD, "select id, count(*) as n from table T1 group by id into table X");
+        let (p, c) = pair(
+            PROD,
+            "select id, count(*) as n from table T1 group by id into table X",
+        );
         assert!(!can_fuse(&p, &c));
         // Producer is a table select or a star/subgraph capture.
         let (p, c) = pair("select a from table Z into table T1", CONS);

@@ -101,7 +101,12 @@ pub fn run_query(
         None
     };
 
-    Ok(QueryRun { cquery, cands, efilters, bindings })
+    Ok(QueryRun {
+        cquery,
+        cands,
+        efilters,
+        bindings,
+    })
 }
 
 /// `cand[ref] ∩= local(def)` for every label reference.
@@ -113,7 +118,9 @@ fn apply_label_restriction(
     for (pi, p) in q.paths.iter().enumerate() {
         for (vi, v) in p.vsteps.iter().enumerate() {
             let Some(name) = &v.label_ref else { continue };
-            let Some(def_set) = label_local.get(name) else { continue };
+            let Some(def_set) = label_local.get(name) else {
+                continue;
+            };
             let here = &mut cands[pi][vi];
             for (vt, set) in here.iter_mut() {
                 match def_set.get(vt) {
@@ -139,12 +146,26 @@ fn cull_to_fixpoint(
         for (pi, p) in q.paths.iter().enumerate() {
             // Forward sweep.
             for li in 0..p.links.len() {
-                let reached = link_expand(ctx, &p.links[li], &cands[pi][li], &efilters[pi][li], &cands[pi][li + 1], true)?;
+                let reached = link_expand(
+                    ctx,
+                    &p.links[li],
+                    &cands[pi][li],
+                    &efilters[pi][li],
+                    &cands[pi][li + 1],
+                    true,
+                )?;
                 cands[pi][li + 1] = reached;
             }
             // Backward sweep.
             for li in (0..p.links.len()).rev() {
-                let reached = link_expand(ctx, &p.links[li], &cands[pi][li + 1], &efilters[pi][li], &cands[pi][li], false)?;
+                let reached = link_expand(
+                    ctx,
+                    &p.links[li],
+                    &cands[pi][li + 1],
+                    &efilters[pi][li],
+                    &cands[pi][li],
+                    false,
+                )?;
                 cands[pi][li] = reached;
             }
         }
@@ -207,7 +228,9 @@ fn produce_bindings(
                 .as_ref()
                 .is_some_and(|(k, n)| *k == LabelKind::Each && n == label)
                 || v.label_ref.as_deref() == Some(label)
-                    && q.labels.get(label).is_some_and(|i| i.kind == LabelKind::Each);
+                    && q.labels
+                        .get(label)
+                        .is_some_and(|i| i.kind == LabelKind::Each);
             if matches {
                 out.push(vi);
             }
@@ -245,7 +268,10 @@ fn produce_bindings(
         }
 
         if pi == 0 {
-            acc = rows.into_iter().map(|b| MultiBinding { per_path: vec![b] }).collect();
+            acc = rows
+                .into_iter()
+                .map(|b| MultiBinding { per_path: vec![b] })
+                .collect();
             continue;
         }
 

@@ -94,7 +94,11 @@ pub fn levels(
             // The same expansion, unconditioned: valid when the landing is
             // the group entry rather than an intermediate boundary.
             let entry = expand(ctx, &at[p], estep, &no_filters(), &entry_universe, forward);
-            entry_at.push(if cand_is_empty(&entry) { None } else { Some(entry) });
+            entry_at.push(if cand_is_empty(&entry) {
+                None
+            } else {
+                Some(entry)
+            });
         } else if completes_rep {
             entry_at.push(None); // unused on forward sweeps
         }
@@ -152,9 +156,7 @@ pub fn group_frontier(
                 None => {
                     // Cut off by stability: the last computed entry
                     // frontier repeats for every remaining count.
-                    if let Some(Some(last)) =
-                        lv.entry_at.iter().rev().find(|e| e.is_some())
-                    {
+                    if let Some(Some(last)) = lv.entry_at.iter().rev().find(|e| e.is_some()) {
                         add(last);
                     }
                     break;
@@ -184,6 +186,10 @@ pub fn group_members(
         if total >= fwd.at.len() {
             break;
         }
+        // `p` indexes three parallel structures (`fwd.at`, `bwd.at` via
+        // `total - p`, and `member_by_pos`), so an iterator rewrite would
+        // obscure the position arithmetic.
+        #[allow(clippy::needless_range_loop)]
         for p in 0..=total {
             let back = total - p;
             // The backward set constraining path position p: the entry
@@ -233,9 +239,7 @@ pub fn group_members(
         if from.is_empty() || to.is_empty() {
             continue;
         }
-        for (et, hit) in
-            crate::exec::expand::matched_edges(ctx, from, estep, &no_filters(), to)
-        {
+        for (et, hit) in crate::exec::expand::matched_edges(ctx, from, estep, &no_filters(), to) {
             edge_sets
                 .entry(et)
                 .and_modify(|s| s.union_with(&hit))

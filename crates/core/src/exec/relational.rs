@@ -20,8 +20,7 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
     // 1. Selection.
     let filtered: Table = match &sel.where_clause {
         Some(w) => {
-            let pred =
-                compile_single_table(w, base.schema(), &[table_name.as_str()], ctx.params)?;
+            let pred = compile_single_table(w, base.schema(), &[table_name.as_str()], ctx.params)?;
             ops::filter(base, &pred)
         }
         None => base.clone(),

@@ -83,7 +83,9 @@ pub fn execute_graph_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
     if want_table {
         Ok(QueryOutput::Table(table_out.expect("at least one branch")))
     } else {
-        Ok(QueryOutput::Subgraph(subgraph_out.expect("at least one branch")))
+        Ok(QueryOutput::Subgraph(
+            subgraph_out.expect("at least one branch"),
+        ))
     }
 }
 
@@ -96,9 +98,11 @@ fn run_branch(ctx: &ExecCtx<'_>, paths: &[&ast::PathQuery], want_table: bool) ->
     });
     let multi = paths.len() > 1;
     let need_bindings = want_table || has_labels || multi;
-    let has_groups = paths
-        .iter()
-        .any(|p| p.segments.iter().any(|s| matches!(s, ast::Segment::Group { .. })));
+    let has_groups = paths.iter().any(|p| {
+        p.segments
+            .iter()
+            .any(|s| matches!(s, ast::Segment::Group { .. }))
+    });
     if need_bindings && has_groups {
         return Err(GraqlError::path(
             "path regular expressions produce set results; use 'select * … into subgraph' \
@@ -119,7 +123,9 @@ pub fn stream_graph_select(
     mut f: impl FnMut(&[graql_types::Value]) -> Result<()>,
 ) -> Result<()> {
     let SelectTargets::Items(_) = &sel.targets else {
-        return Err(GraqlError::exec("pipelined execution needs explicit select items"));
+        return Err(GraqlError::exec(
+            "pipelined execution needs explicit select items",
+        ));
     };
     for branch in crate::compile::or_branches(comp)? {
         let single_path = branch.len() == 1
@@ -131,8 +137,10 @@ pub fn stream_graph_select(
             // Candidates + culling, then stream from the enumerator.
             let qr = crate::exec::query::run_query(ctx, &branch, false)?;
             let cols = resolve_proj_cols(ctx, &qr.cquery, sel)?;
-            let counts: Vec<usize> =
-                qr.cands[0].iter().map(crate::exec::cand::cand_count).collect();
+            let counts: Vec<usize> = qr.cands[0]
+                .iter()
+                .map(crate::exec::cand::cand_count)
+                .collect();
             let order = crate::plan::choose_order(&counts, ctx.config.plan_mode);
             crate::exec::enumerate::enumerate_path(
                 ctx,
@@ -172,9 +180,24 @@ pub fn stream_graph_select(
 /// One projected output column: a specific attribute of a vertex step, all
 /// key columns of a step, or an attribute of a labeled edge step.
 enum ProjCol {
-    Attr { addr: StepAddr, name: String, out: String, dtype: DataType },
-    Key { addr: StepAddr, col: usize, out: String, dtype: DataType },
-    EdgeAttr { addr: LinkAddr, name: String, out: String, dtype: DataType },
+    Attr {
+        addr: StepAddr,
+        name: String,
+        out: String,
+        dtype: DataType,
+    },
+    Key {
+        addr: StepAddr,
+        col: usize,
+        out: String,
+        dtype: DataType,
+    },
+    EdgeAttr {
+        addr: LinkAddr,
+        name: String,
+        out: String,
+        dtype: DataType,
+    },
 }
 
 /// Attribute type of a labeled edge step (through its associated table).
@@ -242,16 +265,12 @@ fn step_dtype(ctx: &ExecCtx<'_>, q: &CQuery, addr: StepAddr, attr: &str) -> Resu
             }
         }
     }
-    dtype.ok_or_else(|| GraqlError::path(format!("step {:?} matches no types", step.display)))
+    dtype.ok_or_else(|| GraqlError::path(format!("step '{}' matches no types", step.display)))
 }
 
 /// Resolves explicit select items against the compiled query: vertex-step
 /// attributes, bare-step keys, and edge-label attributes.
-fn resolve_proj_cols(
-    ctx: &ExecCtx<'_>,
-    q: &CQuery,
-    sel: &ast::SelectStmt,
-) -> Result<Vec<ProjCol>> {
+fn resolve_proj_cols(ctx: &ExecCtx<'_>, q: &CQuery, sel: &ast::SelectStmt) -> Result<Vec<ProjCol>> {
     let SelectTargets::Items(items) = &sel.targets else {
         return Err(GraqlError::exec("internal: explicit select items required"));
     };
@@ -268,13 +287,23 @@ fn resolve_proj_cols(
                 if let Some(&laddr) = q.edge_labels.get(stepname) {
                     let dtype = edge_dtype(ctx, q, laddr, &c.name)?;
                     let out = item.alias.clone().unwrap_or_else(|| c.name.clone());
-                    cols.push(ProjCol::EdgeAttr { addr: laddr, name: c.name.clone(), out, dtype });
+                    cols.push(ProjCol::EdgeAttr {
+                        addr: laddr,
+                        name: c.name.clone(),
+                        out,
+                        dtype,
+                    });
                     continue;
                 }
                 let addr = q.resolve_step(stepname)?;
                 let dtype = step_dtype(ctx, q, addr, &c.name)?;
                 let out = item.alias.clone().unwrap_or_else(|| c.name.clone());
-                cols.push(ProjCol::Attr { addr, name: c.name.clone(), out, dtype });
+                cols.push(ProjCol::Attr {
+                    addr,
+                    name: c.name.clone(),
+                    out,
+                    dtype,
+                });
             }
             None => {
                 // A bare step/label: project its key column(s).
@@ -297,7 +326,12 @@ fn resolve_proj_cols(
                     } else {
                         format!("{base}_{}", kdef.name)
                     };
-                    cols.push(ProjCol::Key { addr, col: kc, out, dtype: kdef.dtype });
+                    cols.push(ProjCol::Key {
+                        addr,
+                        col: kc,
+                        out,
+                        dtype: kdef.dtype,
+                    });
                 }
             }
         }
@@ -321,7 +355,10 @@ fn project_table(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> Res
                     if v.label_ref.is_some() {
                         continue; // the entity already appears at its definition
                     }
-                    let addr = StepAddr { path: pi, vstep: vi };
+                    let addr = StepAddr {
+                        path: pi,
+                        vstep: vi,
+                    };
                     if v.domain.len() != 1 {
                         return Err(GraqlError::path(format!(
                             "'select *' into a table requires concrete steps; step {:?} is variant",

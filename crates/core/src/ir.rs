@@ -103,7 +103,11 @@ fn put_opt_str(b: &mut BytesMut, s: &Option<String>) {
 }
 
 fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>> {
-    Ok(if get_u8(buf)? == 1 { Some(get_str(buf)?) } else { None })
+    Ok(if get_u8(buf)? == 1 {
+        Some(get_str(buf)?)
+    } else {
+        None
+    })
 }
 
 fn put_opt_expr(b: &mut BytesMut, e: &Option<Expr>) {
@@ -117,7 +121,11 @@ fn put_opt_expr(b: &mut BytesMut, e: &Option<Expr>) {
 }
 
 fn get_opt_expr(buf: &mut &[u8]) -> Result<Option<Expr>> {
-    Ok(if get_u8(buf)? == 1 { Some(dec_expr(buf)?) } else { None })
+    Ok(if get_u8(buf)? == 1 {
+        Some(dec_expr(buf)?)
+    } else {
+        None
+    })
 }
 
 // -- statements --------------------------------------------------------------
@@ -193,7 +201,11 @@ fn dec_stmt(buf: &mut &[u8]) -> Result<Stmt> {
                 };
                 columns.push((cname, ty));
             }
-            Stmt::CreateTable(CreateTable { name, columns })
+            Stmt::CreateTable(CreateTable {
+                name,
+                columns,
+                span: Span::default(),
+            })
         }
         1 => {
             let name = get_str(buf)?;
@@ -204,23 +216,44 @@ fn dec_stmt(buf: &mut &[u8]) -> Result<Stmt> {
             }
             let from_table = get_str(buf)?;
             let where_clause = get_opt_expr(buf)?;
-            Stmt::CreateVertex(CreateVertex { name, key, from_table, where_clause })
+            Stmt::CreateVertex(CreateVertex {
+                name,
+                key,
+                from_table,
+                where_clause,
+                span: Span::default(),
+            })
         }
         2 => {
             let name = get_str(buf)?;
-            let source =
-                EdgeEndpoint { vertex_type: get_str(buf)?, alias: get_opt_str(buf)? };
-            let target =
-                EdgeEndpoint { vertex_type: get_str(buf)?, alias: get_opt_str(buf)? };
+            let source = EdgeEndpoint {
+                vertex_type: get_str(buf)?,
+                alias: get_opt_str(buf)?,
+            };
+            let target = EdgeEndpoint {
+                vertex_type: get_str(buf)?,
+                alias: get_opt_str(buf)?,
+            };
             let n = get_u32(buf)? as usize;
             let mut from_tables = Vec::with_capacity(n.min(64));
             for _ in 0..n {
                 from_tables.push(get_str(buf)?);
             }
             let where_clause = get_opt_expr(buf)?;
-            Stmt::CreateEdge(CreateEdge { name, source, target, from_tables, where_clause })
+            Stmt::CreateEdge(CreateEdge {
+                name,
+                source,
+                target,
+                from_tables,
+                where_clause,
+                span: Span::default(),
+            })
         }
-        3 => Stmt::Ingest(Ingest { table: get_str(buf)?, path: get_str(buf)? }),
+        3 => Stmt::Ingest(Ingest {
+            table: get_str(buf)?,
+            path: get_str(buf)?,
+            span: Span::default(),
+        }),
         4 => Stmt::Select(dec_select(buf)?),
         t => return Err(GraqlError::ir(format!("bad statement tag {t}"))),
     })
@@ -244,7 +277,7 @@ fn enc_expr(b: &mut BytesMut, e: &Expr) {
             b.put_u8(2);
             enc_expr(b, x);
         }
-        Expr::Cmp { op, lhs, rhs } => {
+        Expr::Cmp { op, lhs, rhs, .. } => {
             b.put_u8(3);
             b.put_u8(cmp_tag(*op));
             enc_operand(b, lhs);
@@ -268,7 +301,12 @@ fn dec_expr(buf: &mut &[u8]) -> Result<Expr> {
             let op = cmp_untag(get_u8(buf)?)?;
             let lhs = dec_operand(buf)?;
             let rhs = dec_operand(buf)?;
-            Expr::Cmp { op, lhs, rhs }
+            Expr::Cmp {
+                op,
+                lhs,
+                rhs,
+                span: Span::default(),
+            }
         }
         t => return Err(GraqlError::ir(format!("bad expr tag {t}"))),
     })
@@ -334,7 +372,10 @@ fn enc_operand(b: &mut BytesMut, o: &Operand) {
 
 fn dec_operand(buf: &mut &[u8]) -> Result<Operand> {
     Ok(match get_u8(buf)? {
-        0 => Operand::Attr { qualifier: get_opt_str(buf)?, name: get_str(buf)? },
+        0 => Operand::Attr {
+            qualifier: get_opt_str(buf)?,
+            name: get_str(buf)?,
+        },
         1 => Operand::Lit(match get_u8(buf)? {
             0 => Lit::Int(get_u64(buf)? as i64),
             1 => Lit::Float(f64::from_bits(get_u64(buf)?)),
@@ -435,7 +476,11 @@ fn enc_select(b: &mut BytesMut, s: &SelectStmt) {
 
 fn dec_select(buf: &mut &[u8]) -> Result<SelectStmt> {
     let distinct = get_u8(buf)? == 1;
-    let top = if get_u8(buf)? == 1 { Some(get_u64(buf)?) } else { None };
+    let top = if get_u8(buf)? == 1 {
+        Some(get_u64(buf)?)
+    } else {
+        None
+    };
     let targets = match get_u8(buf)? {
         0 => SelectTargets::Star,
         1 => {
@@ -486,7 +531,17 @@ fn dec_select(buf: &mut &[u8]) -> Result<SelectStmt> {
         2 => Some(IntoClause::Subgraph(get_str(buf)?)),
         t => return Err(GraqlError::ir(format!("bad into tag {t}"))),
     };
-    Ok(SelectStmt { distinct, top, targets, source, where_clause, group_by, order_by, into })
+    Ok(SelectStmt {
+        distinct,
+        top,
+        targets,
+        source,
+        where_clause,
+        group_by,
+        order_by,
+        into,
+        span: Span::default(),
+    })
 }
 
 fn enc_colref(b: &mut BytesMut, c: &ColRef) {
@@ -495,7 +550,10 @@ fn enc_colref(b: &mut BytesMut, c: &ColRef) {
 }
 
 fn dec_colref(buf: &mut &[u8]) -> Result<ColRef> {
-    Ok(ColRef { qualifier: get_opt_str(buf)?, name: get_str(buf)? })
+    Ok(ColRef {
+        qualifier: get_opt_str(buf)?,
+        name: get_str(buf)?,
+    })
 }
 
 // -- path compositions ----------------------------------------------------------
@@ -544,7 +602,9 @@ fn enc_path(b: &mut BytesMut, p: &PathQuery) {
                 enc_estep(b, edge);
                 enc_vstep(b, vertex);
             }
-            Segment::Group { hops, quant, exit } => {
+            Segment::Group {
+                hops, quant, exit, ..
+            } => {
                 b.put_u8(1);
                 b.put_u32_le(hops.len() as u32);
                 for (e, v) in hops {
@@ -578,7 +638,10 @@ fn dec_path(buf: &mut &[u8]) -> Result<PathQuery> {
     let mut segments = Vec::with_capacity(n.min(256));
     for _ in 0..n {
         segments.push(match get_u8(buf)? {
-            0 => Segment::Hop { edge: dec_estep(buf)?, vertex: dec_vstep(buf)? },
+            0 => Segment::Hop {
+                edge: dec_estep(buf)?,
+                vertex: dec_vstep(buf)?,
+            },
             1 => {
                 let h = get_u32(buf)? as usize;
                 let mut hops = Vec::with_capacity(h.min(64));
@@ -591,8 +654,17 @@ fn dec_path(buf: &mut &[u8]) -> Result<PathQuery> {
                     2 => Quant::Range(get_u32(buf)?, get_u32(buf)?),
                     t => return Err(GraqlError::ir(format!("bad quant tag {t}"))),
                 };
-                let exit = if get_u8(buf)? == 1 { Some(dec_vstep(buf)?) } else { None };
-                Segment::Group { hops, quant, exit }
+                let exit = if get_u8(buf)? == 1 {
+                    Some(dec_vstep(buf)?)
+                } else {
+                    None
+                };
+                Segment::Group {
+                    hops,
+                    quant,
+                    exit,
+                    span: Span::default(),
+                }
             }
             t => return Err(GraqlError::ir(format!("bad segment tag {t}"))),
         });
@@ -616,8 +688,16 @@ fn enc_label(b: &mut BytesMut, l: &Option<LabelDef>) {
 fn dec_label(buf: &mut &[u8]) -> Result<Option<LabelDef>> {
     Ok(match get_u8(buf)? {
         0 => None,
-        1 => Some(LabelDef { kind: LabelKind::Set, name: get_str(buf)? }),
-        2 => Some(LabelDef { kind: LabelKind::Each, name: get_str(buf)? }),
+        1 => Some(LabelDef {
+            kind: LabelKind::Set,
+            name: get_str(buf)?,
+            span: Span::default(),
+        }),
+        2 => Some(LabelDef {
+            kind: LabelKind::Each,
+            name: get_str(buf)?,
+            span: Span::default(),
+        }),
         t => return Err(GraqlError::ir(format!("bad label tag {t}"))),
     })
 }
@@ -653,6 +733,7 @@ fn dec_vstep(buf: &mut &[u8]) -> Result<VertexStep> {
         seed: get_opt_str(buf)?,
         name: dec_stepname(buf)?,
         cond: get_opt_expr(buf)?,
+        span: Span::default(),
     })
 }
 
@@ -671,6 +752,7 @@ fn dec_estep(buf: &mut &[u8]) -> Result<EdgeStep> {
         label_def: dec_label(buf)?,
         name: dec_stepname(buf)?,
         cond: get_opt_expr(buf)?,
+        span: Span::default(),
         dir: match get_u8(buf)? {
             0 => Dir::Out,
             1 => Dir::In,
@@ -735,6 +817,11 @@ mod tests {
         let text_len = corpus().len();
         // Not a strict requirement, but the binary IR should be in the same
         // ballpark as the source text, not an explosion.
-        assert!(blob.len() < text_len * 3, "IR {} vs text {}", blob.len(), text_len);
+        assert!(
+            blob.len() < text_len * 3,
+            "IR {} vs text {}",
+            blob.len(),
+            text_len
+        );
     }
 }

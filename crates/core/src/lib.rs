@@ -39,6 +39,7 @@ pub mod database;
 pub mod ddl;
 pub mod exec;
 pub mod ir;
+pub mod lint;
 pub mod persist;
 pub mod plan;
 pub mod script;

@@ -1,0 +1,590 @@
+//! Lint passes over a checked script: suspicious-but-legal constructs
+//! (`W`-codes) and hints (`H`-codes).
+//!
+//! Lints run after the error passes of [`crate::analyze::check_script`],
+//! against the *final* working catalog (so edge/vertex definitions from
+//! earlier statements in the same script are visible) and the raw AST.
+//! They never error and never mutate the catalog.
+
+use graql_parser::ast::{
+    self, Expr, Lit, Operand, Quant, Segment, SelectExpr, SelectSource, SelectTargets, StepName,
+    Stmt,
+};
+use graql_types::{codes, CmpOp, Diagnostic, Diagnostics, Span};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::catalog::Catalog;
+use crate::cond::{lit_type, lit_value, Params};
+
+/// Mean (out-degree, in-degree) per edge type *name*, distilled from
+/// [`graql_graph::GraphStats`] for the path-cost lints.
+pub type EdgeFanout = FxHashMap<String, (f64, f64)>;
+
+/// Mean-degree threshold above which an unbounded repetition over an edge
+/// type is flagged as `W0301`.
+pub const FANOUT_THRESHOLD: f64 = 4.0;
+
+/// Runs every lint pass, appending findings to `sink`.
+pub(crate) fn run(
+    work: &Catalog,
+    script: &ast::Script,
+    fanout: Option<&EdgeFanout>,
+    sink: &mut Diagnostics,
+) {
+    lint_labels(script, sink);
+    lint_results(script, sink);
+    lint_predicates(script, sink);
+    lint_paths(work, script, fanout, sink);
+    lint_top_without_order(script, sink);
+}
+
+// ---------------------------------------------------------------------------
+// W0201: unused labels
+// ---------------------------------------------------------------------------
+
+/// Every `def X:` / `foreach x:` label should be referenced somewhere:
+/// as a later step name (path unification), as a qualifier in a step
+/// condition, or in the projection list.
+fn lint_labels(script: &ast::Script, sink: &mut Diagnostics) {
+    for stmt in &script.statements {
+        let Stmt::Select(sel) = stmt else { continue };
+        let SelectSource::Graph(comp) = &sel.source else {
+            continue;
+        };
+
+        let mut defs: Vec<(String, Span)> = Vec::new();
+        let mut uses: FxHashSet<String> = FxHashSet::default();
+
+        fn on_vstep(
+            v: &ast::VertexStep,
+            defs: &mut Vec<(String, Span)>,
+            uses: &mut FxHashSet<String>,
+        ) {
+            if let Some(l) = &v.label_def {
+                defs.push((l.name.clone(), l.span));
+            }
+            if let StepName::Named(n) = &v.name {
+                uses.insert(n.clone());
+            }
+            if let Some(c) = &v.cond {
+                collect_qualifiers(c, uses);
+            }
+        }
+        fn on_estep(
+            e: &ast::EdgeStep,
+            defs: &mut Vec<(String, Span)>,
+            uses: &mut FxHashSet<String>,
+        ) {
+            if let Some(l) = &e.label_def {
+                defs.push((l.name.clone(), l.span));
+            }
+            if let Some(c) = &e.cond {
+                collect_qualifiers(c, uses);
+            }
+        }
+        for path in paths_of(comp) {
+            on_vstep(&path.head, &mut defs, &mut uses);
+            for seg in &path.segments {
+                match seg {
+                    Segment::Hop { edge, vertex } => {
+                        on_estep(edge, &mut defs, &mut uses);
+                        on_vstep(vertex, &mut defs, &mut uses);
+                    }
+                    Segment::Group { hops, exit, .. } => {
+                        for (e, v) in hops {
+                            on_estep(e, &mut defs, &mut uses);
+                            on_vstep(v, &mut defs, &mut uses);
+                        }
+                        if let Some(v) = exit {
+                            on_vstep(v, &mut defs, &mut uses);
+                        }
+                    }
+                }
+            }
+        }
+        if let SelectTargets::Items(items) = &sel.targets {
+            for item in items {
+                if let SelectExpr::Col(c) = &item.expr {
+                    uses.insert(c.qualifier.clone().unwrap_or_else(|| c.name.clone()));
+                }
+            }
+        }
+        for (name, span) in defs {
+            if !uses.contains(&name) {
+                sink.push(
+                    Diagnostic::warning(
+                        codes::UNUSED_LABEL,
+                        format!("label '{name}' is never used"),
+                        span,
+                    )
+                    .with_note("remove the label, or reference it in a condition or projection"),
+                );
+            }
+        }
+    }
+}
+
+fn collect_qualifiers(e: &Expr, uses: &mut FxHashSet<String>) {
+    match e {
+        Expr::And(ps) | Expr::Or(ps) => ps.iter().for_each(|p| collect_qualifiers(p, uses)),
+        Expr::Not(inner) => collect_qualifiers(inner, uses),
+        Expr::Cmp { lhs, rhs, .. } => {
+            for o in [lhs, rhs] {
+                if let Operand::Attr {
+                    qualifier: Some(q), ..
+                } = o
+                {
+                    uses.insert(q.clone());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W0202 / W0204: unread and shadowed `into` results
+// ---------------------------------------------------------------------------
+
+/// Result names each statement *reads* (as a table source, subgraph seed,
+/// or DDL input).
+fn result_reads(stmt: &Stmt) -> FxHashSet<String> {
+    let mut reads = FxHashSet::default();
+    match stmt {
+        Stmt::CreateTable(_) => {}
+        Stmt::CreateVertex(cv) => {
+            reads.insert(cv.from_table.clone());
+        }
+        Stmt::CreateEdge(ce) => {
+            reads.extend(ce.from_tables.iter().cloned());
+        }
+        Stmt::Ingest(ing) => {
+            reads.insert(ing.table.clone());
+        }
+        Stmt::Select(sel) => match &sel.source {
+            SelectSource::Table(t) => {
+                reads.insert(t.clone());
+            }
+            SelectSource::Graph(comp) => {
+                for path in paths_of(comp) {
+                    if let Some(seed) = &path.head.seed {
+                        reads.insert(seed.clone());
+                    }
+                    for seg in &path.segments {
+                        match seg {
+                            Segment::Hop { vertex, .. } => {
+                                if let Some(seed) = &vertex.seed {
+                                    reads.insert(seed.clone());
+                                }
+                            }
+                            Segment::Group { hops, exit, .. } => {
+                                for (_, v) in hops {
+                                    if let Some(seed) = &v.seed {
+                                        reads.insert(seed.clone());
+                                    }
+                                }
+                                if let Some(v) = exit {
+                                    if let Some(seed) = &v.seed {
+                                        reads.insert(seed.clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    }
+    reads
+}
+
+fn lint_results(script: &ast::Script, sink: &mut Diagnostics) {
+    let stmts = &script.statements;
+    let reads: Vec<FxHashSet<String>> = stmts.iter().map(result_reads).collect();
+    // (name, defining statement index, span)
+    let mut defs: Vec<(&str, usize, Span)> = Vec::new();
+    for (i, stmt) in stmts.iter().enumerate() {
+        if let Stmt::Select(sel) = stmt {
+            if let Some(ast::IntoClause::Table(n) | ast::IntoClause::Subgraph(n)) = &sel.into {
+                defs.push((n, i, sel.span));
+            }
+        }
+    }
+    for (di, &(name, i, span)) in defs.iter().enumerate() {
+        let read_by =
+            |range: std::ops::Range<usize>| range.into_iter().any(|j| reads[j].contains(name));
+        let shadow = defs[di + 1..].iter().find(|&&(n, _, _)| n == name);
+        match shadow {
+            Some(&(_, j, shadow_span)) => {
+                // Overwriting a result that was read in between (including
+                // by the overwriting statement itself — refine-in-place) is
+                // legitimate; overwriting an unread one loses it silently.
+                if !read_by(i + 1..j + 1) {
+                    sink.push(
+                        Diagnostic::warning(
+                            codes::SHADOWED_RESULT,
+                            format!("'into {name}' overwrites a result that was never read"),
+                            shadow_span,
+                        )
+                        .with_note(format!(
+                            "the earlier 'into {name}' result is silently replaced"
+                        )),
+                    );
+                }
+            }
+            None => {
+                if i + 1 < stmts.len() && !read_by(i + 1..stmts.len()) {
+                    sink.push(
+                        Diagnostic::warning(
+                            codes::UNREAD_RESULT,
+                            format!("result '{name}' is never read by a later statement"),
+                            span,
+                        )
+                        .with_note(
+                            "only the final statement's result is the script output; \
+                             intermediate results should be read or removed",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W0203: contradictory / always-false predicates
+// ---------------------------------------------------------------------------
+
+/// Every condition expression in a statement, wherever it hides.
+fn exprs_of(stmt: &Stmt) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::CreateTable(_) | Stmt::Ingest(_) => {}
+        Stmt::CreateVertex(cv) => out.extend(&cv.where_clause),
+        Stmt::CreateEdge(ce) => out.extend(&ce.where_clause),
+        Stmt::Select(sel) => {
+            out.extend(&sel.where_clause);
+            if let SelectSource::Graph(comp) = &sel.source {
+                for path in paths_of(comp) {
+                    out.extend(&path.head.cond);
+                    for seg in &path.segments {
+                        match seg {
+                            Segment::Hop { edge, vertex } => {
+                                out.extend(&edge.cond);
+                                out.extend(&vertex.cond);
+                            }
+                            Segment::Group { hops, exit, .. } => {
+                                for (e, v) in hops {
+                                    out.extend(&e.cond);
+                                    out.extend(&v.cond);
+                                }
+                                if let Some(v) = exit {
+                                    out.extend(&v.cond);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn lint_predicates(script: &ast::Script, sink: &mut Diagnostics) {
+    for stmt in &script.statements {
+        for expr in exprs_of(stmt) {
+            walk_predicates(expr, sink);
+        }
+    }
+}
+
+fn walk_predicates(e: &Expr, sink: &mut Diagnostics) {
+    match e {
+        Expr::Or(ps) => ps.iter().for_each(|p| walk_predicates(p, sink)),
+        Expr::Not(inner) => walk_predicates(inner, sink),
+        Expr::And(ps) => {
+            // Direct-child equality constraints: the same attribute equated
+            // to two different constants can never hold.
+            let mut eqs: FxHashMap<(Option<&str>, &str), &Lit> = FxHashMap::default();
+            for p in ps {
+                if let Expr::Cmp {
+                    op: CmpOp::Eq,
+                    lhs,
+                    rhs,
+                    span,
+                } = p
+                {
+                    let (attr, lit) = match (lhs, rhs) {
+                        (Operand::Attr { qualifier, name }, Operand::Lit(l))
+                        | (Operand::Lit(l), Operand::Attr { qualifier, name }) => {
+                            ((qualifier.as_deref(), name.as_str()), l)
+                        }
+                        _ => continue,
+                    };
+                    if matches!(lit, Lit::Param(_)) {
+                        continue;
+                    }
+                    match eqs.get(&attr) {
+                        Some(prev) if !lits_equal(prev, lit) => {
+                            sink.push(
+                                Diagnostic::warning(
+                                    codes::ALWAYS_FALSE,
+                                    format!(
+                                        "contradictory equality constraints on '{}': \
+                                         the condition is always false",
+                                        attr.1
+                                    ),
+                                    *span,
+                                )
+                                .with_note("did you mean 'or'?"),
+                            );
+                        }
+                        Some(_) => {}
+                        None => {
+                            eqs.insert(attr, lit);
+                        }
+                    }
+                }
+            }
+            ps.iter().for_each(|p| walk_predicates(p, sink));
+        }
+        Expr::Cmp { op, lhs, rhs, span } => {
+            // Constant comparison that statically evaluates to false.
+            if let (Operand::Lit(a), Operand::Lit(b)) = (lhs, rhs) {
+                if let (Some(ta), Some(tb)) = (lit_type(a), lit_type(b)) {
+                    if ta.comparable_with(tb) {
+                        let params = Params::default();
+                        if let (Ok(va), Ok(vb)) = (lit_value(a, &params), lit_value(b, &params)) {
+                            if !op.eval(&va, &vb) {
+                                sink.push(Diagnostic::warning(
+                                    codes::ALWAYS_FALSE,
+                                    "comparison of two constants is always false",
+                                    *span,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // An attribute compared against itself with a strict operator.
+            if let (
+                Operand::Attr {
+                    qualifier: q1,
+                    name: n1,
+                },
+                Operand::Attr {
+                    qualifier: q2,
+                    name: n2,
+                },
+            ) = (lhs, rhs)
+            {
+                if q1 == q2 && n1 == n2 && matches!(op, CmpOp::Lt | CmpOp::Gt | CmpOp::Ne) {
+                    sink.push(Diagnostic::warning(
+                        codes::ALWAYS_FALSE,
+                        format!("'{n1}' compared against itself is always false"),
+                        *span,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn lits_equal(a: &Lit, b: &Lit) -> bool {
+    let params = Params::default();
+    match (lit_value(a, &params), lit_value(b, &params)) {
+        (Ok(va), Ok(vb)) => CmpOp::Eq.eval(&va, &vb),
+        _ => true, // unknown (parameters): assume satisfiable
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W0205 / W0301 / W0302: path shape and cost lints
+// ---------------------------------------------------------------------------
+
+fn lint_paths(
+    work: &Catalog,
+    script: &ast::Script,
+    fanout: Option<&EdgeFanout>,
+    sink: &mut Diagnostics,
+) {
+    for stmt in &script.statements {
+        let Stmt::Select(sel) = stmt else { continue };
+        let SelectSource::Graph(comp) = &sel.source else {
+            continue;
+        };
+        for path in paths_of(comp) {
+            lint_one_path(work, path, fanout, sink);
+        }
+    }
+}
+
+fn lint_one_path(
+    work: &Catalog,
+    path: &ast::PathQuery,
+    fanout: Option<&EdgeFanout>,
+    sink: &mut Diagnostics,
+) {
+    // Adjacent plain hops through a variant step: the arriving edge's
+    // endpoint type must match the departing edge's.
+    let mut prev_hop: Option<(&ast::EdgeStep, &ast::VertexStep)> = None;
+    for seg in &path.segments {
+        match seg {
+            Segment::Hop { edge, vertex } => {
+                if let Some((arrive, mid)) = prev_hop {
+                    if matches!(mid.name, StepName::Any) {
+                        check_variant_junction(work, arrive, edge, mid.span, sink);
+                    }
+                }
+                prev_hop = Some((edge, vertex));
+            }
+            Segment::Group {
+                hops,
+                quant,
+                exit: _,
+                span,
+            } => {
+                prev_hop = None; // the group hides the frontier type
+                if let Quant::Range(0, 0) = quant {
+                    sink.push(
+                        Diagnostic::warning(
+                            codes::ZERO_REPETITION,
+                            "repetition bound {0}: the group is never traversed",
+                            *span,
+                        )
+                        .with_note("remove the group or raise the bound"),
+                    );
+                }
+                if matches!(quant, Quant::Star | Quant::Plus) {
+                    if let Some(fan) = fanout {
+                        for (e, _) in hops {
+                            let StepName::Named(n) = &e.name else {
+                                continue;
+                            };
+                            let Some(&(out_deg, in_deg)) = fan.get(n) else {
+                                continue;
+                            };
+                            let deg = match e.dir {
+                                ast::Dir::Out => out_deg,
+                                ast::Dir::In => in_deg,
+                            };
+                            if deg > FANOUT_THRESHOLD {
+                                sink.push(
+                                    Diagnostic::warning(
+                                        codes::UNBOUNDED_HIGH_FANOUT,
+                                        format!(
+                                            "unbounded repetition over high-fanout edge \
+                                             '{n}' (mean degree {deg:.1})"
+                                        ),
+                                        e.span,
+                                    )
+                                    .with_note(
+                                        "the frontier can grow exponentially; consider a \
+                                         bounded quantifier like {1,3}",
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                // Variant junctions inside the repeated chain…
+                for pair in hops.windows(2) {
+                    let (e1, v1) = &pair[0];
+                    let (e2, _) = &pair[1];
+                    if matches!(v1.name, StepName::Any) {
+                        check_variant_junction(work, e1, e2, v1.span, sink);
+                    }
+                }
+                // …and across the wrap-around when the group can repeat.
+                let (_, max_reps) = quant.bounds(u32::MAX);
+                if max_reps >= 2 && !hops.is_empty() {
+                    let (e_last, v_last) = hops.last().expect("non-empty");
+                    let (e_first, _) = hops.first().expect("non-empty");
+                    if matches!(v_last.name, StepName::Any) {
+                        check_variant_junction(work, e_last, e_first, v_last.span, sink);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Warns when a variant (`[ ]`) step sits between two concrete edges whose
+/// endpoint types cannot unify: no vertex instance can ever match.
+fn check_variant_junction(
+    work: &Catalog,
+    arrive: &ast::EdgeStep,
+    depart: &ast::EdgeStep,
+    at: Span,
+    sink: &mut Diagnostics,
+) {
+    let (StepName::Named(n1), StepName::Named(n2)) = (&arrive.name, &depart.name) else {
+        return;
+    };
+    let (Some(d1), Some(d2)) = (work.edge(n1), work.edge(n2)) else {
+        return;
+    };
+    let arrive_type = match arrive.dir {
+        ast::Dir::Out => &d1.tgt_type,
+        ast::Dir::In => &d1.src_type,
+    };
+    let depart_type = match depart.dir {
+        ast::Dir::Out => &d2.src_type,
+        ast::Dir::In => &d2.tgt_type,
+    };
+    if arrive_type != depart_type {
+        sink.push(
+            Diagnostic::warning(
+                codes::UNSATISFIABLE_STEP,
+                format!(
+                    "variant step can never match: edge '{n1}' arrives at '{arrive_type}' \
+                     but edge '{n2}' departs from '{depart_type}'"
+                ),
+                at,
+            )
+            .with_note("the step matches no vertex; the query always returns empty"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// H0201: top without order by
+// ---------------------------------------------------------------------------
+
+fn lint_top_without_order(script: &ast::Script, sink: &mut Diagnostics) {
+    for stmt in &script.statements {
+        let Stmt::Select(sel) = stmt else { continue };
+        if matches!(sel.source, SelectSource::Table(_))
+            && sel.top.is_some()
+            && sel.order_by.is_empty()
+        {
+            sink.push(
+                Diagnostic::hint(
+                    codes::TOP_WITHOUT_ORDER,
+                    "'top' without 'order by' returns an arbitrary subset of rows",
+                    sel.span,
+                )
+                .with_note("add 'order by' to make the selection deterministic"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Every linear path in a composition, in source order.
+fn paths_of(comp: &ast::PathComposition) -> Vec<&ast::PathQuery> {
+    fn go<'a>(c: &'a ast::PathComposition, out: &mut Vec<&'a ast::PathQuery>) {
+        match c {
+            ast::PathComposition::Single(p) => out.push(p),
+            ast::PathComposition::And(cs) | ast::PathComposition::Or(cs) => {
+                cs.iter().for_each(|c| go(c, out))
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(comp, &mut out);
+    out
+}

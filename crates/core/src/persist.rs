@@ -28,45 +28,55 @@ pub fn save_dir(db: &Database, dir: &Path) -> Result<()> {
     let catalog = db.catalog();
     for name in catalog.table_names() {
         let schema = catalog.table(name).expect("listed tables exist");
-        script.statements.push(ast::Stmt::CreateTable(ast::CreateTable {
-            name: name.clone(),
-            columns: schema
-                .columns()
-                .iter()
-                .map(|c| (c.name.clone(), type_name(c.dtype)))
-                .collect(),
-        }));
+        script
+            .statements
+            .push(ast::Stmt::CreateTable(ast::CreateTable {
+                name: name.clone(),
+                columns: schema
+                    .columns()
+                    .iter()
+                    .map(|c| (c.name.clone(), type_name(c.dtype)))
+                    .collect(),
+                span: ast::Span::default(),
+            }));
     }
     for name in catalog.vertex_names() {
         let def = catalog.vertex(name).expect("listed vertices exist");
-        script.statements.push(ast::Stmt::CreateVertex(ast::CreateVertex {
-            name: def.name.clone(),
-            key: def.key.clone(),
-            from_table: def.table.clone(),
-            where_clause: def.where_clause.clone(),
-        }));
+        script
+            .statements
+            .push(ast::Stmt::CreateVertex(ast::CreateVertex {
+                name: def.name.clone(),
+                key: def.key.clone(),
+                from_table: def.table.clone(),
+                where_clause: def.where_clause.clone(),
+                span: ast::Span::default(),
+            }));
     }
     for name in catalog.edge_names() {
         let def = catalog.edge(name).expect("listed edges exist");
-        script.statements.push(ast::Stmt::CreateEdge(ast::CreateEdge {
-            name: def.name.clone(),
-            source: ast::EdgeEndpoint {
-                vertex_type: def.src_type.clone(),
-                alias: def.src_alias.clone(),
-            },
-            target: ast::EdgeEndpoint {
-                vertex_type: def.tgt_type.clone(),
-                alias: def.tgt_alias.clone(),
-            },
-            from_tables: def.from_tables.clone(),
-            where_clause: def.where_clause.clone(),
-        }));
+        script
+            .statements
+            .push(ast::Stmt::CreateEdge(ast::CreateEdge {
+                name: def.name.clone(),
+                source: ast::EdgeEndpoint {
+                    vertex_type: def.src_type.clone(),
+                    alias: def.src_alias.clone(),
+                },
+                target: ast::EdgeEndpoint {
+                    vertex_type: def.tgt_type.clone(),
+                    alias: def.tgt_alias.clone(),
+                },
+                from_tables: def.from_tables.clone(),
+                where_clause: def.where_clause.clone(),
+                span: ast::Span::default(),
+            }));
     }
     // Ingest statements replay the data on load.
     for name in catalog.table_names() {
         script.statements.push(ast::Stmt::Ingest(ast::Ingest {
             table: name.clone(),
             path: format!("{name}.csv"),
+            span: ast::Span::default(),
         }));
     }
     std::fs::write(dir.join(CATALOG_FILE), script.to_string()).map_err(io)?;
@@ -146,8 +156,12 @@ mod tests {
         assert_eq!(g2.vset(g2.vtype("PV").unwrap()).len(), 3, "c filtered out");
         // And queries agree.
         let q = "select B.id from graph PV() --up--> def B: PV()";
-        let crate::database::StmtOutput::Table(r1) = db.execute_str(q).unwrap() else { panic!() };
-        let crate::database::StmtOutput::Table(r2) = back.execute_str(q).unwrap() else { panic!() };
+        let crate::database::StmtOutput::Table(r1) = db.execute_str(q).unwrap() else {
+            panic!()
+        };
+        let crate::database::StmtOutput::Table(r2) = back.execute_str(q).unwrap() else {
+            panic!()
+        };
         assert_eq!(r1.n_rows(), r2.n_rows());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -160,7 +174,10 @@ mod tests {
         let script = graql_parser::parse(&text).unwrap();
         // 1 table + 1 vertex + 1 edge + 1 ingest.
         assert_eq!(script.statements.len(), 4);
-        assert!(text.contains("where score > 0.0"), "filters persist: {text}");
+        assert!(
+            text.contains("where score > 0.0"),
+            "filters persist: {text}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -174,11 +191,15 @@ mod tests {
     fn results_are_not_persisted() {
         let dir = tmpdir("res");
         let mut db = sample();
-        db.execute_str("select id from table P into table Snapshot").unwrap();
+        db.execute_str("select id from table P into table Snapshot")
+            .unwrap();
         assert!(db.result_table("Snapshot").is_some());
         save_dir(&db, &dir).unwrap();
         let back = load_dir(&dir).unwrap();
-        assert!(back.result_table("Snapshot").is_none(), "results regenerate, not persist");
+        assert!(
+            back.result_table("Snapshot").is_none(),
+            "results regenerate, not persist"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -74,13 +74,23 @@ mod tests {
     #[test]
     fn auto_starts_at_min_count() {
         assert_eq!(choose_order(&[100, 3, 50], PlanMode::Auto), vec![1, 2, 0]);
-        assert_eq!(choose_order(&[1, 1, 1], PlanMode::Auto), vec![0, 1, 2], "ties go left");
+        assert_eq!(
+            choose_order(&[1, 1, 1], PlanMode::Auto),
+            vec![0, 1, 2],
+            "ties go left"
+        );
     }
 
     #[test]
     fn lexical_modes() {
-        assert_eq!(choose_order(&[5, 1, 5], PlanMode::ForwardOnly), vec![0, 1, 2]);
-        assert_eq!(choose_order(&[5, 1, 5], PlanMode::ReverseOnly), vec![2, 1, 0]);
+        assert_eq!(
+            choose_order(&[5, 1, 5], PlanMode::ForwardOnly),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            choose_order(&[5, 1, 5], PlanMode::ReverseOnly),
+            vec![2, 1, 0]
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ fn conflicts(a: &Effects, b: &Effects) -> bool {
         return true;
     }
     // RAW / WAR / WAW on named results.
-    a.writes.iter().any(|w| b.reads.contains(w) || b.writes.contains(w))
+    a.writes
+        .iter()
+        .any(|w| b.reads.contains(w) || b.writes.contains(w))
         || b.writes.iter().any(|w| a.reads.contains(w))
 }
 
@@ -130,13 +132,18 @@ pub fn run_script(db: &mut Database, text: &str) -> Result<ScriptReport> {
                     .iter()
                     .map(|&(i, sel)| scope.spawn(move || (i, db_ref.execute_select(sel))))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             });
         // Register results sequentially, in statement order.
         let mut sorted = results;
         sorted.sort_by_key(|(i, _)| *i);
         for (i, r) in sorted {
-            let Stmt::Select(sel) = &script.statements[i] else { unreachable!() };
+            let Stmt::Select(sel) = &script.statements[i] else {
+                unreachable!()
+            };
             outputs[i] = Some(db.register_result(sel, r?)?);
         }
     }
@@ -257,7 +264,10 @@ mod tests {
              ingest table X 'x.csv'\n\
              select c from table T",
         );
-        assert_eq!(schedule(&s), vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+        assert_eq!(
+            schedule(&s),
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4]]
+        );
     }
 
     #[test]

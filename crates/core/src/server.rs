@@ -45,7 +45,7 @@ impl Server {
     pub fn create_user(&mut self, name: impl Into<String>, role: Role) -> Result<()> {
         let name = name.into();
         if self.users.contains_key(&name) {
-            return Err(GraqlError::name(format!("user {name:?} already exists")));
+            return Err(GraqlError::name(format!("user '{name}' already exists")));
         }
         self.users.insert(name, role);
         Ok(())
@@ -56,8 +56,12 @@ impl Server {
         let role = *self
             .users
             .get(user)
-            .ok_or_else(|| GraqlError::name(format!("unknown user {user:?}")))?;
-        Ok(Session { server: self, user: user.to_string(), role })
+            .ok_or_else(|| GraqlError::name(format!("unknown user '{user}'")))?;
+        Ok(Session {
+            server: self,
+            user: user.to_string(),
+            role,
+        })
     }
 
     /// Direct access to the underlying database (bypasses access control;
@@ -86,7 +90,12 @@ impl Server {
         let graph = self.db.graph_ref().expect("built above");
         let _ = writeln!(out, "vertex types:");
         for vs in &stats.vertices {
-            let _ = writeln!(out, "  {}: {} instances", graph.vset(vs.vtype).name, vs.count);
+            let _ = writeln!(
+                out,
+                "  {}: {} instances",
+                graph.vset(vs.vtype).name,
+                vs.count
+            );
         }
         let _ = writeln!(out, "edge types:");
         for es in &stats.edges {
@@ -126,7 +135,40 @@ impl Session<'_> {
             self.check(stmt)?;
         }
         crate::analyze::analyze_script(self.server.db.catalog(), &script)?;
-        script.statements.iter().map(|s| self.server.db.execute(s)).collect()
+        script
+            .statements
+            .iter()
+            .map(|s| self.server.db.execute(s))
+            .collect()
+    }
+
+    /// Statically checks a script under this session, returning *all*
+    /// diagnostics (never executes anything). Role violations are reported
+    /// as `E0906` diagnostics alongside the analysis findings, so a client
+    /// sees every problem in one round trip.
+    pub fn check_script(&mut self, text: &str) -> graql_types::Diagnostics {
+        let script = match graql_parser::parse(text) {
+            Ok(s) => s,
+            Err(e) => {
+                let mut sink = graql_types::Diagnostics::new();
+                sink.push(graql_types::Diagnostic::from_error(
+                    &e,
+                    graql_types::Span::default(),
+                ));
+                return sink;
+            }
+        };
+        let mut diags = self.server.db.check_script(&script);
+        for stmt in &script.statements {
+            if let Err(e) = self.check(stmt) {
+                diags.push(graql_types::Diagnostic::error(
+                    graql_types::codes::ACCESS_DENIED,
+                    e.to_string(),
+                    stmt.span(),
+                ));
+            }
+        }
+        diags
     }
 
     fn check(&self, stmt: &Stmt) -> Result<()> {
@@ -136,7 +178,7 @@ impl Session<'_> {
         );
         if needs_admin && self.role != Role::Admin {
             return Err(GraqlError::exec(format!(
-                "user {:?} (analyst) may not run data definition or ingest statements",
+                "user '{}' (analyst) may not run data definition or ingest statements",
                 self.user
             )));
         }
@@ -175,12 +217,17 @@ mod tests {
         let mut s = server();
         s.create_user("ada", Role::Analyst).unwrap();
         let mut sess = s.connect("ada").unwrap();
-        let outs = sess.execute_script("select a from table T where a > 1").unwrap();
+        let outs = sess
+            .execute_script("select a from table T where a > 1")
+            .unwrap();
         assert!(matches!(&outs[0], StmtOutput::Table(t) if t.n_rows() == 2));
         // Result capture is allowed.
-        sess.execute_script("select a from table T into table Mine").unwrap();
+        sess.execute_script("select a from table T into table Mine")
+            .unwrap();
         // DDL and ingest are not.
-        let err = sess.execute_script("create table X(a integer)").unwrap_err();
+        let err = sess
+            .execute_script("create table X(a integer)")
+            .unwrap_err();
         assert!(err.to_string().contains("may not run"), "{err}");
         let err = sess.execute_script("ingest table T more.csv").unwrap_err();
         assert!(err.to_string().contains("may not run"), "{err}");
@@ -190,7 +237,10 @@ mod tests {
             .execute_script("select a from table T into table Probe2\ncreate table Y(a integer)")
             .unwrap_err();
         assert!(err.to_string().contains("may not run"), "{err}");
-        assert!(s.database_mut().result_table("Probe2").is_none(), "atomic rejection");
+        assert!(
+            s.database_mut().result_table("Probe2").is_none(),
+            "atomic rejection"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ fn comparable_conditions_pass_without_data() {
 
 #[test]
 fn table_where_vertex_required() {
-    expect_err("select * from graph Offers() --product--> ProductVtx()", "not a vertex type");
+    expect_err(
+        "select * from graph Offers() --product--> ProductVtx()",
+        "not a vertex type",
+    );
 }
 
 #[test]
@@ -91,7 +94,10 @@ fn vertex_where_table_required() {
 
 #[test]
 fn vertex_where_edge_required() {
-    expect_err("select * from graph OfferVtx() --ProductVtx--> ProductVtx()", "not an edge type");
+    expect_err(
+        "select * from graph OfferVtx() --ProductVtx--> ProductVtx()",
+        "not an edge type",
+    );
 }
 
 #[test]
@@ -118,8 +124,14 @@ fn edge_endpoint_mismatch_rejected() {
 
 #[test]
 fn variant_step_conditions_rejected() {
-    expect_err("select * from graph ProductVtx() --[](price = 1)--> []", "variant");
-    expect_err("select * from graph [](price = 1) --product--> ProductVtx()", "variant");
+    expect_err(
+        "select * from graph ProductVtx() --[](price = 1)--> []",
+        "variant",
+    );
+    expect_err(
+        "select * from graph [](price = 1) --product--> ProductVtx()",
+        "variant",
+    );
     expect_err(
         "select * from graph ProductVtx() { --[](x = 1)--> [] }+",
         "variant",
@@ -225,7 +237,10 @@ fn group_by_validity() {
         "select vendor, price from table Offers group by vendor",
         "must appear in 'group by'",
     );
-    expect_err("select sum(offerWebPage) as s from table Offers", "non-numeric");
+    expect_err(
+        "select sum(offerWebPage) as s from table Offers",
+        "non-numeric",
+    );
     expect_err(
         "select vendor, count(*) as n from table Offers group by vendor order by missing",
         "not in the select output",

@@ -65,18 +65,22 @@ fn mini_berlin() -> Database {
     )
     .unwrap();
     db.ingest_str("Producers", "m1,US\nm2,IT\nm3,FR\n").unwrap();
-    db.ingest_str("Features", "f1,Fast\nf2,Light\nf3,Cheap\n").unwrap();
+    db.ingest_str("Features", "f1,Fast\nf2,Light\nf3,Cheap\n")
+        .unwrap();
     db.ingest_str(
         "ProductFeatures",
         "p1,f1\np1,f2\np2,f1\np2,f2\np3,f2\np3,f3\np4,f3\n",
     )
     .unwrap();
     db.ingest_str("Persons", "u1,US\nu2,IT\n").unwrap();
-    db.ingest_str("Reviews", "r1,p1,u1,5\nr2,p1,u2,3\nr3,p3,u2,4\n").unwrap();
-    db.ingest_str("Offers", "o1,p1,v1,9.99\no2,p1,v2,12.5\no3,p4,v2,30.0\n").unwrap();
+    db.ingest_str("Reviews", "r1,p1,u1,5\nr2,p1,u2,3\nr3,p3,u2,4\n")
+        .unwrap();
+    db.ingest_str("Offers", "o1,p1,v1,9.99\no2,p1,v2,12.5\no3,p4,v2,30.0\n")
+        .unwrap();
     db.ingest_str("Vendors", "v1,US\nv2,CN\n").unwrap();
     db.ingest_str("Types", "t1,\nt2,t1\n").unwrap();
-    db.ingest_str("ProductTypes", "p1,t2\np2,t2\np3,t1\n").unwrap();
+    db.ingest_str("ProductTypes", "p1,t2\np2,t2\np3,t1\n")
+        .unwrap();
     db
 }
 
@@ -143,7 +147,10 @@ fn two_hop_path_with_param() {
         .map(|r| (t.get(r, 0).to_string(), t.get(r, 1).to_string()))
         .collect();
     rows.sort();
-    assert_eq!(rows, vec![("p1".into(), "u2".into()), ("p3".into(), "u2".into())]);
+    assert_eq!(
+        rows,
+        vec![("p1".into(), "u2".into()), ("p3".into(), "u2".into())]
+    );
 }
 
 #[test]
@@ -236,7 +243,11 @@ fn foreach_vs_set_label_cycles() {
     // Every row must be a cycle: x == back.
     assert!(t.n_rows() > 0);
     for r in 0..t.n_rows() {
-        assert_eq!(t.get(r, 0), t.get(r, 1), "foreach label must close the cycle");
+        assert_eq!(
+            t.get(r, 0),
+            t.get(r, 1),
+            "foreach label must close the cycle"
+        );
     }
 }
 
@@ -250,11 +261,11 @@ fn variant_steps_figure_9() {
     db.set_param("Product1", Value::str("p1"));
     // All reviews and offers of p1 (plus any other in-neighbors).
     let out = db
-        .execute_str(
-            "select * from graph ProductVtx(id = %Product1%) <--[]-- [] into subgraph res",
-        )
+        .execute_str("select * from graph ProductVtx(id = %Product1%) <--[]-- [] into subgraph res")
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!("expected subgraph") };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!("expected subgraph")
+    };
     let graph = db.graph().unwrap();
     let review = graph.vtype("ReviewVtx").unwrap();
     let offer = graph.vtype("OfferVtx").unwrap();
@@ -282,15 +293,22 @@ fn regex_path_over_subclass_chain() {
              into subgraph reach",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     let tv = graph.vtype("TypeVtx").unwrap();
     let vs = graph.vset(tv);
     let reached = sg.vertices_of(tv).unwrap();
-    let names: Vec<String> =
-        reached.iter().map(|i| vs.key_of(i as u32)[0].to_string()).collect();
+    let names: Vec<String> = reached
+        .iter()
+        .map(|i| vs.key_of(i as u32)[0].to_string())
+        .collect();
     assert!(names.contains(&"t1".to_string()), "t1 reachable: {names:?}");
-    assert!(names.contains(&"t2".to_string()), "start participates: {names:?}");
+    assert!(
+        names.contains(&"t2".to_string()),
+        "start participates: {names:?}"
+    );
 }
 
 #[test]
@@ -302,7 +320,9 @@ fn regex_star_includes_zero_repetitions() {
              into subgraph reach",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     let tv = graph.vtype("TypeVtx").unwrap();
     // t1 has no outgoing subclass edges, but zero repetitions match t1
@@ -326,10 +346,22 @@ fn endpoint_capture_and_seeding_figure_11_12() {
         )
         .unwrap();
     // First statement: reviews r1,r2 + persons u1,u2; no product vertices.
-    let StmtOutput::Subgraph(sg) = &outs[0] else { panic!() };
+    let StmtOutput::Subgraph(sg) = &outs[0] else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
-    assert_eq!(sg.vertices_of(graph.vtype("ReviewVtx").unwrap()).unwrap().count(), 2);
-    assert_eq!(sg.vertices_of(graph.vtype("PersonVtx").unwrap()).unwrap().count(), 2);
+    assert_eq!(
+        sg.vertices_of(graph.vtype("ReviewVtx").unwrap())
+            .unwrap()
+            .count(),
+        2
+    );
+    assert_eq!(
+        sg.vertices_of(graph.vtype("PersonVtx").unwrap())
+            .unwrap()
+            .count(),
+        2
+    );
     assert!(sg.vertices_of(graph.vtype("ProductVtx").unwrap()).is_none());
     assert_eq!(sg.n_edges(), 0, "endpoint selection captures vertices only");
     // Second statement: seeded by resQ1's persons; u2 reviews twice.
@@ -349,7 +381,9 @@ fn star_subgraph_captures_vertices_and_edges() {
              into subgraph g",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     assert_eq!(sg.n_vertices(), 2);
     assert_eq!(sg.n_edges(), 1);
@@ -370,7 +404,9 @@ fn or_composition_unions_subgraphs() {
              into subgraph g",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     let pv = graph.vtype("ProductVtx").unwrap();
     assert_eq!(sg.vertices_of(pv).unwrap().count(), 2);
@@ -406,19 +442,30 @@ fn structural_self_loop_query() {
     let out = db
         .execute_str("select * from graph foreach X: [] --[]--> X into subgraph g")
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     let tv = graph.vtype("TypeVtx").unwrap();
     let got = sg.vertices_of(tv).map(|s| s.count()).unwrap_or(0);
-    assert_eq!(got, 0, "foreach X requires the *same instance*, i.e. a self-loop");
+    assert_eq!(
+        got, 0,
+        "foreach X requires the *same instance*, i.e. a self-loop"
+    );
     // With a set label, t2 → t1 matches (same type, different instance).
     let out = db
         .execute_str("select * from graph def X: [] --[]--> X into subgraph g2")
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     let tv = graph.vtype("TypeVtx").unwrap();
-    assert_eq!(sg.vertices_of(tv).map(|s| s.count()), Some(2), "t2 --subclass--> t1");
+    assert_eq!(
+        sg.vertices_of(tv).map(|s| s.count()),
+        Some(2),
+        "t2 --subclass--> t1"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -440,7 +487,10 @@ fn edge_label_attribute_projection() {
         .map(|r| (t.get(r, 0).to_string(), t.get(r, 1).to_string()))
         .collect();
     rows.sort();
-    assert_eq!(rows, vec![("p1".into(), "f1".into()), ("p1".into(), "f2".into())]);
+    assert_eq!(
+        rows,
+        vec![("p1".into(), "f1".into()), ("p1".into(), "f2".into())]
+    );
 }
 
 #[test]
@@ -452,12 +502,18 @@ fn edge_label_subgraph_capture() {
              --def f: feature--> FeatureVtx() into subgraph g",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let graph = db.graph().unwrap();
     let pv = graph.vtype("ProductVtx").unwrap();
     let fe = graph.etype("feature").unwrap();
     assert_eq!(sg.vertices_of(pv).map(|s| s.count()), Some(1));
-    assert_eq!(sg.edges_of(fe).map(|s| s.count()), Some(2), "p3 has f2 and f3");
+    assert_eq!(
+        sg.edges_of(fe).map(|s| s.count()),
+        Some(2),
+        "p3 has f2 and f3"
+    );
     assert!(sg.vertices_of(graph.vtype("FeatureVtx").unwrap()).is_none());
 }
 
@@ -466,9 +522,7 @@ fn edge_attr_on_attributeless_edge_rejected() {
     let mut db = mini_berlin();
     // `producer` has no associated table → no attributes.
     let err = db
-        .execute_str(
-            "select e.whatever from graph ProductVtx() --def e: producer--> ProducerVtx()",
-        )
+        .execute_str("select e.whatever from graph ProductVtx() --def e: producer--> ProducerVtx()")
         .unwrap_err();
     assert!(err.to_string().contains("no attributes"), "{err}");
 }
@@ -498,10 +552,8 @@ fn relational_pipeline_over_base_table() {
 fn relational_where_distinct() {
     let mut db = mini_berlin();
     let t = table_of(
-        db.execute_str(
-            "select distinct producer from table Products where propertyNumeric_1 < 35",
-        )
-        .unwrap(),
+        db.execute_str("select distinct producer from table Products where propertyNumeric_1 < 35")
+            .unwrap(),
     );
     assert_eq!(t.n_rows(), 2, "m1 (twice→once) and m2");
 }
@@ -528,7 +580,9 @@ fn static_type_errors_are_caught_before_execution() {
     let mut db = mini_berlin();
     // Comparing a varchar attribute with an integer (paper §III-A).
     let err = db
-        .execute_script("select ProductVtx.id from graph ProductVtx(id = 5) --producer--> ProducerVtx()")
+        .execute_script(
+            "select ProductVtx.id from graph ProductVtx(id = 5) --producer--> ProducerVtx()",
+        )
         .unwrap_err();
     assert!(err.is_static(), "{err}");
     // Unknown edge type.
@@ -617,7 +671,11 @@ fn parallel_script_matches_sequential() {
     let seq = db1.execute_script(script).unwrap();
     let mut db2 = mini_berlin();
     let report = graql_core::run_script(&mut db2, script).unwrap();
-    assert_eq!(report.windows.len(), 2, "three independent selects + one dependent");
+    assert_eq!(
+        report.windows.len(),
+        2,
+        "three independent selects + one dependent"
+    );
     assert_eq!(report.windows[0], vec![0, 1, 2]);
     let t_seq = table_of(seq.into_iter().last().unwrap());
     let t_par = table_of(report.outputs.into_iter().last().unwrap());
@@ -638,19 +696,29 @@ fn pipelined_q2_matches_materialized_q2() {
                   group by id order by groupCount desc, id asc";
     let mut db1 = mini_berlin();
     let normal = db1.execute_script(script).unwrap();
-    let StmtOutput::Table(expected) = normal.into_iter().last().unwrap() else { panic!() };
+    let StmtOutput::Table(expected) = normal.into_iter().last().unwrap() else {
+        panic!()
+    };
 
     let mut db2 = mini_berlin();
     let fused = graql_core::run_script_pipelined(&mut db2, script).unwrap();
-    assert!(matches!(fused[0], StmtOutput::Pipelined), "producer was fused");
-    let StmtOutput::Table(got) = &fused[1] else { panic!() };
+    assert!(
+        matches!(fused[0], StmtOutput::Pipelined),
+        "producer was fused"
+    );
+    let StmtOutput::Table(got) = &fused[1] else {
+        panic!()
+    };
     assert_eq!(got.n_rows(), expected.n_rows());
     for r in 0..expected.n_rows() {
         assert_eq!(got.row(r), expected.row(r), "row {r}");
     }
     // The intermediate table is never registered.
     assert!(db2.result_table("T1").is_none(), "T1 must not materialize");
-    assert!(db1.result_table("T1").is_some(), "…but the normal path registers it");
+    assert!(
+        db1.result_table("T1").is_some(),
+        "…but the normal path registers it"
+    );
 }
 
 #[test]
@@ -664,7 +732,9 @@ fn pipelined_runner_handles_non_fusable_scripts() {
     let b = graql_core::run_script_pipelined(&mut db2, script).unwrap();
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
-        let (StmtOutput::Table(tx), StmtOutput::Table(ty)) = (x, y) else { panic!() };
+        let (StmtOutput::Table(tx), StmtOutput::Table(ty)) = (x, y) else {
+            panic!()
+        };
         assert_eq!(tx.n_rows(), ty.n_rows());
     }
 }
@@ -679,10 +749,14 @@ fn pipelined_fusion_covers_all_aggregates() {
                   from table FT group by pid order by pid asc";
     let mut db1 = mini_berlin();
     let normal = db1.execute_script(script).unwrap();
-    let StmtOutput::Table(expected) = normal.into_iter().last().unwrap() else { panic!() };
+    let StmtOutput::Table(expected) = normal.into_iter().last().unwrap() else {
+        panic!()
+    };
     let mut db2 = mini_berlin();
     let fused = graql_core::run_script_pipelined(&mut db2, script).unwrap();
-    let StmtOutput::Table(got) = &fused[1] else { panic!() };
+    let StmtOutput::Table(got) = &fused[1] else {
+        panic!()
+    };
     assert_eq!(got.n_rows(), expected.n_rows());
     for r in 0..expected.n_rows() {
         assert_eq!(got.row(r), expected.row(r), "row {r}");
@@ -706,8 +780,14 @@ fn pipelined_runner_skips_fusion_when_intermediate_is_read_later() {
         "fusion must be skipped when T1 has later readers"
     );
     assert!(db.result_table("T1").is_some());
-    let StmtOutput::Table(t) = &outs[2] else { panic!() };
-    assert_eq!(t.get(0, 0), Value::Int(3), "3 binding rows for p1's shared features");
+    let StmtOutput::Table(t) = &outs[2] else {
+        panic!()
+    };
+    assert_eq!(
+        t.get(0, 0),
+        Value::Int(3),
+        "3 binding rows for p1's shared features"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -736,7 +816,8 @@ fn ir_round_trips_and_replays() {
 #[test]
 fn ingest_regenerates_views() {
     let mut db = mini_berlin();
-    let q = "select ProductVtx.id from graph ProductVtx() --producer--> ProducerVtx(country = 'FR')";
+    let q =
+        "select ProductVtx.id from graph ProductVtx() --producer--> ProducerVtx(country = 'FR')";
     let t = table_of(db.execute_str(q).unwrap());
     assert_eq!(t.n_rows(), 1);
     // New FR product arrives.

@@ -46,8 +46,7 @@ fn berlin_database_survives_save_load() {
     ] {
         let a = db.execute_script(q).unwrap();
         let b = back.execute_script(q).unwrap();
-        let (StmtOutput::Table(ta), StmtOutput::Table(tb)) =
-            (a.last().unwrap(), b.last().unwrap())
+        let (StmtOutput::Table(ta), StmtOutput::Table(tb)) = (a.last().unwrap(), b.last().unwrap())
         else {
             panic!()
         };

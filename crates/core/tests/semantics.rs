@@ -24,10 +24,14 @@ fn chain(n: usize) -> Database {
 
 fn reached(db: &mut Database, query: &str) -> Vec<usize> {
     let out = db.execute_str(query).unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!("expected subgraph") };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!("expected subgraph")
+    };
     let g = db.graph().unwrap();
     let vt = g.vtype("Node").unwrap();
-    sg.vertices_of(vt).map(|s| s.iter().collect()).unwrap_or_default()
+    sg.vertices_of(vt)
+        .map(|s| s.iter().collect())
+        .unwrap_or_default()
 }
 
 #[test]
@@ -92,7 +96,11 @@ fn backward_culling_through_groups() {
         &mut db,
         "select * from graph Node() { --next--> Node() }{2} --> Node(id = 4) into subgraph r",
     );
-    assert_eq!(got, vec![2, 3, 4], "only node 2 can reach node 4 in exactly 2 hops");
+    assert_eq!(
+        got,
+        vec![2, 3, 4],
+        "only node 2 can reach node 4 in exactly 2 hops"
+    );
 }
 
 #[test]
@@ -127,7 +135,9 @@ fn long_linear_chains_enumerate() {
     let q = "select A.id as a, F.id as f from graph \
              def A: Node() --next--> Node() --next--> Node() --next--> Node() \
              --next--> Node() --next--> def F: Node()";
-    let StmtOutput::Table(t) = db.execute_str(q).unwrap() else { panic!() };
+    let StmtOutput::Table(t) = db.execute_str(q).unwrap() else {
+        panic!()
+    };
     assert_eq!(t.n_rows(), 25, "30-chain has 25 paths of length 5");
     for r in 0..t.n_rows() {
         let a = t.get(r, 0).as_int().unwrap();
@@ -157,7 +167,8 @@ fn composite_vertex_keys_work_end_to_end() {
          create vertex Event(host, day) from table Events",
     )
     .unwrap();
-    db.ingest_str("Events", "h1,1,5\nh1,2,3\nh2,1,9\nh1,1,7\n").unwrap();
+    db.ingest_str("Events", "h1,1,5\nh1,2,3\nh2,1,9\nh1,1,7\n")
+        .unwrap();
     let g = db.graph().unwrap();
     let ev = g.vtype("Event").unwrap();
     // (h1,1) appears twice → many-to-one, 3 distinct instances.
@@ -189,7 +200,11 @@ fn nulls_never_join_in_edge_construction() {
     // Root row has an empty (null) parent: must produce no self-ish edge.
     db.ingest_str("P", "a,\nb,a\nc,b\n").unwrap();
     let g = db.graph().unwrap();
-    assert_eq!(g.eset(g.etype("up").unwrap()).len(), 2, "null parent joins nothing");
+    assert_eq!(
+        g.eset(g.etype("up").unwrap()).len(),
+        2,
+        "null parent joins nothing"
+    );
 }
 
 #[test]
@@ -212,10 +227,8 @@ fn empty_candidate_steps_yield_empty_results_not_errors() {
 #[test]
 fn seed_step_with_conditions_applies_both() {
     let mut db = chain(8);
-    db.execute_str(
-        "select * from graph Node(id < 4) --next--> Node() into subgraph firstHalf",
-    )
-    .unwrap();
+    db.execute_str("select * from graph Node(id < 4) --next--> Node() into subgraph firstHalf")
+        .unwrap();
     // Seeded + extra condition: seed ∩ (id >= 2).
     let StmtOutput::Table(t) = db
         .execute_str("select S.id from graph firstHalf.Node(id >= 2) --next--> def S: Node()")
@@ -225,7 +238,9 @@ fn seed_step_with_conditions_applies_both() {
     };
     // firstHalf contains nodes 0..=4 (sources 0..4 + their targets 1..=4);
     // seeded sources with id>=2: {2,3,4} → targets {3,4,5}.
-    let mut got: Vec<i64> = (0..t.n_rows()).map(|r| t.get(r, 0).as_int().unwrap()).collect();
+    let mut got: Vec<i64> = (0..t.n_rows())
+        .map(|r| t.get(r, 0).as_int().unwrap())
+        .collect();
     got.sort();
     assert_eq!(got, vec![3, 4, 5]);
 }
@@ -251,12 +266,20 @@ fn regex_oscillating_frontier_keeps_all_valid_counts() {
     db.ingest_str("Nodes", "0,a\n1,b\n").unwrap();
     db.ingest_str("Links", "0,1\n1,0\n").unwrap();
     // {3} hops from node 0 lands on node 1; {4} lands back on node 0.
-    for (quant, target, expect) in [("{3}", 1, true), ("{3}", 0, false), ("{4}", 0, true), ("{3,4}", 0, true), ("{3,4}", 1, true)] {
+    for (quant, target, expect) in [
+        ("{3}", 1, true),
+        ("{3}", 0, false),
+        ("{4}", 0, true),
+        ("{3,4}", 0, true),
+        ("{3,4}", 1, true),
+    ] {
         let q = format!(
             "select * from graph Node(id = 0) {{ --next--> Node() }}{quant} --> Node(id = {target}) into subgraph r"
         );
         let out = db.execute_str(&q).unwrap();
-        let StmtOutput::Subgraph(sg) = out else { panic!() };
+        let StmtOutput::Subgraph(sg) = out else {
+            panic!()
+        };
         let g = db.graph().unwrap();
         let reached = sg
             .vertices_of(g.vtype("Node").unwrap())
@@ -272,16 +295,18 @@ fn regex_oscillating_frontier_keeps_all_valid_counts() {
 #[test]
 fn regex_backward_cull_respects_hop_conditions() {
     let mut db = chain(7); // tags: id % 3 → node 3 is t0
-    // Two repetitions landing exactly on node 4, but every landing must be
-    // non-t0. Paths: 2→3→4 needs node 3 (t0, blocked); so NO entry works
-    // via position 1 = node 3. Entry 2 must therefore be excluded.
+                           // Two repetitions landing exactly on node 4, but every landing must be
+                           // non-t0. Paths: 2→3→4 needs node 3 (t0, blocked); so NO entry works
+                           // via position 1 = node 3. Entry 2 must therefore be excluded.
     let out = db
         .execute_str(
             "select * from graph Node() { --next--> Node(tag != 't0') }{2} --> Node(id = 4) \
              into subgraph r",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let g = db.graph().unwrap();
     let reached: Vec<usize> = sg
         .vertices_of(g.vtype("Node").unwrap())
@@ -289,7 +314,10 @@ fn regex_backward_cull_respects_hop_conditions() {
         .unwrap_or_default();
     // The only 2-hop path to 4 is 2→3→4, which crosses t0 node 3: no match
     // at all.
-    assert!(reached.is_empty(), "blocked intermediate must cull the entry: {reached:?}");
+    assert!(
+        reached.is_empty(),
+        "blocked intermediate must cull the entry: {reached:?}"
+    );
     // Sanity: targeting node 5 (path 3→4→5 blocked at entry 3? entry 3 is
     // t0 but ENTRY is unconditioned; landings 4 and 5 are fine) matches.
     let out = db
@@ -298,13 +326,19 @@ fn regex_backward_cull_respects_hop_conditions() {
              into subgraph r2",
         )
         .unwrap();
-    let StmtOutput::Subgraph(sg) = out else { panic!() };
+    let StmtOutput::Subgraph(sg) = out else {
+        panic!()
+    };
     let g = db.graph().unwrap();
     let reached: Vec<usize> = sg
         .vertices_of(g.vtype("Node").unwrap())
         .map(|s| s.iter().collect())
         .unwrap_or_default();
-    assert_eq!(reached, vec![3, 4, 5], "entry is unconditioned; landings carry conditions");
+    assert_eq!(
+        reached,
+        vec![3, 4, 5],
+        "entry is unconditioned; landings carry conditions"
+    );
 }
 
 /// A result subgraph captured before an ingest is stale afterwards:

@@ -39,7 +39,11 @@ impl Csr {
             edge_ids[pos] = e as u32;
             cursor[s as usize] += 1;
         }
-        Csr { offsets, targets, edge_ids }
+        Csr {
+            offsets,
+            targets,
+            edge_ids,
+        }
     }
 
     /// Number of source slots.
@@ -68,7 +72,10 @@ impl Csr {
 
     #[inline]
     fn range(&self, v: u32) -> (usize, usize) {
-        (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize)
+        (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        )
     }
 
     /// Out-degree of `v`.

@@ -44,7 +44,15 @@ impl EdgeSet {
                 tgt.push(t);
             }
         }
-        EdgeSet { name: name.into(), src_type, tgt_type, src, tgt, assoc_table: None, assoc_rows: Vec::new() }
+        EdgeSet {
+            name: name.into(),
+            src_type,
+            tgt_type,
+            src,
+            tgt,
+            assoc_table: None,
+            assoc_rows: Vec::new(),
+        }
     }
 
     /// Builds an edge set where each element carries an attribute row of
@@ -106,7 +114,12 @@ mod tests {
 
     #[test]
     fn from_pairs_deduplicates() {
-        let e = EdgeSet::from_pairs("export", VTypeId(0), VTypeId(1), vec![(0, 1), (0, 1), (2, 3)]);
+        let e = EdgeSet::from_pairs(
+            "export",
+            VTypeId(0),
+            VTypeId(1),
+            vec![(0, 1), (0, 1), (2, 3)],
+        );
         assert_eq!(e.len(), 2);
         assert_eq!(e.endpoints(0), (0, 1));
         assert_eq!(e.endpoints(1), (2, 3));
@@ -122,7 +135,11 @@ mod tests {
             "ProductTypes",
             vec![(0, 1, 10), (0, 1, 11)],
         );
-        assert_eq!(e.len(), 2, "multigraph: same endpoints, distinct assoc rows");
+        assert_eq!(
+            e.len(),
+            2,
+            "multigraph: same endpoints, distinct assoc rows"
+        );
         assert_eq!(e.assoc_row(1).unwrap(), 11);
     }
 }

@@ -36,7 +36,10 @@ impl Graph {
     /// Registers a vertex type; names must be unique.
     pub fn add_vertex_type(&mut self, vset: VertexSet) -> Result<VTypeId> {
         if self.vtypes_by_name.contains_key(&vset.name) {
-            return Err(GraqlError::name(format!("vertex type {:?} already exists", vset.name)));
+            return Err(GraqlError::name(format!(
+                "vertex type '{}' already exists",
+                vset.name
+            )));
         }
         let id = VTypeId(self.vsets.len() as u32);
         self.vtypes_by_name.insert(vset.name.clone(), id);
@@ -47,7 +50,10 @@ impl Graph {
     /// Registers an edge type and builds its forward + reverse indexes.
     pub fn add_edge_type(&mut self, eset: EdgeSet) -> Result<ETypeId> {
         if self.etypes_by_name.contains_key(&eset.name) {
-            return Err(GraqlError::name(format!("edge type {:?} already exists", eset.name)));
+            return Err(GraqlError::name(format!(
+                "edge type '{}' already exists",
+                eset.name
+            )));
         }
         let n_src = self.vset(eset.src_type).len();
         let n_tgt = self.vset(eset.tgt_type).len();
@@ -99,12 +105,12 @@ impl Graph {
 
     pub fn vtype_or_err(&self, name: &str) -> Result<VTypeId> {
         self.vtype(name)
-            .ok_or_else(|| GraqlError::name(format!("unknown vertex type {name:?}")))
+            .ok_or_else(|| GraqlError::name(format!("unknown vertex type '{name}'")))
     }
 
     pub fn etype_or_err(&self, name: &str) -> Result<ETypeId> {
         self.etype(name)
-            .ok_or_else(|| GraqlError::name(format!("unknown edge type {name:?}")))
+            .ok_or_else(|| GraqlError::name(format!("unknown edge type '{name}'")))
     }
 
     pub fn vtype_ids(&self) -> impl Iterator<Item = VTypeId> {
@@ -128,12 +134,16 @@ impl Graph {
 
     /// All edge types whose source is `src` (variant expansion forward).
     pub fn edge_types_from(&self, src: VTypeId) -> Vec<ETypeId> {
-        self.etype_ids().filter(|&e| self.eset(e).src_type == src).collect()
+        self.etype_ids()
+            .filter(|&e| self.eset(e).src_type == src)
+            .collect()
     }
 
     /// All edge types whose target is `tgt` (variant expansion backward).
     pub fn edge_types_into(&self, tgt: VTypeId) -> Vec<ETypeId> {
-        self.etype_ids().filter(|&e| self.eset(e).tgt_type == tgt).collect()
+        self.etype_ids()
+            .filter(|&e| self.eset(e).tgt_type == tgt)
+            .collect()
     }
 }
 
@@ -158,9 +168,17 @@ mod tests {
         let b = g
             .add_vertex_type(VertexSet::build("B", "tb", &tb, vec![0], None).unwrap())
             .unwrap();
-        g.add_edge_type(EdgeSet::from_pairs("ab", a, b, vec![(0, 0), (1, 1), (2, 0)])).unwrap();
-        g.add_edge_type(EdgeSet::from_pairs("ab2", a, b, vec![(0, 1)])).unwrap();
-        g.add_edge_type(EdgeSet::from_pairs("aa", a, a, vec![(0, 1)])).unwrap();
+        g.add_edge_type(EdgeSet::from_pairs(
+            "ab",
+            a,
+            b,
+            vec![(0, 0), (1, 1), (2, 0)],
+        ))
+        .unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("ab2", a, b, vec![(0, 1)]))
+            .unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("aa", a, a, vec![(0, 1)]))
+            .unwrap();
         g
     }
 

@@ -42,11 +42,11 @@
 //! ```
 
 pub mod csr;
+pub mod edge_set;
 pub mod graph;
 pub mod stats;
 pub mod subgraph;
 pub mod vertex_set;
-pub mod edge_set;
 
 pub use csr::{Csr, EdgeIndex};
 pub use edge_set::EdgeSet;

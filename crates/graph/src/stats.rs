@@ -67,7 +67,10 @@ impl GraphStats {
     pub fn compute(g: &Graph) -> GraphStats {
         let vertices = g
             .vtype_ids()
-            .map(|vt| VertexTypeStats { vtype: vt, count: g.vset(vt).len() })
+            .map(|vt| VertexTypeStats {
+                vtype: vt,
+                count: g.vset(vt).len(),
+            })
             .collect();
         let etypes: Vec<ETypeId> = g.etype_ids().collect();
         let edges = etypes
@@ -80,16 +83,20 @@ impl GraphStats {
                 EdgeTypeStats {
                     etype: et,
                     count: es.len(),
-                    mean_out_degree: if n_src == 0 { 0.0 } else { es.len() as f64 / n_src as f64 },
-                    mean_in_degree: if n_tgt == 0 { 0.0 } else { es.len() as f64 / n_tgt as f64 },
+                    mean_out_degree: if n_src == 0 {
+                        0.0
+                    } else {
+                        es.len() as f64 / n_src as f64
+                    },
+                    mean_in_degree: if n_tgt == 0 {
+                        0.0
+                    } else {
+                        es.len() as f64 / n_tgt as f64
+                    },
                     max_out_degree: idx.fwd.max_degree(),
                     max_in_degree: idx.rev.max_degree(),
-                    out_degree_histogram: histogram(
-                        (0..n_src as u32).map(|v| idx.fwd.degree(v)),
-                    ),
-                    in_degree_histogram: histogram(
-                        (0..n_tgt as u32).map(|v| idx.rev.degree(v)),
-                    ),
+                    out_degree_histogram: histogram((0..n_src as u32).map(|v| idx.fwd.degree(v))),
+                    in_degree_histogram: histogram((0..n_tgt as u32).map(|v| idx.rev.degree(v))),
                 }
             })
             .collect();
@@ -118,10 +125,17 @@ mod tests {
         let mut g = Graph::new();
         let schema = TableSchema::of(&[("id", DataType::Integer)]);
         let t = Table::from_rows(schema, (0..4i64).map(|i| vec![Value::Int(i)])).unwrap();
-        let a = g.add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap()).unwrap();
-        // 0 has out-degree 3; 1 has in-degree 2.
-        g.add_edge_type(EdgeSet::from_pairs("e", a, a, vec![(0, 1), (0, 2), (0, 3), (2, 1)]))
+        let a = g
+            .add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap())
             .unwrap();
+        // 0 has out-degree 3; 1 has in-degree 2.
+        g.add_edge_type(EdgeSet::from_pairs(
+            "e",
+            a,
+            a,
+            vec![(0, 1), (0, 2), (0, 3), (2, 1)],
+        ))
+        .unwrap();
         let stats = GraphStats::compute(&g);
         assert_eq!(stats.vertex(a).count, 4);
         let es = stats.edge(g.etype("e").unwrap());

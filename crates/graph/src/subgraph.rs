@@ -79,11 +79,17 @@ impl Subgraph {
 
     /// Vertex types present (with at least one instance selected).
     pub fn vertex_types(&self) -> impl Iterator<Item = VTypeId> + '_ {
-        self.vertices.iter().filter(|(_, s)| !s.none()).map(|(&t, _)| t)
+        self.vertices
+            .iter()
+            .filter(|(_, s)| !s.none())
+            .map(|(&t, _)| t)
     }
 
     pub fn edge_types(&self) -> impl Iterator<Item = ETypeId> + '_ {
-        self.edges.iter().filter(|(_, s)| !s.none()).map(|(&t, _)| t)
+        self.edges
+            .iter()
+            .filter(|(_, s)| !s.none())
+            .map(|(&t, _)| t)
     }
 
     /// Total selected vertex count.
@@ -102,11 +108,15 @@ impl Subgraph {
 
     /// True if vertex `idx` of type `vt` is in the subgraph.
     pub fn contains_vertex(&self, vt: VTypeId, idx: u32) -> bool {
-        self.vertices.get(&vt).is_some_and(|s| s.contains(idx as usize))
+        self.vertices
+            .get(&vt)
+            .is_some_and(|s| s.contains(idx as usize))
     }
 
     pub fn contains_edge(&self, et: ETypeId, idx: u32) -> bool {
-        self.edges.get(&et).is_some_and(|s| s.contains(idx as usize))
+        self.edges
+            .get(&et)
+            .is_some_and(|s| s.contains(idx as usize))
     }
 
     /// Renders the subgraph in Graphviz DOT format: one node per selected
@@ -121,8 +131,7 @@ impl Subgraph {
         let mut emit_vertex = |out: &mut String, vt: VTypeId, idx: u32| {
             if emitted.insert((vt.0, idx)) {
                 let vs = g.vset(vt);
-                let key: Vec<String> =
-                    vs.key_of(idx).iter().map(ToString::to_string).collect();
+                let key: Vec<String> = vs.key_of(idx).iter().map(ToString::to_string).collect();
                 let _ = writeln!(
                     out,
                     "  {} [label=\"{}:{}\"];",
@@ -198,8 +207,11 @@ mod tests {
         let mut g = Graph::new();
         let schema = TableSchema::of(&[("id", DataType::Integer)]);
         let t = Table::from_rows(schema, (0..4i64).map(|i| vec![Value::Int(i)])).unwrap();
-        let a = g.add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap()).unwrap();
-        g.add_edge_type(EdgeSet::from_pairs("e", a, a, vec![(0, 1), (1, 2), (2, 3)])).unwrap();
+        let a = g
+            .add_vertex_type(VertexSet::build("A", "t", &t, vec![0], None).unwrap())
+            .unwrap();
+        g.add_edge_type(EdgeSet::from_pairs("e", a, a, vec![(0, 1), (1, 2), (2, 3)]))
+            .unwrap();
         g
     }
 
@@ -264,7 +276,10 @@ mod tests {
         assert!(dot.starts_with("digraph graql {"), "{dot}");
         assert!(dot.trim_end().ends_with('}'));
         assert!(dot.contains("label=\"A:0\""), "explicit vertex: {dot}");
-        assert!(dot.contains("label=\"A:1\""), "edge endpoint pulled in: {dot}");
+        assert!(
+            dot.contains("label=\"A:1\""),
+            "edge endpoint pulled in: {dot}"
+        );
         assert!(dot.contains("-> ") && dot.contains("label=\"e\""), "{dot}");
         // Each node emitted once even when shared by vertex+edge selection.
         assert_eq!(dot.matches("label=\"A:1\"").count(), 1);

@@ -73,7 +73,11 @@ impl VertexSet {
         // Rows with a NULL key column identify nothing (null equals
         // nothing under SQL semantics) and cannot be joined by Eq. 2, so
         // they contribute no vertex instance.
-        selected.retain(|&r| key_cols.iter().all(|&c| !table.column(c).is_null(r as usize)));
+        selected.retain(|&r| {
+            key_cols
+                .iter()
+                .all(|&c| !table.column(c).is_null(r as usize))
+        });
         let view = table.gather(&selected);
         let (reps, groups) = group_indices(&view, &key_cols);
         // Translate view-local row indices back to source-table rows.
@@ -85,7 +89,9 @@ impl VertexSet {
         };
         let one_to_one = groups.iter().all(|g| g.len() == 1);
         let mapping = if one_to_one {
-            Mapping::OneToOne { rows: reps.iter().map(|&r| to_src(r)).collect() }
+            Mapping::OneToOne {
+                rows: reps.iter().map(|&r| to_src(r)).collect(),
+            }
         } else {
             Mapping::ManyToOne {
                 groups: groups
@@ -98,7 +104,14 @@ impl VertexSet {
         for i in 0..keys.n_rows() {
             key_index.insert(keys.row(i), i as u32);
         }
-        Ok(VertexSet { name, table: table_name.into(), key_cols, keys, mapping, key_index })
+        Ok(VertexSet {
+            name,
+            table: table_name.into(),
+            key_cols,
+            keys,
+            mapping,
+            key_index,
+        })
     }
 
     /// Number of vertex instances.
@@ -147,8 +160,10 @@ mod tests {
     use graql_types::{CmpOp, DataType};
 
     fn producers() -> Table {
-        let schema =
-            TableSchema::of(&[("id", DataType::Varchar(8)), ("country", DataType::Varchar(4))]);
+        let schema = TableSchema::of(&[
+            ("id", DataType::Varchar(8)),
+            ("country", DataType::Varchar(4)),
+        ]);
         Table::from_rows(
             schema,
             vec![
@@ -180,7 +195,9 @@ mod tests {
         let v = VertexSet::build("ProducerCountry", "Producers", &t, vec![1], None).unwrap();
         assert_eq!(v.len(), 3);
         assert!(!v.mapping.is_one_to_one());
-        let Mapping::ManyToOne { groups } = &v.mapping else { panic!() };
+        let Mapping::ManyToOne { groups } = &v.mapping else {
+            panic!()
+        };
         assert_eq!(groups[0], vec![0, 3], "US group holds rows m1 and m4");
         assert_eq!(v.lookup(&[Value::str("US")]), Some(0));
         // Key attribute readable, non-key attribute rejected.
@@ -215,8 +232,10 @@ mod tests {
 
     #[test]
     fn null_keyed_rows_produce_no_vertices() {
-        let schema =
-            TableSchema::of(&[("id", DataType::Varchar(8)), ("country", DataType::Varchar(4))]);
+        let schema = TableSchema::of(&[
+            ("id", DataType::Varchar(8)),
+            ("country", DataType::Varchar(4)),
+        ]);
         let t = Table::from_rows(
             schema,
             vec![

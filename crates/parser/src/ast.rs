@@ -6,6 +6,7 @@
 //! and `into table` / `into subgraph` result capture (§II-C).
 
 use graql_types::CmpOp;
+pub use graql_types::Span;
 
 /// A full GraQL script: an ordered sequence of statements (§III, Ω).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -14,6 +15,10 @@ pub struct Script {
 }
 
 /// One GraQL statement.
+// AST enums are built once per parse and moved, never stored in bulk;
+// boxing the large variants would ripple `Box` through every consumer
+// for no measurable gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     CreateTable(CreateTable),
@@ -48,6 +53,7 @@ impl TypeName {
 pub struct CreateTable {
     pub name: String,
     pub columns: Vec<(String, TypeName)>,
+    pub span: Span,
 }
 
 /// `create vertex V(key, …) from table T [where cond]` (Eq. 1).
@@ -58,6 +64,7 @@ pub struct CreateVertex {
     pub key: Vec<String>,
     pub from_table: String,
     pub where_clause: Option<Expr>,
+    pub span: Span,
 }
 
 /// One endpoint in a `create edge … with vertices (…)` clause.
@@ -82,6 +89,7 @@ pub struct CreateEdge {
     /// several, edges are the distinct endpoint pairs of the join.
     pub from_tables: Vec<String>,
     pub where_clause: Option<Expr>,
+    pub span: Span,
 }
 
 /// `ingest table T path.csv`.
@@ -89,6 +97,7 @@ pub struct CreateEdge {
 pub struct Ingest {
     pub table: String,
     pub path: String,
+    pub span: Span,
 }
 
 // ---------------------------------------------------------------------------
@@ -101,7 +110,12 @@ pub enum Expr {
     And(Vec<Expr>),
     Or(Vec<Expr>),
     Not(Box<Expr>),
-    Cmp { op: CmpOp, lhs: Operand, rhs: Operand },
+    Cmp {
+        op: CmpOp,
+        lhs: Operand,
+        rhs: Operand,
+        span: Span,
+    },
 }
 
 /// A scalar operand of a comparison.
@@ -109,7 +123,10 @@ pub enum Expr {
 pub enum Operand {
     /// `name` (attribute of the current step / sole table) or
     /// `qualifier.name` (endpoint alias, table name, vertex type or label).
-    Attr { qualifier: Option<String>, name: String },
+    Attr {
+        qualifier: Option<String>,
+        name: String,
+    },
     Lit(Lit),
 }
 
@@ -140,6 +157,7 @@ pub enum LabelKind {
 pub struct LabelDef {
     pub kind: LabelKind,
     pub name: String,
+    pub span: Span,
 }
 
 /// Name position of a step: a concrete type / label name, or the `[ ]`
@@ -164,6 +182,7 @@ pub struct VertexStep {
     /// Filter condition; `()` parses as `None`. Variant steps must not
     /// carry conditions (checked in analysis, not in the grammar).
     pub cond: Option<Expr>,
+    pub span: Span,
 }
 
 /// Direction of an edge traversal in path syntax.
@@ -182,6 +201,7 @@ pub struct EdgeStep {
     pub name: StepName,
     pub cond: Option<Expr>,
     pub dir: Dir,
+    pub span: Span,
 }
 
 /// A path continuation following a vertex step.
@@ -192,7 +212,12 @@ pub enum Segment {
     /// `{ hop+ }quant [V]`: a path regular expression over variant steps
     /// (Fig. 10). The optional trailing vertex step unifies with the
     /// frontier after repetition (the `VertexB(conditionsB)` terminator).
-    Group { hops: Vec<(EdgeStep, VertexStep)>, quant: Quant, exit: Option<VertexStep> },
+    Group {
+        hops: Vec<(EdgeStep, VertexStep)>,
+        quant: Quant,
+        exit: Option<VertexStep>,
+        span: Span,
+    },
 }
 
 /// Regular-expression quantifier on a path group.
@@ -225,6 +250,10 @@ pub struct PathQuery {
 
 /// Multi-path composition (§II-B3): `and` requires a shared label, `or`
 /// unions results. `or` binds looser than `and`.
+// AST enums are built once per parse and moved, never stored in bulk;
+// boxing the large variants would ripple `Box` through every consumer
+// for no measurable gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PathComposition {
     Single(PathQuery),
@@ -283,6 +312,10 @@ pub enum SelectTargets {
 }
 
 /// What the select draws from.
+// AST enums are built once per parse and moved, never stored in bulk;
+// boxing the large variants would ripple `Box` through every consumer
+// for no measurable gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectSource {
     /// `from graph <path composition>`.
@@ -319,6 +352,32 @@ pub struct SelectStmt {
     pub group_by: Vec<ColRef>,
     pub order_by: Vec<OrderKey>,
     pub into: Option<IntoClause>,
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Source position of the statement (its leading keyword).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::CreateTable(s) => s.span,
+            Stmt::CreateVertex(s) => s.span,
+            Stmt::CreateEdge(s) => s.span,
+            Stmt::Ingest(s) => s.span,
+            Stmt::Select(s) => s.span,
+        }
+    }
+}
+
+impl Expr {
+    /// Source position of the leftmost comparison in this expression
+    /// (unknown for synthesized trees).
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::And(ps) | Expr::Or(ps) => ps.first().map(Expr::span).unwrap_or_default(),
+            Expr::Not(inner) => inner.span(),
+            Expr::Cmp { span, .. } => *span,
+        }
+    }
 }
 
 impl SelectStmt {

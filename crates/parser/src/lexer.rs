@@ -24,7 +24,14 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, tokens: Vec::new(), _src: src }
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _src: src,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -115,7 +122,9 @@ impl<'a> Lexer<'a> {
                             Some('%') => break,
                             Some(c) if c.is_ascii_alphanumeric() || c == '_' => s.push(c),
                             Some(c) => {
-                                return Err(self.err(format!("invalid character {c:?} in parameter")))
+                                return Err(
+                                    self.err(format!("invalid character {c:?} in parameter"))
+                                )
                             }
                         }
                     }
@@ -254,9 +263,15 @@ impl<'a> Lexer<'a> {
             }
         }
         let kind = if is_float {
-            TokenKind::Float(s.parse().map_err(|_| self.err(format!("bad float literal {s}")))?)
+            TokenKind::Float(
+                s.parse()
+                    .map_err(|_| self.err(format!("bad float literal {s}")))?,
+            )
         } else {
-            TokenKind::Int(s.parse().map_err(|_| self.err(format!("bad integer literal {s}")))?)
+            TokenKind::Int(
+                s.parse()
+                    .map_err(|_| self.err(format!("bad integer literal {s}")))?,
+            )
         };
         self.push(kind, line, col);
         Ok(())
@@ -320,15 +335,25 @@ mod tests {
 
     #[test]
     fn lt_is_not_swallowed_by_larrow() {
-        assert_eq!(kinds("a <- b"), vec![Ident("a".into()), Lt, Minus, Ident("b".into())]);
-        assert_eq!(kinds("a <-- b"), vec![Ident("a".into()), LArrow, Ident("b".into())]);
+        assert_eq!(
+            kinds("a <- b"),
+            vec![Ident("a".into()), Lt, Minus, Ident("b".into())]
+        );
+        assert_eq!(
+            kinds("a <-- b"),
+            vec![Ident("a".into()), LArrow, Ident("b".into())]
+        );
     }
 
     #[test]
     fn strings_and_params() {
         assert_eq!(
             kinds("'US' \"it's\" %Product1%"),
-            vec![Str("US".into()), Str("it's".into()), Param("Product1".into())]
+            vec![
+                Str("US".into()),
+                Str("it's".into()),
+                Param("Product1".into())
+            ]
         );
         // doubled-quote escape in single quotes
         assert_eq!(kinds("'a''b'"), vec![Str("a'b".into())]);
@@ -346,7 +371,23 @@ mod tests {
     fn punctuation_and_regex_tokens() {
         assert_eq!(
             kinds("( ) { }+ [ ] , . : ; * {3}"),
-            vec![LParen, RParen, LBrace, RBrace, Plus, LBracket, RBracket, Comma, Dot, Colon, Semi, Star, LBrace, Int(3), RBrace]
+            vec![
+                LParen,
+                RParen,
+                LBrace,
+                RBrace,
+                Plus,
+                LBracket,
+                RBracket,
+                Comma,
+                Dot,
+                Colon,
+                Semi,
+                Star,
+                LBrace,
+                Int(3),
+                RBrace
+            ]
         );
     }
 

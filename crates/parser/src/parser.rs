@@ -47,7 +47,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Self> {
-        Ok(Parser { tokens: lex(input)?, pos: 0 })
+        Ok(Parser {
+            tokens: lex(input)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -61,6 +64,20 @@ impl Parser {
     fn here(&self) -> (u32, u32) {
         let t = &self.tokens[self.pos];
         (t.line, t.col)
+    }
+
+    /// Span of the current token (length is the token's display width).
+    fn span_here(&self) -> Span {
+        let t = &self.tokens[self.pos];
+        let len = match &t.kind {
+            TokenKind::Ident(s) => s.len(),
+            TokenKind::Str(s) => s.len() + 2,
+            TokenKind::Param(p) => p.len() + 2,
+            TokenKind::Int(i) => i.to_string().len(),
+            TokenKind::Float(x) => x.to_string().len(),
+            _ => 1,
+        };
+        Span::with_len(t.line, t.col, len as u32)
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -159,13 +176,17 @@ impl Parser {
             return Ok(Stmt::Ingest(self.ingest()?));
         }
         if self.at_kw("select") {
+            let span = self.span_here();
             self.bump();
-            return Ok(Stmt::Select(self.select()?));
+            let mut sel = self.select()?;
+            sel.span = span;
+            return Ok(Stmt::Select(sel));
         }
         Err(self.err("expected a statement ('create', 'ingest' or 'select')"))
     }
 
     fn create_table(&mut self) -> Result<CreateTable> {
+        let span = self.span_here();
         let name = self.ident()?;
         self.expect(&TokenKind::LParen)?;
         let mut columns = Vec::new();
@@ -178,7 +199,11 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(CreateTable { name, columns })
+        Ok(CreateTable {
+            name,
+            columns,
+            span,
+        })
     }
 
     fn type_name(&mut self) -> Result<TypeName> {
@@ -204,6 +229,7 @@ impl Parser {
     }
 
     fn create_vertex(&mut self) -> Result<CreateVertex> {
+        let span = self.span_here();
         let name = self.ident()?;
         self.expect(&TokenKind::LParen)?;
         let mut key = vec![self.ident()?];
@@ -214,11 +240,22 @@ impl Parser {
         self.expect_kw("from")?;
         self.expect_kw("table")?;
         let from_table = self.ident()?;
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(CreateVertex { name, key, from_table, where_clause })
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(CreateVertex {
+            name,
+            key,
+            from_table,
+            where_clause,
+            span,
+        })
     }
 
     fn create_edge(&mut self) -> Result<CreateEdge> {
+        let span = self.span_here();
         let name = self.ident()?;
         self.expect_kw("with")?;
         self.expect_kw("vertices")?;
@@ -235,18 +272,34 @@ impl Parser {
                 from_tables.push(self.ident()?);
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(CreateEdge { name, source, target, from_tables, where_clause })
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(CreateEdge {
+            name,
+            source,
+            target,
+            from_tables,
+            where_clause,
+            span,
+        })
     }
 
     fn edge_endpoint(&mut self) -> Result<EdgeEndpoint> {
         let vertex_type = self.ident()?;
-        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(EdgeEndpoint { vertex_type, alias })
     }
 
     fn ingest(&mut self) -> Result<Ingest> {
         self.expect_kw("table")?;
+        let span = self.span_here();
         let table = self.ident()?;
         // Filename: quoted string, or bare dotted name (`products.csv`).
         let path = match self.peek().clone() {
@@ -264,7 +317,7 @@ impl Parser {
             }
             _ => return Err(self.err("expected a file name")),
         };
-        Ok(Ingest { table, path })
+        Ok(Ingest { table, path, span })
     }
 
     // -- select -------------------------------------------------------------
@@ -337,7 +390,17 @@ impl Parser {
                 break;
             }
         }
-        Ok(SelectStmt { distinct, top, targets, source, where_clause, group_by, order_by, into })
+        Ok(SelectStmt {
+            distinct,
+            top,
+            targets,
+            source,
+            where_clause,
+            group_by,
+            order_by,
+            into,
+            span: Span::default(),
+        })
     }
 
     fn select_targets(&mut self) -> Result<SelectTargets> {
@@ -357,7 +420,11 @@ impl Parser {
         } else {
             SelectExpr::Col(self.col_ref()?)
         };
-        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem { expr, alias })
     }
 
@@ -394,9 +461,15 @@ impl Parser {
         let first = self.ident()?;
         if self.eat(&TokenKind::Dot) {
             let name = self.ident()?;
-            Ok(ColRef { qualifier: Some(first), name })
+            Ok(ColRef {
+                qualifier: Some(first),
+                name,
+            })
         } else {
-            Ok(ColRef { qualifier: None, name: first })
+            Ok(ColRef {
+                qualifier: None,
+                name: first,
+            })
         }
     }
 
@@ -408,7 +481,11 @@ impl Parser {
         while self.eat_kw("or") {
             parts.push(self.path_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { PathComposition::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            PathComposition::Or(parts)
+        })
     }
 
     fn path_and(&mut self) -> Result<PathComposition> {
@@ -417,7 +494,11 @@ impl Parser {
             self.bump();
             parts.push(self.path_primary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { PathComposition::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            PathComposition::And(parts)
+        })
     }
 
     fn path_primary(&mut self) -> Result<PathComposition> {
@@ -465,6 +546,7 @@ impl Parser {
     }
 
     fn group_segment(&mut self) -> Result<Segment> {
+        let span = self.span_here();
         self.expect(&TokenKind::LBrace)?;
         let mut hops = Vec::new();
         loop {
@@ -493,8 +575,17 @@ impl Parser {
         }
         let quant = self.quantifier()?;
         // Optional exit vertex after `-->` (the VertexB terminator).
-        let exit = if self.eat(&TokenKind::Arrow) { Some(self.vertex_step()?) } else { None };
-        Ok(Segment::Group { hops, quant, exit })
+        let exit = if self.eat(&TokenKind::Arrow) {
+            Some(self.vertex_step()?)
+        } else {
+            None
+        };
+        Ok(Segment::Group {
+            hops,
+            quant,
+            exit,
+            span,
+        })
     }
 
     fn quantifier(&mut self) -> Result<Quant> {
@@ -530,6 +621,7 @@ impl Parser {
 
     /// Parses a vertex step: `[def X:|foreach x:] [seed.] (name|[ ]) [(cond)]`.
     fn vertex_step(&mut self) -> Result<VertexStep> {
+        let span = self.span_here();
         let label_def = self.try_label_def()?;
         // Seed prefix: ident '.' ident.
         let (seed, name) = match self.peek() {
@@ -549,12 +641,19 @@ impl Parser {
             _ => return Err(self.err("expected a vertex step")),
         };
         let cond = self.opt_step_condition()?;
-        Ok(VertexStep { label_def, seed, name, cond })
+        Ok(VertexStep {
+            label_def,
+            seed,
+            name,
+            cond,
+            span,
+        })
     }
 
     /// The inside of an edge step (between the arrow delimiters); direction
     /// is patched in by the caller.
     fn edge_inner(&mut self) -> Result<EdgeStep> {
+        let span = self.span_here();
         let label_def = self.try_label_def()?;
         let name = match self.peek() {
             TokenKind::LBracket => {
@@ -566,7 +665,13 @@ impl Parser {
             _ => return Err(self.err("expected an edge step")),
         };
         let cond = self.opt_step_condition()?;
-        Ok(EdgeStep { label_def, name, cond, dir: Dir::Out })
+        Ok(EdgeStep {
+            label_def,
+            name,
+            cond,
+            dir: Dir::Out,
+            span,
+        })
     }
 
     fn try_label_def(&mut self) -> Result<Option<LabelDef>> {
@@ -580,9 +685,10 @@ impl Parser {
         // Only a label definition if followed by `name :`.
         if matches!(self.peek_at(1), TokenKind::Ident(_)) && self.peek_at(2) == &TokenKind::Colon {
             self.bump();
+            let span = self.span_here();
             let name = self.ident()?;
             self.expect(&TokenKind::Colon)?;
-            Ok(Some(LabelDef { kind, name }))
+            Ok(Some(LabelDef { kind, name, span }))
         } else {
             Ok(None)
         }
@@ -608,7 +714,11 @@ impl Parser {
             self.bump();
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Expr::Or(parts)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr> {
@@ -617,7 +727,11 @@ impl Parser {
             self.bump();
             parts.push(self.not_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Expr::And(parts)
+        })
     }
 
     fn not_expr(&mut self) -> Result<Expr> {
@@ -635,6 +749,7 @@ impl Parser {
     }
 
     fn comparison(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         let lhs = self.operand()?;
         let op = match self.bump() {
             TokenKind::Eq => CmpOp::Eq,
@@ -649,7 +764,7 @@ impl Parser {
             }
         };
         let rhs = self.operand()?;
-        Ok(Expr::Cmp { op, lhs, rhs })
+        Ok(Expr::Cmp { op, lhs, rhs, span })
     }
 
     fn operand(&mut self) -> Result<Operand> {
@@ -688,12 +803,10 @@ impl Parser {
             {
                 self.bump();
                 if let TokenKind::Str(d) = self.bump() {
-                    let parsed: graql_types::Date = d
-                        .parse()
-                        .map_err(|e: GraqlError| {
-                            let (line, col) = self.here();
-                            GraqlError::parse(e.to_string(), line, col)
-                        })?;
+                    let parsed: graql_types::Date = d.parse().map_err(|e: GraqlError| {
+                        let (line, col) = self.here();
+                        GraqlError::parse(e.to_string(), line, col)
+                    })?;
                     Ok(Operand::Lit(Lit::Date(parsed)))
                 } else {
                     unreachable!("peeked a string literal")
@@ -701,7 +814,10 @@ impl Parser {
             }
             TokenKind::Ident(_) => {
                 let c = self.col_ref()?;
-                Ok(Operand::Attr { qualifier: c.qualifier, name: c.name })
+                Ok(Operand::Attr {
+                    qualifier: c.qualifier,
+                    name: c.name,
+                })
             }
             _ => Err(self.err("expected an operand (attribute, literal or %param%)")),
         }
@@ -718,7 +834,9 @@ mod tests {
             "create table Offers(id varchar(10), price float, deliveryDays integer, validFrom date)",
         )
         .unwrap();
-        let Stmt::CreateTable(t) = s else { panic!("wrong statement") };
+        let Stmt::CreateTable(t) = s else {
+            panic!("wrong statement")
+        };
         assert_eq!(t.name, "Offers");
         assert_eq!(t.columns.len(), 4);
         assert_eq!(t.columns[0], ("id".into(), TypeName::Varchar(10)));
@@ -746,10 +864,18 @@ mod tests {
         assert_eq!(e.source.alias.as_deref(), Some("A"));
         assert_eq!(e.target.vertex_type, "TypeVtx");
         assert!(e.from_tables.is_empty());
-        let Some(Expr::Cmp { op: CmpOp::Eq, lhs, .. }) = e.where_clause else { panic!() };
+        let Some(Expr::Cmp {
+            op: CmpOp::Eq, lhs, ..
+        }) = e.where_clause
+        else {
+            panic!()
+        };
         assert_eq!(
             lhs,
-            Operand::Attr { qualifier: Some("A".into()), name: "subclassOf".into() }
+            Operand::Attr {
+                qualifier: Some("A".into()),
+                name: "subclassOf".into()
+            }
         );
     }
 
@@ -767,11 +893,13 @@ mod tests {
 
     #[test]
     fn ingest_with_bare_and_quoted_paths() {
-        let Stmt::Ingest(i) = parse_statement("ingest table Products products.csv").unwrap()
-        else {
+        let Stmt::Ingest(i) = parse_statement("ingest table Products products.csv").unwrap() else {
             panic!()
         };
-        assert_eq!((i.table.as_str(), i.path.as_str()), ("Products", "products.csv"));
+        assert_eq!(
+            (i.table.as_str(), i.path.as_str()),
+            ("Products", "products.csv")
+        );
         let Stmt::Ingest(i) =
             parse_statement("ingest table Products '/data/products v2.csv'").unwrap()
         else {
@@ -791,13 +919,21 @@ mod tests {
         )
         .unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let SelectSource::Graph(PathComposition::Single(path)) = &sel.source else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(path)) = &sel.source else {
+            panic!()
+        };
         assert_eq!(path.segments.len(), 2);
-        let Segment::Hop { edge, vertex } = &path.segments[1] else { panic!() };
+        let Segment::Hop { edge, vertex } = &path.segments[1] else {
+            panic!()
+        };
         assert_eq!(edge.dir, Dir::In);
         assert_eq!(
             vertex.label_def,
-            Some(LabelDef { kind: LabelKind::Set, name: "y".into() })
+            Some(LabelDef {
+                kind: LabelKind::Set,
+                name: "y".into(),
+                span: Span::default()
+            })
         );
         assert_eq!(sel.into, Some(IntoClause::Table("T1".into())));
 
@@ -830,7 +966,9 @@ mod tests {
             panic!("expected and-composition, got {:?}", sel.source)
         };
         assert_eq!(parts.len(), 2);
-        let PathComposition::Single(branch) = &parts[1] else { panic!() };
+        let PathComposition::Single(branch) = &parts[1] else {
+            panic!()
+        };
         assert_eq!(branch.head.name, StepName::Named("y".into()));
     }
 
@@ -841,8 +979,12 @@ mod tests {
         )
         .unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
-        let Segment::Hop { edge, vertex } = &p.segments[0] else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else {
+            panic!()
+        };
+        let Segment::Hop { edge, vertex } = &p.segments[0] else {
+            panic!()
+        };
         assert_eq!(edge.name, StepName::Any);
         assert_eq!(vertex.name, StepName::Any);
         assert_eq!(sel.into, Some(IntoClause::Subgraph("res".into())));
@@ -856,9 +998,16 @@ mod tests {
         )
         .unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else {
+            panic!()
+        };
         assert_eq!(p.segments.len(), 1);
-        let Segment::Group { hops, quant, exit } = &p.segments[0] else { panic!() };
+        let Segment::Group {
+            hops, quant, exit, ..
+        } = &p.segments[0]
+        else {
+            panic!()
+        };
         assert_eq!(hops.len(), 1);
         assert_eq!(*quant, Quant::Plus);
         assert!(exit.is_some());
@@ -872,9 +1021,15 @@ mod tests {
             ("{ --[]--> [] }{2,5}", Quant::Range(2, 5)),
         ] {
             let q = format!("select * from graph A() {src}");
-            let Stmt::Select(sel) = parse_statement(&q).unwrap() else { panic!() };
-            let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
-            let Segment::Group { quant, .. } = &p.segments[0] else { panic!() };
+            let Stmt::Select(sel) = parse_statement(&q).unwrap() else {
+                panic!()
+            };
+            let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else {
+                panic!()
+            };
+            let Segment::Group { quant, .. } = &p.segments[0] else {
+                panic!()
+            };
             assert_eq!(*quant, expected, "{src}");
         }
     }
@@ -884,10 +1039,14 @@ mod tests {
         // def X : [] --[]--> X
         let s = parse_statement("select * from graph def X: [] --[]--> X").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else {
+            panic!()
+        };
         assert_eq!(p.head.label_def.as_ref().unwrap().name, "X");
         assert_eq!(p.head.name, StepName::Any);
-        let Segment::Hop { vertex, .. } = &p.segments[0] else { panic!() };
+        let Segment::Hop { vertex, .. } = &p.segments[0] else {
+            panic!()
+        };
         assert_eq!(vertex.name, StepName::Named("X".into()));
     }
 
@@ -895,7 +1054,9 @@ mod tests {
     fn seeded_query_figure_12() {
         let s = parse_statement("select * from graph resQ1.Vn(c = 1) --e--> W").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else {
+            panic!()
+        };
         assert_eq!(p.head.seed.as_deref(), Some("resQ1"));
         assert_eq!(p.head.name, StepName::Named("Vn".into()));
     }
@@ -904,7 +1065,9 @@ mod tests {
     fn empty_parens_mean_no_filter() {
         let s = parse_statement("select * from graph V() --e--> W()").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else { panic!() };
+        let SelectSource::Graph(PathComposition::Single(p)) = &sel.source else {
+            panic!()
+        };
         assert!(p.head.cond.is_none());
     }
 
@@ -921,10 +1084,20 @@ mod tests {
     fn date_literals_and_column_named_date() {
         let e = parse_expr("validFrom <= date '2008-06-01' and date = 7").unwrap();
         let Expr::And(parts) = e else { panic!() };
-        let Expr::Cmp { rhs, .. } = &parts[0] else { panic!() };
+        let Expr::Cmp { rhs, .. } = &parts[0] else {
+            panic!()
+        };
         assert!(matches!(rhs, Operand::Lit(Lit::Date(_))));
-        let Expr::Cmp { lhs, .. } = &parts[1] else { panic!() };
-        assert_eq!(lhs, &Operand::Attr { qualifier: None, name: "date".into() });
+        let Expr::Cmp { lhs, .. } = &parts[1] else {
+            panic!()
+        };
+        assert_eq!(
+            lhs,
+            &Operand::Attr {
+                qualifier: None,
+                name: "date".into()
+            }
+        );
     }
 
     #[test]

@@ -58,7 +58,13 @@ impl fmt::Display for CreateTable {
 
 impl fmt::Display for CreateVertex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "create vertex {}({}) from table {}", self.name, self.key.join(", "), self.from_table)?;
+        write!(
+            f,
+            "create vertex {}({}) from table {}",
+            self.name,
+            self.key.join(", "),
+            self.from_table
+        )?;
         if let Some(w) = &self.where_clause {
             write!(f, " where {w}")?;
         }
@@ -78,7 +84,11 @@ impl fmt::Display for EdgeEndpoint {
 
 impl fmt::Display for CreateEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "create edge {} with vertices ({}, {})", self.name, self.source, self.target)?;
+        write!(
+            f,
+            "create edge {} with vertices ({}, {})",
+            self.name, self.source, self.target
+        )?;
         if !self.from_tables.is_empty() {
             write!(f, " from table {}", self.from_tables.join(", "))?;
         }
@@ -91,7 +101,12 @@ impl fmt::Display for CreateEdge {
 
 impl fmt::Display for Ingest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ingest table {} '{}'", self.table, self.path.replace('\'', "''"))
+        write!(
+            f,
+            "ingest table {} '{}'",
+            self.table,
+            self.path.replace('\'', "''")
+        )
     }
 }
 
@@ -101,7 +116,7 @@ impl fmt::Display for Expr {
             Expr::And(parts) => join_bool(f, parts, "and"),
             Expr::Or(parts) => join_bool(f, parts, "or"),
             Expr::Not(x) => write!(f, "not ({x})"),
-            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::Cmp { op, lhs, rhs, .. } => write!(f, "{lhs} {op} {rhs}"),
         }
     }
 }
@@ -123,8 +138,14 @@ fn join_bool(f: &mut fmt::Formatter<'_>, parts: &[Expr], word: &str) -> fmt::Res
 impl fmt::Display for Operand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Operand::Attr { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Operand::Attr { qualifier: None, name } => write!(f, "{name}"),
+            Operand::Attr {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Operand::Attr {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             Operand::Lit(l) => write!(f, "{l}"),
         }
     }
@@ -220,7 +241,9 @@ impl fmt::Display for PathQuery {
         for seg in &self.segments {
             match seg {
                 Segment::Hop { edge, vertex } => write_hop(f, edge, vertex)?,
-                Segment::Group { hops, quant, exit } => {
+                Segment::Group {
+                    hops, quant, exit, ..
+                } => {
                     write!(f, " {{")?;
                     for (e, v) in hops {
                         write_hop(f, e, v)?;
@@ -327,7 +350,13 @@ impl fmt::Display for SelectStmt {
         if !self.order_by.is_empty() {
             write!(f, " order by ")?;
             for (i, k) in self.order_by.iter().enumerate() {
-                write!(f, "{}{}{}", if i == 0 { "" } else { ", " }, k.col, if k.desc { " desc" } else { " asc" })?;
+                write!(
+                    f,
+                    "{}{}{}",
+                    if i == 0 { "" } else { ", " },
+                    k.col,
+                    if k.desc { " desc" } else { " asc" }
+                )?;
             }
         }
         match &self.into {
@@ -372,7 +401,10 @@ mod tests {
             let printed = ast1.to_string();
             let ast2 = parse_statement(&printed)
                 .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
-            assert_eq!(ast1, ast2, "round trip changed AST for:\n  {src}\n  {printed}");
+            assert_eq!(
+                ast1, ast2,
+                "round trip changed AST for:\n  {src}\n  {printed}"
+            );
         }
     }
 

@@ -14,12 +14,18 @@ pub struct BitSet {
 impl BitSet {
     /// An empty bitset with capacity for `len` bits, all clear.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// A bitset with all `len` bits set.
     pub fn full(len: usize) -> Self {
-        let mut s = BitSet { words: vec![!0u64; len.div_ceil(64)], len };
+        let mut s = BitSet {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
         s.trim_tail();
         s
     }
@@ -122,7 +128,11 @@ impl BitSet {
 
     /// Iterator over the indices of set bits, ascending.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Builds a bitset of length `len` from set-bit indices.

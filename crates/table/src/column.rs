@@ -55,22 +55,46 @@ impl StrDict {
 /// A typed column of values with a null mask.
 #[derive(Debug, Clone)]
 pub enum Column {
-    Int { data: Vec<i64>, nulls: BitSet },
-    Float { data: Vec<f64>, nulls: BitSet },
-    Str { dict: StrDict, codes: Vec<u32>, nulls: BitSet },
-    Date { data: Vec<i32>, nulls: BitSet },
+    Int {
+        data: Vec<i64>,
+        nulls: BitSet,
+    },
+    Float {
+        data: Vec<f64>,
+        nulls: BitSet,
+    },
+    Str {
+        dict: StrDict,
+        codes: Vec<u32>,
+        nulls: BitSet,
+    },
+    Date {
+        data: Vec<i32>,
+        nulls: BitSet,
+    },
 }
 
 impl Column {
     /// An empty column of the given declared type.
     pub fn new(dtype: DataType) -> Self {
         match dtype {
-            DataType::Integer => Column::Int { data: Vec::new(), nulls: BitSet::new(0) },
-            DataType::Float => Column::Float { data: Vec::new(), nulls: BitSet::new(0) },
-            DataType::Varchar(_) => {
-                Column::Str { dict: StrDict::default(), codes: Vec::new(), nulls: BitSet::new(0) }
-            }
-            DataType::Date => Column::Date { data: Vec::new(), nulls: BitSet::new(0) },
+            DataType::Integer => Column::Int {
+                data: Vec::new(),
+                nulls: BitSet::new(0),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::new(),
+                nulls: BitSet::new(0),
+            },
+            DataType::Varchar(_) => Column::Str {
+                dict: StrDict::default(),
+                codes: Vec::new(),
+                nulls: BitSet::new(0),
+            },
+            DataType::Date => Column::Date {
+                data: Vec::new(),
+                nulls: BitSet::new(0),
+            },
         }
     }
 
@@ -196,14 +220,26 @@ impl Column {
     pub fn gather(&self, indices: &[u32]) -> Column {
         let mut out = Column::new(self.dtype());
         match (&mut out, self) {
-            (Column::Int { data, nulls }, Column::Int { data: src, nulls: sn }) => {
+            (
+                Column::Int { data, nulls },
+                Column::Int {
+                    data: src,
+                    nulls: sn,
+                },
+            ) => {
                 data.reserve(indices.len());
                 for &i in indices {
                     data.push(src[i as usize]);
                     nulls.push_bit(sn.contains(i as usize));
                 }
             }
-            (Column::Float { data, nulls }, Column::Float { data: src, nulls: sn }) => {
+            (
+                Column::Float { data, nulls },
+                Column::Float {
+                    data: src,
+                    nulls: sn,
+                },
+            ) => {
                 data.reserve(indices.len());
                 for &i in indices {
                     data.push(src[i as usize]);
@@ -212,7 +248,11 @@ impl Column {
             }
             (
                 Column::Str { dict, codes, nulls },
-                Column::Str { dict: sd, codes: sc, nulls: sn },
+                Column::Str {
+                    dict: sd,
+                    codes: sc,
+                    nulls: sn,
+                },
             ) => {
                 codes.reserve(indices.len());
                 // Remap codes through a cache so the output dictionary only
@@ -232,7 +272,13 @@ impl Column {
                     }
                 }
             }
-            (Column::Date { data, nulls }, Column::Date { data: src, nulls: sn }) => {
+            (
+                Column::Date { data, nulls },
+                Column::Date {
+                    data: src,
+                    nulls: sn,
+                },
+            ) => {
                 data.reserve(indices.len());
                 for &i in indices {
                     data.push(src[i as usize]);

@@ -121,7 +121,7 @@ pub fn ingest_str(table: &mut Table, text: &str) -> Result<usize> {
         let mut vals = Vec::with_capacity(raw.len());
         for (f, def) in raw.iter().zip(table.schema().columns()) {
             vals.push(def.dtype.parse_value(f).map_err(|e| {
-                GraqlError::ingest(format!("record {}, column {:?}: {e}", ri + 1, def.name))
+                GraqlError::ingest(format!("record {}, column '{}': {e}", ri + 1, def.name))
             })?);
         }
         table.push_row(&vals)?;
@@ -143,8 +143,12 @@ pub fn ingest_reader(table: &mut Table, mut reader: impl BufRead) -> Result<usiz
 /// Writes `table` as CSV (with a header row) to `w`.
 pub fn write_csv(table: &Table, mut w: impl Write) -> Result<()> {
     let io_err = |e: std::io::Error| GraqlError::ingest(format!("I/O error: {e}"));
-    let header: Vec<String> =
-        table.schema().columns().iter().map(|c| quote_field(&c.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name))
+        .collect();
     writeln!(w, "{}", header.join(",")).map_err(io_err)?;
     for row in table.iter_rows() {
         let cells: Vec<String> = row.iter().map(|v| quote_field(&v.to_string())).collect();
@@ -212,13 +216,20 @@ mod tests {
         assert_eq!(n, 2);
         assert_eq!(t.get(0, 1), Value::Float(9.99));
         assert!(t.get(1, 2).is_null(), "empty field ingests as null");
-        assert_eq!(t.get(1, 3), Value::Date(Date::from_ymd(2008, 4, 2).unwrap()));
+        assert_eq!(
+            t.get(1, 3),
+            Value::Date(Date::from_ymd(2008, 4, 2).unwrap())
+        );
     }
 
     #[test]
     fn ingest_skips_matching_header() {
         let mut t = Table::empty(offers_schema());
-        let n = ingest_str(&mut t, "id,price,deliveryDays,validFrom\no1,1.0,1,2008-01-01\n").unwrap();
+        let n = ingest_str(
+            &mut t,
+            "id,price,deliveryDays,validFrom\no1,1.0,1,2008-01-01\n",
+        )
+        .unwrap();
         assert_eq!(n, 1);
         assert_eq!(t.get(0, 0), Value::str("o1"));
     }

@@ -29,7 +29,11 @@ pub enum PhysExpr {
 impl PhysExpr {
     /// Shorthand: `col op const`.
     pub fn cmp_col_const(col: usize, op: CmpOp, v: Value) -> Self {
-        PhysExpr::Cmp(op, Box::new(PhysExpr::Col(col)), Box::new(PhysExpr::Const(v)))
+        PhysExpr::Cmp(
+            op,
+            Box::new(PhysExpr::Col(col)),
+            Box::new(PhysExpr::Const(v)),
+        )
     }
 
     /// Shorthand: `col op col`.

@@ -80,7 +80,8 @@ mod tests {
     #[test]
     fn int_float_equal_values_deduplicate() {
         let schema = TableSchema::of(&[("a", DataType::Float)]);
-        let t = Table::from_rows(schema, vec![vec![Value::Int(2)], vec![Value::Float(2.0)]]).unwrap();
+        let t =
+            Table::from_rows(schema, vec![vec![Value::Int(2)], vec![Value::Float(2.0)]]).unwrap();
         assert_eq!(distinct(&t).n_rows(), 1);
     }
 }

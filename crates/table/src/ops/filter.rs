@@ -13,7 +13,9 @@ const PAR_THRESHOLD: usize = 4096;
 pub fn filter_indices(t: &Table, pred: &PhysExpr) -> Vec<u32> {
     let n = t.n_rows();
     if n < PAR_THRESHOLD {
-        (0..n as u32).filter(|&i| pred.eval_bool(t, i as usize)).collect()
+        (0..n as u32)
+            .filter(|&i| pred.eval_bool(t, i as usize))
+            .collect()
     } else {
         // Data-parallel scan; rayon's ordered collect keeps indices sorted.
         (0..n as u32)

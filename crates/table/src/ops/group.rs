@@ -28,7 +28,10 @@ pub struct AggSpec {
 
 impl AggSpec {
     pub fn new(func: AggFn, out_name: impl Into<String>) -> Self {
-        AggSpec { func, out_name: out_name.into() }
+        AggSpec {
+            func,
+            out_name: out_name.into(),
+        }
     }
 
     /// Result type of the aggregate given the input table.
@@ -85,8 +88,10 @@ pub fn group_indices(t: &Table, group_cols: &[usize]) -> (Vec<u32>, Vec<Vec<u32>
 /// (or one row over zero input rows, with SQL semantics: count = 0, other
 /// aggregates null).
 pub fn group_aggregate(t: &Table, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Table> {
-    let mut defs: Vec<ColumnDef> =
-        group_cols.iter().map(|&c| t.schema().column(c).clone()).collect();
+    let mut defs: Vec<ColumnDef> = group_cols
+        .iter()
+        .map(|&c| t.schema().column(c).clone())
+        .collect();
     for a in aggs {
         defs.push(ColumnDef::new(a.out_name.clone(), a.out_type(t)?));
     }
@@ -117,7 +122,10 @@ fn eval_agg(t: &Table, f: AggFn, members: &[u32]) -> Value {
     match f {
         AggFn::CountStar => Value::Int(members.len() as i64),
         AggFn::Count(c) => Value::Int(
-            members.iter().filter(|&&i| !t.column(c).is_null(i as usize)).count() as i64,
+            members
+                .iter()
+                .filter(|&&i| !t.column(c).is_null(i as usize))
+                .count() as i64,
         ),
         AggFn::Sum(c) => {
             if t.schema().column(c).dtype == DataType::Integer {
@@ -200,10 +208,30 @@ mod tests {
         Table::from_rows(
             schema,
             vec![
-                vec![Value::str("v1"), Value::Float(10.0), Value::Int(3), Value::Date(Date(10))],
-                vec![Value::str("v2"), Value::Float(4.0), Value::Int(5), Value::Date(Date(20))],
-                vec![Value::str("v1"), Value::Float(6.0), Value::Null, Value::Date(Date(5))],
-                vec![Value::str("v1"), Value::Null, Value::Int(1), Value::Date(Date(7))],
+                vec![
+                    Value::str("v1"),
+                    Value::Float(10.0),
+                    Value::Int(3),
+                    Value::Date(Date(10)),
+                ],
+                vec![
+                    Value::str("v2"),
+                    Value::Float(4.0),
+                    Value::Int(5),
+                    Value::Date(Date(20)),
+                ],
+                vec![
+                    Value::str("v1"),
+                    Value::Float(6.0),
+                    Value::Null,
+                    Value::Date(Date(5)),
+                ],
+                vec![
+                    Value::str("v1"),
+                    Value::Null,
+                    Value::Int(1),
+                    Value::Date(Date(7)),
+                ],
             ],
         )
         .unwrap()
@@ -242,7 +270,10 @@ mod tests {
         let out = group_aggregate(
             &t,
             &[0],
-            &[AggSpec::new(AggFn::Sum(1), "s"), AggSpec::new(AggFn::Avg(1), "a")],
+            &[
+                AggSpec::new(AggFn::Sum(1), "s"),
+                AggSpec::new(AggFn::Avg(1), "a"),
+            ],
         )
         .unwrap();
         assert_eq!(out.get(0, 1), Value::Float(16.0));
@@ -262,7 +293,10 @@ mod tests {
         let out = group_aggregate(
             &t,
             &[0],
-            &[AggSpec::new(AggFn::Min(3), "lo"), AggSpec::new(AggFn::Max(3), "hi")],
+            &[
+                AggSpec::new(AggFn::Min(3), "lo"),
+                AggSpec::new(AggFn::Max(3), "hi"),
+            ],
         )
         .unwrap();
         assert_eq!(out.get(0, 1), Value::Date(Date(5)));
@@ -275,7 +309,10 @@ mod tests {
         let out = group_aggregate(
             &t,
             &[],
-            &[AggSpec::new(AggFn::CountStar, "n"), AggSpec::new(AggFn::Max(1), "m")],
+            &[
+                AggSpec::new(AggFn::CountStar, "n"),
+                AggSpec::new(AggFn::Max(1), "m"),
+            ],
         )
         .unwrap();
         assert_eq!(out.n_rows(), 1);
@@ -296,6 +333,10 @@ mod tests {
     fn group_by_multiple_columns() {
         let t = offers();
         let out = group_aggregate(&t, &[0, 2], &[AggSpec::new(AggFn::CountStar, "n")]).unwrap();
-        assert_eq!(out.n_rows(), 4, "four distinct (vendor, days) pairs incl. null");
+        assert_eq!(
+            out.n_rows(),
+            4,
+            "four distinct (vendor, days) pairs incl. null"
+        );
     }
 }

@@ -11,12 +11,7 @@ use crate::table::Table;
 ///
 /// Null keys never join (SQL semantics). Keys compare under semantic
 /// equality, so an `integer` column can join a `float` column.
-pub fn hash_join_pairs(
-    l: &Table,
-    lkeys: &[usize],
-    r: &Table,
-    rkeys: &[usize],
-) -> Vec<(u32, u32)> {
+pub fn hash_join_pairs(l: &Table, lkeys: &[usize], r: &Table, rkeys: &[usize]) -> Vec<(u32, u32)> {
     assert_eq!(lkeys.len(), rkeys.len(), "join key arity mismatch");
     // Build on the right side.
     let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
@@ -57,8 +52,10 @@ mod tests {
     use graql_types::DataType;
 
     fn products() -> Table {
-        let schema =
-            TableSchema::of(&[("id", DataType::Varchar(8)), ("producer", DataType::Varchar(8))]);
+        let schema = TableSchema::of(&[
+            ("id", DataType::Varchar(8)),
+            ("producer", DataType::Varchar(8)),
+        ]);
         Table::from_rows(
             schema,
             vec![
@@ -101,7 +98,10 @@ mod tests {
         let schema = TableSchema::of(&[("a", DataType::Integer), ("b", DataType::Integer)]);
         let l = Table::from_rows(
             schema.clone(),
-            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(1), Value::Int(3)]],
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+            ],
         )
         .unwrap();
         let r = Table::from_rows(schema, vec![vec![Value::Int(1), Value::Int(3)]]).unwrap();

@@ -95,6 +95,9 @@ mod tests {
         let r = rename(&t(), &["x", "y"]).unwrap();
         assert_eq!(r.schema().column(0).name, "x");
         assert_eq!(r.get(1, 1), Value::Int(10));
-        assert!(rename(&t(), &["x", "x"]).is_err(), "duplicate names rejected");
+        assert!(
+            rename(&t(), &["x", "x"]).is_err(),
+            "duplicate names rejected"
+        );
     }
 }

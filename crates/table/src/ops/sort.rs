@@ -77,7 +77,10 @@ mod tests {
         let s = sort(&t(), &[SortKey::asc(1)]);
         // Nulls sort first under the total order.
         let xs: Vec<Value> = (0..4).map(|i| s.get(i, 1)).collect();
-        assert_eq!(xs, vec![Value::Null, Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            xs,
+            vec![Value::Null, Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
     }
 
     #[test]
@@ -108,7 +111,11 @@ mod tests {
         )
         .unwrap();
         let s = sort(&t, &[SortKey::asc(0)]);
-        assert_eq!(s.get(1, 1), Value::Int(100), "first tied row keeps its position");
+        assert_eq!(
+            s.get(1, 1),
+            Value::Int(100),
+            "first tied row keeps its position"
+        );
         assert_eq!(s.get(2, 1), Value::Int(200));
     }
 

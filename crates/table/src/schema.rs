@@ -12,7 +12,10 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        ColumnDef { name: name.into(), dtype }
+        ColumnDef {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -32,7 +35,7 @@ impl TableSchema {
         let mut by_name = FxHashMap::default();
         for (i, c) in columns.iter().enumerate() {
             if by_name.insert(c.name.clone(), i).is_some() {
-                return Err(GraqlError::name(format!("duplicate column {:?}", c.name)));
+                return Err(GraqlError::name(format!("duplicate column '{}'", c.name)));
             }
         }
         Ok(TableSchema { columns, by_name })
@@ -65,7 +68,7 @@ impl TableSchema {
     /// Index of `name`, as a [`GraqlError::Name`] if absent.
     pub fn require(&self, name: &str) -> Result<usize> {
         self.index_of(name)
-            .ok_or_else(|| GraqlError::name(format!("unknown column {name:?}")))
+            .ok_or_else(|| GraqlError::name(format!("unknown column '{name}'")))
     }
 
     pub fn column(&self, i: usize) -> &ColumnDef {

@@ -16,12 +16,23 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn empty(schema: TableSchema) -> Self {
-        let columns = schema.columns().iter().map(|c| Column::new(c.dtype)).collect();
-        Table { schema, columns, rows: 0 }
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.dtype))
+            .collect();
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Builds a table from row tuples (mainly for tests and small fixtures).
-    pub fn from_rows(schema: TableSchema, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<Self> {
+    pub fn from_rows(
+        schema: TableSchema,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Self> {
         let mut t = Table::empty(schema);
         for row in rows {
             t.push_row(&row)?;
@@ -41,7 +52,11 @@ impl Table {
         for c in &columns {
             assert_eq!(c.len(), rows, "ragged columns");
         }
-        Table { schema, columns, rows }
+        Table {
+            schema,
+            columns,
+            rows,
+        }
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -84,7 +99,10 @@ impl Table {
             let ok = matches!(
                 (v, def.dtype),
                 (Value::Null, _)
-                    | (Value::Int(_), graql_types::DataType::Integer | graql_types::DataType::Float)
+                    | (
+                        Value::Int(_),
+                        graql_types::DataType::Integer | graql_types::DataType::Float
+                    )
                     | (Value::Float(_), graql_types::DataType::Float)
                     | (Value::Str(_), graql_types::DataType::Varchar(_))
                     | (Value::Date(_), graql_types::DataType::Date)
@@ -121,13 +139,19 @@ impl Table {
     /// New table containing `indices` rows in order (duplicates allowed).
     pub fn gather(&self, indices: &[u32]) -> Table {
         let columns = self.columns.iter().map(|c| c.gather(indices)).collect();
-        Table { schema: self.schema.clone(), columns, rows: indices.len() }
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            rows: indices.len(),
+        }
     }
 
     /// Appends all rows of `other` (schemas must be type-compatible).
     pub fn append(&mut self, other: &Table) -> Result<()> {
         if self.schema.len() != other.schema.len() {
-            return Err(GraqlError::type_error("cannot append tables of different arity"));
+            return Err(GraqlError::type_error(
+                "cannot append tables of different arity",
+            ));
         }
         for i in 0..other.n_rows() {
             self.push_row(&other.row(i))?;
@@ -137,8 +161,12 @@ impl Table {
 
     /// Renders the table as aligned ASCII art (clients / examples / tests).
     pub fn render(&self) -> String {
-        let header: Vec<String> =
-            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        let header: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let mut widths: Vec<usize> = header.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = self
             .iter_rows()
@@ -159,7 +187,13 @@ impl Table {
             line
         };
         out.push_str(&fmt_row(&header, &widths));
-        out.push_str(&format!("|{}\n", widths.iter().map(|w| format!("{:-<w$}--|", "", w = w)).collect::<String>()));
+        out.push_str(&format!(
+            "|{}\n",
+            widths
+                .iter()
+                .map(|w| format!("{:-<w$}--|", "", w = w))
+                .collect::<String>()
+        ));
         for row in &rendered {
             out.push_str(&fmt_row(row, &widths));
         }
@@ -173,10 +207,7 @@ mod tests {
     use graql_types::DataType;
 
     fn people() -> Table {
-        let schema = TableSchema::of(&[
-            ("id", DataType::Varchar(10)),
-            ("age", DataType::Integer),
-        ]);
+        let schema = TableSchema::of(&[("id", DataType::Varchar(10)), ("age", DataType::Integer)]);
         Table::from_rows(
             schema,
             vec![

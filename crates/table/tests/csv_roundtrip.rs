@@ -63,10 +63,30 @@ proptest! {
 #[test]
 fn nasty_fixed_cases() {
     let rows = vec![
-        vec![Value::str("a,b"), Value::Int(1), Value::Float(0.5), Value::Date(Date(0))],
-        vec![Value::str("say \"hi\""), Value::Null, Value::Null, Value::Null],
-        vec![Value::str("two\nlines"), Value::Int(-2), Value::Float(-0.25), Value::Date(Date(-1))],
-        vec![Value::str("  padded  "), Value::Int(0), Value::Float(1e-12), Value::Date(Date(1))],
+        vec![
+            Value::str("a,b"),
+            Value::Int(1),
+            Value::Float(0.5),
+            Value::Date(Date(0)),
+        ],
+        vec![
+            Value::str("say \"hi\""),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ],
+        vec![
+            Value::str("two\nlines"),
+            Value::Int(-2),
+            Value::Float(-0.25),
+            Value::Date(Date(-1)),
+        ],
+        vec![
+            Value::str("  padded  "),
+            Value::Int(0),
+            Value::Float(1e-12),
+            Value::Date(Date(1)),
+        ],
     ];
     let t = Table::from_rows(schema(), rows).unwrap();
     let mut buf = Vec::new();

@@ -26,7 +26,9 @@ impl Date {
         // Beyond ±5,000,000 years the day count would overflow i32; no
         // calendar data is remotely close, so reject instead of wrapping.
         if !(-5_000_000..=5_000_000).contains(&year) {
-            return Err(GraqlError::ingest(format!("year {year} out of supported range")));
+            return Err(GraqlError::ingest(format!(
+                "year {year} out of supported range"
+            )));
         }
         if !(1..=12).contains(&month) {
             return Err(GraqlError::ingest(format!("invalid month {month} in date")));
@@ -70,9 +72,21 @@ impl FromStr for Date {
         let mut it = s.split('-');
         // A leading '-' would produce an empty first field; GraQL does not
         // use negative years in literals.
-        let y = it.next().ok_or_else(err)?.parse::<i32>().map_err(|_| err())?;
-        let m = it.next().ok_or_else(err)?.parse::<u32>().map_err(|_| err())?;
-        let d = it.next().ok_or_else(err)?.parse::<u32>().map_err(|_| err())?;
+        let y = it
+            .next()
+            .ok_or_else(err)?
+            .parse::<i32>()
+            .map_err(|_| err())?;
+        let m = it
+            .next()
+            .ok_or_else(err)?
+            .parse::<u32>()
+            .map_err(|_| err())?;
+        let d = it
+            .next()
+            .ok_or_else(err)?
+            .parse::<u32>()
+            .map_err(|_| err())?;
         if it.next().is_some() {
             return Err(err());
         }

@@ -1,0 +1,539 @@
+//! Source spans and structured diagnostics.
+//!
+//! The paper's front-end server (§III-A) performs all static checking
+//! before a query touches the cluster. This module gives those checks a
+//! shared vocabulary: a [`Span`] locating a construct in the source text,
+//! a [`Diagnostic`] describing one problem (with a stable code and a
+//! severity), and a [`Diagnostics`] sink collecting every problem found
+//! in one analysis pass — so a bad script is reported in full, not one
+//! error at a time.
+
+use std::fmt;
+
+use crate::error::GraqlError;
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+/// A source location: 1-based line and column plus a best-effort length
+/// (in characters) of the offending token.
+///
+/// `Span::default()` (line 0) means "unknown position" — synthesized AST
+/// nodes (IR decoding, programmatic construction) carry it.
+///
+/// Spans compare equal to *every* other span: AST equality is structural
+/// (round-trip tests compare parsed trees against reprinted ones, whose
+/// positions differ), so positions must never affect `==`.
+#[derive(Debug, Clone, Copy, Default, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+    pub len: u32,
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _other: &Self) -> bool {
+        true // positions are not part of structural equality
+    }
+}
+
+impl Span {
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col, len: 1 }
+    }
+
+    pub fn with_len(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+
+    /// False for the default "unknown" span.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Severity and codes
+// ---------------------------------------------------------------------------
+
+/// How bad a diagnostic is. Ordered: `Hint < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Hint,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Hint => write!(f, "hint"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// The first prefix digit groups by analysis family, mirroring the error
+/// taxonomy ([`GraqlError`]): `E00xx` syntax, `E01xx` name resolution,
+/// `E02xx` typing, `E03xx` path formation, `E09xx` non-static errors that
+/// leaked into analysis. `W02xx` are semantic lints, `W03xx` are path-cost
+/// lints, `H02xx` are hints. See DESIGN.md for the full table.
+pub mod codes {
+    /// Lexical or syntactic error.
+    pub const PARSE: &str = "E0001";
+    /// Unknown entity (table, vertex type, edge type, result).
+    pub const UNKNOWN_NAME: &str = "E0101";
+    /// Unknown attribute / column.
+    pub const UNKNOWN_ATTR: &str = "E0102";
+    /// Unknown or ambiguous qualifier / label reference.
+    pub const BAD_QUALIFIER: &str = "E0103";
+    /// Duplicate definition or colliding alias.
+    pub const DUPLICATE: &str = "E0104";
+    /// Ambiguous reference that needs a label / qualifier.
+    pub const AMBIGUOUS: &str = "E0105";
+    /// Generic name-resolution error bubbled from a sub-check.
+    pub const NAME_OTHER: &str = "E0100";
+    /// Comparison between incomparable types.
+    pub const INCOMPARABLE: &str = "E0201";
+    /// Entity of the wrong kind for the operation.
+    pub const WRONG_KIND: &str = "E0202";
+    /// Invalid aggregate / grouping.
+    pub const BAD_AGGREGATE: &str = "E0203";
+    /// Clause not applicable to this select source.
+    pub const MISPLACED_CLAUSE: &str = "E0204";
+    /// Generic type error bubbled from a sub-check.
+    pub const TYPE_OTHER: &str = "E0200";
+    /// Malformed path query.
+    pub const BAD_PATH: &str = "E0301";
+    /// Label misuse (redefinition, condition on a variant step).
+    pub const BAD_LABEL: &str = "E0302";
+    /// Edge endpoints incompatible with the declared edge type.
+    pub const BAD_ENDPOINT: &str = "E0303";
+    /// Generic path error bubbled from a sub-check.
+    pub const PATH_OTHER: &str = "E0300";
+    /// Non-static errors that surfaced during analysis (should not
+    /// normally happen; kept total for error wrapping).
+    pub const INGEST_OTHER: &str = "E0901";
+    pub const PLAN_OTHER: &str = "E0902";
+    pub const EXEC_OTHER: &str = "E0903";
+    pub const IR_OTHER: &str = "E0904";
+    pub const CLUSTER_OTHER: &str = "E0905";
+    /// The session's role does not permit the statement.
+    pub const ACCESS_DENIED: &str = "E0906";
+
+    /// Label defined but never referenced.
+    pub const UNUSED_LABEL: &str = "W0201";
+    /// `into` result written but never read by a later statement.
+    pub const UNREAD_RESULT: &str = "W0202";
+    /// Contradictory / always-false predicate.
+    pub const ALWAYS_FALSE: &str = "W0203";
+    /// Result name redefined, shadowing an earlier unread result.
+    pub const SHADOWED_RESULT: &str = "W0204";
+    /// Step statically unsatisfiable from edge endpoint types.
+    pub const UNSATISFIABLE_STEP: &str = "W0205";
+    /// Unbounded repetition over a high-fanout edge type.
+    pub const UNBOUNDED_HIGH_FANOUT: &str = "W0301";
+    /// `{0}` repetition: the group never traverses.
+    pub const ZERO_REPETITION: &str = "W0302";
+    /// `top` without `order by` returns an arbitrary subset.
+    pub const TOP_WITHOUT_ORDER: &str = "H0201";
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic
+// ---------------------------------------------------------------------------
+
+/// One located problem found by static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable code (`E0101`, `W0203`, …); see [`codes`].
+    pub code: &'static str,
+    pub message: String,
+    pub span: Span,
+    /// Secondary notes rendered under the caret line.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span,
+            notes: vec![],
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            span,
+            notes: vec![],
+        }
+    }
+
+    pub fn hint(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Hint,
+            code,
+            message: message.into(),
+            span,
+            notes: vec![],
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Replaces the code, keeping everything else. Callers must stay
+    /// within the same class prefix (`E01`, `E02`, …) so
+    /// [`Diagnostic::into_error`] maps back to the same error variant.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = code;
+        self
+    }
+
+    /// Wraps a classified [`GraqlError`] (bubbled from a sub-check that
+    /// predates the diagnostic framework) as an error diagnostic at `span`.
+    pub fn from_error(err: &GraqlError, fallback: Span) -> Diagnostic {
+        match err {
+            GraqlError::Parse { message, line, col } => {
+                Diagnostic::error(codes::PARSE, message.clone(), Span::new(*line, *col))
+            }
+            GraqlError::Type(m) => Diagnostic::error(codes::TYPE_OTHER, m.clone(), fallback),
+            GraqlError::Name(m) => Diagnostic::error(codes::NAME_OTHER, m.clone(), fallback),
+            GraqlError::Path(m) => Diagnostic::error(codes::PATH_OTHER, m.clone(), fallback),
+            GraqlError::Ingest(m) => Diagnostic::error(codes::INGEST_OTHER, m.clone(), fallback),
+            GraqlError::Plan(m) => Diagnostic::error(codes::PLAN_OTHER, m.clone(), fallback),
+            GraqlError::Exec(m) => Diagnostic::error(codes::EXEC_OTHER, m.clone(), fallback),
+            GraqlError::Ir(m) => Diagnostic::error(codes::IR_OTHER, m.clone(), fallback),
+            GraqlError::Cluster(m) => Diagnostic::error(codes::CLUSTER_OTHER, m.clone(), fallback),
+        }
+    }
+
+    /// Converts back into the classified error taxonomy, locating the
+    /// message when the span is known. The class round-trips with
+    /// [`Diagnostic::from_error`] so callers asserting on error classes
+    /// (`matches!(e, GraqlError::Type(_))`) see the same variants as the
+    /// pre-diagnostic analyzer.
+    pub fn into_error(self) -> GraqlError {
+        let located = if self.span.is_known() {
+            format!("{} (at {})", self.message, self.span)
+        } else {
+            self.message
+        };
+        match &self.code[..3] {
+            "E00" => GraqlError::Parse {
+                message: located,
+                line: self.span.line,
+                col: self.span.col,
+            },
+            "E01" => GraqlError::Name(located),
+            "E02" => GraqlError::Type(located),
+            "E03" => GraqlError::Path(located),
+            _ => match self.code {
+                codes::INGEST_OTHER => GraqlError::Ingest(located),
+                codes::PLAN_OTHER => GraqlError::Plan(located),
+                codes::IR_OTHER => GraqlError::Ir(located),
+                codes::CLUSTER_OTHER => GraqlError::Cluster(located),
+                _ => GraqlError::Exec(located),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if self.span.is_known() {
+            write!(f, " (at {})", self.span)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Diagnostic> for GraqlError {
+    fn from(d: Diagnostic) -> GraqlError {
+        d.into_error()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics sink
+// ---------------------------------------------------------------------------
+
+/// An ordered collection of diagnostics from one analysis pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The first error-severity diagnostic, in emission order.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.items.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// `Err` with the first error when any exists, else `Ok`.
+    pub fn into_result(self) -> crate::error::Result<()> {
+        match self
+            .items
+            .into_iter()
+            .find(|d| d.severity == Severity::Error)
+        {
+            Some(d) => Err(d.into_error()),
+            None => Ok(()),
+        }
+    }
+
+    /// Renders every diagnostic rustc-style against the source text:
+    ///
+    /// ```text
+    /// error[E0201]: cannot compare date with float
+    ///   --> query.graql:3:29
+    ///    |
+    ///  3 | select * from table T where validFrom > 1.5
+    ///    |                             ^^^^^^^^^
+    ///    = note: …
+    /// ```
+    pub fn render(&self, source: &str, filename: &str) -> String {
+        let lines: Vec<&str> = source.lines().collect();
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+            if d.span.is_known() {
+                let gutter = d.span.line.to_string().len().max(2);
+                out.push_str(&format!(
+                    "{:>gutter$}--> {}:{}:{}\n",
+                    "", filename, d.span.line, d.span.col
+                ));
+                if let Some(text) = lines.get(d.span.line as usize - 1) {
+                    out.push_str(&format!("{:>gutter$} |\n", ""));
+                    out.push_str(&format!("{:>gutter$} | {}\n", d.span.line, text));
+                    let col = (d.span.col as usize).saturating_sub(1).min(text.len());
+                    let width = (d.span.len as usize).max(1).min(text.len() - col + 1);
+                    out.push_str(&format!(
+                        "{:>gutter$} | {}{}\n",
+                        "",
+                        " ".repeat(col),
+                        "^".repeat(width.max(1))
+                    ));
+                }
+            }
+            for note in &d.notes {
+                out.push_str(&format!("  = note: {note}\n"));
+            }
+        }
+        if !self.is_empty() {
+            let (e, w) = (self.error_count(), self.warning_count());
+            let mut parts = Vec::new();
+            if e > 0 {
+                parts.push(format!("{e} error{}", if e == 1 { "" } else { "s" }));
+            }
+            if w > 0 {
+                parts.push(format!("{w} warning{}", if w == 1 { "" } else { "s" }));
+            }
+            let h = self.len() - e - w;
+            if h > 0 {
+                parts.push(format!("{h} hint{}", if h == 1 { "" } else { "s" }));
+            }
+            out.push_str(&format!("{}\n", parts.join(", ")));
+        }
+        out
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        Diagnostics {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_equality_transparent() {
+        assert_eq!(Span::new(3, 14), Span::default());
+        assert_eq!(Span::with_len(1, 2, 3), Span::new(9, 9));
+        assert!(Span::new(1, 1).is_known());
+        assert!(!Span::default().is_known());
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Hint);
+    }
+
+    #[test]
+    fn error_round_trip_preserves_class() {
+        for err in [
+            GraqlError::type_error("t"),
+            GraqlError::name("n"),
+            GraqlError::path("p"),
+            GraqlError::parse("s", 2, 3),
+            GraqlError::exec("x"),
+            GraqlError::ingest("i"),
+        ] {
+            let back = Diagnostic::from_error(&err, Span::default()).into_error();
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&err),
+                "{err} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_error_locates_message() {
+        let d = Diagnostic::error(
+            codes::INCOMPARABLE,
+            "cannot compare date with float",
+            Span::new(3, 29),
+        );
+        let e = d.into_error();
+        assert!(matches!(e, GraqlError::Type(_)));
+        assert_eq!(
+            e.to_string(),
+            "type error: cannot compare date with float (at 3:29)"
+        );
+    }
+
+    #[test]
+    fn sink_counts_and_first_error() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::warning(
+            codes::UNUSED_LABEL,
+            "w1",
+            Span::new(1, 1),
+        ));
+        ds.push(Diagnostic::error(
+            codes::UNKNOWN_NAME,
+            "e1",
+            Span::new(2, 1),
+        ));
+        ds.push(Diagnostic::error(
+            codes::INCOMPARABLE,
+            "e2",
+            Span::new(3, 1),
+        ));
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.error_count(), 2);
+        assert_eq!(ds.warning_count(), 1);
+        assert!(ds.has_errors());
+        assert_eq!(ds.first_error().unwrap().message, "e1");
+        assert!(matches!(ds.into_result(), Err(GraqlError::Name(_))));
+    }
+
+    #[test]
+    fn render_draws_carets() {
+        let src = "select a from table T\nselect b from tabel T\n";
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::error(
+            codes::PARSE,
+            "expected 'graph' or 'table' after 'from'",
+            Span::with_len(2, 15, 5),
+        ));
+        let r = ds.render(src, "q.graql");
+        assert!(r.contains("error[E0001]"), "{r}");
+        assert!(r.contains("--> q.graql:2:15"), "{r}");
+        assert!(r.contains("2 | select b from tabel T"), "{r}");
+        assert!(r.contains("^^^^^"), "{r}");
+        assert!(r.contains("1 error"), "{r}");
+    }
+
+    #[test]
+    fn render_handles_unknown_spans_and_notes() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::warning(
+                codes::UNREAD_RESULT,
+                "result T1 is never read",
+                Span::default(),
+            )
+            .with_note("remove the 'into' clause or read the result"),
+        );
+        let r = ds.render("", "q.graql");
+        assert!(r.contains("warning[W0202]"), "{r}");
+        assert!(r.contains("= note: remove"), "{r}");
+        assert!(!r.contains("-->"), "{r}");
+    }
+}

@@ -14,7 +14,11 @@ pub type Result<T> = std::result::Result<T, GraqlError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraqlError {
     /// Lexical or syntactic error, with 1-based line/column of the offence.
-    Parse { message: String, line: u32, col: u32 },
+    Parse {
+        message: String,
+        line: u32,
+        col: u32,
+    },
     /// Static type error (paper §III-A): e.g. comparing a date to a float.
     Type(String),
     /// Name resolution error: unknown entity, duplicate definition, or an
@@ -37,7 +41,11 @@ pub enum GraqlError {
 
 impl GraqlError {
     pub fn parse(message: impl Into<String>, line: u32, col: u32) -> Self {
-        GraqlError::Parse { message: message.into(), line, col }
+        GraqlError::Parse {
+            message: message.into(),
+            line,
+            col,
+        }
     }
     pub fn type_error(m: impl Into<String>) -> Self {
         GraqlError::Type(m.into())
@@ -62,6 +70,16 @@ impl GraqlError {
     }
     pub fn cluster(m: impl Into<String>) -> Self {
         GraqlError::Cluster(m.into())
+    }
+
+    /// The source position carried by this error, when one is known.
+    /// Parse errors always have one; analysis errors produced through
+    /// [`crate::diag::Diagnostic::into_error`] embed theirs in the message.
+    pub fn span(&self) -> Option<crate::diag::Span> {
+        match self {
+            GraqlError::Parse { line, col, .. } => Some(crate::diag::Span::new(*line, *col)),
+            _ => None,
+        }
     }
 
     /// True when the error would be caught by static analysis alone

@@ -26,11 +26,13 @@
 //! ```
 
 pub mod date;
+pub mod diag;
 pub mod error;
 pub mod symbol;
 pub mod value;
 
 pub use date::Date;
+pub use diag::{codes, Diagnostic, Diagnostics, Severity, Span};
 pub use error::{GraqlError, Result};
 pub use symbol::{Interner, Symbol};
 pub use value::{CmpOp, DataType, Value};

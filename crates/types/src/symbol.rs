@@ -72,7 +72,10 @@ impl Interner {
 
     /// Iterates `(symbol, string)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), &**s))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), &**s))
     }
 }
 

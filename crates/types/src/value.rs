@@ -336,10 +336,21 @@ mod tests {
     fn cmp_op_null_semantics_and_flip() {
         let one = Value::Int(1);
         let two = Value::Int(2);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!op.eval(&Value::Null, &one), "{op} with null must be false");
             assert!(!op.eval(&one, &Value::Null));
-            assert_eq!(op.eval(&one, &two), op.flip().eval(&two, &one), "flip law for {op}");
+            assert_eq!(
+                op.eval(&one, &two),
+                op.flip().eval(&two, &one),
+                "flip law for {op}"
+            );
         }
         assert!(CmpOp::Lt.eval(&one, &two));
         assert!(CmpOp::Ne.eval(&one, &two));
@@ -362,8 +373,14 @@ mod tests {
     #[test]
     fn parse_value_per_type() {
         assert_eq!(DataType::Integer.parse_value("42").unwrap(), Value::Int(42));
-        assert_eq!(DataType::Float.parse_value("1.5").unwrap(), Value::Float(1.5));
-        assert_eq!(DataType::Varchar(10).parse_value("x").unwrap(), Value::str("x"));
+        assert_eq!(
+            DataType::Float.parse_value("1.5").unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            DataType::Varchar(10).parse_value("x").unwrap(),
+            Value::str("x")
+        );
         assert_eq!(
             DataType::Date.parse_value("2008-01-15").unwrap(),
             Value::Date(Date::from_ymd(2008, 1, 15).unwrap())
@@ -374,7 +391,12 @@ mod tests {
 
     #[test]
     fn empty_fields_parse_as_null() {
-        for dt in [DataType::Integer, DataType::Float, DataType::Varchar(4), DataType::Date] {
+        for dt in [
+            DataType::Integer,
+            DataType::Float,
+            DataType::Varchar(4),
+            DataType::Date,
+        ] {
             assert!(dt.parse_value("").unwrap().is_null());
         }
     }
@@ -383,7 +405,10 @@ mod tests {
     fn numeric_family_compares_across_types() {
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).cmp_total(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).cmp_total(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -413,7 +438,10 @@ mod tests {
             (DataType::Integer, Value::Int(-9)),
             (DataType::Float, Value::Float(2.25)),
             (DataType::Varchar(8), Value::str("abc")),
-            (DataType::Date, Value::Date(Date::from_ymd(1999, 12, 31).unwrap())),
+            (
+                DataType::Date,
+                Value::Date(Date::from_ymd(1999, 12, 31).unwrap()),
+            ),
         ];
         for (dt, v) in vals {
             assert_eq!(dt.parse_value(&v.to_string()).unwrap(), v);

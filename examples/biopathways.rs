@@ -71,7 +71,10 @@ fn main() -> Result<()> {
          def A: Molecule() --interacts(effect = 'activates' and pubs >= 100)--> def B: Molecule()",
     )?;
     if let StmtOutput::Table(t) = &out {
-        println!("Well-evidenced activations (≥100 publications):\n{}", t.render());
+        println!(
+            "Well-evidenced activations (≥100 publications):\n{}",
+            t.render()
+        );
     }
 
     // 4. Literature support by compartment (graph → table → aggregate).

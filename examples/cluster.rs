@@ -29,10 +29,17 @@ fn main() -> Result<()> {
     let src = "select y.id from graph \
                ProductVtx (id = %Product1%) --feature--> FeatureVtx() \
                <--feature-- def y: ProductVtx (id != %Product1%) into table T";
-    let Stmt::Select(sel) = graql::parser::parse_statement(src)? else { unreachable!() };
-    let SelectSource::Graph(PathComposition::Single(path)) = sel.source else { unreachable!() };
+    let Stmt::Select(sel) = graql::parser::parse_statement(src)? else {
+        unreachable!()
+    };
+    let SelectSource::Graph(PathComposition::Single(path)) = sel.source else {
+        unreachable!()
+    };
 
-    println!("{:>5} | {:>9} | {:>10} | {:>8} | {:>9} | {:>12}", "nodes", "bindings", "supersteps", "messages", "bytes", "remote ratio");
+    println!(
+        "{:>5} | {:>9} | {:>10} | {:>8} | {:>9} | {:>12}",
+        "nodes", "bindings", "supersteps", "messages", "bytes", "remote ratio"
+    );
     println!("{}", "-".repeat(70));
     for nodes in [1usize, 2, 4, 8, 16] {
         let cluster = Cluster::new(&db, nodes)?;
@@ -58,12 +65,18 @@ fn main() -> Result<()> {
     let local = graql::table::ops::group_aggregate(
         offers,
         &[vendor_col],
-        &[graql::table::ops::AggSpec::new(graql::table::ops::AggFn::Avg(price_col), "avg_price")],
+        &[graql::table::ops::AggSpec::new(
+            graql::table::ops::AggFn::Avg(price_col),
+            "avg_price",
+        )],
     )?;
     let distributed = graql::cluster::distributed_group_aggregate(
         offers,
         &[vendor_col],
-        &[graql::table::ops::AggSpec::new(graql::table::ops::AggFn::Avg(price_col), "avg_price")],
+        &[graql::table::ops::AggSpec::new(
+            graql::table::ops::AggFn::Avg(price_col),
+            "avg_price",
+        )],
         4,
     )?;
     println!(

@@ -44,7 +44,11 @@ fn main() -> Result<()> {
             42 => "server",
             _ => zones[rng.gen_range(0..3)],
         };
-        let os = if rng.gen_bool(0.7) { "linux" } else { "windows" };
+        let os = if rng.gen_bool(0.7) {
+            "linux"
+        } else {
+            "windows"
+        };
         let _ = writeln!(hosts, "10.0.0.{i},{zone},{os}");
     }
     let _ = writeln!(hosts, "203.0.113.66,external,unknown"); // known-bad IP

@@ -65,9 +65,8 @@ fn main() -> Result<()> {
 
     // 7. Peek at the planner (§III-B): candidate counts, index directions,
     //    enumeration order.
-    let plan = db.explain_str(
-        "select B.id from graph City(country = 'DE') <--road-- def B: City()",
-    )?;
+    let plan =
+        db.explain_str("select B.id from graph City(country = 'DE') <--road-- def B: City()")?;
     println!("\nPlan:\n{plan}");
     Ok(())
 }

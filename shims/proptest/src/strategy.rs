@@ -1,0 +1,534 @@
+//! Strategy trait, combinators, and the regex-subset string strategy.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type. Unlike the real crate
+/// there is no value tree / shrinking — `generate` produces a final value.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy (used by `prop_oneof!`).
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: 1000 consecutive rejects", self.whence);
+    }
+}
+
+/// Chooses one of several strategies, optionally weighted.
+#[derive(Clone)]
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Union { arms, total }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms.last().unwrap().1.generate(rng)
+    }
+}
+
+// -- numeric ranges ----------------------------------------------------------
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                // span can be 2^64 for the full domain; fold the modulo in
+                // u128 space.
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+// -- tuples ------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+// -- regex-subset string strategy --------------------------------------------
+
+/// `&str` as a strategy: the string is a regex (subset) and values are
+/// strings matching it.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = RegexNode::parse(self);
+        let mut out = String::new();
+        ast.emit(rng, &mut out);
+        out
+    }
+}
+
+/// Parsed regex subset: alternation of sequences of quantified atoms.
+#[derive(Debug, Clone)]
+enum RegexNode {
+    /// Alternation: one branch is chosen uniformly.
+    Alt(Vec<RegexNode>),
+    /// Concatenation of quantified atoms.
+    Seq(Vec<(RegexNode, u32, u32)>),
+    /// Character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Literal character.
+    Lit(char),
+}
+
+/// Unbounded quantifiers are capped — proptest-the-real-crate defaults to
+/// small strings too.
+const STAR_MAX: u32 = 8;
+
+impl RegexNode {
+    fn parse(pattern: &str) -> RegexNode {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let node = Self::parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex {pattern:?}: trailing input at {pos}"
+        );
+        node
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> RegexNode {
+        let mut branches = vec![Self::parse_seq(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            branches.push(Self::parse_seq(chars, pos));
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            RegexNode::Alt(branches)
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> RegexNode {
+        let mut atoms = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = Self::parse_atom(chars, pos);
+            let (lo, hi) = Self::parse_quant(chars, pos);
+            atoms.push((atom, lo, hi));
+        }
+        RegexNode::Seq(atoms)
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> RegexNode {
+        match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                assert!(
+                    chars.get(*pos) != Some(&'^'),
+                    "unsupported regex: negated classes"
+                );
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let lo = Self::class_char(chars, pos);
+                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                        *pos += 1;
+                        let hi = Self::class_char(chars, pos);
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(chars.get(*pos) == Some(&']'), "unterminated char class");
+                *pos += 1;
+                RegexNode::Class(ranges)
+            }
+            '(' => {
+                *pos += 1;
+                let inner = Self::parse_alt(chars, pos);
+                assert!(chars.get(*pos) == Some(&')'), "unterminated group");
+                *pos += 1;
+                inner
+            }
+            '\\' => {
+                *pos += 1;
+                let c = Self::unescape(chars[*pos]);
+                *pos += 1;
+                RegexNode::Lit(c)
+            }
+            '.' => {
+                *pos += 1;
+                RegexNode::Class(vec![(' ', '~')])
+            }
+            c => {
+                *pos += 1;
+                RegexNode::Lit(c)
+            }
+        }
+    }
+
+    fn class_char(chars: &[char], pos: &mut usize) -> char {
+        if chars[*pos] == '\\' {
+            *pos += 1;
+            let c = Self::unescape(chars[*pos]);
+            *pos += 1;
+            c
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other, // \\ \- \] \( … — the char itself
+        }
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        match chars.get(*pos) {
+            Some('*') => {
+                *pos += 1;
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, STAR_MAX)
+            }
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut lo = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let hi = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut hi = 0u32;
+                    let mut saw = false;
+                    while chars[*pos].is_ascii_digit() {
+                        hi = hi * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                        saw = true;
+                    }
+                    if saw {
+                        hi
+                    } else {
+                        lo + STAR_MAX
+                    }
+                } else {
+                    lo
+                };
+                assert!(chars[*pos] == '}', "unterminated quantifier");
+                *pos += 1;
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            RegexNode::Alt(branches) => {
+                let i = rng.below(branches.len() as u64) as usize;
+                branches[i].emit(rng, out);
+            }
+            RegexNode::Seq(atoms) => {
+                for (atom, lo, hi) in atoms {
+                    let n = if hi > lo {
+                        lo + rng.below((hi - lo + 1) as u64) as u32
+                    } else {
+                        *lo
+                    };
+                    for _ in 0..n {
+                        atom.emit(rng, out);
+                    }
+                }
+            }
+            RegexNode::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64).saturating_sub(*a as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total.max(1));
+                for (a, b) in ranges {
+                    let span = (*b as u64) - (*a as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*a as u32 + pick as u32).unwrap_or(*a));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            RegexNode::Lit(c) => out.push(*c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(12345)
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3i64..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let u = (2usize..=4).generate(&mut r);
+            assert!((2..=4).contains(&u));
+            let f = (-1.0..1.0f64).generate(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z_][A-Za-z0-9_]{0,20}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 21, "{s:?}");
+            let c0 = s.chars().next().unwrap();
+            assert!(c0.is_ascii_alphabetic() || c0 == '_', "{s:?}");
+
+            let t = "[ -~\\n\\t]{0,200}".generate(&mut r);
+            assert!(t.len() <= 200);
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+
+            let u = "[ -~]{0,12}(,|\"|\\n)?[ -~]{0,8}".generate(&mut r);
+            assert!(u.len() <= 21);
+        }
+    }
+
+    #[test]
+    fn oneof_and_combinators() {
+        let mut r = rng();
+        let strat = crate::prop_oneof![Just("a".to_string()), Just("b".to_string()), "[0-9]{1,3}",];
+        let mut saw_a = false;
+        let mut saw_digit = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut r);
+            if v == "a" {
+                saw_a = true;
+            }
+            if v.chars().all(|c| c.is_ascii_digit()) && !v.is_empty() {
+                saw_digit = true;
+            }
+        }
+        assert!(saw_a && saw_digit);
+
+        let mapped = (0i64..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = mapped.generate(&mut r);
+            assert!(v % 2 == 0 && (0..10).contains(&v));
+        }
+
+        let flat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0i64..10, n));
+        for _ in 0..50 {
+            let v = flat.generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `rand` crate (0.8 API shape).
+//!
+//! Implements the subset the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` methods `gen`, `gen_range`,
+//! `gen_bool` — on top of xoshiro256++ seeded via SplitMix64. Streams are
+//! deterministic per seed but do **not** match the real crate's streams.
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Core RNG trait: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniformly samplable numeric types (supports `Rng::gen_range`).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_excl: Self) -> Self;
+    /// Successor for turning inclusive ranges into exclusive ones; `None`
+    /// when `hi` is the maximum value (floats just widen negligibly).
+    fn successor(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_excl: Self) -> Self {
+                assert!(low < high_excl, "gen_range: empty range");
+                let span = (high_excl as i128 - low as i128) as u128;
+                // Multiply-shift rejection-free mapping; span ≪ 2^64 in
+                // practice so modulo bias is negligible for test workloads.
+                let r = rng.next_u64() as u128;
+                let off = (r * span) >> 64;
+                (low as i128 + off as i128) as $t
+            }
+
+            fn successor(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_excl: Self) -> Self {
+                assert!(low < high_excl, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                low + unit * (high_excl - low)
+            }
+
+            fn successor(self) -> Option<Self> {
+                Some(self) // inclusive float ranges: endpoint hit has measure ~0
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges acceptable to `gen_range` (half-open and inclusive).
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        match hi.successor() {
+            Some(hi_excl) if lo < hi_excl => T::sample_range(rng, lo, hi_excl),
+            _ => lo, // degenerate or saturated range
+        }
+    }
+}
+
+/// Types producible by `Rng::gen` (the `Standard` distribution).
+pub trait Standard: Sized {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// xoshiro256++ — fast, solid statistical quality for test-data generation.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to seed xoshiro.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3..10);
+            assert!((3..10).contains(&i));
+            let j: usize = rng.gen_range(0..5usize);
+            assert!(j < 5);
+            let k = rng.gen_range(1..=12);
+            assert!((1..=12).contains(&k));
+            let f = rng.gen_range(5.0..10_000.0f64);
+            assert!((5.0..10_000.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+        // gen_bool hits both sides for p=0.5.
+        let flips: Vec<bool> = (0..100).map(|_| rng.gen_bool(0.5)).collect();
+        assert!(flips.iter().any(|&x| x) && flips.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn skew_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lows = (0..1000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!(lows > 30 && lows < 250, "gen_bool(0.1) hit {lows}/1000");
+    }
+}

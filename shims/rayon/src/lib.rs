@@ -1,0 +1,197 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The parallel-iterator entry points (`par_iter`, `into_par_iter`,
+//! `par_sort_unstable_by`, …) return **ordinary sequential iterators**, so
+//! every adapter (`map`, `filter`, `max`, ordered `collect`, …) keeps its
+//! std semantics. Call sites keep rayon's API shape; execution is simply
+//! single-threaded until the real crate is available. The ordered-collect
+//! guarantee call sites rely on holds trivially.
+
+pub mod prelude {
+    /// `.par_iter()` on slice-like containers → sequential `slice::Iter`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` → the container's ordinary `IntoIterator`.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Iter = std::ops::Range<u32>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Iter = std::ops::Range<u64>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// `par_sort_*` on mutable slices → the std sorts.
+    pub trait ParallelSliceMut<T> {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T];
+
+        fn par_sort_unstable_by<F>(&mut self, cmp: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.as_mut_slice_for_par().sort_unstable_by(cmp);
+        }
+
+        fn par_sort_by<F>(&mut self, cmp: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.as_mut_slice_for_par().sort_by(cmp);
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_mut_slice_for_par().sort_unstable();
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for Vec<T> {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T] {
+            self.as_mut_slice()
+        }
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Stand-in pool builder: `install` just runs the closure on this thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Number of "threads" the sequential stand-in uses.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let evens: Vec<u32> = (0..10u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+        let mut idx = vec![4u32, 1, 3];
+        idx.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(idx, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

@@ -3,11 +3,18 @@
 //!
 //! ```sh
 //! gems-shell script.graql [--data-dir DIR] [--param NAME=VALUE]... [--parallel]
+//! gems-shell check script.graql        # static analysis only, no execution
+//! gems-shell script.graql --check-only # same
 //! ```
 //!
 //! Executes the script statement by statement (or with the dependence
 //! scheduler under `--parallel`) and prints each result. `ingest` paths in
 //! the script resolve against `--data-dir`.
+//!
+//! `check` / `--check-only` runs the full multi-pass static analysis and
+//! prints every diagnostic with source carets, without executing anything.
+//! Exit status is non-zero only if errors (not warnings or hints) were
+//! found.
 
 use std::process::ExitCode;
 
@@ -16,7 +23,8 @@ use graql::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage: gems-shell <script.graql> [--data-dir DIR] [--param NAME=VALUE]... \
-         [--parallel] [--out FILE] [--save DIR] [--dot SUBGRAPH=FILE]"
+         [--parallel] [--out FILE] [--save DIR] [--dot SUBGRAPH=FILE] [--check-only]\n\
+         \x20      gems-shell check <script.graql>"
     );
     std::process::exit(2);
 }
@@ -36,15 +44,33 @@ fn parse_param(s: &str) -> Option<(String, Value)> {
     Some((name.to_string(), value))
 }
 
+/// Static analysis without execution: print every diagnostic with carets,
+/// fail only on errors.
+fn run_check(db: &mut Database, text: &str, path: &str) -> ExitCode {
+    let diags = db.check_script_str(text);
+    print!("{}", diags.render(text, path));
+    if diags.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let mut script_path: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut params: Vec<(String, Value)> = Vec::new();
     let mut parallel = false;
+    let mut check_only = false;
     let mut out_path: Option<String> = None;
     let mut save_dir: Option<String> = None;
     let mut dot_spec: Option<(String, String)> = None;
+    // `gems-shell check <script>` is sugar for `<script> --check-only`.
+    if args.peek().map(String::as_str) == Some("check") {
+        args.next();
+        check_only = true;
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
@@ -56,6 +82,7 @@ fn main() -> ExitCode {
                 }
             }
             "--parallel" => parallel = true,
+            "--check-only" => check_only = true,
             "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--save" => save_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--dot" => {
@@ -70,7 +97,9 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
-    let Some(script_path) = script_path else { usage() };
+    let Some(script_path) = script_path else {
+        usage()
+    };
     let text = match std::fs::read_to_string(&script_path) {
         Ok(t) => t,
         Err(e) => {
@@ -85,6 +114,10 @@ fn main() -> ExitCode {
     }
     for (k, v) in params {
         db.set_param(k, v);
+    }
+
+    if check_only {
+        return run_check(&mut db, &text, &script_path);
     }
 
     let outputs = if parallel {
@@ -103,12 +136,9 @@ fn main() -> ExitCode {
                 match last_table {
                     Some(t) => {
                         let mut buf = Vec::new();
-                        if let Err(e) = graql::table::csv::write_csv(t, &mut buf)
-                            .and_then(|()| {
-                                std::fs::write(path, buf)
-                                    .map_err(|e| GraqlError::ingest(e.to_string()))
-                            })
-                        {
+                        if let Err(e) = graql::table::csv::write_csv(t, &mut buf).and_then(|()| {
+                            std::fs::write(path, buf).map_err(|e| GraqlError::ingest(e.to_string()))
+                        }) {
                             eprintln!("gems-shell: cannot write {path}: {e}");
                             return ExitCode::FAILURE;
                         }

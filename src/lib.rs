@@ -53,19 +53,24 @@
 //! | simulated GEMS cluster backend | [`cluster`] (graql-cluster) |
 //! | Berlin benchmark generator + query corpus | [`bsbm`] (graql-bsbm) |
 
+pub use graql_bsbm as bsbm;
+pub use graql_cluster as cluster;
 pub use graql_core as core;
 pub use graql_graph as graph;
 pub use graql_parser as parser;
 pub use graql_table as table;
 pub use graql_types as types;
-pub use graql_cluster as cluster;
-pub use graql_bsbm as bsbm;
 
 pub use graql_core::{Database, ExecConfig, PlanMode, QueryOutput, StmtOutput};
-pub use graql_types::{DataType, Date, GraqlError, Result, Value};
+pub use graql_types::{
+    DataType, Date, Diagnostic, Diagnostics, GraqlError, Result, Severity, Span, Value,
+};
 
 /// The common imports for applications embedding GraQL.
 pub mod prelude {
-    pub use crate::{Database, DataType, Date, GraqlError, PlanMode, QueryOutput, Result, StmtOutput, Value};
+    pub use crate::{
+        DataType, Database, Date, Diagnostics, GraqlError, PlanMode, QueryOutput, Result,
+        StmtOutput, Value,
+    };
     pub use graql_core::run_script;
 }

@@ -36,7 +36,10 @@ impl Reference {
     fn build(data: &bsbm::BsbmData) -> Reference {
         let mut product_features: HashMap<String, Vec<String>> = HashMap::new();
         for r in rows(data.csv("ProductFeatures").unwrap()) {
-            product_features.entry(r[0].clone()).or_default().push(r[1].clone());
+            product_features
+                .entry(r[0].clone())
+                .or_default()
+                .push(r[1].clone());
         }
         let mut producer_of = HashMap::new();
         for r in rows(data.csv("Products").unwrap()) {
@@ -56,7 +59,10 @@ impl Reference {
         }
         let mut product_types: HashMap<String, Vec<String>> = HashMap::new();
         for r in rows(data.csv("ProductTypes").unwrap()) {
-            product_types.entry(r[0].clone()).or_default().push(r[1].clone());
+            product_types
+                .entry(r[0].clone())
+                .or_default()
+                .push(r[1].clone());
         }
         Reference {
             product_features,
@@ -86,8 +92,7 @@ impl Reference {
                 counts.insert(other, shared);
             }
         }
-        let mut out: Vec<(String, i64)> =
-            counts.into_iter().map(|(k, v)| (k.clone(), v)).collect();
+        let mut out: Vec<(String, i64)> = counts.into_iter().map(|(k, v)| (k.clone(), v)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(10);
         out
@@ -101,7 +106,9 @@ impl Reference {
             if self.person_country.get(person).map(String::as_str) != Some(c2) {
                 continue;
             }
-            let Some(producer) = self.producer_of.get(product) else { continue };
+            let Some(producer) = self.producer_of.get(product) else {
+                continue;
+            };
             if self.producer_country.get(producer).map(String::as_str) != Some(c1) {
                 continue;
             }
@@ -109,8 +116,7 @@ impl Reference {
                 *counts.entry(ty).or_default() += 1;
             }
         }
-        let mut out: Vec<(String, i64)> =
-            counts.into_iter().map(|(k, v)| (k.clone(), v)).collect();
+        let mut out: Vec<(String, i64)> = counts.into_iter().map(|(k, v)| (k.clone(), v)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(10);
         out
@@ -170,5 +176,8 @@ fn q1_matches_reference_across_country_pairs() {
             nonempty += 1;
         }
     }
-    assert!(nonempty >= 2, "the scale must be large enough for meaningful Q1 answers");
+    assert!(
+        nonempty >= 2,
+        "the scale must be large enough for meaningful Q1 answers"
+    );
 }

@@ -14,14 +14,29 @@ fn fig2_3_appendix_a_ddl() {
     let data = graql::bsbm::generate(graql::bsbm::Scale::new(30));
     graql::bsbm::load(&mut db, &data).unwrap();
     let g = db.graph().unwrap();
-    for vt in
-        ["TypeVtx", "FeatureVtx", "ProducerVtx", "ProductVtx", "VendorVtx", "OfferVtx", "PersonVtx", "ReviewVtx"]
-    {
+    for vt in [
+        "TypeVtx",
+        "FeatureVtx",
+        "ProducerVtx",
+        "ProductVtx",
+        "VendorVtx",
+        "OfferVtx",
+        "PersonVtx",
+        "ReviewVtx",
+    ] {
         assert!(g.vtype(vt).is_some(), "{vt} declared");
         assert!(!g.vset(g.vtype(vt).unwrap()).is_empty(), "{vt} populated");
     }
-    for et in ["subclass", "producer", "type", "feature", "product", "vendor", "reviewFor", "reviewer"]
-    {
+    for et in [
+        "subclass",
+        "producer",
+        "type",
+        "feature",
+        "product",
+        "vendor",
+        "reviewFor",
+        "reviewer",
+    ] {
         assert!(g.etype(et).is_some(), "{et} declared");
     }
 }
@@ -47,10 +62,13 @@ fn fig4_5_many_to_one_exact_data() {
     )
     .unwrap();
     // Fig. 5's tables.
-    db.ingest_str("Producers", "1,US\n2,IT\n3,FR\n4,US\n").unwrap();
-    db.ingest_str("Vendors", "1,CA\n2,CN\n3,CA\n4,CA\n").unwrap();
+    db.ingest_str("Producers", "1,US\n2,IT\n3,FR\n4,US\n")
+        .unwrap();
+    db.ingest_str("Vendors", "1,CA\n2,CN\n3,CA\n4,CA\n")
+        .unwrap();
     db.ingest_str("Products", "1,1\n2,4\n3,2\n4,2\n").unwrap();
-    db.ingest_str("Offers", "1,1,1\n2,2,4\n3,3,2\n4,4,2\n").unwrap();
+    db.ingest_str("Offers", "1,1,1\n2,2,4\n3,3,2\n4,4,2\n")
+        .unwrap();
 
     let g = db.graph().unwrap();
     let pc = g.vtype("ProducerCountry").unwrap();
@@ -63,11 +81,17 @@ fn fig4_5_many_to_one_exact_data() {
     let mut pairs: Vec<(String, String)> = (0..2u32)
         .map(|e| {
             let (s, t) = es.endpoints(e);
-            (g.vset(pc).key_of(s)[0].to_string(), g.vset(vc).key_of(t)[0].to_string())
+            (
+                g.vset(pc).key_of(s)[0].to_string(),
+                g.vset(vc).key_of(t)[0].to_string(),
+            )
         })
         .collect();
     pairs.sort();
-    assert_eq!(pairs, vec![("IT".into(), "CN".into()), ("US".into(), "CA".into())]);
+    assert_eq!(
+        pairs,
+        vec![("IT".into(), "CN".into()), ("US".into(), "CA".into())]
+    );
 
     // The same result through the query language.
     let out = db
@@ -100,11 +124,19 @@ fn fig6_q2_pipeline() {
     let mut db = berlin();
     let outs = db.execute_script(graql::bsbm::queries::q2()).unwrap();
     assert_eq!(outs.len(), 2);
-    let StmtOutput::Table(t1) = &outs[0] else { panic!("graph phase → table") };
+    let StmtOutput::Table(t1) = &outs[0] else {
+        panic!("graph phase → table")
+    };
     assert_eq!(t1.n_cols(), 1, "`select y.id` has one column");
-    let StmtOutput::Table(t2) = &outs[1] else { panic!("relational phase → table") };
+    let StmtOutput::Table(t2) = &outs[1] else {
+        panic!("relational phase → table")
+    };
     assert!(t2.n_rows() <= 10, "top 10");
-    assert_eq!(t2.schema().column(1).name, "groupCount", "`as` alias respected");
+    assert_eq!(
+        t2.schema().column(1).name,
+        "groupCount",
+        "`as` alias respected"
+    );
 }
 
 /// Figures 7/8: Berlin Q1 — `foreach` label + `and` branch.
@@ -112,7 +144,9 @@ fn fig6_q2_pipeline() {
 fn fig7_8_q1_multipath() {
     let mut db = berlin();
     let outs = db.execute_script(graql::bsbm::queries::q1()).unwrap();
-    let StmtOutput::Table(t) = &outs[1] else { panic!() };
+    let StmtOutput::Table(t) = &outs[1] else {
+        panic!()
+    };
     // Every reported category must actually be a type of some US product.
     for r in 0..t.n_rows() {
         let ty = t.get(r, 0).to_string();
@@ -120,7 +154,9 @@ fn fig7_8_q1_multipath() {
             "select y.id from graph TypeVtx(id = '{ty}') <--type-- foreach y: ProductVtx() \
              --producer--> ProducerVtx(country = 'US')"
         );
-        let StmtOutput::Table(chk) = db.execute_str(&check).unwrap() else { panic!() };
+        let StmtOutput::Table(chk) = db.execute_str(&check).unwrap() else {
+            panic!()
+        };
         assert!(chk.n_rows() > 0, "category {ty} has a US product");
     }
 }
@@ -144,8 +180,14 @@ fn fig9_variant_subgraph() {
     let sg = db.result_subgraph("resultsF9").unwrap();
     let rv = g.vtype("ReviewVtx").unwrap();
     let ov = g.vtype("OfferVtx").unwrap();
-    assert_eq!(sg.vertices_of(rv).map(|s| s.count()).unwrap_or(0), expect_reviews);
-    assert_eq!(sg.vertices_of(ov).map(|s| s.count()).unwrap_or(0), expect_offers);
+    assert_eq!(
+        sg.vertices_of(rv).map(|s| s.count()).unwrap_or(0),
+        expect_reviews
+    );
+    assert_eq!(
+        sg.vertices_of(ov).map(|s| s.count()).unwrap_or(0),
+        expect_offers
+    );
 }
 
 /// Figure 10: the path regex reaches exactly the ancestor closure of the
@@ -182,7 +224,11 @@ fn fig10_regex_ancestors() {
     let sg = db.result_subgraph("resultsF10").unwrap();
     let got: std::collections::BTreeSet<String> = sg
         .vertices_of(tv)
-        .map(|s| s.iter().map(|i| g.vset(tv).key_of(i as u32)[0].to_string()).collect())
+        .map(|s| {
+            s.iter()
+                .map(|i| g.vset(tv).key_of(i as u32)[0].to_string())
+                .collect()
+        })
         .unwrap_or_default();
     assert_eq!(got, expected, "regex closure == reference reachability");
 }
@@ -202,8 +248,14 @@ fn fig11_capture_modes() {
     assert!(full_sg.n_edges() > 0);
     assert_eq!(be_sg.n_edges(), 0);
     let pv = g.vtype("ProductVtx").unwrap();
-    assert!(full_sg.vertices_of(pv).is_some(), "middle step in full capture");
-    assert!(be_sg.vertices_of(pv).is_none(), "middle step absent from endpoint capture");
+    assert!(
+        full_sg.vertices_of(pv).is_some(),
+        "middle step in full capture"
+    );
+    assert!(
+        be_sg.vertices_of(pv).is_none(),
+        "middle step absent from endpoint capture"
+    );
     // Endpoint vertex sets agree between the two captures.
     let ov = g.vtype("OfferVtx").unwrap();
     assert_eq!(full_sg.vertices_of(ov), be_sg.vertices_of(ov));
@@ -228,12 +280,21 @@ fn fig12_seeding_restricts() {
     // And the unseeded version is strictly larger at this scale (some
     // products have no reviews).
     let out = db
-        .execute_str("select * from graph ProductVtx() --producer--> ProducerVtx() into subgraph all")
+        .execute_str(
+            "select * from graph ProductVtx() --producer--> ProducerVtx() into subgraph all",
+        )
         .unwrap();
-    let StmtOutput::Subgraph(unseeded) = out else { panic!() };
+    let StmtOutput::Subgraph(unseeded) = out else {
+        panic!()
+    };
     let g = db.graph_ref().unwrap();
     let pv_all = unseeded.vertices_of(pv).unwrap().count();
-    let pv_seeded = db.result_subgraph("resQ2").unwrap().vertices_of(pv).map(|s| s.count()).unwrap_or(0);
+    let pv_seeded = db
+        .result_subgraph("resQ2")
+        .unwrap()
+        .vertices_of(pv)
+        .map(|s| s.count())
+        .unwrap_or(0);
     assert!(pv_seeded <= pv_all);
     let _ = g;
 }
@@ -246,10 +307,18 @@ fn fig13_results_as_table() {
     db.execute_script(graql::bsbm::queries::fig13()).unwrap();
     let reviews = db.table("Reviews").unwrap().n_rows();
     let t = db.result_table("resultsT").unwrap();
-    assert_eq!(t.n_rows(), reviews, "every review matches exactly one product");
+    assert_eq!(
+        t.n_rows(),
+        reviews,
+        "every review matches exactly one product"
+    );
     let review_cols = db.table("Reviews").unwrap().n_cols();
     let product_cols = db.table("Products").unwrap().n_cols();
-    assert_eq!(t.n_cols(), review_cols + product_cols, "all attributes of all entities");
+    assert_eq!(
+        t.n_cols(),
+        review_cols + product_cols,
+        "all attributes of all entities"
+    );
     assert!(t.schema().index_of("ReviewVtx_id").is_some());
     assert!(t.schema().index_of("ProductVtx_producer").is_some());
 }
@@ -271,7 +340,11 @@ fn table1_relational_operations() {
     let StmtOutput::Table(t) = out else { panic!() };
     assert!(t.n_rows() <= 3);
     assert_eq!(
-        t.schema().columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+        t.schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>(),
         vec!["v", "n", "mean", "lo", "hi", "days"]
     );
     for r in 0..t.n_rows() {
@@ -282,11 +355,15 @@ fn table1_relational_operations() {
         assert!(lo > 100.0, "where applied before aggregation");
     }
     // distinct
-    let out = db.execute_str("select distinct country from table Vendors").unwrap();
+    let out = db
+        .execute_str("select distinct country from table Vendors")
+        .unwrap();
     let StmtOutput::Table(t) = out else { panic!() };
     let n_distinct = t.n_rows();
     let out = db.execute_str("select country from table Vendors").unwrap();
-    let StmtOutput::Table(t_all) = out else { panic!() };
+    let StmtOutput::Table(t_all) = out else {
+        panic!()
+    };
     assert!(n_distinct <= t_all.n_rows());
     assert!(n_distinct <= graql::bsbm::gen::COUNTRIES.len());
 }

@@ -48,9 +48,15 @@ fn build_db(f: &Fixture) -> Database {
     )
     .unwrap();
     let a_csv: String =
-        f.xs.iter().enumerate().map(|(i, x)| format!("{i},{x}\n")).collect();
+        f.xs.iter()
+            .enumerate()
+            .map(|(i, x)| format!("{i},{x}\n"))
+            .collect();
     let b_csv: String =
-        f.ys.iter().enumerate().map(|(i, y)| format!("{i},{y}\n")).collect();
+        f.ys.iter()
+            .enumerate()
+            .map(|(i, y)| format!("{i},{y}\n"))
+            .collect();
     let ab_csv: String = f.ab.iter().map(|(a, b)| format!("{a},{b}\n")).collect();
     db.ingest_str("A", &a_csv).unwrap();
     db.ingest_str("B", &b_csv).unwrap();
@@ -197,7 +203,9 @@ fn rand_query() -> impl Strategy<Value = RandQuery> {
 impl RandQuery {
     fn to_graql(&self) -> String {
         let mut q = String::from("select ");
-        let cols: Vec<String> = (0..self.steps).map(|i| format!("s{i}.id as c{i}")).collect();
+        let cols: Vec<String> = (0..self.steps)
+            .map(|i| format!("s{i}.id as c{i}"))
+            .collect();
         q.push_str(&cols.join(", "));
         q.push_str(" from graph ");
         for i in 0..self.steps {
@@ -219,7 +227,11 @@ impl RandQuery {
     /// sets.
     fn brute_force(&self, f: &Fixture) -> (usize, Vec<std::collections::BTreeSet<usize>>) {
         let passes = |i: usize, v: usize| -> bool {
-            let val = if i.is_multiple_of(2) { f.xs[v] } else { f.ys[v] };
+            let val = if i.is_multiple_of(2) {
+                f.xs[v]
+            } else {
+                f.ys[v]
+            };
             self.conds[i].is_none_or(|t| val < t)
         };
         let mut count = 0usize;
@@ -242,7 +254,11 @@ impl RandQuery {
                 }
                 return;
             }
-            let domain = if i.is_multiple_of(2) { f.xs.len() } else { f.ys.len() };
+            let domain = if i.is_multiple_of(2) {
+                f.xs.len()
+            } else {
+                f.ys.len()
+            };
             for v in 0..domain {
                 if !passes(i, v) {
                     continue;
@@ -315,6 +331,118 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Static-analysis properties
+// ---------------------------------------------------------------------------
+
+/// One random statement over the A/B catalog: templates instantiated with
+/// names drawn from a pool that mixes valid and bogus identifiers, so
+/// scripts range from clean to multiply-faulty.
+fn rand_stmt() -> impl Strategy<Value = String> {
+    let tbl = || "A|B|AB|T|nope|Missing";
+    let vtx = || "VA|VB|T|nope";
+    let col = || "id|x|y|a|b|price|nope";
+    let lit = || "1|27|'s'|2\\.5|%P%";
+    let op = || "=|!=|<|>";
+    prop_oneof![
+        (tbl(),).prop_map(|(t,)| format!("select * from table {t}")),
+        (tbl(), col(), op(), lit()).prop_map(|(t, c, o, l)| {
+            format!("select {c} from table {t} where {c} {o} {l} and {c} {o} {l}")
+        }),
+        (tbl(), col()).prop_map(|(t, c)| format!("select top 3 {c} from table {t}")),
+        (tbl(), col()).prop_map(|(t, c)| {
+            format!("select {c}, count(*) as n from table {t} group by {c} order by n desc")
+        }),
+        (vtx(), vtx(), col(), lit()).prop_map(|(v1, v2, c, l)| {
+            format!("select * from graph {v1}({c} = {l}) --ab--> {v2}()")
+        }),
+        (vtx(), tbl()).prop_map(|(v, t)| {
+            format!("select z.id from graph def z: {v}() --ab--> VB() into table {t}")
+        }),
+        (vtx(),).prop_map(|(v,)| {
+            format!("select * from graph {v}() {{ --ab--> VB() <--ab-- VA() }}* --> VA()")
+        }),
+        (tbl(), col()).prop_map(|(t, c)| format!("create vertex VN({c}) from table {t}")),
+        (tbl(),).prop_map(|(t,)| format!("ingest table {t} data.csv")),
+    ]
+}
+
+fn rand_script() -> impl Strategy<Value = String> {
+    proptest::collection::vec(rand_stmt(), 1..5).prop_map(|v| v.join("\n"))
+}
+
+/// The A/B schema as a catalog (no data).
+fn ab_catalog() -> graql::core::Catalog {
+    let mut db = Database::new();
+    db.execute_script(
+        "create table A(id integer, x integer)
+         create table B(id integer, y integer)
+         create table AB(a integer, b integer)
+         create vertex VA(id) from table A
+         create vertex VB(id) from table B
+         create edge ab with vertices (VA, VB) from table AB
+             where AB.a = VA.id and AB.b = VB.id",
+    )
+    .unwrap();
+    db.catalog().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Whatever the parser accepts, both analysis modes process without
+    /// panicking — and they agree: the collecting checker finds an error
+    /// exactly when the fail-fast analyzer does, and its *first* error is
+    /// the same error (same class, same message).
+    #[test]
+    fn analysis_modes_agree(script in rand_script()) {
+        let catalog = ab_catalog();
+        if let Ok(ast) = graql::parser::parse(&script) {
+            let fail_fast = graql::core::analyze::analyze_script(&catalog, &ast);
+            let (_, diags) = graql::core::analyze::check_script(&catalog, &ast);
+            match fail_fast {
+                Ok(_) => prop_assert!(
+                    !diags.has_errors(),
+                    "fail-fast passed but checker errored on {script:?}:\n{}",
+                    diags.render(&script, "prop")
+                ),
+                Err(e) => {
+                    let first = diags
+                        .first_error()
+                        .unwrap_or_else(|| panic!("fail-fast errored ({e}) but checker \
+                                                   found nothing on {script:?}"))
+                        .clone()
+                        .into_error();
+                    prop_assert_eq!(e.to_string(), first.to_string(), "script: {:?}", script);
+                }
+            }
+        }
+    }
+
+    /// Checking never mutates the database: a check followed by execution
+    /// behaves exactly like execution alone.
+    #[test]
+    fn check_is_pure(script in rand_script()) {
+        let mut db = Database::new();
+        db.execute_script(
+            "create table A(id integer, x integer)
+             create table B(id integer, y integer)
+             create table AB(a integer, b integer)
+             create vertex VA(id) from table A
+             create vertex VB(id) from table B
+             create edge ab with vertices (VA, VB) from table AB
+                 where AB.a = VA.id and AB.b = VB.id",
+        )
+        .unwrap();
+        let snapshot = |c: &graql::core::Catalog| {
+            (c.table_names().to_vec(), c.vertex_names().to_vec(), c.edge_names().to_vec())
+        };
+        let before = snapshot(db.catalog());
+        let _ = db.check_script_str(&script);
+        prop_assert_eq!(before, snapshot(db.catalog()));
+    }
+}
+
 /// Deterministic output ordering: the same query yields byte-identical
 /// rendered tables across runs.
 #[test]
@@ -330,7 +458,9 @@ fn deterministic_results() {
         let mut db = build_db(&f);
         let q = "select z.id, w.id as peer from graph \
                  def w: VA() --ab--> VB() <--ab-- def z: VA()";
-        let StmtOutput::Table(t) = db.execute_str(q).unwrap() else { panic!() };
+        let StmtOutput::Table(t) = db.execute_str(q).unwrap() else {
+            panic!()
+        };
         t.render()
     };
     let first = run();

@@ -32,7 +32,9 @@ fn file_ingest_script_end_to_end() {
     let outs = db.execute_script(SCRIPT).unwrap();
     assert!(matches!(outs[5], StmtOutput::Ingested { rows: 3, .. }));
     assert!(matches!(outs[6], StmtOutput::Ingested { rows: 2, .. }));
-    let StmtOutput::Table(t) = &outs[8] else { panic!() };
+    let StmtOutput::Table(t) = &outs[8] else {
+        panic!()
+    };
     assert_eq!(t.get(0, 0), Value::Int(2));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -44,7 +46,9 @@ fn parallel_script_runner_end_to_end() {
     let mut db = Database::new();
     db.set_data_dir(&dir);
     let report = run_script(&mut db, SCRIPT).unwrap();
-    let StmtOutput::Table(t) = &report.outputs[8] else { panic!() };
+    let StmtOutput::Table(t) = &report.outputs[8] else {
+        panic!()
+    };
     assert_eq!(t.get(0, 0), Value::Int(2));
     // DDL and ingest are barriers; the two selects are RAW-dependent.
     assert_eq!(report.windows.len(), 9);
@@ -77,7 +81,9 @@ fn repo_demo_script_runs() {
     let mut db = Database::new();
     db.set_data_dir(&dir);
     let outs = db.execute_script(&script).unwrap();
-    let StmtOutput::Table(t) = outs.last().unwrap() else { panic!() };
+    let StmtOutput::Table(t) = outs.last().unwrap() else {
+        panic!()
+    };
     assert_eq!(t.get(0, 0), Value::str("US"));
     assert_eq!(t.get(0, 1), Value::Int(2));
     std::fs::remove_dir_all(&dir).ok();
@@ -96,7 +102,11 @@ fn shell_binary_runs_a_script() {
         .arg(&dir)
         .output()
         .expect("shell runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ingested 3 rows into Products"), "{stdout}");
     assert!(stdout.contains("| 2 |"), "count output present: {stdout}");
