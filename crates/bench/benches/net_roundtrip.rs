@@ -1,0 +1,79 @@
+//! EXP-NET: what the wire costs.
+//!
+//! The paper's architecture (§III) separates client, front-end and
+//! backend; this repo's seed collapsed them into one process. `graql-net`
+//! separates them again, so this bench quantifies the price: Berlin Q1/Q2
+//! through a loopback `NetServer` vs the same session API in-process,
+//! plus raw protocol latency (ping) and streamed result throughput (a
+//! full `Products` scan shipped in row batches).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use graql_bench::berlin;
+use graql_core::Server;
+use graql_net::{serve, ConnectOptions, GemsSession, RemoteSession, ServeOptions};
+
+fn bench(c: &mut Criterion) {
+    let server = Server::new(berlin(400));
+    let mut net = serve(server.clone(), ServeOptions::default()).expect("serve");
+    let mut remote =
+        RemoteSession::connect(net.local_addr(), ConnectOptions::new("admin")).expect("connect");
+    let mut inproc = server.connect("admin").expect("in-process session");
+
+    let mut group = c.benchmark_group("net_roundtrip");
+
+    // Raw protocol latency: one framed message each way, no query work.
+    group.bench_function("ping", |b| {
+        b.iter(|| remote.ping().unwrap());
+    });
+
+    for (name, query) in [
+        ("q1", graql_bsbm::queries::q1()),
+        ("q2", graql_bsbm::queries::q2()),
+    ] {
+        group.bench_function(format!("{name}_inproc"), |b| {
+            b.iter(|| {
+                black_box(
+                    GemsSession::execute_script(&mut inproc, query)
+                        .unwrap()
+                        .len(),
+                )
+            });
+        });
+        group.bench_function(format!("{name}_remote"), |b| {
+            b.iter(|| black_box(remote.execute_script(query).unwrap().len()));
+        });
+    }
+
+    // Streamed throughput: a full wide-table scan crosses the wire in
+    // row batches; the in-process run bounds the engine-side cost.
+    let scan = "select id, label, producer, propertyNumeric_1, date from table Products";
+    let rows = {
+        let outputs = remote.execute_script(scan).unwrap();
+        match &outputs[..] {
+            [graql_core::SessionOutput::Table(t)] => t.n_rows(),
+            other => panic!("expected a table, got {other:?}"),
+        }
+    };
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function("scan_inproc", |b| {
+        b.iter(|| {
+            black_box(
+                GemsSession::execute_script(&mut inproc, scan)
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("scan_remote", |b| {
+        b.iter(|| black_box(remote.execute_script(scan).unwrap().len()));
+    });
+    group.finish();
+
+    drop(remote);
+    net.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

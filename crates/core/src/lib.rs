@@ -51,4 +51,4 @@ pub use exec::results::QueryOutput;
 pub use persist::{load_dir, save_dir};
 pub use plan::ExecConfig;
 pub use script::{run_script, run_script_pipelined, ScriptReport};
-pub use server::{Role, Server, Session};
+pub use server::{Role, Server, Session, SessionOutput};

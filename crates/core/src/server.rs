@@ -5,17 +5,28 @@
 //! information on the sizes of those objects (e.g. how many rows in
 //! table? how many vertex instances of certain type?)."
 //!
-//! In-process reproduction: user accounts with roles, sessions that gate
-//! statements by role, and a catalog-describe service backed by the live
-//! statistics.
+//! Reproduction: user accounts with roles, sessions that gate statements
+//! by role, and a catalog-describe service backed by the live statistics.
+//!
+//! The server is **shared state**: it hands out any number of concurrent
+//! [`Session`]s (each owns an `Arc` of the server internals, no borrow of
+//! the server itself), so the networked front-end (`graql-net`) can serve
+//! one session per connection from multiple threads. The database sits
+//! behind a `parking_lot::RwLock`; scripts that only read (selects without
+//! `into` capture) run under a shared read lock and therefore in parallel,
+//! while DDL / ingest / result-capturing scripts take the write lock and
+//! execute atomically with respect to other sessions.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use graql_parser::ast::Stmt;
+use graql_parser::ast::{self, Stmt};
 use graql_types::{GraqlError, Result};
+use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 
 use crate::database::{Database, StmtOutput};
+use crate::exec::results::QueryOutput;
 
 /// Access level of a user account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,11 +37,71 @@ pub enum Role {
     Analyst,
 }
 
-/// The front-end server: one database + user accounts.
+impl Role {
+    /// Stable one-byte encoding for the wire protocol.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Role::Admin => 0,
+            Role::Analyst => 1,
+        }
+    }
+
+    /// Inverse of [`Role::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Result<Role> {
+        match tag {
+            0 => Ok(Role::Admin),
+            1 => Ok(Role::Analyst),
+            t => Err(GraqlError::net(format!("unknown role tag {t}"))),
+        }
+    }
+
+    /// Parses the textual spelling used by CLI flags (`admin`, `analyst`).
+    pub fn parse(s: &str) -> Result<Role> {
+        match s {
+            "admin" => Ok(Role::Admin),
+            "analyst" => Ok(Role::Analyst),
+            other => Err(GraqlError::name(format!(
+                "unknown role '{other}' (expected 'admin' or 'analyst')"
+            ))),
+        }
+    }
+}
+
+/// Self-contained output of one statement executed through a session:
+/// unlike [`StmtOutput`], subgraph results are summarized against the
+/// graph *while the database lock is held*, so the value can leave the
+/// server (e.g. cross a socket) without a graph reference.
+#[derive(Debug, Clone)]
+pub enum SessionOutput {
+    /// DDL executed (`create …`).
+    Created(String),
+    /// `ingest` executed: table name and rows added.
+    Ingested { table: String, rows: u64 },
+    /// A select produced a table (shipped whole).
+    Table(graql_table::Table),
+    /// A select produced a subgraph, reported by size and summary line.
+    Subgraph {
+        n_vertices: u64,
+        n_edges: u64,
+        summary: String,
+    },
+    /// The statement was fused into the next one (pipelined execution).
+    Pipelined,
+}
+
+/// Shared internals: one database + the account registry.
 #[derive(Debug, Default)]
+struct ServerShared {
+    db: RwLock<Database>,
+    users: RwLock<FxHashMap<String, Role>>,
+}
+
+/// The front-end server. Cloning is cheap (an `Arc` clone) and yields a
+/// handle to the *same* server — the form the thread-per-connection
+/// network listener hands to its workers.
+#[derive(Debug, Clone, Default)]
 pub struct Server {
-    db: Database,
-    users: FxHashMap<String, Role>,
+    shared: Arc<ServerShared>,
 }
 
 impl Server {
@@ -38,56 +109,66 @@ impl Server {
     pub fn new(db: Database) -> Self {
         let mut users = FxHashMap::default();
         users.insert("admin".to_string(), Role::Admin);
-        Server { db, users }
+        Server {
+            shared: Arc::new(ServerShared {
+                db: RwLock::new(db),
+                users: RwLock::new(users),
+            }),
+        }
     }
 
     /// Registers a user account.
-    pub fn create_user(&mut self, name: impl Into<String>, role: Role) -> Result<()> {
+    pub fn create_user(&self, name: impl Into<String>, role: Role) -> Result<()> {
         let name = name.into();
-        if self.users.contains_key(&name) {
+        let mut users = self.shared.users.write();
+        if users.contains_key(&name) {
             return Err(GraqlError::name(format!("user '{name}' already exists")));
         }
-        self.users.insert(name, role);
+        users.insert(name, role);
         Ok(())
     }
 
-    /// Opens a session for `user`.
-    pub fn connect(&mut self, user: &str) -> Result<Session<'_>> {
+    /// Opens a session for `user`. Sessions are independent values — any
+    /// number may coexist, from any thread.
+    pub fn connect(&self, user: &str) -> Result<Session> {
         let role = *self
+            .shared
             .users
+            .read()
             .get(user)
             .ok_or_else(|| GraqlError::name(format!("unknown user '{user}'")))?;
         Ok(Session {
-            server: self,
+            shared: Arc::clone(&self.shared),
             user: user.to_string(),
             role,
         })
     }
 
-    /// Direct access to the underlying database (bypasses access control;
-    /// for embedding scenarios and tests).
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// Exclusive access to the underlying database (bypasses access
+    /// control; for embedding scenarios and tests). Holds the write lock
+    /// for the guard's lifetime — do not hold it across a session call.
+    pub fn database_mut(&self) -> impl std::ops::DerefMut<Target = Database> + '_ {
+        self.shared.db.write()
     }
 
     /// The catalog-describe service: object names with their current
     /// sizes ("how many rows in table? how many vertex instances?").
-    pub fn describe(&mut self) -> Result<String> {
+    pub fn describe(&self) -> Result<String> {
+        let mut db = self.shared.db.write();
         let mut out = String::new();
-        let tables: Vec<(String, usize)> = self
-            .db
+        let tables: Vec<(String, usize)> = db
             .catalog()
             .table_names()
             .iter()
-            .map(|n| (n.clone(), self.db.table(n).map_or(0, |t| t.n_rows())))
+            .map(|n| (n.clone(), db.table(n).map_or(0, |t| t.n_rows())))
             .collect();
         let _ = writeln!(out, "tables:");
         for (name, rows) in tables {
             let _ = writeln!(out, "  {name}: {rows} rows");
         }
-        self.db.graph()?;
-        let stats = self.db.stats()?.clone();
-        let graph = self.db.graph_ref().expect("built above");
+        db.graph()?;
+        let stats = db.stats()?.clone();
+        let graph = db.graph_ref().expect("built above");
         let _ = writeln!(out, "vertex types:");
         for vs in &stats.vertices {
             let _ = writeln!(
@@ -112,14 +193,16 @@ impl Server {
     }
 }
 
-/// An authenticated session.
-pub struct Session<'s> {
-    server: &'s mut Server,
+/// An authenticated session. Owns a handle to the server internals, so it
+/// has no lifetime tie to the [`Server`] value and is `Send` — one session
+/// per network connection, concurrently.
+pub struct Session {
+    shared: Arc<ServerShared>,
     user: String,
     role: Role,
 }
 
-impl Session<'_> {
+impl Session {
     pub fn user(&self) -> &str {
         &self.user
     }
@@ -131,15 +214,98 @@ impl Session<'_> {
     /// Executes a script under this session's access level.
     pub fn execute_script(&mut self, text: &str) -> Result<Vec<StmtOutput>> {
         let script = graql_parser::parse(text)?;
+        self.execute_parsed(&script)
+    }
+
+    /// Executes a script shipped as binary IR (the wire form, paper §III).
+    pub fn execute_ir(&mut self, blob: &[u8]) -> Result<Vec<SessionOutput>> {
+        let script = crate::ir::decode(blob)?;
+        Ok(self
+            .execute_parsed(&script)?
+            .into_iter()
+            .map(|o| self.seal_output(o))
+            .collect())
+    }
+
+    /// Executes an already parsed script, with read-only scripts (selects
+    /// without `into` capture) running under the shared read lock so
+    /// concurrent sessions can query in parallel.
+    pub fn execute_parsed(&mut self, script: &ast::Script) -> Result<Vec<StmtOutput>> {
         for stmt in &script.statements {
             self.check(stmt)?;
         }
-        crate::analyze::analyze_script(self.server.db.catalog(), &script)?;
-        script
+        let read_only = script
             .statements
             .iter()
-            .map(|s| self.server.db.execute(s))
-            .collect()
+            .all(|s| matches!(s, Stmt::Select(sel) if sel.into.is_none()));
+        if read_only {
+            // Brief write lock: analysis against the catalog plus the
+            // (possibly cached) graph build — then drop to a read lock for
+            // the actual query execution.
+            {
+                let mut db = self.shared.db.write();
+                crate::analyze::analyze_script(db.catalog(), script)?;
+                db.graph()?;
+            }
+            let db = self.shared.db.read();
+            script
+                .statements
+                .iter()
+                .map(|s| {
+                    let Stmt::Select(sel) = s else {
+                        unreachable!("read-only scripts contain only selects")
+                    };
+                    Ok(match db.execute_select(sel)? {
+                        QueryOutput::Table(t) => StmtOutput::Table(t),
+                        QueryOutput::Subgraph(sg) => StmtOutput::Subgraph(sg),
+                    })
+                })
+                .collect()
+        } else {
+            let mut db = self.shared.db.write();
+            crate::analyze::analyze_script(db.catalog(), script)?;
+            script.statements.iter().map(|s| db.execute(s)).collect()
+        }
+    }
+
+    /// Executes a script and returns transport-friendly outputs (subgraphs
+    /// summarized under the lock; see [`SessionOutput`]).
+    pub fn execute_script_sealed(&mut self, text: &str) -> Result<Vec<SessionOutput>> {
+        let outs = self.execute_script(text)?;
+        Ok(outs.into_iter().map(|o| self.seal_output(o)).collect())
+    }
+
+    /// Converts an engine output into its self-contained form, rendering
+    /// subgraph summaries against the current graph.
+    fn seal_output(&self, out: StmtOutput) -> SessionOutput {
+        match out {
+            StmtOutput::Created(n) => SessionOutput::Created(n),
+            StmtOutput::Ingested { table, rows } => SessionOutput::Ingested {
+                table,
+                rows: rows as u64,
+            },
+            StmtOutput::Table(t) => SessionOutput::Table(t),
+            StmtOutput::Subgraph(sg) => {
+                let db = self.shared.db.read();
+                let summary = db.graph_ref().map(|g| sg.summary(g)).unwrap_or_else(|| {
+                    format!("{} vertices, {} edges", sg.n_vertices(), sg.n_edges())
+                });
+                SessionOutput::Subgraph {
+                    n_vertices: sg.n_vertices() as u64,
+                    n_edges: sg.n_edges() as u64,
+                    summary,
+                }
+            }
+            StmtOutput::Pipelined => SessionOutput::Pipelined,
+        }
+    }
+
+    /// The catalog-describe service, through the session.
+    pub fn describe(&self) -> Result<String> {
+        Server {
+            shared: Arc::clone(&self.shared),
+        }
+        .describe()
     }
 
     /// Statically checks a script under this session, returning *all*
@@ -158,7 +324,7 @@ impl Session<'_> {
                 return sink;
             }
         };
-        let mut diags = self.server.db.check_script(&script);
+        let mut diags = self.shared.db.write().check_script(&script);
         for stmt in &script.statements {
             if let Err(e) = self.check(stmt) {
                 diags.push(graql_types::Diagnostic::error(
@@ -204,7 +370,7 @@ mod tests {
 
     #[test]
     fn admin_can_do_everything() {
-        let mut s = server();
+        let s = server();
         let mut sess = s.connect("admin").unwrap();
         assert_eq!(sess.role(), Role::Admin);
         sess.execute_script("create table U(b integer)").unwrap();
@@ -214,7 +380,7 @@ mod tests {
 
     #[test]
     fn analysts_query_but_cannot_define_or_ingest() {
-        let mut s = server();
+        let s = server();
         s.create_user("ada", Role::Analyst).unwrap();
         let mut sess = s.connect("ada").unwrap();
         let outs = sess
@@ -245,7 +411,7 @@ mod tests {
 
     #[test]
     fn unknown_users_and_duplicates() {
-        let mut s = server();
+        let s = server();
         assert!(s.connect("nobody").is_err());
         s.create_user("bob", Role::Analyst).unwrap();
         assert!(s.create_user("bob", Role::Admin).is_err());
@@ -253,10 +419,61 @@ mod tests {
 
     #[test]
     fn describe_reports_sizes() {
-        let mut s = server();
+        let s = server();
         s.database_mut().set_param("unused", Value::Int(0));
         let d = s.describe().unwrap();
         assert!(d.contains("T: 3 rows"), "{d}");
         assert!(d.contains("V: 3 instances"), "{d}");
+    }
+
+    #[test]
+    fn sessions_coexist_and_share_state() {
+        let s = server();
+        s.create_user("ada", Role::Analyst).unwrap();
+        // Two live sessions at once — impossible with the old exclusive
+        // `&mut Server` borrow.
+        let mut admin = s.connect("admin").unwrap();
+        let mut ada = s.connect("ada").unwrap();
+        admin.execute_script("create table W(x integer)").unwrap();
+        let outs = ada.execute_script("select a from table T").unwrap();
+        assert!(matches!(&outs[0], StmtOutput::Table(t) if t.n_rows() == 3));
+    }
+
+    #[test]
+    fn concurrent_read_queries_from_threads() {
+        let s = server();
+        for i in 0..4 {
+            s.create_user(format!("u{i}"), Role::Analyst).unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut sess = s.connect(&format!("u{i}")).unwrap();
+                    for _ in 0..8 {
+                        let outs = sess.execute_script("select a from table T").unwrap();
+                        assert!(matches!(&outs[0], StmtOutput::Table(t) if t.n_rows() == 3));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn execute_ir_matches_text_path() {
+        let s = server();
+        let mut sess = s.connect("admin").unwrap();
+        let script = graql_parser::parse("select a from table T where a > 1").unwrap();
+        let blob = crate::ir::encode(&script);
+        let outs = sess.execute_ir(&blob).unwrap();
+        assert!(matches!(&outs[0], SessionOutput::Table(t) if t.n_rows() == 2));
+        // Role checks also gate the IR path.
+        s.create_user("eve", Role::Analyst).unwrap();
+        let mut eve = s.connect("eve").unwrap();
+        let ddl = crate::ir::encode(&graql_parser::parse("create table Z(a integer)").unwrap());
+        assert!(eve.execute_ir(&ddl).is_err());
     }
 }

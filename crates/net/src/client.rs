@@ -1,0 +1,258 @@
+//! The remote session client.
+//!
+//! [`RemoteSession`] speaks the frame + message protocol to a
+//! [`crate::server::NetServer`] and implements [`crate::GemsSession`], so
+//! the shell drives a networked server through exactly the code paths it
+//! uses in-process. Scripts are parsed locally (errors surface with the
+//! caret rendering users expect, without a round trip) and shipped as
+//! binary IR — the paper's client→front-end format (§III).
+//!
+//! Every wait is bounded: connect, reads and writes all carry deadlines,
+//! and a server that stops replying yields a typed
+//! [`GraqlError::Net`](graql_types::GraqlError) — never a hang.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use graql_core::{Role, SessionOutput};
+use graql_types::{Diagnostics, GraqlError, Result};
+
+use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
+use crate::proto::{self, diags_from_wire, Msg, TableAssembler, PROTO_VERSION};
+use crate::GemsSession;
+
+/// Client-side tuning.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// User to authenticate as.
+    pub user: String,
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-reply deadline: if the server sends nothing for this long
+    /// while a reply is owed, the request fails with a typed error.
+    pub timeout: Duration,
+    /// Hard cap on one frame's payload, both directions.
+    pub max_frame: usize,
+}
+
+impl ConnectOptions {
+    pub fn new(user: impl Into<String>) -> Self {
+        ConnectOptions {
+            user: user.into(),
+            connect_timeout: Duration::from_secs(10),
+            timeout: Duration::from_secs(60),
+            max_frame: MAX_FRAME,
+        }
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// A session against a remote GEMS server.
+#[derive(Debug)]
+pub struct RemoteSession {
+    stream: TcpStream,
+    user: String,
+    role: Role,
+    server_banner: String,
+    max_frame: usize,
+}
+
+impl RemoteSession {
+    /// Connects, negotiates the protocol version and authenticates.
+    pub fn connect(addr: impl ToSocketAddrs, opts: ConnectOptions) -> Result<RemoteSession> {
+        let mut last_err: Option<std::io::Error> = None;
+        let mut stream = None;
+        for candidate in addr
+            .to_socket_addrs()
+            .map_err(|e| GraqlError::net(format!("cannot resolve server address: {e}")))?
+        {
+            match TcpStream::connect_timeout(&candidate, opts.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            GraqlError::net(match last_err {
+                Some(e) => format!("cannot connect: {e}"),
+                None => "server address resolves to nothing".to_string(),
+            })
+        })?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| GraqlError::net(format!("nodelay: {e}")))?;
+        stream
+            .set_read_timeout(Some(opts.timeout))
+            .map_err(|e| GraqlError::net(format!("read timeout: {e}")))?;
+        stream
+            .set_write_timeout(Some(opts.timeout))
+            .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
+
+        let mut session = RemoteSession {
+            stream,
+            user: opts.user.clone(),
+            role: Role::Analyst,
+            server_banner: String::new(),
+            max_frame: opts.max_frame,
+        };
+        session.send(&Msg::Hello {
+            proto: PROTO_VERSION,
+            user: opts.user,
+        })?;
+        match session.recv()? {
+            Msg::Welcome {
+                proto,
+                role,
+                server,
+            } => {
+                if proto != PROTO_VERSION {
+                    return Err(GraqlError::net(format!(
+                        "server negotiated unsupported protocol v{proto} (client speaks v{PROTO_VERSION})"
+                    )));
+                }
+                session.role = proto::role_from_tag(role)?;
+                session.server_banner = server;
+                Ok(session)
+            }
+            Msg::Error {
+                status, message, ..
+            } => Err(GraqlError::from_wire_status(status, message)),
+            other => Err(GraqlError::net(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// The banner the server sent in `Welcome`.
+    pub fn server_banner(&self) -> &str {
+        &self.server_banner
+    }
+
+    /// Round-trips a `Ping` (liveness / latency probe).
+    pub fn ping(&mut self) -> Result<()> {
+        self.send(&Msg::Ping)?;
+        match self.recv()? {
+            Msg::Pong => Ok(()),
+            other => Err(GraqlError::net(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    fn send(&mut self, msg: &Msg) -> Result<()> {
+        let payload = proto::encode(msg);
+        write_frame(&mut self.stream, &payload, self.max_frame)
+    }
+
+    /// Receives one message, turning idle timeouts and mid-reply closes
+    /// into typed errors (the client is always owed a reply here).
+    fn recv(&mut self) -> Result<Msg> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            FrameRead::Frame(p) => proto::decode(&p),
+            FrameRead::TimedOut => Err(GraqlError::net("server did not reply within the deadline")),
+            FrameRead::Closed => Err(GraqlError::net("server closed the connection")),
+        }
+    }
+
+    /// Collects a `Submit` reply stream into statement outputs.
+    fn collect_outputs(&mut self) -> Result<Vec<SessionOutput>> {
+        let mut outputs = Vec::new();
+        let mut table: Option<TableAssembler> = None;
+        loop {
+            match self.recv()? {
+                Msg::Created { name } => outputs.push(SessionOutput::Created(name)),
+                Msg::Ingested { table, rows } => {
+                    outputs.push(SessionOutput::Ingested { table, rows })
+                }
+                Msg::TableHeader { cols } => {
+                    if table.is_some() {
+                        return Err(GraqlError::net("nested table stream"));
+                    }
+                    table = Some(TableAssembler::new(&cols)?);
+                }
+                Msg::TableRows { rows } => match table.as_mut() {
+                    Some(t) => t.push_rows(&rows)?,
+                    None => return Err(GraqlError::net("rows outside a table stream")),
+                },
+                Msg::TableEnd => match table.take() {
+                    Some(t) => outputs.push(SessionOutput::Table(t.finish())),
+                    None => return Err(GraqlError::net("TableEnd outside a table stream")),
+                },
+                Msg::Subgraph {
+                    n_vertices,
+                    n_edges,
+                    summary,
+                } => outputs.push(SessionOutput::Subgraph {
+                    n_vertices,
+                    n_edges,
+                    summary,
+                }),
+                Msg::Pipelined => outputs.push(SessionOutput::Pipelined),
+                Msg::Done { .. } => return Ok(outputs),
+                Msg::Error {
+                    status, message, ..
+                } => return Err(GraqlError::from_wire_status(status, message)),
+                other => {
+                    return Err(GraqlError::net(format!(
+                        "unexpected message in result stream: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl GemsSession for RemoteSession {
+    fn execute_script(&mut self, text: &str) -> Result<Vec<SessionOutput>> {
+        // Parse locally: syntax errors render against the local source
+        // with spans, and the wire carries compact IR, not text.
+        let script = graql_parser::parse(text)?;
+        let ir = graql_core::ir::encode(&script);
+        self.send(&Msg::Submit { ir: ir.to_vec() })?;
+        self.collect_outputs()
+    }
+
+    fn check_script(&mut self, text: &str) -> Result<Diagnostics> {
+        self.send(&Msg::Check {
+            text: text.to_string(),
+        })?;
+        match self.recv()? {
+            Msg::CheckReport { diags } => Ok(diags_from_wire(&diags)),
+            Msg::Error {
+                status, message, ..
+            } => Err(GraqlError::from_wire_status(status, message)),
+            other => Err(GraqlError::net(format!(
+                "expected CheckReport, got {other:?}"
+            ))),
+        }
+    }
+
+    fn describe(&mut self) -> Result<String> {
+        self.send(&Msg::Describe)?;
+        match self.recv()? {
+            Msg::DescribeReport { text } => Ok(text),
+            Msg::Error {
+                status, message, ..
+            } => Err(GraqlError::from_wire_status(status, message)),
+            other => Err(GraqlError::net(format!(
+                "expected DescribeReport, got {other:?}"
+            ))),
+        }
+    }
+
+    fn user(&self) -> &str {
+        &self.user
+    }
+
+    fn role(&self) -> Role {
+        self.role
+    }
+}
+
+impl Drop for RemoteSession {
+    fn drop(&mut self) {
+        let _ = self.send(&Msg::Goodbye);
+    }
+}

@@ -1,0 +1,159 @@
+//! Length-prefixed binary framing.
+//!
+//! One frame = `u32` little-endian payload length + payload bytes. The
+//! length is validated against a hard cap *before* any allocation, so a
+//! hostile peer cannot make the reader allocate attacker-controlled
+//! amounts of memory. Socket read timeouts are folded into the protocol:
+//! a timeout while waiting for a new frame header is a clean idle tick
+//! (so servers can poll their shutdown flag), while a timeout in the
+//! middle of a frame is a stalled peer and a hard error.
+
+use std::io::{ErrorKind, Read, Write};
+
+use graql_types::{GraqlError, Result};
+
+/// Default hard cap on one frame's payload (32 MiB). Large result tables
+/// are streamed in row batches well below this.
+pub const MAX_FRAME: usize = 32 * 1024 * 1024;
+
+/// Outcome of one framed read.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The read deadline passed with no bytes of a new frame — the
+    /// connection is idle, not broken.
+    TimedOut,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// How a fixed-size read at a frame boundary ended.
+enum Fill {
+    Complete,
+    /// Timeout with zero bytes read (only at a frame boundary).
+    IdleTimeout,
+    /// EOF with zero bytes read (only at a frame boundary).
+    Eof,
+}
+
+/// Reads exactly `buf.len()` bytes. `start_of_frame` selects the
+/// semantics of a zero-byte timeout/EOF: at a frame boundary they are
+/// clean ([`Fill::IdleTimeout`] / [`Fill::Eof`]); once any byte has
+/// arrived — or when reading a payload — they mean the peer stalled or
+/// vanished mid-frame and become errors.
+fn read_exact_frame(r: &mut impl Read, buf: &mut [u8], start_of_frame: bool) -> Result<Fill> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if start_of_frame && filled == 0 {
+                    return Ok(Fill::Eof);
+                }
+                return Err(GraqlError::net("connection closed mid-frame"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if start_of_frame && filled == 0 {
+                    return Ok(Fill::IdleTimeout);
+                }
+                return Err(GraqlError::net("read deadline exceeded mid-frame"));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(GraqlError::net(format!("read failed: {e}"))),
+        }
+    }
+    Ok(Fill::Complete)
+}
+
+/// Reads one frame. A timeout before the first header byte yields
+/// [`FrameRead::TimedOut`]; EOF at a frame boundary yields
+/// [`FrameRead::Closed`]; oversized lengths and mid-frame stalls are
+/// errors.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<FrameRead> {
+    let mut header = [0u8; 4];
+    match read_exact_frame(r, &mut header, true)? {
+        Fill::Complete => {}
+        Fill::IdleTimeout => return Ok(FrameRead::TimedOut),
+        Fill::Eof => return Ok(FrameRead::Closed),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame {
+        return Err(GraqlError::net(format!(
+            "frame of {len} bytes exceeds the {max_frame}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_frame(r, &mut payload, false)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Writes one frame (length header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: usize) -> Result<()> {
+    if payload.len() > max_frame {
+        return Err(GraqlError::net(format!(
+            "refusing to send a {}-byte frame (limit {max_frame})",
+            payload.len()
+        )));
+    }
+    let header = (payload.len() as u32).to_le_bytes();
+    w.write_all(&header)
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| {
+            if is_timeout(&e) {
+                GraqlError::net("write deadline exceeded")
+            } else {
+                GraqlError::net(format!("write failed: {e}"))
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        let FrameRead::Frame(p) = read_frame(&mut r, MAX_FRAME).unwrap() else {
+            panic!()
+        };
+        assert_eq!(p, b"hello");
+        let FrameRead::Frame(p) = read_frame(&mut r, MAX_FRAME).unwrap() else {
+            panic!()
+        };
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(err.to_string().contains("mid-frame"), "{err}");
+    }
+
+    #[test]
+    fn writer_refuses_oversized_frames() {
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &[0u8; 32], 16).is_err());
+    }
+}

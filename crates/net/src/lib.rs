@@ -1,0 +1,82 @@
+//! # graql-net
+//!
+//! The wire between the paper's three pieces (§III): client, front-end
+//! server, backend. The seed reproduction collapsed them into one process
+//! ("No sockets" — DESIGN.md §2, now retired); this crate separates them
+//! again with a real session-oriented remote protocol, the layer that
+//! defines client/server graph databases in practice (MillenniumDB and the
+//! GQL-family systems surveyed by Angles et al. all assume one).
+//!
+//! Three layers:
+//!
+//! * [`frame`] — length-prefixed binary frames over TCP: `u32` little-endian
+//!   payload length, then the payload. Oversized and truncated frames are
+//!   rejected without allocation of attacker-controlled size; read deadlines
+//!   distinguish idle timeouts (clean) from mid-frame stalls (error).
+//! * [`proto`] — the versioned message enum. Queries ship as the existing
+//!   binary IR (`graql_core::ir`); everything else — hello/welcome
+//!   negotiation, static-check requests, catalog describe, streamed result
+//!   batches, error frames carrying wire status bytes and stable `E`-codes —
+//!   is one tagged message each.
+//! * [`server`] / [`client`] — a thread-per-connection [`server::NetServer`]
+//!   hosting concurrent [`graql_core::Session`]s over one shared
+//!   [`graql_core::Server`], and a [`client::RemoteSession`] implementing
+//!   the same [`GemsSession`] trait as the in-process session, so callers
+//!   (the `gems-shell` binary) switch transports without code changes.
+//!
+//! Robustness is part of the subsystem: per-request soft deadlines,
+//! read/write socket deadlines on both ends, protocol-version negotiation
+//! with a clean typed error on mismatch, graceful shutdown that drains
+//! in-flight requests, and per-connection byte/message/latency counters
+//! folded into the aggregate statistics the `describe` service reports.
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{ConnectOptions, RemoteSession};
+pub use proto::{Msg, PROTO_VERSION};
+pub use server::{serve, NetServer, NetStats, ServeOptions};
+
+use graql_types::{Diagnostics, Result};
+
+/// The operations a GEMS client performs against a session, implemented by
+/// both the in-process [`graql_core::Session`] and the remote
+/// [`RemoteSession`] — the REPL/shell layer is written against this trait
+/// and cannot tell the transports apart.
+pub trait GemsSession {
+    /// Parses and executes a script, returning one self-contained output
+    /// per statement.
+    fn execute_script(&mut self, text: &str) -> Result<Vec<graql_core::SessionOutput>>;
+    /// Static analysis only: every diagnostic, nothing executed.
+    fn check_script(&mut self, text: &str) -> Result<Diagnostics>;
+    /// The catalog-describe service (object names and sizes).
+    fn describe(&mut self) -> Result<String>;
+    /// The authenticated user name.
+    fn user(&self) -> &str;
+    /// The session's access level.
+    fn role(&self) -> graql_core::Role;
+}
+
+impl GemsSession for graql_core::Session {
+    fn execute_script(&mut self, text: &str) -> Result<Vec<graql_core::SessionOutput>> {
+        self.execute_script_sealed(text)
+    }
+
+    fn check_script(&mut self, text: &str) -> Result<Diagnostics> {
+        Ok(graql_core::Session::check_script(self, text))
+    }
+
+    fn describe(&mut self) -> Result<String> {
+        graql_core::Session::describe(self)
+    }
+
+    fn user(&self) -> &str {
+        graql_core::Session::user(self)
+    }
+
+    fn role(&self) -> graql_core::Role {
+        graql_core::Session::role(self)
+    }
+}

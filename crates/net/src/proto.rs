@@ -1,0 +1,775 @@
+//! The versioned wire message enum and its binary codec.
+//!
+//! Queries travel as the existing binary IR (`graql_core::ir`, paper
+//! §III); every other interaction is one tagged message. The codec style
+//! matches the IR codec: little-endian scalars, `u32`-length-prefixed
+//! strings, one tag byte per variant, every length validated before
+//! allocation. Decoding arbitrary bytes must never panic — that property
+//! is fuzzed in `tests/proto_props.rs`.
+//!
+//! Version negotiation: the client's `Hello` opens with the `GNET` magic
+//! and its protocol version; a server speaking a different version answers
+//! with an `Error` frame (wire status `net`, message naming both versions)
+//! and closes — never silence, never a hang.
+
+use bytes::{BufMut, BytesMut};
+use graql_core::{Role, SessionOutput};
+use graql_table::{ColumnDef, Table, TableSchema};
+use graql_types::{
+    codes, DataType, Date, Diagnostic, Diagnostics, GraqlError, Result, Severity, Span, Value,
+};
+
+/// Protocol version spoken by this build. Bump on any incompatible change
+/// to [`Msg`] encoding.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Magic opening every `Hello` payload, so a non-GraQL peer (or a stale
+/// client) fails the handshake loudly instead of being misparsed.
+pub const MAGIC: &[u8; 4] = b"GNET";
+
+/// Rows per `TableRows` batch when streaming a result table.
+pub const BATCH_ROWS: usize = 512;
+
+/// One structured diagnostic on the wire (severity, stable code, message,
+/// span, notes) — the `check` service's result rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDiag {
+    pub severity: u8,
+    pub code: String,
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+    pub len: u32,
+    pub notes: Vec<String>,
+}
+
+/// Every message that can cross the wire, client→server and server→client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // -- client → server ----------------------------------------------------
+    /// Handshake: magic + protocol version + user name.
+    Hello { proto: u16, user: String },
+    /// Execute a script shipped as binary IR.
+    Submit { ir: Vec<u8> },
+    /// Statically check a script (source text: diagnostics need spans,
+    /// which the IR deliberately drops).
+    Check { text: String },
+    /// Catalog describe (object names + sizes + wire statistics).
+    Describe,
+    /// Liveness / latency probe.
+    Ping,
+    /// Clean session close.
+    Goodbye,
+
+    // -- server → client ----------------------------------------------------
+    /// Handshake accepted: negotiated version, granted role, banner.
+    Welcome {
+        proto: u16,
+        role: u8,
+        server: String,
+    },
+    /// Request failed. `status` is the [`GraqlError::wire_status`] byte,
+    /// `code` the stable diagnostic code (`E…`) when one applies.
+    Error {
+        status: u8,
+        code: String,
+        message: String,
+    },
+    /// DDL executed.
+    Created { name: String },
+    /// Ingest executed.
+    Ingested { table: String, rows: u64 },
+    /// A table result begins: its schema. Rows follow in batches.
+    TableHeader { cols: Vec<(String, DataType)> },
+    /// One batch of rows of the current table result.
+    TableRows { rows: Vec<Vec<Value>> },
+    /// The current table result is complete.
+    TableEnd,
+    /// A subgraph result (by size + pre-rendered summary line).
+    Subgraph {
+        n_vertices: u64,
+        n_edges: u64,
+        summary: String,
+    },
+    /// The statement was fused into the next one.
+    Pipelined,
+    /// The whole script completed: statement count + server-side latency.
+    Done { stmts: u32, micros: u64 },
+    /// The `check` service's diagnostics.
+    CheckReport { diags: Vec<WireDiag> },
+    /// The `describe` service's rendering.
+    DescribeReport { text: String },
+    /// Answer to [`Msg::Ping`].
+    Pong,
+}
+
+// -- low-level helpers (same shapes as the IR codec) -------------------------
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.is_empty() {
+        return Err(GraqlError::net("truncated message"));
+    }
+    let v = buf[0];
+    *buf = &buf[1..];
+    Ok(v)
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16> {
+    if buf.len() < 2 {
+        return Err(GraqlError::net("truncated message"));
+    }
+    let v = u16::from_le_bytes([buf[0], buf[1]]);
+    *buf = &buf[2..];
+    Ok(v)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.len() < 4 {
+        return Err(GraqlError::net("truncated message"));
+    }
+    let v = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.len() < 8 {
+        return Err(GraqlError::net("truncated message"));
+    }
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&buf[..8]);
+    *buf = &buf[8..];
+    Ok(u64::from_le_bytes(a))
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>> {
+    let n = get_u32(buf)? as usize;
+    if buf.len() < n {
+        return Err(GraqlError::net("truncated message payload"));
+    }
+    let v = buf[..n].to_vec();
+    *buf = &buf[n..];
+    Ok(v)
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    String::from_utf8(get_bytes(buf)?).map_err(|_| GraqlError::net("invalid UTF-8 in message"))
+}
+
+fn put_value(b: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => b.put_u8(0),
+        Value::Int(i) => {
+            b.put_u8(1);
+            b.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            b.put_u8(2);
+            b.put_u64_le(f.to_bits());
+        }
+        Value::Str(s) => {
+            b.put_u8(3);
+            put_str(b, s);
+        }
+        Value::Date(d) => {
+            b.put_u8(4);
+            b.put_i32_le(d.days());
+        }
+    }
+}
+
+fn get_value(buf: &mut &[u8]) -> Result<Value> {
+    Ok(match get_u8(buf)? {
+        0 => Value::Null,
+        1 => Value::Int(get_u64(buf)? as i64),
+        2 => Value::Float(f64::from_bits(get_u64(buf)?)),
+        3 => Value::str(get_str(buf)?),
+        4 => Value::Date(Date(get_u32(buf)? as i32)),
+        t => return Err(GraqlError::net(format!("bad value tag {t}"))),
+    })
+}
+
+fn put_dtype(b: &mut BytesMut, dt: DataType) {
+    match dt {
+        DataType::Integer => b.put_u8(0),
+        DataType::Float => b.put_u8(1),
+        DataType::Varchar(n) => {
+            b.put_u8(2);
+            b.put_u32_le(n);
+        }
+        DataType::Date => b.put_u8(3),
+    }
+}
+
+fn get_dtype(buf: &mut &[u8]) -> Result<DataType> {
+    Ok(match get_u8(buf)? {
+        0 => DataType::Integer,
+        1 => DataType::Float,
+        2 => DataType::Varchar(get_u32(buf)?),
+        3 => DataType::Date,
+        t => return Err(GraqlError::net(format!("bad data-type tag {t}"))),
+    })
+}
+
+// -- message codec -----------------------------------------------------------
+
+/// Encodes a message into a frame payload.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut b = BytesMut::new();
+    match msg {
+        Msg::Hello { proto, user } => {
+            b.put_u8(0);
+            b.put_slice(MAGIC);
+            b.put_u16_le(*proto);
+            put_str(&mut b, user);
+        }
+        Msg::Submit { ir } => {
+            b.put_u8(1);
+            b.put_u32_le(ir.len() as u32);
+            b.put_slice(ir);
+        }
+        Msg::Check { text } => {
+            b.put_u8(2);
+            put_str(&mut b, text);
+        }
+        Msg::Describe => b.put_u8(3),
+        Msg::Ping => b.put_u8(4),
+        Msg::Goodbye => b.put_u8(5),
+        Msg::Welcome {
+            proto,
+            role,
+            server,
+        } => {
+            b.put_u8(16);
+            b.put_u16_le(*proto);
+            b.put_u8(*role);
+            put_str(&mut b, server);
+        }
+        Msg::Error {
+            status,
+            code,
+            message,
+        } => {
+            b.put_u8(17);
+            b.put_u8(*status);
+            put_str(&mut b, code);
+            put_str(&mut b, message);
+        }
+        Msg::Created { name } => {
+            b.put_u8(18);
+            put_str(&mut b, name);
+        }
+        Msg::Ingested { table, rows } => {
+            b.put_u8(19);
+            put_str(&mut b, table);
+            b.put_u64_le(*rows);
+        }
+        Msg::TableHeader { cols } => {
+            b.put_u8(20);
+            b.put_u32_le(cols.len() as u32);
+            for (name, dt) in cols {
+                put_str(&mut b, name);
+                put_dtype(&mut b, *dt);
+            }
+        }
+        Msg::TableRows { rows } => {
+            b.put_u8(21);
+            b.put_u32_le(rows.len() as u32);
+            for row in rows {
+                b.put_u32_le(row.len() as u32);
+                for v in row {
+                    put_value(&mut b, v);
+                }
+            }
+        }
+        Msg::TableEnd => b.put_u8(22),
+        Msg::Subgraph {
+            n_vertices,
+            n_edges,
+            summary,
+        } => {
+            b.put_u8(23);
+            b.put_u64_le(*n_vertices);
+            b.put_u64_le(*n_edges);
+            put_str(&mut b, summary);
+        }
+        Msg::Pipelined => b.put_u8(24),
+        Msg::Done { stmts, micros } => {
+            b.put_u8(25);
+            b.put_u32_le(*stmts);
+            b.put_u64_le(*micros);
+        }
+        Msg::CheckReport { diags } => {
+            b.put_u8(26);
+            b.put_u32_le(diags.len() as u32);
+            for d in diags {
+                b.put_u8(d.severity);
+                put_str(&mut b, &d.code);
+                put_str(&mut b, &d.message);
+                b.put_u32_le(d.line);
+                b.put_u32_le(d.col);
+                b.put_u32_le(d.len);
+                b.put_u32_le(d.notes.len() as u32);
+                for n in &d.notes {
+                    put_str(&mut b, n);
+                }
+            }
+        }
+        Msg::DescribeReport { text } => {
+            b.put_u8(27);
+            put_str(&mut b, text);
+        }
+        Msg::Pong => b.put_u8(28),
+    }
+    b.to_vec()
+}
+
+/// Decodes a frame payload. Rejects trailing bytes, unknown tags, bad
+/// magic, and every truncation — with an error, never a panic.
+pub fn decode(mut data: &[u8]) -> Result<Msg> {
+    let buf = &mut data;
+    let msg = match get_u8(buf)? {
+        0 => {
+            if buf.len() < 4 || &buf[..4] != MAGIC {
+                return Err(GraqlError::net("bad handshake magic (not a GraQL client?)"));
+            }
+            *buf = &buf[4..];
+            Msg::Hello {
+                proto: get_u16(buf)?,
+                user: get_str(buf)?,
+            }
+        }
+        1 => Msg::Submit {
+            ir: get_bytes(buf)?,
+        },
+        2 => Msg::Check {
+            text: get_str(buf)?,
+        },
+        3 => Msg::Describe,
+        4 => Msg::Ping,
+        5 => Msg::Goodbye,
+        16 => Msg::Welcome {
+            proto: get_u16(buf)?,
+            role: get_u8(buf)?,
+            server: get_str(buf)?,
+        },
+        17 => Msg::Error {
+            status: get_u8(buf)?,
+            code: get_str(buf)?,
+            message: get_str(buf)?,
+        },
+        18 => Msg::Created {
+            name: get_str(buf)?,
+        },
+        19 => Msg::Ingested {
+            table: get_str(buf)?,
+            rows: get_u64(buf)?,
+        },
+        20 => {
+            let n = get_u32(buf)? as usize;
+            let mut cols = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = get_str(buf)?;
+                let dt = get_dtype(buf)?;
+                cols.push((name, dt));
+            }
+            Msg::TableHeader { cols }
+        }
+        21 => {
+            let n = get_u32(buf)? as usize;
+            let mut rows = Vec::with_capacity(n.min(BATCH_ROWS));
+            for _ in 0..n {
+                let w = get_u32(buf)? as usize;
+                let mut row = Vec::with_capacity(w.min(1024));
+                for _ in 0..w {
+                    row.push(get_value(buf)?);
+                }
+                rows.push(row);
+            }
+            Msg::TableRows { rows }
+        }
+        22 => Msg::TableEnd,
+        23 => Msg::Subgraph {
+            n_vertices: get_u64(buf)?,
+            n_edges: get_u64(buf)?,
+            summary: get_str(buf)?,
+        },
+        24 => Msg::Pipelined,
+        25 => Msg::Done {
+            stmts: get_u32(buf)?,
+            micros: get_u64(buf)?,
+        },
+        26 => {
+            let n = get_u32(buf)? as usize;
+            let mut diags = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let severity = get_u8(buf)?;
+                let code = get_str(buf)?;
+                let message = get_str(buf)?;
+                let line = get_u32(buf)?;
+                let col = get_u32(buf)?;
+                let len = get_u32(buf)?;
+                let n_notes = get_u32(buf)? as usize;
+                let mut notes = Vec::with_capacity(n_notes.min(64));
+                for _ in 0..n_notes {
+                    notes.push(get_str(buf)?);
+                }
+                diags.push(WireDiag {
+                    severity,
+                    code,
+                    message,
+                    line,
+                    col,
+                    len,
+                    notes,
+                });
+            }
+            Msg::CheckReport { diags }
+        }
+        27 => Msg::DescribeReport {
+            text: get_str(buf)?,
+        },
+        28 => Msg::Pong,
+        t => return Err(GraqlError::net(format!("unknown message tag {t}"))),
+    };
+    if !buf.is_empty() {
+        return Err(GraqlError::net("trailing bytes after message"));
+    }
+    Ok(msg)
+}
+
+// -- bridges to engine types -------------------------------------------------
+
+/// Builds the error frame for a failed request: wire status byte plus the
+/// stable diagnostic code from PR 1's taxonomy.
+pub fn error_msg(e: &GraqlError) -> Msg {
+    Msg::Error {
+        status: e.wire_status(),
+        code: Diagnostic::from_error(e, Span::default()).code.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// The message sequence for one statement output: header + row batches +
+/// end for tables, single messages otherwise.
+pub fn output_msgs(out: &SessionOutput) -> Vec<Msg> {
+    match out {
+        SessionOutput::Created(name) => vec![Msg::Created { name: name.clone() }],
+        SessionOutput::Ingested { table, rows } => vec![Msg::Ingested {
+            table: table.clone(),
+            rows: *rows,
+        }],
+        SessionOutput::Table(t) => {
+            let mut msgs = vec![Msg::TableHeader {
+                cols: t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| (c.name.clone(), c.dtype))
+                    .collect(),
+            }];
+            let mut batch = Vec::with_capacity(BATCH_ROWS.min(t.n_rows()));
+            for r in 0..t.n_rows() {
+                batch.push(t.row(r));
+                if batch.len() == BATCH_ROWS {
+                    msgs.push(Msg::TableRows {
+                        rows: std::mem::take(&mut batch),
+                    });
+                }
+            }
+            if !batch.is_empty() {
+                msgs.push(Msg::TableRows { rows: batch });
+            }
+            msgs.push(Msg::TableEnd);
+            msgs
+        }
+        SessionOutput::Subgraph {
+            n_vertices,
+            n_edges,
+            summary,
+        } => vec![Msg::Subgraph {
+            n_vertices: *n_vertices,
+            n_edges: *n_edges,
+            summary: summary.clone(),
+        }],
+        SessionOutput::Pipelined => vec![Msg::Pipelined],
+    }
+}
+
+/// Rebuilds a table from a streamed header + row batches.
+pub struct TableAssembler {
+    table: Table,
+}
+
+impl TableAssembler {
+    pub fn new(cols: &[(String, DataType)]) -> Result<Self> {
+        let schema = TableSchema::new(cols.iter().map(|(n, dt)| ColumnDef::new(n, *dt)).collect())?;
+        Ok(TableAssembler {
+            table: Table::empty(schema),
+        })
+    }
+
+    pub fn push_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        for row in rows {
+            self.table.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    pub fn finish(self) -> Table {
+        self.table
+    }
+}
+
+/// Converts diagnostics to their wire form.
+pub fn diags_to_wire(diags: &Diagnostics) -> Vec<WireDiag> {
+    diags
+        .iter()
+        .map(|d| WireDiag {
+            severity: match d.severity {
+                Severity::Hint => 0,
+                Severity::Warning => 1,
+                Severity::Error => 2,
+            },
+            code: d.code.to_string(),
+            message: d.message.clone(),
+            line: d.span.line,
+            col: d.span.col,
+            len: d.span.len,
+            notes: d.notes.clone(),
+        })
+        .collect()
+}
+
+/// Converts wire diagnostics back into [`Diagnostics`]. Codes are
+/// interned against the stable code table; a code this build does not
+/// know (newer peer) degrades to [`codes::NET_OTHER`] with the original
+/// code prefixed to the message, so nothing is silently dropped.
+pub fn diags_from_wire(wire: &[WireDiag]) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    for w in wire {
+        let span = Span::with_len(w.line, w.col, w.len);
+        let (code, message) = match intern_code(&w.code) {
+            Some(c) => (c, w.message.clone()),
+            None => (codes::NET_OTHER, format!("[{}] {}", w.code, w.message)),
+        };
+        let mut d = match w.severity {
+            2 => Diagnostic::error(code, message, span),
+            1 => Diagnostic::warning(code, message, span),
+            _ => Diagnostic::hint(code, message, span),
+        };
+        for n in &w.notes {
+            d = d.with_note(n.clone());
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// The stable code table: wire string → the `'static` code constant.
+fn intern_code(code: &str) -> Option<&'static str> {
+    const ALL: &[&str] = &[
+        codes::PARSE,
+        codes::UNKNOWN_NAME,
+        codes::UNKNOWN_ATTR,
+        codes::BAD_QUALIFIER,
+        codes::DUPLICATE,
+        codes::AMBIGUOUS,
+        codes::NAME_OTHER,
+        codes::INCOMPARABLE,
+        codes::WRONG_KIND,
+        codes::BAD_AGGREGATE,
+        codes::MISPLACED_CLAUSE,
+        codes::TYPE_OTHER,
+        codes::BAD_PATH,
+        codes::BAD_LABEL,
+        codes::BAD_ENDPOINT,
+        codes::PATH_OTHER,
+        codes::INGEST_OTHER,
+        codes::PLAN_OTHER,
+        codes::EXEC_OTHER,
+        codes::IR_OTHER,
+        codes::CLUSTER_OTHER,
+        codes::NET_OTHER,
+        codes::ACCESS_DENIED,
+        codes::UNUSED_LABEL,
+        codes::UNREAD_RESULT,
+        codes::ALWAYS_FALSE,
+        codes::SHADOWED_RESULT,
+        codes::UNSATISFIABLE_STEP,
+        codes::UNBOUNDED_HIGH_FANOUT,
+        codes::ZERO_REPETITION,
+        codes::TOP_WITHOUT_ORDER,
+    ];
+    ALL.iter().find(|&&c| c == code).copied()
+}
+
+/// Maps a granted role tag back to [`Role`], rejecting unknown tags.
+pub fn role_from_tag(tag: u8) -> Result<Role> {
+    Role::from_wire_tag(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Msg> {
+        vec![
+            Msg::Hello {
+                proto: PROTO_VERSION,
+                user: "ada".into(),
+            },
+            Msg::Submit {
+                ir: vec![1, 2, 3, 255],
+            },
+            Msg::Check {
+                text: "select * from table T".into(),
+            },
+            Msg::Describe,
+            Msg::Ping,
+            Msg::Goodbye,
+            Msg::Welcome {
+                proto: PROTO_VERSION,
+                role: 1,
+                server: "gems-serve/0.1".into(),
+            },
+            Msg::Error {
+                status: 7,
+                code: "E0903".into(),
+                message: "boom".into(),
+            },
+            Msg::Created { name: "T".into() },
+            Msg::Ingested {
+                table: "T".into(),
+                rows: 42,
+            },
+            Msg::TableHeader {
+                cols: vec![
+                    ("id".into(), DataType::Varchar(10)),
+                    ("n".into(), DataType::Integer),
+                    ("x".into(), DataType::Float),
+                    ("d".into(), DataType::Date),
+                ],
+            },
+            Msg::TableRows {
+                rows: vec![
+                    vec![
+                        Value::str("a"),
+                        Value::Int(-3),
+                        Value::Float(1.5),
+                        Value::Date(Date(7000)),
+                    ],
+                    vec![Value::Null, Value::Null, Value::Null, Value::Null],
+                ],
+            },
+            Msg::TableEnd,
+            Msg::Subgraph {
+                n_vertices: 10,
+                n_edges: 20,
+                summary: "10 vertices (V: 10), 20 edges (e: 20)".into(),
+            },
+            Msg::Pipelined,
+            Msg::Done {
+                stmts: 3,
+                micros: 12345,
+            },
+            Msg::CheckReport {
+                diags: vec![WireDiag {
+                    severity: 2,
+                    code: "E0201".into(),
+                    message: "type error".into(),
+                    line: 3,
+                    col: 7,
+                    len: 2,
+                    notes: vec!["note".into()],
+                }],
+            },
+            Msg::DescribeReport {
+                text: "tables:\n".into(),
+            },
+            Msg::Pong,
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for msg in corpus() {
+            let blob = encode(&msg);
+            let back = decode(&blob).unwrap();
+            // Value has no PartialEq-compatible NaN concerns in this corpus.
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        for msg in corpus() {
+            let blob = encode(&msg);
+            for cut in 0..blob.len() {
+                assert!(decode(&blob[..cut]).is_err(), "{msg:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut blob = encode(&Msg::Ping);
+        blob.push(0);
+        assert!(decode(&blob).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = encode(&Msg::Hello {
+            proto: 1,
+            user: "u".into(),
+        });
+        blob[1] = b'X';
+        let err = decode(&blob).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn diagnostics_round_trip_codes_and_spans() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::error(codes::INCOMPARABLE, "cmp", Span::with_len(2, 5, 3))
+                .with_note("between float and varchar"),
+        );
+        ds.push(Diagnostic::warning(
+            codes::UNUSED_LABEL,
+            "unused",
+            Span::new(1, 1),
+        ));
+        ds.push(Diagnostic::hint(
+            codes::TOP_WITHOUT_ORDER,
+            "top",
+            Span::default(),
+        ));
+        let back = diags_from_wire(&diags_to_wire(&ds));
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn unknown_diag_code_degrades_not_drops() {
+        let wire = [WireDiag {
+            severity: 2,
+            code: "E9999".into(),
+            message: "from the future".into(),
+            line: 0,
+            col: 0,
+            len: 0,
+            notes: vec![],
+        }];
+        let ds = diags_from_wire(&wire);
+        assert_eq!(ds.len(), 1);
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.code, codes::NET_OTHER);
+        assert!(d.message.contains("E9999"));
+    }
+}

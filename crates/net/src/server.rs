@@ -1,0 +1,431 @@
+//! The networked GEMS front-end server.
+//!
+//! Thread-per-connection over `std::net`: one nonblocking accept loop
+//! polling a shutdown flag, one worker thread per client. Workers read
+//! with a short socket timeout so they notice shutdown at frame
+//! boundaries while never interrupting an in-flight request — graceful
+//! shutdown therefore *drains*: every request that started finishes and
+//! its reply is flushed before the connection closes.
+//!
+//! All sessions share one [`graql_core::Server`]; its internal locks (see
+//! `graql_core::server`) let read-only scripts from different
+//! connections execute concurrently while DDL/ingest serialize.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use graql_core::{Server, Session};
+use graql_types::{GraqlError, Result};
+
+use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
+use crate::proto::{self, diags_to_wire, error_msg, output_msgs, Msg, PROTO_VERSION};
+
+/// How often blocked loops (accept, worker reads) wake to poll the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Tuning for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port 0 picks a free port (see
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Soft per-request deadline. A request that runs longer still
+    /// completes (execution is not preempted mid-lock) but its reply is
+    /// replaced by a typed deadline error.
+    pub request_timeout: Duration,
+    /// Connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Hard cap on one frame's payload, both directions.
+    pub max_frame: usize,
+    /// Server identification sent in `Welcome`.
+    pub banner: String,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            request_timeout: Duration::from_secs(60),
+            idle_timeout: Duration::from_secs(300),
+            max_frame: MAX_FRAME,
+            banner: "gems-serve/0.1".to_string(),
+        }
+    }
+}
+
+/// Aggregate wire counters across all connections, updated lock-free and
+/// folded into the `describe` service's report.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub connections_total: AtomicU64,
+    pub connections_active: AtomicU64,
+    pub msgs_in: AtomicU64,
+    pub msgs_out: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub requests: AtomicU64,
+    pub request_micros_total: AtomicU64,
+    pub request_micros_max: AtomicU64,
+}
+
+impl NetStats {
+    fn note_request(&self, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.request_micros_total
+            .fetch_add(micros, Ordering::Relaxed);
+        self.request_micros_max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Renders the `net:` section appended to `describe` output.
+    pub fn render(&self) -> String {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let total = self.request_micros_total.load(Ordering::Relaxed);
+        let mean = total.checked_div(requests).unwrap_or(0);
+        format!(
+            "net:\n  connections: {} active, {} total\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n",
+            self.connections_active.load(Ordering::Relaxed),
+            self.connections_total.load(Ordering::Relaxed),
+            self.msgs_in.load(Ordering::Relaxed),
+            self.msgs_out.load(Ordering::Relaxed),
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+            requests,
+            mean,
+            self.request_micros_max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Handle to a running server: address, counters, graceful shutdown.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// finish and flush its reply, then join all workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `opts.addr` and serves `server` until [`NetServer::shutdown`].
+pub fn serve(server: Server, opts: ServeOptions) -> Result<NetServer> {
+    let addr = opts
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| GraqlError::net(format!("cannot resolve {}: {e}", opts.addr)))?
+        .next()
+        .ok_or_else(|| GraqlError::net(format!("{} resolves to no address", opts.addr)))?;
+    let listener =
+        TcpListener::bind(addr).map_err(|e| GraqlError::net(format!("cannot bind {addr}: {e}")))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| GraqlError::net(format!("no local address: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GraqlError::net(format!("cannot set nonblocking: {e}")))?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(NetStats::default());
+
+    let accept_handle = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || accept_loop(listener, server, opts, shutdown, stats))
+    };
+
+    Ok(NetServer {
+        local_addr,
+        shutdown,
+        stats,
+        accept_handle: Some(accept_handle),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    server: Server,
+    opts: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = server.clone();
+                let opts = opts.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                workers.push(std::thread::spawn(move || {
+                    stats.connections_total.fetch_add(1, Ordering::Relaxed);
+                    stats.connections_active.fetch_add(1, Ordering::Relaxed);
+                    // Worker errors are connection-fatal but never
+                    // server-fatal.
+                    let _ = handle_connection(stream, &server, &opts, &shutdown, &stats);
+                    stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                }));
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Drain: workers notice the flag at their next frame boundary and
+    // finish any request already in flight first.
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// A connection's framed transport with counters.
+struct Wire<'a> {
+    stream: &'a TcpStream,
+    stats: &'a NetStats,
+    max_frame: usize,
+}
+
+impl Wire<'_> {
+    fn send(&mut self, msg: &Msg) -> Result<()> {
+        let payload = proto::encode(msg);
+        let mut w = self.stream;
+        write_frame(&mut w, &payload, self.max_frame)?;
+        self.stats.msgs_out.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<FrameRead> {
+        let mut r = self.stream;
+        let got = read_frame(&mut r, self.max_frame)?;
+        if let FrameRead::Frame(p) = &got {
+            self.stats.msgs_in.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_in
+                .fetch_add(p.len() as u64 + 4, Ordering::Relaxed);
+        }
+        Ok(got)
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    server: &Server,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+    stats: &NetStats,
+) -> Result<()> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| GraqlError::net(format!("nodelay: {e}")))?;
+    // Short read timeout: the worker wakes at frame boundaries to poll
+    // the shutdown flag and account idle time.
+    stream
+        .set_read_timeout(Some(POLL))
+        .map_err(|e| GraqlError::net(format!("read timeout: {e}")))?;
+    stream
+        .set_write_timeout(Some(opts.request_timeout))
+        .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
+
+    let mut wire = Wire {
+        stream: &stream,
+        stats,
+        max_frame: opts.max_frame,
+    };
+
+    let mut session = match handshake(&mut wire, server, opts, shutdown)? {
+        Some(s) => s,
+        None => return Ok(()), // rejected or closed; error frame already sent
+    };
+
+    let mut idle = Duration::ZERO;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(()); // at a frame boundary: nothing in flight
+        }
+        let msg = match wire.recv()? {
+            FrameRead::TimedOut => {
+                idle += POLL;
+                if idle >= opts.idle_timeout {
+                    let _ = wire.send(&Msg::Error {
+                        status: GraqlError::net("").wire_status(),
+                        code: graql_types::codes::NET_OTHER.to_string(),
+                        message: format!("idle for {}s, closing", idle.as_secs()),
+                    });
+                    return Ok(());
+                }
+                continue;
+            }
+            FrameRead::Closed => return Ok(()),
+            FrameRead::Frame(p) => match proto::decode(&p) {
+                Ok(m) => m,
+                Err(e) => {
+                    // Unparseable frame: report it, then drop the
+                    // connection (framing may be out of sync).
+                    let _ = wire.send(&error_msg(&e));
+                    return Err(e);
+                }
+            },
+        };
+        idle = Duration::ZERO;
+
+        let started = Instant::now();
+        match msg {
+            Msg::Submit { ir } => {
+                let result = session.execute_ir(&ir);
+                let elapsed = started.elapsed();
+                stats.note_request(elapsed.as_micros() as u64);
+                if elapsed > opts.request_timeout {
+                    wire.send(&error_msg(&GraqlError::net(format!(
+                        "request exceeded the {}s deadline (ran {}ms)",
+                        opts.request_timeout.as_secs(),
+                        elapsed.as_millis()
+                    ))))?;
+                    continue;
+                }
+                match result {
+                    Ok(outputs) => {
+                        let stmts = outputs.len() as u32;
+                        for out in &outputs {
+                            for m in output_msgs(out) {
+                                wire.send(&m)?;
+                            }
+                        }
+                        wire.send(&Msg::Done {
+                            stmts,
+                            micros: elapsed.as_micros() as u64,
+                        })?;
+                    }
+                    Err(e) => wire.send(&error_msg(&e))?,
+                }
+            }
+            Msg::Check { text } => {
+                let diags = session.check_script(&text);
+                stats.note_request(started.elapsed().as_micros() as u64);
+                wire.send(&Msg::CheckReport {
+                    diags: diags_to_wire(&diags),
+                })?;
+            }
+            Msg::Describe => {
+                let result = session.describe();
+                stats.note_request(started.elapsed().as_micros() as u64);
+                match result {
+                    Ok(mut text) => {
+                        text.push('\n');
+                        text.push_str(&stats.render());
+                        wire.send(&Msg::DescribeReport { text })?;
+                    }
+                    Err(e) => wire.send(&error_msg(&e))?,
+                }
+            }
+            Msg::Ping => wire.send(&Msg::Pong)?,
+            Msg::Goodbye => return Ok(()),
+            other => {
+                wire.send(&error_msg(&GraqlError::net(format!(
+                    "unexpected message {other:?} (session already established)"
+                ))))?;
+            }
+        }
+    }
+}
+
+/// Runs the server side of version negotiation and authentication.
+/// Returns `None` when the connection was rejected (error frame sent) or
+/// closed before a `Hello`.
+fn handshake(
+    wire: &mut Wire<'_>,
+    server: &Server,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+) -> Result<Option<Session>> {
+    let mut idle = Duration::ZERO;
+    let msg = loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match wire.recv()? {
+            FrameRead::TimedOut => {
+                idle += POLL;
+                if idle >= opts.idle_timeout {
+                    return Ok(None);
+                }
+            }
+            FrameRead::Closed => return Ok(None),
+            FrameRead::Frame(p) => match proto::decode(&p) {
+                Ok(m) => break m,
+                Err(e) => {
+                    let _ = wire.send(&error_msg(&e));
+                    return Ok(None);
+                }
+            },
+        }
+    };
+    let (proto_version, user) = match msg {
+        Msg::Hello { proto, user } => (proto, user),
+        other => {
+            wire.send(&error_msg(&GraqlError::net(format!(
+                "expected Hello, got {other:?}"
+            ))))?;
+            return Ok(None);
+        }
+    };
+    if proto_version != PROTO_VERSION {
+        wire.send(&error_msg(&GraqlError::net(format!(
+            "protocol version mismatch: client speaks v{proto_version}, server speaks v{PROTO_VERSION}"
+        ))))?;
+        return Ok(None);
+    }
+    match server.connect(&user) {
+        Ok(session) => {
+            wire.send(&Msg::Welcome {
+                proto: PROTO_VERSION,
+                role: session.role().wire_tag(),
+                server: opts.banner.clone(),
+            })?;
+            Ok(Some(session))
+        }
+        Err(e) => {
+            wire.send(&error_msg(&e))?;
+            Ok(None)
+        }
+    }
+}
+
+/// Convenience for binaries: log that we are up in a greppable, flushed
+/// line so process supervisors (CI) can wait for readiness.
+pub fn announce(out: &mut impl Write, addr: SocketAddr) {
+    let _ = writeln!(out, "gems-serve listening on {addr}");
+    let _ = out.flush();
+}

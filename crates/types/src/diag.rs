@@ -130,6 +130,8 @@ pub mod codes {
     pub const CLUSTER_OTHER: &str = "E0905";
     /// The session's role does not permit the statement.
     pub const ACCESS_DENIED: &str = "E0906";
+    /// Transport / wire-protocol failure (graql-net).
+    pub const NET_OTHER: &str = "E0907";
 
     /// Label defined but never referenced.
     pub const UNUSED_LABEL: &str = "W0201";
@@ -224,6 +226,7 @@ impl Diagnostic {
             GraqlError::Exec(m) => Diagnostic::error(codes::EXEC_OTHER, m.clone(), fallback),
             GraqlError::Ir(m) => Diagnostic::error(codes::IR_OTHER, m.clone(), fallback),
             GraqlError::Cluster(m) => Diagnostic::error(codes::CLUSTER_OTHER, m.clone(), fallback),
+            GraqlError::Net(m) => Diagnostic::error(codes::NET_OTHER, m.clone(), fallback),
         }
     }
 
@@ -252,6 +255,7 @@ impl Diagnostic {
                 codes::PLAN_OTHER => GraqlError::Plan(located),
                 codes::IR_OTHER => GraqlError::Ir(located),
                 codes::CLUSTER_OTHER => GraqlError::Cluster(located),
+                codes::NET_OTHER => GraqlError::Net(located),
                 _ => GraqlError::Exec(located),
             },
         }

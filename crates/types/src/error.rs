@@ -37,6 +37,9 @@ pub enum GraqlError {
     Ir(String),
     /// Failure inside the simulated GEMS backend cluster.
     Cluster(String),
+    /// Wire-protocol / transport failure (graql-net): framing violations,
+    /// protocol-version mismatches, timeouts, connection loss.
+    Net(String),
 }
 
 impl GraqlError {
@@ -70,6 +73,52 @@ impl GraqlError {
     }
     pub fn cluster(m: impl Into<String>) -> Self {
         GraqlError::Cluster(m.into())
+    }
+    pub fn net(m: impl Into<String>) -> Self {
+        GraqlError::Net(m.into())
+    }
+
+    /// Stable one-byte status code for error frames on the wire
+    /// (graql-net). Codes are part of the protocol: never renumber, only
+    /// append. `0` is reserved for "ok" and never produced here.
+    pub fn wire_status(&self) -> u8 {
+        match self {
+            GraqlError::Parse { .. } => 1,
+            GraqlError::Type(_) => 2,
+            GraqlError::Name(_) => 3,
+            GraqlError::Path(_) => 4,
+            GraqlError::Ingest(_) => 5,
+            GraqlError::Plan(_) => 6,
+            GraqlError::Exec(_) => 7,
+            GraqlError::Ir(_) => 8,
+            GraqlError::Cluster(_) => 9,
+            GraqlError::Net(_) => 10,
+        }
+    }
+
+    /// Reconstructs the error class from a wire status byte. The inverse
+    /// of [`GraqlError::wire_status`] up to the position carried by parse
+    /// errors (the rendered message already embeds it); unknown status
+    /// bytes (from a newer peer) degrade to [`GraqlError::Net`].
+    pub fn from_wire_status(status: u8, message: impl Into<String>) -> GraqlError {
+        let message = message.into();
+        match status {
+            1 => GraqlError::Parse {
+                message,
+                line: 0,
+                col: 0,
+            },
+            2 => GraqlError::Type(message),
+            3 => GraqlError::Name(message),
+            4 => GraqlError::Path(message),
+            5 => GraqlError::Ingest(message),
+            6 => GraqlError::Plan(message),
+            7 => GraqlError::Exec(message),
+            8 => GraqlError::Ir(message),
+            9 => GraqlError::Cluster(message),
+            10 => GraqlError::Net(message),
+            other => GraqlError::Net(format!("unknown wire status {other}: {message}")),
+        }
     }
 
     /// The source position carried by this error, when one is known.
@@ -109,6 +158,7 @@ impl fmt::Display for GraqlError {
             GraqlError::Exec(m) => write!(f, "execution error: {m}"),
             GraqlError::Ir(m) => write!(f, "IR error: {m}"),
             GraqlError::Cluster(m) => write!(f, "cluster error: {m}"),
+            GraqlError::Net(m) => write!(f, "network error: {m}"),
         }
     }
 }
@@ -134,5 +184,40 @@ mod tests {
         assert!(!GraqlError::exec("x").is_static());
         assert!(!GraqlError::ingest("x").is_static());
         assert!(!GraqlError::cluster("x").is_static());
+        assert!(!GraqlError::net("x").is_static());
+    }
+
+    #[test]
+    fn wire_status_round_trips_error_classes() {
+        let errors = [
+            GraqlError::parse("p", 2, 3),
+            GraqlError::type_error("t"),
+            GraqlError::name("n"),
+            GraqlError::path("pa"),
+            GraqlError::ingest("i"),
+            GraqlError::plan("pl"),
+            GraqlError::exec("e"),
+            GraqlError::ir("ir"),
+            GraqlError::cluster("c"),
+            GraqlError::net("ne"),
+        ];
+        for e in errors {
+            let status = e.wire_status();
+            assert_ne!(status, 0, "0 is reserved for ok");
+            let back = GraqlError::from_wire_status(status, "msg");
+            assert_eq!(
+                std::mem::discriminant(&e),
+                std::mem::discriminant(&back),
+                "{e} must round-trip its class"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_wire_status_degrades_to_net() {
+        assert!(matches!(
+            GraqlError::from_wire_status(200, "future"),
+            GraqlError::Net(_)
+        ));
     }
 }

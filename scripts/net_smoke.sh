@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Networked smoke test: boot gems-serve on loopback, run a script through
+# gems-shell --connect, and verify the output matches an in-process run
+# byte for byte. Used by CI (which uploads gems-serve.log on failure) and
+# runnable locally: scripts/net_smoke.sh [target/release]
+set -euo pipefail
+
+bindir="${1:-target/release}"
+workdir="$(mktemp -d)"
+log="${SERVE_LOG:-$workdir/gems-serve.log}"
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# Fixtures for scripts/berlin_demo.graql.
+printf 'p1,Alpha,m1,10.0\np2,Beta,m1,20.0\np3,Gamma,m2,30.0\n' > "$workdir/Products.csv"
+printf 'm1,US\nm2,IT\n' > "$workdir/Producers.csv"
+
+# In-process reference run.
+"$bindir/gems-shell" scripts/berlin_demo.graql --data-dir "$workdir" \
+    > "$workdir/local.out"
+
+# Networked run against a fresh server. Port 0: the server prints the
+# address it actually bound.
+mkfifo "$workdir/ctl"
+sleep 60 > "$workdir/ctl" &
+holder_pid=$!
+"$bindir/gems-serve" --addr 127.0.0.1:0 --data-dir "$workdir" \
+    < "$workdir/ctl" > "$log" 2>&1 &
+serve_pid=$!
+
+addr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^gems-serve listening on //p' "$log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "net_smoke: gems-serve never became ready" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+"$bindir/gems-shell" scripts/berlin_demo.graql --connect "$addr" --user admin \
+    > "$workdir/remote.out"
+
+echo shutdown > "$workdir/ctl"
+kill "$holder_pid" 2>/dev/null || true
+wait "$serve_pid"
+
+if ! diff -u "$workdir/local.out" "$workdir/remote.out"; then
+    echo "net_smoke: local and remote output diverge" >&2
+    exit 1
+fi
+echo "net_smoke: OK ($(wc -l < "$workdir/local.out") identical output lines)"

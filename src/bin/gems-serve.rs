@@ -1,0 +1,140 @@
+//! `gems-serve` — the networked GEMS front-end server (paper §III).
+//!
+//! ```sh
+//! gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR]
+//!            [--init SCRIPT] [--user NAME=ROLE]...
+//!            [--request-timeout SECS] [--idle-timeout SECS]
+//! ```
+//!
+//! Hosts one shared database behind the `graql-net` wire protocol;
+//! clients connect with `gems-shell --connect HOST:PORT --user NAME`.
+//! Prints a single `gems-serve listening on ADDR` line (flushed) once
+//! ready, so supervisors and CI scripts can wait for it.
+//!
+//! The server runs until stdin reaches EOF or a line reading `shutdown`
+//! arrives — both trigger a graceful shutdown that drains in-flight
+//! requests. Process supervisors that pipe stdin therefore get clean
+//! teardown for free; `kill` still works, it just skips the drain.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use graql::core::{load_dir, Database, Role, Server};
+use graql::net::{serve, ServeOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR] \
+         [--init SCRIPT] [--user NAME=ROLE]... [--request-timeout SECS] \
+         [--idle-timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:4632".to_string(),
+        ..ServeOptions::default()
+    };
+    let mut data_dir: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut init: Option<String> = None;
+    let mut users: Vec<(String, Role)> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => opts.addr = args.next().unwrap_or_else(|| usage()),
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--load" => load = Some(args.next().unwrap_or_else(|| usage())),
+            "--init" => init = Some(args.next().unwrap_or_else(|| usage())),
+            "--user" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let Some((name, role)) = spec.split_once('=') else {
+                    usage()
+                };
+                match Role::parse(role) {
+                    Ok(r) => users.push((name.to_string(), r)),
+                    Err(e) => {
+                        eprintln!("gems-serve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--request-timeout" => {
+                let secs = args.next().unwrap_or_else(|| usage());
+                match secs.parse::<u64>() {
+                    Ok(s) => opts.request_timeout = Duration::from_secs(s),
+                    Err(_) => usage(),
+                }
+            }
+            "--idle-timeout" => {
+                let secs = args.next().unwrap_or_else(|| usage());
+                match secs.parse::<u64>() {
+                    Ok(s) => opts.idle_timeout = Duration::from_secs(s),
+                    Err(_) => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let mut db = match &load {
+        Some(dir) => match load_dir(std::path::Path::new(dir)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("gems-serve: cannot load {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Database::new(),
+    };
+    if let Some(dir) = data_dir {
+        db.set_data_dir(dir);
+    }
+    if let Some(path) = init {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gems-serve: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = db.execute_script(&text) {
+            eprintln!("gems-serve: init script failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = Server::new(db);
+    for (name, role) in users {
+        if let Err(e) = server.create_user(&name, role) {
+            eprintln!("gems-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut net = match serve(server, opts) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("gems-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    graql::net::server::announce(&mut std::io::stdout(), net.local_addr());
+
+    // Serve until stdin closes (or an explicit `shutdown` line), then
+    // drain gracefully.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!("gems-serve: shutting down (draining in-flight requests)");
+    net.shutdown();
+    ExitCode::SUCCESS
+}

@@ -5,11 +5,19 @@
 //! gems-shell script.graql [--data-dir DIR] [--param NAME=VALUE]... [--parallel]
 //! gems-shell check script.graql        # static analysis only, no execution
 //! gems-shell script.graql --check-only # same
+//! gems-shell script.graql --connect HOST:PORT --user NAME [--timeout SECS]
 //! ```
 //!
 //! Executes the script statement by statement (or with the dependence
 //! scheduler under `--parallel`) and prints each result. `ingest` paths in
 //! the script resolve against `--data-dir`.
+//!
+//! With `--connect`, the script runs on a remote `gems-serve` instead of
+//! an in-process database, through the same session interface — output is
+//! byte-identical to a local run. Flags that need the database in-process
+//! (`--save`, `--dot`, `--parallel`, `--data-dir`, `--param`) are
+//! rejected in this mode; `check` ships the script for remote analysis
+//! and renders the diagnostics locally.
 //!
 //! `check` / `--check-only` runs the full multi-pass static analysis and
 //! prints every diagnostic with source carets, without executing anything.
@@ -17,6 +25,7 @@
 //! found.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use graql::prelude::*;
 
@@ -24,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gems-shell <script.graql> [--data-dir DIR] [--param NAME=VALUE]... \
          [--parallel] [--out FILE] [--save DIR] [--dot SUBGRAPH=FILE] [--check-only]\n\
-         \x20      gems-shell check <script.graql>"
+         \x20      gems-shell check <script.graql>\n\
+         \x20      gems-shell <script.graql> --connect HOST:PORT [--user NAME] [--timeout SECS]"
     );
     std::process::exit(2);
 }
@@ -56,6 +66,97 @@ fn run_check(db: &mut Database, text: &str, path: &str) -> ExitCode {
     }
 }
 
+/// Prints remote statement outputs in exactly the format of the local
+/// path below — a remote run must be byte-identical to an in-process run.
+fn print_session_outputs(outputs: &[graql::core::SessionOutput]) {
+    use graql::core::SessionOutput;
+    for (i, out) in outputs.iter().enumerate() {
+        match out {
+            SessionOutput::Created(name) => println!("[{i}] created {name}"),
+            SessionOutput::Ingested { table, rows } => {
+                println!("[{i}] ingested {rows} rows into {table}")
+            }
+            SessionOutput::Table(t) => {
+                println!("[{i}] table ({} rows):", t.n_rows());
+                print!("{}", t.render());
+            }
+            SessionOutput::Subgraph { summary, .. } => {
+                println!("[{i}] subgraph: {summary}")
+            }
+            SessionOutput::Pipelined => {
+                println!("[{i}] pipelined into the next statement")
+            }
+        }
+    }
+}
+
+/// The `--connect` mode: the whole script runs on a remote `gems-serve`
+/// through [`graql::net::RemoteSession`].
+fn run_remote(
+    addr: &str,
+    user: &str,
+    timeout: Duration,
+    text: &str,
+    script_path: &str,
+    check_only: bool,
+    out_path: Option<&str>,
+) -> ExitCode {
+    use graql::net::{ConnectOptions, GemsSession, RemoteSession};
+    let opts = ConnectOptions::new(user).with_timeout(timeout);
+    let mut session = match RemoteSession::connect(addr, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gems-shell: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if check_only {
+        return match session.check_script(text) {
+            Ok(diags) => {
+                print!("{}", diags.render(text, script_path));
+                if diags.has_errors() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("gems-shell: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match session.execute_script(text) {
+        Ok(outputs) => {
+            if let Some(path) = out_path {
+                let last_table = outputs.iter().rev().find_map(|o| match o {
+                    graql::core::SessionOutput::Table(t) => Some(t),
+                    _ => None,
+                });
+                match last_table {
+                    Some(t) => {
+                        let mut buf = Vec::new();
+                        if let Err(e) = graql::table::csv::write_csv(t, &mut buf).and_then(|()| {
+                            std::fs::write(path, buf).map_err(|e| GraqlError::ingest(e.to_string()))
+                        }) {
+                            eprintln!("gems-shell: cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote last table result to {path}");
+                    }
+                    None => eprintln!("gems-shell: no table result to write to {path}"),
+                }
+            }
+            print_session_outputs(&outputs);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gems-shell: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut script_path: Option<String> = None;
@@ -66,6 +167,9 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut save_dir: Option<String> = None;
     let mut dot_spec: Option<(String, String)> = None;
+    let mut connect: Option<String> = None;
+    let mut user = "admin".to_string();
+    let mut timeout = Duration::from_secs(60);
     // `gems-shell check <script>` is sugar for `<script> --check-only`.
     if args.peek().map(String::as_str) == Some("check") {
         args.next();
@@ -92,6 +196,15 @@ fn main() -> ExitCode {
                     None => usage(),
                 }
             }
+            "--connect" => connect = Some(args.next().unwrap_or_else(|| usage())),
+            "--user" => user = args.next().unwrap_or_else(|| usage()),
+            "--timeout" => {
+                let secs = args.next().unwrap_or_else(|| usage());
+                match secs.parse::<u64>() {
+                    Ok(s) => timeout = Duration::from_secs(s),
+                    Err(_) => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             _ if script_path.is_none() => script_path = Some(a),
             _ => usage(),
@@ -107,6 +220,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(addr) = connect {
+        // These flags need the database in this process; over the wire
+        // they would silently act on the wrong side.
+        if save_dir.is_some()
+            || dot_spec.is_some()
+            || parallel
+            || data_dir.is_some()
+            || !params.is_empty()
+        {
+            eprintln!(
+                "gems-shell: --save, --dot, --parallel, --data-dir and --param \
+                 are not supported with --connect (they act on the server's \
+                 in-process state)"
+            );
+            return ExitCode::FAILURE;
+        }
+        return run_remote(
+            &addr,
+            &user,
+            timeout,
+            &text,
+            &script_path,
+            check_only,
+            out_path.as_deref(),
+        );
+    }
 
     let mut db = Database::new();
     if let Some(dir) = data_dir {

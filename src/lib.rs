@@ -51,12 +51,14 @@
 //! | graph views, CSR edge indexes, subgraphs | [`graph`] (graql-graph) |
 //! | catalog, analysis, IR, planner, executor, [`Database`] | [`core`] (graql-core) |
 //! | simulated GEMS cluster backend | [`cluster`] (graql-cluster) |
+//! | framed TCP wire protocol, networked server + remote client | [`net`] (graql-net) |
 //! | Berlin benchmark generator + query corpus | [`bsbm`] (graql-bsbm) |
 
 pub use graql_bsbm as bsbm;
 pub use graql_cluster as cluster;
 pub use graql_core as core;
 pub use graql_graph as graph;
+pub use graql_net as net;
 pub use graql_parser as parser;
 pub use graql_table as table;
 pub use graql_types as types;

@@ -345,7 +345,7 @@ fn shell_check_exit_codes() {
 
 #[test]
 fn session_check_reports_role_violations_with_everything_else() {
-    let mut server = graql::core::Server::new(berlin_db());
+    let server = graql::core::Server::new(berlin_db());
     server
         .create_user("ada", graql::core::Role::Analyst)
         .unwrap();

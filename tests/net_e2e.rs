@@ -1,0 +1,299 @@
+//! Networked end-to-end tests: real `gems-serve` processes on loopback
+//! driven by the real `gems-shell` binary and by `RemoteSession` clients.
+//!
+//! The headline property: running a script through `gems-shell --connect`
+//! is **byte-identical** to running it in-process — the wire protocol is
+//! invisible in the output.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Duration;
+
+use graql::core::{Role, SessionOutput};
+use graql::net::{ConnectOptions, GemsSession, RemoteSession};
+use graql::GraqlError;
+
+/// A running `gems-serve` child. Dropping kills it; `stop` shuts it down
+/// gracefully via stdin EOF.
+struct Serve {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    addr: String,
+}
+
+impl Serve {
+    /// Spawns `gems-serve --addr 127.0.0.1:0 <extra args>` and waits for
+    /// its readiness line to learn the bound port.
+    fn spawn(extra: &[&str]) -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gems-serve"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("gems-serve spawns");
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("a readiness line")
+            .expect("readable stdout");
+        let addr = banner
+            .strip_prefix("gems-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        Serve { child, stdin, addr }
+    }
+
+    /// Graceful shutdown: close stdin (EOF → drain) and wait.
+    fn stop(mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+
+    /// Hard kill — the "server dies mid-conversation" fault.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn shell(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gems-shell"))
+        .args(args)
+        .output()
+        .expect("gems-shell runs")
+}
+
+/// Writes the data fixtures and the script corpus: the repo demo script
+/// plus the paper's exact Fig. 5 data with table, subgraph and pipeline
+/// queries over it.
+fn write_corpus(dir: &Path) -> Vec<PathBuf> {
+    std::fs::create_dir_all(dir).unwrap();
+    // Demo-script fixtures (same rows as tests/script_e2e.rs).
+    std::fs::write(
+        dir.join("Products.csv"),
+        "p1,Alpha,m1,10.0\np2,Beta,m1,20.0\np3,Gamma,m2,30.0\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("Producers.csv"), "m1,US\nm2,IT\n").unwrap();
+    // Fig. 5 fixtures.
+    std::fs::write(dir.join("producers5.csv"), "1,US\n2,IT\n3,FR\n4,US\n").unwrap();
+    std::fs::write(dir.join("vendors5.csv"), "1,CA\n2,CN\n3,CA\n4,CA\n").unwrap();
+    std::fs::write(dir.join("products5.csv"), "1,1\n2,4\n3,2\n4,2\n").unwrap();
+    std::fs::write(dir.join("offers5.csv"), "1,1,1\n2,2,4\n3,3,2\n4,4,2\n").unwrap();
+
+    let demo = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts/berlin_demo.graql"),
+    )
+    .unwrap();
+    let demo_path = dir.join("demo.graql");
+    std::fs::write(&demo_path, demo).unwrap();
+
+    let fig5_path = dir.join("fig5.graql");
+    std::fs::write(
+        &fig5_path,
+        "create table Producers(id integer, country varchar(4))\n\
+         create table Vendors(id integer, country varchar(4))\n\
+         create table Products(id integer, producer integer)\n\
+         create table Offers(id integer, product integer, vendor integer)\n\
+         create vertex ProducerCountry(country) from table Producers\n\
+         create vertex VendorCountry(country) from table Vendors\n\
+         create edge export with vertices (ProducerCountry as PC, VendorCountry as VC)\n\
+             from table Products, Offers\n\
+             where Products.producer = PC.id\n\
+               and Offers.product = Products.id\n\
+               and Offers.vendor = VC.id\n\
+         ingest table Producers producers5.csv\n\
+         ingest table Vendors vendors5.csv\n\
+         ingest table Products products5.csv\n\
+         ingest table Offers offers5.csv\n\
+         select PC.country as a, VC.country as b from graph \
+             def PC: ProducerCountry() --export--> def VC: VendorCountry() \
+             into table Flows\n\
+         select a, b from table Flows order by a\n\
+         select * from graph def PC: ProducerCountry() --export--> \
+             def VC: VendorCountry() into subgraph flows\n\
+         select country, count(*) as n from table Producers \
+             group by country order by country\n",
+    )
+    .unwrap();
+    vec![demo_path, fig5_path]
+}
+
+/// Every corpus script produces byte-identical stdout whether it runs
+/// in-process or through `gems-shell --connect` against a fresh server.
+#[test]
+fn corpus_byte_identical_local_vs_remote() {
+    let dir = std::env::temp_dir().join(format!("graql_net_e2e_{}", std::process::id()));
+    let scripts = write_corpus(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    for script in &scripts {
+        let script_s = script.to_str().unwrap();
+        let local = shell(&[script_s, "--data-dir", dir_s]);
+        assert!(
+            local.status.success(),
+            "local {script_s}: {}",
+            String::from_utf8_lossy(&local.stderr)
+        );
+
+        let serve = Serve::spawn(&["--data-dir", dir_s]);
+        let remote = shell(&[script_s, "--connect", &serve.addr, "--user", "admin"]);
+        assert!(
+            remote.status.success(),
+            "remote {script_s}: {}",
+            String::from_utf8_lossy(&remote.stderr)
+        );
+        serve.stop();
+
+        assert_eq!(
+            String::from_utf8_lossy(&local.stdout),
+            String::from_utf8_lossy(&remote.stdout),
+            "local and remote output diverge for {script_s}"
+        );
+        assert!(!local.stdout.is_empty(), "{script_s} printed nothing");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `check` over the wire renders the same caret diagnostics as locally.
+#[test]
+fn remote_check_matches_local_check() {
+    let dir = std::env::temp_dir().join(format!("graql_net_check_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("bad.graql");
+    std::fs::write(
+        &script,
+        "create table T(a integer)\nselect nope from table T where a = 'x'\n",
+    )
+    .unwrap();
+    let script_s = script.to_str().unwrap();
+
+    let local = shell(&["check", script_s]);
+    assert!(!local.status.success(), "errors must fail the check");
+
+    let serve = Serve::spawn(&[]);
+    let remote = shell(&[
+        "check",
+        script_s,
+        "--connect",
+        &serve.addr,
+        "--user",
+        "admin",
+    ]);
+    assert!(!remote.status.success());
+    serve.stop();
+
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout),
+        "local and remote diagnostics diverge"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ≥4 concurrent clients (admin + analysts) interleaving DDL and queries
+/// against one `gems-serve` process.
+#[test]
+fn concurrent_clients_against_one_process() {
+    let serve = Serve::spawn(&[
+        "--user",
+        "a1=analyst",
+        "--user",
+        "a2=analyst",
+        "--user",
+        "a3=analyst",
+    ]);
+    let addr = serve.addr.clone();
+
+    let mut admin = RemoteSession::connect(addr.as_str(), ConnectOptions::new("admin")).unwrap();
+    assert_eq!(admin.role(), Role::Admin);
+    admin
+        .execute_script("create table Nums(n integer)\ncreate vertex NumV(n) from table Nums")
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for user in ["a1", "a2", "a3"] {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut s = RemoteSession::connect(addr.as_str(), ConnectOptions::new(user)).unwrap();
+            assert_eq!(s.role(), Role::Analyst);
+            for i in 0..6 {
+                let outputs = s.execute_script("select n from table Nums").unwrap();
+                assert!(
+                    matches!(&outputs[..], [SessionOutput::Table(_)]),
+                    "{user} iter {i}: {outputs:?}"
+                );
+                // Analysts cannot do DDL, and the denial is a clean typed
+                // error that leaves the session usable.
+                let err = s
+                    .execute_script("create table Hack(x integer)")
+                    .unwrap_err();
+                assert!(err.to_string().contains("analyst"), "{err}");
+            }
+        }));
+    }
+    for i in 0..6 {
+        admin
+            .execute_script(&format!("create table Side{i}(x integer)"))
+            .unwrap();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let describe = admin.describe().unwrap();
+    assert!(describe.contains("Side5"), "{describe}");
+    assert!(describe.contains("net:"), "{describe}");
+    serve.stop();
+}
+
+/// Killing the server process mid-conversation yields a clean typed
+/// error on the client — no panic, no hang.
+#[test]
+fn server_killed_mid_conversation_is_typed_error() {
+    let mut serve = Serve::spawn(&[]);
+    let mut s = RemoteSession::connect(
+        serve.addr.as_str(),
+        ConnectOptions::new("admin").with_timeout(Duration::from_secs(5)),
+    )
+    .unwrap();
+    s.execute_script("create table T(a integer)").unwrap();
+
+    serve.kill();
+
+    let started = std::time::Instant::now();
+    let err = s
+        .execute_script("select a from table T")
+        .expect_err("server is dead");
+    assert!(matches!(err, GraqlError::Net(_)), "{err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "client hung after server death"
+    );
+}
+
+/// The graceful path: `shutdown` on stdin drains and exits 0.
+#[test]
+fn shutdown_command_drains_and_exits_zero() {
+    let mut serve = Serve::spawn(&[]);
+    let mut s = RemoteSession::connect(serve.addr.as_str(), ConnectOptions::new("admin")).unwrap();
+    s.execute_script("create table T(a integer)").unwrap();
+    drop(s); // send Goodbye before asking for shutdown
+
+    let mut stdin = serve.stdin.take().unwrap();
+    writeln!(stdin, "shutdown").unwrap();
+    drop(stdin);
+    let status = serve.child.wait().unwrap();
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+}
