@@ -20,6 +20,7 @@ const CATALOG_FILE: &str = "catalog.graql";
 /// Writes `db`'s schema (as GraQL DDL) and every base table (as CSV) into
 /// `dir`, creating it if needed.
 pub fn save_dir(db: &Database, dir: &Path) -> Result<()> {
+    graql_types::failpoint!("core/persist/save-io", GraqlError::ingest);
     let io = |e: std::io::Error| GraqlError::ingest(format!("save: {e}"));
     std::fs::create_dir_all(dir).map_err(io)?;
 
@@ -92,6 +93,7 @@ pub fn save_dir(db: &Database, dir: &Path) -> Result<()> {
 
 /// Loads a database previously written by [`save_dir`].
 pub fn load_dir(dir: &Path) -> Result<Database> {
+    graql_types::failpoint!("core/persist/load-io", GraqlError::ingest);
     let script = std::fs::read_to_string(dir.join(CATALOG_FILE))
         .map_err(|e| GraqlError::ingest(format!("load: {e}")))?;
     let mut db = Database::new();

@@ -231,6 +231,9 @@ impl Session {
     /// without `into` capture) running under the shared read lock so
     /// concurrent sessions can query in parallel.
     pub fn execute_parsed(&mut self, script: &ast::Script) -> Result<Vec<StmtOutput>> {
+        // Cancellation point: a statement batch can be aborted before any
+        // lock is taken or state is touched.
+        graql_types::failpoint!("core/exec/cancel", graql_types::GraqlError::exec);
         for stmt in &script.statements {
             self.check(stmt)?;
         }
@@ -252,6 +255,7 @@ impl Session {
                 .statements
                 .iter()
                 .map(|s| {
+                    graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
                     let Stmt::Select(sel) = s else {
                         unreachable!("read-only scripts contain only selects")
                     };
@@ -264,7 +268,14 @@ impl Session {
         } else {
             let mut db = self.shared.db.write();
             crate::analyze::analyze_script(db.catalog(), script)?;
-            script.statements.iter().map(|s| db.execute(s)).collect()
+            script
+                .statements
+                .iter()
+                .map(|s| {
+                    graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
+                    db.execute(s)
+                })
+                .collect()
         }
     }
 

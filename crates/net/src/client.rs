@@ -10,16 +10,53 @@
 //! Every wait is bounded: connect, reads and writes all carry deadlines,
 //! and a server that stops replying yields a typed
 //! [`GraqlError::Net`](graql_types::GraqlError) — never a hang.
+//!
+//! ## Retry
+//!
+//! Transport faults (connection reset, truncated frame, timed-out read,
+//! an overloaded server refusing the connection) surface as *retryable*
+//! [`NetError`](graql_types::NetError)s. For **idempotent** requests —
+//! ping, describe, check, and read-only submits — the session transparently
+//! reconnects and retries with exponential backoff plus deterministic
+//! jitter, up to [`RetryPolicy::max_retries`] times. Requests that mutate
+//! server state (DDL, ingest, `into` captures) are never retried: a lost
+//! reply does not reveal whether the mutation landed, so the typed error
+//! goes to the caller instead.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use graql_core::{Role, SessionOutput};
+use graql_parser::ast::{Script, Stmt};
 use graql_types::{Diagnostics, GraqlError, Result};
 
 use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
 use crate::proto::{self, diags_from_wire, Msg, TableAssembler, PROTO_VERSION};
 use crate::GemsSession;
+
+/// Bounded-retry tuning for idempotent requests.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure. `0` disables retry.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
+    /// [`RetryPolicy::max_backoff`], scaled by jitter in `[0.5, 1.0)`.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x6772_6171_6c21, // "graql!"
+        }
+    }
+}
 
 /// Client-side tuning.
 #[derive(Debug, Clone)]
@@ -33,6 +70,8 @@ pub struct ConnectOptions {
     pub timeout: Duration,
     /// Hard cap on one frame's payload, both directions.
     pub max_frame: usize,
+    /// Retry behaviour for idempotent requests.
+    pub retry: RetryPolicy,
 }
 
 impl ConnectOptions {
@@ -42,11 +81,24 @@ impl ConnectOptions {
             connect_timeout: Duration::from_secs(10),
             timeout: Duration::from_secs(60),
             max_frame: MAX_FRAME,
+            retry: RetryPolicy::default(),
         }
     }
 
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sets the number of retries for idempotent requests (0 disables).
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.retry.max_retries = max_retries;
+        self
+    }
+
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.retry.base_backoff = base;
+        self.retry.max_backoff = cap;
         self
     }
 }
@@ -59,53 +111,147 @@ pub struct RemoteSession {
     role: Role,
     server_banner: String,
     max_frame: usize,
+    /// Resolved server addresses, kept for reconnect-on-retry.
+    addrs: Vec<SocketAddr>,
+    opts: ConnectOptions,
+    /// Set when a transport error left the connection unusable; the next
+    /// request reconnects first.
+    broken: bool,
+    /// Jitter RNG state (SplitMix64).
+    jitter: u64,
+    /// How many reconnect-and-retry cycles this session has performed.
+    retries: u64,
+}
+
+/// Connects to the first reachable of `addrs`. Failures are retryable:
+/// the server may be restarting or shedding load.
+fn open_socket(addrs: &[SocketAddr], connect_timeout: Duration) -> Result<TcpStream> {
+    let mut last_err: Option<std::io::Error> = None;
+    for candidate in addrs {
+        match TcpStream::connect_timeout(candidate, connect_timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(GraqlError::net_retryable(match last_err {
+        Some(e) => format!("cannot connect: {e}"),
+        None => "server address resolves to nothing".to_string(),
+    }))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sleeps `base * 2^(attempt-1)` capped at `max_backoff`, scaled by a
+/// deterministic jitter factor in `[0.5, 1.0)`.
+fn sleep_backoff(policy: &RetryPolicy, attempt: u32, jitter: &mut u64) {
+    let exp = policy
+        .base_backoff
+        .saturating_mul(1u32 << (attempt - 1).min(16));
+    let capped = exp.min(policy.max_backoff);
+    let factor = 0.5 + (splitmix64(jitter) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+    std::thread::sleep(capped.mul_f64(factor));
 }
 
 impl RemoteSession {
     /// Connects, negotiates the protocol version and authenticates.
+    /// Transient connect failures (refused, overloaded server) retry per
+    /// the options' [`RetryPolicy`].
     pub fn connect(addr: impl ToSocketAddrs, opts: ConnectOptions) -> Result<RemoteSession> {
-        let mut last_err: Option<std::io::Error> = None;
-        let mut stream = None;
-        for candidate in addr
+        let addrs: Vec<SocketAddr> = addr
             .to_socket_addrs()
             .map_err(|e| GraqlError::net(format!("cannot resolve server address: {e}")))?
-        {
-            match TcpStream::connect_timeout(&candidate, opts.connect_timeout) {
-                Ok(s) => {
-                    stream = Some(s);
-                    break;
-                }
-                Err(e) => last_err = Some(e),
-            }
+            .collect();
+        if addrs.is_empty() {
+            return Err(GraqlError::net("server address resolves to nothing"));
         }
-        let stream = stream.ok_or_else(|| {
-            GraqlError::net(match last_err {
-                Some(e) => format!("cannot connect: {e}"),
-                None => "server address resolves to nothing".to_string(),
-            })
-        })?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| GraqlError::net(format!("nodelay: {e}")))?;
-        stream
-            .set_read_timeout(Some(opts.timeout))
-            .map_err(|e| GraqlError::net(format!("read timeout: {e}")))?;
-        stream
-            .set_write_timeout(Some(opts.timeout))
-            .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
-
+        let mut jitter = opts.retry.jitter_seed;
+        let mut attempt = 0u32;
+        let stream = loop {
+            match open_socket(&addrs, opts.connect_timeout) {
+                Ok(s) => break s,
+                Err(e) if e.is_retryable() && attempt < opts.retry.max_retries => {
+                    attempt += 1;
+                    sleep_backoff(&opts.retry, attempt, &mut jitter);
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let mut session = RemoteSession {
             stream,
             user: opts.user.clone(),
             role: Role::Analyst,
             server_banner: String::new(),
             max_frame: opts.max_frame,
+            addrs,
+            jitter,
+            opts,
+            broken: true,
+            retries: 0,
         };
-        session.send(&Msg::Hello {
+        loop {
+            match session.handshake() {
+                Ok(()) => return Ok(session),
+                Err(e) if e.is_retryable() && attempt < session.opts.retry.max_retries => {
+                    attempt += 1;
+                    session.backoff(attempt);
+                    // A fresh socket for the next attempt; ignore failures
+                    // here, the next handshake reports them.
+                    let _ = session.reconnect_socket();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The banner the server sent in `Welcome`.
+    pub fn server_banner(&self) -> &str {
+        &self.server_banner
+    }
+
+    /// How many reconnect-and-retry cycles this session has performed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Round-trips a `Ping` (liveness / latency probe).
+    pub fn ping(&mut self) -> Result<()> {
+        self.request(true, |s| {
+            s.send(&Msg::Ping)?;
+            match s.recv()? {
+                Msg::Pong => Ok(()),
+                other => Err(GraqlError::net(format!("expected Pong, got {other:?}"))),
+            }
+        })
+    }
+
+    /// Opens a fresh socket to the first reachable address.
+    fn reconnect_socket(&mut self) -> Result<()> {
+        self.stream = open_socket(&self.addrs, self.opts.connect_timeout)?;
+        Ok(())
+    }
+
+    /// Configures the socket and performs Hello/Welcome on it.
+    fn handshake(&mut self) -> Result<()> {
+        self.stream
+            .set_nodelay(true)
+            .map_err(|e| GraqlError::net(format!("nodelay: {e}")))?;
+        self.stream
+            .set_read_timeout(Some(self.opts.timeout))
+            .map_err(|e| GraqlError::net(format!("read timeout: {e}")))?;
+        self.stream
+            .set_write_timeout(Some(self.opts.timeout))
+            .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
+        self.send(&Msg::Hello {
             proto: PROTO_VERSION,
-            user: opts.user,
+            user: self.user.clone(),
         })?;
-        match session.recv()? {
+        match self.recv()? {
             Msg::Welcome {
                 proto,
                 role,
@@ -116,9 +262,10 @@ impl RemoteSession {
                         "server negotiated unsupported protocol v{proto} (client speaks v{PROTO_VERSION})"
                     )));
                 }
-                session.role = proto::role_from_tag(role)?;
-                session.server_banner = server;
-                Ok(session)
+                self.role = proto::role_from_tag(role)?;
+                self.server_banner = server;
+                self.broken = false;
+                Ok(())
             }
             Msg::Error {
                 status, message, ..
@@ -127,21 +274,51 @@ impl RemoteSession {
         }
     }
 
-    /// The banner the server sent in `Welcome`.
-    pub fn server_banner(&self) -> &str {
-        &self.server_banner
+    /// Tears down the broken connection and establishes a new one.
+    fn reconnect(&mut self) -> Result<()> {
+        self.reconnect_socket()?;
+        self.handshake()
     }
 
-    /// Round-trips a `Ping` (liveness / latency probe).
-    pub fn ping(&mut self) -> Result<()> {
-        self.send(&Msg::Ping)?;
-        match self.recv()? {
-            Msg::Pong => Ok(()),
-            other => Err(GraqlError::net(format!("expected Pong, got {other:?}"))),
+    fn backoff(&mut self, attempt: u32) {
+        sleep_backoff(&self.opts.retry, attempt, &mut self.jitter);
+    }
+
+    /// Runs one request. On a retryable transport fault the connection is
+    /// marked broken; idempotent requests then reconnect and retry with
+    /// backoff, bounded by the [`RetryPolicy`]. Server-reported errors
+    /// (non-retryable statuses) are always final.
+    fn request<T>(
+        &mut self,
+        idempotent: bool,
+        f: impl Fn(&mut RemoteSession) -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let result = if self.broken {
+                self.reconnect().and_then(|()| f(self))
+            } else {
+                f(self)
+            };
+            match result {
+                Err(e) if e.is_retryable() => {
+                    // The connection state is unknown after a transport
+                    // fault: heal it before whatever comes next.
+                    self.broken = true;
+                    if !idempotent || attempt >= self.opts.retry.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    self.backoff(attempt);
+                }
+                other => return other,
+            }
         }
     }
 
     fn send(&mut self, msg: &Msg) -> Result<()> {
+        graql_types::failpoint!("net/client/send-delay");
         let payload = proto::encode(msg);
         write_frame(&mut self.stream, &payload, self.max_frame)
     }
@@ -151,8 +328,10 @@ impl RemoteSession {
     fn recv(&mut self) -> Result<Msg> {
         match read_frame(&mut self.stream, self.max_frame)? {
             FrameRead::Frame(p) => proto::decode(&p),
-            FrameRead::TimedOut => Err(GraqlError::net("server did not reply within the deadline")),
-            FrameRead::Closed => Err(GraqlError::net("server closed the connection")),
+            FrameRead::TimedOut => Err(GraqlError::net_retryable(
+                "server did not reply within the deadline",
+            )),
+            FrameRead::Closed => Err(GraqlError::net_retryable("server closed the connection")),
         }
     }
 
@@ -204,42 +383,59 @@ impl RemoteSession {
     }
 }
 
+/// True when re-running the script cannot change server state: every
+/// statement is a `select` without an `into` capture — the same class the
+/// server executes under its shared read lock.
+fn is_read_only(script: &Script) -> bool {
+    script
+        .statements
+        .iter()
+        .all(|s| matches!(s, Stmt::Select(sel) if sel.into.is_none()))
+}
+
 impl GemsSession for RemoteSession {
     fn execute_script(&mut self, text: &str) -> Result<Vec<SessionOutput>> {
         // Parse locally: syntax errors render against the local source
         // with spans, and the wire carries compact IR, not text.
         let script = graql_parser::parse(text)?;
         let ir = graql_core::ir::encode(&script);
-        self.send(&Msg::Submit { ir: ir.to_vec() })?;
-        self.collect_outputs()
+        let idempotent = is_read_only(&script);
+        self.request(idempotent, |s| {
+            s.send(&Msg::Submit { ir: ir.to_vec() })?;
+            s.collect_outputs()
+        })
     }
 
     fn check_script(&mut self, text: &str) -> Result<Diagnostics> {
-        self.send(&Msg::Check {
-            text: text.to_string(),
-        })?;
-        match self.recv()? {
-            Msg::CheckReport { diags } => Ok(diags_from_wire(&diags)),
-            Msg::Error {
-                status, message, ..
-            } => Err(GraqlError::from_wire_status(status, message)),
-            other => Err(GraqlError::net(format!(
-                "expected CheckReport, got {other:?}"
-            ))),
-        }
+        self.request(true, |s| {
+            s.send(&Msg::Check {
+                text: text.to_string(),
+            })?;
+            match s.recv()? {
+                Msg::CheckReport { diags } => Ok(diags_from_wire(&diags)),
+                Msg::Error {
+                    status, message, ..
+                } => Err(GraqlError::from_wire_status(status, message)),
+                other => Err(GraqlError::net(format!(
+                    "expected CheckReport, got {other:?}"
+                ))),
+            }
+        })
     }
 
     fn describe(&mut self) -> Result<String> {
-        self.send(&Msg::Describe)?;
-        match self.recv()? {
-            Msg::DescribeReport { text } => Ok(text),
-            Msg::Error {
-                status, message, ..
-            } => Err(GraqlError::from_wire_status(status, message)),
-            other => Err(GraqlError::net(format!(
-                "expected DescribeReport, got {other:?}"
-            ))),
-        }
+        self.request(true, |s| {
+            s.send(&Msg::Describe)?;
+            match s.recv()? {
+                Msg::DescribeReport { text } => Ok(text),
+                Msg::Error {
+                    status, message, ..
+                } => Err(GraqlError::from_wire_status(status, message)),
+                other => Err(GraqlError::net(format!(
+                    "expected DescribeReport, got {other:?}"
+                ))),
+            }
+        })
     }
 
     fn user(&self) -> &str {
@@ -253,6 +449,8 @@ impl GemsSession for RemoteSession {
 
 impl Drop for RemoteSession {
     fn drop(&mut self) {
-        let _ = self.send(&Msg::Goodbye);
+        if !self.broken {
+            let _ = self.send(&Msg::Goodbye);
+        }
     }
 }

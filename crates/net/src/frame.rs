@@ -54,17 +54,19 @@ fn read_exact_frame(r: &mut impl Read, buf: &mut [u8], start_of_frame: bool) -> 
                 if start_of_frame && filled == 0 {
                     return Ok(Fill::Eof);
                 }
-                return Err(GraqlError::net("connection closed mid-frame"));
+                return Err(GraqlError::net_retryable("connection closed mid-frame"));
             }
             Ok(n) => filled += n,
             Err(e) if is_timeout(&e) => {
                 if start_of_frame && filled == 0 {
                     return Ok(Fill::IdleTimeout);
                 }
-                return Err(GraqlError::net("read deadline exceeded mid-frame"));
+                return Err(GraqlError::net_retryable(
+                    "read deadline exceeded mid-frame",
+                ));
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(GraqlError::net(format!("read failed: {e}"))),
+            Err(e) => return Err(GraqlError::net_retryable(format!("read failed: {e}"))),
         }
     }
     Ok(Fill::Complete)
@@ -75,6 +77,8 @@ fn read_exact_frame(r: &mut impl Read, buf: &mut [u8], start_of_frame: bool) -> 
 /// [`FrameRead::Closed`]; oversized lengths and mid-frame stalls are
 /// errors.
 pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<FrameRead> {
+    graql_types::failpoint!("net/frame/read-delay");
+    graql_types::failpoint!("net/frame/read-err", GraqlError::net_retryable);
     let mut header = [0u8; 4];
     match read_exact_frame(r, &mut header, true)? {
         Fill::Complete => {}
@@ -100,15 +104,50 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: usize) -> Resu
             payload.len()
         )));
     }
+    graql_types::failpoint!("net/frame/write-delay");
+    graql_types::failpoint!("net/frame/write-err", GraqlError::net_retryable);
+    #[cfg(feature = "failpoints")]
+    let corrupted: Vec<u8>;
+    #[cfg(feature = "failpoints")]
+    let payload: &[u8] = {
+        use graql_types::failpoints::{self, Action};
+        if failpoints::hit("net/frame/write-truncate").is_some() && !payload.is_empty() {
+            // A mid-frame death: the header promises more bytes than ever
+            // arrive, so the peer sees a hard "closed mid-frame" error —
+            // never a silently short payload.
+            let header = (payload.len() as u32).to_le_bytes();
+            let _ = w
+                .write_all(&header)
+                .and_then(|()| w.write_all(&payload[..payload.len() / 2]))
+                .and_then(|()| w.flush());
+            return Err(GraqlError::net_retryable(
+                "failpoint 'net/frame/write-truncate': frame truncated mid-write",
+            ));
+        }
+        if matches!(
+            failpoints::hit("net/frame/write-corrupt"),
+            Some(Action::Corrupt)
+        ) && !payload.is_empty()
+        {
+            // Flipping the first payload byte corrupts the message tag, so
+            // the peer's decoder rejects the frame deterministically.
+            let mut buf = payload.to_vec();
+            buf[0] ^= 0xFF;
+            corrupted = buf;
+            &corrupted
+        } else {
+            payload
+        }
+    };
     let header = (payload.len() as u32).to_le_bytes();
     w.write_all(&header)
         .and_then(|()| w.write_all(payload))
         .and_then(|()| w.flush())
         .map_err(|e| {
             if is_timeout(&e) {
-                GraqlError::net("write deadline exceeded")
+                GraqlError::net_retryable("write deadline exceeded")
             } else {
-                GraqlError::net(format!("write failed: {e}"))
+                GraqlError::net_retryable(format!("write failed: {e}"))
             }
         })
 }

@@ -44,6 +44,13 @@ pub struct ServeOptions {
     pub max_frame: usize,
     /// Server identification sent in `Welcome`.
     pub banner: String,
+    /// How many malformed/unexpected messages one connection may send
+    /// before the server hangs up on it. Each offence gets an error frame
+    /// reply; the connection survives until the budget is spent.
+    pub error_budget: u32,
+    /// Above this many active connections, new connections are refused
+    /// with a retryable overload error while the existing ones drain.
+    pub max_connections: u64,
 }
 
 impl Default for ServeOptions {
@@ -54,6 +61,8 @@ impl Default for ServeOptions {
             idle_timeout: Duration::from_secs(300),
             max_frame: MAX_FRAME,
             banner: "gems-serve/0.1".to_string(),
+            error_budget: 8,
+            max_connections: 256,
         }
     }
 }
@@ -64,6 +73,8 @@ impl Default for ServeOptions {
 pub struct NetStats {
     pub connections_total: AtomicU64,
     pub connections_active: AtomicU64,
+    /// Connections refused at accept time (overload shedding).
+    pub connections_refused: AtomicU64,
     pub msgs_in: AtomicU64,
     pub msgs_out: AtomicU64,
     pub bytes_in: AtomicU64,
@@ -87,9 +98,10 @@ impl NetStats {
         let total = self.request_micros_total.load(Ordering::Relaxed);
         let mean = total.checked_div(requests).unwrap_or(0);
         format!(
-            "net:\n  connections: {} active, {} total\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n",
+            "net:\n  connections: {} active, {} total, {} refused\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n",
             self.connections_active.load(Ordering::Relaxed),
             self.connections_total.load(Ordering::Relaxed),
+            self.connections_refused.load(Ordering::Relaxed),
             self.msgs_in.load(Ordering::Relaxed),
             self.msgs_out.load(Ordering::Relaxed),
             self.bytes_in.load(Ordering::Relaxed),
@@ -181,6 +193,28 @@ fn accept_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Drain-on-overload: past the connection cap (or with the
+                // accept-refuse failpoint armed) the new connection gets a
+                // retryable overload error and is closed, while existing
+                // connections keep draining.
+                let active = stats.connections_active.load(Ordering::Relaxed);
+                let refuse_armed = {
+                    #[cfg(feature = "failpoints")]
+                    {
+                        matches!(
+                            graql_types::failpoints::hit("net/server/accept-refuse"),
+                            Some(graql_types::failpoints::Action::Refuse)
+                        )
+                    }
+                    #[cfg(not(feature = "failpoints"))]
+                    {
+                        false
+                    }
+                };
+                if active >= opts.max_connections || refuse_armed {
+                    refuse_connection(stream, active, &opts, &stats);
+                    continue;
+                }
                 let server = server.clone();
                 let opts = opts.clone();
                 let shutdown = Arc::clone(&shutdown);
@@ -206,6 +240,21 @@ fn accept_loop(
     for h in workers {
         let _ = h.join();
     }
+}
+
+/// Sheds one connection at accept time: best-effort retryable error
+/// frame, then close. The client's retry loop backs off and reconnects.
+fn refuse_connection(stream: TcpStream, active: u64, opts: &ServeOptions, stats: &NetStats) {
+    stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+    // The accepted socket may inherit the listener's nonblocking mode on
+    // some platforms; the refusal write should block (briefly).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(POLL));
+    let payload = proto::encode(&error_msg(&GraqlError::net_retryable(format!(
+        "server overloaded ({active} active connections), try again later"
+    ))));
+    let mut w = &stream;
+    let _ = write_frame(&mut w, &payload, opts.max_frame);
 }
 
 /// A connection's framed transport with counters.
@@ -270,6 +319,10 @@ fn handle_connection(
         None => return Ok(()), // rejected or closed; error frame already sent
     };
 
+    // Graceful degradation: a connection sending garbage gets error-frame
+    // replies until its budget is spent, then a hangup. Frame-level
+    // desync (unreadable framing) still closes immediately below.
+    let mut error_budget = opts.error_budget;
     let mut idle = Duration::ZERO;
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -279,8 +332,9 @@ fn handle_connection(
             FrameRead::TimedOut => {
                 idle += POLL;
                 if idle >= opts.idle_timeout {
+                    // Retryable: a fresh connection fixes an idle hangup.
                     let _ = wire.send(&Msg::Error {
-                        status: GraqlError::net("").wire_status(),
+                        status: GraqlError::net_retryable("").wire_status(),
                         code: graql_types::codes::NET_OTHER.to_string(),
                         message: format!("idle for {}s, closing", idle.as_secs()),
                     });
@@ -292,10 +346,17 @@ fn handle_connection(
             FrameRead::Frame(p) => match proto::decode(&p) {
                 Ok(m) => m,
                 Err(e) => {
-                    // Unparseable frame: report it, then drop the
-                    // connection (framing may be out of sync).
-                    let _ = wire.send(&error_msg(&e));
-                    return Err(e);
+                    // Unparseable frame (well-delimited, bad contents —
+                    // e.g. corrupted in transit): report it as retryable
+                    // so the client re-sends, and consume budget.
+                    let _ = wire.send(&error_msg(&GraqlError::net_retryable(format!(
+                        "could not decode request: {e}"
+                    ))));
+                    error_budget = error_budget.saturating_sub(1);
+                    if error_budget == 0 {
+                        return Err(e);
+                    }
+                    continue;
                 }
             },
         };
@@ -304,7 +365,19 @@ fn handle_connection(
         let started = Instant::now();
         match msg {
             Msg::Submit { ir } => {
+                // Delay-only site: simulates a slow query under the
+                // request deadline without wall-clock-sized sleeps in
+                // tests.
+                graql_types::failpoint!("net/server/exec-delay");
                 let result = session.execute_ir(&ir);
+                #[cfg(feature = "failpoints")]
+                if graql_types::failpoints::hit("net/server/drop-before-reply").is_some() {
+                    // The request executed but its reply is lost — the
+                    // "server died before replying" fault.
+                    return Err(GraqlError::net(
+                        "failpoint 'net/server/drop-before-reply': dropping connection",
+                    ));
+                }
                 let elapsed = started.elapsed();
                 stats.note_request(elapsed.as_micros() as u64);
                 if elapsed > opts.request_timeout {
@@ -356,6 +429,10 @@ fn handle_connection(
                 wire.send(&error_msg(&GraqlError::net(format!(
                     "unexpected message {other:?} (session already established)"
                 ))))?;
+                error_budget = error_budget.saturating_sub(1);
+                if error_budget == 0 {
+                    return Err(GraqlError::net("per-connection error budget exhausted"));
+                }
             }
         }
     }
@@ -386,7 +463,12 @@ fn handshake(
             FrameRead::Frame(p) => match proto::decode(&p) {
                 Ok(m) => break m,
                 Err(e) => {
-                    let _ = wire.send(&error_msg(&e));
+                    // A garbled Hello is transport corruption, not a bad
+                    // client: re-handshaking on a fresh connection is
+                    // always safe, so tell the client to retry.
+                    let _ = wire.send(&error_msg(&GraqlError::net_retryable(format!(
+                        "could not decode handshake: {e}"
+                    ))));
                     return Ok(None);
                 }
             },

@@ -1,0 +1,114 @@
+//! The curated fault matrix and exclusive arming for fault-injection
+//! tests.
+//!
+//! The failpoint registry (`graql_types::failpoints`) is process-global,
+//! and `cargo test` runs tests concurrently in one process — so any test
+//! that arms a fault must hold [`FaultGuard`] for its duration. The guard
+//! serializes armed sections behind a global lock and disarms *all*
+//! sites on drop (including on panic), so no fault leaks into an
+//! unrelated test.
+
+use graql_types::failpoints;
+use parking_lot::{Mutex, MutexGuard};
+
+/// One row of the fault matrix: a failpoint site and the spec to arm it
+/// with (`[PCT%][CNT*]ACTION[(ARG)]`, see `failpoints::parse_spec`).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCase {
+    pub site: &'static str,
+    pub spec: &'static str,
+}
+
+const fn case(site: &'static str, spec: &'static str) -> FaultCase {
+    FaultCase { site, spec }
+}
+
+/// Every compiled failpoint site, armed with a *transient* spec: faults
+/// fire a bounded number of times (`N*`), so an idempotent request must
+/// eventually succeed through the client's retry loop. Sites whose
+/// failures are not transient by nature (persist I/O, execution
+/// cancellation) are listed too — their contract is a clean typed error,
+/// not recovery.
+pub const FAULT_MATRIX: &[FaultCase] = &[
+    // Frame-level transport faults (crates/net/src/frame.rs).
+    case("net/frame/read-delay", "2*delay(40)"),
+    case("net/frame/read-err", "2*err"),
+    case("net/frame/write-delay", "2*delay(40)"),
+    case("net/frame/write-err", "2*err"),
+    case("net/frame/write-corrupt", "1*corrupt"),
+    case("net/frame/write-truncate", "1*truncate"),
+    // Server-side faults (crates/net/src/server.rs).
+    case("net/server/accept-refuse", "1*refuse"),
+    case("net/server/exec-delay", "2*delay(40)"),
+    case("net/server/drop-before-reply", "1*err"),
+    // Client-side fault (crates/net/src/client.rs).
+    case("net/client/send-delay", "2*delay(40)"),
+    // Persistence and execution faults (crates/core).
+    case("core/persist/save-io", "1*err"),
+    case("core/persist/load-io", "1*err"),
+    case("core/exec/cancel", "1*err"),
+    case("core/exec/cancel-stmt", "1*err"),
+];
+
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the arming lock; dropping disarms every site.
+pub struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        failpoints::disarm_all();
+    }
+}
+
+/// Takes the global arming lock *without* arming anything — for tests
+/// that must observe a fault-free registry while others may arm.
+pub fn exclusive() -> FaultGuard {
+    let lock = ARM_LOCK.lock();
+    failpoints::disarm_all();
+    FaultGuard { _lock: lock }
+}
+
+/// Arms the given `(site, spec)` pairs under `seed`, exclusively.
+///
+/// Panics on a malformed spec — the matrix is static test data.
+pub fn arm_exclusive(entries: &[(&str, &str)], seed: u64) -> FaultGuard {
+    let guard = exclusive();
+    for (site, spec) in entries {
+        failpoints::configure_seeded(site, spec, seed)
+            .unwrap_or_else(|e| panic!("bad fault spec {spec:?} for {site}: {e}"));
+    }
+    guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_compiled_site_with_valid_specs() {
+        for c in FAULT_MATRIX {
+            failpoints::parse_spec(c.spec)
+                .unwrap_or_else(|e| panic!("{}: bad spec {:?}: {e}", c.site, c.spec));
+        }
+        // All three subsystems are represented.
+        for prefix in ["net/frame/", "net/server/", "net/client/", "core/"] {
+            assert!(
+                FAULT_MATRIX.iter().any(|c| c.site.starts_with(prefix)),
+                "no matrix entry under {prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _g = arm_exclusive(&[("net/frame/read-err", "1*err")], 9);
+            assert!(failpoints::armed());
+            assert_eq!(failpoints::armed_sites(), vec!["net/frame/read-err"]);
+        }
+        assert!(!failpoints::armed(), "guard drop disarms everything");
+    }
+}

@@ -1,0 +1,115 @@
+//! The differential-oracle side of the testkit: a shared renderer that
+//! puts session outputs into the exact `gems-shell` presentation format,
+//! and a divergence artifact writer for when two evaluation paths
+//! disagree (the artifact is what CI uploads on failure).
+
+use std::path::{Path, PathBuf};
+
+use graql_core::SessionOutput;
+use graql_types::Result;
+
+/// Renders outputs exactly as `gems-shell` prints them, so the local
+/// engine, the remote wire path and the reference evaluator can be
+/// compared byte for byte.
+pub fn render_outputs(outputs: &[SessionOutput]) -> String {
+    let mut s = String::new();
+    for (i, out) in outputs.iter().enumerate() {
+        match out {
+            SessionOutput::Created(name) => s.push_str(&format!("[{i}] created {name}\n")),
+            SessionOutput::Ingested { table, rows } => {
+                s.push_str(&format!("[{i}] ingested {rows} rows into {table}\n"))
+            }
+            SessionOutput::Table(t) => s.push_str(&format!(
+                "[{i}] table ({} rows):\n{}",
+                t.n_rows(),
+                t.render()
+            )),
+            SessionOutput::Subgraph { summary, .. } => {
+                s.push_str(&format!("[{i}] subgraph: {summary}\n"))
+            }
+            SessionOutput::Pipelined => {
+                s.push_str(&format!("[{i}] pipelined into the next statement\n"))
+            }
+        }
+    }
+    s
+}
+
+/// Renders an execution outcome: outputs on success, a stable one-line
+/// form on error (errors must diverge *identically* too).
+pub fn render_outcome(outcome: &Result<Vec<SessionOutput>>) -> String {
+    match outcome {
+        Ok(outs) => render_outputs(outs),
+        Err(e) => format!("error: {e}\n"),
+    }
+}
+
+/// Writes a divergence artifact under `dir` and returns its path.
+///
+/// `variants` pairs a label (`"local"`, `"remote"`, `"reference"`) with
+/// that path's rendered output. The file is self-contained: script first,
+/// then every variant, so a CI artifact alone reproduces the report.
+pub fn write_divergence(
+    dir: &Path,
+    tag: &str,
+    script: &str,
+    variants: &[(&str, &str)],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{tag}.txt"));
+    let mut body = String::new();
+    body.push_str("=== script ===\n");
+    body.push_str(script);
+    body.push('\n');
+    for (label, output) in variants {
+        body.push_str(&format!("=== {label} ===\n"));
+        body.push_str(output);
+        if !output.ends_with('\n') {
+            body.push('\n');
+        }
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graql_table::{Table, TableSchema};
+    use graql_types::{DataType, Value};
+
+    #[test]
+    fn renderer_matches_gems_shell_format() {
+        let schema = TableSchema::of(&[("id", DataType::Integer)]);
+        let t = Table::from_rows(schema, vec![vec![Value::Int(1)]]).unwrap();
+        let outs = vec![
+            SessionOutput::Created("T".into()),
+            SessionOutput::Ingested {
+                table: "T".into(),
+                rows: 3,
+            },
+            SessionOutput::Table(t),
+            SessionOutput::Pipelined,
+        ];
+        let got = render_outputs(&outs);
+        assert!(got.starts_with("[0] created T\n[1] ingested 3 rows into T\n"));
+        assert!(got.contains("[2] table (1 rows):\n| id |"));
+        assert!(got.ends_with("[3] pipelined into the next statement\n"));
+    }
+
+    #[test]
+    fn divergence_artifact_is_self_contained() {
+        let dir = std::env::temp_dir().join(format!("graql_divergence_{}", std::process::id()));
+        let p = write_divergence(
+            &dir,
+            "seed7_script3",
+            "select 1",
+            &[("local", "a\n"), ("remote", "b\n")],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.contains("=== script ===\nselect 1\n"));
+        assert!(body.contains("=== local ===\na\n=== remote ===\nb\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,482 @@
+//! A naive reference evaluator for table-sourced `select` statements.
+//!
+//! Mirrors the *documented* semantics of the engine pipeline
+//! (`crates/core/src/exec/relational.rs` + the Table-1 kernels) with
+//! deliberately simple row-at-a-time code and none of the engine's
+//! columnar kernels, hash maps or index machinery. The oracle in
+//! `tests/oracle.rs` demands byte-identical rendered output between this
+//! evaluator, the in-process engine, and the remote wire path, so the
+//! exact tie-break/ordering rules matter:
+//!
+//! - selection preserves input order;
+//! - `group by` emits groups in first-seen order, aggregates fold members
+//!   in row order (integer sums accumulate wrapping in `i64`, float sums
+//!   and `avg` in `f64`, `min`/`max` skip nulls);
+//! - `distinct` keeps first occurrences;
+//! - `order by` is a stable sort over the *output* schema under
+//!   `Value::cmp_total`;
+//! - `top n` truncates last.
+
+use graql_core::SessionOutput;
+use graql_parser::ast::{
+    AggCall, ColRef, Expr, Lit, Operand, SelectExpr, SelectSource, SelectStmt, SelectTargets, Stmt,
+};
+use graql_table::{ColumnDef, Table, TableSchema};
+use graql_types::{DataType, GraqlError, Result, Value};
+
+/// Executes `text` against the base tables of `db` with the reference
+/// evaluator, producing outputs in the same shape a session returns.
+///
+/// Only read-only, table-sourced selects are supported — exactly the
+/// fragment the differential generator emits. Anything else is an error
+/// (a generator bug, not a legal divergence).
+pub fn reference_outputs(db: &graql_core::Database, text: &str) -> Result<Vec<SessionOutput>> {
+    let script = graql_parser::parse(text)?;
+    let mut outs = Vec::new();
+    for stmt in &script.statements {
+        let Stmt::Select(sel) = stmt else {
+            return Err(GraqlError::exec(
+                "reference evaluator: only select statements are supported",
+            ));
+        };
+        if sel.into.is_some() {
+            return Err(GraqlError::exec(
+                "reference evaluator: 'into' capture is not supported",
+            ));
+        }
+        let SelectSource::Table(name) = &sel.source else {
+            return Err(GraqlError::exec(
+                "reference evaluator: only table sources are supported",
+            ));
+        };
+        let base = db
+            .table(name)
+            .ok_or_else(|| GraqlError::name(format!("unknown table {name:?}")))?;
+        outs.push(SessionOutput::Table(evaluate_select(base, sel, name)?));
+    }
+    Ok(outs)
+}
+
+/// The reference pipeline over one base table.
+pub fn evaluate_select(base: &Table, sel: &SelectStmt, table_name: &str) -> Result<Table> {
+    // 1. Selection.
+    let filtered = match &sel.where_clause {
+        Some(w) => {
+            let mut t = Table::empty(base.schema().clone());
+            for r in 0..base.n_rows() {
+                if eval_expr(w, base, r, table_name)? {
+                    t.push_row(&base.row(r))?;
+                }
+            }
+            t
+        }
+        None => base.clone(),
+    };
+
+    // 2. Projection / aggregation.
+    let mut out = match &sel.targets {
+        SelectTargets::Star => {
+            if !sel.group_by.is_empty() {
+                return Err(GraqlError::type_error("'select *' cannot be grouped"));
+            }
+            filtered
+        }
+        SelectTargets::Items(items) => {
+            let has_aggs = items.iter().any(|i| matches!(i.expr, SelectExpr::Agg(_)));
+            if has_aggs || !sel.group_by.is_empty() {
+                aggregate_projection(&filtered, sel, table_name)?
+            } else {
+                let mut cols = Vec::new();
+                let mut defs = Vec::new();
+                for item in items {
+                    let SelectExpr::Col(c) = &item.expr else {
+                        unreachable!()
+                    };
+                    let ci = col_index(c, filtered.schema(), table_name)?;
+                    cols.push(ci);
+                    let dtype = filtered.schema().column(ci).dtype;
+                    let name = item
+                        .alias
+                        .clone()
+                        .unwrap_or_else(|| filtered.schema().column(ci).name.clone());
+                    defs.push(ColumnDef::new(name, dtype));
+                }
+                let mut t = Table::empty(TableSchema::new(defs)?);
+                for r in 0..filtered.n_rows() {
+                    let row: Vec<Value> = cols.iter().map(|&c| filtered.get(r, c)).collect();
+                    t.push_row(&row)?;
+                }
+                t
+            }
+        }
+    };
+
+    // 3. Distinct (first occurrence).
+    if sel.distinct {
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        let mut t = Table::empty(out.schema().clone());
+        for r in 0..out.n_rows() {
+            let row = out.row(r);
+            if !seen.iter().any(|s| s == &row) {
+                t.push_row(&row)?;
+                seen.push(row);
+            }
+        }
+        out = t;
+    }
+
+    // 4. Order by, stable, over the output schema.
+    if !sel.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = sel
+            .order_by
+            .iter()
+            .map(|k| {
+                let col = out.schema().require(&k.col.name).map_err(|_| {
+                    GraqlError::name(format!(
+                        "'order by' column {:?} is not in the select output",
+                        k.col.name
+                    ))
+                })?;
+                Ok((col, k.desc))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut idx: Vec<usize> = (0..out.n_rows()).collect();
+        idx.sort_by(|&a, &b| {
+            for &(c, desc) in &keys {
+                let ord = out.get(a, c).cmp_total(&out.get(b, c));
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut t = Table::empty(out.schema().clone());
+        for r in idx {
+            t.push_row(&out.row(r))?;
+        }
+        out = t;
+    }
+
+    // 5. Top n.
+    if let Some(n) = sel.top {
+        let mut t = Table::empty(out.schema().clone());
+        for r in 0..out.n_rows().min(n as usize) {
+            t.push_row(&out.row(r))?;
+        }
+        out = t;
+    }
+    Ok(out)
+}
+
+fn col_index(c: &ColRef, schema: &TableSchema, table_name: &str) -> Result<usize> {
+    if let Some(q) = &c.qualifier {
+        if q != table_name {
+            return Err(GraqlError::name(format!(
+                "unknown qualifier {q:?}; the table is {table_name:?}"
+            )));
+        }
+    }
+    schema.require(&c.name)
+}
+
+fn lit_value(lit: &Lit) -> Result<Value> {
+    Ok(match lit {
+        Lit::Int(i) => Value::Int(*i),
+        Lit::Float(f) => Value::Float(*f),
+        Lit::Str(s) => Value::str(s),
+        Lit::Date(d) => Value::Date(*d),
+        Lit::Param(name) => {
+            return Err(GraqlError::exec(format!(
+                "reference evaluator: unbound parameter %{name}%"
+            )))
+        }
+    })
+}
+
+fn eval_expr(e: &Expr, t: &Table, row: usize, table_name: &str) -> Result<bool> {
+    Ok(match e {
+        Expr::And(ps) => {
+            for p in ps {
+                if !eval_expr(p, t, row, table_name)? {
+                    return Ok(false);
+                }
+            }
+            true
+        }
+        Expr::Or(ps) => {
+            for p in ps {
+                if eval_expr(p, t, row, table_name)? {
+                    return Ok(true);
+                }
+            }
+            false
+        }
+        Expr::Not(inner) => !eval_expr(inner, t, row, table_name)?,
+        Expr::Cmp { op, lhs, rhs, .. } => {
+            let l = operand_value(lhs, t, row, table_name)?;
+            let r = operand_value(rhs, t, row, table_name)?;
+            op.eval(&l, &r)
+        }
+    })
+}
+
+fn operand_value(o: &Operand, t: &Table, row: usize, table_name: &str) -> Result<Value> {
+    match o {
+        Operand::Attr { qualifier, name } => {
+            let c = col_index(
+                &ColRef {
+                    qualifier: qualifier.clone(),
+                    name: name.clone(),
+                },
+                t.schema(),
+                table_name,
+            )?;
+            Ok(t.get(row, c))
+        }
+        Operand::Lit(l) => lit_value(l),
+    }
+}
+
+/// `group by` + aggregates, assembled in select-list order with the
+/// engine's default names (`agg_{i}` for unaliased aggregates).
+fn aggregate_projection(t: &Table, sel: &SelectStmt, table_name: &str) -> Result<Table> {
+    let SelectTargets::Items(items) = &sel.targets else {
+        unreachable!()
+    };
+    let group_cols: Vec<usize> = sel
+        .group_by
+        .iter()
+        .map(|c| col_index(c, t.schema(), table_name))
+        .collect::<Result<_>>()?;
+
+    // Groups in first-seen order (linear-scan key lookup — O(n·g), fine
+    // for a reference).
+    let groups: Vec<Vec<usize>> = if group_cols.is_empty() {
+        vec![(0..t.n_rows()).collect()]
+    } else {
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for r in 0..t.n_rows() {
+            let key: Vec<Value> = group_cols.iter().map(|&c| t.get(r, c)).collect();
+            match keys.iter().position(|k| k == &key) {
+                Some(g) => groups[g].push(r),
+                None => {
+                    keys.push(key);
+                    groups.push(vec![r]);
+                }
+            }
+        }
+        groups
+    };
+
+    // Output columns in select-list order.
+    let mut defs: Vec<ColumnDef> = Vec::new();
+    enum Slot {
+        Group(usize),
+        Agg(AggCall),
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match &item.expr {
+            SelectExpr::Col(c) => {
+                let ci = col_index(c, t.schema(), table_name)?;
+                if !group_cols.contains(&ci) {
+                    return Err(GraqlError::type_error(format!(
+                        "column {:?} must appear in 'group by' or inside an aggregate",
+                        c.name
+                    )));
+                }
+                let name = item
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| t.schema().column(ci).name.clone());
+                defs.push(ColumnDef::new(name, t.schema().column(ci).dtype));
+                slots.push(Slot::Group(ci));
+            }
+            SelectExpr::Agg(a) => {
+                let name = item.alias.clone().unwrap_or_else(|| format!("agg_{i}"));
+                defs.push(ColumnDef::new(name, agg_out_type(a, t, table_name)?));
+                slots.push(Slot::Agg(a.clone()));
+            }
+        }
+    }
+
+    let mut out = Table::empty(TableSchema::new(defs)?);
+    for members in &groups {
+        let rep = members.first().copied();
+        let mut row: Vec<Value> = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            row.push(match slot {
+                Slot::Group(ci) => rep.map_or(Value::Null, |r| t.get(r, *ci)),
+                Slot::Agg(a) => eval_agg(a, t, members, table_name)?,
+            });
+        }
+        out.push_row(&row)?;
+    }
+    Ok(out)
+}
+
+fn agg_input(a: &AggCall) -> Option<&ColRef> {
+    match a {
+        AggCall::CountStar => None,
+        AggCall::Count(c)
+        | AggCall::Sum(c)
+        | AggCall::Avg(c)
+        | AggCall::Min(c)
+        | AggCall::Max(c) => Some(c),
+    }
+}
+
+fn agg_out_type(a: &AggCall, t: &Table, table_name: &str) -> Result<DataType> {
+    let input = |c: &ColRef| -> Result<DataType> {
+        Ok(t.schema()
+            .column(col_index(c, t.schema(), table_name)?)
+            .dtype)
+    };
+    let numeric = |c: &ColRef| -> Result<DataType> {
+        let dt = input(c)?;
+        if dt.is_numeric() {
+            Ok(dt)
+        } else {
+            Err(GraqlError::type_error(format!(
+                "aggregate over non-numeric column {:?}",
+                c.name
+            )))
+        }
+    };
+    Ok(match a {
+        AggCall::CountStar | AggCall::Count(_) => DataType::Integer,
+        AggCall::Sum(c) => numeric(c)?,
+        AggCall::Avg(c) => {
+            numeric(c)?;
+            DataType::Float
+        }
+        AggCall::Min(c) | AggCall::Max(c) => input(c)?,
+    })
+}
+
+fn eval_agg(a: &AggCall, t: &Table, members: &[usize], table_name: &str) -> Result<Value> {
+    let ci = match agg_input(a) {
+        Some(c) => Some(col_index(c, t.schema(), table_name)?),
+        None => None,
+    };
+    Ok(match a {
+        AggCall::CountStar => Value::Int(members.len() as i64),
+        AggCall::Count(_) => {
+            let c = ci.unwrap();
+            Value::Int(members.iter().filter(|&&r| !t.get(r, c).is_null()).count() as i64)
+        }
+        AggCall::Sum(_) => {
+            let c = ci.unwrap();
+            if t.schema().column(c).dtype == DataType::Integer {
+                let mut acc: Option<i64> = None;
+                for &r in members {
+                    if let Some(x) = t.get(r, c).as_int() {
+                        acc = Some(acc.unwrap_or(0).wrapping_add(x));
+                    }
+                }
+                acc.map_or(Value::Null, Value::Int)
+            } else {
+                let mut acc: Option<f64> = None;
+                for &r in members {
+                    if let Some(x) = t.get(r, c).as_f64() {
+                        acc = Some(acc.unwrap_or(0.0) + x);
+                    }
+                }
+                acc.map_or(Value::Null, Value::Float)
+            }
+        }
+        AggCall::Avg(_) => {
+            let c = ci.unwrap();
+            let (mut sum, mut n) = (0.0, 0usize);
+            for &r in members {
+                if let Some(x) = t.get(r, c).as_f64() {
+                    sum += x;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            }
+        }
+        AggCall::Min(_) | AggCall::Max(_) => {
+            let c = ci.unwrap();
+            let min = matches!(a, AggCall::Min(_));
+            let mut best: Option<Value> = None;
+            for &r in members {
+                let v = t.get(r, c);
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = if min { v < b } else { v > b };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> graql_core::Database {
+        graql_bsbm::build_database(graql_bsbm::Scale::new(40)).unwrap()
+    }
+
+    fn engine_render(db: &mut graql_core::Database, q: &str) -> String {
+        let out = db.execute_str(q).unwrap();
+        let graql_core::StmtOutput::Table(t) = out else {
+            panic!("not a table")
+        };
+        t.render()
+    }
+
+    fn reference_render(db: &graql_core::Database, q: &str) -> String {
+        let outs = reference_outputs(db, q).unwrap();
+        let SessionOutput::Table(t) = &outs[0] else {
+            panic!("not a table")
+        };
+        t.render()
+    }
+
+    #[test]
+    fn matches_engine_on_representative_queries() {
+        let mut d = db();
+        for q in [
+            "select * from table Vendors",
+            "select distinct country from table Vendors order by country",
+            "select id, price from table Offers where price > 5000.0 order by price desc, id",
+            "select top 5 vendor, count(*) as n, avg(price) as mean from table Offers \
+             group by vendor order by n desc, vendor",
+            "select count(*) from table Reviews where ratings_1 >= 8",
+            "select publisher, min(propertyNumeric_1), max(propertyNumeric_1) \
+             from table Products group by publisher order by publisher",
+            "select sum(deliveryDays) as d from table Offers where vendor = 'vendor3'",
+        ] {
+            let engine = engine_render(&mut d, q);
+            let reference = reference_render(&d, q);
+            assert_eq!(engine, reference, "divergence on {q}");
+        }
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let d = db();
+        let q = "select count(*), sum(price), avg(price) from table Offers where price < 0.0";
+        let mut d2 = db();
+        assert_eq!(reference_render(&d, q), engine_render(&mut d2, q));
+    }
+}

@@ -226,7 +226,9 @@ impl Diagnostic {
             GraqlError::Exec(m) => Diagnostic::error(codes::EXEC_OTHER, m.clone(), fallback),
             GraqlError::Ir(m) => Diagnostic::error(codes::IR_OTHER, m.clone(), fallback),
             GraqlError::Cluster(m) => Diagnostic::error(codes::CLUSTER_OTHER, m.clone(), fallback),
-            GraqlError::Net(m) => Diagnostic::error(codes::NET_OTHER, m.clone(), fallback),
+            GraqlError::Net(ne) => {
+                Diagnostic::error(codes::NET_OTHER, ne.message.clone(), fallback)
+            }
         }
     }
 
@@ -255,7 +257,7 @@ impl Diagnostic {
                 codes::PLAN_OTHER => GraqlError::Plan(located),
                 codes::IR_OTHER => GraqlError::Ir(located),
                 codes::CLUSTER_OTHER => GraqlError::Cluster(located),
-                codes::NET_OTHER => GraqlError::Net(located),
+                codes::NET_OTHER => GraqlError::net(located),
                 _ => GraqlError::Exec(located),
             },
         }

@@ -38,8 +38,30 @@ pub enum GraqlError {
     /// Failure inside the simulated GEMS backend cluster.
     Cluster(String),
     /// Wire-protocol / transport failure (graql-net): framing violations,
-    /// protocol-version mismatches, timeouts, connection loss.
-    Net(String),
+    /// protocol-version mismatches, timeouts, connection loss. Carries a
+    /// [`NetError`] so clients can distinguish retryable transport faults
+    /// from final protocol errors.
+    Net(NetError),
+}
+
+/// Payload of [`GraqlError::Net`]: the message plus a retryability class.
+///
+/// *Retryable* means the failure is transient at the transport level — a
+/// lost or truncated connection, a timed-out read, an overloaded server
+/// refusing new work — and an **idempotent** request may safely be retried
+/// on a fresh connection. Non-retryable Net errors are protocol-level
+/// (version mismatch, malformed frames from a non-GraQL peer, oversized
+/// frames) where retrying would just fail again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetError {
+    pub message: String,
+    pub retryable: bool,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
 }
 
 impl GraqlError {
@@ -74,8 +96,27 @@ impl GraqlError {
     pub fn cluster(m: impl Into<String>) -> Self {
         GraqlError::Cluster(m.into())
     }
+    /// A non-retryable network error (protocol violation, bad peer).
     pub fn net(m: impl Into<String>) -> Self {
-        GraqlError::Net(m.into())
+        GraqlError::Net(NetError {
+            message: m.into(),
+            retryable: false,
+        })
+    }
+
+    /// A retryable network error (transient transport fault): idempotent
+    /// requests may be re-sent on a fresh connection.
+    pub fn net_retryable(m: impl Into<String>) -> Self {
+        GraqlError::Net(NetError {
+            message: m.into(),
+            retryable: true,
+        })
+    }
+
+    /// True when this is a transient transport fault that an idempotent
+    /// request may safely retry (see [`NetError`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, GraqlError::Net(ne) if ne.retryable)
     }
 
     /// Stable one-byte status code for error frames on the wire
@@ -92,7 +133,13 @@ impl GraqlError {
             GraqlError::Exec(_) => 7,
             GraqlError::Ir(_) => 8,
             GraqlError::Cluster(_) => 9,
-            GraqlError::Net(_) => 10,
+            GraqlError::Net(ne) => {
+                if ne.retryable {
+                    11
+                } else {
+                    10
+                }
+            }
         }
     }
 
@@ -116,8 +163,9 @@ impl GraqlError {
             7 => GraqlError::Exec(message),
             8 => GraqlError::Ir(message),
             9 => GraqlError::Cluster(message),
-            10 => GraqlError::Net(message),
-            other => GraqlError::Net(format!("unknown wire status {other}: {message}")),
+            10 => GraqlError::net(message),
+            11 => GraqlError::net_retryable(message),
+            other => GraqlError::net(format!("unknown wire status {other}: {message}")),
         }
     }
 
@@ -158,7 +206,7 @@ impl fmt::Display for GraqlError {
             GraqlError::Exec(m) => write!(f, "execution error: {m}"),
             GraqlError::Ir(m) => write!(f, "IR error: {m}"),
             GraqlError::Cluster(m) => write!(f, "cluster error: {m}"),
-            GraqlError::Net(m) => write!(f, "network error: {m}"),
+            GraqlError::Net(ne) => write!(f, "network error: {ne}"),
         }
     }
 }
@@ -200,6 +248,7 @@ mod tests {
             GraqlError::ir("ir"),
             GraqlError::cluster("c"),
             GraqlError::net("ne"),
+            GraqlError::net_retryable("nr"),
         ];
         for e in errors {
             let status = e.wire_status();
@@ -211,6 +260,20 @@ mod tests {
                 "{e} must round-trip its class"
             );
         }
+    }
+
+    #[test]
+    fn retryability_round_trips_over_the_wire() {
+        let transient = GraqlError::net_retryable("connection reset");
+        assert!(transient.is_retryable());
+        assert_eq!(transient.wire_status(), 11);
+        assert!(GraqlError::from_wire_status(11, "m").is_retryable());
+
+        let fatal = GraqlError::net("bad magic");
+        assert!(!fatal.is_retryable());
+        assert_eq!(fatal.wire_status(), 10);
+        assert!(!GraqlError::from_wire_status(10, "m").is_retryable());
+        assert!(!GraqlError::exec("boom").is_retryable());
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Deterministic fault injection for the GEMS stack.
+//!
+//! A *failpoint* is a named site in the code (`net/frame/write-corrupt`,
+//! `core/persist/save-io`, …) where a fault can be armed at runtime. The
+//! registry itself is always compiled — it is a handful of statics — but
+//! the call sites expanded by [`failpoint!`](crate::failpoint) are gated
+//! behind each crate's `failpoints` cargo feature, so release builds of
+//! the engine carry **zero** fault-injection code on their hot paths.
+//!
+//! Site names follow `area/component/action` (see `TESTING.md`). Faults
+//! are armed either through the API ([`configure`]) or through the
+//! environment, which is how test harnesses reach into spawned
+//! `gems-serve` children:
+//!
+//! ```text
+//! GRAQL_FAILPOINTS="net/server/exec-delay=1*delay(200);net/frame/write-corrupt=25%corrupt"
+//! GRAQL_FAILPOINT_SEED=42
+//! ```
+//!
+//! A spec is `[PCT%][CNT*]ACTION[(ARG)]`: an optional firing probability,
+//! an optional maximum number of firings, and the action itself. All
+//! randomness is drawn from a per-site SplitMix64 stream derived from the
+//! global seed and the site name, so a given `(seed, site, hit index)`
+//! triple always makes the same decision — chaos runs are replayable.
+//!
+//! ```
+//! use graql_types::failpoints;
+//!
+//! failpoints::configure("net/frame/write-err", "2*err").unwrap();
+//! assert!(failpoints::hit("net/frame/write-err").is_some());
+//! assert!(failpoints::hit("net/frame/write-err").is_some());
+//! assert!(failpoints::hit("net/frame/write-err").is_none()); // count exhausted
+//! failpoints::disarm_all();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires. How each action is applied
+/// is up to the site: frame writers interpret `Corrupt`/`Truncate`, the
+/// accept loop interprets `Refuse`, and every site honours `Delay`/`Err`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Fail the operation with an injected (typed) error.
+    Err,
+    /// Flip bits in the payload so the peer sees a decode failure.
+    Corrupt,
+    /// Write only part of the frame, then fail — a mid-frame death.
+    Truncate,
+    /// Refuse the operation outright (e.g. close at accept time).
+    Refuse,
+}
+
+/// A parsed failpoint specification: `[PCT%][CNT*]ACTION[(ARG)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub action: Action,
+    /// Firing probability in percent (1–100). 100 = always.
+    pub pct: u8,
+    /// Maximum number of firings; `None` = unlimited.
+    pub count: Option<u64>,
+}
+
+impl FaultSpec {
+    pub fn always(action: Action) -> FaultSpec {
+        FaultSpec {
+            action,
+            pct: 100,
+            count: None,
+        }
+    }
+}
+
+/// Parses `[PCT%][CNT*]ACTION[(ARG)]`, e.g. `err`, `3*err`, `25%corrupt`,
+/// `50%2*delay(150)`.
+pub fn parse_spec(spec: &str) -> Result<FaultSpec, String> {
+    let mut rest = spec.trim();
+    let mut pct: u8 = 100;
+    let mut count: Option<u64> = None;
+    if let Some((p, tail)) = rest.split_once('%') {
+        pct = p
+            .trim()
+            .parse::<u8>()
+            .ok()
+            .filter(|p| (1..=100).contains(p))
+            .ok_or_else(|| format!("bad probability {p:?} in failpoint spec {spec:?}"))?;
+        rest = tail;
+    }
+    if let Some((c, tail)) = rest.split_once('*') {
+        count = Some(
+            c.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad count {c:?} in failpoint spec {spec:?}"))?,
+        );
+        rest = tail;
+    }
+    let rest = rest.trim();
+    let (name, arg) = match rest.split_once('(') {
+        Some((name, tail)) => {
+            let arg = tail
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed argument in failpoint spec {spec:?}"))?;
+            (name.trim(), Some(arg.trim()))
+        }
+        None => (rest, None),
+    };
+    let action = match (name, arg) {
+        ("delay", Some(ms)) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad delay millis {ms:?} in failpoint spec {spec:?}"))?;
+            Action::Delay(Duration::from_millis(ms))
+        }
+        ("delay", None) => Action::Delay(Duration::from_millis(50)),
+        ("err", None) => Action::Err,
+        ("corrupt", None) => Action::Corrupt,
+        ("truncate", None) => Action::Truncate,
+        ("refuse", None) => Action::Refuse,
+        _ => return Err(format!("unknown action in failpoint spec {spec:?}")),
+    };
+    Ok(FaultSpec { action, pct, count })
+}
+
+struct PointState {
+    spec: FaultSpec,
+    /// How many times this site has fired so far.
+    fired: u64,
+    /// Per-site SplitMix64 state for probability decisions.
+    rng: u64,
+}
+
+struct Registry {
+    points: Mutex<HashMap<String, PointState>>,
+    /// Fast path: a single relaxed load when nothing is armed.
+    armed: AtomicBool,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let reg = Registry {
+            points: Mutex::new(HashMap::new()),
+            armed: AtomicBool::new(false),
+        };
+        // Environment arming: lets harnesses inject faults into spawned
+        // child processes (gems-serve) without any API access.
+        let seed = std::env::var("GRAQL_FAILPOINT_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        if let Ok(spec) = std::env::var("GRAQL_FAILPOINTS") {
+            let mut points = reg.points.lock().unwrap();
+            for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+                let Some((name, spec)) = entry.split_once('=') else {
+                    eprintln!("graql: ignoring malformed GRAQL_FAILPOINTS entry {entry:?}");
+                    continue;
+                };
+                match parse_spec(spec) {
+                    Ok(spec) => {
+                        let name = name.trim().to_string();
+                        let rng = site_seed(seed, &name);
+                        points.insert(
+                            name,
+                            PointState {
+                                spec,
+                                fired: 0,
+                                rng,
+                            },
+                        );
+                    }
+                    Err(e) => eprintln!("graql: ignoring GRAQL_FAILPOINTS entry: {e}"),
+                }
+            }
+            if !points.is_empty() {
+                reg.armed.store(true, Ordering::Release);
+            }
+        }
+        reg
+    })
+}
+
+/// Derives the per-site RNG stream from the global seed and the site name
+/// (FNV-1a over the name, mixed with the seed).
+fn site_seed(seed: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Arms (or re-arms) a failpoint from a textual spec. The site's RNG
+/// stream and hit counter reset, so arming is a deterministic starting
+/// point regardless of what ran before.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    configure_seeded(name, spec, current_seed())
+}
+
+/// [`configure`] with an explicit seed for the site's probability stream.
+pub fn configure_seeded(name: &str, spec: &str, seed: u64) -> Result<(), String> {
+    let spec = parse_spec(spec)?;
+    let reg = registry();
+    let mut points = reg.points.lock().unwrap();
+    let rng = site_seed(seed, name);
+    points.insert(
+        name.to_string(),
+        PointState {
+            spec,
+            fired: 0,
+            rng,
+        },
+    );
+    reg.armed.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Sets the global seed used by subsequent [`configure`] calls.
+pub fn set_seed(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+}
+
+fn current_seed() -> u64 {
+    SEED.load(Ordering::Relaxed)
+}
+
+static SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Disarms a single failpoint. No-op if it was not armed.
+pub fn disarm(name: &str) {
+    let reg = registry();
+    let mut points = reg.points.lock().unwrap();
+    points.remove(name);
+    if points.is_empty() {
+        reg.armed.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every failpoint. Tests that arm faults should always call this
+/// (or use a guard that does) before the next test runs.
+pub fn disarm_all() {
+    let reg = registry();
+    let mut points = reg.points.lock().unwrap();
+    points.clear();
+    reg.armed.store(false, Ordering::Release);
+}
+
+/// True if at least one failpoint is armed (a single relaxed atomic load —
+/// this is the disabled-path cost when the `failpoints` feature is on).
+#[inline]
+pub fn armed() -> bool {
+    registry().armed.load(Ordering::Acquire)
+}
+
+/// The names of all currently armed failpoints, sorted.
+pub fn armed_sites() -> Vec<String> {
+    let reg = registry();
+    let points = reg.points.lock().unwrap();
+    let mut names: Vec<String> = points.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Evaluates the failpoint `name`: returns the action to apply if the site
+/// is armed, its count is not exhausted, and the probability roll passes.
+/// Call sites should use the [`failpoint!`](crate::failpoint) macro rather
+/// than calling this directly.
+#[inline]
+pub fn hit(name: &str) -> Option<Action> {
+    if !armed() {
+        return None;
+    }
+    hit_slow(name)
+}
+
+#[cold]
+fn hit_slow(name: &str) -> Option<Action> {
+    let reg = registry();
+    let mut points = reg.points.lock().unwrap();
+    let state = points.get_mut(name)?;
+    if let Some(max) = state.spec.count {
+        if state.fired >= max {
+            return None;
+        }
+    }
+    if state.spec.pct < 100 {
+        let roll = splitmix64(&mut state.rng) % 100;
+        if roll >= u64::from(state.spec.pct) {
+            return None;
+        }
+    }
+    state.fired += 1;
+    Some(state.spec.action)
+}
+
+/// How many times the failpoint `name` has fired since it was last armed.
+pub fn fired_count(name: &str) -> u64 {
+    let reg = registry();
+    let points = reg.points.lock().unwrap();
+    points.get(name).map_or(0, |s| s.fired)
+}
+
+/// Expands a failpoint call site. The expansion is gated on the **calling
+/// crate's** `failpoints` cargo feature, so crates that opt in declare
+/// `failpoints = []` in their `[features]` and the sites vanish entirely
+/// (not even a branch) when the feature is off.
+///
+/// Two forms:
+///
+/// - `failpoint!("site")` — honours `Delay` only (sleep, then continue).
+/// - `failpoint!("site", GraqlError::exec)` — additionally honours `Err`
+///   by early-returning `Err(ctor("failpoint 'site': injected error"))`
+///   from the enclosing function (which must return
+///   [`Result`](crate::Result)).
+///
+/// Sites with richer semantics (`Corrupt`, `Truncate`, `Refuse`) match on
+/// [`failpoints::hit`](hit) directly under `#[cfg(feature = "failpoints")]`.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some($crate::failpoints::Action::Delay(__d)) = $crate::failpoints::hit($name) {
+                ::std::thread::sleep(__d);
+            }
+        }
+    };
+    ($name:expr, $ctor:expr) => {
+        #[cfg(feature = "failpoints")]
+        {
+            match $crate::failpoints::hit($name) {
+                Some($crate::failpoints::Action::Delay(__d)) => ::std::thread::sleep(__d),
+                Some($crate::failpoints::Action::Err) => {
+                    return ::std::result::Result::Err($ctor(::std::format!(
+                        "failpoint '{}': injected error",
+                        $name
+                    )));
+                }
+                _ => {}
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests serialize on their own
+    // site names so they can run concurrently with each other.
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(parse_spec("err").unwrap(), FaultSpec::always(Action::Err));
+        assert_eq!(
+            parse_spec("3*err").unwrap(),
+            FaultSpec {
+                action: Action::Err,
+                pct: 100,
+                count: Some(3)
+            }
+        );
+        assert_eq!(
+            parse_spec("25%corrupt").unwrap(),
+            FaultSpec {
+                action: Action::Corrupt,
+                pct: 25,
+                count: None
+            }
+        );
+        assert_eq!(
+            parse_spec("50%2*delay(150)").unwrap(),
+            FaultSpec {
+                action: Action::Delay(Duration::from_millis(150)),
+                pct: 50,
+                count: Some(2)
+            }
+        );
+        assert_eq!(parse_spec("truncate").unwrap().action, Action::Truncate);
+        assert_eq!(parse_spec("refuse").unwrap().action, Action::Refuse);
+        assert!(parse_spec("explode").is_err());
+        assert!(parse_spec("0%err").is_err());
+        assert!(parse_spec("delay(abc)").is_err());
+        assert!(parse_spec("delay(100").is_err());
+    }
+
+    #[test]
+    fn count_limits_firings() {
+        configure("test/count/site", "2*err").unwrap();
+        assert_eq!(hit("test/count/site"), Some(Action::Err));
+        assert_eq!(hit("test/count/site"), Some(Action::Err));
+        assert_eq!(hit("test/count/site"), None);
+        assert_eq!(fired_count("test/count/site"), 2);
+        disarm("test/count/site");
+        assert_eq!(hit("test/count/site"), None);
+    }
+
+    #[test]
+    fn probability_is_deterministic_by_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            configure_seeded("test/prob/site", "50%err", seed).unwrap();
+            let fired = (0..64).map(|_| hit("test/prob/site").is_some()).collect();
+            disarm("test/prob/site");
+            fired
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed, same firing pattern");
+        assert_ne!(a, c, "different seed, different firing pattern");
+        let fired = a.iter().filter(|f| **f).count();
+        assert!(
+            (8..=56).contains(&fired),
+            "50% of 64 should fire roughly half the time, got {fired}"
+        );
+    }
+
+    #[test]
+    fn unarmed_sites_do_not_fire() {
+        assert_eq!(hit("test/never/armed"), None);
+    }
+}

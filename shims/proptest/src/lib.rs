@@ -57,9 +57,17 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// Honors `PROPTEST_CASES` (as the real crate does), so CI can
+        /// pin the case count explicitly and local runs can dial it up
+        /// (`PROPTEST_CASES=4096 cargo test`) or down while debugging.
         fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
             Config {
-                cases: 256,
+                cases,
                 max_global_rejects: 65_536,
             }
         }

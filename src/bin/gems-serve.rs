@@ -4,6 +4,8 @@
 //! gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR]
 //!            [--init SCRIPT] [--user NAME=ROLE]...
 //!            [--request-timeout SECS] [--idle-timeout SECS]
+//!            [--request-timeout-ms MS] [--idle-timeout-ms MS]
+//!            [--max-connections N] [--error-budget N]
 //! ```
 //!
 //! Hosts one shared database behind the `graql-net` wire protocol;
@@ -27,7 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR] \
          [--init SCRIPT] [--user NAME=ROLE]... [--request-timeout SECS] \
-         [--idle-timeout SECS]"
+         [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
+         [--max-connections N] [--error-budget N]"
     );
     std::process::exit(2);
 }
@@ -72,6 +75,35 @@ fn main() -> ExitCode {
                 let secs = args.next().unwrap_or_else(|| usage());
                 match secs.parse::<u64>() {
                     Ok(s) => opts.idle_timeout = Duration::from_secs(s),
+                    Err(_) => usage(),
+                }
+            }
+            // Millisecond-granularity variants, for tests and tight SLOs.
+            "--request-timeout-ms" => {
+                let ms = args.next().unwrap_or_else(|| usage());
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.request_timeout = Duration::from_millis(ms),
+                    Err(_) => usage(),
+                }
+            }
+            "--idle-timeout-ms" => {
+                let ms = args.next().unwrap_or_else(|| usage());
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.idle_timeout = Duration::from_millis(ms),
+                    Err(_) => usage(),
+                }
+            }
+            "--max-connections" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u64>() {
+                    Ok(n) => opts.max_connections = n,
+                    Err(_) => usage(),
+                }
+            }
+            "--error-budget" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u32>() {
+                    Ok(n) => opts.error_budget = n,
                     Err(_) => usage(),
                 }
             }

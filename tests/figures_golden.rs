@@ -1,0 +1,174 @@
+//! Golden end-to-end renderings for the paper's figures: each figure's
+//! script runs through a real session (the same `execute_script_sealed`
+//! path the server uses) and the shell-contract rendering is compared
+//! byte-for-byte against `tests/figures/<name>.expected`.
+//!
+//! Shape-level assertions live in tests/figures.rs; these goldens pin the
+//! *complete output* — schema names, row order, alignment, subgraph
+//! summaries — so any silent presentation or semantics drift fails loudly.
+//!
+//! Regenerate after an intentional output change with
+//! `GOLDEN_BLESS=1 cargo test --test figures_golden`.
+
+use graql::core::{Database, Server};
+use graql::types::Value;
+use graql_testkit::render_outputs;
+
+/// The Berlin database at a small fixed scale (the BSBM generator is
+/// seeded, so the data — and therefore every golden — is deterministic).
+fn berlin() -> Database {
+    berlin_at(30)
+}
+
+fn berlin_at(n: usize) -> Database {
+    let mut db = graql::bsbm::build_database(graql::bsbm::Scale::new(n)).unwrap();
+    db.set_param("Product1", Value::str("product0"));
+    db.set_param("Country1", Value::str("US"));
+    db.set_param("Country2", Value::str("DE"));
+    db
+}
+
+/// The paper's exact Fig. 5 rows under the Fig. 4 schema.
+fn fig45_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "create table Producers(id integer, country varchar(4))
+         create table Vendors(id integer, country varchar(4))
+         create table Products(id integer, producer integer)
+         create table Offers(id integer, product integer, vendor integer)
+         create vertex ProducerCountry(country) from table Producers
+         create vertex VendorCountry(country) from table Vendors
+         create edge export with vertices (ProducerCountry as PC, VendorCountry as VC)
+             from table Products, Offers
+             where Products.producer = PC.id
+               and Offers.product = Products.id
+               and Offers.vendor = VC.id",
+    )
+    .unwrap();
+    db.ingest_str("Producers", "1,US\n2,IT\n3,FR\n4,US\n")
+        .unwrap();
+    db.ingest_str("Vendors", "1,CA\n2,CN\n3,CA\n4,CA\n")
+        .unwrap();
+    db.ingest_str("Products", "1,1\n2,4\n3,2\n4,2\n").unwrap();
+    db.ingest_str("Offers", "1,1,1\n2,2,4\n3,3,2\n4,4,2\n")
+        .unwrap();
+    db
+}
+
+/// One golden case: a figure name, the database it runs against, and the
+/// figure's script.
+fn cases() -> Vec<(&'static str, Database, String)> {
+    let (fig11_full, fig11_endpoints) = graql::bsbm::queries::fig11();
+    vec![
+        (
+            "fig02_03_berlin_ddl",
+            Database::new(),
+            format!(
+                "{}\n{}",
+                graql::bsbm::schema_ddl(),
+                graql::bsbm::graph_ddl()
+            ),
+        ),
+        (
+            "fig04_05_export",
+            fig45_db(),
+            "select PC.country as a, VC.country as b from graph \
+               def PC: ProducerCountry() --export--> def VC: VendorCountry() \
+               into table Flows\n\
+             select a, b from table Flows order by a, b\n\
+             select * from graph def PC: ProducerCountry() --export--> \
+               def VC: VendorCountry() into subgraph flows"
+                .to_string(),
+        ),
+        ("fig06_q2", berlin(), graql::bsbm::queries::q2().to_string()),
+        (
+            // Country parameters chosen so the reviewers-from-Country2 ×
+            // producers-from-Country1 intersection is non-empty at this
+            // scale (only ~2 producers exist, each with one random country).
+            "fig07_08_q1",
+            {
+                let mut db = berlin();
+                db.set_param("Country1", Value::str("FR"));
+                db.set_param("Country2", Value::str("US"));
+                db
+            },
+            graql::bsbm::queries::q1().to_string(),
+        ),
+        (
+            "fig09_variants",
+            berlin(),
+            graql::bsbm::queries::fig9().to_string(),
+        ),
+        (
+            "fig10_regex",
+            berlin(),
+            graql::bsbm::queries::fig10().to_string(),
+        ),
+        (
+            "fig11_capture",
+            berlin(),
+            format!("{fig11_full}\n{fig11_endpoints}"),
+        ),
+        (
+            "fig12_seeding",
+            berlin(),
+            graql::bsbm::queries::fig12().to_string(),
+        ),
+        (
+            // The full match table is wide (every attribute of every path
+            // entity), so this one runs at the smallest scale that still
+            // has several reviews.
+            "fig13_table",
+            berlin_at(8),
+            graql::bsbm::queries::fig13().to_string(),
+        ),
+        (
+            "table1_relational",
+            berlin(),
+            "select top 3 vendor as v, count(*) as n, avg(price) as mean, \
+               min(price) as lo, max(price) as hi, sum(deliveryDays) as days \
+               from table Offers where price > 100 \
+               group by vendor order by n desc, v asc\n\
+             select distinct country from table Vendors order by country"
+                .to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn figures_golden_corpus() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/figures");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    let mut failures = Vec::new();
+    let cases = cases();
+    assert!(cases.len() >= 10, "figure corpus present");
+    for (name, db, script) in cases {
+        let server = Server::new(db);
+        let mut session = server.connect("admin").unwrap();
+        let outs = session
+            .execute_script_sealed(&script)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let got = render_outputs(&outs);
+        let expected_path = dir.join(format!("{name}.expected"));
+        if bless {
+            std::fs::write(&expected_path, &got).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("{name}: missing .expected (run with GOLDEN_BLESS=1)"));
+        if got != expected {
+            failures.push(format!(
+                "{name}: output diverged from {}\n--- expected ---\n{expected}\n--- got ---\n{got}",
+                expected_path.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} figure goldens diverged (re-bless intentional changes with \
+         GOLDEN_BLESS=1):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -26,9 +26,17 @@ impl Serve {
     /// Spawns `gems-serve --addr 127.0.0.1:0 <extra args>` and waits for
     /// its readiness line to learn the bound port.
     fn spawn(extra: &[&str]) -> Serve {
+        Serve::spawn_with(extra, &[])
+    }
+
+    /// Like [`Serve::spawn`], with extra environment variables — the
+    /// hook for arming failpoints (`GRAQL_FAILPOINTS=…`) in the child
+    /// only, fully isolated from this test process.
+    fn spawn_with(extra: &[&str], envs: &[(&str, &str)]) -> Serve {
         let mut child = Command::new(env!("CARGO_BIN_EXE_gems-serve"))
             .args(["--addr", "127.0.0.1:0"])
             .args(extra)
+            .envs(envs.iter().map(|&(k, v)| (k, v)))
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
@@ -277,10 +285,90 @@ fn server_killed_mid_conversation_is_typed_error() {
         .execute_script("select a from table T")
         .expect_err("server is dead");
     assert!(matches!(err, GraqlError::Net(_)), "{err:?}");
+    // Generous bound: the read-only select is idempotent, so the client
+    // burns its full retry budget (reconnects fail fast, but each retry
+    // backs off) before surfacing the error.
     assert!(
-        started.elapsed() < Duration::from_secs(5),
+        started.elapsed() < Duration::from_secs(15),
         "client hung after server death"
     );
+}
+
+/// A slow query is simulated with a failpoint-injected *virtual* delay
+/// armed via the child's environment — no wall-clock-sized sleeps and no
+/// real timing races: the 600ms delay deterministically outlasts the
+/// client's 150ms reply deadline.
+#[test]
+fn request_deadline_via_virtual_delay() {
+    let serve = Serve::spawn_with(
+        &[],
+        &[("GRAQL_FAILPOINTS", "net/server/exec-delay=1*delay(600)")],
+    );
+    let mut s = RemoteSession::connect(
+        serve.addr.as_str(),
+        ConnectOptions::new("admin")
+            .with_timeout(Duration::from_millis(150))
+            .with_retries(0),
+    )
+    .unwrap();
+
+    let started = std::time::Instant::now();
+    let err = s
+        .execute_script("create table T(a integer)")
+        .expect_err("the virtual delay must outlast the reply deadline");
+    assert!(matches!(err, GraqlError::Net(_)), "{err:?}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline did not bound the wait"
+    );
+
+    // The session heals on a fresh connection (the fault's single firing
+    // is spent), and the delayed request still completed server-side —
+    // exactly once, visible as soon as the 600ms delay elapses.
+    s.ping().unwrap();
+    let give_up = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match s.execute_script("select a from table T") {
+            Ok(outputs) => {
+                assert!(
+                    matches!(&outputs[..], [SessionOutput::Table(_)]),
+                    "{outputs:?}"
+                );
+                break;
+            }
+            Err(_) if std::time::Instant::now() < give_up => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("delayed create never landed: {e}"),
+        }
+    }
+    serve.stop();
+}
+
+/// A server-side idle hangup is invisible to the client: the next
+/// idempotent request transparently reconnects and retries. The wait
+/// only needs to *exceed* the server's idle timeout (wide one-sided
+/// margin), so machine load can slow the test but never flake it.
+#[test]
+fn idle_hangup_reconnects_transparently() {
+    let serve = Serve::spawn(&["--idle-timeout-ms", "50"]);
+    let mut s = RemoteSession::connect(serve.addr.as_str(), ConnectOptions::new("admin")).unwrap();
+    s.execute_script("create table T(a integer)").unwrap();
+
+    std::thread::sleep(Duration::from_millis(500));
+
+    let before = s.retries();
+    let outputs = s.execute_script("select a from table T").unwrap();
+    assert!(
+        matches!(&outputs[..], [SessionOutput::Table(_)]),
+        "{outputs:?}"
+    );
+    assert!(
+        s.retries() > before,
+        "the idle hangup should have forced a reconnect-and-retry"
+    );
+    serve.stop();
 }
 
 /// The graceful path: `shutdown` on stdin drains and exits 0.

@@ -1,0 +1,144 @@
+//! The differential oracle (TESTING.md): seeded random GraQL scripts over
+//! the Berlin schema must render **byte-identically** across three
+//! independent evaluation paths —
+//!
+//! 1. the in-process engine (a local [`Session`]),
+//! 2. the remote wire path ([`RemoteSession`] against an in-process
+//!    `graql-net` server), and
+//! 3. the testkit's naive reference evaluator.
+//!
+//! On divergence, a self-contained artifact (script + all three outputs)
+//! is written under `target/oracle-divergences/` — CI uploads it.
+//!
+//! Knobs: `GRAQL_ORACLE_SCRIPTS` (count, default 200),
+//! `GRAQL_ORACLE_SEED` (generator seed, default 1).
+
+use graql::core::{Database, Server};
+use graql::net::{serve, ConnectOptions, GemsSession, RemoteSession, ServeOptions};
+use graql_testkit::{
+    arm_exclusive, exclusive, oracle, reference_outputs, render_outcome, ScriptGen,
+};
+
+fn scale() -> graql::bsbm::Scale {
+    graql::bsbm::Scale::new(40)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn divergence_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/oracle-divergences")
+}
+
+/// One server + one identically built reference database. The BSBM
+/// generator is seeded, so both databases hold byte-identical data.
+struct Rig {
+    reference: Database,
+    net: graql::net::NetServer,
+    server: Server,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let reference = graql::bsbm::build_database(scale()).unwrap();
+        let served = graql::bsbm::build_database(scale()).unwrap();
+        let server = Server::new(served);
+        let net = serve(
+            server.clone(),
+            ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        Rig {
+            reference,
+            net,
+            server,
+        }
+    }
+
+    fn remote(&self) -> RemoteSession {
+        RemoteSession::connect(
+            self.net.local_addr(),
+            ConnectOptions::new("admin").with_timeout(std::time::Duration::from_secs(10)),
+        )
+        .unwrap()
+    }
+}
+
+/// Runs `n` scripts from `seed` through all three paths, returning
+/// divergence tags.
+fn run_oracle(rig: &mut Rig, seed: u64, n: u64, tag_prefix: &str) -> Vec<String> {
+    let mut local = rig.server.connect("admin").unwrap();
+    let mut remote = rig.remote();
+    let mut gen = ScriptGen::new(seed);
+    let mut divergences = Vec::new();
+    for i in 0..n {
+        let script = gen.next_script();
+        let local_out = render_outcome(&local.execute_script_sealed(&script));
+        let remote_out = render_outcome(&remote.execute_script(&script));
+        let reference_out = render_outcome(&reference_outputs(&rig.reference, &script));
+        if local_out != remote_out || local_out != reference_out {
+            let tag = format!("{tag_prefix}seed{seed}_script{i}");
+            oracle::write_divergence(
+                &divergence_dir(),
+                &tag,
+                &script,
+                &[
+                    ("local", &local_out),
+                    ("remote", &remote_out),
+                    ("reference", &reference_out),
+                ],
+            )
+            .unwrap();
+            divergences.push(tag);
+        }
+    }
+    divergences
+}
+
+#[test]
+fn clean_run_is_byte_identical_across_all_paths() {
+    let _guard = exclusive(); // no faults may leak into this test
+    let mut rig = Rig::new();
+    let seed = env_u64("GRAQL_ORACLE_SEED", 1);
+    let n = env_u64("GRAQL_ORACLE_SCRIPTS", 200);
+    let divergences = run_oracle(&mut rig, seed, n, "");
+    rig.net.shutdown();
+    assert!(
+        divergences.is_empty(),
+        "{} of {n} scripts diverged (artifacts in {}): {:?}",
+        divergences.len(),
+        divergence_dir().display(),
+        divergences
+    );
+}
+
+/// With a transient transport fault armed, the remote path must *still*
+/// agree byte-for-byte — the client's retry machinery makes the chaos
+/// invisible (read-only scripts are idempotent).
+#[test]
+fn fault_armed_run_is_byte_identical_across_all_paths() {
+    let faults: &[(&str, &str)] = &[
+        ("net/frame/read-err", "2*err"),
+        ("net/server/drop-before-reply", "1*err"),
+        ("net/frame/write-truncate", "1*truncate"),
+    ];
+    for (fault_idx, &(site, spec)) in faults.iter().enumerate() {
+        let guard = arm_exclusive(&[(site, spec)], 0xFA);
+        // Fresh rig per fault so handshake/connection state starts clean.
+        let mut rig = Rig::new();
+        let divergences = run_oracle(&mut rig, 7, 15, &format!("fault{fault_idx}_"));
+        rig.net.shutdown();
+        drop(guard);
+        assert!(
+            divergences.is_empty(),
+            "divergence with fault {site}={spec} armed: {divergences:?}"
+        );
+    }
+}
