@@ -93,6 +93,7 @@ pub fn run_path_query(
         result_subgraphs: &empty_subgraphs,
         config: &config,
         params: db.params(),
+        guard: graql_types::QueryGuard::unlimited(),
     };
     let cands: Vec<Cand> = cpath
         .vsteps

@@ -36,6 +36,7 @@ fn local_bindings(
         result_subgraphs: &empty_s,
         config: &config,
         params: db.params(),
+        guard: graql_types::QueryGuard::unlimited(),
     };
     let qr = run_query(&ctx, &[path], true).unwrap();
     let mut out: Vec<_> = qr

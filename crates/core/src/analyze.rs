@@ -119,15 +119,19 @@ pub fn analyze_statement(work: &mut Catalog, stmt: &Stmt) -> Result<()> {
 /// (against the catalog state that did materialize), so one call reports
 /// the full damage of a bad script.
 pub fn check_script(catalog: &Catalog, script: &ast::Script) -> (Catalog, Diagnostics) {
-    check_script_with_stats(catalog, script, None)
+    check_script_with_stats(catalog, script, None, None)
 }
 
-/// [`check_script`] with graph statistics: mean out/in degree per edge
-/// type name enables the path-cost lints (`W0301`).
+/// [`check_script`] with execution context: mean out/in degree per edge
+/// type name enables the path-cost lints (`W0301`), and `governed` — when
+/// known — says whether any query budget is configured, enabling the
+/// ungoverned-repetition lint (`W0303`). Pass `governed: None` when the
+/// checker has no knowledge of the execution environment.
 pub fn check_script_with_stats(
     catalog: &Catalog,
     script: &ast::Script,
     fanout: Option<&lint::EdgeFanout>,
+    governed: Option<bool>,
 ) -> (Catalog, Diagnostics) {
     let mut sink = Diagnostics::new();
     let mut work = catalog.clone();
@@ -137,7 +141,7 @@ pub fn check_script_with_stats(
             sink.push(d);
         }
     }
-    lint::run(&work, script, fanout, &mut sink);
+    lint::run(&work, script, fanout, governed, &mut sink);
     (work, sink)
 }
 

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use graql_graph::{Graph, GraphStats, Subgraph};
 use graql_parser::ast::{self, Stmt};
 use graql_table::{Table, TableSchema};
-use graql_types::{GraqlError, Result, Value};
+use graql_types::{GraqlError, QueryGuard, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::catalog::{Catalog, EdgeDef, VertexDef};
@@ -167,8 +167,13 @@ impl Database {
     /// a graph build on its own.
     pub fn check_script(&mut self, script: &ast::Script) -> graql_types::Diagnostics {
         let fanout = self.edge_fanout();
-        let (_, diags) =
-            crate::analyze::check_script_with_stats(&self.catalog, script, fanout.as_ref());
+        let governed = Some(!self.config.budget.is_unlimited());
+        let (_, diags) = crate::analyze::check_script_with_stats(
+            &self.catalog,
+            script,
+            fanout.as_ref(),
+            governed,
+        );
         diags
     }
 
@@ -203,8 +208,17 @@ impl Database {
         self.execute(&stmt)
     }
 
-    /// Executes one (already parsed) statement.
+    /// Executes one (already parsed) statement under a fresh guard minted
+    /// from the configured default budget ([`ExecConfig::budget`]).
     pub fn execute(&mut self, stmt: &Stmt) -> Result<StmtOutput> {
+        let guard = QueryGuard::new(self.config.budget);
+        self.execute_guarded(stmt, &guard)
+    }
+
+    /// Executes one statement under an externally owned [`QueryGuard`]
+    /// (the form sessions and the network server use: one guard spans the
+    /// whole request, so a deadline covers every statement in a script).
+    pub fn execute_guarded(&mut self, stmt: &Stmt, guard: &QueryGuard) -> Result<StmtOutput> {
         match stmt {
             Stmt::CreateTable(ct) => {
                 let schema = TableSchema::new(
@@ -266,7 +280,7 @@ impl Database {
             }
             Stmt::Select(sel) => {
                 self.ensure_graph()?;
-                let out = self.execute_select(sel)?;
+                let out = self.execute_select_guarded(sel, guard)?;
                 self.register_result(sel, out)
             }
         }
@@ -313,6 +327,7 @@ impl Database {
             result_subgraphs: &self.result_subgraphs,
             config: &self.config,
             params: &self.params,
+            guard: QueryGuard::unlimited(),
         };
         match &sel.source {
             ast::SelectSource::Graph(_) => crate::exec::explain::explain_graph_select(&ctx, sel),
@@ -338,8 +353,8 @@ impl Database {
     }
 
     /// An execution context over the current state (graph must already be
-    /// built).
-    pub(crate) fn exec_ctx(&self) -> Result<ExecCtx<'_>> {
+    /// built), governed by `guard`.
+    pub(crate) fn exec_ctx<'a>(&'a self, guard: &'a QueryGuard) -> Result<ExecCtx<'a>> {
         let graph = self
             .graph
             .as_ref()
@@ -351,14 +366,26 @@ impl Database {
             result_subgraphs: &self.result_subgraphs,
             config: &self.config,
             params: &self.params,
+            guard,
         })
     }
 
     /// Executes a select against the current (already built) graph and
     /// storage, without registering the result — immutable, so script
-    /// scheduling can run independent selects in parallel.
+    /// scheduling can run independent selects in parallel. Governed by a
+    /// fresh guard minted from the configured default budget.
     pub fn execute_select(&self, sel: &ast::SelectStmt) -> Result<QueryOutput> {
-        let ctx = self.exec_ctx()?;
+        let guard = QueryGuard::new(self.config.budget);
+        self.execute_select_guarded(sel, &guard)
+    }
+
+    /// [`Database::execute_select`] under an externally owned guard.
+    pub fn execute_select_guarded(
+        &self,
+        sel: &ast::SelectStmt,
+        guard: &QueryGuard,
+    ) -> Result<QueryOutput> {
+        let ctx = self.exec_ctx(guard)?;
         match &sel.source {
             ast::SelectSource::Graph(_) => execute_graph_select(&ctx, sel),
             ast::SelectSource::Table(_) => Ok(QueryOutput::Table(execute_table_select(&ctx, sel)?)),

@@ -145,6 +145,7 @@ pub fn enumerate_path(
         on_binding: F,
         produced: usize,
         max_rows: usize,
+        ticker: graql_types::guard::Ticker<'c>,
     }
 
     impl<F: FnMut(Binding) -> Result<()>> Dfs<'_, '_, F> {
@@ -179,6 +180,7 @@ pub fn enumerate_path(
             let n = self.path.vsteps.len();
             if depth == n {
                 self.produced += 1;
+                self.ctx.guard.add_rows(1)?;
                 if self.produced > self.max_rows {
                     return Err(GraqlError::exec(format!(
                         "query produced more than {} rows; raise ExecConfig::max_rows",
@@ -195,6 +197,7 @@ pub fn enumerate_path(
             if depth == 0 {
                 for (&vt, set) in &self.cands[s] {
                     for v in set.iter() {
+                        self.ticker.tick()?;
                         vbind[s] = Some((vt, v as u32));
                         if self.run_checks(depth, vbind)? {
                             self.recurse(depth + 1, vbind, ebind)?;
@@ -226,7 +229,9 @@ pub fn enumerate_path(
                 forward,
                 |et, e, vt, v| exts.push((et, e, vt, v)),
             );
+            self.ctx.guard.add_bytes(16 * exts.len() as u64)?;
             for (et, e, vt, v) in exts {
+                self.ticker.tick()?;
                 vbind[s] = Some((vt, v));
                 ebind[link_idx] = Some((et, e));
                 if self.run_checks(depth, vbind)? {
@@ -250,6 +255,7 @@ pub fn enumerate_path(
         on_binding: &mut on_binding,
         produced: 0,
         max_rows: ctx.config.max_rows,
+        ticker: ctx.guard.ticker(),
     };
     dfs.recurse(0, &mut vbind, &mut ebind)
 }

@@ -12,7 +12,7 @@ pub mod results;
 
 use graql_graph::{Graph, Subgraph, VTypeId};
 use graql_table::Table;
-use graql_types::{GraqlError, Result, Value};
+use graql_types::{GraqlError, QueryGuard, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::cond::Params;
@@ -27,6 +27,9 @@ pub struct ExecCtx<'a> {
     pub result_subgraphs: &'a FxHashMap<String, Subgraph>,
     pub config: &'a ExecConfig,
     pub params: &'a Params,
+    /// Governance guard for the running query: cancellation, deadline and
+    /// row/byte budgets, checked cooperatively by every kernel loop.
+    pub guard: &'a QueryGuard,
 }
 
 impl<'a> ExecCtx<'a> {

@@ -143,9 +143,15 @@ fn cull_to_fixpoint(
     const MAX_SWEEPS: usize = 4;
     let mut last_total = total_count(cands);
     for _ in 0..MAX_SWEEPS {
+        // Fault site at the batch-granularity checkpoint: a Delay here
+        // widens the window in which cancel/deadline must land mid-query;
+        // an Err injects the same typed abort a tripped guard produces.
+        graql_types::failpoint!("core/exec/batch", GraqlError::cancelled);
+        ctx.guard.check()?;
         for (pi, p) in q.paths.iter().enumerate() {
             // Forward sweep.
             for li in 0..p.links.len() {
+                ctx.guard.check()?;
                 let reached = link_expand(
                     ctx,
                     &p.links[li],
@@ -158,6 +164,7 @@ fn cull_to_fixpoint(
             }
             // Backward sweep.
             for li in (0..p.links.len()).rev() {
+                ctx.guard.check()?;
                 let reached = link_expand(
                     ctx,
                     &p.links[li],
@@ -295,13 +302,16 @@ fn produce_bindings(
                 ));
             }
             let mut next = Vec::with_capacity(guard);
+            let mut ticker = ctx.guard.ticker();
             for a in &acc {
                 for r in &rows {
+                    ticker.tick()?;
                     let mut per_path = a.per_path.clone();
                     per_path.push(r.clone());
                     next.push(MultiBinding { per_path });
                 }
             }
+            ctx.guard.add_bytes(32 * next.len() as u64)?;
             acc = next;
             continue;
         }
@@ -332,9 +342,11 @@ fn produce_bindings(
             index.entry(row_key(r)).or_default().push(i);
         }
         let mut next = Vec::new();
+        let mut ticker = ctx.guard.ticker();
         for a in &acc {
             if let Some(matches) = index.get(&acc_key(a)) {
                 for &ri in matches {
+                    ticker.tick()?;
                     let mut per_path = a.per_path.clone();
                     per_path.push(rows[ri].clone());
                     next.push(MultiBinding { per_path });
@@ -344,6 +356,7 @@ fn produce_bindings(
                 }
             }
         }
+        ctx.guard.add_bytes(32 * next.len() as u64)?;
         acc = next;
     }
 

@@ -25,7 +25,7 @@ use graql_types::Result;
 use rustc_hash::FxHashMap;
 
 use crate::compile::CGroup;
-use crate::exec::cand::{cand_is_empty, local_candidates, Cand};
+use crate::exec::cand::{cand_count, cand_is_empty, local_candidates, Cand};
 use crate::exec::expand::expand;
 use crate::exec::ExecCtx;
 
@@ -74,6 +74,10 @@ pub fn levels(
         .collect();
 
     for p in 0..max_positions {
+        // Each BFS level materializes a frontier; this is where a runaway
+        // repetition burns time and memory, so checkpoint every level and
+        // charge the frontier against the byte budget.
+        ctx.guard.check()?;
         let hop_idx = if forward { p % m } else { m - 1 - (p % m) };
         let (estep, _) = &group.hops[hop_idx];
         // Conditioned universe of this landing: walking forward a hop
@@ -105,6 +109,7 @@ pub fn levels(
         if cand_is_empty(&next) {
             break;
         }
+        ctx.guard.add_bytes(4 * cand_count(&next) as u64)?;
         at.push(next);
         // Stable-frontier cutoff at repetition boundaries: identical to
         // the previous boundary frontier means every later level repeats
@@ -182,6 +187,7 @@ pub fn group_members(
     let hi = group.hi as usize;
     let mut member_by_pos: Vec<Cand> = vec![Cand::new(); fwd.at.len()];
     for reps in lo..=hi {
+        ctx.guard.check()?;
         let total = reps * m;
         if total >= fwd.at.len() {
             break;

@@ -21,7 +21,7 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
     let filtered: Table = match &sel.where_clause {
         Some(w) => {
             let pred = compile_single_table(w, base.schema(), &[table_name.as_str()], ctx.params)?;
-            ops::filter(base, &pred)
+            ops::filter_guarded(base, &pred, ctx.guard)?
         }
         None => base.clone(),
     };
@@ -48,7 +48,7 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
         SelectTargets::Items(items) => {
             let has_aggs = sel.has_aggregates();
             if has_aggs || !sel.group_by.is_empty() {
-                aggregate_projection(&filtered, sel, items, &col_index)?
+                aggregate_projection(ctx, &filtered, sel, items, &col_index)?
             } else {
                 plain_projection(&filtered, items, &col_index)?
             }
@@ -57,7 +57,7 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
 
     // 3. Distinct.
     if sel.distinct {
-        out = ops::distinct(&out);
+        out = ops::distinct_guarded(&out, ctx.guard)?;
     }
 
     // 4. Order by (over the *output* schema, so aliases work — Fig. 6's
@@ -76,13 +76,14 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
                 Ok(SortKey { col, desc: k.desc })
             })
             .collect::<Result<Vec<_>>>()?;
-        out = ops::sort(&out, &keys);
+        out = ops::sort_guarded(&out, &keys, ctx.guard)?;
     }
 
     // 5. Top n.
     if let Some(n) = sel.top {
         out = ops::top_n(&out, n as usize);
     }
+    ctx.guard.add_rows(out.n_rows() as u64)?;
     Ok(out)
 }
 
@@ -115,6 +116,7 @@ fn plain_projection(
 }
 
 fn aggregate_projection(
+    ctx: &ExecCtx<'_>,
     t: &Table,
     sel: &ast::SelectStmt,
     items: &[ast::SelectItem],
@@ -161,7 +163,7 @@ fn aggregate_projection(
             }
         }
     }
-    let grouped = ops::group_aggregate(t, &group_cols, &aggs)?;
+    let grouped = ops::group_aggregate_guarded(t, &group_cols, &aggs, ctx.guard)?;
     // group_aggregate lays out group columns first, then aggregates; remap
     // to the select-list order with aliases.
     let n_groups = group_cols.len();

@@ -416,13 +416,16 @@ fn project_table(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> Res
     let schema = TableSchema::new(defs)?;
     let mut out = Table::empty(schema);
 
+    let mut ticker = ctx.guard.ticker();
     for mb in bindings {
+        ticker.tick()?;
         let row = cols
             .iter()
             .map(|c| value_of(ctx, qr, mb, c))
             .collect::<Result<Vec<_>>>()?;
         out.push_row(&row)?;
     }
+    ctx.guard.add_bytes(out.approx_bytes())?;
     Ok(out)
 }
 
@@ -466,7 +469,9 @@ fn project_subgraph(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> 
     match (&sel.targets, &qr.bindings) {
         (SelectTargets::Star, Some(bindings)) => {
             // Exact: mark everything each binding touches.
+            let mut ticker = ctx.guard.ticker();
             for mb in bindings {
+                ticker.tick()?;
                 for b in &mb.per_path {
                     for &(vt, idx) in &b.v {
                         out.add_vertex(ctx.graph, vt, idx);

@@ -24,17 +24,22 @@ pub type EdgeFanout = FxHashMap<String, (f64, f64)>;
 /// type is flagged as `W0301`.
 pub const FANOUT_THRESHOLD: f64 = 4.0;
 
-/// Runs every lint pass, appending findings to `sink`.
+/// Runs every lint pass, appending findings to `sink`. `governed` is
+/// three-valued: `Some(false)` means the checker *knows* no query budget
+/// is configured (enabling `W0303`), `Some(true)` means budgets exist,
+/// `None` means the execution environment is unknown (catalog-only
+/// checks), which suppresses the lint rather than guessing.
 pub(crate) fn run(
     work: &Catalog,
     script: &ast::Script,
     fanout: Option<&EdgeFanout>,
+    governed: Option<bool>,
     sink: &mut Diagnostics,
 ) {
     lint_labels(script, sink);
     lint_results(script, sink);
     lint_predicates(script, sink);
-    lint_paths(work, script, fanout, sink);
+    lint_paths(work, script, fanout, governed, sink);
     lint_top_without_order(script, sink);
 }
 
@@ -406,6 +411,7 @@ fn lint_paths(
     work: &Catalog,
     script: &ast::Script,
     fanout: Option<&EdgeFanout>,
+    governed: Option<bool>,
     sink: &mut Diagnostics,
 ) {
     for stmt in &script.statements {
@@ -414,7 +420,7 @@ fn lint_paths(
             continue;
         };
         for path in paths_of(comp) {
-            lint_one_path(work, path, fanout, sink);
+            lint_one_path(work, path, fanout, governed, sink);
         }
     }
 }
@@ -423,6 +429,7 @@ fn lint_one_path(
     work: &Catalog,
     path: &ast::PathQuery,
     fanout: Option<&EdgeFanout>,
+    governed: Option<bool>,
     sink: &mut Diagnostics,
 ) {
     // Adjacent plain hops through a variant step: the arriving edge's
@@ -453,6 +460,19 @@ fn lint_one_path(
                             *span,
                         )
                         .with_note("remove the group or raise the bound"),
+                    );
+                }
+                if matches!(quant, Quant::Star | Quant::Plus) && governed == Some(false) {
+                    sink.push(
+                        Diagnostic::warning(
+                            codes::UNGOVERNED_REPETITION,
+                            "unbounded repetition with no query budget configured",
+                            *span,
+                        )
+                        .with_note(
+                            "a runaway traversal cannot be stopped; configure a deadline \
+                             or a max_result_rows / max_query_bytes budget",
+                        ),
                     );
                 }
                 if matches!(quant, Quant::Star | Quant::Plus) {

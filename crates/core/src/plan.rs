@@ -30,6 +30,10 @@ pub struct ExecConfig {
     pub max_rows: usize,
     /// Cap on `*`/`+` regex repetitions.
     pub regex_cap: u32,
+    /// Default per-query governance budget (deadline + row/byte caps).
+    /// Sessions mint one `QueryGuard` per request from this; the network
+    /// server additionally folds in its per-request deadline.
+    pub budget: graql_types::QueryBudget,
 }
 
 impl Default for ExecConfig {
@@ -39,6 +43,7 @@ impl Default for ExecConfig {
             culling: true,
             max_rows: 50_000_000,
             regex_cap: crate::compile::REGEX_CAP,
+            budget: graql_types::QueryBudget::UNLIMITED,
         }
     }
 }

@@ -178,8 +178,9 @@ pub fn run_script_pipelined(db: &mut Database, text: &str) -> Result<Vec<StmtOut
                 unreachable!("can_fuse only accepts select pairs")
             };
             db.graph()?;
+            let guard = graql_types::QueryGuard::new(db.config().budget);
             let table = {
-                let ctx = db.exec_ctx()?;
+                let ctx = db.exec_ctx(&guard)?;
                 crate::exec::pipeline::execute_fused(&ctx, p, c)?
             };
             outputs.push(StmtOutput::Pipelined);

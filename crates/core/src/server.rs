@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use graql_parser::ast::{self, Stmt};
-use graql_types::{GraqlError, Result};
+use graql_types::{GraqlError, QueryBudget, QueryGuard, Result};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 
@@ -151,6 +151,19 @@ impl Server {
         self.shared.db.write()
     }
 
+    /// The default per-query governance budget configured on the
+    /// underlying database ([`crate::plan::ExecConfig::budget`]). The
+    /// network front-end reads this to mint per-request guards.
+    pub fn query_budget(&self) -> QueryBudget {
+        self.shared.db.read().config().budget
+    }
+
+    /// Sets the default per-query governance budget on the underlying
+    /// database (the `--max-result-rows` / `--max-query-bytes` knobs).
+    pub fn set_query_budget(&self, budget: QueryBudget) {
+        self.shared.db.write().config_mut().budget = budget;
+    }
+
     /// The catalog-describe service: object names with their current
     /// sizes ("how many rows in table? how many vertex instances?").
     pub fn describe(&self) -> Result<String> {
@@ -219,21 +232,53 @@ impl Session {
 
     /// Executes a script shipped as binary IR (the wire form, paper §III).
     pub fn execute_ir(&mut self, blob: &[u8]) -> Result<Vec<SessionOutput>> {
+        let guard = QueryGuard::new(self.query_budget());
+        self.execute_ir_guarded(blob, &guard)
+    }
+
+    /// [`Session::execute_ir`] under an externally owned [`QueryGuard`] —
+    /// the network server's entry point: the guard is shared with the
+    /// connection thread so a wire `Cancel` (or the request deadline) can
+    /// abort execution mid-flight.
+    pub fn execute_ir_guarded(
+        &mut self,
+        blob: &[u8],
+        guard: &QueryGuard,
+    ) -> Result<Vec<SessionOutput>> {
         let script = crate::ir::decode(blob)?;
         Ok(self
-            .execute_parsed(&script)?
+            .execute_parsed_guarded(&script, guard)?
             .into_iter()
             .map(|o| self.seal_output(o))
             .collect())
     }
 
-    /// Executes an already parsed script, with read-only scripts (selects
+    /// The default per-query budget configured on the shared database.
+    fn query_budget(&self) -> QueryBudget {
+        self.shared.db.read().config().budget
+    }
+
+    /// Executes an already parsed script under a fresh guard minted from
+    /// the configured default budget, with read-only scripts (selects
     /// without `into` capture) running under the shared read lock so
     /// concurrent sessions can query in parallel.
     pub fn execute_parsed(&mut self, script: &ast::Script) -> Result<Vec<StmtOutput>> {
+        let guard = QueryGuard::new(self.query_budget());
+        self.execute_parsed_guarded(script, &guard)
+    }
+
+    /// [`Session::execute_parsed`] under an externally owned guard that
+    /// spans the whole script: one deadline and one row/byte budget cover
+    /// every statement, and every kernel loop checks it cooperatively.
+    pub fn execute_parsed_guarded(
+        &mut self,
+        script: &ast::Script,
+        guard: &QueryGuard,
+    ) -> Result<Vec<StmtOutput>> {
         // Cancellation point: a statement batch can be aborted before any
         // lock is taken or state is touched.
         graql_types::failpoint!("core/exec/cancel", graql_types::GraqlError::exec);
+        guard.check()?;
         for stmt in &script.statements {
             self.check(stmt)?;
         }
@@ -256,10 +301,11 @@ impl Session {
                 .iter()
                 .map(|s| {
                     graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
+                    guard.check()?;
                     let Stmt::Select(sel) = s else {
                         unreachable!("read-only scripts contain only selects")
                     };
-                    Ok(match db.execute_select(sel)? {
+                    Ok(match db.execute_select_guarded(sel, guard)? {
                         QueryOutput::Table(t) => StmtOutput::Table(t),
                         QueryOutput::Subgraph(sg) => StmtOutput::Subgraph(sg),
                     })
@@ -273,7 +319,8 @@ impl Session {
                 .iter()
                 .map(|s| {
                     graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
-                    db.execute(s)
+                    guard.check()?;
+                    db.execute_guarded(s, guard)
                 })
                 .collect()
         }

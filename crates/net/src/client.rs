@@ -158,6 +158,46 @@ fn sleep_backoff(policy: &RetryPolicy, attempt: u32, jitter: &mut u64) {
     std::thread::sleep(capped.mul_f64(factor));
 }
 
+/// Cancels this session's in-flight request from another thread (e.g. a
+/// Ctrl-C handler): writes an out-of-band [`Msg::Cancel`] frame on a
+/// clone of the session's socket. The server trips the request's guard
+/// and the query aborts at its next cooperative checkpoint; the session
+/// then receives a typed `Cancelled` error as the request's reply and
+/// stays usable.
+///
+/// The handle is bound to the socket it was cloned from: after the
+/// session reconnects (retry), take a fresh handle.
+#[derive(Debug)]
+pub struct CancelHandle {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl CancelHandle {
+    /// Requests cancellation of whatever is executing on the session's
+    /// connection. Best-effort and idempotent; errors only if the frame
+    /// could not be written.
+    pub fn cancel(&self) -> Result<()> {
+        let payload = proto::encode(&Msg::Cancel);
+        let mut w = &self.stream;
+        write_frame(&mut w, &payload, self.max_frame)
+    }
+}
+
+impl RemoteSession {
+    /// A [`CancelHandle`] for the current connection, for cancelling an
+    /// in-flight request from another thread.
+    pub fn cancel_handle(&self) -> Result<CancelHandle> {
+        Ok(CancelHandle {
+            stream: self
+                .stream
+                .try_clone()
+                .map_err(|e| GraqlError::net(format!("cannot clone socket: {e}")))?,
+            max_frame: self.max_frame,
+        })
+    }
+}
+
 impl RemoteSession {
     /// Connects, negotiates the protocol version and authenticates.
     /// Transient connect failures (refused, overloaded server) retry per

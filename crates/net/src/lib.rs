@@ -24,18 +24,21 @@
 //!   the same [`GemsSession`] trait as the in-process session, so callers
 //!   (the `gems-shell` binary) switch transports without code changes.
 //!
-//! Robustness is part of the subsystem: per-request soft deadlines,
-//! read/write socket deadlines on both ends, protocol-version negotiation
-//! with a clean typed error on mismatch, graceful shutdown that drains
-//! in-flight requests, and per-connection byte/message/latency counters
-//! folded into the aggregate statistics the `describe` service reports.
+//! Robustness is part of the subsystem: hard per-request deadlines
+//! enforced through each request's [`graql_types::QueryGuard`],
+//! admission control with bounded-wait load shedding, out-of-band
+//! [`Msg::Cancel`] killing in-flight queries, read/write socket deadlines
+//! on both ends, protocol-version negotiation with a clean typed error on
+//! mismatch, graceful shutdown that drains in-flight requests, and
+//! per-connection byte/message/latency/governance counters folded into
+//! the aggregate statistics the `describe` service reports.
 
 pub mod client;
 pub mod frame;
 pub mod proto;
 pub mod server;
 
-pub use client::{ConnectOptions, RemoteSession};
+pub use client::{CancelHandle, ConnectOptions, RemoteSession};
 pub use proto::{Msg, PROTO_VERSION};
 pub use server::{serve, NetServer, NetStats, ServeOptions};
 

@@ -20,8 +20,9 @@ use graql_types::{
 };
 
 /// Protocol version spoken by this build. Bump on any incompatible change
-/// to [`Msg`] encoding.
-pub const PROTO_VERSION: u16 = 1;
+/// to [`Msg`] encoding. Version 2 added [`Msg::Cancel`] and the
+/// governance error statuses (deadline / cancelled / budget).
+pub const PROTO_VERSION: u16 = 2;
 
 /// Magic opening every `Hello` payload, so a non-GraQL peer (or a stale
 /// client) fails the handshake loudly instead of being misparsed.
@@ -60,6 +61,11 @@ pub enum Msg {
     Ping,
     /// Clean session close.
     Goodbye,
+    /// Cancel the in-flight request on this connection. Sent out of band
+    /// while a `Submit` is executing; the server trips the request's
+    /// [`graql_types::QueryGuard`] and the query aborts at its next
+    /// cooperative checkpoint with a `Cancelled` error frame.
+    Cancel,
 
     // -- server → client ----------------------------------------------------
     /// Handshake accepted: negotiated version, granted role, banner.
@@ -240,6 +246,7 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
         Msg::Describe => b.put_u8(3),
         Msg::Ping => b.put_u8(4),
         Msg::Goodbye => b.put_u8(5),
+        Msg::Cancel => b.put_u8(6),
         Msg::Welcome {
             proto,
             role,
@@ -353,6 +360,7 @@ pub fn decode(mut data: &[u8]) -> Result<Msg> {
         3 => Msg::Describe,
         4 => Msg::Ping,
         5 => Msg::Goodbye,
+        6 => Msg::Cancel,
         16 => Msg::Welcome {
             proto: get_u16(buf)?,
             role: get_u8(buf)?,
@@ -597,6 +605,9 @@ fn intern_code(code: &str) -> Option<&'static str> {
         codes::CLUSTER_OTHER,
         codes::NET_OTHER,
         codes::ACCESS_DENIED,
+        codes::DEADLINE,
+        codes::CANCELLED,
+        codes::BUDGET,
         codes::UNUSED_LABEL,
         codes::UNREAD_RESULT,
         codes::ALWAYS_FALSE,
@@ -604,6 +615,7 @@ fn intern_code(code: &str) -> Option<&'static str> {
         codes::UNSATISFIABLE_STEP,
         codes::UNBOUNDED_HIGH_FANOUT,
         codes::ZERO_REPETITION,
+        codes::UNGOVERNED_REPETITION,
         codes::TOP_WITHOUT_ORDER,
     ];
     ALL.iter().find(|&&c| c == code).copied()
@@ -633,6 +645,7 @@ mod tests {
             Msg::Describe,
             Msg::Ping,
             Msg::Goodbye,
+            Msg::Cancel,
             Msg::Welcome {
                 proto: PROTO_VERSION,
                 role: 1,

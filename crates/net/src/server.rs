@@ -11,15 +11,16 @@
 //! `graql_core::server`) let read-only scripts from different
 //! connections execute concurrently while DDL/ingest serialize.
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use graql_core::{Server, Session};
-use graql_types::{GraqlError, Result};
+use graql_types::{GraqlError, QueryBudget, QueryGuard, Result};
 
 use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
 use crate::proto::{self, diags_to_wire, error_msg, output_msgs, Msg, PROTO_VERSION};
@@ -34,9 +35,10 @@ pub struct ServeOptions {
     /// Listen address; port 0 picks a free port (see
     /// [`NetServer::local_addr`]).
     pub addr: String,
-    /// Soft per-request deadline. A request that runs longer still
-    /// completes (execution is not preempted mid-lock) but its reply is
-    /// replaced by a typed deadline error.
+    /// Hard per-request deadline, folded into the request's
+    /// [`QueryGuard`]: execution aborts cooperatively at its next
+    /// checkpoint with a typed deadline error and the worker thread is
+    /// immediately reusable.
     pub request_timeout: Duration,
     /// Connections idle longer than this are closed.
     pub idle_timeout: Duration,
@@ -51,6 +53,14 @@ pub struct ServeOptions {
     /// Above this many active connections, new connections are refused
     /// with a retryable overload error while the existing ones drain.
     pub max_connections: u64,
+    /// Admission control: at most this many `Submit` requests execute
+    /// concurrently across all connections. Excess requests wait up to
+    /// [`ServeOptions::queue_wait`] for a slot, then are shed with a
+    /// retryable "server busy" error the client's backoff understands.
+    pub max_concurrency: u64,
+    /// How long an admitted-but-queued request may wait for an execution
+    /// slot before being shed.
+    pub queue_wait: Duration,
 }
 
 impl Default for ServeOptions {
@@ -63,7 +73,59 @@ impl Default for ServeOptions {
             banner: "gems-serve/0.1".to_string(),
             error_budget: 8,
             max_connections: 256,
+            max_concurrency: 64,
+            queue_wait: Duration::from_millis(200),
         }
+    }
+}
+
+/// The admission gate: a counting semaphore with a bounded queue wait.
+/// Requests past `max` concurrent executions block on the condvar; if no
+/// slot frees within the queue wait they are shed (load shedding), which
+/// keeps queue depth — and therefore tail latency — bounded.
+#[derive(Debug)]
+struct ExecGate {
+    active: Mutex<u64>,
+    freed: Condvar,
+    max: u64,
+}
+
+impl ExecGate {
+    fn new(max: u64) -> ExecGate {
+        ExecGate {
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+            max: max.max(1),
+        }
+    }
+
+    /// Acquires an execution slot, waiting at most `queue_wait`. Returns
+    /// false when the request must be shed.
+    fn admit(&self, queue_wait: Duration) -> bool {
+        let deadline = Instant::now() + queue_wait;
+        let mut active = self.active.lock().expect("gate poisoned");
+        loop {
+            if *active < self.max {
+                *active += 1;
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(active, deadline - now)
+                .expect("gate poisoned");
+            active = guard;
+        }
+    }
+
+    fn release(&self) {
+        let mut active = self.active.lock().expect("gate poisoned");
+        *active = active.saturating_sub(1);
+        drop(active);
+        self.freed.notify_one();
     }
 }
 
@@ -82,6 +144,19 @@ pub struct NetStats {
     pub requests: AtomicU64,
     pub request_micros_total: AtomicU64,
     pub request_micros_max: AtomicU64,
+    /// Governance: requests shed at the admission gate (no free slot
+    /// within the queue wait).
+    pub queries_shed: AtomicU64,
+    /// Governance: requests killed by a wire `Cancel` (or the client
+    /// vanishing mid-request).
+    pub queries_cancelled: AtomicU64,
+    /// Governance: requests killed by the per-request deadline.
+    pub queries_deadline_killed: AtomicU64,
+    /// Governance: requests killed by a row/byte budget.
+    pub queries_budget_killed: AtomicU64,
+    /// Governance: largest byte footprint (RSS proxy) any single query
+    /// accounted, successful or not.
+    pub query_peak_bytes: AtomicU64,
 }
 
 impl NetStats {
@@ -98,7 +173,7 @@ impl NetStats {
         let total = self.request_micros_total.load(Ordering::Relaxed);
         let mean = total.checked_div(requests).unwrap_or(0);
         format!(
-            "net:\n  connections: {} active, {} total, {} refused\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n",
+            "net:\n  connections: {} active, {} total, {} refused\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n  governance: {} shed, {} cancelled, {} deadline-killed, {} budget-killed, peak query bytes {}\n",
             self.connections_active.load(Ordering::Relaxed),
             self.connections_total.load(Ordering::Relaxed),
             self.connections_refused.load(Ordering::Relaxed),
@@ -109,6 +184,11 @@ impl NetStats {
             requests,
             mean,
             self.request_micros_max.load(Ordering::Relaxed),
+            self.queries_shed.load(Ordering::Relaxed),
+            self.queries_cancelled.load(Ordering::Relaxed),
+            self.queries_deadline_killed.load(Ordering::Relaxed),
+            self.queries_budget_killed.load(Ordering::Relaxed),
+            self.query_peak_bytes.load(Ordering::Relaxed),
         )
     }
 }
@@ -167,11 +247,12 @@ pub fn serve(server: Server, opts: ServeOptions) -> Result<NetServer> {
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(NetStats::default());
+    let gate = Arc::new(ExecGate::new(opts.max_concurrency));
 
     let accept_handle = {
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
-        std::thread::spawn(move || accept_loop(listener, server, opts, shutdown, stats))
+        std::thread::spawn(move || accept_loop(listener, server, opts, shutdown, stats, gate))
     };
 
     Ok(NetServer {
@@ -188,6 +269,7 @@ fn accept_loop(
     opts: ServeOptions,
     shutdown: Arc<AtomicBool>,
     stats: Arc<NetStats>,
+    gate: Arc<ExecGate>,
 ) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -219,12 +301,13 @@ fn accept_loop(
                 let opts = opts.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
+                let gate = Arc::clone(&gate);
                 workers.push(std::thread::spawn(move || {
                     stats.connections_total.fetch_add(1, Ordering::Relaxed);
                     stats.connections_active.fetch_add(1, Ordering::Relaxed);
                     // Worker errors are connection-fatal but never
                     // server-fatal.
-                    let _ = handle_connection(stream, &server, &opts, &shutdown, &stats);
+                    let _ = handle_connection(stream, &server, &opts, &shutdown, &stats, &gate);
                     stats.connections_active.fetch_sub(1, Ordering::Relaxed);
                 }));
                 workers.retain(|h| !h.is_finished());
@@ -265,7 +348,7 @@ struct Wire<'a> {
 }
 
 impl Wire<'_> {
-    fn send(&mut self, msg: &Msg) -> Result<()> {
+    fn send(&self, msg: &Msg) -> Result<()> {
         let payload = proto::encode(msg);
         let mut w = self.stream;
         write_frame(&mut w, &payload, self.max_frame)?;
@@ -276,7 +359,7 @@ impl Wire<'_> {
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<FrameRead> {
+    fn recv(&self) -> Result<FrameRead> {
         let mut r = self.stream;
         let got = read_frame(&mut r, self.max_frame)?;
         if let FrameRead::Frame(p) = &got {
@@ -295,6 +378,7 @@ fn handle_connection(
     opts: &ServeOptions,
     shutdown: &AtomicBool,
     stats: &NetStats,
+    gate: &ExecGate,
 ) -> Result<()> {
     stream
         .set_nodelay(true)
@@ -308,13 +392,13 @@ fn handle_connection(
         .set_write_timeout(Some(opts.request_timeout))
         .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
 
-    let mut wire = Wire {
+    let wire = Wire {
         stream: &stream,
         stats,
         max_frame: opts.max_frame,
     };
 
-    let mut session = match handshake(&mut wire, server, opts, shutdown)? {
+    let mut session = match handshake(&wire, server, opts, shutdown)? {
         Some(s) => s,
         None => return Ok(()), // rejected or closed; error frame already sent
     };
@@ -324,52 +408,81 @@ fn handle_connection(
     // desync (unreadable framing) still closes immediately below.
     let mut error_budget = opts.error_budget;
     let mut idle = Duration::ZERO;
+    // Frames that arrived while a Submit was executing (the connection
+    // thread keeps reading so a wire Cancel can land); they are processed
+    // in order once the request finishes.
+    let mut pending: VecDeque<Vec<u8>> = VecDeque::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(()); // at a frame boundary: nothing in flight
         }
-        let msg = match wire.recv()? {
-            FrameRead::TimedOut => {
-                idle += POLL;
-                if idle >= opts.idle_timeout {
-                    // Retryable: a fresh connection fixes an idle hangup.
-                    let _ = wire.send(&Msg::Error {
-                        status: GraqlError::net_retryable("").wire_status(),
-                        code: graql_types::codes::NET_OTHER.to_string(),
-                        message: format!("idle for {}s, closing", idle.as_secs()),
-                    });
-                    return Ok(());
-                }
-                continue;
-            }
-            FrameRead::Closed => return Ok(()),
-            FrameRead::Frame(p) => match proto::decode(&p) {
-                Ok(m) => m,
-                Err(e) => {
-                    // Unparseable frame (well-delimited, bad contents —
-                    // e.g. corrupted in transit): report it as retryable
-                    // so the client re-sends, and consume budget.
-                    let _ = wire.send(&error_msg(&GraqlError::net_retryable(format!(
-                        "could not decode request: {e}"
-                    ))));
-                    error_budget = error_budget.saturating_sub(1);
-                    if error_budget == 0 {
-                        return Err(e);
+        let frame = match pending.pop_front() {
+            Some(p) => p,
+            None => match wire.recv()? {
+                FrameRead::TimedOut => {
+                    idle += POLL;
+                    if idle >= opts.idle_timeout {
+                        // Retryable: a fresh connection fixes an idle hangup.
+                        let _ = wire.send(&Msg::Error {
+                            status: GraqlError::net_retryable("").wire_status(),
+                            code: graql_types::codes::NET_OTHER.to_string(),
+                            message: format!("idle for {}s, closing", idle.as_secs()),
+                        });
+                        return Ok(());
                     }
                     continue;
                 }
+                FrameRead::Closed => return Ok(()),
+                FrameRead::Frame(p) => p,
             },
+        };
+        let msg = match proto::decode(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                // Unparseable frame (well-delimited, bad contents —
+                // e.g. corrupted in transit): report it as retryable
+                // so the client re-sends, and consume budget.
+                let _ = wire.send(&error_msg(&GraqlError::net_retryable(format!(
+                    "could not decode request: {e}"
+                ))));
+                error_budget = error_budget.saturating_sub(1);
+                if error_budget == 0 {
+                    return Err(e);
+                }
+                continue;
+            }
         };
         idle = Duration::ZERO;
 
         let started = Instant::now();
         match msg {
             Msg::Submit { ir } => {
-                // Delay-only site: simulates a slow query under the
-                // request deadline without wall-clock-sized sleeps in
-                // tests.
-                graql_types::failpoint!("net/server/exec-delay");
-                let result = session.execute_ir(&ir);
+                // Admission control: acquire an execution slot or shed.
+                let shed_armed = {
+                    #[cfg(feature = "failpoints")]
+                    {
+                        matches!(
+                            graql_types::failpoints::hit("net/server/shed"),
+                            Some(graql_types::failpoints::Action::Refuse)
+                        )
+                    }
+                    #[cfg(not(feature = "failpoints"))]
+                    {
+                        false
+                    }
+                };
+                if shed_armed || !gate.admit(opts.queue_wait) {
+                    stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+                    wire.send(&error_msg(&GraqlError::net_retryable(format!(
+                        "server busy ({} queries executing), try again later",
+                        opts.max_concurrency
+                    ))))?;
+                    continue;
+                }
+                let submit =
+                    run_submit(&mut session, &ir, &wire, server, opts, stats, &mut pending);
+                gate.release();
+                let conn_err = submit?;
                 #[cfg(feature = "failpoints")]
                 if graql_types::failpoints::hit("net/server/drop-before-reply").is_some() {
                     // The request executed but its reply is lost — the
@@ -378,31 +491,15 @@ fn handle_connection(
                         "failpoint 'net/server/drop-before-reply': dropping connection",
                     ));
                 }
-                let elapsed = started.elapsed();
-                stats.note_request(elapsed.as_micros() as u64);
-                if elapsed > opts.request_timeout {
-                    wire.send(&error_msg(&GraqlError::net(format!(
-                        "request exceeded the {}s deadline (ran {}ms)",
-                        opts.request_timeout.as_secs(),
-                        elapsed.as_millis()
-                    ))))?;
-                    continue;
+                if let Some(e) = conn_err {
+                    // The client vanished mid-request; the query was
+                    // cancelled and drained, nothing left to reply to.
+                    return Err(e);
                 }
-                match result {
-                    Ok(outputs) => {
-                        let stmts = outputs.len() as u32;
-                        for out in &outputs {
-                            for m in output_msgs(out) {
-                                wire.send(&m)?;
-                            }
-                        }
-                        wire.send(&Msg::Done {
-                            stmts,
-                            micros: elapsed.as_micros() as u64,
-                        })?;
-                    }
-                    Err(e) => wire.send(&error_msg(&e))?,
-                }
+            }
+            Msg::Cancel => {
+                // Nothing in flight on this connection (a Cancel racing a
+                // reply that already went out): harmless, ignore.
             }
             Msg::Check { text } => {
                 let diags = session.check_script(&text);
@@ -438,11 +535,126 @@ fn handle_connection(
     }
 }
 
+/// Executes one `Submit` under a per-request [`QueryGuard`], with the
+/// connection thread polling the socket for an out-of-band [`Msg::Cancel`]
+/// while an executor thread runs the query.
+///
+/// The guard's deadline is the server's request timeout folded with the
+/// database's configured budget, so a runaway query aborts cooperatively
+/// (typed deadline/budget error) and the executor thread — a scoped
+/// thread, joined before this returns — is immediately reusable.
+///
+/// Returns `Ok(Some(err))` when the client vanished mid-request: the
+/// query was cancelled and drained, but there is no one left to reply to,
+/// so the caller should close the connection with `err`. The outer
+/// `Err` means the reply could not be written (connection-fatal).
+fn run_submit(
+    session: &mut Session,
+    ir: &[u8],
+    wire: &Wire<'_>,
+    server: &Server,
+    opts: &ServeOptions,
+    stats: &NetStats,
+    pending: &mut VecDeque<Vec<u8>>,
+) -> Result<Option<GraqlError>> {
+    // Delay-only site: simulates a slow query under the request deadline
+    // without wall-clock-sized sleeps in tests.
+    graql_types::failpoint!("net/server/exec-delay");
+
+    let mut budget: QueryBudget = server.query_budget();
+    budget.deadline = Some(match budget.deadline {
+        Some(d) => d.min(opts.request_timeout),
+        None => opts.request_timeout,
+    });
+    let guard = QueryGuard::new(budget);
+
+    let started = Instant::now();
+    let (result, conn_err) = std::thread::scope(|s| {
+        let exec = s.spawn(|| session.execute_ir_guarded(ir, &guard));
+        let mut conn_err: Option<GraqlError> = None;
+        while !exec.is_finished() {
+            // Fast queries finish within the first poll window; don't pay
+            // a blocking socket read (up to POLL) for them.
+            if started.elapsed() < POLL {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            match wire.recv() {
+                Ok(FrameRead::TimedOut) => {}
+                Ok(FrameRead::Closed) => {
+                    // The client vanished: kill its query, reclaim the
+                    // executor at the next checkpoint.
+                    guard.cancel();
+                    conn_err = Some(GraqlError::net("client closed the connection mid-request"));
+                    break;
+                }
+                Ok(FrameRead::Frame(p)) => {
+                    if matches!(proto::decode(&p), Ok(Msg::Cancel)) {
+                        guard.cancel();
+                    } else {
+                        // Not ours to handle mid-request; process in order
+                        // after the reply goes out.
+                        pending.push_back(p);
+                    }
+                }
+                Err(e) => {
+                    guard.cancel();
+                    conn_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let result = exec
+            .join()
+            .unwrap_or_else(|_| Err(GraqlError::exec("executor thread panicked")));
+        (result, conn_err)
+    });
+
+    let elapsed = started.elapsed();
+    stats.note_request(elapsed.as_micros() as u64);
+    stats
+        .query_peak_bytes
+        .fetch_max(guard.bytes(), Ordering::Relaxed);
+    match &result {
+        Err(GraqlError::Deadline(_)) => {
+            stats
+                .queries_deadline_killed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(GraqlError::Cancelled(_)) => {
+            stats.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(GraqlError::Budget(_)) => {
+            stats.queries_budget_killed.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    if conn_err.is_some() {
+        return Ok(conn_err);
+    }
+    match result {
+        Ok(outputs) => {
+            let stmts = outputs.len() as u32;
+            for out in &outputs {
+                for m in output_msgs(out) {
+                    wire.send(&m)?;
+                }
+            }
+            wire.send(&Msg::Done {
+                stmts,
+                micros: elapsed.as_micros() as u64,
+            })?;
+        }
+        Err(e) => wire.send(&error_msg(&e))?,
+    }
+    Ok(None)
+}
+
 /// Runs the server side of version negotiation and authentication.
 /// Returns `None` when the connection was rejected (error frame sent) or
 /// closed before a `Hello`.
 fn handshake(
-    wire: &mut Wire<'_>,
+    wire: &Wire<'_>,
     server: &Server,
     opts: &ServeOptions,
     shutdown: &AtomicBool,

@@ -1,6 +1,6 @@
 //! `distinct`: duplicate elimination, keeping first occurrences.
 
-use graql_types::Value;
+use graql_types::{QueryGuard, Result, Value};
 use rustc_hash::FxHashSet;
 
 use crate::table::Table;
@@ -8,6 +8,12 @@ use crate::table::Table;
 /// Indices of the first occurrence of each distinct tuple of `cols`
 /// (in ascending row order). With `cols` empty, all columns are keyed.
 pub fn distinct_indices(t: &Table, cols: &[usize]) -> Vec<u32> {
+    distinct_indices_guarded(t, cols, QueryGuard::unlimited()).expect("unlimited guard never fires")
+}
+
+/// [`distinct_indices`] under query governance: cooperative checks per
+/// input row, and the dedup set charged against the memory budget.
+pub fn distinct_indices_guarded(t: &Table, cols: &[usize], guard: &QueryGuard) -> Result<Vec<u32>> {
     let all: Vec<usize>;
     let cols = if cols.is_empty() {
         all = (0..t.n_cols()).collect();
@@ -17,18 +23,28 @@ pub fn distinct_indices(t: &Table, cols: &[usize]) -> Vec<u32> {
     };
     let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
     let mut out = Vec::new();
+    let mut tick = guard.ticker();
     for i in 0..t.n_rows() {
+        tick.tick()?;
         let key: Vec<Value> = cols.iter().map(|&c| t.get(i, c)).collect();
         if seen.insert(key) {
             out.push(i as u32);
         }
     }
-    out
+    guard.add_bytes(16 * cols.len() as u64 * seen.len() as u64)?;
+    Ok(out)
 }
 
 /// Materialized `select distinct` over all columns.
 pub fn distinct(t: &Table) -> Table {
     t.gather(&distinct_indices(t, &[]))
+}
+
+/// Materialized `select distinct` under query governance.
+pub fn distinct_guarded(t: &Table, guard: &QueryGuard) -> Result<Table> {
+    let out = t.gather(&distinct_indices_guarded(t, &[], guard)?);
+    guard.add_bytes(out.approx_bytes())?;
+    Ok(out)
 }
 
 #[cfg(test)]

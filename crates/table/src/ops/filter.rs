@@ -1,5 +1,6 @@
 //! Selection (`where` clauses).
 
+use graql_types::{QueryGuard, Result};
 use rayon::prelude::*;
 
 use crate::expr::PhysExpr;
@@ -11,23 +12,47 @@ const PAR_THRESHOLD: usize = 4096;
 
 /// Indices (ascending) of rows satisfying `pred`.
 pub fn filter_indices(t: &Table, pred: &PhysExpr) -> Vec<u32> {
+    filter_indices_guarded(t, pred, QueryGuard::unlimited()).expect("unlimited guard never fires")
+}
+
+/// [`filter_indices`] under query governance: cooperative cancel/deadline
+/// checks at batch granularity on the sequential path (the parallel path
+/// checks at scan boundaries — it is bounded by the input size), and the
+/// output charged against the memory budget.
+pub fn filter_indices_guarded(t: &Table, pred: &PhysExpr, guard: &QueryGuard) -> Result<Vec<u32>> {
     let n = t.n_rows();
-    if n < PAR_THRESHOLD {
-        (0..n as u32)
-            .filter(|&i| pred.eval_bool(t, i as usize))
-            .collect()
+    let out: Vec<u32> = if n < PAR_THRESHOLD {
+        let mut tick = guard.ticker();
+        let mut out = Vec::new();
+        for i in 0..n as u32 {
+            tick.tick()?;
+            if pred.eval_bool(t, i as usize) {
+                out.push(i);
+            }
+        }
+        out
     } else {
+        guard.check()?;
         // Data-parallel scan; rayon's ordered collect keeps indices sorted.
         (0..n as u32)
             .into_par_iter()
             .filter(|&i| pred.eval_bool(t, i as usize))
             .collect()
-    }
+    };
+    guard.add_bytes(4 * out.len() as u64)?;
+    Ok(out)
 }
 
 /// Materialized selection.
 pub fn filter(t: &Table, pred: &PhysExpr) -> Table {
     t.gather(&filter_indices(t, pred))
+}
+
+/// Materialized selection under query governance.
+pub fn filter_guarded(t: &Table, pred: &PhysExpr, guard: &QueryGuard) -> Result<Table> {
+    let out = t.gather(&filter_indices_guarded(t, pred, guard)?);
+    guard.add_bytes(out.approx_bytes())?;
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! `group by` with the Table-1 aggregates: count, sum, avg, min, max.
 
-use graql_types::{DataType, GraqlError, Result, Value};
+use graql_types::{DataType, GraqlError, QueryGuard, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::schema::{ColumnDef, TableSchema};
@@ -65,10 +65,23 @@ impl AggSpec {
 /// order) and the member row lists. Also used by many-to-one vertex
 /// construction (Eq. 1: one vertex instance per distinct key).
 pub fn group_indices(t: &Table, group_cols: &[usize]) -> (Vec<u32>, Vec<Vec<u32>>) {
+    group_indices_guarded(t, group_cols, QueryGuard::unlimited())
+        .expect("unlimited guard never fires")
+}
+
+/// [`group_indices`] under query governance: cooperative checks per input
+/// row, and the grouping index charged against the memory budget.
+pub fn group_indices_guarded(
+    t: &Table,
+    group_cols: &[usize],
+    guard: &QueryGuard,
+) -> Result<(Vec<u32>, Vec<Vec<u32>>)> {
     let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
     let mut reps: Vec<u32> = Vec::new();
     let mut groups: Vec<Vec<u32>> = Vec::new();
+    let mut tick = guard.ticker();
     for i in 0..t.n_rows() {
+        tick.tick()?;
         let key: Vec<Value> = group_cols.iter().map(|&c| t.get(i, c)).collect();
         match map.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i as u32),
@@ -79,7 +92,8 @@ pub fn group_indices(t: &Table, group_cols: &[usize]) -> (Vec<u32>, Vec<Vec<u32>
             }
         }
     }
-    (reps, groups)
+    guard.add_bytes(4 * (t.n_rows() as u64 + reps.len() as u64))?;
+    Ok((reps, groups))
 }
 
 /// `select <group_cols>, <aggs> from t group by <group_cols>`.
@@ -88,6 +102,17 @@ pub fn group_indices(t: &Table, group_cols: &[usize]) -> (Vec<u32>, Vec<Vec<u32>
 /// (or one row over zero input rows, with SQL semantics: count = 0, other
 /// aggregates null).
 pub fn group_aggregate(t: &Table, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Table> {
+    group_aggregate_guarded(t, group_cols, aggs, QueryGuard::unlimited())
+}
+
+/// [`group_aggregate`] under query governance: cooperative checks per
+/// group and the output table charged against the memory budget.
+pub fn group_aggregate_guarded(
+    t: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    guard: &QueryGuard,
+) -> Result<Table> {
     let mut defs: Vec<ColumnDef> = group_cols
         .iter()
         .map(|&c| t.schema().column(c).clone())
@@ -101,10 +126,12 @@ pub fn group_aggregate(t: &Table, group_cols: &[usize], aggs: &[AggSpec]) -> Res
     let groups: Vec<Vec<u32>> = if group_cols.is_empty() {
         vec![(0..t.n_rows() as u32).collect()]
     } else {
-        group_indices(t, group_cols).1
+        group_indices_guarded(t, group_cols, guard)?.1
     };
 
+    let mut tick = guard.ticker();
     for members in &groups {
+        tick.tick()?;
         let rep = members.first().copied();
         let mut row: Vec<Value> = group_cols
             .iter()
@@ -115,6 +142,7 @@ pub fn group_aggregate(t: &Table, group_cols: &[usize], aggs: &[AggSpec]) -> Res
         }
         out.push_row(&row)?;
     }
+    guard.add_bytes(out.approx_bytes())?;
     Ok(out)
 }
 

@@ -1,7 +1,7 @@
 //! Hash join: the workhorse behind edge construction (paper Eq. 2) and the
 //! implicit join of endpoint tables in `create edge … where` declarations.
 
-use graql_types::Value;
+use graql_types::{QueryGuard, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::table::Table;
@@ -12,10 +12,26 @@ use crate::table::Table;
 /// Null keys never join (SQL semantics). Keys compare under semantic
 /// equality, so an `integer` column can join a `float` column.
 pub fn hash_join_pairs(l: &Table, lkeys: &[usize], r: &Table, rkeys: &[usize]) -> Vec<(u32, u32)> {
+    hash_join_pairs_guarded(l, lkeys, r, rkeys, QueryGuard::unlimited())
+        .expect("unlimited guard never fires")
+}
+
+/// [`hash_join_pairs`] under query governance: cooperative checks during
+/// build and probe, and the (possibly quadratic) match fan-out charged
+/// against the memory budget as it accumulates.
+pub fn hash_join_pairs_guarded(
+    l: &Table,
+    lkeys: &[usize],
+    r: &Table,
+    rkeys: &[usize],
+    guard: &QueryGuard,
+) -> Result<Vec<(u32, u32)>> {
     assert_eq!(lkeys.len(), rkeys.len(), "join key arity mismatch");
     // Build on the right side.
     let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+    let mut tick = guard.ticker();
     'rows: for i in 0..r.n_rows() {
+        tick.tick()?;
         let mut key = Vec::with_capacity(rkeys.len());
         for &c in rkeys {
             let v = r.get(i, c);
@@ -26,8 +42,9 @@ pub fn hash_join_pairs(l: &Table, lkeys: &[usize], r: &Table, rkeys: &[usize]) -
         }
         index.entry(key).or_default().push(i as u32);
     }
-    let mut out = Vec::new();
+    let mut out: Vec<(u32, u32)> = Vec::new();
     'probe: for i in 0..l.n_rows() {
+        tick.tick()?;
         let mut key = Vec::with_capacity(lkeys.len());
         for &c in lkeys {
             let v = l.get(i, c);
@@ -37,12 +54,15 @@ pub fn hash_join_pairs(l: &Table, lkeys: &[usize], r: &Table, rkeys: &[usize]) -
             key.push(v);
         }
         if let Some(matches) = index.get(&key) {
+            // Duplicate keys fan out multiplicatively; charge the fan-out
+            // itself so a quadratic join trips the budget, not the OOM.
+            guard.add_bytes(8 * matches.len() as u64)?;
             for &j in matches {
                 out.push((i as u32, j));
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -19,11 +19,13 @@ pub mod group;
 pub mod join;
 pub mod sort;
 
-pub use distinct::{distinct, distinct_indices};
-pub use filter::{filter, filter_indices};
-pub use group::{group_aggregate, group_indices, AggFn, AggSpec};
-pub use join::hash_join_pairs;
-pub use sort::{sort, sort_indices, SortKey};
+pub use distinct::{distinct, distinct_guarded, distinct_indices, distinct_indices_guarded};
+pub use filter::{filter, filter_guarded, filter_indices, filter_indices_guarded};
+pub use group::{
+    group_aggregate, group_aggregate_guarded, group_indices, group_indices_guarded, AggFn, AggSpec,
+};
+pub use join::{hash_join_pairs, hash_join_pairs_guarded};
+pub use sort::{sort, sort_guarded, sort_indices, SortKey};
 
 use graql_types::Result;
 

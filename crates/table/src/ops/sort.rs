@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 
+use graql_types::{QueryGuard, Result};
 use rayon::prelude::*;
 
 use crate::table::Table;
@@ -50,6 +51,19 @@ pub fn sort_indices(t: &Table, keys: &[SortKey]) -> Vec<u32> {
 /// Materialized `order by`.
 pub fn sort(t: &Table, keys: &[SortKey]) -> Table {
     t.gather(&sort_indices(t, keys))
+}
+
+/// [`sort`] under query governance. Comparator-based sorts cannot yield
+/// mid-sort, so the checkpoints bracket the sort (input size bounds the
+/// work) and the index vector + output are charged to the memory budget.
+pub fn sort_guarded(t: &Table, keys: &[SortKey], guard: &QueryGuard) -> Result<Table> {
+    guard.check()?;
+    let idx = sort_indices(t, keys);
+    guard.add_bytes(4 * idx.len() as u64)?;
+    guard.check()?;
+    let out = t.gather(&idx);
+    guard.add_bytes(out.approx_bytes())?;
+    Ok(out)
 }
 
 #[cfg(test)]

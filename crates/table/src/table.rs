@@ -136,6 +136,13 @@ impl Table {
         (0..self.rows).map(move |i| self.row(i))
     }
 
+    /// Coarse RSS proxy for this table's materialized size, used by query
+    /// governance to charge memory budgets. Deterministic (cell count ×
+    /// a fixed per-cell cost), not an exact heap measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.rows as u64) * (self.columns.len() as u64) * 16
+    }
+
     /// New table containing `indices` rows in order (duplicates allowed).
     pub fn gather(&self, indices: &[u32]) -> Table {
         let columns = self.columns.iter().map(|c| c.gather(indices)).collect();

@@ -41,13 +41,21 @@ pub const FAULT_MATRIX: &[FaultCase] = &[
     case("net/server/accept-refuse", "1*refuse"),
     case("net/server/exec-delay", "2*delay(40)"),
     case("net/server/drop-before-reply", "1*err"),
+    // Admission-control shedding: the server answers Submit with the
+    // retryable "server busy" error, so the client's backoff loop must
+    // absorb a bounded burst of sheds.
+    case("net/server/shed", "2*refuse"),
     // Client-side fault (crates/net/src/client.rs).
     case("net/client/send-delay", "2*delay(40)"),
     // Persistence and execution faults (crates/core).
     case("core/persist/save-io", "1*err"),
+    case("core/persist/save-commit", "1*err"),
     case("core/persist/load-io", "1*err"),
     case("core/exec/cancel", "1*err"),
     case("core/exec/cancel-stmt", "1*err"),
+    // Governance: a fault at the per-batch guard checkpoint aborts the
+    // query mid-kernel with a typed error; the engine must stay usable.
+    case("core/exec/batch", "1*err"),
 ];
 
 static ARM_LOCK: Mutex<()> = Mutex::new(());

@@ -132,6 +132,12 @@ pub mod codes {
     pub const ACCESS_DENIED: &str = "E0906";
     /// Transport / wire-protocol failure (graql-net).
     pub const NET_OTHER: &str = "E0907";
+    /// The query's wall-clock deadline passed (governance kill).
+    pub const DEADLINE: &str = "E0908";
+    /// The query was cancelled by the client (wire `Cancel`, Ctrl-C).
+    pub const CANCELLED: &str = "E0909";
+    /// A row/byte budget was exceeded (governance kill).
+    pub const BUDGET: &str = "E0910";
 
     /// Label defined but never referenced.
     pub const UNUSED_LABEL: &str = "W0201";
@@ -147,6 +153,8 @@ pub mod codes {
     pub const UNBOUNDED_HIGH_FANOUT: &str = "W0301";
     /// `{0}` repetition: the group never traverses.
     pub const ZERO_REPETITION: &str = "W0302";
+    /// Repetition query executed with no deadline or budget configured.
+    pub const UNGOVERNED_REPETITION: &str = "W0303";
     /// `top` without `order by` returns an arbitrary subset.
     pub const TOP_WITHOUT_ORDER: &str = "H0201";
 }
@@ -229,6 +237,9 @@ impl Diagnostic {
             GraqlError::Net(ne) => {
                 Diagnostic::error(codes::NET_OTHER, ne.message.clone(), fallback)
             }
+            GraqlError::Deadline(m) => Diagnostic::error(codes::DEADLINE, m.clone(), fallback),
+            GraqlError::Cancelled(m) => Diagnostic::error(codes::CANCELLED, m.clone(), fallback),
+            GraqlError::Budget(m) => Diagnostic::error(codes::BUDGET, m.clone(), fallback),
         }
     }
 
@@ -258,6 +269,9 @@ impl Diagnostic {
                 codes::IR_OTHER => GraqlError::Ir(located),
                 codes::CLUSTER_OTHER => GraqlError::Cluster(located),
                 codes::NET_OTHER => GraqlError::net(located),
+                codes::DEADLINE => GraqlError::Deadline(located),
+                codes::CANCELLED => GraqlError::Cancelled(located),
+                codes::BUDGET => GraqlError::Budget(located),
                 _ => GraqlError::Exec(located),
             },
         }
@@ -458,6 +472,9 @@ mod tests {
             GraqlError::parse("s", 2, 3),
             GraqlError::exec("x"),
             GraqlError::ingest("i"),
+            GraqlError::deadline("d"),
+            GraqlError::cancelled("c"),
+            GraqlError::budget("b"),
         ] {
             let back = Diagnostic::from_error(&err, Span::default()).into_error();
             assert_eq!(

@@ -42,6 +42,17 @@ pub enum GraqlError {
     /// [`NetError`] so clients can distinguish retryable transport faults
     /// from final protocol errors.
     Net(NetError),
+    /// The query's wall-clock deadline passed; execution was aborted at a
+    /// cooperative checkpoint. Not retryable: the same query would blow
+    /// the same deadline again.
+    Deadline(String),
+    /// The query was explicitly cancelled (wire `Cancel`, Ctrl-C) and
+    /// aborted at a cooperative checkpoint.
+    Cancelled(String),
+    /// A resource budget (`max_result_rows` / `max_query_bytes`) was
+    /// exceeded; execution was aborted before the limit could be blown
+    /// further. Not retryable without raising the budget.
+    Budget(String),
 }
 
 /// Payload of [`GraqlError::Net`]: the message plus a retryability class.
@@ -96,6 +107,15 @@ impl GraqlError {
     pub fn cluster(m: impl Into<String>) -> Self {
         GraqlError::Cluster(m.into())
     }
+    pub fn deadline(m: impl Into<String>) -> Self {
+        GraqlError::Deadline(m.into())
+    }
+    pub fn cancelled(m: impl Into<String>) -> Self {
+        GraqlError::Cancelled(m.into())
+    }
+    pub fn budget(m: impl Into<String>) -> Self {
+        GraqlError::Budget(m.into())
+    }
     /// A non-retryable network error (protocol violation, bad peer).
     pub fn net(m: impl Into<String>) -> Self {
         GraqlError::Net(NetError {
@@ -140,31 +160,61 @@ impl GraqlError {
                     10
                 }
             }
+            GraqlError::Deadline(_) => 12,
+            GraqlError::Cancelled(_) => 13,
+            GraqlError::Budget(_) => 14,
         }
     }
 
-    /// Reconstructs the error class from a wire status byte. The inverse
-    /// of [`GraqlError::wire_status`] up to the position carried by parse
-    /// errors (the rendered message already embeds it); unknown status
-    /// bytes (from a newer peer) degrade to [`GraqlError::Net`].
+    /// Reconstructs the error class from a wire status byte. The wire
+    /// carries the full rendered [`Display`](fmt::Display) text, so each
+    /// arm strips the class prefix the reconstructed variant re-adds —
+    /// the error renders identically on both sides of the connection.
+    /// Parse errors recover their position from the rendered text;
+    /// unknown status bytes (from a newer peer) degrade to
+    /// [`GraqlError::Net`].
     pub fn from_wire_status(status: u8, message: impl Into<String>) -> GraqlError {
         let message = message.into();
+        fn strip(prefix: &str, m: String) -> String {
+            match m.strip_prefix(prefix) {
+                Some(rest) => rest.to_string(),
+                None => m,
+            }
+        }
         match status {
-            1 => GraqlError::Parse {
-                message,
-                line: 0,
-                col: 0,
-            },
-            2 => GraqlError::Type(message),
-            3 => GraqlError::Name(message),
-            4 => GraqlError::Path(message),
-            5 => GraqlError::Ingest(message),
-            6 => GraqlError::Plan(message),
-            7 => GraqlError::Exec(message),
-            8 => GraqlError::Ir(message),
-            9 => GraqlError::Cluster(message),
-            10 => GraqlError::net(message),
-            11 => GraqlError::net_retryable(message),
+            1 => {
+                if let Some(rest) = message.strip_prefix("parse error at ") {
+                    if let Some((pos, msg)) = rest.split_once(": ") {
+                        if let Some((l, c)) = pos.split_once(':') {
+                            if let (Ok(line), Ok(col)) = (l.parse(), c.parse()) {
+                                return GraqlError::Parse {
+                                    message: msg.to_string(),
+                                    line,
+                                    col,
+                                };
+                            }
+                        }
+                    }
+                }
+                GraqlError::Parse {
+                    message,
+                    line: 0,
+                    col: 0,
+                }
+            }
+            2 => GraqlError::Type(strip("type error: ", message)),
+            3 => GraqlError::Name(strip("name error: ", message)),
+            4 => GraqlError::Path(strip("path error: ", message)),
+            5 => GraqlError::Ingest(strip("ingest error: ", message)),
+            6 => GraqlError::Plan(strip("plan error: ", message)),
+            7 => GraqlError::Exec(strip("execution error: ", message)),
+            8 => GraqlError::Ir(strip("IR error: ", message)),
+            9 => GraqlError::Cluster(strip("cluster error: ", message)),
+            10 => GraqlError::net(strip("network error: ", message)),
+            11 => GraqlError::net_retryable(strip("network error: ", message)),
+            12 => GraqlError::Deadline(strip("deadline error: ", message)),
+            13 => GraqlError::Cancelled(strip("cancelled: ", message)),
+            14 => GraqlError::Budget(strip("budget error: ", message)),
             other => GraqlError::net(format!("unknown wire status {other}: {message}")),
         }
     }
@@ -207,6 +257,9 @@ impl fmt::Display for GraqlError {
             GraqlError::Ir(m) => write!(f, "IR error: {m}"),
             GraqlError::Cluster(m) => write!(f, "cluster error: {m}"),
             GraqlError::Net(ne) => write!(f, "network error: {ne}"),
+            GraqlError::Deadline(m) => write!(f, "deadline error: {m}"),
+            GraqlError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            GraqlError::Budget(m) => write!(f, "budget error: {m}"),
         }
     }
 }
@@ -249,6 +302,9 @@ mod tests {
             GraqlError::cluster("c"),
             GraqlError::net("ne"),
             GraqlError::net_retryable("nr"),
+            GraqlError::deadline("d"),
+            GraqlError::cancelled("ca"),
+            GraqlError::budget("b"),
         ];
         for e in errors {
             let status = e.wire_status();
@@ -263,6 +319,32 @@ mod tests {
     }
 
     #[test]
+    fn rendered_text_round_trips_over_the_wire() {
+        // The wire carries the rendered Display text; reconstruction
+        // must not stack a second class prefix on top of it, and parse
+        // errors must come back with their position intact.
+        let errors = [
+            GraqlError::parse("expected keyword 'from'", 2, 13),
+            GraqlError::type_error("cannot compare date with float"),
+            GraqlError::name("unknown table 'Nope'"),
+            GraqlError::ingest("torn snapshot: a.csv checksum mismatch"),
+            GraqlError::exec("unbound parameter %C%"),
+            GraqlError::net_retryable("server busy"),
+            GraqlError::deadline("query deadline exceeded"),
+            GraqlError::cancelled("query cancelled by client"),
+            GraqlError::budget("row budget exceeded: 3 rows produced, limit 2"),
+        ];
+        for e in errors {
+            let back = GraqlError::from_wire_status(e.wire_status(), e.to_string());
+            assert_eq!(e.to_string(), back.to_string());
+        }
+        assert_eq!(
+            GraqlError::parse("p", 7, 9).span(),
+            GraqlError::from_wire_status(1, GraqlError::parse("p", 7, 9).to_string()).span()
+        );
+    }
+
+    #[test]
     fn retryability_round_trips_over_the_wire() {
         let transient = GraqlError::net_retryable("connection reset");
         assert!(transient.is_retryable());
@@ -274,6 +356,11 @@ mod tests {
         assert_eq!(fatal.wire_status(), 10);
         assert!(!GraqlError::from_wire_status(10, "m").is_retryable());
         assert!(!GraqlError::exec("boom").is_retryable());
+        // Governance kills are final: retrying the same query would hit
+        // the same wall. Shedding uses the retryable net status instead.
+        assert!(!GraqlError::deadline("d").is_retryable());
+        assert!(!GraqlError::cancelled("c").is_retryable());
+        assert!(!GraqlError::budget("b").is_retryable());
     }
 
     #[test]

@@ -29,11 +29,13 @@ pub mod date;
 pub mod diag;
 pub mod error;
 pub mod failpoints;
+pub mod guard;
 pub mod symbol;
 pub mod value;
 
 pub use date::Date;
 pub use diag::{codes, Diagnostic, Diagnostics, Severity, Span};
 pub use error::{GraqlError, NetError, Result};
+pub use guard::{QueryBudget, QueryGuard};
 pub use symbol::{Interner, Symbol};
 pub use value::{CmpOp, DataType, Value};

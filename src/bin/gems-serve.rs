@@ -6,6 +6,8 @@
 //!            [--request-timeout SECS] [--idle-timeout SECS]
 //!            [--request-timeout-ms MS] [--idle-timeout-ms MS]
 //!            [--max-connections N] [--error-budget N]
+//!            [--max-concurrency N] [--queue-wait-ms MS]
+//!            [--max-result-rows N] [--max-query-bytes N]
 //! ```
 //!
 //! Hosts one shared database behind the `graql-net` wire protocol;
@@ -24,13 +26,15 @@ use std::time::Duration;
 
 use graql::core::{load_dir, Database, Role, Server};
 use graql::net::{serve, ServeOptions};
+use graql::types::QueryBudget;
 
 fn usage() -> ! {
     eprintln!(
         "usage: gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR] \
          [--init SCRIPT] [--user NAME=ROLE]... [--request-timeout SECS] \
          [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
-         [--max-connections N] [--error-budget N]"
+         [--max-connections N] [--error-budget N] [--max-concurrency N] \
+         [--queue-wait-ms MS] [--max-result-rows N] [--max-query-bytes N]"
     );
     std::process::exit(2);
 }
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
     let mut load: Option<String> = None;
     let mut init: Option<String> = None;
     let mut users: Vec<(String, Role)> = Vec::new();
+    let mut budget = QueryBudget::UNLIMITED;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => opts.addr = args.next().unwrap_or_else(|| usage()),
@@ -107,6 +112,34 @@ fn main() -> ExitCode {
                     Err(_) => usage(),
                 }
             }
+            "--max-concurrency" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => opts.max_concurrency = n,
+                    _ => usage(),
+                }
+            }
+            "--queue-wait-ms" => {
+                let ms = args.next().unwrap_or_else(|| usage());
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.queue_wait = Duration::from_millis(ms),
+                    Err(_) => usage(),
+                }
+            }
+            "--max-result-rows" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u64>() {
+                    Ok(n) => budget.max_result_rows = Some(n),
+                    Err(_) => usage(),
+                }
+            }
+            "--max-query-bytes" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u64>() {
+                    Ok(n) => budget.max_query_bytes = Some(n),
+                    Err(_) => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -140,6 +173,10 @@ fn main() -> ExitCode {
     }
 
     let server = Server::new(db);
+    // The budget lives on the database config (single source of truth):
+    // the net layer folds in its per-request deadline, and `check`
+    // requests see a governed catalog so W0303 stays quiet.
+    server.set_query_budget(budget);
     for (name, role) in users {
         if let Err(e) = server.create_user(&name, role) {
             eprintln!("gems-serve: {e}");

@@ -17,7 +17,10 @@
 //! byte-identical to a local run. Flags that need the database in-process
 //! (`--save`, `--dot`, `--parallel`, `--data-dir`, `--param`) are
 //! rejected in this mode; `check` ships the script for remote analysis
-//! and renders the diagnostics locally.
+//! and renders the diagnostics locally. Ctrl-C during a remote run sends
+//! an out-of-band `Cancel` frame instead of killing the shell: the server
+//! aborts the in-flight query and replies with the typed cancellation
+//! error (a second Ctrl-C terminates the shell the ordinary way).
 //!
 //! `check` / `--check-only` runs the full multi-pass static analysis and
 //! prints every diagnostic with source carets, without executing anything.
@@ -37,6 +40,55 @@ fn usage() -> ! {
          \x20      gems-shell <script.graql> --connect HOST:PORT [--user NAME] [--timeout SECS]"
     );
     std::process::exit(2);
+}
+
+/// SIGINT as a flag instead of process death, so an in-flight remote query
+/// can be cancelled over the wire. Bound by hand because the tree carries
+/// no libc crate: std already links the C library, `signal(2)` is in it,
+/// and the handler body is a single atomic store (async-signal-safe).
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Back to the default disposition: once the cancel has been sent, a
+    /// second Ctrl-C should kill the shell, not queue another flag.
+    pub fn restore_default() {
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn restore_default() {}
+    pub fn interrupted() -> bool {
+        false
+    }
 }
 
 fn parse_param(s: &str) -> Option<(String, Value)> {
@@ -126,7 +178,32 @@ fn run_remote(
             }
         };
     }
-    match session.execute_script(text) {
+    // Ctrl-C mid-query becomes a wire Cancel: a watcher thread polls the
+    // flag and fires the out-of-band handle while the main thread blocks
+    // in the request; the server kills the query and replies with the
+    // typed cancellation error, which falls out of the Err arm below.
+    sigint::install();
+    let cancel = session.cancel_handle().ok();
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let done = AtomicBool::new(false);
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            while !done.load(Ordering::SeqCst) {
+                if sigint::interrupted() {
+                    if let Some(h) = &cancel {
+                        let _ = h.cancel();
+                    }
+                    sigint::restore_default();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let r = session.execute_script(text);
+        done.store(true, Ordering::SeqCst);
+        r
+    });
+    match result {
         Ok(outputs) => {
             if let Some(path) = out_path {
                 let last_table = outputs.iter().rev().find_map(|o| match o {

@@ -161,7 +161,8 @@ fn paper_scripts_check_clean() {
     let q = graql::bsbm::graph_ddl();
     let diags = db.check_script_str(q);
     assert!(diags.is_empty(), "graph DDL:\n{}", diags.render(q, "ddl"));
-    // The query corpus.
+    // The query corpus, checked under a governed configuration (a budget
+    // is how deployments silence W0303; the figures use `*` repetitions).
     let fig11 = graql::bsbm::queries::fig11();
     for src in [
         graql::bsbm::queries::q1(),
@@ -174,9 +175,27 @@ fn paper_scripts_check_clean() {
         graql::bsbm::queries::fig13(),
     ] {
         let mut db = berlin_db();
+        db.config_mut().budget.max_result_rows = Some(1_000_000);
         let diags = db.check_script_str(src);
         assert!(diags.is_empty(), "{src}:\n{}", diags.render(src, "fig"));
     }
+}
+
+/// W0303 fires on unbounded repetition exactly when the database has no
+/// governance budget, and a budget silences it.
+#[test]
+fn w0303_ungoverned_repetition() {
+    let src = "select * from graph TypeVtx() { --subclass--> TypeVtx() }* --> TypeVtx()";
+    let ungoverned = berlin_codes(src);
+    assert!(ungoverned.contains(&"W0303"), "{ungoverned:?}");
+    let mut governed = berlin_db();
+    governed.config_mut().budget.deadline = Some(std::time::Duration::from_secs(30));
+    assert!(!codes_of(&mut governed, src).contains(&"W0303"));
+    // Bounded repetition needs no budget to terminate — not flagged.
+    let ok = berlin_codes(
+        "select * from graph TypeVtx() { --subclass--> TypeVtx() }{1,3} --> TypeVtx()",
+    );
+    assert!(!ok.contains(&"W0303"), "{ok:?}");
 }
 
 // ---------------------------------------------------------------------------
