@@ -94,6 +94,7 @@ pub fn run_path_query(
         config: &config,
         params: db.params(),
         guard: graql_types::QueryGuard::unlimited(),
+        obs: None,
     };
     let cands: Vec<Cand> = cpath
         .vsteps

@@ -37,6 +37,7 @@ fn local_bindings(
         config: &config,
         params: db.params(),
         guard: graql_types::QueryGuard::unlimited(),
+        obs: None,
     };
     let qr = run_query(&ctx, &[path], true).unwrap();
     let mut out: Vec<_> = qr

@@ -254,6 +254,9 @@ fn check_statement(work: &mut Catalog, stmt: &Stmt, ctx: &mut Ctx) -> DResult<()
             Ok(())
         }
         Stmt::Select(sel) => check_select(work, sel, ctx),
+        // `profile` is analyzed exactly like the select underneath (the
+        // parser already rejected `into`).
+        Stmt::Profile(sel) => check_select(work, sel, ctx),
     }
 }
 

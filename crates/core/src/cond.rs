@@ -114,7 +114,7 @@ fn check_comparable(l: &PhysExpr, r: &PhysExpr, schema: &TableSchema) -> Result<
 
 /// Statically type-checks a single-relation condition without compiling
 /// constants (parameters stay unknown) — the §III-A front-end check.
-/// Fail-fast wrapper over [`typecheck_single_table_ctx`].
+/// Fail-fast wrapper over `typecheck_single_table_ctx`.
 pub fn typecheck_single_table(
     expr: &Expr,
     schema: &TableSchema,

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use graql_graph::{Graph, GraphStats, Subgraph};
 use graql_parser::ast::{self, Stmt};
 use graql_table::{Table, TableSchema};
-use graql_types::{GraqlError, QueryGuard, Result, Value};
+use graql_types::{GraqlError, ProfileReport, QueryGuard, QueryProfile, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::catalog::{Catalog, EdgeDef, VertexDef};
@@ -37,6 +37,9 @@ pub enum StmtOutput {
     /// The statement was fused into the next one (pipelined execution,
     /// §III-B1): its intermediate result was never materialized.
     Pipelined,
+    /// `profile <select>` ran: the measured stage report (the result
+    /// itself is dropped — profile never captures).
+    Profile(ProfileReport),
 }
 
 /// An embedded attributed-graph database speaking GraQL.
@@ -283,6 +286,12 @@ impl Database {
                 let out = self.execute_select_guarded(sel, guard)?;
                 self.register_result(sel, out)
             }
+            Stmt::Profile(sel) => {
+                self.ensure_graph()?;
+                Ok(StmtOutput::Profile(
+                    self.profile_select_guarded(sel, guard)?,
+                ))
+            }
         }
     }
 
@@ -313,24 +322,32 @@ impl Database {
     /// Renders the execution plan of a (graph) select statement without
     /// running it to completion — the §III-B planning decisions made
     /// visible. Table selects get a one-line summary.
+    ///
+    /// Governed like any other statement: explain executes the set-level
+    /// query for candidate counts, so it runs under a fresh guard minted
+    /// from the configured default budget.
     pub fn explain_str(&mut self, text: &str) -> Result<String> {
+        let guard = QueryGuard::new(self.config.budget);
+        self.explain_str_guarded(text, &guard)
+    }
+
+    /// [`Database::explain_str`] under an externally owned guard (the
+    /// session form: a deadline or cancel kills the explain's set-level
+    /// execution at its next checkpoint).
+    pub fn explain_str_guarded(&mut self, text: &str, guard: &QueryGuard) -> Result<String> {
         let stmt = graql_parser::parse_statement(text)?;
-        let ast::Stmt::Select(sel) = &stmt else {
+        let Some(sel) = stmt.as_select() else {
             return Err(GraqlError::exec("only select statements can be explained"));
         };
         self.ensure_graph()?;
-        let graph = self.graph.as_ref().expect("just built");
-        let ctx = crate::exec::ExecCtx {
-            graph,
-            storage: &self.storage,
-            result_tables: &self.result_tables,
-            result_subgraphs: &self.result_subgraphs,
-            config: &self.config,
-            params: &self.params,
-            guard: QueryGuard::unlimited(),
-        };
+        let ctx = self.exec_ctx(guard)?;
+        Self::explain_plan(&ctx, sel)
+    }
+
+    /// The shared plan rendering used by `explain` and `profile`.
+    fn explain_plan(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<String> {
         match &sel.source {
-            ast::SelectSource::Graph(_) => crate::exec::explain::explain_graph_select(&ctx, sel),
+            ast::SelectSource::Graph(_) => crate::exec::explain::explain_graph_select(ctx, sel),
             ast::SelectSource::Table(t) => Ok(format!(
                 "table scan on {t}{}{}{}\n",
                 if sel.where_clause.is_some() {
@@ -352,6 +369,44 @@ impl Database {
         }
     }
 
+    /// Executes `sel` with a span recorder armed and seals the measured
+    /// [`ProfileReport`] (plan text + stage timings + guard accounting).
+    /// The query result itself is dropped — `profile` never captures.
+    ///
+    /// The plan is rendered first with an *unarmed* context so explain's
+    /// own set-level execution does not pollute the measured stages; both
+    /// passes run under the same `guard`, so budgets cover their total.
+    pub fn profile_select_guarded(
+        &self,
+        sel: &ast::SelectStmt,
+        guard: &QueryGuard,
+    ) -> Result<ProfileReport> {
+        let plan = {
+            let ctx = self.exec_ctx(guard)?;
+            Self::explain_plan(&ctx, sel)?
+        };
+        let rows_before = guard.rows();
+        let bytes_before = guard.bytes();
+        let profile = QueryProfile::new();
+        let mut ctx = self.exec_ctx(guard)?;
+        ctx.obs = Some(&profile);
+        match &sel.source {
+            ast::SelectSource::Graph(_) => {
+                execute_graph_select(&ctx, sel)?;
+            }
+            ast::SelectSource::Table(_) => {
+                execute_table_select(&ctx, sel)?;
+            }
+        }
+        Ok(ProfileReport::seal(
+            sel.to_string(),
+            plan,
+            &profile,
+            guard.rows() - rows_before,
+            guard.bytes() - bytes_before,
+        ))
+    }
+
     /// An execution context over the current state (graph must already be
     /// built), governed by `guard`.
     pub(crate) fn exec_ctx<'a>(&'a self, guard: &'a QueryGuard) -> Result<ExecCtx<'a>> {
@@ -367,6 +422,7 @@ impl Database {
             config: &self.config,
             params: &self.params,
             guard,
+            obs: None,
         })
     }
 
@@ -385,7 +441,20 @@ impl Database {
         sel: &ast::SelectStmt,
         guard: &QueryGuard,
     ) -> Result<QueryOutput> {
-        let ctx = self.exec_ctx(guard)?;
+        self.execute_select_observed(sel, guard, None)
+    }
+
+    /// [`Database::execute_select_guarded`] with an optional span
+    /// recorder armed (`profile`, slow-query logging). `None` keeps the
+    /// kernels on the zero-overhead path.
+    pub fn execute_select_observed(
+        &self,
+        sel: &ast::SelectStmt,
+        guard: &QueryGuard,
+        obs: Option<&QueryProfile>,
+    ) -> Result<QueryOutput> {
+        let mut ctx = self.exec_ctx(guard)?;
+        ctx.obs = obs;
         match &sel.source {
             ast::SelectSource::Graph(_) => execute_graph_select(&ctx, sel),
             ast::SelectSource::Table(_) => Ok(QueryOutput::Table(execute_table_select(&ctx, sel)?)),

@@ -12,7 +12,7 @@ pub mod results;
 
 use graql_graph::{Graph, Subgraph, VTypeId};
 use graql_table::Table;
-use graql_types::{GraqlError, QueryGuard, Result, Value};
+use graql_types::{GraqlError, QueryGuard, QueryProfile, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::cond::Params;
@@ -30,6 +30,10 @@ pub struct ExecCtx<'a> {
     /// Governance guard for the running query: cancellation, deadline and
     /// row/byte budgets, checked cooperatively by every kernel loop.
     pub guard: &'a QueryGuard,
+    /// Span recorder for `profile` / slow-query logging. `None` (the
+    /// common case) keeps the instrumented kernels on the zero-overhead
+    /// path — no clocks are read.
+    pub obs: Option<&'a QueryProfile>,
 }
 
 impl<'a> ExecCtx<'a> {

@@ -4,6 +4,7 @@
 use graql_graph::{ETypeId, VTypeId};
 use graql_parser::ast;
 use graql_table::BitSet;
+use graql_types::obs::{obs_record, obs_record_rows, obs_start, Stage};
 use graql_types::{GraqlError, Result};
 use rustc_hash::FxHashMap;
 
@@ -53,9 +54,12 @@ pub fn run_query(
         params: ctx.params,
         regex_cap: ctx.config.regex_cap,
     };
+    let span = obs_start(ctx.obs);
     let cquery = compile_query(&cctx, paths)?;
+    obs_record(ctx.obs, Stage::Compile, span);
 
     // Local candidates + edge filters.
+    let span = obs_start(ctx.obs);
     let mut cands: Vec<Vec<Cand>> = Vec::new();
     let mut efilters: Vec<Vec<FxHashMap<ETypeId, BitSet>>> = Vec::new();
     for p in &cquery.paths {
@@ -86,17 +90,40 @@ pub fn run_query(
         .map(|(n, i)| (n.clone(), cands[i.def.path][i.def.vstep].clone()))
         .collect();
     apply_label_restriction(&cquery, &mut cands, &label_local);
+    obs_record_rows(
+        ctx.obs,
+        Stage::Candidates,
+        span,
+        0,
+        total_count(&cands) as u64,
+    );
 
     // For set-level results the semi-join sweeps ARE the semantics of
     // Eq. 5; only binding-level execution can treat them as an optional
     // pre-filter (enumeration re-checks every hop). The culling ablation
     // flag therefore only applies when bindings are produced.
     if ctx.config.culling || !need_bindings {
+        let before = total_count(&cands);
+        let span = obs_start(ctx.obs);
         cull_to_fixpoint(ctx, &cquery, &mut cands, &efilters)?;
+        let after = total_count(&cands);
+        obs_record_rows(ctx.obs, Stage::Cull, span, before as u64, after as u64);
+        if let Some(p) = ctx.obs {
+            p.add_candidates(before as u64, after as u64);
+        }
     }
 
     let bindings = if need_bindings {
-        Some(produce_bindings(ctx, &cquery, &cands, &efilters)?)
+        let span = obs_start(ctx.obs);
+        let b = produce_bindings(ctx, &cquery, &cands, &efilters)?;
+        obs_record_rows(
+            ctx.obs,
+            Stage::Enumerate,
+            span,
+            total_count(&cands) as u64,
+            b.len() as u64,
+        );
+        Some(b)
     } else {
         None
     };
@@ -258,7 +285,9 @@ fn produce_bindings(
     let mut acc: Vec<MultiBinding> = Vec::new();
     for (pi, p) in q.paths.iter().enumerate() {
         let counts: Vec<usize> = cands[pi].iter().map(cand_count).collect();
+        let span = obs_start(ctx.obs);
         let order = choose_order(&counts, ctx.config.plan_mode);
+        obs_record(ctx.obs, Stage::Plan, span);
         let mut rows: Vec<Binding> = Vec::new();
         enumerate_path(ctx, p, pi, &cands[pi], &efilters[pi], &order, |b| {
             rows.push(b);
@@ -311,6 +340,9 @@ fn produce_bindings(
                     next.push(MultiBinding { per_path });
                 }
             }
+            if let Some(p) = ctx.obs {
+                p.add_guard_ticks(ticker.checkpoints());
+            }
             ctx.guard.add_bytes(32 * next.len() as u64)?;
             acc = next;
             continue;
@@ -355,6 +387,9 @@ fn produce_bindings(
                     }
                 }
             }
+        }
+        if let Some(p) = ctx.obs {
+            p.add_guard_ticks(ticker.checkpoints());
         }
         ctx.guard.add_bytes(32 * next.len() as u64)?;
         acc = next;

@@ -5,6 +5,7 @@
 use graql_parser::ast::{self, AggCall, SelectExpr, SelectTargets};
 use graql_table::ops::{self, AggFn, AggSpec, SortKey};
 use graql_table::{Table, TableSchema};
+use graql_types::obs::{obs_record_rows, obs_start, Stage};
 use graql_types::{GraqlError, Result};
 
 use crate::cond::compile_single_table;
@@ -21,7 +22,7 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
     let filtered: Table = match &sel.where_clause {
         Some(w) => {
             let pred = compile_single_table(w, base.schema(), &[table_name.as_str()], ctx.params)?;
-            ops::filter_guarded(base, &pred, ctx.guard)?
+            ops::filter_profiled(base, &pred, ctx.guard, ctx.obs)?
         }
         None => base.clone(),
     };
@@ -50,14 +51,23 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
             if has_aggs || !sel.group_by.is_empty() {
                 aggregate_projection(ctx, &filtered, sel, items, &col_index)?
             } else {
-                plain_projection(&filtered, items, &col_index)?
+                let span = obs_start(ctx.obs);
+                let projected = plain_projection(&filtered, items, &col_index)?;
+                obs_record_rows(
+                    ctx.obs,
+                    Stage::Project,
+                    span,
+                    filtered.n_rows() as u64,
+                    projected.n_rows() as u64,
+                );
+                projected
             }
         }
     };
 
     // 3. Distinct.
     if sel.distinct {
-        out = ops::distinct_guarded(&out, ctx.guard)?;
+        out = ops::distinct_profiled(&out, ctx.guard, ctx.obs)?;
     }
 
     // 4. Order by (over the *output* schema, so aliases work — Fig. 6's
@@ -76,12 +86,12 @@ pub fn execute_table_select(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<
                 Ok(SortKey { col, desc: k.desc })
             })
             .collect::<Result<Vec<_>>>()?;
-        out = ops::sort_guarded(&out, &keys, ctx.guard)?;
+        out = ops::sort_profiled(&out, &keys, ctx.guard, ctx.obs)?;
     }
 
     // 5. Top n.
     if let Some(n) = sel.top {
-        out = ops::top_n(&out, n as usize);
+        out = ops::top_n_profiled(&out, n as usize, ctx.obs);
     }
     ctx.guard.add_rows(out.n_rows() as u64)?;
     Ok(out)
@@ -163,7 +173,7 @@ fn aggregate_projection(
             }
         }
     }
-    let grouped = ops::group_aggregate_guarded(t, &group_cols, &aggs, ctx.guard)?;
+    let grouped = ops::group_aggregate_profiled(t, &group_cols, &aggs, ctx.guard, ctx.obs)?;
     // group_aggregate lays out group columns first, then aggregates; remap
     // to the select-list order with aliases.
     let n_groups = group_cols.len();

@@ -4,6 +4,7 @@
 use graql_graph::Subgraph;
 use graql_parser::ast::{self, SelectExpr, SelectTargets};
 use graql_table::{ColumnDef, Table, TableSchema};
+use graql_types::obs::{obs_record, obs_record_rows, obs_start, Stage};
 use graql_types::{DataType, GraqlError, Result};
 
 use crate::compile::{CQuery, LinkAddr, StepAddr};
@@ -416,6 +417,7 @@ fn project_table(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> Res
     let schema = TableSchema::new(defs)?;
     let mut out = Table::empty(schema);
 
+    let span = obs_start(ctx.obs);
     let mut ticker = ctx.guard.ticker();
     for mb in bindings {
         ticker.tick()?;
@@ -425,6 +427,16 @@ fn project_table(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> Res
             .collect::<Result<Vec<_>>>()?;
         out.push_row(&row)?;
     }
+    if let Some(p) = ctx.obs {
+        p.add_guard_ticks(ticker.checkpoints());
+    }
+    obs_record_rows(
+        ctx.obs,
+        Stage::Project,
+        span,
+        bindings.len() as u64,
+        out.n_rows() as u64,
+    );
     ctx.guard.add_bytes(out.approx_bytes())?;
     Ok(out)
 }
@@ -465,6 +477,7 @@ fn value_of(
 
 fn project_subgraph(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> Result<Subgraph> {
     let q = &qr.cquery;
+    let span = obs_start(ctx.obs);
     let mut out = Subgraph::new();
     match (&sel.targets, &qr.bindings) {
         (SelectTargets::Star, Some(bindings)) => {
@@ -577,6 +590,7 @@ fn project_subgraph(ctx: &ExecCtx<'_>, qr: &QueryRun, sel: &ast::SelectStmt) -> 
             }
         }
     }
+    obs_record(ctx.obs, Stage::Project, span);
     Ok(out)
 }
 

@@ -181,6 +181,10 @@ fn enc_stmt(b: &mut BytesMut, s: &Stmt) {
             b.put_u8(4);
             enc_select(b, s);
         }
+        Stmt::Profile(s) => {
+            b.put_u8(5);
+            enc_select(b, s);
+        }
     }
 }
 
@@ -255,6 +259,7 @@ fn dec_stmt(buf: &mut &[u8]) -> Result<Stmt> {
             span: Span::default(),
         }),
         4 => Stmt::Select(dec_select(buf)?),
+        5 => Stmt::Profile(dec_select(buf)?),
         t => return Err(GraqlError::ir(format!("bad statement tag {t}"))),
     })
 }

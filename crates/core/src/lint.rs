@@ -41,6 +41,7 @@ pub(crate) fn run(
     lint_predicates(script, sink);
     lint_paths(work, script, fanout, governed, sink);
     lint_top_without_order(script, sink);
+    lint_top_sort_spill(script, fanout, sink);
 }
 
 // ---------------------------------------------------------------------------
@@ -52,7 +53,9 @@ pub(crate) fn run(
 /// condition, or in the projection list.
 fn lint_labels(script: &ast::Script, sink: &mut Diagnostics) {
     for stmt in &script.statements {
-        let Stmt::Select(sel) = stmt else { continue };
+        let Some(sel) = stmt.as_select() else {
+            continue;
+        };
         let SelectSource::Graph(comp) = &sel.source else {
             continue;
         };
@@ -165,7 +168,7 @@ fn result_reads(stmt: &Stmt) -> FxHashSet<String> {
         Stmt::Ingest(ing) => {
             reads.insert(ing.table.clone());
         }
-        Stmt::Select(sel) => match &sel.source {
+        Stmt::Select(sel) | Stmt::Profile(sel) => match &sel.source {
             SelectSource::Table(t) => {
                 reads.insert(t.clone());
             }
@@ -266,7 +269,7 @@ fn exprs_of(stmt: &Stmt) -> Vec<&Expr> {
         Stmt::CreateTable(_) | Stmt::Ingest(_) => {}
         Stmt::CreateVertex(cv) => out.extend(&cv.where_clause),
         Stmt::CreateEdge(ce) => out.extend(&ce.where_clause),
-        Stmt::Select(sel) => {
+        Stmt::Select(sel) | Stmt::Profile(sel) => {
             out.extend(&sel.where_clause);
             if let SelectSource::Graph(comp) = &sel.source {
                 for path in paths_of(comp) {
@@ -415,7 +418,9 @@ fn lint_paths(
     sink: &mut Diagnostics,
 ) {
     for stmt in &script.statements {
-        let Stmt::Select(sel) = stmt else { continue };
+        let Some(sel) = stmt.as_select() else {
+            continue;
+        };
         let SelectSource::Graph(comp) = &sel.source else {
             continue;
         };
@@ -573,7 +578,9 @@ fn check_variant_junction(
 
 fn lint_top_without_order(script: &ast::Script, sink: &mut Diagnostics) {
     for stmt in &script.statements {
-        let Stmt::Select(sel) = stmt else { continue };
+        let Some(sel) = stmt.as_select() else {
+            continue;
+        };
         if matches!(sel.source, SelectSource::Table(_))
             && sel.top.is_some()
             && sel.order_by.is_empty()
@@ -585,6 +592,89 @@ fn lint_top_without_order(script: &ast::Script, sink: &mut Diagnostics) {
                     sel.span,
                 )
                 .with_note("add 'order by' to make the selection deterministic"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// H0202: top n over a sort of a high-fanout traversal result
+// ---------------------------------------------------------------------------
+
+/// Mean degree (in the traversal direction) of every named edge step in a
+/// graph composition, when fanout statistics know the edge.
+fn traversal_degrees<'a>(
+    comp: &'a ast::PathComposition,
+    fanout: &EdgeFanout,
+) -> Vec<(&'a str, f64)> {
+    let mut out = Vec::new();
+    let mut on_edge = |e: &'a ast::EdgeStep| {
+        let StepName::Named(n) = &e.name else { return };
+        let Some(&(out_deg, in_deg)) = fanout.get(n.as_str()) else {
+            return;
+        };
+        let deg = match e.dir {
+            ast::Dir::Out => out_deg,
+            ast::Dir::In => in_deg,
+        };
+        out.push((n.as_str(), deg));
+    };
+    for path in paths_of(comp) {
+        for seg in &path.segments {
+            match seg {
+                Segment::Hop { edge, .. } => on_edge(edge),
+                Segment::Group { hops, .. } => hops.iter().for_each(|(e, _)| on_edge(e)),
+            }
+        }
+    }
+    out
+}
+
+/// `top n … order by` over a table materialized from a high-fanout
+/// traversal: the whole spilled result is sorted just to keep `n` rows.
+/// Bounding or filtering the producer shrinks the sort input instead.
+fn lint_top_sort_spill(script: &ast::Script, fanout: Option<&EdgeFanout>, sink: &mut Diagnostics) {
+    let Some(fanout) = fanout else { return };
+    // Table name → hottest edge of the graph select that produced it.
+    let mut producers: FxHashMap<&str, (&str, f64)> = FxHashMap::default();
+    for stmt in &script.statements {
+        if let Stmt::Select(sel) = stmt {
+            if let (SelectSource::Graph(comp), Some(ast::IntoClause::Table(name))) =
+                (&sel.source, &sel.into)
+            {
+                let hottest = traversal_degrees(comp, fanout)
+                    .into_iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
+                if let Some((edge, deg)) = hottest {
+                    if deg > FANOUT_THRESHOLD {
+                        producers.insert(name.as_str(), (edge, deg));
+                    }
+                }
+            }
+        }
+        let Some(sel) = stmt.as_select() else {
+            continue;
+        };
+        let SelectSource::Table(t) = &sel.source else {
+            continue;
+        };
+        if sel.top.is_none() || sel.order_by.is_empty() {
+            continue;
+        }
+        if let Some(&(edge, deg)) = producers.get(t.as_str()) {
+            sink.push(
+                Diagnostic::hint(
+                    codes::TOP_SORT_SPILL,
+                    format!(
+                        "'top' fully sorts '{t}', which is materialized from a \
+                         high-fanout traversal over edge '{edge}' (mean degree {deg:.1})"
+                    ),
+                    sel.span,
+                )
+                .with_note(
+                    "filter or bound the producing graph select so the sort input \
+                     stays small",
+                ),
             );
         }
     }

@@ -63,6 +63,12 @@ fn effects(stmt: &Stmt) -> Effects {
                 None => {}
             }
         }
+        // `profile` is read-only but runs as its own serial window: stage
+        // timings measured while unrelated selects saturate the cores
+        // would be noise, not a profile.
+        Stmt::Profile(_) => {
+            e.barrier = true;
+        }
     }
     e
 }

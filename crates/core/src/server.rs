@@ -21,7 +21,9 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use graql_parser::ast::{self, Stmt};
-use graql_types::{GraqlError, QueryBudget, QueryGuard, Result};
+use graql_types::{
+    GraqlError, MetricsRegistry, QueryBudget, QueryGuard, QueryOutcome, QueryProfile, Result,
+};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 
@@ -87,13 +89,19 @@ pub enum SessionOutput {
     },
     /// The statement was fused into the next one (pipelined execution).
     Pipelined,
+    /// `profile <select>` ran: pre-rendered report text and its JSON
+    /// form. Rendered where the query executed, so a remote profile is
+    /// byte-identical to a local one.
+    Profile { text: String, json: String },
 }
 
-/// Shared internals: one database + the account registry.
+/// Shared internals: one database + the account registry + the engine
+/// metrics every session reports into.
 #[derive(Debug, Default)]
 struct ServerShared {
     db: RwLock<Database>,
     users: RwLock<FxHashMap<String, Role>>,
+    metrics: MetricsRegistry,
 }
 
 /// The front-end server. Cloning is cheap (an `Arc` clone) and yields a
@@ -113,8 +121,17 @@ impl Server {
             shared: Arc::new(ServerShared {
                 db: RwLock::new(db),
                 users: RwLock::new(users),
+                metrics: MetricsRegistry::new(),
             }),
         }
+    }
+
+    /// The engine metrics registry: query outcomes (including governance
+    /// kills), stage latency histograms, stream volume. The same atomics
+    /// feed `describe` and the Prometheus exposition, so they always
+    /// agree.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
     }
 
     /// Registers a user account.
@@ -202,6 +219,7 @@ impl Server {
                 es.mean_in_degree
             );
         }
+        out.push_str(&self.shared.metrics.render_describe());
         Ok(out)
     }
 }
@@ -245,9 +263,21 @@ impl Session {
         blob: &[u8],
         guard: &QueryGuard,
     ) -> Result<Vec<SessionOutput>> {
+        self.execute_ir_observed(blob, guard, None)
+    }
+
+    /// [`Session::execute_ir_guarded`] with an optional span recorder
+    /// armed: read-only selects record per-stage timings into `obs` (the
+    /// slow-query log path of the network server).
+    pub fn execute_ir_observed(
+        &mut self,
+        blob: &[u8],
+        guard: &QueryGuard,
+        obs: Option<&QueryProfile>,
+    ) -> Result<Vec<SessionOutput>> {
         let script = crate::ir::decode(blob)?;
         Ok(self
-            .execute_parsed_guarded(&script, guard)?
+            .execute_parsed_observed(&script, guard, obs)?
             .into_iter()
             .map(|o| self.seal_output(o))
             .collect())
@@ -270,10 +300,51 @@ impl Session {
     /// [`Session::execute_parsed`] under an externally owned guard that
     /// spans the whole script: one deadline and one row/byte budget cover
     /// every statement, and every kernel loop checks it cooperatively.
+    ///
+    /// Every call reports into the server's [`MetricsRegistry`]: one
+    /// outcome per script (governance kills classified by their typed
+    /// error), whole-script latency, and guard-accounted rows/bytes.
     pub fn execute_parsed_guarded(
         &mut self,
         script: &ast::Script,
         guard: &QueryGuard,
+    ) -> Result<Vec<StmtOutput>> {
+        self.execute_parsed_observed(script, guard, None)
+    }
+
+    /// [`Session::execute_parsed_guarded`] with an optional span recorder.
+    pub fn execute_parsed_observed(
+        &mut self,
+        script: &ast::Script,
+        guard: &QueryGuard,
+        obs: Option<&QueryProfile>,
+    ) -> Result<Vec<StmtOutput>> {
+        let started = std::time::Instant::now();
+        let (rows0, bytes0) = (guard.rows(), guard.bytes());
+        let result = self.execute_parsed_inner(script, guard, obs);
+        let metrics = &self.shared.metrics;
+        metrics.observe_query_nanos(started.elapsed().as_nanos() as u64);
+        metrics.rows_streamed.add(guard.rows() - rows0);
+        metrics.bytes_streamed.add(guard.bytes() - bytes0);
+        match &result {
+            Ok(outs) => {
+                metrics.note_outcome(QueryOutcome::Ok);
+                for out in outs {
+                    if let StmtOutput::Profile(report) = out {
+                        metrics.observe_report(report);
+                    }
+                }
+            }
+            Err(e) => metrics.note_outcome(QueryOutcome::from_error(e)),
+        }
+        result
+    }
+
+    fn execute_parsed_inner(
+        &mut self,
+        script: &ast::Script,
+        guard: &QueryGuard,
+        obs: Option<&QueryProfile>,
     ) -> Result<Vec<StmtOutput>> {
         // Cancellation point: a statement batch can be aborted before any
         // lock is taken or state is touched.
@@ -282,10 +353,9 @@ impl Session {
         for stmt in &script.statements {
             self.check(stmt)?;
         }
-        let read_only = script
-            .statements
-            .iter()
-            .all(|s| matches!(s, Stmt::Select(sel) if sel.into.is_none()));
+        let read_only = script.statements.iter().all(|s| {
+            matches!(s, Stmt::Select(sel) if sel.into.is_none()) || matches!(s, Stmt::Profile(_))
+        });
         if read_only {
             // Brief write lock: analysis against the catalog plus the
             // (possibly cached) graph build — then drop to a read lock for
@@ -302,13 +372,18 @@ impl Session {
                 .map(|s| {
                     graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
                     guard.check()?;
-                    let Stmt::Select(sel) = s else {
-                        unreachable!("read-only scripts contain only selects")
-                    };
-                    Ok(match db.execute_select_guarded(sel, guard)? {
-                        QueryOutput::Table(t) => StmtOutput::Table(t),
-                        QueryOutput::Subgraph(sg) => StmtOutput::Subgraph(sg),
-                    })
+                    match s {
+                        Stmt::Select(sel) => {
+                            Ok(match db.execute_select_observed(sel, guard, obs)? {
+                                QueryOutput::Table(t) => StmtOutput::Table(t),
+                                QueryOutput::Subgraph(sg) => StmtOutput::Subgraph(sg),
+                            })
+                        }
+                        Stmt::Profile(sel) => {
+                            Ok(StmtOutput::Profile(db.profile_select_guarded(sel, guard)?))
+                        }
+                        _ => unreachable!("read-only scripts contain only selects"),
+                    }
                 })
                 .collect()
         } else {
@@ -355,6 +430,10 @@ impl Session {
                 }
             }
             StmtOutput::Pipelined => SessionOutput::Pipelined,
+            StmtOutput::Profile(report) => SessionOutput::Profile {
+                text: report.render(),
+                json: report.to_json(),
+            },
         }
     }
 

@@ -270,6 +270,23 @@ impl RemoteSession {
         })
     }
 
+    /// Fetches the server's metrics in Prometheus exposition text — the
+    /// same body the `--metrics-addr` HTTP endpoint serves. Idempotent.
+    pub fn metrics(&mut self) -> Result<String> {
+        self.request(true, |s| {
+            s.send(&Msg::Metrics)?;
+            match s.recv()? {
+                Msg::MetricsReport { text } => Ok(text),
+                Msg::Error {
+                    status, message, ..
+                } => Err(GraqlError::from_wire_status(status, message)),
+                other => Err(GraqlError::net(format!(
+                    "expected MetricsReport, got {other:?}"
+                ))),
+            }
+        })
+    }
+
     /// Opens a fresh socket to the first reachable address.
     fn reconnect_socket(&mut self) -> Result<()> {
         self.stream = open_socket(&self.addrs, self.opts.connect_timeout)?;
@@ -409,6 +426,9 @@ impl RemoteSession {
                     summary,
                 }),
                 Msg::Pipelined => outputs.push(SessionOutput::Pipelined),
+                Msg::ProfileReport { text, json } => {
+                    outputs.push(SessionOutput::Profile { text, json })
+                }
                 Msg::Done { .. } => return Ok(outputs),
                 Msg::Error {
                     status, message, ..
@@ -424,13 +444,12 @@ impl RemoteSession {
 }
 
 /// True when re-running the script cannot change server state: every
-/// statement is a `select` without an `into` capture — the same class the
-/// server executes under its shared read lock.
+/// statement is a `select` without an `into` capture, or a `profile` —
+/// the same class the server executes under its shared read lock.
 fn is_read_only(script: &Script) -> bool {
-    script
-        .statements
-        .iter()
-        .all(|s| matches!(s, Stmt::Select(sel) if sel.into.is_none()))
+    script.statements.iter().all(|s| {
+        matches!(s, Stmt::Select(sel) if sel.into.is_none()) || matches!(s, Stmt::Profile(_))
+    })
 }
 
 impl GemsSession for RemoteSession {

@@ -21,8 +21,10 @@ use graql_types::{
 
 /// Protocol version spoken by this build. Bump on any incompatible change
 /// to [`Msg`] encoding. Version 2 added [`Msg::Cancel`] and the
-/// governance error statuses (deadline / cancelled / budget).
-pub const PROTO_VERSION: u16 = 2;
+/// governance error statuses (deadline / cancelled / budget); version 3
+/// added [`Msg::Metrics`] / [`Msg::MetricsReport`] and the
+/// [`Msg::ProfileReport`] output for `profile` statements.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Magic opening every `Hello` payload, so a non-GraQL peer (or a stale
 /// client) fails the handshake loudly instead of being misparsed.
@@ -66,6 +68,9 @@ pub enum Msg {
     /// [`graql_types::QueryGuard`] and the query aborts at its next
     /// cooperative checkpoint with a `Cancelled` error frame.
     Cancel,
+    /// Request the server's metrics in Prometheus exposition text — the
+    /// same rendering the `--metrics-addr` HTTP endpoint serves.
+    Metrics,
 
     // -- server → client ----------------------------------------------------
     /// Handshake accepted: negotiated version, granted role, banner.
@@ -107,6 +112,12 @@ pub enum Msg {
     DescribeReport { text: String },
     /// Answer to [`Msg::Ping`].
     Pong,
+    /// A `profile` statement's sealed report: the human rendering and the
+    /// machine-readable JSON, both produced server-side so local and
+    /// remote output are byte-identical.
+    ProfileReport { text: String, json: String },
+    /// Answer to [`Msg::Metrics`].
+    MetricsReport { text: String },
 }
 
 // -- low-level helpers (same shapes as the IR codec) -------------------------
@@ -247,6 +258,7 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
         Msg::Ping => b.put_u8(4),
         Msg::Goodbye => b.put_u8(5),
         Msg::Cancel => b.put_u8(6),
+        Msg::Metrics => b.put_u8(7),
         Msg::Welcome {
             proto,
             role,
@@ -332,6 +344,15 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             put_str(&mut b, text);
         }
         Msg::Pong => b.put_u8(28),
+        Msg::ProfileReport { text, json } => {
+            b.put_u8(29);
+            put_str(&mut b, text);
+            put_str(&mut b, json);
+        }
+        Msg::MetricsReport { text } => {
+            b.put_u8(30);
+            put_str(&mut b, text);
+        }
     }
     b.to_vec()
 }
@@ -361,6 +382,7 @@ pub fn decode(mut data: &[u8]) -> Result<Msg> {
         4 => Msg::Ping,
         5 => Msg::Goodbye,
         6 => Msg::Cancel,
+        7 => Msg::Metrics,
         16 => Msg::Welcome {
             proto: get_u16(buf)?,
             role: get_u8(buf)?,
@@ -443,6 +465,13 @@ pub fn decode(mut data: &[u8]) -> Result<Msg> {
             text: get_str(buf)?,
         },
         28 => Msg::Pong,
+        29 => Msg::ProfileReport {
+            text: get_str(buf)?,
+            json: get_str(buf)?,
+        },
+        30 => Msg::MetricsReport {
+            text: get_str(buf)?,
+        },
         t => return Err(GraqlError::net(format!("unknown message tag {t}"))),
     };
     if !buf.is_empty() {
@@ -506,6 +535,10 @@ pub fn output_msgs(out: &SessionOutput) -> Vec<Msg> {
             summary: summary.clone(),
         }],
         SessionOutput::Pipelined => vec![Msg::Pipelined],
+        SessionOutput::Profile { text, json } => vec![Msg::ProfileReport {
+            text: text.clone(),
+            json: json.clone(),
+        }],
     }
 }
 
@@ -617,6 +650,7 @@ fn intern_code(code: &str) -> Option<&'static str> {
         codes::ZERO_REPETITION,
         codes::UNGOVERNED_REPETITION,
         codes::TOP_WITHOUT_ORDER,
+        codes::TOP_SORT_SPILL,
     ];
     ALL.iter().find(|&&c| c == code).copied()
 }
@@ -706,6 +740,14 @@ mod tests {
                 text: "tables:\n".into(),
             },
             Msg::Pong,
+            Msg::Metrics,
+            Msg::ProfileReport {
+                text: "profile select …\nstages:\n".into(),
+                json: "{\"statement\":\"select …\"}".into(),
+            },
+            Msg::MetricsReport {
+                text: "# TYPE graql_queries_total counter\n".into(),
+            },
         ]
     }
 

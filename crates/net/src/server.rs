@@ -20,7 +20,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use graql_core::{Server, Session};
-use graql_types::{GraqlError, QueryBudget, QueryGuard, Result};
+use graql_types::{
+    GraqlError, ProfileReport, QueryBudget, QueryGuard, QueryOutcome, QueryProfile, Result,
+};
 
 use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
 use crate::proto::{self, diags_to_wire, error_msg, output_msgs, Msg, PROTO_VERSION};
@@ -61,6 +63,16 @@ pub struct ServeOptions {
     /// How long an admitted-but-queued request may wait for an execution
     /// slot before being shed.
     pub queue_wait: Duration,
+    /// When set, serve the engine + wire metrics as Prometheus exposition
+    /// text over HTTP on this address (port 0 picks a free port, see
+    /// [`NetServer::metrics_addr`]).
+    pub metrics_addr: Option<String>,
+    /// When set, every `Submit` runs with a [`QueryProfile`] armed and
+    /// requests slower than this many milliseconds emit one JSON line
+    /// (profile attached) to the slow-query log.
+    pub slow_query_ms: Option<u64>,
+    /// Slow-query log destination; `None` writes to stderr.
+    pub slow_query_log: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +87,53 @@ impl Default for ServeOptions {
             max_connections: 256,
             max_concurrency: 64,
             queue_wait: Duration::from_millis(200),
+            metrics_addr: None,
+            slow_query_ms: None,
+            slow_query_log: None,
+        }
+    }
+}
+
+/// The structured slow-query log: one JSON line per offending request,
+/// with the request's sealed profile attached.
+struct SlowLog {
+    threshold: Duration,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl SlowLog {
+    fn open(opts: &ServeOptions) -> Result<Option<Arc<SlowLog>>> {
+        let Some(ms) = opts.slow_query_ms else {
+            return Ok(None);
+        };
+        let sink: Box<dyn Write + Send> = match &opts.slow_query_log {
+            Some(path) => Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| {
+                        GraqlError::net(format!("cannot open slow-query log {path}: {e}"))
+                    })?,
+            ),
+            None => Box::new(std::io::stderr()),
+        };
+        Ok(Some(Arc::new(SlowLog {
+            threshold: Duration::from_millis(ms),
+            sink: Mutex::new(sink),
+        })))
+    }
+
+    /// Appends one line; log I/O failures never fail the request.
+    fn note(&self, user: &str, micros: u64, outcome: &str, report: &ProfileReport) {
+        let line = format!(
+            "{{\"slow_query\":{{\"user\":\"{user}\",\"micros\":{micros},\
+             \"outcome\":\"{outcome}\",\"profile\":{}}}}}",
+            report.to_json()
+        );
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = writeln!(sink, "{line}");
+            let _ = sink.flush();
         }
     }
 }
@@ -191,21 +250,136 @@ impl NetStats {
             self.query_peak_bytes.load(Ordering::Relaxed),
         )
     }
+
+    /// Renders the wire counters as Prometheus exposition lines, appended
+    /// to the engine registry's rendering by [`metrics_text`].
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP graql_net_{name} {help}");
+            let _ = writeln!(out, "# TYPE graql_net_{name} counter");
+            let _ = writeln!(out, "graql_net_{name} {v}");
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP graql_net_{name} {help}");
+            let _ = writeln!(out, "# TYPE graql_net_{name} gauge");
+            let _ = writeln!(out, "graql_net_{name} {v}");
+        };
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        gauge(
+            &mut out,
+            "connections_active",
+            "Currently open client connections.",
+            c(&self.connections_active),
+        );
+        counter(
+            &mut out,
+            "connections_total",
+            "Client connections accepted since start.",
+            c(&self.connections_total),
+        );
+        counter(
+            &mut out,
+            "connections_refused_total",
+            "Connections refused at accept time (overload).",
+            c(&self.connections_refused),
+        );
+        counter(
+            &mut out,
+            "messages_in_total",
+            "Wire messages received.",
+            c(&self.msgs_in),
+        );
+        counter(
+            &mut out,
+            "messages_out_total",
+            "Wire messages sent.",
+            c(&self.msgs_out),
+        );
+        counter(
+            &mut out,
+            "bytes_in_total",
+            "Payload bytes received (including frame headers).",
+            c(&self.bytes_in),
+        );
+        counter(
+            &mut out,
+            "bytes_out_total",
+            "Payload bytes sent (including frame headers).",
+            c(&self.bytes_out),
+        );
+        counter(
+            &mut out,
+            "requests_total",
+            "Requests served across all connections.",
+            c(&self.requests),
+        );
+        counter(
+            &mut out,
+            "queries_shed_total",
+            "Requests shed at the admission gate.",
+            c(&self.queries_shed),
+        );
+        counter(
+            &mut out,
+            "queries_cancelled_total",
+            "Requests killed by a wire Cancel or a vanished client.",
+            c(&self.queries_cancelled),
+        );
+        counter(
+            &mut out,
+            "queries_deadline_killed_total",
+            "Requests killed by the per-request deadline.",
+            c(&self.queries_deadline_killed),
+        );
+        counter(
+            &mut out,
+            "queries_budget_killed_total",
+            "Requests killed by a row/byte budget.",
+            c(&self.queries_budget_killed),
+        );
+        gauge(
+            &mut out,
+            "query_peak_bytes",
+            "Largest byte footprint any single query accounted.",
+            c(&self.query_peak_bytes),
+        );
+        out
+    }
+}
+
+/// The full Prometheus exposition body: the engine registry first (query
+/// outcomes, latency histograms), then the wire counters. The same text
+/// backs the HTTP endpoint and the [`Msg::Metrics`] wire request, so both
+/// views always agree.
+pub fn metrics_text(server: &Server, stats: &NetStats) -> String {
+    let mut out = server.metrics().render_prometheus();
+    out.push_str(&stats.render_prometheus());
+    out
 }
 
 /// Handle to a running server: address, counters, graceful shutdown.
 #[derive(Debug)]
 pub struct NetServer {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<NetStats>,
     accept_handle: Option<JoinHandle<()>>,
+    metrics_handle: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound metrics HTTP address, when
+    /// [`ServeOptions::metrics_addr`] was set (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     pub fn stats(&self) -> Arc<NetStats> {
@@ -217,6 +391,9 @@ impl NetServer {
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_handle.take() {
             let _ = h.join();
         }
     }
@@ -248,19 +425,104 @@ pub fn serve(server: Server, opts: ServeOptions) -> Result<NetServer> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(NetStats::default());
     let gate = Arc::new(ExecGate::new(opts.max_concurrency));
+    let slow = SlowLog::open(&opts)?;
+
+    let (metrics_addr, metrics_handle) = match &opts.metrics_addr {
+        Some(addr) => {
+            let (addr, handle) = serve_metrics(
+                addr,
+                server.clone(),
+                Arc::clone(&stats),
+                Arc::clone(&shutdown),
+            )?;
+            (Some(addr), Some(handle))
+        }
+        None => (None, None),
+    };
 
     let accept_handle = {
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
-        std::thread::spawn(move || accept_loop(listener, server, opts, shutdown, stats, gate))
+        std::thread::spawn(move || accept_loop(listener, server, opts, shutdown, stats, gate, slow))
     };
 
     Ok(NetServer {
         local_addr,
+        metrics_addr,
         shutdown,
         stats,
         accept_handle: Some(accept_handle),
+        metrics_handle,
     })
+}
+
+/// Binds and serves the Prometheus HTTP endpoint: a deliberately minimal
+/// HTTP/1.1 responder (every request gets the full exposition and
+/// `Connection: close`) so a stock Prometheus scraper or `curl` works
+/// without pulling an HTTP stack into the build.
+fn serve_metrics(
+    addr: &str,
+    server: Server,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+) -> Result<(SocketAddr, JoinHandle<()>)> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| GraqlError::net(format!("cannot resolve metrics address {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| GraqlError::net(format!("{addr} resolves to no address")))?;
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| GraqlError::net(format!("cannot bind metrics address {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| GraqlError::net(format!("no local metrics address: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GraqlError::net(format!("cannot set metrics listener nonblocking: {e}")))?;
+    let handle = std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => serve_one_scrape(stream, &server, &stats),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+    });
+    Ok((local, handle))
+}
+
+/// Answers one HTTP scrape: drain the request line(s), send the
+/// exposition, close. Scrape errors are never server-fatal.
+fn serve_one_scrape(mut stream: TcpStream, server: &Server, stats: &NetStats) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // Read until the blank line ending the request head (or timeout —
+    // scrapers that pipeline more than 4 KiB of headers get cut off).
+    let mut head = [0u8; 4096];
+    let mut n = 0;
+    while n < head.len() {
+        match std::io::Read::read(&mut stream, &mut head[n..]) {
+            Ok(0) => break,
+            Ok(m) => {
+                n += m;
+                if head[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = metrics_text(server, stats);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }
 
 fn accept_loop(
@@ -270,6 +532,7 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
     stats: Arc<NetStats>,
     gate: Arc<ExecGate>,
+    slow: Option<Arc<SlowLog>>,
 ) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -302,12 +565,21 @@ fn accept_loop(
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
                 let gate = Arc::clone(&gate);
+                let slow = slow.clone();
                 workers.push(std::thread::spawn(move || {
                     stats.connections_total.fetch_add(1, Ordering::Relaxed);
                     stats.connections_active.fetch_add(1, Ordering::Relaxed);
                     // Worker errors are connection-fatal but never
                     // server-fatal.
-                    let _ = handle_connection(stream, &server, &opts, &shutdown, &stats, &gate);
+                    let _ = handle_connection(
+                        stream,
+                        &server,
+                        &opts,
+                        &shutdown,
+                        &stats,
+                        &gate,
+                        slow.as_deref(),
+                    );
                     stats.connections_active.fetch_sub(1, Ordering::Relaxed);
                 }));
                 workers.retain(|h| !h.is_finished());
@@ -379,6 +651,7 @@ fn handle_connection(
     shutdown: &AtomicBool,
     stats: &NetStats,
     gate: &ExecGate,
+    slow: Option<&SlowLog>,
 ) -> Result<()> {
     stream
         .set_nodelay(true)
@@ -473,14 +746,23 @@ fn handle_connection(
                 };
                 if shed_armed || !gate.admit(opts.queue_wait) {
                     stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+                    server.metrics().note_outcome(QueryOutcome::Shed);
                     wire.send(&error_msg(&GraqlError::net_retryable(format!(
                         "server busy ({} queries executing), try again later",
                         opts.max_concurrency
                     ))))?;
                     continue;
                 }
-                let submit =
-                    run_submit(&mut session, &ir, &wire, server, opts, stats, &mut pending);
+                let submit = run_submit(
+                    &mut session,
+                    &ir,
+                    &wire,
+                    server,
+                    opts,
+                    stats,
+                    slow,
+                    &mut pending,
+                );
                 gate.release();
                 let conn_err = submit?;
                 #[cfg(feature = "failpoints")]
@@ -520,6 +802,12 @@ fn handle_connection(
                     Err(e) => wire.send(&error_msg(&e))?,
                 }
             }
+            Msg::Metrics => {
+                stats.note_request(started.elapsed().as_micros() as u64);
+                wire.send(&Msg::MetricsReport {
+                    text: metrics_text(server, stats),
+                })?;
+            }
             Msg::Ping => wire.send(&Msg::Pong)?,
             Msg::Goodbye => return Ok(()),
             other => {
@@ -548,6 +836,7 @@ fn handle_connection(
 /// query was cancelled and drained, but there is no one left to reply to,
 /// so the caller should close the connection with `err`. The outer
 /// `Err` means the reply could not be written (connection-fatal).
+#[allow(clippy::too_many_arguments)]
 fn run_submit(
     session: &mut Session,
     ir: &[u8],
@@ -555,6 +844,7 @@ fn run_submit(
     server: &Server,
     opts: &ServeOptions,
     stats: &NetStats,
+    slow: Option<&SlowLog>,
     pending: &mut VecDeque<Vec<u8>>,
 ) -> Result<Option<GraqlError>> {
     // Delay-only site: simulates a slow query under the request deadline
@@ -567,10 +857,15 @@ fn run_submit(
         None => opts.request_timeout,
     });
     let guard = QueryGuard::new(budget);
+    // Slow-query logging needs the stage breakdown, so the whole request
+    // runs with a profile armed; without a slow log the obs stays `None`
+    // and execution keeps the zero-overhead path.
+    let profile = slow.map(|_| QueryProfile::new());
+    let obs = profile.as_ref();
 
     let started = Instant::now();
     let (result, conn_err) = std::thread::scope(|s| {
-        let exec = s.spawn(|| session.execute_ir_guarded(ir, &guard));
+        let exec = s.spawn(|| session.execute_ir_observed(ir, &guard, obs));
         let mut conn_err: Option<GraqlError> = None;
         while !exec.is_finished() {
             // Fast queries finish within the first poll window; don't pay
@@ -628,6 +923,30 @@ fn run_submit(
             stats.queries_budget_killed.fetch_add(1, Ordering::Relaxed);
         }
         _ => {}
+    }
+    if let (Some(slow), Some(profile)) = (slow, profile.as_ref()) {
+        if elapsed >= slow.threshold {
+            let outcome = match &result {
+                Ok(_) => QueryOutcome::Ok,
+                Err(e) => QueryOutcome::from_error(e),
+            };
+            // The IR deliberately drops source text, so the statement
+            // field names the transport rather than echoing the script.
+            let report = ProfileReport::seal(
+                "<submit>".to_string(),
+                String::new(),
+                profile,
+                guard.rows(),
+                guard.bytes(),
+            );
+            server.metrics().slow_queries.inc();
+            slow.note(
+                session.user(),
+                elapsed.as_micros() as u64,
+                outcome.name(),
+                &report,
+            );
+        }
     }
     if conn_err.is_some() {
         return Ok(conn_err);

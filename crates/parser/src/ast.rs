@@ -26,6 +26,9 @@ pub enum Stmt {
     CreateEdge(CreateEdge),
     Ingest(Ingest),
     Select(SelectStmt),
+    /// `profile <select>`: run the select with a span recorder armed and
+    /// return the measured stage report instead of the result.
+    Profile(SelectStmt),
 }
 
 /// Surface type names of Appendix A.
@@ -364,6 +367,16 @@ impl Stmt {
             Stmt::CreateEdge(s) => s.span,
             Stmt::Ingest(s) => s.span,
             Stmt::Select(s) => s.span,
+            Stmt::Profile(s) => s.span,
+        }
+    }
+
+    /// The select underneath, for `select` and `profile` alike — the
+    /// analyzer and linters treat both as reads of the same shape.
+    pub fn as_select(&self) -> Option<&SelectStmt> {
+        match self {
+            Stmt::Select(s) | Stmt::Profile(s) => Some(s),
+            _ => None,
         }
     }
 }

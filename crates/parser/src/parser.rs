@@ -182,7 +182,20 @@ impl Parser {
             sel.span = span;
             return Ok(Stmt::Select(sel));
         }
-        Err(self.err("expected a statement ('create', 'ingest' or 'select')"))
+        if self.at_kw("profile") {
+            let span = self.span_here();
+            self.bump();
+            self.expect_kw("select")?;
+            let mut sel = self.select()?;
+            sel.span = span;
+            if sel.into.is_some() {
+                return Err(
+                    self.err("'profile' does not capture results: remove the 'into' clause")
+                );
+            }
+            return Ok(Stmt::Profile(sel));
+        }
+        Err(self.err("expected a statement ('create', 'ingest', 'select' or 'profile')"))
     }
 
     fn create_table(&mut self) -> Result<CreateTable> {
@@ -841,6 +854,41 @@ mod tests {
         assert_eq!(t.columns.len(), 4);
         assert_eq!(t.columns[0], ("id".into(), TypeName::Varchar(10)));
         assert_eq!(t.columns[3], ("validFrom".into(), TypeName::Date));
+    }
+
+    #[test]
+    fn profile_wraps_a_select() {
+        let s = parse_statement("profile select y.id from graph def y: ProductVtx ()").unwrap();
+        let Stmt::Profile(sel) = &s else {
+            panic!("expected profile, got {s:?}")
+        };
+        assert!(sel.into.is_none());
+        assert_eq!(s.as_select().map(|sel| sel.targets.clone()), {
+            let Stmt::Profile(sel) = &s else {
+                unreachable!()
+            };
+            Some(sel.targets.clone())
+        });
+        // Round-trips through the printer.
+        let printed = s.to_string();
+        assert!(printed.starts_with("profile select "), "{printed}");
+        assert_eq!(parse_statement(&printed).unwrap(), s);
+    }
+
+    #[test]
+    fn profile_rejects_into() {
+        let err =
+            parse_statement("profile select y.id from graph def y: ProductVtx () into table T1")
+                .unwrap_err();
+        assert!(
+            err.to_string().contains("'profile' does not capture"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn profile_requires_select() {
+        assert!(parse_statement("profile create table T(a integer)").is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ impl fmt::Display for Stmt {
             Stmt::CreateEdge(e) => write!(f, "{e}"),
             Stmt::Ingest(i) => write!(f, "{i}"),
             Stmt::Select(s) => write!(f, "{s}"),
+            Stmt::Profile(s) => write!(f, "profile {s}"),
         }
     }
 }

@@ -17,6 +17,7 @@ pub mod distinct;
 pub mod filter;
 pub mod group;
 pub mod join;
+pub mod profiled;
 pub mod sort;
 
 pub use distinct::{distinct, distinct_guarded, distinct_indices, distinct_indices_guarded};
@@ -25,6 +26,10 @@ pub use group::{
     group_aggregate, group_aggregate_guarded, group_indices, group_indices_guarded, AggFn, AggSpec,
 };
 pub use join::{hash_join_pairs, hash_join_pairs_guarded};
+pub use profiled::{
+    distinct_profiled, filter_profiled, group_aggregate_profiled, hash_join_pairs_profiled,
+    sort_profiled, top_n_profiled,
+};
 pub use sort::{sort, sort_guarded, sort_indices, SortKey};
 
 use graql_types::Result;

@@ -1,0 +1,156 @@
+//! Profiled variants of the guarded relational kernels.
+//!
+//! Each wrapper times the underlying `*_guarded` op and records wall
+//! time plus rows in/out on the query's [`QueryProfile`] — when one is
+//! armed. With `obs == None` the wrappers delegate without so much as an
+//! `Instant::now()`, preserving the zero-overhead ungoverned path.
+
+use graql_types::obs::{obs_record_rows, obs_start, Stage};
+use graql_types::{QueryGuard, QueryProfile, Result};
+
+use crate::expr::PhysExpr;
+use crate::table::Table;
+
+use super::{
+    distinct_guarded, filter_guarded, group_aggregate_guarded, hash_join_pairs_guarded,
+    sort_guarded, top_n, AggSpec, SortKey,
+};
+
+pub fn filter_profiled(
+    t: &Table,
+    pred: &PhysExpr,
+    guard: &QueryGuard,
+    obs: Option<&QueryProfile>,
+) -> Result<Table> {
+    let start = obs_start(obs);
+    let out = filter_guarded(t, pred, guard)?;
+    obs_record_rows(
+        obs,
+        Stage::Filter,
+        start,
+        t.n_rows() as u64,
+        out.n_rows() as u64,
+    );
+    Ok(out)
+}
+
+pub fn sort_profiled(
+    t: &Table,
+    keys: &[SortKey],
+    guard: &QueryGuard,
+    obs: Option<&QueryProfile>,
+) -> Result<Table> {
+    let start = obs_start(obs);
+    let out = sort_guarded(t, keys, guard)?;
+    obs_record_rows(
+        obs,
+        Stage::Sort,
+        start,
+        t.n_rows() as u64,
+        out.n_rows() as u64,
+    );
+    Ok(out)
+}
+
+pub fn distinct_profiled(
+    t: &Table,
+    guard: &QueryGuard,
+    obs: Option<&QueryProfile>,
+) -> Result<Table> {
+    let start = obs_start(obs);
+    let out = distinct_guarded(t, guard)?;
+    obs_record_rows(
+        obs,
+        Stage::Distinct,
+        start,
+        t.n_rows() as u64,
+        out.n_rows() as u64,
+    );
+    Ok(out)
+}
+
+pub fn group_aggregate_profiled(
+    t: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    guard: &QueryGuard,
+    obs: Option<&QueryProfile>,
+) -> Result<Table> {
+    let start = obs_start(obs);
+    let out = group_aggregate_guarded(t, group_cols, aggs, guard)?;
+    obs_record_rows(
+        obs,
+        Stage::Aggregate,
+        start,
+        t.n_rows() as u64,
+        out.n_rows() as u64,
+    );
+    Ok(out)
+}
+
+pub fn hash_join_pairs_profiled(
+    l: &Table,
+    lkeys: &[usize],
+    r: &Table,
+    rkeys: &[usize],
+    guard: &QueryGuard,
+    obs: Option<&QueryProfile>,
+) -> Result<Vec<(u32, u32)>> {
+    let start = obs_start(obs);
+    let out = hash_join_pairs_guarded(l, lkeys, r, rkeys, guard)?;
+    obs_record_rows(
+        obs,
+        Stage::Enumerate,
+        start,
+        (l.n_rows() + r.n_rows()) as u64,
+        out.len() as u64,
+    );
+    Ok(out)
+}
+
+pub fn top_n_profiled(t: &Table, n: usize, obs: Option<&QueryProfile>) -> Table {
+    let start = obs_start(obs);
+    let out = top_n(t, n);
+    obs_record_rows(
+        obs,
+        Stage::Top,
+        start,
+        t.n_rows() as u64,
+        out.n_rows() as u64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use graql_types::{DataType, Value};
+
+    fn t() -> Table {
+        let schema = TableSchema::of(&[("a", DataType::Integer)]);
+        Table::from_rows(schema, (0..10).map(|i| vec![Value::Int(i % 3)])).unwrap()
+    }
+
+    #[test]
+    fn profiled_ops_record_rows_and_time() {
+        let p = QueryProfile::new();
+        let g = QueryGuard::unlimited();
+        let out = distinct_profiled(&t(), g, Some(&p)).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(p.stage_calls(Stage::Distinct), 1);
+        let sorted = sort_profiled(&t(), &[SortKey::asc(0)], g, Some(&p)).unwrap();
+        assert_eq!(sorted.n_rows(), 10);
+        assert_eq!(p.stage_calls(Stage::Sort), 1);
+        let top = top_n_profiled(&sorted, 4, Some(&p));
+        assert_eq!(top.n_rows(), 4);
+        assert_eq!(p.stage_calls(Stage::Top), 1);
+    }
+
+    #[test]
+    fn profiled_ops_work_unarmed() {
+        let g = QueryGuard::unlimited();
+        assert_eq!(distinct_profiled(&t(), g, None).unwrap().n_rows(), 3);
+        assert_eq!(top_n_profiled(&t(), 2, None).n_rows(), 2);
+    }
+}

@@ -30,6 +30,14 @@ pub fn render_outputs(outputs: &[SessionOutput]) -> String {
             SessionOutput::Pipelined => {
                 s.push_str(&format!("[{i}] pipelined into the next statement\n"))
             }
+            SessionOutput::Profile { text, .. } => {
+                // Stage wall times legitimately differ between two
+                // executions of the same statement, so only the header
+                // line (the profiled statement) joins the differential
+                // comparison.
+                let head = text.lines().next().unwrap_or("profile");
+                s.push_str(&format!("[{i}] {head}\n"))
+            }
         }
     }
     s

@@ -157,6 +157,9 @@ pub mod codes {
     pub const UNGOVERNED_REPETITION: &str = "W0303";
     /// `top` without `order by` returns an arbitrary subset.
     pub const TOP_WITHOUT_ORDER: &str = "H0201";
+    /// `top n` fully sorts a result materialized from a high-fanout
+    /// traversal — suggest bounding the producer before sorting.
+    pub const TOP_SORT_SPILL: &str = "H0202";
 }
 
 // ---------------------------------------------------------------------------

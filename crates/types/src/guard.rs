@@ -152,7 +152,11 @@ impl QueryGuard {
     /// A per-loop ticker that calls [`check`](Self::check) every
     /// [`TICK_INTERVAL`] ticks.
     pub fn ticker(&self) -> Ticker<'_> {
-        Ticker { guard: self, n: 0 }
+        Ticker {
+            guard: self,
+            n: 0,
+            checkpoints: 0,
+        }
     }
 }
 
@@ -162,6 +166,7 @@ impl QueryGuard {
 pub struct Ticker<'g> {
     guard: &'g QueryGuard,
     n: u32,
+    checkpoints: u64,
 }
 
 impl Ticker<'_> {
@@ -169,10 +174,17 @@ impl Ticker<'_> {
     pub fn tick(&mut self) -> Result<()> {
         self.n = self.n.wrapping_add(1);
         if self.n & (TICK_INTERVAL - 1) == 0 {
+            self.checkpoints += 1;
             self.guard.check()
         } else {
             Ok(())
         }
+    }
+
+    /// Real checkpoints this ticker has run (one per [`TICK_INTERVAL`]
+    /// ticks), for the profiler's guard-tick accounting.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
     }
 }
 

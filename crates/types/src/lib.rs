@@ -30,6 +30,7 @@ pub mod diag;
 pub mod error;
 pub mod failpoints;
 pub mod guard;
+pub mod obs;
 pub mod symbol;
 pub mod value;
 
@@ -37,5 +38,6 @@ pub use date::Date;
 pub use diag::{codes, Diagnostic, Diagnostics, Severity, Span};
 pub use error::{GraqlError, NetError, Result};
 pub use guard::{QueryBudget, QueryGuard};
+pub use obs::{MetricsRegistry, ProfileReport, QueryOutcome, QueryProfile, Stage};
 pub use symbol::{Interner, Symbol};
 pub use value::{CmpOp, DataType, Value};

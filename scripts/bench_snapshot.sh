@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Bench-regression snapshot for the CI perf lane (see TESTING.md).
+#
+#   scripts/bench_snapshot.sh                 run the pinned benches, write a
+#                                             fresh snapshot, fail on >25%
+#                                             regression vs the committed
+#                                             BENCH_5.json baseline
+#   scripts/bench_snapshot.sh --bless         run the benches and overwrite
+#                                             BENCH_5.json (baseline blessing)
+#   scripts/bench_snapshot.sh --compare A B   compare two snapshot files only
+#   scripts/bench_snapshot.sh --self-test     prove the comparator: a
+#                                             synthetic 2x regression must
+#                                             fail, an identical snapshot must
+#                                             pass (no benches are run)
+#
+# Environment:
+#   BENCH_OUT=path             where the fresh snapshot lands
+#                              (default target/bench/BENCH_5.json)
+#   BENCH_BASELINE=path        committed baseline (default BENCH_5.json)
+#   BENCH_THRESHOLD=ratio      regression ratio (default 1.25 = +25%)
+#   BENCH_ALLOW_REGRESSION=1   report regressions but exit 0 (noisy runners)
+#
+# Snapshot format (produced via the criterion shim's CRITERION_JSON sink):
+#   {"schema":1, "host":{...fingerprint...}, "benches":{"group/id": median_ns}}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BENCH_BASELINE:-BENCH_5.json}"
+OUT="${BENCH_OUT:-target/bench/BENCH_5.json}"
+THRESHOLD="${BENCH_THRESHOLD:-1.25}"
+# The pinned subset: one graph-query bench, one relational-kernel bench,
+# one threading bench, one wire bench. The rest of the 13 benches stay
+# local-only — this lane is a regression tripwire, not a paper artifact.
+BENCHES=(berlin_queries relational_ops parallel_scaling net_roundtrip)
+
+host_fingerprint() {
+    local cpu cores
+    cpu="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1)"
+    [ -n "$cpu" ] || cpu="unknown"
+    cores="$(nproc 2>/dev/null || echo 0)"
+    jq -n --arg os "$(uname -sr)" --arg cpu "$cpu" \
+        --argjson cores "$cores" --arg rustc "$(rustc --version)" \
+        '{os: $os, cpu: $cpu, cores: $cores, rustc: $rustc}'
+}
+
+snapshot() {
+    local out="$1" raw
+    raw="$(mktemp)"
+    for b in "${BENCHES[@]}"; do
+        echo "bench_snapshot: running $b" >&2
+        CRITERION_JSON="$raw" cargo bench -q -p graql-bench --bench "$b" >&2
+    done
+    mkdir -p "$(dirname "$out")"
+    jq -n --slurpfile host <(host_fingerprint) --slurpfile runs "$raw" \
+        '{schema: 1, host: $host[0],
+          benches: ($runs | map({(.bench): .median_ns}) | add)}' > "$out"
+    echo "bench_snapshot: wrote $out ($(jq '.benches | length' "$out") benches)" >&2
+}
+
+# compare BASELINE CURRENT — prints a verdict per baseline bench; exit 1 on
+# any regression (unless BENCH_ALLOW_REGRESSION=1). Benches present only in
+# CURRENT are informational; benches missing from CURRENT are failures
+# (a silently dropped bench must not pass the lane).
+compare() {
+    local base="$1" cur="$2" bad
+    bad="$(jq -s --argjson t "$THRESHOLD" '
+        .[0].benches as $b | .[1].benches as $c |
+        [ $b | to_entries[]
+          | {bench: .key, base: .value, cur: ($c[.key] // null)}
+          | if .cur == null then . + {status: "missing"}
+            elif (.cur > (.base * $t)) then . + {status: "regressed"}
+            else empty end ]' "$base" "$cur")"
+    jq -rs --argjson t "$THRESHOLD" '
+        .[0].benches as $b | .[1].benches as $c |
+        ($b | to_entries[]
+         | "bench_snapshot: \(.key): \(.value) -> \($c[.key] // "MISSING") ns" +
+           (if ($c[.key] // null) == null then "  ** missing **"
+            elif ($c[.key] > (.value * $t)) then
+                "  ** regressed \((($c[.key] / .value * 100) | floor))% of baseline **"
+            else "" end)),
+        ($c | to_entries[] | select($b[.key] == null)
+         | "bench_snapshot: \(.key): (new) \(.value) ns")' "$base" "$cur" >&2
+    if [ "$(jq 'length' <<< "$bad")" -gt 0 ]; then
+        if [ "${BENCH_ALLOW_REGRESSION:-0}" = "1" ]; then
+            echo "bench_snapshot: regressions ignored (BENCH_ALLOW_REGRESSION=1)" >&2
+            return 0
+        fi
+        echo "bench_snapshot: FAIL — regression beyond ${THRESHOLD}x baseline" >&2
+        return 1
+    fi
+    echo "bench_snapshot: OK (all benches within ${THRESHOLD}x of baseline)" >&2
+}
+
+self_test() {
+    local dir base same slow
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    base="$dir/base.json"; same="$dir/same.json"; slow="$dir/slow.json"
+    jq -n '{schema: 1, host: {os: "self-test"},
+            benches: {"g/fast": 1000, "g/slow": 50000}}' > "$base"
+    cp "$base" "$same"
+    jq '.benches |= with_entries(.value *= 2)' "$base" > "$slow"
+
+    compare "$base" "$same" || {
+        echo "bench_snapshot: self-test FAILED (identical snapshot rejected)" >&2
+        return 1
+    }
+    if (compare "$base" "$slow" 2>/dev/null); then
+        echo "bench_snapshot: self-test FAILED (2x regression passed)" >&2
+        return 1
+    fi
+    if ! (BENCH_ALLOW_REGRESSION=1 compare "$base" "$slow"); then
+        echo "bench_snapshot: self-test FAILED (allow-regression skip broken)" >&2
+        return 1
+    fi
+    echo "bench_snapshot: self-test OK (2x regression fails, skip path works)" >&2
+}
+
+case "${1:-}" in
+--self-test)
+    self_test
+    ;;
+--compare)
+    compare "$2" "$3"
+    ;;
+--bless)
+    snapshot "$BASELINE"
+    echo "bench_snapshot: blessed new baseline $BASELINE — commit it" >&2
+    ;;
+"")
+    snapshot "$OUT"
+    if [ -f "$BASELINE" ]; then
+        compare "$BASELINE" "$OUT"
+    else
+        echo "bench_snapshot: no baseline $BASELINE — nothing to compare" >&2
+        echo "bench_snapshot: bless one with: scripts/bench_snapshot.sh --bless" >&2
+    fi
+    ;;
+*)
+    echo "usage: scripts/bench_snapshot.sh [--bless | --compare BASE CUR | --self-test]" >&2
+    exit 2
+    ;;
+esac

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Networked smoke test: boot gems-serve on loopback, run a script through
 # gems-shell --connect, and verify the output matches an in-process run
-# byte for byte. Used by CI (which uploads gems-serve.log on failure) and
-# runnable locally: scripts/net_smoke.sh [target/release]
+# byte for byte. The server runs with its observability surfaces armed
+# (--metrics-addr, --slow-query-ms 0) and the Prometheus scrape is
+# validated; CI uploads gems-serve.log, the scrape and the slow-query log
+# on failure. Runnable locally: scripts/net_smoke.sh [target/release]
 set -euo pipefail
 
 bindir="${1:-target/release}"
 workdir="$(mktemp -d)"
 log="${SERVE_LOG:-$workdir/gems-serve.log}"
+metrics_out="${METRICS_OUT:-$workdir/metrics.prom}"
+slow_log="${SLOW_LOG:-$workdir/slow-queries.jsonl}"
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 # Fixtures for scripts/berlin_demo.graql.
@@ -24,6 +28,7 @@ mkfifo "$workdir/ctl"
 sleep 60 > "$workdir/ctl" &
 holder_pid=$!
 "$bindir/gems-serve" --addr 127.0.0.1:0 --data-dir "$workdir" \
+    --metrics-addr 127.0.0.1:0 --slow-query-ms 0 --slow-query-log "$slow_log" \
     < "$workdir/ctl" > "$log" 2>&1 &
 serve_pid=$!
 
@@ -38,9 +43,39 @@ if [ -z "$addr" ]; then
     cat "$log" >&2
     exit 1
 fi
+maddr="$(sed -n 's|^gems-serve metrics on http://||p' "$log" | sed 's|/metrics$||')"
+if [ -z "$maddr" ]; then
+    echo "net_smoke: gems-serve never announced its metrics listener" >&2
+    cat "$log" >&2
+    exit 1
+fi
 
 "$bindir/gems-shell" scripts/berlin_demo.graql --connect "$addr" --user admin \
     > "$workdir/remote.out"
+
+# Scrape the Prometheus exposition and sanity-check it: the queries the
+# shell just ran must show up as ok outcomes, and the net counters ride
+# along in the same exposition.
+curl -fsS "http://$maddr/metrics" > "$metrics_out"
+for series in 'graql_queries_total{outcome="ok"}' graql_net_requests_total; do
+    if ! grep -qF "$series" "$metrics_out"; then
+        echo "net_smoke: metrics scrape is missing $series" >&2
+        cat "$metrics_out" >&2
+        exit 1
+    fi
+done
+ok_count="$(sed -n 's/^graql_queries_total{outcome="ok"} //p' "$metrics_out")"
+if [ "${ok_count:-0}" -lt 1 ]; then
+    echo "net_smoke: expected >=1 ok query in the scrape, got ${ok_count:-0}" >&2
+    exit 1
+fi
+# With --slow-query-ms 0 every query is an offender: the structured log
+# must have at least one JSON line with a profile attached.
+if ! grep -q '"slow_query":{' "$slow_log"; then
+    echo "net_smoke: slow-query log has no offender lines" >&2
+    cat "$slow_log" >&2
+    exit 1
+fi
 
 echo shutdown > "$workdir/ctl"
 kill "$holder_pid" 2>/dev/null || true
@@ -50,4 +85,5 @@ if ! diff -u "$workdir/local.out" "$workdir/remote.out"; then
     echo "net_smoke: local and remote output diverge" >&2
     exit 1
 fi
-echo "net_smoke: OK ($(wc -l < "$workdir/local.out") identical output lines)"
+echo "net_smoke: OK ($(wc -l < "$workdir/local.out") identical output lines," \
+    "$ok_count ok queries scraped, $(wc -l < "$slow_log") slow-log lines)"

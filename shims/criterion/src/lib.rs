@@ -147,6 +147,26 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("{}/{}: median {:?}{}", self.name, id, per_iter, thr);
+        // Machine-readable sink for the bench-regression lane: when
+        // `CRITERION_JSON` names a file, append one JSON line per bench.
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                use std::io::Write as _;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(
+                        f,
+                        "{{\"bench\":\"{}/{}\",\"median_ns\":{}}}",
+                        self.name,
+                        id,
+                        per_iter.as_nanos()
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -8,6 +8,8 @@
 //!            [--max-connections N] [--error-budget N]
 //!            [--max-concurrency N] [--queue-wait-ms MS]
 //!            [--max-result-rows N] [--max-query-bytes N]
+//!            [--metrics-addr HOST:PORT] [--slow-query-ms MS]
+//!            [--slow-query-log FILE]
 //! ```
 //!
 //! Hosts one shared database behind the `graql-net` wire protocol;
@@ -34,7 +36,8 @@ fn usage() -> ! {
          [--init SCRIPT] [--user NAME=ROLE]... [--request-timeout SECS] \
          [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
          [--max-connections N] [--error-budget N] [--max-concurrency N] \
-         [--queue-wait-ms MS] [--max-result-rows N] [--max-query-bytes N]"
+         [--queue-wait-ms MS] [--max-result-rows N] [--max-query-bytes N] \
+         [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--slow-query-log FILE]"
     );
     std::process::exit(2);
 }
@@ -140,6 +143,17 @@ fn main() -> ExitCode {
                     Err(_) => usage(),
                 }
             }
+            "--metrics-addr" => opts.metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--slow-query-ms" => {
+                let ms = args.next().unwrap_or_else(|| usage());
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.slow_query_ms = Some(ms),
+                    Err(_) => usage(),
+                }
+            }
+            "--slow-query-log" => {
+                opts.slow_query_log = Some(args.next().unwrap_or_else(|| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -192,6 +206,11 @@ fn main() -> ExitCode {
         }
     };
     graql::net::server::announce(&mut std::io::stdout(), net.local_addr());
+    if let Some(addr) = net.metrics_addr() {
+        println!("gems-serve metrics on http://{addr}/metrics");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
 
     // Serve until stdin closes (or an explicit `shutdown` line), then
     // drain gracefully.

@@ -138,6 +138,10 @@ fn print_session_outputs(outputs: &[graql::core::SessionOutput]) {
             SessionOutput::Pipelined => {
                 println!("[{i}] pipelined into the next statement")
             }
+            SessionOutput::Profile { text, .. } => {
+                println!("[{i}] profile:");
+                print!("{text}");
+            }
         }
     }
 }
@@ -401,6 +405,10 @@ fn main() -> ExitCode {
                     },
                     StmtOutput::Pipelined => {
                         println!("[{i}] pipelined into the next statement")
+                    }
+                    StmtOutput::Profile(report) => {
+                        println!("[{i}] profile:");
+                        print!("{}", report.render());
                     }
                 }
             }

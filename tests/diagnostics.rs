@@ -322,6 +322,29 @@ fn h0201_top_without_order() {
     assert!(!ok.contains(&"H0201"), "{ok:?}");
 }
 
+#[test]
+fn h0202_top_sort_spill() {
+    // `top … order by` over a table fed by the mean-degree-10 `ab` edge:
+    // the sort input is a high-fanout spill.
+    let mut db = fanout_db();
+    let src = "select b from graph VA() --ab--> def b: VB() into table Spill\n\
+               select top 3 b from table Spill order by b desc";
+    let hint = codes_of(&mut db, src);
+    assert!(hint.contains(&"H0202"), "{hint:?}");
+    // Without `top` the full ordering is intentional — not flagged.
+    let src = "select b from graph VA() --ab--> def b: VB() into table Spill\n\
+               select b from table Spill order by b desc";
+    let ok = codes_of(&mut db, src);
+    assert!(!ok.contains(&"H0202"), "{ok:?}");
+    // A table that no graph select produced — not flagged.
+    let mut cold = berlin_db();
+    let ok = codes_of(
+        &mut cold,
+        "select top 5 id from table Products order by id asc",
+    );
+    assert!(!ok.contains(&"H0202"), "{ok:?}");
+}
+
 // ---------------------------------------------------------------------------
 // The `check` subcommand's exit-status contract
 // ---------------------------------------------------------------------------
