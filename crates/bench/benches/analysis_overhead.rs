@@ -1,0 +1,56 @@
+//! Static-analysis overhead (DESIGN.md analysis pipeline): the compile
+//! path pays for dataflow checks and plan rewrites on every statement, so
+//! both must stay cheap relative to execution.
+//!
+//! * `check` — full `check_script` over the Berlin Q1/Q2 text (lints +
+//!   dataflow + cardinality annotation against live catalog statistics).
+//! * `rewrite` — the rewrite passes alone over parsed statements.
+//! * `exec_rewrite_{on,off}` — end-to-end Q1 latency with rewrites
+//!   enabled vs disabled: the rewriter must never make queries slower.
+//!
+//! Informational lane: not part of the pinned BENCH_5.json regression set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graql_bench::{berlin, run_rows};
+use graql_bsbm::queries;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_overhead");
+    group.sample_size(20);
+
+    let script = format!("{}\n{}", queries::q1(), queries::q2());
+    let mut db = berlin(500);
+
+    group.bench_function("check", |b| {
+        b.iter(|| black_box(db.check_script_str(&script)));
+    });
+
+    let parsed = graql_parser::parse(&script).unwrap();
+    let sels: Vec<_> = parsed
+        .statements
+        .iter()
+        .filter_map(|s| s.as_select())
+        .collect();
+    group.bench_function("rewrite", |b| {
+        b.iter(|| {
+            for sel in &sels {
+                black_box(graql_core::analysis::rewrite_select(sel));
+            }
+        });
+    });
+
+    group.bench_function("exec_rewrite_on", |b| {
+        b.iter(|| black_box(run_rows(&mut db, queries::q1())));
+    });
+    let mut plain = berlin(500);
+    plain.config_mut().rewrite = false;
+    group.bench_function("exec_rewrite_off", |b| {
+        b.iter(|| black_box(run_rows(&mut plain, queries::q1())));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! Typed dataflow over per-binding domains.
+//!
+//! For every select (and `profile`) statement this pass infers, per
+//! binding step, a *domain*: the set of vertex types the step can match
+//! and, per attribute, the value interval its conditions admit. Nullability
+//! is folded into the interval rules — every comparison evaluates to
+//! `false` on a null attribute, so a contradiction between comparisons is
+//! a contradiction for null rows too, which is what makes the verdicts
+//! here safe for the rewriter to act on.
+//!
+//! Emitted diagnostics:
+//!
+//! * `W0207` — a conjunction constrains one attribute to an empty value
+//!   range (`price > 50 and price < 10`): the predicate never passes.
+//! * `W0208` — a predicate folds to constant `true`: it never filters.
+//! * `W0206` — an `or`-branch (or a whole pattern) whose step conditions
+//!   make it unsatisfiable: a dead pattern branch.
+//! * `H0203` — catalog statistics estimate an operator's intermediate
+//!   result above [`super::cost::LARGE_PLAN_THRESHOLD`] rows.
+
+use graql_parser::ast::{self, Expr, Lit, Operand, PathComposition, SelectSource};
+use graql_types::{codes, CmpOp, Diagnostic, Diagnostics, Value};
+
+use crate::catalog::{Catalog, CatalogStats};
+use crate::cond::{lit_value, Params};
+
+use super::cost;
+use super::rewrite::{self, Simp};
+
+// ---------------------------------------------------------------------------
+// Interval analysis (value ranges per attribute)
+// ---------------------------------------------------------------------------
+
+/// An attribute whose admitted value range is empty.
+pub(crate) struct Contradiction {
+    /// Display name of the attribute (`qualifier.name` or bare name).
+    pub attr: String,
+    /// True when an ordered bound (`<`, `<=`, `>`, `>=`) or a `!=`
+    /// exclusion participates — the cases the equality-only lint `W0203`
+    /// cannot see.
+    pub has_bound: bool,
+}
+
+#[derive(Default)]
+struct Range {
+    eq: Option<Value>,
+    ne: Vec<Value>,
+    /// Lower bound `(value, strict)`.
+    low: Option<(Value, bool)>,
+    /// Upper bound `(value, strict)`.
+    high: Option<(Value, bool)>,
+    has_bound: bool,
+    /// Two distinct (but comparable) `=` constants — `W0203` territory.
+    eq_conflict: bool,
+}
+
+impl Range {
+    fn tighten_low(&mut self, v: Value, strict: bool) {
+        self.has_bound = true;
+        let replace = match &self.low {
+            None => true,
+            Some((cur, cur_strict)) => match v.sem_cmp(cur) {
+                Some(std::cmp::Ordering::Greater) => true,
+                Some(std::cmp::Ordering::Equal) => strict && !cur_strict,
+                _ => false,
+            },
+        };
+        if replace {
+            self.low = Some((v, strict));
+        }
+    }
+
+    fn tighten_high(&mut self, v: Value, strict: bool) {
+        self.has_bound = true;
+        let replace = match &self.high {
+            None => true,
+            Some((cur, cur_strict)) => match v.sem_cmp(cur) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Equal) => strict && !cur_strict,
+                _ => false,
+            },
+        };
+        if replace {
+            self.high = Some((v, strict));
+        }
+    }
+
+    /// True when no value can satisfy every recorded constraint.
+    /// Incomparable pairs (type mismatches) never count: compilation
+    /// reports those as errors and we must not claim emptiness.
+    fn is_empty(&self) -> (bool, bool) {
+        if self.eq_conflict {
+            return (true, false);
+        }
+        if let Some(eq) = &self.eq {
+            if self.ne.iter().any(|n| eq.sem_eq(n)) {
+                return (true, true);
+            }
+            if let Some((lo, strict)) = &self.low {
+                match eq.sem_cmp(lo) {
+                    Some(std::cmp::Ordering::Less) => return (true, true),
+                    Some(std::cmp::Ordering::Equal) if *strict => return (true, true),
+                    _ => {}
+                }
+            }
+            if let Some((hi, strict)) = &self.high {
+                match eq.sem_cmp(hi) {
+                    Some(std::cmp::Ordering::Greater) => return (true, true),
+                    Some(std::cmp::Ordering::Equal) if *strict => return (true, true),
+                    _ => {}
+                }
+            }
+        }
+        if let (Some((lo, ls)), Some((hi, hs))) = (&self.low, &self.high) {
+            match lo.sem_cmp(hi) {
+                Some(std::cmp::Ordering::Greater) => return (true, true),
+                Some(std::cmp::Ordering::Equal) if *ls || *hs => return (true, true),
+                _ => {}
+            }
+        }
+        (false, self.has_bound)
+    }
+}
+
+/// Checks the direct conjuncts of an `and` for an attribute whose value
+/// range is empty. Only `attr <op> literal` conjuncts (either orientation,
+/// parameters excluded) contribute; everything else is ignored, which
+/// keeps the verdict conservative: a reported contradiction holds for
+/// every row, null attributes included.
+pub(crate) fn and_contradiction(parts: &[Expr]) -> Option<Contradiction> {
+    let mut ranges: Vec<((Option<String>, String), Range)> = Vec::new();
+    let params = Params::default();
+    for p in parts {
+        let Expr::Cmp { op, lhs, rhs, .. } = p else {
+            continue;
+        };
+        let (attr, op, lit) = match (lhs, rhs) {
+            (Operand::Attr { qualifier, name }, Operand::Lit(l)) if !matches!(l, Lit::Param(_)) => {
+                ((qualifier.clone(), name.clone()), *op, l)
+            }
+            (Operand::Lit(l), Operand::Attr { qualifier, name }) if !matches!(l, Lit::Param(_)) => {
+                ((qualifier.clone(), name.clone()), op.flip(), l)
+            }
+            _ => continue,
+        };
+        let v = lit_value(lit, &params).expect("non-param literal");
+        let range = match ranges.iter_mut().find(|(k, _)| *k == attr) {
+            Some((_, r)) => r,
+            None => {
+                ranges.push((attr, Range::default()));
+                &mut ranges.last_mut().unwrap().1
+            }
+        };
+        match op {
+            CmpOp::Eq => {
+                if let Some(prev) = &range.eq {
+                    // Two different constants: keep the analysis honest
+                    // about incomparables (sem_eq is false for them, but
+                    // sem_cmp None means a type error — skip the claim).
+                    if prev.sem_cmp(&v).is_some() && !prev.sem_eq(&v) {
+                        range.eq_conflict = true;
+                    }
+                }
+                range.eq = Some(v);
+            }
+            CmpOp::Ne => range.ne.push(v),
+            CmpOp::Lt => range.tighten_high(v, true),
+            CmpOp::Le => range.tighten_high(v, false),
+            CmpOp::Gt => range.tighten_low(v, true),
+            CmpOp::Ge => range.tighten_low(v, false),
+        }
+    }
+    for ((qualifier, name), range) in &ranges {
+        let (empty, has_bound) = range.is_empty();
+        if empty {
+            let attr = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.clone(),
+            };
+            return Some(Contradiction { attr, has_bound });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// The pass
+// ---------------------------------------------------------------------------
+
+/// Runs the dataflow diagnostics over every select in the script.
+pub(crate) fn run(
+    work: &Catalog,
+    script: &ast::Script,
+    stats: Option<&CatalogStats>,
+    sink: &mut Diagnostics,
+) {
+    for stmt in &script.statements {
+        let Some(sel) = stmt.as_select() else {
+            continue;
+        };
+        if let Some(w) = &sel.where_clause {
+            check_expr(w, "`where` clause", sink);
+        }
+        let SelectSource::Graph(comp) = &sel.source else {
+            continue;
+        };
+
+        let branches: Vec<&PathComposition> = match comp {
+            PathComposition::Or(parts) => parts.iter().collect(),
+            other => vec![other],
+        };
+        let many = branches.len() > 1;
+        for branch in &branches {
+            for_each_branch_cond(branch, &mut |cond| {
+                check_expr(cond, "step condition", sink);
+            });
+            if rewrite::branch_is_dead(branch) {
+                let span = branch
+                    .paths()
+                    .first()
+                    .map(|p| p.head.span)
+                    .unwrap_or_default();
+                let what = if many { "`or`-branch" } else { "pattern" };
+                sink.push(
+                    Diagnostic::warning(
+                        codes::DEAD_BRANCH,
+                        format!("this {what} can never match: a step condition is always false"),
+                        span,
+                    )
+                    .with_note(if many {
+                        "the branch contributes no rows; the optimizer removes it".to_string()
+                    } else {
+                        "the statement always returns an empty result".to_string()
+                    }),
+                );
+            }
+        }
+
+        // Statistics-backed cardinality bounds (H0203). Only meaningful
+        // once the graph sections of the catalog statistics exist.
+        if let Some(st) = stats.filter(|s| s.graph_complete) {
+            'branches: for branch in &branches {
+                let paths: Vec<&ast::PathQuery> = branch.paths();
+                for (desc, rows) in cost::estimate_paths(work, st, &paths) {
+                    if rows > cost::LARGE_PLAN_THRESHOLD {
+                        sink.push(
+                            Diagnostic::hint(
+                                codes::COSTLY_TRAVERSAL,
+                                format!(
+                                    "catalog statistics estimate ~{} intermediate rows at {desc}",
+                                    cost::fmt_rows(rows)
+                                ),
+                                sel.span,
+                            )
+                            .with_note(
+                                "consider tighter step conditions, a bounded quantifier, or a \
+                                 more selective start step",
+                            ),
+                        );
+                        break 'branches;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tautology + empty-range checks over one condition expression.
+fn check_expr(e: &Expr, what: &str, sink: &mut Diagnostics) {
+    // W0208: the whole predicate folds to constant true.
+    let mut ignored = false;
+    if matches!(rewrite::simplify(e, &mut ignored), Simp::True) {
+        sink.push(
+            Diagnostic::warning(
+                codes::ALWAYS_TRUE,
+                format!("this {what} is always true: it never filters anything"),
+                e.span(),
+            )
+            .with_note("the optimizer drops it; remove it for clarity"),
+        );
+        return;
+    }
+    // W0207: walk every `and` node for an attribute with an empty range.
+    walk_ands(e, &mut |parts, span| {
+        if let Some(c) = and_contradiction(parts) {
+            if c.has_bound {
+                sink.push(
+                    Diagnostic::warning(
+                        codes::CONTRADICTORY_RANGE,
+                        format!(
+                            "conditions on '{}' admit no value: the conjunction is always false",
+                            c.attr
+                        ),
+                        span,
+                    )
+                    .with_note("null attributes fail every comparison, so no row can pass"),
+                );
+            }
+        }
+    });
+}
+
+fn walk_ands(e: &Expr, f: &mut impl FnMut(&[Expr], graql_types::Span)) {
+    match e {
+        Expr::And(parts) => {
+            f(parts, e.span());
+            parts.iter().for_each(|p| walk_ands(p, f));
+        }
+        Expr::Or(parts) => parts.iter().for_each(|p| walk_ands(p, f)),
+        Expr::Not(inner) => walk_ands(inner, f),
+        Expr::Cmp { .. } => {}
+    }
+}
+
+fn for_each_branch_cond(comp: &PathComposition, f: &mut impl FnMut(&Expr)) {
+    fn vstep(v: &ast::VertexStep, f: &mut impl FnMut(&Expr)) {
+        if let Some(c) = &v.cond {
+            f(c);
+        }
+    }
+    for path in comp.paths() {
+        vstep(&path.head, f);
+        for seg in &path.segments {
+            match seg {
+                ast::Segment::Hop { edge, vertex } => {
+                    if let Some(c) = &edge.cond {
+                        f(c);
+                    }
+                    vstep(vertex, f);
+                }
+                ast::Segment::Group { hops, exit, .. } => {
+                    for (edge, vertex) in hops {
+                        if let Some(c) = &edge.cond {
+                            f(c);
+                        }
+                        vstep(vertex, f);
+                    }
+                    if let Some(v) = exit {
+                        vstep(v, f);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! IR-level static analysis over compiled query structure (§III-A, Fig. 8).
+//!
+//! This module layers three passes above the pure catalog checks in
+//! [`crate::analyze`]:
+//!
+//! * [`dataflow`] — typed dataflow over per-binding domains: vertex-type
+//!   narrowing along edge definitions, interval analysis over step and
+//!   `where` predicates (value ranges + nullability), and satisfiability
+//!   verdicts. Emits the IR-level diagnostics `W0206` (dead pattern
+//!   branch), `W0207` (contradictory range), `W0208` (tautological
+//!   predicate) and `H0203` (statistics-estimated large intermediate).
+//! * [`rewrite`] — semantics-preserving plan rewrites: constant folding,
+//!   predicate simplification, dead `or`-branch elimination, unused-label
+//!   elimination and `and`/`or` composition flattening. Every rewrite is
+//!   required to produce byte-identical results to the original statement;
+//!   the soundness rules (null comparison semantics, parameter and group
+//!   preservation) are documented on [`rewrite::rewrite_select`].
+//! * [`cost`] — catalog-statistics-backed cardinality estimation used to
+//!   annotate `explain` plans with per-operator row estimates and to back
+//!   the `H0203` large-plan hint. Estimates read the persistent
+//!   [`crate::catalog::CatalogStats`] store (per-type cardinalities,
+//!   degree means, per-column NDV).
+//!
+//! The passes run at two points: `check` runs dataflow for diagnostics
+//! (never building the graph), and the execution/`explain` paths run the
+//! rewriter (gated by [`crate::plan::ExecConfig::rewrite`]) followed by
+//! cost annotation.
+
+pub mod cost;
+pub mod dataflow;
+pub mod rewrite;
+
+pub use cost::LARGE_PLAN_THRESHOLD;
+pub use rewrite::{rewrite_select, Rewritten};

@@ -1,0 +1,994 @@
+//! Semantics-preserving rewrites over the checked query AST (Fig. 8).
+//!
+//! Every pass here must keep the rewritten statement *byte-identical in
+//! output* to the original under GraQL's evaluation rules, which are
+//! SQL-flavoured about nulls:
+//!
+//! * `a = b` is false when either side is null, `a != b` is false when
+//!   either side is null, and ordered comparisons are false when either
+//!   side is null. Consequently `x = x` is **not** a tautology (a null
+//!   attribute makes it false), while `x < x`, `x > x` and `x != x` *are*
+//!   contradictions. Only constant/constant comparisons can ever be folded
+//!   to `true`.
+//! * `not` inverts the post-null verdict, so `not (a < b)` is **not**
+//!   `a >= b`; negations are never pushed through comparisons, only
+//!   `not not x → x` and negation of folded constants are rewritten.
+//! * `%param%` literals bind (and may fail to bind) at execution; any
+//!   subtree containing a parameter is preserved verbatim so that unbound
+//!   parameter errors surface exactly as before. A folded `true`/`false`
+//!   verdict therefore only ever derives from parameter-free subtrees.
+//! * Constant folding also requires both literal types to be known and
+//!   comparable, so type errors that compilation would report are never
+//!   masked by folding the comparison away first.
+//! * Dead `or`-branch elimination only removes branches whose own step
+//!   conditions fold to `false`; branches whose *type domain* is empty are
+//!   left alone because compilation reports those as errors at runtime.
+//!   A dropped branch must also be parameter-free and contain no path
+//!   regex group, and at least one branch is always kept.
+
+use graql_parser::ast::{
+    self, Expr, LabelKind, Lit, Operand, PathComposition, Segment, SelectSource, SelectStmt,
+    SelectTargets, StepName,
+};
+use graql_types::{CmpOp, Span};
+
+use crate::cond::{lit_type, lit_value, Params};
+
+use super::dataflow;
+
+/// Outcome of [`rewrite_select`]: the rewritten statement plus the names
+/// of the passes that changed it (surfaced by `explain`).
+#[derive(Debug, Clone)]
+pub struct Rewritten {
+    pub sel: SelectStmt,
+    pub passes: Vec<&'static str>,
+}
+
+/// Applies all rewrite passes to a select statement. Returns `None` when
+/// no pass changed anything (callers then execute the original, avoiding
+/// the clone).
+///
+/// A read-only pre-scan (`would_rewrite`) decides whether any pass
+/// could fire, so the common case — a statement with nothing to rewrite,
+/// on the per-query execute path — costs a pointer walk and no
+/// allocation.
+pub fn rewrite_select(sel: &SelectStmt) -> Option<Rewritten> {
+    if !would_rewrite(sel) {
+        // The pre-scan may over-approximate (a hit that no pass acts
+        // on is harmless) but must never miss a rewrite. Probe under
+        // debug so the whole test suite — including the oracle corpus
+        // and the equivalence proptests — guards the two against
+        // drifting apart.
+        #[cfg(debug_assertions)]
+        {
+            let mut probe = sel.clone();
+            let fired = flatten_composition(&mut probe)
+                | fold_predicates(&mut probe)
+                | prune_dead_branches(&mut probe)
+                | drop_unused_labels(&mut probe);
+            debug_assert!(!fired, "rewrite pre-scan missed a change on: {sel}");
+        }
+        return None;
+    }
+    let mut out = sel.clone();
+    let mut passes = Vec::new();
+
+    if flatten_composition(&mut out) {
+        passes.push("flatten-composition");
+    }
+    if fold_predicates(&mut out) {
+        passes.push("fold-predicates");
+    }
+    if prune_dead_branches(&mut out) {
+        passes.push("prune-dead-branches");
+    }
+    if drop_unused_labels(&mut out) {
+        passes.push("drop-unused-labels");
+    }
+
+    if passes.is_empty() {
+        None
+    } else {
+        Some(Rewritten { sel: out, passes })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-only pre-scan
+// ---------------------------------------------------------------------------
+
+/// True when some rewrite pass would change `sel`. Mirrors each pass's
+/// change triggers without mutating or cloning anything; where the exact
+/// decision needs pass-side work it over-approximates (returns `true`),
+/// never the reverse. Dead-branch pruning needs no case of its own: a
+/// branch is only prunable when one of its conditions folds to `false`,
+/// which the fold scan already detects on the original expression.
+fn would_rewrite(sel: &SelectStmt) -> bool {
+    if sel.where_clause.as_ref().is_some_and(expr_would_simplify) || has_unused_set_label(sel) {
+        return true;
+    }
+    if let SelectSource::Graph(comp) = &sel.source {
+        let mut fold = false;
+        for_each_cond(comp, &mut |c| fold |= expr_would_simplify(c));
+        return fold || composition_would_flatten(comp);
+    }
+    false
+}
+
+/// Mirror of [`simplify`]'s `changed` triggers: constant/constant folds,
+/// self-comparison contradictions, `not not`, nested same-op flattening,
+/// singleton collapse, and parameter-free interval contradictions.
+fn expr_would_simplify(e: &Expr) -> bool {
+    match e {
+        Expr::Cmp { op, lhs, rhs, .. } => {
+            if let (Operand::Lit(a), Operand::Lit(b)) = (lhs, rhs) {
+                if !matches!(a, Lit::Param(_))
+                    && !matches!(b, Lit::Param(_))
+                    && matches!(
+                        (lit_type(a), lit_type(b)),
+                        (Some(ta), Some(tb)) if ta.comparable_with(tb)
+                    )
+                {
+                    return true;
+                }
+            }
+            if let (
+                Operand::Attr {
+                    qualifier: q1,
+                    name: n1,
+                },
+                Operand::Attr {
+                    qualifier: q2,
+                    name: n2,
+                },
+            ) = (lhs, rhs)
+            {
+                if q1 == q2 && n1 == n2 && matches!(op, CmpOp::Lt | CmpOp::Gt | CmpOp::Ne) {
+                    return true;
+                }
+            }
+            false
+        }
+        Expr::Not(inner) => matches!(**inner, Expr::Not(_)) || expr_would_simplify(inner),
+        Expr::And(parts) => {
+            parts.len() == 1
+                || parts
+                    .iter()
+                    .any(|p| matches!(p, Expr::And(_)) || expr_would_simplify(p))
+                || (param_free(e) && dataflow::and_contradiction(parts).is_some())
+        }
+        Expr::Or(parts) => {
+            parts.len() == 1
+                || parts
+                    .iter()
+                    .any(|p| matches!(p, Expr::Or(_)) || expr_would_simplify(p))
+        }
+    }
+}
+
+/// Mirror of [`flatten_node`]: nested same-op composition or a singleton
+/// `and`/`or` node.
+fn composition_would_flatten(comp: &PathComposition) -> bool {
+    match comp {
+        PathComposition::Single(_) => false,
+        PathComposition::And(parts) => {
+            parts.len() == 1
+                || parts
+                    .iter()
+                    .any(|p| matches!(p, PathComposition::And(_)) || composition_would_flatten(p))
+        }
+        PathComposition::Or(parts) => {
+            parts.len() == 1
+                || parts
+                    .iter()
+                    .any(|p| matches!(p, PathComposition::Or(_)) || composition_would_flatten(p))
+        }
+    }
+}
+
+/// Mirror of [`drop_unused_labels`]'s decision, with per-label early
+/// exit instead of materializing the reference set — statements carry at
+/// most a handful of labels, and the common case (every label used) ends
+/// on the first match.
+fn has_unused_set_label(sel: &SelectStmt) -> bool {
+    if !matches!(sel.targets, SelectTargets::Items(_)) {
+        return false;
+    }
+    let SelectSource::Graph(comp) = &sel.source else {
+        return false;
+    };
+    let mut unused = false;
+    for_each_set_label(comp, &mut |name| {
+        if !unused {
+            let mut used = false;
+            for_each_label_ref(sel, comp, &mut |n| used |= n == name);
+            unused = !used;
+        }
+    });
+    unused
+}
+
+fn for_each_set_label(comp: &PathComposition, f: &mut impl FnMut(&str)) {
+    fn visit(def: &Option<ast::LabelDef>, f: &mut impl FnMut(&str)) {
+        if let Some(d) = def {
+            if d.kind == LabelKind::Set {
+                f(&d.name);
+            }
+        }
+    }
+    for path in comp.paths() {
+        visit(&path.head.label_def, f);
+        for seg in &path.segments {
+            match seg {
+                Segment::Hop { edge, vertex } => {
+                    visit(&edge.label_def, f);
+                    visit(&vertex.label_def, f);
+                }
+                Segment::Group { hops, exit, .. } => {
+                    for (edge, vertex) in hops {
+                        visit(&edge.label_def, f);
+                        visit(&vertex.label_def, f);
+                    }
+                    if let Some(v) = exit {
+                        visit(&v.label_def, f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constant literals
+// ---------------------------------------------------------------------------
+
+/// Canonical always-false predicate (`0 = 1`): compiles everywhere and
+/// evaluates to `false` for every row.
+pub(crate) fn const_false(span: Span) -> Expr {
+    Expr::Cmp {
+        op: CmpOp::Eq,
+        lhs: Operand::Lit(Lit::Int(0)),
+        rhs: Operand::Lit(Lit::Int(1)),
+        span,
+    }
+}
+
+/// Canonical always-true predicate (`0 = 0`).
+fn const_true(span: Span) -> Expr {
+    Expr::Cmp {
+        op: CmpOp::Eq,
+        lhs: Operand::Lit(Lit::Int(0)),
+        rhs: Operand::Lit(Lit::Int(0)),
+        span,
+    }
+}
+
+/// True when no `%param%` literal occurs anywhere in the expression.
+pub(crate) fn param_free(e: &Expr) -> bool {
+    fn operand_ok(o: &Operand) -> bool {
+        !matches!(o, Operand::Lit(Lit::Param(_)))
+    }
+    match e {
+        Expr::And(ps) | Expr::Or(ps) => ps.iter().all(param_free),
+        Expr::Not(inner) => param_free(inner),
+        Expr::Cmp { lhs, rhs, .. } => operand_ok(lhs) && operand_ok(rhs),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression simplification (constant folding + predicate simplification)
+// ---------------------------------------------------------------------------
+
+/// Three-valued simplification verdict. `True`/`False` verdicts are only
+/// ever produced from parameter-free subtrees (see module docs).
+#[derive(Debug, Clone)]
+pub(crate) enum Simp {
+    True,
+    False,
+    Kept(Expr),
+}
+
+pub(crate) fn simplify(e: &Expr, changed: &mut bool) -> Simp {
+    match e {
+        Expr::Cmp { op, lhs, rhs, span } => {
+            if let (Operand::Lit(a), Operand::Lit(b)) = (lhs, rhs) {
+                if !matches!(a, Lit::Param(_)) && !matches!(b, Lit::Param(_)) {
+                    if let (Some(ta), Some(tb)) = (lit_type(a), lit_type(b)) {
+                        if ta.comparable_with(tb) {
+                            let params = Params::default();
+                            // Non-param literals resolve infallibly.
+                            let va = lit_value(a, &params).expect("non-param literal");
+                            let vb = lit_value(b, &params).expect("non-param literal");
+                            *changed = true;
+                            return if op.eval(&va, &vb) {
+                                Simp::True
+                            } else {
+                                Simp::False
+                            };
+                        }
+                    }
+                }
+            }
+            // `x < x`, `x > x`, `x != x` are contradictions even with
+            // nulls (null rows already evaluate comparisons to false).
+            if let (
+                Operand::Attr {
+                    qualifier: q1,
+                    name: n1,
+                },
+                Operand::Attr {
+                    qualifier: q2,
+                    name: n2,
+                },
+            ) = (lhs, rhs)
+            {
+                if q1 == q2 && n1 == n2 && matches!(op, CmpOp::Lt | CmpOp::Gt | CmpOp::Ne) {
+                    *changed = true;
+                    return Simp::False;
+                }
+            }
+            Simp::Kept(Expr::Cmp {
+                op: *op,
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+                span: *span,
+            })
+        }
+        Expr::Not(inner) => match simplify(inner, changed) {
+            Simp::True => {
+                *changed = true;
+                Simp::False
+            }
+            Simp::False => {
+                *changed = true;
+                Simp::True
+            }
+            Simp::Kept(Expr::Not(in2)) => {
+                *changed = true;
+                Simp::Kept(*in2)
+            }
+            Simp::Kept(k) => Simp::Kept(Expr::Not(Box::new(k))),
+        },
+        Expr::And(parts) => {
+            let pf = param_free(e);
+            let span = e.span();
+            let mut out: Vec<Expr> = Vec::with_capacity(parts.len());
+            let mut saw_false = false;
+            for p in parts {
+                match simplify(p, changed) {
+                    // A dropped `true` conjunct was parameter-free by
+                    // construction, so removal cannot mask a bind error.
+                    Simp::True => {}
+                    Simp::False => saw_false = true,
+                    Simp::Kept(Expr::And(sub)) => {
+                        *changed = true;
+                        out.extend(sub);
+                    }
+                    Simp::Kept(k) => out.push(k),
+                }
+            }
+            if saw_false {
+                if pf {
+                    return Simp::False;
+                }
+                // A parameter elsewhere in the conjunction must still hit
+                // bind-time resolution; keep the structure with the false
+                // conjunct made explicit.
+                out.push(const_false(span));
+                return Simp::Kept(Expr::And(out));
+            }
+            // Interval analysis over the surviving conjuncts: `x > 5 and
+            // x < 3` is false for every row (null rows fail both sides
+            // already), but collapsing is only sound when the whole
+            // conjunction is parameter-free.
+            if pf && dataflow::and_contradiction(&out).is_some() {
+                *changed = true;
+                return Simp::False;
+            }
+            match out.len() {
+                0 => {
+                    // All conjuncts were constant-true.
+                    Simp::True
+                }
+                1 => {
+                    *changed = true;
+                    Simp::Kept(out.into_iter().next().unwrap())
+                }
+                _ => Simp::Kept(Expr::And(out)),
+            }
+        }
+        Expr::Or(parts) => {
+            let pf = param_free(e);
+            let span = e.span();
+            let mut out: Vec<Expr> = Vec::with_capacity(parts.len());
+            let mut saw_true = false;
+            for p in parts {
+                match simplify(p, changed) {
+                    // A dropped `false` arm was parameter-free by
+                    // construction; the remaining arms are unchanged.
+                    Simp::False => {}
+                    Simp::True => saw_true = true,
+                    Simp::Kept(Expr::Or(sub)) => {
+                        *changed = true;
+                        out.extend(sub);
+                    }
+                    Simp::Kept(k) => out.push(k),
+                }
+            }
+            if saw_true {
+                if pf {
+                    return Simp::True;
+                }
+                out.push(const_true(span));
+                return Simp::Kept(Expr::Or(out));
+            }
+            match out.len() {
+                0 => Simp::False,
+                1 => {
+                    *changed = true;
+                    Simp::Kept(out.into_iter().next().unwrap())
+                }
+                _ => Simp::Kept(Expr::Or(out)),
+            }
+        }
+    }
+}
+
+/// Simplifies an optional condition in place. `True` verdicts drop the
+/// condition entirely; `False` verdicts install the canonical false
+/// predicate (the enclosing step/statement then yields no rows, exactly
+/// as the original condition did).
+fn simplify_cond(cond: &mut Option<Expr>) -> bool {
+    let Some(e) = cond.as_ref() else { return false };
+    let span = e.span();
+    let mut changed = false;
+    match simplify(e, &mut changed) {
+        Simp::True => {
+            *cond = None;
+            true
+        }
+        Simp::False => {
+            *cond = Some(const_false(span));
+            true
+        }
+        Simp::Kept(k) => {
+            if changed {
+                *cond = Some(k);
+            }
+            changed
+        }
+    }
+}
+
+/// Constant folding + predicate simplification over every condition the
+/// statement carries (table `where` and all step conditions).
+fn fold_predicates(sel: &mut SelectStmt) -> bool {
+    let mut changed = simplify_cond(&mut sel.where_clause);
+    if let SelectSource::Graph(comp) = &mut sel.source {
+        for_each_path_mut(comp, &mut |path| {
+            changed |= simplify_vstep(&mut path.head);
+            for seg in &mut path.segments {
+                match seg {
+                    Segment::Hop { edge, vertex } => {
+                        changed |= simplify_cond(&mut edge.cond);
+                        changed |= simplify_vstep(vertex);
+                    }
+                    Segment::Group { hops, exit, .. } => {
+                        for (edge, vertex) in hops {
+                            changed |= simplify_cond(&mut edge.cond);
+                            changed |= simplify_vstep(vertex);
+                        }
+                        if let Some(v) = exit {
+                            changed |= simplify_vstep(v);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    changed
+}
+
+fn simplify_vstep(v: &mut ast::VertexStep) -> bool {
+    simplify_cond(&mut v.cond)
+}
+
+fn for_each_path_mut(comp: &mut PathComposition, f: &mut impl FnMut(&mut ast::PathQuery)) {
+    match comp {
+        PathComposition::Single(p) => f(p),
+        PathComposition::And(parts) | PathComposition::Or(parts) => {
+            for c in parts {
+                for_each_path_mut(c, f);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composition flattening
+// ---------------------------------------------------------------------------
+
+/// Flattens nested `and`/`or` composition nodes (`a or (b or c)` →
+/// `a or b or c`). Execution already treats nested nodes associatively,
+/// so this is a pure plan-shape normalization; branch order is preserved.
+fn flatten_composition(sel: &mut SelectStmt) -> bool {
+    let SelectSource::Graph(comp) = &mut sel.source else {
+        return false;
+    };
+    let mut changed = false;
+    flatten_node(comp, &mut changed);
+    changed
+}
+
+fn flatten_node(comp: &mut PathComposition, changed: &mut bool) {
+    match comp {
+        PathComposition::Single(_) => {}
+        PathComposition::And(parts) => {
+            for p in parts.iter_mut() {
+                flatten_node(p, changed);
+            }
+            if parts.iter().any(|p| matches!(p, PathComposition::And(_))) {
+                *changed = true;
+                let old = std::mem::take(parts);
+                for p in old {
+                    match p {
+                        PathComposition::And(sub) => parts.extend(sub),
+                        other => parts.push(other),
+                    }
+                }
+            }
+            if parts.len() == 1 {
+                *changed = true;
+                *comp = parts.pop().unwrap();
+            }
+        }
+        PathComposition::Or(parts) => {
+            for p in parts.iter_mut() {
+                flatten_node(p, changed);
+            }
+            if parts.iter().any(|p| matches!(p, PathComposition::Or(_))) {
+                *changed = true;
+                let old = std::mem::take(parts);
+                for p in old {
+                    match p {
+                        PathComposition::Or(sub) => parts.extend(sub),
+                        other => parts.push(other),
+                    }
+                }
+            }
+            if parts.len() == 1 {
+                *changed = true;
+                *comp = parts.pop().unwrap();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dead or-branch elimination
+// ---------------------------------------------------------------------------
+
+/// True when some step condition in the composition folds to constant
+/// `false` — the branch can never produce a binding.
+pub(crate) fn branch_is_dead(comp: &PathComposition) -> bool {
+    let mut dead = false;
+    for_each_cond(comp, &mut |cond| {
+        let mut ignored = false;
+        if matches!(simplify(cond, &mut ignored), Simp::False) {
+            dead = true;
+        }
+    });
+    dead
+}
+
+fn for_each_cond(comp: &PathComposition, f: &mut impl FnMut(&Expr)) {
+    for path in comp.paths() {
+        if let Some(c) = &path.head.cond {
+            f(c);
+        }
+        for seg in &path.segments {
+            match seg {
+                Segment::Hop { edge, vertex } => {
+                    if let Some(c) = &edge.cond {
+                        f(c);
+                    }
+                    if let Some(c) = &vertex.cond {
+                        f(c);
+                    }
+                }
+                Segment::Group { hops, exit, .. } => {
+                    for (edge, vertex) in hops {
+                        if let Some(c) = &edge.cond {
+                            f(c);
+                        }
+                        if let Some(c) = &vertex.cond {
+                            f(c);
+                        }
+                    }
+                    if let Some(v) = exit {
+                        if let Some(c) = &v.cond {
+                            f(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A branch may only be *removed* when doing so cannot change an error
+/// outcome: no `%param%` anywhere (bind errors), no regex group
+/// (quantifier/cap errors).
+fn branch_droppable(comp: &PathComposition) -> bool {
+    for path in comp.paths() {
+        if path
+            .segments
+            .iter()
+            .any(|s| matches!(s, Segment::Group { .. }))
+        {
+            return false;
+        }
+    }
+    let mut ok = true;
+    for_each_cond(comp, &mut |cond| {
+        if !param_free(cond) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// Removes `or`-branches whose step conditions fold to constant `false`.
+/// At least one branch is always kept (an all-dead composition still
+/// executes — and still reports compile-time errors — like the original).
+fn prune_dead_branches(sel: &mut SelectStmt) -> bool {
+    let SelectSource::Graph(comp) = &mut sel.source else {
+        return false;
+    };
+    let PathComposition::Or(parts) = comp else {
+        return false;
+    };
+    let dead: Vec<bool> = parts
+        .iter()
+        .map(|p| branch_is_dead(p) && branch_droppable(p))
+        .collect();
+    let live = dead.iter().filter(|d| !**d).count();
+    if dead.iter().all(|d| !*d) {
+        return false;
+    }
+    if live == 0 {
+        // Keep the first branch so the statement still compiles and
+        // produces its (empty) result shape.
+        let first = parts.remove(0);
+        *comp = first;
+        return true;
+    }
+    let mut keep = Vec::with_capacity(live);
+    for (p, is_dead) in std::mem::take(parts).into_iter().zip(&dead) {
+        if !*is_dead {
+            keep.push(p);
+        }
+    }
+    *comp = if keep.len() == 1 {
+        keep.pop().unwrap()
+    } else {
+        PathComposition::Or(keep)
+    };
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Unused set-label elimination
+// ---------------------------------------------------------------------------
+
+/// Removes `def` label definitions never referenced by any step name,
+/// qualifier, projection, grouping or ordering key. `foreach` labels are
+/// always kept (element-wise labels change result multiplicity), as is
+/// everything under `select *` (star projections capture labelled steps
+/// into subgraphs).
+fn drop_unused_labels(sel: &mut SelectStmt) -> bool {
+    if !matches!(sel.targets, SelectTargets::Items(_)) {
+        return false;
+    }
+    let SelectSource::Graph(comp) = &sel.source else {
+        return false;
+    };
+
+    // Collect every name that could reference a label.
+    let mut used: Vec<String> = Vec::new();
+    for_each_label_ref(sel, comp, &mut |name| used.push(name.to_string()));
+    let is_used = |name: &str| used.iter().any(|u| u == name);
+
+    let SelectSource::Graph(comp) = &mut sel.source else {
+        unreachable!();
+    };
+    let mut changed = false;
+    for_each_path_mut(comp, &mut |path| {
+        changed |= prune_label(&mut path.head.label_def, &is_used);
+        for seg in &mut path.segments {
+            match seg {
+                Segment::Hop { edge, vertex } => {
+                    changed |= prune_label(&mut edge.label_def, &is_used);
+                    changed |= prune_label(&mut vertex.label_def, &is_used);
+                }
+                Segment::Group { hops, exit, .. } => {
+                    for (edge, vertex) in hops {
+                        changed |= prune_label(&mut edge.label_def, &is_used);
+                        changed |= prune_label(&mut vertex.label_def, &is_used);
+                    }
+                    if let Some(v) = exit {
+                        changed |= prune_label(&mut v.label_def, &is_used);
+                    }
+                }
+            }
+        }
+    });
+    changed
+}
+
+fn prune_label(def: &mut Option<ast::LabelDef>, is_used: &impl Fn(&str) -> bool) -> bool {
+    match def {
+        Some(d) if d.kind == LabelKind::Set && !is_used(&d.name) => {
+            *def = None;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Invokes `note` with every name that could reference a step label:
+/// step names, condition qualifiers, projections, grouping and ordering
+/// keys, and `where`-clause qualifiers. Shared by the elimination pass
+/// and the pre-scan so the two cannot disagree on what counts as a use.
+fn for_each_label_ref(sel: &SelectStmt, comp: &PathComposition, note: &mut impl FnMut(&str)) {
+    for path in comp.paths() {
+        note_step_refs(&path.head, note);
+        for seg in &path.segments {
+            match seg {
+                Segment::Hop { edge, vertex } => {
+                    note_estep_refs(edge, note);
+                    note_step_refs(vertex, note);
+                }
+                Segment::Group { hops, exit, .. } => {
+                    for (edge, vertex) in hops {
+                        note_estep_refs(edge, note);
+                        note_step_refs(vertex, note);
+                    }
+                    if let Some(v) = exit {
+                        note_step_refs(v, note);
+                    }
+                }
+            }
+        }
+    }
+    if let SelectTargets::Items(items) = &sel.targets {
+        for item in items {
+            note_select_expr(&item.expr, note);
+        }
+    }
+    for c in &sel.group_by {
+        note_colref(c, note);
+    }
+    for k in &sel.order_by {
+        note_colref(&k.col, note);
+    }
+    if let Some(e) = &sel.where_clause {
+        note_expr_quals(e, note);
+    }
+}
+
+fn note_step_refs(v: &ast::VertexStep, note: &mut impl FnMut(&str)) {
+    // A step *name* may be a label back-reference; qualifiers inside the
+    // condition may reference labels of other steps.
+    if let StepName::Named(n) = &v.name {
+        note(n);
+    }
+    if let Some(c) = &v.cond {
+        note_expr_quals(c, note);
+    }
+}
+
+fn note_estep_refs(e: &ast::EdgeStep, note: &mut impl FnMut(&str)) {
+    if let StepName::Named(n) = &e.name {
+        note(n);
+    }
+    if let Some(c) = &e.cond {
+        note_expr_quals(c, note);
+    }
+}
+
+fn note_expr_quals(e: &Expr, note: &mut impl FnMut(&str)) {
+    match e {
+        Expr::And(ps) | Expr::Or(ps) => ps.iter().for_each(|p| note_expr_quals(p, note)),
+        Expr::Not(inner) => note_expr_quals(inner, note),
+        Expr::Cmp { lhs, rhs, .. } => {
+            for o in [lhs, rhs] {
+                if let Operand::Attr {
+                    qualifier: Some(q), ..
+                } = o
+                {
+                    note(q);
+                }
+            }
+        }
+    }
+}
+
+fn note_select_expr(e: &ast::SelectExpr, note: &mut impl FnMut(&str)) {
+    match e {
+        ast::SelectExpr::Col(c) => note_colref(c, note),
+        ast::SelectExpr::Agg(agg) => match agg {
+            ast::AggCall::CountStar => {}
+            ast::AggCall::Count(c)
+            | ast::AggCall::Sum(c)
+            | ast::AggCall::Avg(c)
+            | ast::AggCall::Min(c)
+            | ast::AggCall::Max(c) => note_colref(c, note),
+        },
+    }
+}
+
+fn note_colref(c: &ast::ColRef, note: &mut impl FnMut(&str)) {
+    if let Some(q) = &c.qualifier {
+        note(q);
+    }
+    // A bare name over a graph source is a step/label reference.
+    note(&c.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pred(pred: &str) -> Expr {
+        let script = graql_parser::parse(&format!("select id from table T where {pred}")).unwrap();
+        script.statements[0]
+            .as_select()
+            .unwrap()
+            .where_clause
+            .clone()
+            .unwrap()
+    }
+
+    /// Simplifies a predicate string; renders `Kept` results back to text.
+    fn simp(pred: &str) -> String {
+        let mut changed = false;
+        match simplify(&parse_pred(pred), &mut changed) {
+            Simp::True => "TRUE".into(),
+            Simp::False => "FALSE".into(),
+            Simp::Kept(k) => k.to_string(),
+        }
+    }
+
+    #[test]
+    fn constant_comparisons_fold() {
+        assert_eq!(simp("1 < 2"), "TRUE");
+        assert_eq!(simp("2 < 1"), "FALSE");
+        assert_eq!(simp("'a' < 'b'"), "TRUE");
+        assert_eq!(simp("3 = 3"), "TRUE");
+    }
+
+    #[test]
+    fn incomparable_constants_are_kept() {
+        // Folding would mask the type error compilation reports.
+        assert_eq!(simp("1 = 'a'"), "1 = 'a'");
+    }
+
+    #[test]
+    fn attr_self_comparison_null_semantics() {
+        // `x = x` is NOT a tautology: null rows evaluate it to false.
+        assert_eq!(simp("x = x"), "x = x");
+        assert_eq!(simp("x <= x"), "x <= x");
+        // ...but the strict/exclusion forms are contradictions even for
+        // null rows (every comparison on null is already false).
+        assert_eq!(simp("x < x"), "FALSE");
+        assert_eq!(simp("x > x"), "FALSE");
+        assert_eq!(simp("x != x"), "FALSE");
+    }
+
+    #[test]
+    fn negations_are_not_pushed_through_comparisons() {
+        // `not (x < 5)` is not `x >= 5` (they differ on null rows); only
+        // double negation and folded constants may be rewritten.
+        assert_eq!(simp("not (x < 5)"), "not (x < 5)");
+        assert_eq!(simp("not (not (x < 5))"), "x < 5");
+        assert_eq!(simp("not (1 < 2)"), "FALSE");
+    }
+
+    #[test]
+    fn and_or_simplification() {
+        assert_eq!(simp("x = 1 and 1 = 1"), "x = 1");
+        assert_eq!(simp("x = 1 and 1 = 2"), "FALSE");
+        assert_eq!(simp("x = 1 or 1 = 2"), "x = 1");
+        assert_eq!(simp("x = 1 or 1 = 1"), "TRUE");
+        // Nested same-op nodes are flattened.
+        assert_eq!(
+            simp("x = 1 and (y = 2 and z = 3)"),
+            "x = 1 and y = 2 and z = 3"
+        );
+    }
+
+    #[test]
+    fn interval_contradictions_collapse() {
+        assert_eq!(simp("x > 5 and x < 3"), "FALSE");
+        assert_eq!(simp("x >= 5 and x < 5"), "FALSE");
+        // A satisfiable interval survives.
+        assert_eq!(simp("x > 3 and x < 5"), "x > 3 and x < 5");
+    }
+
+    #[test]
+    fn param_subtrees_block_constant_collapse() {
+        // The false conjunct folds, but the parameter must still reach
+        // bind-time resolution: the conjunction cannot become FALSE.
+        assert_eq!(simp("x = %p% and 1 = 2"), "x = %p% and 0 = 1");
+        assert_eq!(simp("x = %p% or 1 = 1"), "x = %p% or 0 = 0");
+        // A parameter comparison alone is untouched.
+        assert_eq!(simp("x = %p%"), "x = %p%");
+    }
+
+    fn rewrite_to_string(script: &str) -> (String, Vec<&'static str>) {
+        let s = graql_parser::parse(script).unwrap();
+        let sel = s.statements[0].as_select().unwrap();
+        match rewrite_select(sel) {
+            Some(rw) => (rw.sel.to_string(), rw.passes),
+            None => (sel.to_string(), Vec::new()),
+        }
+    }
+
+    #[test]
+    fn dead_or_branch_is_pruned() {
+        let (out, passes) =
+            rewrite_to_string("select * from graph VA() --ab--> VB() or VA(1 > 2) --ab--> VB()");
+        assert!(passes.contains(&"prune-dead-branches"), "{passes:?}");
+        assert!(!out.contains("or"), "dead branch survived: {out}");
+    }
+
+    #[test]
+    fn all_dead_branches_keep_one() {
+        let (out, _) = rewrite_to_string(
+            "select * from graph VA(1 > 2) --ab--> VB() or VA(2 > 3) --ab--> VB()",
+        );
+        // One branch remains so the statement still compiles (and still
+        // reports its errors); its false condition is the canonical form.
+        assert!(out.contains("VA(0 = 1)"), "{out}");
+        assert!(!out.contains("or"), "{out}");
+    }
+
+    #[test]
+    fn param_branches_are_never_dropped() {
+        let (out, _) = rewrite_to_string(
+            "select * from graph VA() --ab--> VB() \
+             or VA(x = %p% and 1 = 2) --ab--> VB()",
+        );
+        assert!(out.contains("or"), "param branch must survive: {out}");
+        assert!(out.contains("%p%"), "{out}");
+    }
+
+    #[test]
+    fn unused_set_label_is_dropped_foreach_kept() {
+        let (out, passes) =
+            rewrite_to_string("select y.id from graph def x: VA() --ab--> def y: VB()");
+        assert!(passes.contains(&"drop-unused-labels"), "{passes:?}");
+        assert!(!out.contains("def x:"), "{out}");
+        assert!(out.contains("def y:"), "{out}");
+
+        let (out, _) =
+            rewrite_to_string("select y.id from graph foreach x: VA() --ab--> def y: VB()");
+        assert!(
+            out.contains("foreach x:"),
+            "foreach changes multiplicity: {out}"
+        );
+    }
+
+    #[test]
+    fn star_projection_blocks_label_elimination() {
+        let (out, _) = rewrite_to_string("select * from graph def x: VA() --ab--> VB()");
+        assert!(out.contains("def x:"), "{out}");
+    }
+
+    #[test]
+    fn clean_statement_is_untouched() {
+        let s = graql_parser::parse("select id from table T where x > 3 and y < 5").unwrap();
+        assert!(rewrite_select(s.statements[0].as_select().unwrap()).is_none());
+    }
+}

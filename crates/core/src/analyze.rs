@@ -122,15 +122,16 @@ pub fn check_script(catalog: &Catalog, script: &ast::Script) -> (Catalog, Diagno
     check_script_with_stats(catalog, script, None, None)
 }
 
-/// [`check_script`] with execution context: mean out/in degree per edge
-/// type name enables the path-cost lints (`W0301`), and `governed` — when
+/// [`check_script`] with execution context: the catalog statistics store
+/// (degree means per edge type) enables the path-cost lints (`W0301`,
+/// `H0202`) and the dataflow cost hints (`H0203`), and `governed` — when
 /// known — says whether any query budget is configured, enabling the
-/// ungoverned-repetition lint (`W0303`). Pass `governed: None` when the
-/// checker has no knowledge of the execution environment.
+/// ungoverned-repetition lint (`W0303`). Pass `stats: None` / `governed:
+/// None` when the checker has no knowledge of the execution environment.
 pub fn check_script_with_stats(
     catalog: &Catalog,
     script: &ast::Script,
-    fanout: Option<&lint::EdgeFanout>,
+    stats: Option<&crate::catalog::CatalogStats>,
     governed: Option<bool>,
 ) -> (Catalog, Diagnostics) {
     let mut sink = Diagnostics::new();
@@ -141,7 +142,8 @@ pub fn check_script_with_stats(
             sink.push(d);
         }
     }
-    lint::run(&work, script, fanout, governed, &mut sink);
+    lint::run(&work, script, stats, governed, &mut sink);
+    crate::analysis::dataflow::run(&work, script, stats, &mut sink);
     (work, sink)
 }
 

@@ -220,6 +220,253 @@ impl Catalog {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Catalog statistics store
+// ---------------------------------------------------------------------------
+
+/// Statistics for one base table: row count and per-column NDV (number of
+/// distinct values), in schema column order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableCard {
+    pub rows: u64,
+    /// `(column name, distinct value count)` per column. Nulls count as
+    /// one distinct value, matching the selectivity model's use.
+    pub columns: Vec<(String, u64)>,
+}
+
+impl TableCard {
+    /// NDV of a column by name.
+    pub fn ndv(&self, column: &str) -> Option<u64> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == column)
+            .map(|&(_, n)| n)
+    }
+}
+
+/// Statistics for one vertex type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VertexCard {
+    pub count: u64,
+}
+
+/// Statistics for one edge type: instance count, mean/max degrees and
+/// log₂ degree histograms in both directions (mirrors
+/// [`graql_graph::EdgeTypeStats`], but keyed by name so it survives
+/// graph rebuilds and snapshot round-trips).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeCard {
+    pub count: u64,
+    pub mean_out_degree: f64,
+    pub mean_in_degree: f64,
+    pub max_out_degree: u64,
+    pub max_in_degree: u64,
+    pub out_degree_histogram: Vec<u64>,
+    pub in_degree_histogram: Vec<u64>,
+}
+
+/// The persistent catalog statistics store (paper §III-B): per-type
+/// cardinalities, edge-degree histograms and attribute NDV, keyed by
+/// entity *name*. One source of truth shared by the path-cost lints
+/// (`W0301`/`H0202`), the dataflow analyzer's cost annotation, `explain`
+/// estimates and (eventually) the cost-based planner.
+///
+/// Populated incrementally: the table section refreshes at ingest, the
+/// vertex/edge sections when the graph views build ([`CatalogStats::graph_complete`]
+/// says whether they have). Snapshot-persisted by `persist::save_dir`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogStats {
+    pub tables: FxHashMap<String, TableCard>,
+    pub vertices: FxHashMap<String, VertexCard>,
+    pub edges: FxHashMap<String, EdgeCard>,
+    /// True once the vertex/edge sections reflect a built graph.
+    pub graph_complete: bool,
+}
+
+impl CatalogStats {
+    /// Computes the table section entry for one table: row count plus an
+    /// NDV per column (exact, via value hashing — cheap at ingest scale).
+    pub fn table_card(table: &graql_table::Table) -> TableCard {
+        use std::hash::{Hash, Hasher};
+        let schema = table.schema();
+        let mut columns = Vec::with_capacity(schema.columns().len());
+        for (ci, col) in schema.columns().iter().enumerate() {
+            let mut seen = rustc_hash::FxHashSet::default();
+            for ri in 0..table.n_rows() {
+                let mut h = rustc_hash::FxHasher::default();
+                table.get(ri, ci).hash(&mut h);
+                seen.insert(h.finish());
+            }
+            columns.push((col.name.clone(), seen.len() as u64));
+        }
+        TableCard {
+            rows: table.n_rows() as u64,
+            columns,
+        }
+    }
+
+    /// Folds a [`graql_graph::GraphStats`] snapshot into the store,
+    /// re-keying by type name, and marks the graph sections complete.
+    pub fn absorb_graph(&mut self, g: &graql_graph::Graph, stats: &graql_graph::GraphStats) {
+        self.vertices.clear();
+        self.edges.clear();
+        for vs in &stats.vertices {
+            self.vertices.insert(
+                g.vset(vs.vtype).name.clone(),
+                VertexCard {
+                    count: vs.count as u64,
+                },
+            );
+        }
+        for es in &stats.edges {
+            self.edges.insert(
+                g.eset(es.etype).name.clone(),
+                EdgeCard {
+                    count: es.count as u64,
+                    mean_out_degree: es.mean_out_degree,
+                    mean_in_degree: es.mean_in_degree,
+                    max_out_degree: es.max_out_degree as u64,
+                    max_in_degree: es.max_in_degree as u64,
+                    out_degree_histogram: es
+                        .out_degree_histogram
+                        .iter()
+                        .map(|&c| c as u64)
+                        .collect(),
+                    in_degree_histogram: es.in_degree_histogram.iter().map(|&c| c as u64).collect(),
+                },
+            );
+        }
+        self.graph_complete = true;
+    }
+
+    /// Mean (out, in) degree of an edge type, the fanout fact behind the
+    /// `W0301`/`H0202` lints.
+    pub fn mean_degrees(&self, edge: &str) -> Option<(f64, f64)> {
+        self.edges
+            .get(edge)
+            .map(|e| (e.mean_out_degree, e.mean_in_degree))
+    }
+
+    /// Instance count of a vertex type.
+    pub fn vertex_count(&self, vtype: &str) -> Option<u64> {
+        self.vertices.get(vtype).map(|v| v.count)
+    }
+
+    /// Serializes the store as a line-oriented text file (the snapshot
+    /// format; see `persist`). Entries are emitted in sorted-name order so
+    /// the bytes — and the snapshot manifest checksum — are deterministic.
+    pub fn to_text(&self) -> String {
+        fn join(h: &[u64]) -> String {
+            h.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        let mut out = String::from("# graql catalog statistics v1\n");
+        out.push_str(&format!("graph_complete {}\n", self.graph_complete));
+        let mut tables: Vec<_> = self.tables.iter().collect();
+        tables.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, t) in tables {
+            out.push_str(&format!("table {name} rows={}\n", t.rows));
+            for (col, ndv) in &t.columns {
+                out.push_str(&format!("col {name} {col} ndv={ndv}\n"));
+            }
+        }
+        let mut vertices: Vec<_> = self.vertices.iter().collect();
+        vertices.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, v) in vertices {
+            out.push_str(&format!("vertex {name} count={}\n", v.count));
+        }
+        let mut edges: Vec<_> = self.edges.iter().collect();
+        edges.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, e) in edges {
+            out.push_str(&format!(
+                "edge {name} count={} mean_out={:?} mean_in={:?} max_out={} max_in={} \
+                 out_hist={} in_hist={}\n",
+                e.count,
+                e.mean_out_degree,
+                e.mean_in_degree,
+                e.max_out_degree,
+                e.max_in_degree,
+                join(&e.out_degree_histogram),
+                join(&e.in_degree_histogram),
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`CatalogStats::to_text`] format. Unknown directives
+    /// are rejected — a corrupt statistics file must not load silently.
+    pub fn parse(text: &str) -> Result<CatalogStats> {
+        fn kv<'a>(tok: &'a str, key: &str) -> Result<&'a str> {
+            tok.strip_prefix(key)
+                .and_then(|t| t.strip_prefix('='))
+                .ok_or_else(|| GraqlError::ingest(format!("stats: expected {key}=…, got {tok:?}")))
+        }
+        fn num<T: std::str::FromStr>(s: &str) -> Result<T> {
+            s.parse()
+                .map_err(|_| GraqlError::ingest(format!("stats: bad number {s:?}")))
+        }
+        fn hist(s: &str) -> Result<Vec<u64>> {
+            if s.is_empty() {
+                return Ok(Vec::new());
+            }
+            s.split(',').map(num::<u64>).collect()
+        }
+        let mut stats = CatalogStats::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.as_slice() {
+                ["graph_complete", flag] => stats.graph_complete = *flag == "true",
+                ["table", name, rows] => {
+                    stats.tables.entry(name.to_string()).or_default().rows =
+                        num(kv(rows, "rows")?)?;
+                }
+                ["col", table, col, ndv] => {
+                    stats
+                        .tables
+                        .entry(table.to_string())
+                        .or_default()
+                        .columns
+                        .push((col.to_string(), num(kv(ndv, "ndv")?)?));
+                }
+                ["vertex", name, count] => {
+                    stats.vertices.insert(
+                        name.to_string(),
+                        VertexCard {
+                            count: num(kv(count, "count")?)?,
+                        },
+                    );
+                }
+                ["edge", name, count, mean_out, mean_in, max_out, max_in, out_hist, in_hist] => {
+                    stats.edges.insert(
+                        name.to_string(),
+                        EdgeCard {
+                            count: num(kv(count, "count")?)?,
+                            mean_out_degree: num(kv(mean_out, "mean_out")?)?,
+                            mean_in_degree: num(kv(mean_in, "mean_in")?)?,
+                            max_out_degree: num(kv(max_out, "max_out")?)?,
+                            max_in_degree: num(kv(max_in, "max_in")?)?,
+                            out_degree_histogram: hist(kv(out_hist, "out_hist")?)?,
+                            in_degree_histogram: hist(kv(in_hist, "in_hist")?)?,
+                        },
+                    );
+                }
+                _ => {
+                    return Err(GraqlError::ingest(format!(
+                        "stats: unrecognized line {line:?}"
+                    )))
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

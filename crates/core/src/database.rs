@@ -13,7 +13,7 @@ use graql_table::{Table, TableSchema};
 use graql_types::{GraqlError, ProfileReport, QueryGuard, QueryProfile, Result, Value};
 use rustc_hash::FxHashMap;
 
-use crate::catalog::{Catalog, EdgeDef, VertexDef};
+use crate::catalog::{Catalog, CatalogStats, EdgeDef, VertexDef};
 use crate::cond::Params;
 use crate::ddl::{build_graph, Storage};
 use crate::exec::relational::execute_table_select;
@@ -49,6 +49,10 @@ pub struct Database {
     storage: Storage,
     graph: Option<Graph>,
     stats: Option<GraphStats>,
+    /// Catalog statistics store (per-type cardinalities, degree means,
+    /// per-column NDV). The table section updates at ingest; the graph
+    /// sections fill in when the graph views exist; snapshots persist it.
+    catstats: Option<CatalogStats>,
     result_tables: FxHashMap<String, Table>,
     result_subgraphs: FxHashMap<String, Subgraph>,
     params: Params,
@@ -135,6 +139,71 @@ impl Database {
     fn graph_dirty(&mut self) {
         self.graph = None;
         self.stats = None;
+        // Table cards survive (they only change with the table they
+        // describe); the graph sections no longer match anything.
+        if let Some(cs) = &mut self.catstats {
+            cs.graph_complete = false;
+            cs.vertices.clear();
+            cs.edges.clear();
+        }
+    }
+
+    /// Refreshes the catalog-statistics table card for one table (called
+    /// whenever a table's contents change).
+    fn note_table_changed(&mut self, table: &str) {
+        if let Some(t) = self.storage.get(table) {
+            let card = CatalogStats::table_card(t);
+            self.catstats
+                .get_or_insert_with(CatalogStats::default)
+                .tables
+                .insert(table.to_string(), card);
+        }
+    }
+
+    /// Brings the statistics store as far up to date as possible *without*
+    /// building the graph: fills missing table cards and, when the graph
+    /// views already exist, absorbs their degree statistics.
+    fn refresh_catstats(&mut self) {
+        let cs = self.catstats.get_or_insert_with(CatalogStats::default);
+        for name in self.catalog.table_names() {
+            if !cs.tables.contains_key(name) {
+                if let Some(t) = self.storage.get(name) {
+                    cs.tables.insert(name.clone(), CatalogStats::table_card(t));
+                }
+            }
+        }
+        if !cs.graph_complete {
+            if let Some(graph) = self.graph.as_ref() {
+                if self.stats.is_none() {
+                    self.stats = Some(GraphStats::compute(graph));
+                }
+                let gstats = self.stats.as_ref().expect("just computed");
+                self.catstats
+                    .as_mut()
+                    .expect("inserted above")
+                    .absorb_graph(graph, gstats);
+            }
+        }
+    }
+
+    /// The catalog statistics store, building the graph views (and their
+    /// degree statistics) if needed so the result is complete.
+    pub fn catalog_stats(&mut self) -> Result<&CatalogStats> {
+        self.ensure_graph()?;
+        self.refresh_catstats();
+        Ok(self.catstats.as_ref().expect("refreshed"))
+    }
+
+    /// The statistics store as currently cached (possibly absent or
+    /// missing graph sections); never computes anything.
+    pub fn catalog_stats_ref(&self) -> Option<&CatalogStats> {
+        self.catstats.as_ref()
+    }
+
+    /// Installs a statistics store loaded from a snapshot (the graph
+    /// sections become available without a graph build).
+    pub fn install_catalog_stats(&mut self, stats: CatalogStats) {
+        self.catstats = Some(stats);
     }
 
     fn ensure_graph(&mut self) -> Result<()> {
@@ -165,35 +234,20 @@ impl Database {
 
     /// Statically checks a parsed script (all diagnostics; no execution).
     ///
-    /// When the graph views have already been built, per-edge-type degree
-    /// statistics feed the path-cost lints (`W0301`); a check never forces
-    /// a graph build on its own.
+    /// When the graph views have already been built, the catalog
+    /// statistics store feeds the degree-based lints (`W0301`, `H0202`)
+    /// and the dataflow cost hints (`H0203`); a check never forces a
+    /// graph build on its own.
     pub fn check_script(&mut self, script: &ast::Script) -> graql_types::Diagnostics {
-        let fanout = self.edge_fanout();
+        self.refresh_catstats();
         let governed = Some(!self.config.budget.is_unlimited());
         let (_, diags) = crate::analyze::check_script_with_stats(
             &self.catalog,
             script,
-            fanout.as_ref(),
+            self.catstats.as_ref(),
             governed,
         );
         diags
-    }
-
-    /// Mean out/in degree per edge-type name, if the graph (and therefore
-    /// meaningful statistics) already exists.
-    fn edge_fanout(&mut self) -> Option<crate::lint::EdgeFanout> {
-        let graph = self.graph.as_ref()?;
-        if self.stats.is_none() {
-            self.stats = Some(GraphStats::compute(graph));
-        }
-        let stats = self.stats.as_ref().expect("just computed");
-        let mut map = crate::lint::EdgeFanout::default();
-        for es in &stats.edges {
-            let name = graph.eset(es.etype).name.clone();
-            map.insert(name, (es.mean_out_degree, es.mean_in_degree));
-        }
-        Some(map)
     }
 
     /// Parses and executes a full script sequentially, returning one
@@ -232,6 +286,7 @@ impl Database {
                 )?;
                 self.catalog.add_table(&ct.name, schema.clone())?;
                 self.storage.insert(ct.name.clone(), Table::empty(schema));
+                self.note_table_changed(&ct.name);
                 Ok(StmtOutput::Created(ct.name.clone()))
             }
             Stmt::CreateVertex(cv) => {
@@ -316,6 +371,7 @@ impl Database {
         let rows = graql_table::csv::ingest_str(&mut staged, csv)?;
         self.storage.insert(table.to_string(), staged);
         self.graph_dirty();
+        self.note_table_changed(table);
         Ok(rows)
     }
 
@@ -340,33 +396,70 @@ impl Database {
             return Err(GraqlError::exec("only select statements can be explained"));
         };
         self.ensure_graph()?;
+        self.refresh_catstats();
         let ctx = self.exec_ctx(guard)?;
-        Self::explain_plan(&ctx, sel)
+        Self::explain_plan(&ctx, self.catstats.as_ref(), sel)
     }
 
-    /// The shared plan rendering used by `explain` and `profile`.
-    fn explain_plan(ctx: &ExecCtx<'_>, sel: &ast::SelectStmt) -> Result<String> {
+    /// The shared plan rendering used by `explain` and `profile`: the
+    /// statement after rewriting, annotated with per-operator cardinality
+    /// estimates when catalog statistics are available.
+    fn explain_plan(
+        ctx: &ExecCtx<'_>,
+        stats: Option<&CatalogStats>,
+        sel: &ast::SelectStmt,
+    ) -> Result<String> {
+        let rewritten = if ctx.config.rewrite {
+            crate::analysis::rewrite_select(sel)
+        } else {
+            None
+        };
+        let mut out = String::new();
+        let sel = match &rewritten {
+            Some(r) => {
+                out.push_str(&format!("rewrites applied: {}\n", r.passes.join(", ")));
+                &r.sel
+            }
+            None => sel,
+        };
         match &sel.source {
-            ast::SelectSource::Graph(_) => crate::exec::explain::explain_graph_select(ctx, sel),
-            ast::SelectSource::Table(t) => Ok(format!(
-                "table scan on {t}{}{}{}\n",
-                if sel.where_clause.is_some() {
-                    " + filter"
-                } else {
-                    ""
-                },
-                if sel.has_aggregates() || !sel.group_by.is_empty() {
-                    " + aggregate"
-                } else {
-                    ""
-                },
-                if !sel.order_by.is_empty() {
-                    " + sort"
-                } else {
-                    ""
-                },
-            )),
+            ast::SelectSource::Graph(_) => {
+                out.push_str(&crate::exec::explain::explain_graph_select(
+                    ctx, stats, sel,
+                )?);
+            }
+            ast::SelectSource::Table(t) => {
+                let est = stats
+                    .and_then(|s| s.tables.get(t))
+                    .map(|card| {
+                        let sel_factor = sel.where_clause.as_ref().map_or(1.0, |w| {
+                            crate::analysis::cost::expr_selectivity(Some(card), w)
+                        });
+                        card.rows as f64 * sel_factor
+                    })
+                    .map(|rows| format!(" (est ~{} rows)", crate::analysis::cost::fmt_rows(rows)))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "table scan on {t}{}{}{}{est}\n",
+                    if sel.where_clause.is_some() {
+                        " + filter"
+                    } else {
+                        ""
+                    },
+                    if sel.has_aggregates() || !sel.group_by.is_empty() {
+                        " + aggregate"
+                    } else {
+                        ""
+                    },
+                    if !sel.order_by.is_empty() {
+                        " + sort"
+                    } else {
+                        ""
+                    },
+                ));
+            }
         }
+        Ok(out)
     }
 
     /// Executes `sel` with a span recorder armed and seals the measured
@@ -383,19 +476,25 @@ impl Database {
     ) -> Result<ProfileReport> {
         let plan = {
             let ctx = self.exec_ctx(guard)?;
-            Self::explain_plan(&ctx, sel)?
+            Self::explain_plan(&ctx, self.catstats.as_ref(), sel)?
         };
+        let rewritten = if self.config.rewrite {
+            crate::analysis::rewrite_select(sel)
+        } else {
+            None
+        };
+        let run_sel = rewritten.as_ref().map(|r| &r.sel).unwrap_or(sel);
         let rows_before = guard.rows();
         let bytes_before = guard.bytes();
         let profile = QueryProfile::new();
         let mut ctx = self.exec_ctx(guard)?;
         ctx.obs = Some(&profile);
-        match &sel.source {
+        match &run_sel.source {
             ast::SelectSource::Graph(_) => {
-                execute_graph_select(&ctx, sel)?;
+                execute_graph_select(&ctx, run_sel)?;
             }
             ast::SelectSource::Table(_) => {
-                execute_table_select(&ctx, sel)?;
+                execute_table_select(&ctx, run_sel)?;
             }
         }
         Ok(ProfileReport::seal(
@@ -453,6 +552,14 @@ impl Database {
         guard: &QueryGuard,
         obs: Option<&QueryProfile>,
     ) -> Result<QueryOutput> {
+        // Semantics-preserving rewrites (analysis::rewrite). `None` means
+        // nothing changed and the original statement runs as-is.
+        let rewritten = if self.config.rewrite {
+            crate::analysis::rewrite_select(sel)
+        } else {
+            None
+        };
+        let sel = rewritten.as_ref().map(|r| &r.sel).unwrap_or(sel);
         let mut ctx = self.exec_ctx(guard)?;
         ctx.obs = obs;
         match &sel.source {
@@ -471,6 +578,12 @@ impl Database {
         match (&sel.into, out) {
             (Some(ast::IntoClause::Table(name)), QueryOutput::Table(t)) => {
                 self.catalog.add_result_table(name, t.schema().clone())?;
+                // Keep the statistics store current for downstream
+                // statements that scan the result (only when the store
+                // already exists — plain execution never pays for NDV).
+                if let Some(cs) = &mut self.catstats {
+                    cs.tables.insert(name.clone(), CatalogStats::table_card(&t));
+                }
                 self.result_tables.insert(name.clone(), t.clone());
                 Ok(StmtOutput::Table(t))
             }

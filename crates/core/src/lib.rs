@@ -15,6 +15,10 @@
 //!   definitions held by the GEMS front-end server.
 //! * [`analyze`] — static query analysis (§III-A): pure catalog checks,
 //!   no data access.
+//! * [`analysis`] — the IR-level pass framework layered above it: typed
+//!   dataflow over per-binding domains, semantics-preserving rewrites
+//!   (constant folding, dead-branch elimination, composition flattening)
+//!   and statistics-backed cardinality estimation.
 //! * [`ir`] — the "high-level binary intermediate representation" a script
 //!   compiles into before moving to the backend.
 //! * [`ddl`] — executable semantics of vertex/edge creation (Eq. 1–2),
@@ -31,6 +35,7 @@
 //! * [`script`] — multi-statement scripts with dependence-based parallel
 //!   scheduling (§III-B1).
 
+pub mod analysis;
 pub mod analyze;
 pub mod catalog;
 pub mod compile;
@@ -45,7 +50,7 @@ pub mod plan;
 pub mod script;
 pub mod server;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogStats};
 pub use database::{Database, PlanMode, StmtOutput};
 pub use exec::results::QueryOutput;
 pub use persist::{load_dir, save_dir};

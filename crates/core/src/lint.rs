@@ -13,12 +13,8 @@ use graql_parser::ast::{
 use graql_types::{codes, CmpOp, Diagnostic, Diagnostics, Span};
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, CatalogStats};
 use crate::cond::{lit_type, lit_value, Params};
-
-/// Mean (out-degree, in-degree) per edge type *name*, distilled from
-/// [`graql_graph::GraphStats`] for the path-cost lints.
-pub type EdgeFanout = FxHashMap<String, (f64, f64)>;
 
 /// Mean-degree threshold above which an unbounded repetition over an edge
 /// type is flagged as `W0301`.
@@ -32,16 +28,16 @@ pub const FANOUT_THRESHOLD: f64 = 4.0;
 pub(crate) fn run(
     work: &Catalog,
     script: &ast::Script,
-    fanout: Option<&EdgeFanout>,
+    stats: Option<&CatalogStats>,
     governed: Option<bool>,
     sink: &mut Diagnostics,
 ) {
     lint_labels(script, sink);
     lint_results(script, sink);
     lint_predicates(script, sink);
-    lint_paths(work, script, fanout, governed, sink);
+    lint_paths(work, script, stats, governed, sink);
     lint_top_without_order(script, sink);
-    lint_top_sort_spill(script, fanout, sink);
+    lint_top_sort_spill(script, stats, sink);
 }
 
 // ---------------------------------------------------------------------------
@@ -413,7 +409,7 @@ fn lits_equal(a: &Lit, b: &Lit) -> bool {
 fn lint_paths(
     work: &Catalog,
     script: &ast::Script,
-    fanout: Option<&EdgeFanout>,
+    stats: Option<&CatalogStats>,
     governed: Option<bool>,
     sink: &mut Diagnostics,
 ) {
@@ -425,7 +421,7 @@ fn lint_paths(
             continue;
         };
         for path in paths_of(comp) {
-            lint_one_path(work, path, fanout, governed, sink);
+            lint_one_path(work, path, stats, governed, sink);
         }
     }
 }
@@ -433,7 +429,7 @@ fn lint_paths(
 fn lint_one_path(
     work: &Catalog,
     path: &ast::PathQuery,
-    fanout: Option<&EdgeFanout>,
+    stats: Option<&CatalogStats>,
     governed: Option<bool>,
     sink: &mut Diagnostics,
 ) {
@@ -481,12 +477,12 @@ fn lint_one_path(
                     );
                 }
                 if matches!(quant, Quant::Star | Quant::Plus) {
-                    if let Some(fan) = fanout {
+                    if let Some(st) = stats {
                         for (e, _) in hops {
                             let StepName::Named(n) = &e.name else {
                                 continue;
                             };
-                            let Some(&(out_deg, in_deg)) = fan.get(n) else {
+                            let Some((out_deg, in_deg)) = st.mean_degrees(n) else {
                                 continue;
                             };
                             let deg = match e.dir {
@@ -602,15 +598,15 @@ fn lint_top_without_order(script: &ast::Script, sink: &mut Diagnostics) {
 // ---------------------------------------------------------------------------
 
 /// Mean degree (in the traversal direction) of every named edge step in a
-/// graph composition, when fanout statistics know the edge.
+/// graph composition, when the catalog statistics store knows the edge.
 fn traversal_degrees<'a>(
     comp: &'a ast::PathComposition,
-    fanout: &EdgeFanout,
+    stats: &CatalogStats,
 ) -> Vec<(&'a str, f64)> {
     let mut out = Vec::new();
     let mut on_edge = |e: &'a ast::EdgeStep| {
         let StepName::Named(n) = &e.name else { return };
-        let Some(&(out_deg, in_deg)) = fanout.get(n.as_str()) else {
+        let Some((out_deg, in_deg)) = stats.mean_degrees(n) else {
             return;
         };
         let deg = match e.dir {
@@ -633,8 +629,8 @@ fn traversal_degrees<'a>(
 /// `top n … order by` over a table materialized from a high-fanout
 /// traversal: the whole spilled result is sorted just to keep `n` rows.
 /// Bounding or filtering the producer shrinks the sort input instead.
-fn lint_top_sort_spill(script: &ast::Script, fanout: Option<&EdgeFanout>, sink: &mut Diagnostics) {
-    let Some(fanout) = fanout else { return };
+fn lint_top_sort_spill(script: &ast::Script, stats: Option<&CatalogStats>, sink: &mut Diagnostics) {
+    let Some(stats) = stats else { return };
     // Table name → hottest edge of the graph select that produced it.
     let mut producers: FxHashMap<&str, (&str, f64)> = FxHashMap::default();
     for stmt in &script.statements {
@@ -642,7 +638,7 @@ fn lint_top_sort_spill(script: &ast::Script, fanout: Option<&EdgeFanout>, sink: 
             if let (SelectSource::Graph(comp), Some(ast::IntoClause::Table(name))) =
                 (&sel.source, &sel.into)
             {
-                let hottest = traversal_degrees(comp, fanout)
+                let hottest = traversal_degrees(comp, stats)
                     .into_iter()
                     .max_by(|a, b| a.1.total_cmp(&b.1));
                 if let Some((edge, deg)) = hottest {

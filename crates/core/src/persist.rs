@@ -27,6 +27,7 @@ use crate::database::Database;
 
 const CATALOG_FILE: &str = "catalog.graql";
 const MANIFEST_FILE: &str = "MANIFEST";
+const STATS_FILE: &str = "catalog.stats";
 
 /// FNV-1a over a file's contents — the same cheap, dependency-free hash
 /// the failpoint registry uses for site seeds. Not cryptographic; it
@@ -135,6 +136,12 @@ pub fn save_dir(db: &Database, dir: &Path) -> Result<()> {
         graql_table::csv::write_csv(table, &mut buf)?;
         files.push((format!("{name}.csv"), buf));
     }
+    // The catalog statistics store rides along when populated, so a
+    // loaded snapshot can feed degree-based lints and cost estimates
+    // without rebuilding the graph first.
+    if let Some(stats) = db.catalog_stats_ref() {
+        files.push((STATS_FILE.to_string(), stats.to_text().into_bytes()));
+    }
     let mut manifest = String::new();
     for (name, bytes) in &files {
         manifest.push_str(&format!("{:016x}  {name}\n", fnv1a64(bytes)));
@@ -221,6 +228,11 @@ pub fn load_dir(dir: &Path) -> Result<Database> {
     let mut db = Database::new();
     db.set_data_dir(dir);
     db.execute_script(&script)?;
+    // Statistics are optional (older snapshots don't carry them); when
+    // present they restore the degree/NDV store without a graph build.
+    if let Ok(text) = std::fs::read_to_string(dir.join(STATS_FILE)) {
+        db.install_catalog_stats(crate::catalog::CatalogStats::parse(&text)?);
+    }
     Ok(db)
 }
 

@@ -646,11 +646,15 @@ fn intern_code(code: &str) -> Option<&'static str> {
         codes::ALWAYS_FALSE,
         codes::SHADOWED_RESULT,
         codes::UNSATISFIABLE_STEP,
+        codes::DEAD_BRANCH,
+        codes::CONTRADICTORY_RANGE,
+        codes::ALWAYS_TRUE,
         codes::UNBOUNDED_HIGH_FANOUT,
         codes::ZERO_REPETITION,
         codes::UNGOVERNED_REPETITION,
         codes::TOP_WITHOUT_ORDER,
         codes::TOP_SORT_SPILL,
+        codes::COSTLY_TRAVERSAL,
     ];
     ALL.iter().find(|&&c| c == code).copied()
 }

@@ -149,6 +149,14 @@ pub mod codes {
     pub const SHADOWED_RESULT: &str = "W0204";
     /// Step statically unsatisfiable from edge endpoint types.
     pub const UNSATISFIABLE_STEP: &str = "W0205";
+    /// `or`-branch of a path composition that can never match (dataflow
+    /// found an always-false step condition): dead pattern branch.
+    pub const DEAD_BRANCH: &str = "W0206";
+    /// Range constraints on one attribute admit no value
+    /// (`x > 10 and x < 5`): the conjunction is unsatisfiable.
+    pub const CONTRADICTORY_RANGE: &str = "W0207";
+    /// Predicate that is statically always true — it never filters.
+    pub const ALWAYS_TRUE: &str = "W0208";
     /// Unbounded repetition over a high-fanout edge type.
     pub const UNBOUNDED_HIGH_FANOUT: &str = "W0301";
     /// `{0}` repetition: the group never traverses.
@@ -160,6 +168,9 @@ pub mod codes {
     /// `top n` fully sorts a result materialized from a high-fanout
     /// traversal — suggest bounding the producer before sorting.
     pub const TOP_SORT_SPILL: &str = "H0202";
+    /// Catalog statistics estimate an operator's intermediate result
+    /// beyond the large-plan threshold — consider narrowing earlier.
+    pub const COSTLY_TRAVERSAL: &str = "H0203";
 }
 
 // ---------------------------------------------------------------------------
@@ -422,6 +433,63 @@ impl Diagnostics {
         }
         out
     }
+
+    /// Renders every diagnostic as one JSON array — the machine-readable
+    /// form behind `gems-shell check --json`. Stable shape:
+    ///
+    /// ```text
+    /// [{"code":"W0203","severity":"warning","message":"…",
+    ///   "line":3,"col":29,"len":9,"notes":["…"]}]
+    /// ```
+    ///
+    /// `line` 0 means the span is unknown. Hand-rolled (no serde in the
+    /// workspace); strings are escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"severity\":{},\"message\":{},\
+                 \"line\":{},\"col\":{},\"len\":{},\"notes\":[",
+                json_string(d.code),
+                json_string(&d.severity.to_string()),
+                json_string(&d.message),
+                d.span.line,
+                d.span.col,
+                d.span.len,
+            ));
+            for (j, n) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(n));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (RFC 8259 §7).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl IntoIterator for Diagnostics {

@@ -46,6 +46,39 @@ pub trait Strategy {
     {
         BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
     }
+
+    /// Recursive structures: `self` is the leaf case, `recurse` builds one
+    /// level of nesting from a strategy for the level below. Unlike the
+    /// real crate there is no size accounting — `depth` bounds nesting and
+    /// each level flips a coin between leaf and node, so the two tuning
+    /// parameters are accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            let leaf = strat.clone();
+            let node = recurse(leaf.clone()).boxed();
+            strat = BoxedStrategy(Rc::new(move |rng| {
+                if rng.below(2) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    node.generate(rng)
+                }
+            }));
+        }
+        strat
+    }
 }
 
 /// Type-erased strategy (used by `prop_oneof!`).

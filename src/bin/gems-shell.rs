@@ -5,6 +5,7 @@
 //! gems-shell script.graql [--data-dir DIR] [--param NAME=VALUE]... [--parallel]
 //! gems-shell check script.graql        # static analysis only, no execution
 //! gems-shell script.graql --check-only # same
+//! gems-shell check script.graql --json # machine-readable diagnostics
 //! gems-shell script.graql --connect HOST:PORT --user NAME [--timeout SECS]
 //! ```
 //!
@@ -25,7 +26,10 @@
 //! `check` / `--check-only` runs the full multi-pass static analysis and
 //! prints every diagnostic with source carets, without executing anything.
 //! Exit status is non-zero only if errors (not warnings or hints) were
-//! found.
+//! found. `--json` swaps the caret rendering for one JSON array of
+//! diagnostic objects (stable `code`, `severity`, `message`, `line`,
+//! `col`, `len`, `notes`) for editor and CI integration; it works both
+//! locally and with `--connect`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -36,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gems-shell <script.graql> [--data-dir DIR] [--param NAME=VALUE]... \
          [--parallel] [--out FILE] [--save DIR] [--dot SUBGRAPH=FILE] [--check-only]\n\
-         \x20      gems-shell check <script.graql>\n\
+         \x20      gems-shell check <script.graql> [--json]\n\
          \x20      gems-shell <script.graql> --connect HOST:PORT [--user NAME] [--timeout SECS]"
     );
     std::process::exit(2);
@@ -106,11 +110,19 @@ fn parse_param(s: &str) -> Option<(String, Value)> {
     Some((name.to_string(), value))
 }
 
-/// Static analysis without execution: print every diagnostic with carets,
-/// fail only on errors.
-fn run_check(db: &mut Database, text: &str, path: &str) -> ExitCode {
+/// Static analysis without execution: print every diagnostic with carets
+/// (or as a JSON array under `--json`), fail only on errors.
+fn run_check(db: &mut Database, text: &str, path: &str, json: bool) -> ExitCode {
     let diags = db.check_script_str(text);
-    print!("{}", diags.render(text, path));
+    render_check(&diags, text, path, json)
+}
+
+fn render_check(diags: &Diagnostics, text: &str, path: &str, json: bool) -> ExitCode {
+    if json {
+        println!("{}", diags.to_json());
+    } else {
+        print!("{}", diags.render(text, path));
+    }
     if diags.has_errors() {
         ExitCode::FAILURE
     } else {
@@ -148,6 +160,7 @@ fn print_session_outputs(outputs: &[graql::core::SessionOutput]) {
 
 /// The `--connect` mode: the whole script runs on a remote `gems-serve`
 /// through [`graql::net::RemoteSession`].
+#[allow(clippy::too_many_arguments)]
 fn run_remote(
     addr: &str,
     user: &str,
@@ -155,6 +168,7 @@ fn run_remote(
     text: &str,
     script_path: &str,
     check_only: bool,
+    json: bool,
     out_path: Option<&str>,
 ) -> ExitCode {
     use graql::net::{ConnectOptions, GemsSession, RemoteSession};
@@ -168,14 +182,7 @@ fn run_remote(
     };
     if check_only {
         return match session.check_script(text) {
-            Ok(diags) => {
-                print!("{}", diags.render(text, script_path));
-                if diags.has_errors() {
-                    ExitCode::FAILURE
-                } else {
-                    ExitCode::SUCCESS
-                }
-            }
+            Ok(diags) => render_check(&diags, text, script_path, json),
             Err(e) => {
                 eprintln!("gems-shell: {e}");
                 ExitCode::FAILURE
@@ -245,6 +252,7 @@ fn main() -> ExitCode {
     let mut params: Vec<(String, Value)> = Vec::new();
     let mut parallel = false;
     let mut check_only = false;
+    let mut json = false;
     let mut out_path: Option<String> = None;
     let mut save_dir: Option<String> = None;
     let mut dot_spec: Option<(String, String)> = None;
@@ -268,6 +276,7 @@ fn main() -> ExitCode {
             }
             "--parallel" => parallel = true,
             "--check-only" => check_only = true,
+            "--json" => json = true,
             "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--save" => save_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--dot" => {
@@ -325,6 +334,7 @@ fn main() -> ExitCode {
             &text,
             &script_path,
             check_only,
+            json,
             out_path.as_deref(),
         );
     }
@@ -337,8 +347,12 @@ fn main() -> ExitCode {
         db.set_param(k, v);
     }
 
+    if json && !check_only {
+        eprintln!("gems-shell: --json is only meaningful with check / --check-only");
+        return ExitCode::FAILURE;
+    }
     if check_only {
-        return run_check(&mut db, &text, &script_path);
+        return run_check(&mut db, &text, &script_path, json);
     }
 
     let outputs = if parallel {

@@ -181,3 +181,49 @@ fn q1_matches_reference_across_country_pairs() {
         "the scale must be large enough for meaningful Q1 answers"
     );
 }
+
+/// The `explain` surface of the analysis pipeline: on a loaded Berlin
+/// database both BI queries render per-operator cardinality estimates
+/// from the catalog statistics store, and a statement the rewriter can
+/// improve says so.
+#[test]
+fn explain_annotates_berlin_queries_with_estimates() {
+    let mut db = bsbm::build_database(Scale::new(300)).unwrap();
+    db.set_param("Product1", Value::str("product0"));
+    db.set_param("Country1", Value::str("US"));
+    db.set_param("Country2", Value::str("DE"));
+    for q in [queries::q1(), queries::q2()] {
+        // Each Berlin query is a graph select into a temp table followed
+        // by a table select; explain each statement on its own.
+        let (graph_stmt, table_stmt) = q.split_once('\n').unwrap();
+        let plan = db.explain_str(graph_stmt).unwrap();
+        assert!(
+            plan.contains("est ~"),
+            "graph plan lacks cardinality estimates:\n{plan}"
+        );
+        assert!(plan.contains("enumeration order"), "{plan}");
+        // The table half scans the temp table the first half creates;
+        // run the full query once so it exists, then explain.
+        db.execute_script(q).unwrap();
+        let plan = db.explain_str(table_stmt).unwrap();
+        assert!(
+            plan.contains("est ~") && plan.contains("table scan"),
+            "table plan lacks estimates:\n{plan}"
+        );
+    }
+    // A statement with a dead or-branch surfaces the rewrite in explain.
+    let plan = db
+        .explain_str(
+            "select * from graph ProductVtx() --producer--> ProducerVtx() \
+             or ProductVtx(1 > 2) --producer--> ProducerVtx()",
+        )
+        .unwrap();
+    assert!(
+        plan.contains("rewrites applied:") && plan.contains("prune-dead-branches"),
+        "{plan}"
+    );
+    assert!(
+        !plan.contains("or-branch 1"),
+        "dead branch still planned:\n{plan}"
+    );
+}
