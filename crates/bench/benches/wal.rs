@@ -1,0 +1,87 @@
+//! EXP-WAL: write-ahead-log commit latency and group-commit batching.
+//!
+//! `append` measures the single-writer commit path: frame encode, append,
+//! and an fsync the writer must wait for. `group_commit/N` runs N threads
+//! committing concurrently against one log — the dedicated commit thread
+//! drains whole batches per fsync, so throughput should grow with N far
+//! faster than N independent fsyncs would allow (the point of group
+//! commit). The bench-regression lane pins both: a slipped fsync batch or
+//! a serialized commit path shows up as a latency cliff here.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graql_core::{DurabilityOptions, Wal, WalPayload};
+use graql_types::WalMetrics;
+
+/// Commits per thread in one group-commit iteration.
+const PER_THREAD: u64 = 16;
+
+fn payload(i: u64) -> WalPayload {
+    WalPayload::Ingest {
+        table: "T".into(),
+        csv: format!("{i},{}.5\n", i % 10),
+    }
+}
+
+fn fresh_wal(dir: &PathBuf) -> Wal {
+    let _ = std::fs::remove_dir_all(dir);
+    let (_db, wal, _report) = Wal::open(
+        dir,
+        // No automatic checkpoints: the bench isolates the commit path.
+        DurabilityOptions {
+            checkpoint_every: 0,
+        },
+        Arc::new(WalMetrics::new()),
+    )
+    .unwrap();
+    wal
+}
+
+fn bench(c: &mut Criterion) {
+    let tmp = std::env::temp_dir().join(format!("graql_bench_wal_{}", std::process::id()));
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(10);
+
+    {
+        let wal = fresh_wal(&tmp);
+        let mut i = 0u64;
+        group.bench_function("append", |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(wal.commit(&payload(i)).unwrap())
+            });
+        });
+    }
+
+    for threads in [2u64, 8] {
+        let wal = fresh_wal(&tmp);
+        group.throughput(Throughput::Elements(threads * PER_THREAD));
+        group.bench_with_input(
+            BenchmarkId::new("group_commit", threads),
+            &threads,
+            |b, &n| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..n {
+                            let wal = &wal;
+                            s.spawn(move || {
+                                for i in 0..PER_THREAD {
+                                    wal.commit(&payload(t * 100_000 + i)).unwrap();
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+
+    group.finish();
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -83,8 +83,9 @@ pub fn run_path_query(
     // Global per-step candidates and per-link edge filters (evaluated once;
     // attribute data is co-partitioned with its vertices on the real
     // system, so this is node-local work there).
-    let empty_tables: FxHashMap<String, graql_table::Table> = FxHashMap::default();
-    let empty_subgraphs: FxHashMap<String, graql_graph::Subgraph> = FxHashMap::default();
+    let empty_tables: FxHashMap<String, std::sync::Arc<graql_table::Table>> = FxHashMap::default();
+    let empty_subgraphs: FxHashMap<String, std::sync::Arc<graql_graph::Subgraph>> =
+        FxHashMap::default();
     let config = db.config().clone();
     let ctx = ExecCtx {
         graph: cluster.graph,

@@ -26,8 +26,8 @@ fn local_bindings(
     db: &graql_core::Database,
     path: &graql_parser::ast::PathQuery,
 ) -> Vec<graql_core::exec::enumerate::Binding> {
-    let empty_t: FxHashMap<String, graql_table::Table> = FxHashMap::default();
-    let empty_s: FxHashMap<String, graql_graph::Subgraph> = FxHashMap::default();
+    let empty_t: FxHashMap<String, std::sync::Arc<graql_table::Table>> = FxHashMap::default();
+    let empty_s: FxHashMap<String, std::sync::Arc<graql_graph::Subgraph>> = FxHashMap::default();
     let config = db.config().clone();
     let ctx = ExecCtx {
         graph: db.graph_ref().unwrap(),

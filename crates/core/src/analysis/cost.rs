@@ -166,7 +166,10 @@ fn vertex_estimate(
     let mut est = 0.0;
     for vt in domain {
         let count = stats.vertex_count(vt).unwrap_or(0) as f64;
-        let card = work.vertex(vt).and_then(|def| stats.tables.get(&def.table));
+        let card = work
+            .vertex(vt)
+            .and_then(|def| stats.tables.get(&def.table))
+            .map(|c| &**c);
         let sel = cond.map_or(1.0, |c| expr_selectivity(card, c));
         est += count * sel;
     }
@@ -350,7 +353,10 @@ fn vertex_cond_selectivity(
     let total: f64 = domain
         .iter()
         .map(|vt| {
-            let card = work.vertex(vt).and_then(|def| stats.tables.get(&def.table));
+            let card = work
+                .vertex(vt)
+                .and_then(|def| stats.tables.get(&def.table))
+                .map(|c| &**c);
             expr_selectivity(card, c)
         })
         .sum();

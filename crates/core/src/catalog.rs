@@ -57,17 +57,30 @@ impl std::fmt::Display for EntityKind {
     }
 }
 
-/// The front-end metadata catalog.
+/// The DDL-defined sections of the catalog: base tables and vertex/edge
+/// type declarations. Kept behind an `Arc` inside [`Catalog`] so cloning
+/// a catalog (the MVCC server snapshots the database per write script)
+/// is a reference bump; only DDL — rare by construction — pays the
+/// copy-on-write.
 #[derive(Debug, Clone, Default)]
-pub struct Catalog {
+struct CatalogBase {
     tables: FxHashMap<String, TableSchema>,
     table_order: Vec<String>,
     vertices: FxHashMap<String, VertexDef>,
     vertex_order: Vec<String>,
     edges: FxHashMap<String, EdgeDef>,
     edge_order: Vec<String>,
+}
+
+/// The front-end metadata catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// Copy-on-write DDL sections (see [`CatalogBase`]).
+    base: std::sync::Arc<CatalogBase>,
     /// Schemas of named `into table` results (registered as statements are
-    /// analyzed/executed, so later statements can be checked).
+    /// analyzed/executed, so later statements can be checked). Directly
+    /// owned: result registration happens on the query hot path, where a
+    /// deep catalog copy would dominate the statement's own cost.
     result_tables: FxHashMap<String, TableSchema>,
     /// Names of registered `into subgraph` results.
     result_subgraphs: FxHashMap<String, ()>,
@@ -80,11 +93,11 @@ impl Catalog {
 
     /// What kind of entity `name` denotes, if any.
     pub fn kind_of(&self, name: &str) -> Option<EntityKind> {
-        if self.tables.contains_key(name) {
+        if self.base.tables.contains_key(name) {
             Some(EntityKind::Table)
-        } else if self.vertices.contains_key(name) {
+        } else if self.base.vertices.contains_key(name) {
             Some(EntityKind::VertexType)
-        } else if self.edges.contains_key(name) {
+        } else if self.base.edges.contains_key(name) {
             Some(EntityKind::EdgeType)
         } else if self.result_tables.contains_key(name) {
             Some(EntityKind::ResultTable)
@@ -108,20 +121,22 @@ impl Catalog {
 
     pub fn add_table(&mut self, name: &str, schema: TableSchema) -> Result<()> {
         self.check_fresh(name)?;
-        self.tables.insert(name.to_string(), schema);
-        self.table_order.push(name.to_string());
+        let base = std::sync::Arc::make_mut(&mut self.base);
+        base.tables.insert(name.to_string(), schema);
+        base.table_order.push(name.to_string());
         Ok(())
     }
 
     /// Schema of a base table (not results).
     pub fn table(&self, name: &str) -> Option<&TableSchema> {
-        self.tables.get(name)
+        self.base.tables.get(name)
     }
 
     /// Schema of a base table *or* a named result table — what a
     /// `from table X` reference may denote.
     pub fn any_table(&self, name: &str) -> Option<&TableSchema> {
-        self.tables
+        self.base
+            .tables
             .get(name)
             .or_else(|| self.result_tables.get(name))
     }
@@ -135,20 +150,21 @@ impl Catalog {
     }
 
     pub fn table_names(&self) -> &[String] {
-        &self.table_order
+        &self.base.table_order
     }
 
     // -- vertex / edge types ---------------------------------------------------
 
     pub fn add_vertex(&mut self, def: VertexDef) -> Result<()> {
         self.check_fresh(&def.name)?;
-        self.vertex_order.push(def.name.clone());
-        self.vertices.insert(def.name.clone(), def);
+        let base = std::sync::Arc::make_mut(&mut self.base);
+        base.vertex_order.push(def.name.clone());
+        base.vertices.insert(def.name.clone(), def);
         Ok(())
     }
 
     pub fn vertex(&self, name: &str) -> Option<&VertexDef> {
-        self.vertices.get(name)
+        self.base.vertices.get(name)
     }
 
     pub fn require_vertex(&self, name: &str) -> Result<&VertexDef> {
@@ -161,18 +177,19 @@ impl Catalog {
     }
 
     pub fn vertex_names(&self) -> &[String] {
-        &self.vertex_order
+        &self.base.vertex_order
     }
 
     pub fn add_edge(&mut self, def: EdgeDef) -> Result<()> {
         self.check_fresh(&def.name)?;
-        self.edge_order.push(def.name.clone());
-        self.edges.insert(def.name.clone(), def);
+        let base = std::sync::Arc::make_mut(&mut self.base);
+        base.edge_order.push(def.name.clone());
+        base.edges.insert(def.name.clone(), def);
         Ok(())
     }
 
     pub fn edge(&self, name: &str) -> Option<&EdgeDef> {
-        self.edges.get(name)
+        self.base.edges.get(name)
     }
 
     pub fn require_edge(&self, name: &str) -> Result<&EdgeDef> {
@@ -183,7 +200,7 @@ impl Catalog {
     }
 
     pub fn edge_names(&self) -> &[String] {
-        &self.edge_order
+        &self.base.edge_order
     }
 
     // -- named results ----------------------------------------------------------
@@ -276,9 +293,12 @@ pub struct EdgeCard {
 /// says whether they have). Snapshot-persisted by `persist::save_dir`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CatalogStats {
-    pub tables: FxHashMap<String, TableCard>,
-    pub vertices: FxHashMap<String, VertexCard>,
-    pub edges: FxHashMap<String, EdgeCard>,
+    /// Per-card `Arc`s keep cloning the whole store cheap: the MVCC
+    /// server copy-on-writes it on every `into`-registering statement,
+    /// and the NDV/histogram payloads are the expensive part.
+    pub tables: FxHashMap<String, std::sync::Arc<TableCard>>,
+    pub vertices: FxHashMap<String, std::sync::Arc<VertexCard>>,
+    pub edges: FxHashMap<String, std::sync::Arc<EdgeCard>>,
     /// True once the vertex/edge sections reflect a built graph.
     pub graph_complete: bool,
 }
@@ -313,15 +333,15 @@ impl CatalogStats {
         for vs in &stats.vertices {
             self.vertices.insert(
                 g.vset(vs.vtype).name.clone(),
-                VertexCard {
+                std::sync::Arc::new(VertexCard {
                     count: vs.count as u64,
-                },
+                }),
             );
         }
         for es in &stats.edges {
             self.edges.insert(
                 g.eset(es.etype).name.clone(),
-                EdgeCard {
+                std::sync::Arc::new(EdgeCard {
                     count: es.count as u64,
                     mean_out_degree: es.mean_out_degree,
                     mean_in_degree: es.mean_in_degree,
@@ -333,7 +353,7 @@ impl CatalogStats {
                         .map(|&c| c as u64)
                         .collect(),
                     in_degree_histogram: es.in_degree_histogram.iter().map(|&c| c as u64).collect(),
-                },
+                }),
             );
         }
         self.graph_complete = true;
@@ -423,29 +443,26 @@ impl CatalogStats {
             match toks.as_slice() {
                 ["graph_complete", flag] => stats.graph_complete = *flag == "true",
                 ["table", name, rows] => {
-                    stats.tables.entry(name.to_string()).or_default().rows =
-                        num(kv(rows, "rows")?)?;
+                    std::sync::Arc::make_mut(stats.tables.entry(name.to_string()).or_default())
+                        .rows = num(kv(rows, "rows")?)?;
                 }
                 ["col", table, col, ndv] => {
-                    stats
-                        .tables
-                        .entry(table.to_string())
-                        .or_default()
+                    std::sync::Arc::make_mut(stats.tables.entry(table.to_string()).or_default())
                         .columns
                         .push((col.to_string(), num(kv(ndv, "ndv")?)?));
                 }
                 ["vertex", name, count] => {
                     stats.vertices.insert(
                         name.to_string(),
-                        VertexCard {
+                        std::sync::Arc::new(VertexCard {
                             count: num(kv(count, "count")?)?,
-                        },
+                        }),
                     );
                 }
                 ["edge", name, count, mean_out, mean_in, max_out, max_in, out_hist, in_hist] => {
                     stats.edges.insert(
                         name.to_string(),
-                        EdgeCard {
+                        std::sync::Arc::new(EdgeCard {
                             count: num(kv(count, "count")?)?,
                             mean_out_degree: num(kv(mean_out, "mean_out")?)?,
                             mean_in_degree: num(kv(mean_in, "mean_in")?)?,
@@ -453,7 +470,7 @@ impl CatalogStats {
                             max_in_degree: num(kv(max_in, "max_in")?)?,
                             out_degree_histogram: hist(kv(out_hist, "out_hist")?)?,
                             in_degree_histogram: hist(kv(in_hist, "in_hist")?)?,
-                        },
+                        }),
                     );
                 }
                 _ => {

@@ -203,6 +203,7 @@ impl<'a> CompileCtx<'a> {
         self.graph.eset(et).assoc_table.as_ref().map(|n| {
             self.storage
                 .get(n)
+                .map(|t| t.as_ref())
                 .expect("catalog and storage are consistent")
         })
     }

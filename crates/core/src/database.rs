@@ -6,6 +6,7 @@
 //! backend's in-memory data; `graql-cluster` adds the multi-node version.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use graql_graph::{Graph, GraphStats, Subgraph};
 use graql_parser::ast::{self, Stmt};
@@ -45,16 +46,22 @@ pub enum StmtOutput {
 /// An embedded attributed-graph database speaking GraQL.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
+    /// Cheap to clone: the DDL-defined sections live behind an `Arc`
+    /// inside [`Catalog`] (copy-on-write, paid only by DDL), and only the
+    /// small named-result maps are owned directly.
     catalog: Catalog,
     storage: Storage,
-    graph: Option<Graph>,
-    stats: Option<GraphStats>,
+    graph: Option<Arc<Graph>>,
+    stats: Option<Arc<GraphStats>>,
     /// Catalog statistics store (per-type cardinalities, degree means,
     /// per-column NDV). The table section updates at ingest; the graph
     /// sections fill in when the graph views exist; snapshots persist it.
-    catstats: Option<CatalogStats>,
-    result_tables: FxHashMap<String, Table>,
-    result_subgraphs: FxHashMap<String, Subgraph>,
+    /// `Arc` for the same reason as the catalog: the MVCC server clones
+    /// the database per write script, and the store's per-column NDV
+    /// vectors are the most expensive member to deep-copy.
+    catstats: Option<Arc<CatalogStats>>,
+    result_tables: FxHashMap<String, Arc<Table>>,
+    result_subgraphs: FxHashMap<String, Arc<Subgraph>>,
     params: Params,
     config: ExecConfig,
     /// Directory `ingest` paths resolve against.
@@ -91,7 +98,7 @@ impl Database {
     /// The current graph views (building them on first use).
     pub fn graph(&mut self) -> Result<&Graph> {
         self.ensure_graph()?;
-        Ok(self.graph.as_ref().expect("just built"))
+        Ok(self.graph.as_deref().expect("just built"))
     }
 
     /// Current statistics snapshot (§III-B), building graph+stats if
@@ -99,14 +106,16 @@ impl Database {
     pub fn stats(&mut self) -> Result<&GraphStats> {
         self.ensure_graph()?;
         if self.stats.is_none() {
-            self.stats = Some(GraphStats::compute(self.graph.as_ref().expect("built")));
+            self.stats = Some(Arc::new(GraphStats::compute(
+                self.graph.as_deref().expect("built"),
+            )));
         }
-        Ok(self.stats.as_ref().expect("just computed"))
+        Ok(self.stats.as_deref().expect("just computed"))
     }
 
     /// A base table by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.storage.get(name)
+        self.storage.get(name).map(|t| t.as_ref())
     }
 
     /// The table storage (for backends layered on this database, e.g. the
@@ -118,7 +127,13 @@ impl Database {
     /// The graph views if already built (immutable; use [`Database::graph`]
     /// to force a build).
     pub fn graph_ref(&self) -> Option<&Graph> {
-        self.graph.as_ref()
+        self.graph.as_deref()
+    }
+
+    /// The statistics snapshot if already computed (immutable; use
+    /// [`Database::stats`] to force a build).
+    pub fn stats_ref(&self) -> Option<&GraphStats> {
+        self.stats.as_deref()
     }
 
     /// The bound query parameters.
@@ -128,12 +143,12 @@ impl Database {
 
     /// A named `into table` result.
     pub fn result_table(&self, name: &str) -> Option<&Table> {
-        self.result_tables.get(name)
+        self.result_tables.get(name).map(|t| t.as_ref())
     }
 
     /// A named `into subgraph` result.
     pub fn result_subgraph(&self, name: &str) -> Option<&Subgraph> {
-        self.result_subgraphs.get(name)
+        self.result_subgraphs.get(name).map(|s| s.as_ref())
     }
 
     fn graph_dirty(&mut self) {
@@ -142,6 +157,7 @@ impl Database {
         // Table cards survive (they only change with the table they
         // describe); the graph sections no longer match anything.
         if let Some(cs) = &mut self.catstats {
+            let cs = Arc::make_mut(cs);
             cs.graph_complete = false;
             cs.vertices.clear();
             cs.edges.clear();
@@ -153,10 +169,9 @@ impl Database {
     fn note_table_changed(&mut self, table: &str) {
         if let Some(t) = self.storage.get(table) {
             let card = CatalogStats::table_card(t);
-            self.catstats
-                .get_or_insert_with(CatalogStats::default)
+            Arc::make_mut(self.catstats.get_or_insert_with(Default::default))
                 .tables
-                .insert(table.to_string(), card);
+                .insert(table.to_string(), Arc::new(card));
         }
     }
 
@@ -164,23 +179,22 @@ impl Database {
     /// building the graph: fills missing table cards and, when the graph
     /// views already exist, absorbs their degree statistics.
     fn refresh_catstats(&mut self) {
-        let cs = self.catstats.get_or_insert_with(CatalogStats::default);
+        let cs = Arc::make_mut(self.catstats.get_or_insert_with(Default::default));
         for name in self.catalog.table_names() {
             if !cs.tables.contains_key(name) {
                 if let Some(t) = self.storage.get(name) {
-                    cs.tables.insert(name.clone(), CatalogStats::table_card(t));
+                    cs.tables
+                        .insert(name.clone(), Arc::new(CatalogStats::table_card(t)));
                 }
             }
         }
         if !cs.graph_complete {
             if let Some(graph) = self.graph.as_ref() {
                 if self.stats.is_none() {
-                    self.stats = Some(GraphStats::compute(graph));
+                    self.stats = Some(Arc::new(GraphStats::compute(graph)));
                 }
                 let gstats = self.stats.as_ref().expect("just computed");
-                self.catstats
-                    .as_mut()
-                    .expect("inserted above")
+                Arc::make_mut(self.catstats.as_mut().expect("inserted above"))
                     .absorb_graph(graph, gstats);
             }
         }
@@ -191,24 +205,28 @@ impl Database {
     pub fn catalog_stats(&mut self) -> Result<&CatalogStats> {
         self.ensure_graph()?;
         self.refresh_catstats();
-        Ok(self.catstats.as_ref().expect("refreshed"))
+        Ok(self.catstats.as_deref().expect("refreshed"))
     }
 
     /// The statistics store as currently cached (possibly absent or
     /// missing graph sections); never computes anything.
     pub fn catalog_stats_ref(&self) -> Option<&CatalogStats> {
-        self.catstats.as_ref()
+        self.catstats.as_deref()
     }
 
     /// Installs a statistics store loaded from a snapshot (the graph
     /// sections become available without a graph build).
     pub fn install_catalog_stats(&mut self, stats: CatalogStats) {
-        self.catstats = Some(stats);
+        self.catstats = Some(Arc::new(stats));
     }
 
     fn ensure_graph(&mut self) -> Result<()> {
         if self.graph.is_none() {
-            self.graph = Some(build_graph(&self.catalog, &self.storage, &self.params)?);
+            self.graph = Some(Arc::new(build_graph(
+                &self.catalog,
+                &self.storage,
+                &self.params,
+            )?));
         }
         Ok(())
     }
@@ -244,7 +262,7 @@ impl Database {
         let (_, diags) = crate::analyze::check_script_with_stats(
             &self.catalog,
             script,
-            self.catstats.as_ref(),
+            self.catstats.as_deref(),
             governed,
         );
         diags
@@ -285,7 +303,8 @@ impl Database {
                         .collect(),
                 )?;
                 self.catalog.add_table(&ct.name, schema.clone())?;
-                self.storage.insert(ct.name.clone(), Table::empty(schema));
+                self.storage
+                    .insert(ct.name.clone(), Arc::new(Table::empty(schema)));
                 self.note_table_changed(&ct.name);
                 Ok(StmtOutput::Created(ct.name.clone()))
             }
@@ -350,6 +369,16 @@ impl Database {
         }
     }
 
+    /// The directory `ingest` paths resolve against.
+    pub fn data_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    /// Resolves an `ingest` statement's file path against the data dir.
+    pub fn resolve_ingest_path(&self, p: &str) -> PathBuf {
+        self.resolve_path(p)
+    }
+
     fn resolve_path(&self, p: &str) -> PathBuf {
         let path = Path::new(p);
         if path.is_absolute() {
@@ -367,9 +396,9 @@ impl Database {
             .storage
             .get(table)
             .ok_or_else(|| GraqlError::name(format!("unknown table '{table}'")))?;
-        let mut staged = t.clone();
+        let mut staged = Table::clone(t);
         let rows = graql_table::csv::ingest_str(&mut staged, csv)?;
-        self.storage.insert(table.to_string(), staged);
+        self.storage.insert(table.to_string(), Arc::new(staged));
         self.graph_dirty();
         self.note_table_changed(table);
         Ok(rows)
@@ -398,7 +427,7 @@ impl Database {
         self.ensure_graph()?;
         self.refresh_catstats();
         let ctx = self.exec_ctx(guard)?;
-        Self::explain_plan(&ctx, self.catstats.as_ref(), sel)
+        Self::explain_plan(&ctx, self.catstats.as_deref(), sel)
     }
 
     /// The shared plan rendering used by `explain` and `profile`: the
@@ -431,6 +460,7 @@ impl Database {
             ast::SelectSource::Table(t) => {
                 let est = stats
                     .and_then(|s| s.tables.get(t))
+                    .map(|c| &**c)
                     .map(|card| {
                         let sel_factor = sel.where_clause.as_ref().map_or(1.0, |w| {
                             crate::analysis::cost::expr_selectivity(Some(card), w)
@@ -476,7 +506,7 @@ impl Database {
     ) -> Result<ProfileReport> {
         let plan = {
             let ctx = self.exec_ctx(guard)?;
-            Self::explain_plan(&ctx, self.catstats.as_ref(), sel)?
+            Self::explain_plan(&ctx, self.catstats.as_deref(), sel)?
         };
         let rewritten = if self.config.rewrite {
             crate::analysis::rewrite_select(sel)
@@ -582,14 +612,17 @@ impl Database {
                 // statements that scan the result (only when the store
                 // already exists — plain execution never pays for NDV).
                 if let Some(cs) = &mut self.catstats {
-                    cs.tables.insert(name.clone(), CatalogStats::table_card(&t));
+                    Arc::make_mut(cs)
+                        .tables
+                        .insert(name.clone(), Arc::new(CatalogStats::table_card(&t)));
                 }
-                self.result_tables.insert(name.clone(), t.clone());
+                self.result_tables.insert(name.clone(), Arc::new(t.clone()));
                 Ok(StmtOutput::Table(t))
             }
             (Some(ast::IntoClause::Subgraph(name)), QueryOutput::Subgraph(s)) => {
                 self.catalog.add_result_subgraph(name)?;
-                self.result_subgraphs.insert(name.clone(), s.clone());
+                self.result_subgraphs
+                    .insert(name.clone(), Arc::new(s.clone()));
                 Ok(StmtOutput::Subgraph(s))
             }
             (None, QueryOutput::Table(t)) => Ok(StmtOutput::Table(t)),

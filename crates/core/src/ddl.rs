@@ -24,12 +24,19 @@ use crate::catalog::{Catalog, EdgeDef, VertexDef};
 use crate::cond::{compile_single_table, lit_value, Params};
 
 /// In-memory table storage, keyed by table name.
-pub type Storage = FxHashMap<String, Table>;
+///
+/// Tables are held behind `Arc` so cloning a whole [`Storage`] (the MVCC
+/// epoch path: every committed write statement installs a fresh database
+/// snapshot) costs one refcount bump per table, not a deep copy. Mutators
+/// stage a cloned `Table` and swap a new `Arc` in — readers holding an
+/// older epoch keep their version untouched.
+pub type Storage = FxHashMap<String, std::sync::Arc<Table>>;
 
 /// Builds a [`VertexSet`] from its declaration (Eq. 1).
 pub fn build_vertex_set(def: &VertexDef, storage: &Storage, params: &Params) -> Result<VertexSet> {
     let table = storage
         .get(&def.table)
+        .map(|t| t.as_ref())
         .ok_or_else(|| GraqlError::name(format!("unknown table '{}'", def.table)))?;
     let key_cols = def
         .key
@@ -148,9 +155,11 @@ pub fn build_edge_set(
     let tgt_vset = graph.vset(tgt_vt);
     let src_table = storage
         .get(&src_vset.table)
+        .map(|t| t.as_ref())
         .ok_or_else(|| GraqlError::name(format!("unknown table '{}'", src_vset.table)))?;
     let tgt_table = storage
         .get(&tgt_vset.table)
+        .map(|t| t.as_ref())
         .ok_or_else(|| GraqlError::name(format!("unknown table '{}'", tgt_vset.table)))?;
 
     // Relation 0 = source endpoint; 1..=k assoc tables; last = target.
@@ -189,6 +198,7 @@ pub fn build_edge_set(
     for t in &def.from_tables {
         let table = storage
             .get(t)
+            .map(|t| t.as_ref())
             .ok_or_else(|| GraqlError::name(format!("unknown table {t:?}")))?;
         assoc_rels.push(rels.len());
         rels.push(Rel {
@@ -217,6 +227,7 @@ pub fn build_edge_set(
             if catalog.table(q).is_some() {
                 let table = storage
                     .get(q)
+                    .map(|t| t.as_ref())
                     .ok_or_else(|| GraqlError::name(format!("unknown table {q:?}")))?;
                 assoc_rels.push(rels.len());
                 rels.push(Rel {
@@ -641,7 +652,7 @@ mod tests {
             ("Offers", offers),
         ] {
             catalog.add_table(name, t.schema().clone()).unwrap();
-            storage.insert(name.to_string(), t);
+            storage.insert(name.to_string(), std::sync::Arc::new(t));
         }
         catalog
             .add_vertex(VertexDef {
@@ -777,7 +788,7 @@ mod tests {
         )
         .unwrap();
         catalog.add_table("Links", pt.schema().clone()).unwrap();
-        storage.insert("Links".into(), pt);
+        storage.insert("Links".into(), std::sync::Arc::new(pt));
         catalog
             .add_vertex(VertexDef {
                 name: "ProductVtx".into(),
@@ -851,7 +862,7 @@ mod tests {
         )
         .unwrap();
         catalog.add_table("Rel", pf.schema().clone()).unwrap();
-        storage.insert("Rel".into(), pf);
+        storage.insert("Rel".into(), std::sync::Arc::new(pf));
         catalog
             .add_vertex(VertexDef {
                 name: "ProductVtx".into(),

@@ -108,9 +108,11 @@ fn vstep_estimate(ctx: &ExecCtx<'_>, stats: &CatalogStats, v: &CVStep) -> f64 {
         let count = stats.vertex_count(&vset.name).unwrap_or(0) as f64;
         let sel = match v.local.get(&vt) {
             Some(pred) => match ctx.storage.get(&vset.table) {
-                Some(table) => {
-                    cost::phys_selectivity(table.schema(), stats.tables.get(&vset.table), pred)
-                }
+                Some(table) => cost::phys_selectivity(
+                    table.schema(),
+                    stats.tables.get(&vset.table).map(|c| &**c),
+                    pred,
+                ),
                 None => 0.5,
             },
             None => 1.0,
@@ -131,9 +133,11 @@ fn vstep_selectivity(ctx: &ExecCtx<'_>, stats: &CatalogStats, v: &CVStep) -> f64
         let vset = ctx.graph.vset(vt);
         total += match v.local.get(&vt) {
             Some(pred) => match ctx.storage.get(&vset.table) {
-                Some(table) => {
-                    cost::phys_selectivity(table.schema(), stats.tables.get(&vset.table), pred)
-                }
+                Some(table) => cost::phys_selectivity(
+                    table.schema(),
+                    stats.tables.get(&vset.table).map(|c| &**c),
+                    pred,
+                ),
                 None => 0.5,
             },
             None => 1.0,

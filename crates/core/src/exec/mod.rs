@@ -23,8 +23,8 @@ use crate::plan::ExecConfig;
 pub struct ExecCtx<'a> {
     pub graph: &'a Graph,
     pub storage: &'a Storage,
-    pub result_tables: &'a FxHashMap<String, Table>,
-    pub result_subgraphs: &'a FxHashMap<String, Subgraph>,
+    pub result_tables: &'a FxHashMap<String, std::sync::Arc<Table>>,
+    pub result_subgraphs: &'a FxHashMap<String, std::sync::Arc<Subgraph>>,
     pub config: &'a ExecConfig,
     pub params: &'a Params,
     /// Governance guard for the running query: cancellation, deadline and
@@ -41,6 +41,7 @@ impl<'a> ExecCtx<'a> {
     pub fn vtable(&self, vt: VTypeId) -> &'a Table {
         self.storage
             .get(&self.graph.vset(vt).table)
+            .map(|t| t.as_ref())
             .expect("graph views reference existing tables")
     }
 
@@ -62,6 +63,7 @@ impl<'a> ExecCtx<'a> {
         self.storage
             .get(name)
             .or_else(|| self.result_tables.get(name))
+            .map(|t| t.as_ref())
             .ok_or_else(|| GraqlError::name(format!("unknown table {name:?}")))
     }
 }

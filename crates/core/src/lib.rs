@@ -49,6 +49,7 @@ pub mod persist;
 pub mod plan;
 pub mod script;
 pub mod server;
+pub mod wal;
 
 pub use catalog::{Catalog, CatalogStats};
 pub use database::{Database, PlanMode, StmtOutput};
@@ -57,3 +58,4 @@ pub use persist::{load_dir, save_dir};
 pub use plan::ExecConfig;
 pub use script::{run_script, run_script_pipelined, ScriptReport};
 pub use server::{Role, Server, Session, SessionOutput};
+pub use wal::{DurabilityOptions, RecoveryReport, Wal, WalPayload};

@@ -32,7 +32,7 @@ const STATS_FILE: &str = "catalog.stats";
 /// FNV-1a over a file's contents — the same cheap, dependency-free hash
 /// the failpoint registry uses for site seeds. Not cryptographic; it
 /// detects torn writes and bit rot, not adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -51,7 +51,7 @@ fn write_synced(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 
 /// Fsyncs a directory so that renames/creates inside it are durable.
 /// Directory fsync is a unix-ism; elsewhere this is a best-effort no-op.
-fn sync_dir(path: &Path) -> std::io::Result<()> {
+pub(crate) fn sync_dir(path: &Path) -> std::io::Result<()> {
     #[cfg(unix)]
     {
         std::fs::File::open(path)?.sync_all()?;

@@ -11,24 +11,41 @@
 //! The server is **shared state**: it hands out any number of concurrent
 //! [`Session`]s (each owns an `Arc` of the server internals, no borrow of
 //! the server itself), so the networked front-end (`graql-net`) can serve
-//! one session per connection from multiple threads. The database sits
-//! behind a `parking_lot::RwLock`; scripts that only read (selects without
-//! `into` capture) run under a shared read lock and therefore in parallel,
-//! while DDL / ingest / result-capturing scripts take the write lock and
-//! execute atomically with respect to other sessions.
+//! one session per connection from multiple threads.
+//!
+//! Concurrency is **epoch-based MVCC at statement granularity**: the
+//! database lives behind an epoch pointer (`RwLock<Arc<Database>>` locked
+//! only for the instant of cloning or swapping the `Arc`). Read-only
+//! scripts capture the current epoch and execute entirely lock-free
+//! against it — a long ingest never blocks them, they simply keep seeing
+//! the epoch they captured. Writers serialize on a separate write lock,
+//! apply each statement to a private shallow clone (tables, graph views
+//! and named results are `Arc`-shared, so the clone is a handful of
+//! pointer bumps), and publish the new epoch only after the statement —
+//! and, on a durable server, its write-ahead-log record — has committed.
+//! In-flight readers are never invalidated; new readers see the new epoch.
+//!
+//! A durable server ([`Server::open_durable`]) writes every mutating
+//! statement to a [`crate::wal::Wal`] before publishing its epoch, so an
+//! acknowledged statement survives a crash (see the `wal` module for the
+//! commit/checkpoint/recovery protocol).
 
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use graql_parser::ast::{self, Stmt};
 use graql_types::{
     GraqlError, MetricsRegistry, QueryBudget, QueryGuard, QueryOutcome, QueryProfile, Result,
+    WalMetrics,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 
 use crate::database::{Database, StmtOutput};
 use crate::exec::results::QueryOutput;
+use crate::wal::{DurabilityOptions, RecoveryReport, Wal, WalPayload};
 
 /// Access level of a user account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,8 +88,8 @@ impl Role {
 
 /// Self-contained output of one statement executed through a session:
 /// unlike [`StmtOutput`], subgraph results are summarized against the
-/// graph *while the database lock is held*, so the value can leave the
-/// server (e.g. cross a socket) without a graph reference.
+/// epoch they were produced on, so the value can leave the server (e.g.
+/// cross a socket) without a graph reference.
 #[derive(Debug, Clone)]
 pub enum SessionOutput {
     /// DDL executed (`create …`).
@@ -95,13 +112,88 @@ pub enum SessionOutput {
     Profile { text: String, json: String },
 }
 
-/// Shared internals: one database + the account registry + the engine
-/// metrics every session reports into.
+/// Shared internals: the epoch pointer + the account registry + the
+/// engine metrics every session reports into + the optional WAL.
 #[derive(Debug, Default)]
 struct ServerShared {
-    db: RwLock<Database>,
+    /// The current immutable database epoch. Locked only long enough to
+    /// clone or swap the `Arc` — execution never holds it.
+    epoch: RwLock<Arc<Database>>,
+    /// Serializes writers (and checkpoints). Readers never touch it.
+    write_lock: Mutex<()>,
+    /// Monotonic epoch counter (one tick per install; observable by
+    /// tests asserting reads do not force new epochs).
+    epoch_id: AtomicU64,
     users: RwLock<FxHashMap<String, Role>>,
     metrics: MetricsRegistry,
+    /// Present on durable servers: every mutating statement commits to
+    /// the log before its epoch is published.
+    wal: Option<Wal>,
+}
+
+impl ServerShared {
+    /// The current epoch — a cheap `Arc` clone under a momentary read
+    /// lock.
+    fn snapshot(&self) -> Arc<Database> {
+        self.epoch.read().clone()
+    }
+
+    /// Publishes `db` as the new epoch. Callers must hold `write_lock`.
+    fn install(&self, db: Database) -> Arc<Database> {
+        let arc = Arc::new(db);
+        *self.epoch.write() = Arc::clone(&arc);
+        self.epoch_id.fetch_add(1, Ordering::Relaxed);
+        arc
+    }
+
+    /// An epoch whose graph views are built, building (and publishing)
+    /// one if needed — the read path's only rendezvous with writers, and
+    /// only on the first read after a mutation.
+    fn ensure_graph(&self) -> Result<Arc<Database>> {
+        let cur = self.snapshot();
+        if cur.graph_ref().is_some() {
+            return Ok(cur);
+        }
+        let _wl = self.write_lock.lock();
+        let cur = self.snapshot();
+        if cur.graph_ref().is_some() {
+            return Ok(cur);
+        }
+        let mut working = Database::clone(&cur);
+        working.graph()?;
+        Ok(self.install(working))
+    }
+
+    /// An epoch with graph views *and* graph statistics, for `describe`.
+    fn ensure_stats(&self) -> Result<Arc<Database>> {
+        let cur = self.snapshot();
+        if cur.graph_ref().is_some() && cur.stats_ref().is_some() {
+            return Ok(cur);
+        }
+        let _wl = self.write_lock.lock();
+        let cur = self.snapshot();
+        if cur.graph_ref().is_some() && cur.stats_ref().is_some() {
+            return Ok(cur);
+        }
+        let mut working = Database::clone(&cur);
+        working.stats()?;
+        Ok(self.install(working))
+    }
+
+    /// Folds the log into a snapshot when the automatic threshold is
+    /// reached. Callers must hold `write_lock` and pass the newest
+    /// epoch's state. Checkpoint failures are deliberately not fatal to
+    /// the triggering script: its records are already durable in the
+    /// log, and the next write retries the fold.
+    fn maybe_checkpoint(&self, db: &Database) {
+        if let Some(wal) = &self.wal {
+            if wal.needs_checkpoint() {
+                if let Err(e) = wal.checkpoint(db) {
+                    eprintln!("graql: checkpoint failed (log intact, will retry): {e}");
+                }
+            }
+        }
+    }
 }
 
 /// The front-end server. Cloning is cheap (an `Arc` clone) and yields a
@@ -113,25 +205,74 @@ pub struct Server {
 }
 
 impl Server {
-    /// Wraps a database. An `admin` account always exists.
+    /// Wraps an in-memory database (no durability). An `admin` account
+    /// always exists.
     pub fn new(db: Database) -> Self {
+        Server::assemble(db, None)
+    }
+
+    /// Opens (or initializes) a durable database under `dir`: recovers
+    /// the snapshot + committed log records, then serves it with every
+    /// mutating statement write-ahead logged.
+    pub fn open_durable(dir: &Path, opts: DurabilityOptions) -> Result<(Server, RecoveryReport)> {
+        let wal_metrics = Arc::new(WalMetrics::new());
+        let (db, wal, report) = Wal::open(dir, opts, wal_metrics)?;
+        Ok((Server::assemble(db, Some(wal)), report))
+    }
+
+    fn assemble(db: Database, wal: Option<Wal>) -> Server {
         let mut users = FxHashMap::default();
         users.insert("admin".to_string(), Role::Admin);
+        let metrics = MetricsRegistry::new();
+        if let Some(w) = &wal {
+            metrics.attach_wal(Arc::clone(w.metrics()));
+        }
         Server {
             shared: Arc::new(ServerShared {
-                db: RwLock::new(db),
+                epoch: RwLock::new(Arc::new(db)),
+                write_lock: Mutex::new(()),
+                epoch_id: AtomicU64::new(0),
                 users: RwLock::new(users),
-                metrics: MetricsRegistry::new(),
+                metrics,
+                wal,
             }),
         }
     }
 
     /// The engine metrics registry: query outcomes (including governance
-    /// kills), stage latency histograms, stream volume. The same atomics
-    /// feed `describe` and the Prometheus exposition, so they always
-    /// agree.
+    /// kills), stage latency histograms, stream volume, and — on durable
+    /// servers — the WAL series. The same atomics feed `describe` and the
+    /// Prometheus exposition, so they always agree.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.shared.metrics
+    }
+
+    /// True when this server write-ahead logs mutations.
+    pub fn is_durable(&self) -> bool {
+        self.shared.wal.is_some()
+    }
+
+    /// The current database epoch: an immutable snapshot that stays
+    /// valid (and consistent) for as long as the `Arc` is held, no
+    /// matter what writers do meanwhile.
+    pub fn snapshot(&self) -> Arc<Database> {
+        self.shared.snapshot()
+    }
+
+    /// The monotonic epoch counter (ticks once per published epoch).
+    pub fn epoch_id(&self) -> u64 {
+        self.shared.epoch_id.load(Ordering::Relaxed)
+    }
+
+    /// Folds the write-ahead log into a fresh snapshot now (no-op on an
+    /// in-memory server). The graceful-shutdown path of `gems-serve`.
+    pub fn checkpoint_now(&self) -> Result<()> {
+        let Some(wal) = &self.shared.wal else {
+            return Ok(());
+        };
+        let _wl = self.shared.write_lock.lock();
+        let db = self.shared.snapshot();
+        wal.checkpoint(&db)
     }
 
     /// Registers a user account.
@@ -162,43 +303,50 @@ impl Server {
     }
 
     /// Exclusive access to the underlying database (bypasses access
-    /// control; for embedding scenarios and tests). Holds the write lock
-    /// for the guard's lifetime — do not hold it across a session call.
-    pub fn database_mut(&self) -> impl std::ops::DerefMut<Target = Database> + '_ {
-        self.shared.db.write()
+    /// control *and the write-ahead log*; for embedding scenarios and
+    /// tests). The guard holds the writer lock for its lifetime and
+    /// publishes its working copy as a new epoch on drop — do not hold
+    /// it across a session call.
+    pub fn database_mut(&self) -> DatabaseGuard<'_> {
+        let wl = self.shared.write_lock.lock();
+        let working = Database::clone(&self.shared.snapshot());
+        DatabaseGuard {
+            shared: &self.shared,
+            _wl: wl,
+            working: Some(working),
+        }
     }
 
     /// The default per-query governance budget configured on the
     /// underlying database ([`crate::plan::ExecConfig::budget`]). The
     /// network front-end reads this to mint per-request guards.
     pub fn query_budget(&self) -> QueryBudget {
-        self.shared.db.read().config().budget
+        self.shared.snapshot().config().budget
     }
 
     /// Sets the default per-query governance budget on the underlying
     /// database (the `--max-result-rows` / `--max-query-bytes` knobs).
     pub fn set_query_budget(&self, budget: QueryBudget) {
-        self.shared.db.write().config_mut().budget = budget;
+        let _wl = self.shared.write_lock.lock();
+        let mut working = Database::clone(&self.shared.snapshot());
+        working.config_mut().budget = budget;
+        self.shared.install(working);
     }
 
     /// The catalog-describe service: object names with their current
     /// sizes ("how many rows in table? how many vertex instances?").
+    /// Runs against a stats-complete epoch, so concurrent writers are
+    /// never blocked by the rendering.
     pub fn describe(&self) -> Result<String> {
-        let mut db = self.shared.db.write();
+        let db = self.shared.ensure_stats()?;
         let mut out = String::new();
-        let tables: Vec<(String, usize)> = db
-            .catalog()
-            .table_names()
-            .iter()
-            .map(|n| (n.clone(), db.table(n).map_or(0, |t| t.n_rows())))
-            .collect();
         let _ = writeln!(out, "tables:");
-        for (name, rows) in tables {
+        for name in db.catalog().table_names() {
+            let rows = db.table(name).map_or(0, |t| t.n_rows());
             let _ = writeln!(out, "  {name}: {rows} rows");
         }
-        db.graph()?;
-        let stats = db.stats()?.clone();
-        let graph = db.graph_ref().expect("built above");
+        let stats = db.stats_ref().expect("stats ensured");
+        let graph = db.graph_ref().expect("graph ensured");
         let _ = writeln!(out, "vertex types:");
         for vs in &stats.vertices {
             let _ = writeln!(
@@ -221,6 +369,36 @@ impl Server {
         }
         out.push_str(&self.shared.metrics.render_describe());
         Ok(out)
+    }
+}
+
+/// Write-guard returned by [`Server::database_mut`]: dereferences to a
+/// private working copy of the database and publishes it as the new
+/// epoch when dropped.
+pub struct DatabaseGuard<'a> {
+    shared: &'a ServerShared,
+    _wl: parking_lot::MutexGuard<'a, ()>,
+    working: Option<Database>,
+}
+
+impl std::ops::Deref for DatabaseGuard<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        self.working.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for DatabaseGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        self.working.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for DatabaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(db) = self.working.take() {
+            self.shared.install(db);
+        }
     }
 }
 
@@ -285,13 +463,13 @@ impl Session {
 
     /// The default per-query budget configured on the shared database.
     fn query_budget(&self) -> QueryBudget {
-        self.shared.db.read().config().budget
+        self.shared.snapshot().config().budget
     }
 
     /// Executes an already parsed script under a fresh guard minted from
-    /// the configured default budget, with read-only scripts (selects
-    /// without `into` capture) running under the shared read lock so
-    /// concurrent sessions can query in parallel.
+    /// the configured default budget. Read-only scripts (selects without
+    /// `into` capture) run lock-free against the epoch they capture, so
+    /// concurrent sessions query in parallel even during a long ingest.
     pub fn execute_parsed(&mut self, script: &ast::Script) -> Result<Vec<StmtOutput>> {
         let guard = QueryGuard::new(self.query_budget());
         self.execute_parsed_guarded(script, &guard)
@@ -347,7 +525,7 @@ impl Session {
         obs: Option<&QueryProfile>,
     ) -> Result<Vec<StmtOutput>> {
         // Cancellation point: a statement batch can be aborted before any
-        // lock is taken or state is touched.
+        // epoch is captured or state is touched.
         graql_types::failpoint!("core/exec/cancel", graql_types::GraqlError::exec);
         guard.check()?;
         for stmt in &script.statements {
@@ -357,15 +535,11 @@ impl Session {
             matches!(s, Stmt::Select(sel) if sel.into.is_none()) || matches!(s, Stmt::Profile(_))
         });
         if read_only {
-            // Brief write lock: analysis against the catalog plus the
-            // (possibly cached) graph build — then drop to a read lock for
-            // the actual query execution.
-            {
-                let mut db = self.shared.db.write();
-                crate::analyze::analyze_script(db.catalog(), script)?;
-                db.graph()?;
-            }
-            let db = self.shared.db.read();
+            // Capture a graph-complete epoch, then execute entirely
+            // lock-free against it: a concurrent ingest installs newer
+            // epochs without ever invalidating this one.
+            let db = self.shared.ensure_graph()?;
+            crate::analyze::analyze_script(db.catalog(), script)?;
             script
                 .statements
                 .iter()
@@ -387,29 +561,77 @@ impl Session {
                 })
                 .collect()
         } else {
-            let mut db = self.shared.db.write();
-            crate::analyze::analyze_script(db.catalog(), script)?;
-            script
-                .statements
-                .iter()
-                .map(|s| {
-                    graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
-                    guard.check()?;
-                    db.execute_guarded(s, guard)
+            // Writer: serialize on the write lock, apply each statement
+            // to a private shallow clone, commit it to the WAL (durable
+            // servers), then publish the new epoch. A statement's effects
+            // become visible only after its log record is durable;
+            // earlier statements of the same script stay published if a
+            // later one fails — matching the historical mid-script-error
+            // semantics.
+            let _wl = self.shared.write_lock.lock();
+            let mut working = Database::clone(&self.shared.snapshot());
+            crate::analyze::analyze_script(working.catalog(), script)?;
+            let mut outs = Vec::with_capacity(script.statements.len());
+            for s in &script.statements {
+                graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
+                guard.check()?;
+                let out = self.apply_statement(&mut working, s, guard)?;
+                self.shared.install(Database::clone(&working));
+                outs.push(out);
+            }
+            self.shared.maybe_checkpoint(&working);
+            Ok(outs)
+        }
+    }
+
+    /// Applies one statement of a write script to the working copy,
+    /// write-ahead logging it on durable servers. `ingest` is resolved
+    /// here (file read + CSV inlined into the record) so replay never
+    /// depends on the source file surviving.
+    fn apply_statement(
+        &self,
+        db: &mut Database,
+        stmt: &Stmt,
+        guard: &QueryGuard,
+    ) -> Result<StmtOutput> {
+        let Some(wal) = &self.shared.wal else {
+            return db.execute_guarded(stmt, guard);
+        };
+        match stmt {
+            Stmt::Ingest(ing) => {
+                let path = db.resolve_ingest_path(&ing.path);
+                let csv = std::fs::read_to_string(&path).map_err(|e| {
+                    GraqlError::ingest(format!("cannot read {}: {e}", path.display()))
+                })?;
+                let rows = db.ingest_str(&ing.table, &csv)?;
+                wal.commit(&WalPayload::Ingest {
+                    table: ing.table.clone(),
+                    csv,
+                })?;
+                Ok(StmtOutput::Ingested {
+                    table: ing.table.clone(),
+                    rows,
                 })
-                .collect()
+            }
+            _ => {
+                let out = db.execute_guarded(stmt, guard)?;
+                if stmt_is_logged(stmt) {
+                    wal.commit(&Wal::stmt_payload(stmt))?;
+                }
+                Ok(out)
+            }
         }
     }
 
     /// Executes a script and returns transport-friendly outputs (subgraphs
-    /// summarized under the lock; see [`SessionOutput`]).
+    /// summarized against the current epoch; see [`SessionOutput`]).
     pub fn execute_script_sealed(&mut self, text: &str) -> Result<Vec<SessionOutput>> {
         let outs = self.execute_script(text)?;
         Ok(outs.into_iter().map(|o| self.seal_output(o)).collect())
     }
 
     /// Converts an engine output into its self-contained form, rendering
-    /// subgraph summaries against the current graph.
+    /// subgraph summaries against the current epoch.
     fn seal_output(&self, out: StmtOutput) -> SessionOutput {
         match out {
             StmtOutput::Created(n) => SessionOutput::Created(n),
@@ -419,7 +641,7 @@ impl Session {
             },
             StmtOutput::Table(t) => SessionOutput::Table(t),
             StmtOutput::Subgraph(sg) => {
-                let db = self.shared.db.read();
+                let db = self.shared.snapshot();
                 let summary = db.graph_ref().map(|g| sg.summary(g)).unwrap_or_else(|| {
                     format!("{} vertices, {} edges", sg.n_vertices(), sg.n_edges())
                 });
@@ -461,7 +683,15 @@ impl Session {
                 return sink;
             }
         };
-        let mut diags = self.shared.db.write().check_script(&script);
+        // Check on a working copy and publish it, so the statistics the
+        // check refreshed stay cached for later checks and plans.
+        let mut diags = {
+            let _wl = self.shared.write_lock.lock();
+            let mut working = Database::clone(&self.shared.snapshot());
+            let diags = working.check_script(&script);
+            self.shared.install(working);
+            diags
+        };
         for stmt in &script.statements {
             if let Err(e) = self.check(stmt) {
                 diags.push(graql_types::Diagnostic::error(
@@ -486,6 +716,19 @@ impl Session {
             )));
         }
         Ok(())
+    }
+}
+
+/// True for statements whose effects must survive a crash: DDL creates,
+/// ingest, and `into`-capturing selects. Plain selects and profiles read
+/// (or measure) without durable effects.
+fn stmt_is_logged(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::CreateTable(_) | Stmt::CreateVertex(_) | Stmt::CreateEdge(_) | Stmt::Ingest(_) => {
+            true
+        }
+        Stmt::Select(sel) => sel.into.is_some(),
+        Stmt::Profile(_) => false,
     }
 }
 
@@ -612,5 +855,31 @@ mod tests {
         let mut eve = s.connect("eve").unwrap();
         let ddl = crate::ir::encode(&graql_parser::parse("create table Z(a integer)").unwrap());
         assert!(eve.execute_ir(&ddl).is_err());
+    }
+
+    #[test]
+    fn pinned_epoch_is_immutable_under_writes() {
+        let s = server();
+        let before = s.snapshot();
+        let mut sess = s.connect("admin").unwrap();
+        sess.execute_script("ingest table T extra.csv").ok(); // missing file: no-op
+        s.database_mut().ingest_str("T", "4\n5\n").unwrap();
+        // The pinned epoch still sees exactly the old rows.
+        assert_eq!(before.table("T").unwrap().n_rows(), 3);
+        assert_eq!(s.snapshot().table("T").unwrap().n_rows(), 5);
+    }
+
+    #[test]
+    fn reads_reuse_the_epoch_without_publishing_new_ones() {
+        let s = server();
+        let mut sess = s.connect("admin").unwrap();
+        // First read builds + publishes a graph-complete epoch…
+        sess.execute_script("select a from table T").unwrap();
+        let id = s.epoch_id();
+        // …further reads reuse it: the epoch counter must not move.
+        for _ in 0..5 {
+            sess.execute_script("select a from table T").unwrap();
+        }
+        assert_eq!(s.epoch_id(), id, "reads publish no epochs");
     }
 }

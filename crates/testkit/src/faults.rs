@@ -51,6 +51,18 @@ pub const FAULT_MATRIX: &[FaultCase] = &[
     case("core/persist/save-io", "1*err"),
     case("core/persist/save-commit", "1*err"),
     case("core/persist/load-io", "1*err"),
+    // Write-ahead-log faults (crates/core/src/wal). `err` on append/fsync
+    // is transient: the commit is refused with a typed error, the log is
+    // rolled back to its durable prefix, and the next commit succeeds.
+    // `truncate`/`corrupt` on append simulate a crash mid-write: they
+    // leave a torn/corrupt tail on disk and poison the WAL, and the
+    // recovery path must discard the tail on reopen (tests/wal_recovery.rs
+    // drives those through reopen cycles).
+    case("core/wal/append", "1*err"),
+    case("core/wal/append", "1*truncate"),
+    case("core/wal/append", "1*corrupt"),
+    case("core/wal/fsync", "1*err"),
+    case("core/wal/checkpoint", "1*err"),
     case("core/exec/cancel", "1*err"),
     case("core/exec/cancel-stmt", "1*err"),
     // Governance: a fault at the per-batch guard checkpoint aborts the

@@ -24,6 +24,7 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::error::GraqlError;
@@ -520,6 +521,160 @@ pub fn json_escape(s: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// WalMetrics
+// ---------------------------------------------------------------------------
+
+/// Counters and histograms for the durable storage engine (`core::wal`).
+///
+/// Lives in `graql-types` so the registry can render it without the types
+/// crate depending on core; the WAL holds an `Arc` to the same instance it
+/// registers via [`MetricsRegistry::attach_wal`]. Everything is lock-free:
+/// the commit thread records around every fsync and never contends with a
+/// scrape.
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    /// Records appended to the log (one per logged statement).
+    pub records_appended: Counter,
+    /// Group commits, i.e. fsync calls covering >= 1 record.
+    pub group_commits: Counter,
+    /// Largest batch (records per fsync) observed so far.
+    max_batch_records: AtomicU64,
+    /// fsync wall time per group commit.
+    pub fsync_nanos: Histogram,
+    /// Checkpoints folded into the snapshot.
+    pub checkpoints: Counter,
+    /// Checkpoint wall time (snapshot write + log truncate).
+    pub checkpoint_nanos: Histogram,
+    /// Records replayed from the log during recovery.
+    pub replayed_records: Counter,
+    /// Bytes of torn (uncommitted) tail discarded during recovery.
+    pub torn_bytes_discarded: Counter,
+}
+
+impl WalMetrics {
+    pub fn new() -> WalMetrics {
+        WalMetrics::default()
+    }
+
+    /// Records one group commit of `batch` records.
+    pub fn note_group_commit(&self, batch: u64, fsync_nanos: u64) {
+        self.group_commits.inc();
+        self.records_appended.add(batch);
+        self.max_batch_records.fetch_max(batch, Ordering::Relaxed);
+        self.fsync_nanos.observe(fsync_nanos);
+    }
+
+    pub fn max_batch_records(&self) -> u64 {
+        self.max_batch_records.load(Ordering::Relaxed)
+    }
+
+    /// The `wal:` lines merged into the registry's `describe` section.
+    pub fn render_describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "    wal: {} records, {} group commits, max batch {}",
+            self.records_appended.get(),
+            self.group_commits.get(),
+            self.max_batch_records(),
+        );
+        let _ = writeln!(
+            out,
+            "    wal durability: {} fsyncs ({:?} total), {} checkpoints, {} replayed",
+            self.fsync_nanos.count(),
+            Duration::from_nanos(self.fsync_nanos.sum()),
+            self.checkpoints.get(),
+            self.replayed_records.get(),
+        );
+        out
+    }
+
+    /// Prometheus exposition of the WAL series (`graql_wal_*`).
+    pub fn render_prometheus(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_records_appended_total WAL records appended."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_records_appended_total counter");
+        let _ = writeln!(
+            out,
+            "graql_wal_records_appended_total {}",
+            self.records_appended.get()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_group_commits_total Group commits (fsync batches)."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_group_commits_total counter");
+        let _ = writeln!(
+            out,
+            "graql_wal_group_commits_total {}",
+            self.group_commits.get()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_max_batch_records Largest records-per-fsync batch seen."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_max_batch_records gauge");
+        let _ = writeln!(
+            out,
+            "graql_wal_max_batch_records {}",
+            self.max_batch_records()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_fsync_duration_nanoseconds fsync latency per group commit."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_fsync_duration_nanoseconds histogram");
+        self.fsync_nanos
+            .render_prometheus(out, "graql_wal_fsync_duration_nanoseconds", "");
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_checkpoints_total Checkpoints folded into the snapshot."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_checkpoints_total counter");
+        let _ = writeln!(
+            out,
+            "graql_wal_checkpoints_total {}",
+            self.checkpoints.get()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_checkpoint_duration_nanoseconds Checkpoint wall time."
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE graql_wal_checkpoint_duration_nanoseconds histogram"
+        );
+        self.checkpoint_nanos.render_prometheus(
+            out,
+            "graql_wal_checkpoint_duration_nanoseconds",
+            "",
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_replayed_records_total Records replayed during recovery."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_replayed_records_total counter");
+        let _ = writeln!(
+            out,
+            "graql_wal_replayed_records_total {}",
+            self.replayed_records.get()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_wal_torn_bytes_discarded_total Torn-tail bytes discarded during recovery."
+        );
+        let _ = writeln!(out, "# TYPE graql_wal_torn_bytes_discarded_total counter");
+        let _ = writeln!(
+            out,
+            "graql_wal_torn_bytes_discarded_total {}",
+            self.torn_bytes_discarded.get()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 
@@ -585,6 +740,11 @@ pub struct MetricsRegistry {
     pub slow_queries: Counter,
     stage_latency: [Histogram; N_STAGES],
     query_latency: Histogram,
+    /// WAL metrics, attached once when the server opens a durable
+    /// database. `None` for in-memory servers, which keeps their
+    /// `describe` / Prometheus output byte-identical to before the
+    /// storage engine existed.
+    wal: OnceLock<Arc<WalMetrics>>,
 }
 
 impl MetricsRegistry {
@@ -635,6 +795,18 @@ impl MetricsRegistry {
         &self.stage_latency[stage.idx()]
     }
 
+    /// Attaches the WAL's metrics so they render in `describe` and the
+    /// Prometheus exposition. First attach wins; later calls are ignored
+    /// (a server opens at most one durable database).
+    pub fn attach_wal(&self, wal: Arc<WalMetrics>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// The attached WAL metrics, if this server is durable.
+    pub fn wal(&self) -> Option<&Arc<WalMetrics>> {
+        self.wal.get()
+    }
+
     /// The `metrics:` section merged into `describe` output. The counter
     /// values here are the same atomics the Prometheus exposition reads,
     /// so the two always agree.
@@ -659,6 +831,9 @@ impl MetricsRegistry {
             self.profiles_recorded.get(),
             self.slow_queries.get()
         );
+        if let Some(wal) = self.wal.get() {
+            out.push_str(&wal.render_describe());
+        }
         out
     }
 
@@ -735,6 +910,9 @@ impl MetricsRegistry {
             }
             let labels = format!("stage=\"{}\"", stage.name());
             hist.render_prometheus(&mut out, "graql_stage_duration_nanoseconds", &labels);
+        }
+        if let Some(wal) = self.wal.get() {
+            wal.render_prometheus(&mut out);
         }
         out
     }
@@ -860,6 +1038,36 @@ mod tests {
         let desc = m.render_describe();
         assert!(desc.contains("queries: ok 2, error 0, cancelled 0, deadline 1, budget 1, shed 0"));
         assert!(desc.contains("streamed: 7 rows, 0 bytes"));
+    }
+
+    #[test]
+    fn wal_metrics_attach_and_render() {
+        let m = MetricsRegistry::new();
+        // Unattached: no wal lines anywhere (in-memory servers unchanged).
+        assert!(!m.render_prometheus().contains("graql_wal_"));
+        assert!(!m.render_describe().contains("wal:"));
+        let w = Arc::new(WalMetrics::new());
+        w.note_group_commit(3, 2_000);
+        w.note_group_commit(1, 1_000);
+        w.checkpoints.inc();
+        w.replayed_records.add(5);
+        m.attach_wal(Arc::clone(&w));
+        assert_eq!(w.records_appended.get(), 4);
+        assert_eq!(w.max_batch_records(), 3);
+        let text = m.render_prometheus();
+        assert!(text.contains("graql_wal_records_appended_total 4"));
+        assert!(text.contains("graql_wal_group_commits_total 2"));
+        assert!(text.contains("graql_wal_max_batch_records 3"));
+        assert!(text.contains("graql_wal_fsync_duration_nanoseconds_count 2"));
+        assert!(text.contains("graql_wal_checkpoints_total 1"));
+        assert!(text.contains("graql_wal_replayed_records_total 5"));
+        let desc = m.render_describe();
+        assert!(desc.contains("wal: 4 records, 2 group commits, max batch 3"));
+        // Second attach is ignored.
+        m.attach_wal(Arc::new(WalMetrics::new()));
+        assert!(m
+            .render_prometheus()
+            .contains("graql_wal_records_appended_total 4"));
     }
 
     #[test]

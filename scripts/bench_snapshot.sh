@@ -29,9 +29,10 @@ BASELINE="${BENCH_BASELINE:-BENCH_5.json}"
 OUT="${BENCH_OUT:-target/bench/BENCH_5.json}"
 THRESHOLD="${BENCH_THRESHOLD:-1.25}"
 # The pinned subset: one graph-query bench, one relational-kernel bench,
-# one threading bench, one wire bench. The rest of the 13 benches stay
-# local-only — this lane is a regression tripwire, not a paper artifact.
-BENCHES=(berlin_queries relational_ops parallel_scaling net_roundtrip)
+# one threading bench, one wire bench, and the WAL commit bench. The rest
+# of the benches stay local-only — this lane is a regression tripwire,
+# not a paper artifact.
+BENCHES=(berlin_queries relational_ops parallel_scaling net_roundtrip wal)
 
 host_fingerprint() {
     local cpu cores

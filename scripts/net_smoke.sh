@@ -12,7 +12,8 @@ workdir="$(mktemp -d)"
 log="${SERVE_LOG:-$workdir/gems-serve.log}"
 metrics_out="${METRICS_OUT:-$workdir/metrics.prom}"
 slow_log="${SLOW_LOG:-$workdir/slow-queries.jsonl}"
-trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+serve_pid="" durable_pid="" durable2_pid=""
+trap 'kill $serve_pid $durable_pid $durable2_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 # Fixtures for scripts/berlin_demo.graql.
 printf 'p1,Alpha,m1,10.0\np2,Beta,m1,20.0\np3,Gamma,m2,30.0\n' > "$workdir/Products.csv"
@@ -85,5 +86,108 @@ if ! diff -u "$workdir/local.out" "$workdir/remote.out"; then
     echo "net_smoke: local and remote output diverge" >&2
     exit 1
 fi
+# ---- Durability round: kill -9 mid-ingest, restart, verify recovery ----
+# A durable server is fed ingest batches, killed with SIGKILL (no drain,
+# no checkpoint), restarted over the same directory, and must come back
+# with a whole number of committed 3-row batches — nothing torn, nothing
+# acknowledged lost.
+ddir="$workdir/durable"
+dlog="$workdir/gems-serve-durable.log"
+mkfifo "$workdir/dctl"
+sleep 60 > "$workdir/dctl" &
+dholder_pid=$!
+"$bindir/gems-serve" --addr 127.0.0.1:0 --durable "$ddir" --data-dir "$workdir" \
+    < "$workdir/dctl" > "$dlog" 2>&1 &
+durable_pid=$!
+daddr=""
+for _ in $(seq 100); do
+    daddr="$(sed -n 's/^gems-serve listening on //p' "$dlog")"
+    [ -n "$daddr" ] && break
+    sleep 0.1
+done
+if [ -z "$daddr" ]; then
+    echo "net_smoke: durable gems-serve never became ready" >&2
+    cat "$dlog" >&2
+    exit 1
+fi
+
+# Acknowledged setup: schema plus one batch must survive anything.
+cat > "$workdir/d_setup.graql" <<'GRAQL'
+create table Products(id varchar(16), label varchar(32), producer varchar(16), price float)
+ingest table Products Products.csv
+GRAQL
+"$bindir/gems-shell" "$workdir/d_setup.graql" --connect "$daddr" --user admin > /dev/null
+
+# Keep ingesting batches in the background, then SIGKILL the server
+# mid-stream: recovery must come from the write-ahead log alone.
+cat > "$workdir/d_batch.graql" <<'GRAQL'
+ingest table Products Products.csv
+GRAQL
+(
+    for _ in $(seq 50); do
+        "$bindir/gems-shell" "$workdir/d_batch.graql" --connect "$daddr" --user admin \
+            > /dev/null 2>&1 || exit 0
+    done
+) &
+feeder_pid=$!
+sleep 0.7
+kill -9 "$durable_pid" 2>/dev/null || true
+wait "$durable_pid" 2>/dev/null || true
+wait "$feeder_pid" 2>/dev/null || true
+kill "$dholder_pid" 2>/dev/null || true
+durable_pid=""
+
+# Restart over the same directory: committed records replay.
+dlog2="$workdir/gems-serve-durable2.log"
+mkfifo "$workdir/dctl2"
+sleep 60 > "$workdir/dctl2" &
+dholder2_pid=$!
+"$bindir/gems-serve" --addr 127.0.0.1:0 --durable "$ddir" \
+    < "$workdir/dctl2" > "$dlog2" 2>&1 &
+durable2_pid=$!
+daddr2=""
+for _ in $(seq 100); do
+    daddr2="$(sed -n 's/^gems-serve listening on //p' "$dlog2")"
+    [ -n "$daddr2" ] && break
+    sleep 0.1
+done
+if [ -z "$daddr2" ]; then
+    echo "net_smoke: durable gems-serve did not recover" >&2
+    cat "$dlog2" >&2
+    exit 1
+fi
+if ! grep -q '^gems-serve: durable at ' "$dlog2"; then
+    echo "net_smoke: restart did not report recovery" >&2
+    cat "$dlog2" >&2
+    exit 1
+fi
+
+cat > "$workdir/d_verify.graql" <<'GRAQL'
+select producer from table Products
+GRAQL
+"$bindir/gems-shell" "$workdir/d_verify.graql" --connect "$daddr2" --user admin \
+    > "$workdir/d_verify.out"
+rows="$(sed -n 's/^\[0\] table (\([0-9]*\) rows):$/\1/p' "$workdir/d_verify.out")"
+if [ -z "$rows" ] || [ "$rows" -lt 3 ] || [ $((rows % 3)) -ne 0 ]; then
+    echo "net_smoke: durable recovery wrong: want a positive multiple of 3 rows," \
+        "got '${rows:-none}'" >&2
+    cat "$dlog2" >&2
+    cat "$workdir/d_verify.out" >&2
+    exit 1
+fi
+
+# Graceful shutdown folds the log into a snapshot (the final-checkpoint
+# path); the metadata file must exist afterwards.
+echo shutdown > "$workdir/dctl2"
+kill "$dholder2_pid" 2>/dev/null || true
+wait "$durable2_pid"
+durable2_pid=""
+if [ ! -f "$ddir/wal.meta" ]; then
+    echo "net_smoke: no wal.meta after the shutdown checkpoint" >&2
+    ls -la "$ddir" >&2 || true
+    exit 1
+fi
+
 echo "net_smoke: OK ($(wc -l < "$workdir/local.out") identical output lines," \
-    "$ok_count ok queries scraped, $(wc -l < "$slow_log") slow-log lines)"
+    "$ok_count ok queries scraped, $(wc -l < "$slow_log") slow-log lines," \
+    "durable recovery held $rows rows across kill -9)"

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR]
+//!            [--durable DIR] [--checkpoint-every N]
 //!            [--init SCRIPT] [--user NAME=ROLE]...
 //!            [--request-timeout SECS] [--idle-timeout SECS]
 //!            [--request-timeout-ms MS] [--idle-timeout-ms MS]
@@ -21,18 +22,27 @@
 //! arrives — both trigger a graceful shutdown that drains in-flight
 //! requests. Process supervisors that pipe stdin therefore get clean
 //! teardown for free; `kill` still works, it just skips the drain.
+//!
+//! With `--durable DIR` the database lives in `DIR`: every mutating
+//! statement is write-ahead logged before it is acknowledged, startup
+//! recovers the last snapshot plus all committed log records (discarding
+//! any torn tail a crash left behind), and graceful shutdown folds the
+//! log into a fresh snapshot. `kill -9` loses nothing that was
+//! acknowledged. `--checkpoint-every N` tunes how many log records
+//! accumulate before an automatic checkpoint (0 = only on shutdown).
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use graql::core::{load_dir, Database, Role, Server};
+use graql::core::{load_dir, Database, DurabilityOptions, Role, Server};
 use graql::net::{serve, ServeOptions};
 use graql::types::QueryBudget;
 
 fn usage() -> ! {
     eprintln!(
         "usage: gems-serve [--addr HOST:PORT] [--data-dir DIR] [--load DIR] \
+         [--durable DIR] [--checkpoint-every N] \
          [--init SCRIPT] [--user NAME=ROLE]... [--request-timeout SECS] \
          [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
          [--max-connections N] [--error-budget N] [--max-concurrency N] \
@@ -50,6 +60,8 @@ fn main() -> ExitCode {
     };
     let mut data_dir: Option<String> = None;
     let mut load: Option<String> = None;
+    let mut durable: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut init: Option<String> = None;
     let mut users: Vec<(String, Role)> = Vec::new();
     let mut budget = QueryBudget::UNLIMITED;
@@ -58,6 +70,14 @@ fn main() -> ExitCode {
             "--addr" => opts.addr = args.next().unwrap_or_else(|| usage()),
             "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--load" => load = Some(args.next().unwrap_or_else(|| usage())),
+            "--durable" => durable = Some(args.next().unwrap_or_else(|| usage())),
+            "--checkpoint-every" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u64>() {
+                    Ok(n) => checkpoint_every = Some(n),
+                    Err(_) => usage(),
+                }
+            }
             "--init" => init = Some(args.next().unwrap_or_else(|| usage())),
             "--user" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -159,18 +179,47 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut db = match &load {
-        Some(dir) => match load_dir(std::path::Path::new(dir)) {
-            Ok(db) => db,
+    let server = if let Some(dir) = &durable {
+        if load.is_some() {
+            eprintln!(
+                "gems-serve: --durable and --load are mutually exclusive \
+                 (the durable directory carries its own snapshot)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut dopts = DurabilityOptions::default();
+        if let Some(n) = checkpoint_every {
+            dopts.checkpoint_every = n;
+        }
+        match Server::open_durable(std::path::Path::new(dir), dopts) {
+            Ok((server, report)) => {
+                eprintln!(
+                    "gems-serve: durable at {dir} (snapshot loaded: {}, replayed {} records, \
+                     discarded {} torn bytes)",
+                    report.snapshot_loaded, report.replayed_records, report.torn_bytes_discarded
+                );
+                server
+            }
             Err(e) => {
-                eprintln!("gems-serve: cannot load {dir}: {e}");
+                eprintln!("gems-serve: cannot open durable dir {dir}: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-        None => Database::new(),
+        }
+    } else {
+        let db = match &load {
+            Some(dir) => match load_dir(std::path::Path::new(dir)) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("gems-serve: cannot load {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Database::new(),
+        };
+        Server::new(db)
     };
     if let Some(dir) = data_dir {
-        db.set_data_dir(dir);
+        server.database_mut().set_data_dir(dir);
     }
     if let Some(path) = init {
         let text = match std::fs::read_to_string(&path) {
@@ -180,13 +229,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = db.execute_script(&text) {
+        // Route through a session so a durable server write-ahead logs
+        // the init statements like any other mutation.
+        let run = server
+            .connect("admin")
+            .and_then(|mut sess| sess.execute_script(&text));
+        if let Err(e) = run {
             eprintln!("gems-serve: init script failed: {e}");
             return ExitCode::FAILURE;
         }
     }
 
-    let server = Server::new(db);
     // The budget lives on the database config (single source of truth):
     // the net layer folds in its per-request deadline, and `check`
     // requests see a governed catalog so W0303 stays quiet.
@@ -198,6 +251,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let server_handle = server.clone();
     let mut net = match serve(server, opts) {
         Ok(net) => net,
         Err(e) => {
@@ -224,5 +278,10 @@ fn main() -> ExitCode {
     }
     eprintln!("gems-serve: shutting down (draining in-flight requests)");
     net.shutdown();
+    // Fold the log into a snapshot so the next start replays nothing.
+    if let Err(e) = server_handle.checkpoint_now() {
+        eprintln!("gems-serve: final checkpoint failed (log is intact): {e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -66,7 +66,7 @@ fn may_fail_typed(site: &str) -> bool {
 fn every_site_every_seed_no_panics_no_hangs() {
     let net_cases: Vec<&FaultCase> = FAULT_MATRIX
         .iter()
-        .filter(|c| !c.site.starts_with("core/persist/"))
+        .filter(|c| !c.site.starts_with("core/persist/") && !c.site.starts_with("core/wal/"))
         .collect();
     for seed in seeds() {
         for case in &net_cases {
@@ -128,6 +128,59 @@ fn every_site_every_seed_no_panics_no_hangs() {
             );
         }
     }
+}
+
+/// Write-ahead-log faults: an `err` on append or fsync refuses the
+/// commit with a typed error and rolls the log back to its durable
+/// prefix — the statement's effects are *not* published, and the next
+/// commit succeeds. A checkpoint `err` leaves the log intact and the
+/// next checkpoint folds it. Nothing uncommitted ever survives a reopen.
+#[test]
+fn wal_faults_are_typed_and_transient() {
+    use graql::core::{DurabilityOptions, Server};
+    let dir = std::env::temp_dir().join(format!("graql_fault_wal_{}", std::process::id()));
+    for seed in seeds() {
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (server, _) = Server::open_durable(&dir, DurabilityOptions::default()).unwrap();
+            let mut sess = server.connect("admin").unwrap();
+            sess.execute_script("create table T(id integer)").unwrap();
+
+            {
+                let _guard = arm_exclusive(&[("core/wal/append", "1*err")], seed);
+                let err = sess
+                    .execute_script("create table U(id integer)")
+                    .unwrap_err();
+                assert!(matches!(err, GraqlError::Ingest(_)), "append typed: {err}");
+                // The refused statement's epoch was never published.
+                assert!(server.snapshot().table("U").is_none(), "append rollback");
+                // The bounded fault is spent: the retry commits cleanly.
+                sess.execute_script("create table U(id integer)").unwrap();
+            }
+            {
+                let _guard = arm_exclusive(&[("core/wal/fsync", "1*err")], seed);
+                let err = sess
+                    .execute_script("create table V(id integer)")
+                    .unwrap_err();
+                assert!(matches!(err, GraqlError::Ingest(_)), "fsync typed: {err}");
+                assert!(server.snapshot().table("V").is_none(), "fsync rollback");
+                sess.execute_script("create table V(id integer)").unwrap();
+            }
+            {
+                let _guard = arm_exclusive(&[("core/wal/checkpoint", "1*err")], seed);
+                let err = server.checkpoint_now().unwrap_err();
+                assert!(matches!(err, GraqlError::Ingest(_)), "ckpt typed: {err}");
+                // The log is intact; the retry folds it.
+                server.checkpoint_now().unwrap();
+            }
+        }
+        // Reopen: exactly the acknowledged statements survive.
+        let (server, report) = Server::open_durable(&dir, DurabilityOptions::default()).unwrap();
+        assert!(report.snapshot_loaded, "checkpoint produced a snapshot");
+        let db = server.snapshot();
+        assert!(db.table("T").is_some() && db.table("U").is_some() && db.table("V").is_some());
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Persistence faults: `save_dir`/`load_dir` fail with a typed ingest
