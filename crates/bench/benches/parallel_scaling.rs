@@ -1,10 +1,12 @@
-//! EXP-PAR: intra-node data parallelism (rayon thread sweep).
+//! EXP-PAR: intra-node data parallelism (morsel-driven thread sweep).
 //!
 //! Paper claim (§I/§III): the backend targets "massively parallel
 //! execution of graph and tabular queries"; per-step candidate filtering
-//! and the relational kernels are data-parallel. Expected shape: runtime
-//! decreases with threads on scan-heavy work, flattening once the scan is
-//! memory-bound.
+//! and the relational kernels are data-parallel. The engine's own morsel
+//! scheduler (`ExecConfig::threads`, DESIGN.md §4.8) is swept directly —
+//! results are byte-identical at every point, so the sweep measures pure
+//! scheduling/scaling behaviour. Expected shape: runtime decreases with
+//! threads on scan-heavy work, flattening once the scan is memory-bound.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graql_bench::{berlin, run_rows};
@@ -26,19 +28,16 @@ fn bench(c: &mut Criterion) {
         if threads > available.max(2) {
             continue;
         }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool builds");
         let mut db = berlin(2000);
+        db.config_mut().threads = threads;
         group.bench_with_input(BenchmarkId::new("table_scan_sort", threads), &(), |b, _| {
-            b.iter(|| pool.install(|| black_box(run_rows(&mut db, QUERY))));
+            b.iter(|| black_box(run_rows(&mut db, QUERY)));
         });
         group.bench_with_input(
             BenchmarkId::new("graph_filtered_hop", threads),
             &(),
             |b, _| {
-                b.iter(|| pool.install(|| black_box(run_rows(&mut db, GRAPH_QUERY))));
+                b.iter(|| black_box(run_rows(&mut db, GRAPH_QUERY)));
             },
         );
     }

@@ -96,6 +96,7 @@ pub fn run_path_query(
         params: db.params(),
         guard: graql_types::QueryGuard::unlimited(),
         obs: None,
+        stats: None,
     };
     let cands: Vec<Cand> = cpath
         .vsteps

@@ -38,6 +38,7 @@ fn local_bindings(
         params: db.params(),
         guard: graql_types::QueryGuard::unlimited(),
         obs: None,
+        stats: None,
     };
     let qr = run_query(&ctx, &[path], true).unwrap();
     let mut out: Vec<_> = qr

@@ -552,6 +552,7 @@ impl Database {
             params: &self.params,
             guard,
             obs: None,
+            stats: self.catstats.as_deref(),
         })
     }
 

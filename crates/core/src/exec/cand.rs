@@ -6,11 +6,10 @@ use std::collections::BTreeMap;
 use graql_graph::{ETypeId, VTypeId};
 use graql_table::BitSet;
 use graql_types::{GraqlError, Result};
-use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
 use crate::compile::{CEStep, CVStep};
-use crate::exec::ExecCtx;
+use crate::exec::{morsel, ExecCtx};
 
 /// Candidate vertices of one step: a bitset per candidate type.
 ///
@@ -28,10 +27,10 @@ pub fn cand_is_empty(c: &Cand) -> bool {
     c.values().all(BitSet::none)
 }
 
-const PAR_THRESHOLD: usize = 4096;
-
 /// Computes the local candidate set of a vertex step (domain, local
-/// filters, seed restriction).
+/// filters, seed restriction). The per-type predicate scan is morsel-
+/// parallel above [`morsel::PAR_MIN_ITEMS`]; the hit lists concatenate in
+/// morsel order, so the resulting bitset is identical to a serial scan.
 pub fn local_candidates(ctx: &ExecCtx<'_>, step: &CVStep) -> Result<Cand> {
     let mut out = Cand::new();
     for &vt in &step.domain {
@@ -41,15 +40,19 @@ pub fn local_candidates(ctx: &ExecCtx<'_>, step: &CVStep) -> Result<Cand> {
             None => BitSet::full(n),
             Some(pred) => {
                 let table = ctx.vtable(vt);
-                let eval = |i: u32| -> bool {
-                    let row = vset.mapping.rep_row(i as usize) as usize;
-                    pred.eval_bool(table, row)
-                };
-                let hits: Vec<u32> = if n < PAR_THRESHOLD {
-                    (0..n as u32).filter(|&i| eval(i)).collect()
-                } else {
-                    (0..n as u32).into_par_iter().filter(|&i| eval(i)).collect()
-                };
+                let workers = morsel::scan_workers(ctx.config.threads, n, morsel::PAR_MIN_ITEMS);
+                let parts =
+                    morsel::run_morsels(ctx.guard, n, morsel::MORSEL_ROWS, workers, |_, range| {
+                        let mut hits: Vec<u32> = Vec::new();
+                        for i in range {
+                            let row = vset.mapping.rep_row(i) as usize;
+                            if pred.eval_bool(table, row) {
+                                hits.push(i as u32);
+                            }
+                        }
+                        Ok(hits)
+                    })?;
+                let hits = morsel::concat(parts);
                 BitSet::from_indices(n, hits.into_iter().map(|i| i as usize))
             }
         };

@@ -6,17 +6,19 @@
 //! results (Fig. 13: one row per match, duplicates meaningful — Berlin Q2
 //! counts them), element-wise labels and cross-step conditions.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use graql_graph::{ETypeId, VTypeId};
 use graql_table::BitSet;
 use graql_types::{GraqlError, Result, Value};
 use rustc_hash::FxHashMap;
 
-use graql_parser::ast::LabelKind;
+use graql_parser::ast::{Dir, LabelKind};
 
 use crate::compile::{BOperand, BindingCond, CLink, CPath};
 use crate::exec::cand::Cand;
 use crate::exec::expand::extensions_of;
-use crate::exec::ExecCtx;
+use crate::exec::{morsel, ExecCtx};
 
 /// One concrete match of a single path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -78,6 +80,14 @@ pub fn eval_cond_in_path(
 ///
 /// `order` must be a contiguous binding order (every step adjacent to the
 /// already-bound region) — see [`crate::plan::choose_order`].
+///
+/// When `ExecConfig::threads > 1` and the estimated work clears the
+/// profitability floor, the depth-0 start vertices are split into morsels
+/// enumerated by parallel workers, each running its own DFS into a local
+/// buffer; the buffers concatenate in morsel order, which is exactly the
+/// serial DFS emission order, and `on_binding` then sees the identical
+/// stream. Row/byte budgets are shared atomics, so limits trip at the
+/// same totals as serial execution.
 pub fn enumerate_path(
     ctx: &ExecCtx<'_>,
     path: &CPath,
@@ -131,9 +141,6 @@ pub fn enumerate_path(
         }
     }
 
-    let mut vbind: Vec<Option<(VTypeId, u32)>> = vec![None; n];
-    let mut ebind: Vec<Option<(ETypeId, u32)>> = vec![None; n.saturating_sub(1)];
-
     struct Dfs<'c, 'p, F: FnMut(Binding) -> Result<()>> {
         ctx: &'c ExecCtx<'c>,
         path: &'p CPath,
@@ -143,12 +150,34 @@ pub fn enumerate_path(
         order: &'p [usize],
         checks_at: &'p [Vec<Check<'p>>],
         on_binding: F,
-        produced: usize,
+        /// Rows produced so far — shared across parallel workers so the
+        /// row cap trips at the same global total as serial execution.
+        produced: &'p AtomicUsize,
         max_rows: usize,
         ticker: graql_types::guard::Ticker<'c>,
     }
 
     impl<F: FnMut(Binding) -> Result<()>> Dfs<'_, '_, F> {
+        /// Depth 0: walk a slice of the flattened start list. Each start
+        /// is one iteration of what the serial DFS's outermost loop did.
+        fn run(
+            &mut self,
+            starts: &[(VTypeId, u32)],
+            vbind: &mut Vec<Option<(VTypeId, u32)>>,
+            ebind: &mut Vec<Option<(ETypeId, u32)>>,
+        ) -> Result<()> {
+            let s = self.order[0];
+            for &(vt, v) in starts {
+                self.ticker.tick()?;
+                vbind[s] = Some((vt, v));
+                if self.run_checks(0, vbind)? {
+                    self.recurse(1, vbind, ebind)?;
+                }
+            }
+            vbind[s] = None;
+            Ok(())
+        }
+
         fn run_checks(&mut self, depth: usize, vbind: &[Option<(VTypeId, u32)>]) -> Result<bool> {
             for chk in &self.checks_at[depth] {
                 match chk {
@@ -179,9 +208,9 @@ pub fn enumerate_path(
         ) -> Result<()> {
             let n = self.path.vsteps.len();
             if depth == n {
-                self.produced += 1;
+                let total = self.produced.fetch_add(1, Ordering::Relaxed) + 1;
                 self.ctx.guard.add_rows(1)?;
-                if self.produced > self.max_rows {
+                if total > self.max_rows {
                     return Err(GraqlError::exec(format!(
                         "query produced more than {} rows; raise ExecConfig::max_rows",
                         self.max_rows
@@ -194,19 +223,6 @@ pub fn enumerate_path(
                 return (self.on_binding)(b);
             }
             let s = self.order[depth];
-            if depth == 0 {
-                for (&vt, set) in &self.cands[s] {
-                    for v in set.iter() {
-                        self.ticker.tick()?;
-                        vbind[s] = Some((vt, v as u32));
-                        if self.run_checks(depth, vbind)? {
-                            self.recurse(depth + 1, vbind, ebind)?;
-                        }
-                    }
-                }
-                vbind[s] = None;
-                return Ok(());
-            }
             // Exactly one neighbor of s is already bound (contiguous order).
             let (neighbor, forward) = if s > 0 && vbind[s - 1].is_some() {
                 (s - 1, true)
@@ -244,20 +260,110 @@ pub fn enumerate_path(
         }
     }
 
-    let mut dfs = Dfs {
-        ctx,
-        path,
-        path_idx,
-        cands,
-        efilters,
-        order,
-        checks_at: &checks_at,
-        on_binding: &mut on_binding,
-        produced: 0,
-        max_rows: ctx.config.max_rows,
-        ticker: ctx.guard.ticker(),
+    // A path with no vertex steps binds the empty match exactly once.
+    if n == 0 {
+        ctx.guard.add_rows(1)?;
+        return on_binding(Binding {
+            v: Vec::new(),
+            e: Vec::new(),
+        });
+    }
+
+    let produced = AtomicUsize::new(0);
+    let max_rows = ctx.config.max_rows;
+
+    // Flatten the depth-0 candidates into one start list: `Cand` is a
+    // BTreeMap and bitset iteration is ascending, so this is exactly the
+    // serial DFS's outermost iteration order — and the parallel split
+    // point.
+    let s0 = order[0];
+    let starts: Vec<(VTypeId, u32)> = cands[s0]
+        .iter()
+        .flat_map(|(&vt, set)| set.iter().map(move |v| (vt, v as u32)))
+        .collect();
+
+    // Estimated extensions out of depth 0 (catalog mean degree of the
+    // first link's edge types when known): the dispatch heuristic for how
+    // much enumeration work the starts fan out into.
+    let est = if order.len() >= 2 {
+        let s1 = order[1];
+        if let CLink::Edge(estep) = &path.links[s0.min(s1)] {
+            let names: Vec<&str> = match &estep.domain {
+                Some(d) => d
+                    .iter()
+                    .map(|&et| ctx.graph.eset(et).name.as_str())
+                    .collect(),
+                None => ctx
+                    .graph
+                    .etype_ids()
+                    .map(|et| ctx.graph.eset(et).name.as_str())
+                    .collect(),
+            };
+            morsel::est_traversed_edges(
+                ctx.stats,
+                &names,
+                starts.len(),
+                matches!(estep.dir, Dir::Out) == (s1 > s0),
+            )
+        } else {
+            starts.len()
+        }
+    } else {
+        starts.len()
     };
-    dfs.recurse(0, &mut vbind, &mut ebind)
+    let workers = morsel::scan_workers(ctx.config.threads, est, morsel::PAR_MIN_ITEMS);
+
+    if workers <= 1 {
+        // Serial: stream bindings straight to the caller.
+        let mut vbind: Vec<Option<(VTypeId, u32)>> = vec![None; n];
+        let mut ebind: Vec<Option<(ETypeId, u32)>> = vec![None; n.saturating_sub(1)];
+        let mut dfs = Dfs {
+            ctx,
+            path,
+            path_idx,
+            cands,
+            efilters,
+            order,
+            checks_at: &checks_at,
+            on_binding: &mut on_binding,
+            produced: &produced,
+            max_rows,
+            ticker: ctx.guard.ticker(),
+        };
+        return dfs.run(&starts, &mut vbind, &mut ebind);
+    }
+
+    // Parallel: each morsel of starts runs its own DFS into a local
+    // buffer; buffers concatenate in morsel order (= serial emission
+    // order) before the caller sees them.
+    let morsel_size = starts.len().div_ceil(workers * 8).max(1);
+    let parts = morsel::run_morsels(ctx.guard, starts.len(), morsel_size, workers, |_, range| {
+        let mut local: Vec<Binding> = Vec::new();
+        let mut vbind: Vec<Option<(VTypeId, u32)>> = vec![None; n];
+        let mut ebind: Vec<Option<(ETypeId, u32)>> = vec![None; n.saturating_sub(1)];
+        let mut dfs = Dfs {
+            ctx,
+            path,
+            path_idx,
+            cands,
+            efilters,
+            order,
+            checks_at: &checks_at,
+            on_binding: |b: Binding| {
+                local.push(b);
+                Ok(())
+            },
+            produced: &produced,
+            max_rows,
+            ticker: ctx.guard.ticker(),
+        };
+        dfs.run(&starts[range], &mut vbind, &mut ebind)?;
+        Ok(local)
+    })?;
+    for b in parts.into_iter().flatten() {
+        on_binding(b)?;
+    }
+    Ok(())
 }
 
 /// If step `j` is a label reference, returns the defining vertex step

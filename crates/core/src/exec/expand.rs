@@ -4,11 +4,12 @@
 use graql_graph::{Csr, ETypeId, VTypeId};
 use graql_parser::ast::Dir;
 use graql_table::BitSet;
+use graql_types::Result;
 use rustc_hash::FxHashMap;
 
 use crate::compile::CEStep;
 use crate::exec::cand::{edge_passes, Cand};
-use crate::exec::ExecCtx;
+use crate::exec::{morsel, ExecCtx};
 
 /// The edge types an edge step may use between `from_vt` (at the earlier
 /// path position) and some type in `to_dom` (at the later position), given
@@ -48,6 +49,12 @@ pub fn applicable_edges<'g>(
 /// Expands `from` through `estep` into the domain/allowance `to_allowed`,
 /// returning reached ∩ allowed. `forward` selects the path direction (see
 /// [`applicable_edges`]).
+///
+/// The per-type frontier walk goes morsel-parallel when the estimated
+/// traversed-edge count (catalog mean degrees × frontier size) clears the
+/// profitability floor. The output is a *set* per reached type, and
+/// bitset union is commutative, so the parallel merge is trivially
+/// byte-identical to the serial walk.
 pub fn expand(
     ctx: &ExecCtx<'_>,
     from: &Cand,
@@ -55,27 +62,80 @@ pub fn expand(
     efilters: &FxHashMap<ETypeId, BitSet>,
     to_allowed: &Cand,
     forward: bool,
-) -> Cand {
+) -> Result<Cand> {
     let mut out: Cand = to_allowed
         .iter()
         .map(|(&vt, s)| (vt, BitSet::new(s.len())))
         .collect();
     for (&vt_a, set_a) in from {
-        for (et, csr, reached) in applicable_edges(ctx, estep, vt_a, to_allowed, forward) {
-            let allowed = &to_allowed[&reached];
-            let dest = out.get_mut(&reached).expect("initialized from to_allowed");
-            for v in set_a.iter() {
-                let nbrs = csr.neighbors(v as u32);
-                let eids = csr.edge_ids(v as u32);
-                for (&t, &e) in nbrs.iter().zip(eids) {
-                    if allowed.contains(t as usize) && edge_passes(efilters, et, e) {
-                        dest.insert(t as usize);
+        let edges = applicable_edges(ctx, estep, vt_a, to_allowed, forward);
+        if edges.is_empty() {
+            continue;
+        }
+        let count = set_a.count();
+        let names: Vec<&str> = edges
+            .iter()
+            .map(|&(et, _, _)| ctx.graph.eset(et).name.as_str())
+            .collect();
+        let est = morsel::est_traversed_edges(
+            ctx.stats,
+            &names,
+            count,
+            matches!(estep.dir, Dir::Out) == forward,
+        );
+        let workers = morsel::scan_workers(ctx.config.threads, est, morsel::PAR_MIN_ITEMS);
+        if workers <= 1 {
+            for (et, csr, reached) in &edges {
+                let allowed = &to_allowed[reached];
+                let dest = out.get_mut(reached).expect("initialized from to_allowed");
+                for v in set_a.iter() {
+                    let nbrs = csr.neighbors(v as u32);
+                    let eids = csr.edge_ids(v as u32);
+                    for (&t, &e) in nbrs.iter().zip(eids) {
+                        if allowed.contains(t as usize) && edge_passes(efilters, *et, e) {
+                            dest.insert(t as usize);
+                        }
                     }
+                }
+            }
+        } else {
+            let verts: Vec<u32> = set_a.iter().map(|v| v as u32).collect();
+            // Few large morsels: each allocates a partial bitset per
+            // reached type, so morsel count is bounded, not row-driven.
+            let morsel_size = verts.len().div_ceil(workers * 4).max(1);
+            let parts =
+                morsel::run_morsels(ctx.guard, verts.len(), morsel_size, workers, |_, range| {
+                    let mut partial: Cand = to_allowed
+                        .iter()
+                        .map(|(&vt, s)| (vt, BitSet::new(s.len())))
+                        .collect();
+                    for &v in &verts[range] {
+                        for (et, csr, reached) in &edges {
+                            let allowed = &to_allowed[reached];
+                            let dest = partial
+                                .get_mut(reached)
+                                .expect("initialized from to_allowed");
+                            let nbrs = csr.neighbors(v);
+                            let eids = csr.edge_ids(v);
+                            for (&t, &e) in nbrs.iter().zip(eids) {
+                                if allowed.contains(t as usize) && edge_passes(efilters, *et, e) {
+                                    dest.insert(t as usize);
+                                }
+                            }
+                        }
+                    }
+                    Ok(partial)
+                })?;
+            for partial in parts {
+                for (vt, set) in partial {
+                    out.get_mut(&vt)
+                        .expect("initialized from to_allowed")
+                        .union_with(&set);
                 }
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// After culling, the concrete matched edges of a hop: edges whose source

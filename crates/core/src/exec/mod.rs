@@ -4,6 +4,7 @@ pub mod cand;
 pub mod enumerate;
 pub mod expand;
 pub mod explain;
+pub mod morsel;
 pub mod pipeline;
 pub mod query;
 pub mod regex;
@@ -34,6 +35,12 @@ pub struct ExecCtx<'a> {
     /// common case) keeps the instrumented kernels on the zero-overhead
     /// path — no clocks are read.
     pub obs: Option<&'a QueryProfile>,
+    /// Catalog statistics (PR 6 store), when the database has computed
+    /// them. Consulted only for order-neutral physical decisions — hash
+    /// join build side, parallel dispatch thresholds — never for anything
+    /// that changes logical enumeration order, so stale or absent stats
+    /// cannot change results.
+    pub stats: Option<&'a crate::catalog::CatalogStats>,
 }
 
 impl<'a> ExecCtx<'a> {

@@ -227,7 +227,7 @@ pub fn link_expand(
     forward: bool,
 ) -> Result<Cand> {
     match link {
-        CLink::Edge(e) => Ok(expand(ctx, from, e, efilter, to_allowed, forward)),
+        CLink::Edge(e) => expand(ctx, from, e, efilter, to_allowed, forward),
         CLink::Group(g) => {
             let mut reached = group_frontier(ctx, from, g, forward)?;
             // Restrict to the allowed sets on the far side.
@@ -369,23 +369,46 @@ fn produce_bindings(
                 })
                 .collect()
         };
-        let mut index: FxHashMap<Vec<(VTypeId, u32)>, Vec<usize>> = FxHashMap::default();
-        for (i, r) in rows.iter().enumerate() {
-            index.entry(row_key(r)).or_default().push(i);
+        // Build the hash table on the smaller side (exact cardinalities
+        // beat any estimate). Emission order is acc-major either way — the
+        // swapped path restores it with a pair sort — so the physical
+        // choice is invisible in results.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        if acc.len() * 4 < rows.len() {
+            let mut index: FxHashMap<Vec<(VTypeId, u32)>, Vec<usize>> = FxHashMap::default();
+            for (ai, a) in acc.iter().enumerate() {
+                index.entry(acc_key(a)).or_default().push(ai);
+            }
+            for (ri, r) in rows.iter().enumerate() {
+                if let Some(matches) = index.get(&row_key(r)) {
+                    for &ai in matches {
+                        pairs.push((ai, ri));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+        } else {
+            let mut index: FxHashMap<Vec<(VTypeId, u32)>, Vec<usize>> = FxHashMap::default();
+            for (ri, r) in rows.iter().enumerate() {
+                index.entry(row_key(r)).or_default().push(ri);
+            }
+            for (ai, a) in acc.iter().enumerate() {
+                if let Some(matches) = index.get(&acc_key(a)) {
+                    for &ri in matches {
+                        pairs.push((ai, ri));
+                    }
+                }
+            }
         }
         let mut next = Vec::new();
         let mut ticker = ctx.guard.ticker();
-        for a in &acc {
-            if let Some(matches) = index.get(&acc_key(a)) {
-                for &ri in matches {
-                    ticker.tick()?;
-                    let mut per_path = a.per_path.clone();
-                    per_path.push(rows[ri].clone());
-                    next.push(MultiBinding { per_path });
-                    if next.len() > ctx.config.max_rows {
-                        return Err(GraqlError::exec("joined result exceeds the row cap"));
-                    }
-                }
+        for (ai, ri) in pairs {
+            ticker.tick()?;
+            let mut per_path = acc[ai].per_path.clone();
+            per_path.push(rows[ri].clone());
+            next.push(MultiBinding { per_path });
+            if next.len() > ctx.config.max_rows {
+                return Err(GraqlError::exec("joined result exceeds the row cap"));
             }
         }
         if let Some(p) = ctx.obs {

@@ -92,12 +92,12 @@ pub fn levels(
         } else {
             &hop_cands[hop_idx - 1]
         };
-        let next = expand(ctx, &at[p], estep, &no_filters(), universe, forward);
+        let next = expand(ctx, &at[p], estep, &no_filters(), universe, forward)?;
         let completes_rep = (p + 1) % m == 0;
         if !forward && completes_rep {
             // The same expansion, unconditioned: valid when the landing is
             // the group entry rather than an intermediate boundary.
-            let entry = expand(ctx, &at[p], estep, &no_filters(), &entry_universe, forward);
+            let entry = expand(ctx, &at[p], estep, &no_filters(), &entry_universe, forward)?;
             entry_at.push(if cand_is_empty(&entry) {
                 None
             } else {

@@ -38,6 +38,12 @@ pub struct ExecConfig {
     /// Sessions mint one `QueryGuard` per request from this; the network
     /// server additionally folds in its per-request deadline.
     pub budget: graql_types::QueryBudget,
+    /// Worker threads for the morsel-driven parallel kernels (candidate
+    /// scans, hop expansion, path enumeration, filter/sort). `1` is the
+    /// serial path; any value produces byte-identical results because the
+    /// morsel merge restores serial order (see `exec::morsel`). Defaults
+    /// to the number of available cores.
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -49,6 +55,9 @@ impl Default for ExecConfig {
             regex_cap: crate::compile::REGEX_CAP,
             rewrite: true,
             budget: graql_types::QueryBudget::UNLIMITED,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use graql_types::{DataType, GraqlError, Result, Value};
+use graql_types::{CmpOp, DataType, GraqlError, Result, Value};
 use rustc_hash::FxHashMap;
 
 use crate::bitset::BitSet;
@@ -213,6 +213,102 @@ impl Column {
         match self {
             Column::Str { codes, nulls, .. } if !nulls.contains(i) => Some(codes[i]),
             _ => None,
+        }
+    }
+
+    /// Typed batch kernel behind the morsel-parallel filter: appends to
+    /// `out` every row index in `lo..hi` satisfying `self[row] op k`,
+    /// under the engine's comparison semantics (null operands never
+    /// match; int/float cross-compare through `f64::total_cmp`, exactly
+    /// like [`Value::cmp_total`]). Returns `false` when this
+    /// column/constant pairing has no typed sweep (cross-family
+    /// comparisons) — the caller must fall back to row-at-a-time
+    /// evaluation, which is semantically identical.
+    pub fn filter_op_const(
+        &self,
+        op: CmpOp,
+        k: &Value,
+        lo: u32,
+        hi: u32,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        use std::cmp::Ordering;
+        #[inline]
+        fn keep(op: CmpOp, o: Ordering) -> bool {
+            match op {
+                CmpOp::Eq => o == Ordering::Equal,
+                CmpOp::Ne => o != Ordering::Equal,
+                CmpOp::Lt => o == Ordering::Less,
+                CmpOp::Le => o != Ordering::Greater,
+                CmpOp::Gt => o == Ordering::Greater,
+                CmpOp::Ge => o != Ordering::Less,
+            }
+        }
+        if k.is_null() {
+            return true; // null compares with nothing: empty selection
+        }
+        match (self, k) {
+            (Column::Int { data, nulls }, Value::Int(k)) => {
+                for i in lo..hi {
+                    let u = i as usize;
+                    if !nulls.contains(u) && keep(op, data[u].cmp(k)) {
+                        out.push(i);
+                    }
+                }
+                true
+            }
+            (Column::Int { data, nulls }, Value::Float(k)) => {
+                for i in lo..hi {
+                    let u = i as usize;
+                    if !nulls.contains(u) && keep(op, (data[u] as f64).total_cmp(k)) {
+                        out.push(i);
+                    }
+                }
+                true
+            }
+            (Column::Float { data, nulls }, Value::Float(k)) => {
+                for i in lo..hi {
+                    let u = i as usize;
+                    if !nulls.contains(u) && keep(op, data[u].total_cmp(k)) {
+                        out.push(i);
+                    }
+                }
+                true
+            }
+            (Column::Float { data, nulls }, Value::Int(k)) => {
+                let kf = *k as f64;
+                for i in lo..hi {
+                    let u = i as usize;
+                    if !nulls.contains(u) && keep(op, data[u].total_cmp(&kf)) {
+                        out.push(i);
+                    }
+                }
+                true
+            }
+            (Column::Date { data, nulls }, Value::Date(d)) => {
+                let kd = d.days();
+                for i in lo..hi {
+                    let u = i as usize;
+                    if !nulls.contains(u) && keep(op, data[u].cmp(&kd)) {
+                        out.push(i);
+                    }
+                }
+                true
+            }
+            (Column::Str { dict, codes, nulls }, Value::Str(s)) => {
+                // Decide once per dictionary code, then sweep the codes.
+                let pass: Vec<bool> = (0..dict.len() as u32)
+                    .map(|c| keep(op, dict.resolve(c).as_ref().cmp(s.as_ref())))
+                    .collect();
+                for i in lo..hi {
+                    let u = i as usize;
+                    if !nulls.contains(u) && pass[codes[u] as usize] {
+                        out.push(i);
+                    }
+                }
+                true
+            }
+            _ => false,
         }
     }
 

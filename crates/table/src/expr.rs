@@ -72,6 +72,59 @@ impl PhysExpr {
         }
     }
 
+    /// Columnar batch evaluation: appends to `out` the indices of rows in
+    /// `lo..hi` satisfying the predicate. `col ⟨op⟩ const` comparisons run
+    /// as typed column sweeps ([`crate::Column::filter_op_const`]);
+    /// conjunctions evaluate their first clause as a sweep and refine the
+    /// resulting selection vector in place; every other shape falls back
+    /// to row-at-a-time [`Self::eval_bool`]. All paths are semantically
+    /// identical — the batch kernels exist for speed, not behavior.
+    pub fn eval_range_into(&self, t: &Table, lo: u32, hi: u32, out: &mut Vec<u32>) {
+        match self {
+            PhysExpr::Cmp(op, a, b) => {
+                let swept = match (a.as_ref(), b.as_ref()) {
+                    (PhysExpr::Col(c), PhysExpr::Const(v)) => {
+                        t.column(*c).filter_op_const(*op, v, lo, hi, out)
+                    }
+                    (PhysExpr::Const(v), PhysExpr::Col(c)) => {
+                        t.column(*c).filter_op_const(op.flip(), v, lo, hi, out)
+                    }
+                    _ => false,
+                };
+                if !swept {
+                    self.eval_range_fallback(t, lo, hi, out);
+                }
+            }
+            PhysExpr::And(xs) => match xs.split_first() {
+                None => out.extend(lo..hi),
+                Some((first, rest)) => {
+                    let start = out.len();
+                    first.eval_range_into(t, lo, hi, out);
+                    if !rest.is_empty() {
+                        let mut w = start;
+                        for r in start..out.len() {
+                            let i = out[r];
+                            if rest.iter().all(|x| x.eval_bool(t, i as usize)) {
+                                out[w] = i;
+                                w += 1;
+                            }
+                        }
+                        out.truncate(w);
+                    }
+                }
+            },
+            _ => self.eval_range_fallback(t, lo, hi, out),
+        }
+    }
+
+    fn eval_range_fallback(&self, t: &Table, lo: u32, hi: u32, out: &mut Vec<u32>) {
+        for i in lo..hi {
+            if self.eval_bool(t, i as usize) {
+                out.push(i);
+            }
+        }
+    }
+
     /// All column indices referenced by the expression.
     pub fn referenced_columns(&self) -> Vec<usize> {
         let mut out = Vec::new();

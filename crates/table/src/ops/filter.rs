@@ -1,44 +1,33 @@
 //! Selection (`where` clauses).
 
 use graql_types::{QueryGuard, Result};
-use rayon::prelude::*;
 
 use crate::expr::PhysExpr;
 use crate::table::Table;
 
-/// Rows below this size are filtered sequentially; parallelism only pays
-/// for itself on larger scans.
-const PAR_THRESHOLD: usize = 4096;
+/// Rows evaluated per governance check on the batched scan.
+const BATCH_ROWS: u32 = 4096;
 
 /// Indices (ascending) of rows satisfying `pred`.
 pub fn filter_indices(t: &Table, pred: &PhysExpr) -> Vec<u32> {
     filter_indices_guarded(t, pred, QueryGuard::unlimited()).expect("unlimited guard never fires")
 }
 
-/// [`filter_indices`] under query governance: cooperative cancel/deadline
-/// checks at batch granularity on the sequential path (the parallel path
-/// checks at scan boundaries — it is bounded by the input size), and the
-/// output charged against the memory budget.
+/// [`filter_indices`] under query governance: the scan runs as columnar
+/// batches ([`PhysExpr::eval_range_into`]) with a cooperative
+/// cancel/deadline check between batches, and the output is charged
+/// against the memory budget. Parallel callers (`core::exec::morsel`)
+/// invoke the batch kernel per morsel instead.
 pub fn filter_indices_guarded(t: &Table, pred: &PhysExpr, guard: &QueryGuard) -> Result<Vec<u32>> {
-    let n = t.n_rows();
-    let out: Vec<u32> = if n < PAR_THRESHOLD {
-        let mut tick = guard.ticker();
-        let mut out = Vec::new();
-        for i in 0..n as u32 {
-            tick.tick()?;
-            if pred.eval_bool(t, i as usize) {
-                out.push(i);
-            }
-        }
-        out
-    } else {
+    let n = t.n_rows() as u32;
+    let mut out = Vec::new();
+    let mut lo = 0u32;
+    while lo < n {
         guard.check()?;
-        // Data-parallel scan; rayon's ordered collect keeps indices sorted.
-        (0..n as u32)
-            .into_par_iter()
-            .filter(|&i| pred.eval_bool(t, i as usize))
-            .collect()
-    };
+        let hi = n.min(lo + BATCH_ROWS);
+        pred.eval_range_into(t, lo, hi, &mut out);
+        lo = hi;
+    }
     guard.add_bytes(4 * out.len() as u64)?;
     Ok(out)
 }
@@ -67,20 +56,55 @@ mod tests {
     }
 
     #[test]
-    fn small_table_sequential_path() {
+    fn small_table_single_batch() {
         let t = numbers(10);
         let sel = filter_indices(&t, &PhysExpr::cmp_col_const(0, CmpOp::Ge, Value::Int(7)));
         assert_eq!(sel, vec![7, 8, 9]);
     }
 
     #[test]
-    fn large_table_parallel_path_keeps_order() {
+    fn large_table_batched_scan_keeps_order() {
         let t = numbers(10_000);
         let sel = filter_indices(&t, &PhysExpr::cmp_col_const(0, CmpOp::Lt, Value::Int(5)));
         assert_eq!(sel, vec![0, 1, 2, 3, 4]);
         let all = filter_indices(&t, &PhysExpr::always());
         assert_eq!(all.len(), 10_000);
         assert!(all.windows(2).all(|w| w[0] < w[1]), "ascending order");
+    }
+
+    #[test]
+    fn batch_kernel_matches_row_at_a_time() {
+        // Every comparison op, over a column with nulls, swept by the typed
+        // kernel must agree with eval_bool row by row.
+        let schema = TableSchema::of(&[("x", DataType::Integer)]);
+        let t = Table::from_rows(
+            schema,
+            (0..500).map(|i| {
+                if i % 7 == 0 {
+                    vec![Value::Null]
+                } else {
+                    vec![Value::Int(i % 13)]
+                }
+            }),
+        )
+        .unwrap();
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for k in [Value::Int(6), Value::Float(6.5), Value::Null] {
+                let pred = PhysExpr::cmp_col_const(0, op, k.clone());
+                let batch = filter_indices(&t, &pred);
+                let serial: Vec<u32> = (0..500u32)
+                    .filter(|&i| pred.eval_bool(&t, i as usize))
+                    .collect();
+                assert_eq!(batch, serial, "{op:?} {k:?}");
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,22 @@ pub fn hash_join_pairs(l: &Table, lkeys: &[usize], r: &Table, rkeys: &[usize]) -
         .expect("unlimited guard never fires")
 }
 
+/// When one side is at least this many times smaller than the other, the
+/// join builds its hash table on the smaller side (row counts are exact
+/// cardinalities — better statistics than any estimate). The factor keeps
+/// a margin so the order-restoring pair sort on the swapped path is
+/// amortized by the smaller build.
+const BUILD_SWAP_FACTOR: usize = 4;
+
 /// [`hash_join_pairs`] under query governance: cooperative checks during
 /// build and probe, and the (possibly quadratic) match fan-out charged
 /// against the memory budget as it accumulates.
+///
+/// The output is left-major (ascending left row, then ascending right
+/// row) regardless of which side the hash table is built on — when the
+/// build side is swapped, an order-restoring sort puts the pairs back in
+/// the canonical sequence, so the physical choice is invisible in
+/// results.
 pub fn hash_join_pairs_guarded(
     l: &Table,
     lkeys: &[usize],
@@ -27,38 +40,63 @@ pub fn hash_join_pairs_guarded(
     guard: &QueryGuard,
 ) -> Result<Vec<(u32, u32)>> {
     assert_eq!(lkeys.len(), rkeys.len(), "join key arity mismatch");
-    // Build on the right side.
-    let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
     let mut tick = guard.ticker();
-    'rows: for i in 0..r.n_rows() {
-        tick.tick()?;
-        let mut key = Vec::with_capacity(rkeys.len());
-        for &c in rkeys {
-            let v = r.get(i, c);
+    let key_of = |t: &Table, keys: &[usize], i: usize| -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(keys.len());
+        for &c in keys {
+            let v = t.get(i, c);
             if v.is_null() {
-                continue 'rows;
+                return None; // null keys never join
             }
             key.push(v);
         }
-        index.entry(key).or_default().push(i as u32);
-    }
+        Some(key)
+    };
     let mut out: Vec<(u32, u32)> = Vec::new();
-    'probe: for i in 0..l.n_rows() {
-        tick.tick()?;
-        let mut key = Vec::with_capacity(lkeys.len());
-        for &c in lkeys {
-            let v = l.get(i, c);
-            if v.is_null() {
-                continue 'probe;
+    if l.n_rows() * BUILD_SWAP_FACTOR < r.n_rows() {
+        // Left side is much smaller: build on it, probe with the right.
+        let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+        for i in 0..l.n_rows() {
+            tick.tick()?;
+            if let Some(key) = key_of(l, lkeys, i) {
+                index.entry(key).or_default().push(i as u32);
             }
-            key.push(v);
         }
-        if let Some(matches) = index.get(&key) {
-            // Duplicate keys fan out multiplicatively; charge the fan-out
-            // itself so a quadratic join trips the budget, not the OOM.
-            guard.add_bytes(8 * matches.len() as u64)?;
-            for &j in matches {
-                out.push((i as u32, j));
+        for j in 0..r.n_rows() {
+            tick.tick()?;
+            if let Some(key) = key_of(r, rkeys, j) {
+                if let Some(matches) = index.get(&key) {
+                    guard.add_bytes(8 * matches.len() as u64)?;
+                    for &i in matches {
+                        out.push((i, j as u32));
+                    }
+                }
+            }
+        }
+        // Probing right-major emitted right-major pairs; restore the
+        // canonical left-major order.
+        out.sort_unstable();
+    } else {
+        // Build on the right side.
+        let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+        for i in 0..r.n_rows() {
+            tick.tick()?;
+            if let Some(key) = key_of(r, rkeys, i) {
+                index.entry(key).or_default().push(i as u32);
+            }
+        }
+        for i in 0..l.n_rows() {
+            tick.tick()?;
+            if let Some(key) = key_of(l, lkeys, i) {
+                if let Some(matches) = index.get(&key) {
+                    // Duplicate keys fan out multiplicatively; charge the
+                    // fan-out itself so a quadratic join trips the budget,
+                    // not the OOM.
+                    guard.add_bytes(8 * matches.len() as u64)?;
+                    for &j in matches {
+                        out.push((i as u32, j));
+                    }
+                }
             }
         }
     }
@@ -136,6 +174,22 @@ mod tests {
         let l = Table::from_rows(ls, vec![vec![Value::Int(2)]]).unwrap();
         let r = Table::from_rows(rs, vec![vec![Value::Float(2.0)]]).unwrap();
         assert_eq!(hash_join_pairs(&l, &[0], &r, &[0]), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn swapped_build_side_preserves_pair_order() {
+        // Left is tiny (1 row), right is big enough to trigger the
+        // smaller-side build; the pairs must still come out left-major.
+        let ls = TableSchema::of(&[("k", DataType::Integer)]);
+        let l = Table::from_rows(ls.clone(), vec![vec![Value::Int(7)]]).unwrap();
+        let r = Table::from_rows(
+            ls,
+            (0..50).map(|i| vec![Value::Int(if i % 3 == 0 { 7 } else { 1000 + i })]),
+        )
+        .unwrap();
+        let pairs = hash_join_pairs(&l, &[0], &r, &[0]);
+        let expected: Vec<(u32, u32)> = (0..50u32).filter(|j| j % 3 == 0).map(|j| (0, j)).collect();
+        assert_eq!(pairs, expected);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use profiled::{
     distinct_profiled, filter_profiled, group_aggregate_profiled, hash_join_pairs_profiled,
     sort_profiled, top_n_profiled,
 };
-pub use sort::{sort, sort_guarded, sort_indices, SortKey};
+pub use sort::{cmp_rows, sort, sort_guarded, sort_indices, SortKey};
 
 use graql_types::Result;
 

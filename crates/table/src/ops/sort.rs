@@ -3,7 +3,6 @@
 use std::cmp::Ordering;
 
 use graql_types::{QueryGuard, Result};
-use rayon::prelude::*;
 
 use crate::table::Table;
 
@@ -23,28 +22,29 @@ impl SortKey {
     }
 }
 
-const PAR_THRESHOLD: usize = 8192;
+/// The sort comparator: `keys` in declared order, ties broken by row
+/// index. The tie-break makes this a *strict total order* on row indices,
+/// which is what lets the morsel-parallel sort in `core::exec` merge
+/// independently sorted runs into exactly the sequence [`sort_indices`]
+/// would produce.
+#[inline]
+pub fn cmp_rows(t: &Table, keys: &[SortKey], a: u32, b: u32) -> Ordering {
+    for k in keys {
+        let col = t.column(k.col);
+        let o = col.get(a as usize).cmp_total(&col.get(b as usize));
+        let o = if k.desc { o.reverse() } else { o };
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    a.cmp(&b) // stability
+}
 
 /// Row indices of `t` ordered by `keys` (ties broken by original row index,
 /// making the sort stable and deterministic).
 pub fn sort_indices(t: &Table, keys: &[SortKey]) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..t.n_rows() as u32).collect();
-    let cmp = |&a: &u32, &b: &u32| -> Ordering {
-        for k in keys {
-            let col = t.column(k.col);
-            let o = col.get(a as usize).cmp_total(&col.get(b as usize));
-            let o = if k.desc { o.reverse() } else { o };
-            if o != Ordering::Equal {
-                return o;
-            }
-        }
-        a.cmp(&b) // stability
-    };
-    if idx.len() < PAR_THRESHOLD {
-        idx.sort_unstable_by(cmp);
-    } else {
-        idx.par_sort_unstable_by(cmp);
-    }
+    idx.sort_unstable_by(|&a, &b| cmp_rows(t, keys, a, b));
     idx
 }
 

@@ -259,12 +259,16 @@ fn tables() -> &'static [TableInfo] {
 /// Seeded generator of relational GraQL scripts.
 pub struct ScriptGen {
     rng: TestRng,
+    /// Monotone counter for `into table` / `into subgraph` result names,
+    /// so a sequence of graph scripts never collides on a registered name.
+    graph_seq: u64,
 }
 
 impl ScriptGen {
     pub fn new(seed: u64) -> Self {
         ScriptGen {
             rng: TestRng::new(seed),
+            graph_seq: 0,
         }
     }
 
@@ -378,6 +382,96 @@ impl ScriptGen {
             sql.push_str(&format!(" order by {}", keys.join(", ")));
         }
         sql
+    }
+
+    /// One graph-heavy script over the Berlin graph (paper Figs. 2–3):
+    /// a multi-hop pattern `select … from graph … into table/subgraph`,
+    /// usually followed by a relational postprocessing statement over the
+    /// materialized result. Patterns are valid by construction (edge
+    /// directions match the schema, vertex conditions are type-correct),
+    /// and every path enumeration's row order is part of the contract —
+    /// these scripts are what proves the morsel-parallel executor
+    /// byte-identical to the serial one.
+    pub fn next_graph_script(&mut self) -> String {
+        const COUNTRIES: &[&str] = graql_bsbm::gen::COUNTRIES;
+        self.graph_seq += 1;
+        let t = format!("G{}", self.graph_seq);
+        match self.rng.below(6) {
+            // Feature-overlap similarity (Fig. 6 shape): products sharing
+            // a feature with a fixed product, counted per product.
+            0 => {
+                let p = format!("product{}", self.rng.below(48));
+                let k = 1 + self.rng.below(10);
+                format!(
+                    "select y.id from graph \
+                       ProductVtx(id = '{p}') --feature--> FeatureVtx() \
+                       <--feature-- def y: ProductVtx(id != '{p}') \
+                     into table {t}\n\
+                     select top {k} id, count(*) as groupCount from table {t} \
+                     group by id order by groupCount desc, id asc"
+                )
+            }
+            // Vendors offering products from one producer country.
+            1 => {
+                let c = *self.rng.pick(COUNTRIES);
+                format!(
+                    "select v.id from graph \
+                       ProducerVtx(country = '{c}') <--producer-- ProductVtx() \
+                       <--product-- OfferVtx() --vendor--> def v: VendorVtx() \
+                     into table {t}\n\
+                     select id, count(*) as offers from table {t} \
+                     group by id order by offers desc, id asc"
+                )
+            }
+            // Cheapest qualifying offer per product carrying a feature.
+            2 => {
+                let f = format!("feature{}", self.rng.below(24));
+                let x = 100.0 + self.rng.unit() * 9000.0;
+                format!(
+                    "select y.id, o.price as price from graph \
+                       FeatureVtx(id = '{f}') <--feature-- def y: ProductVtx() \
+                       <--product-- def o: OfferVtx(price < {x:.2}) \
+                     into table {t}\n\
+                     select id, min(price) as cheapest from table {t} \
+                     group by id order by cheapest asc, id asc"
+                )
+            }
+            // Products reviewed (well) by reviewers from one country.
+            3 => {
+                let c = *self.rng.pick(COUNTRIES);
+                let r = 1 + self.rng.below(9);
+                format!(
+                    "select p.id from graph \
+                       PersonVtx(country = '{c}') <--reviewer-- \
+                       ReviewVtx(ratings_1 >= {r}) --reviewFor--> def p: ProductVtx() \
+                     into table {t}\n\
+                     select id, count(*) as reviews from table {t} \
+                     group by id order by reviews desc, id asc"
+                )
+            }
+            // Whole-match table (Fig. 13 shape): one row per binding, all
+            // attributes — the raw enumeration order is the output.
+            4 => {
+                let r = 1 + self.rng.below(9);
+                let k = 100 + self.rng.below(1900);
+                format!(
+                    "select * from graph \
+                       ReviewVtx(ratings_1 > {r}) --reviewFor--> \
+                       ProductVtx(propertyNumeric_1 <= {k}) \
+                     into table {t}"
+                )
+            }
+            // Subgraph capture through the type hierarchy (Fig. 10 shape).
+            _ => {
+                let p = format!("product{}", self.rng.below(48));
+                format!(
+                    "select * from graph ProductVtx(id = '{p}') --type--> TypeVtx() \
+                     {{ --subclass--> TypeVtx() }}* --> TypeVtx() \
+                     into subgraph SG{}",
+                    self.graph_seq
+                )
+            }
+        }
     }
 
     /// `count(*)`, `count(c)`, `min`/`max` over any column, `sum`/`avg`
@@ -494,6 +588,30 @@ mod tests {
         for i in 0..200 {
             let s = g.next_script();
             graql_parser::parse(&s).unwrap_or_else(|e| panic!("script {i} {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_graph_scripts_parse() {
+        let mut g = ScriptGen::new(1);
+        for i in 0..120 {
+            let s = g.next_graph_script();
+            graql_parser::parse(&s).unwrap_or_else(|e| panic!("graph script {i} {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn graph_result_names_never_collide() {
+        let mut g = ScriptGen::new(3);
+        let mut names = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = g.next_graph_script();
+            let into = s
+                .split("into ")
+                .nth(1)
+                .expect("graph scripts register a result");
+            let name = into.split_whitespace().nth(1).unwrap().to_string();
+            assert!(names.insert(name), "duplicate result name in {s}");
         }
     }
 }

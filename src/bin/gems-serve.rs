@@ -9,6 +9,7 @@
 //!            [--max-connections N] [--error-budget N]
 //!            [--max-concurrency N] [--queue-wait-ms MS]
 //!            [--max-result-rows N] [--max-query-bytes N]
+//!            [--exec-threads N]
 //!            [--metrics-addr HOST:PORT] [--slow-query-ms MS]
 //!            [--slow-query-log FILE]
 //! ```
@@ -47,6 +48,7 @@ fn usage() -> ! {
          [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
          [--max-connections N] [--error-budget N] [--max-concurrency N] \
          [--queue-wait-ms MS] [--max-result-rows N] [--max-query-bytes N] \
+         [--exec-threads N] \
          [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--slow-query-log FILE]"
     );
     std::process::exit(2);
@@ -65,6 +67,7 @@ fn main() -> ExitCode {
     let mut init: Option<String> = None;
     let mut users: Vec<(String, Role)> = Vec::new();
     let mut budget = QueryBudget::UNLIMITED;
+    let mut exec_threads: Option<usize> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => opts.addr = args.next().unwrap_or_else(|| usage()),
@@ -163,6 +166,15 @@ fn main() -> ExitCode {
                     Err(_) => usage(),
                 }
             }
+            // Morsel-parallel execution worker count: 1 = serial, default
+            // = available cores. Results are byte-identical either way.
+            "--exec-threads" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => exec_threads = Some(n),
+                    _ => usage(),
+                }
+            }
             "--metrics-addr" => opts.metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--slow-query-ms" => {
                 let ms = args.next().unwrap_or_else(|| usage());
@@ -220,6 +232,9 @@ fn main() -> ExitCode {
     };
     if let Some(dir) = data_dir {
         server.database_mut().set_data_dir(dir);
+    }
+    if let Some(n) = exec_threads {
+        server.database_mut().config_mut().threads = n;
     }
     if let Some(path) = init {
         let text = match std::fs::read_to_string(&path) {

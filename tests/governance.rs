@@ -379,6 +379,166 @@ fn stress_eight_clients_tiny_budgets_under_faults() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Governance under morsel-parallel execution (ROADMAP item 1): the kills
+// must fire promptly *mid-parallel-query* — every worker stops at its
+// next morsel claim, and exactly one typed error (E0908 deadline, E0909
+// cancelled, budget) surfaces to the client.
+// ---------------------------------------------------------------------------
+
+/// A fixture big enough (12 000 rows) that scans clear the morsel
+/// scheduler's profitability floor (`PAR_MIN_ITEMS` = 4096 rows), so a
+/// `--exec-threads 4` server genuinely fans the query out.
+fn write_big_fixture() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "graql_governance_par_{}_{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "_")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let big: String = (0..12_000).map(|i| format!("{i},{}\n", i % 97)).collect();
+    std::fs::write(dir.join("big.csv"), big).unwrap();
+    dir
+}
+
+const BIG_SCHEMA: &str = "create table Big(id integer, v integer)
+ingest table Big big.csv";
+
+/// 12 000 rows through the parallel filter (6 morsels on 4 workers) and
+/// the parallel sort.
+const BIG_SCAN: &str = "select id from table Big where v >= 0 order by id";
+const BIG_QUICK: &str = "select id from table Big where id = 1";
+
+/// A deadline lands mid-parallel-scan: each morsel claim is delayed 60 ms
+/// at the `core/exec/morsel-dispatch` site (fired from the worker
+/// threads), so any worker's second claim checks the guard past the
+/// 100 ms deadline. One typed E0908 surfaces; the connection is
+/// immediately reusable.
+#[test]
+fn parallel_deadline_kills_all_workers() {
+    let dir = write_big_fixture();
+    let serve = Serve::spawn_with(
+        &[
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--exec-threads",
+            "4",
+            "--request-timeout-ms",
+            "100",
+        ],
+        // Exactly the 6 filter-morsel claims: the follow-up query must
+        // run undelayed.
+        &[("GRAQL_FAILPOINTS", "core/exec/morsel-dispatch=6*delay(60)")],
+    );
+    let mut s = connect(&serve.addr);
+    s.execute_script(BIG_SCHEMA).unwrap();
+
+    let started = Instant::now();
+    let err = s
+        .execute_script(BIG_SCAN)
+        .expect_err("deadline must kill the parallel scan");
+    assert!(matches!(err, GraqlError::Deadline(_)), "{err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "workers did not stop promptly: {:?}",
+        started.elapsed()
+    );
+
+    let outputs = s.execute_script(BIG_QUICK).unwrap();
+    assert!(
+        matches!(&outputs[..], [SessionOutput::Table(_)]),
+        "{outputs:?}"
+    );
+    let describe = s.describe().unwrap();
+    assert!(describe.contains("1 deadline-killed"), "{describe}");
+    serve.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Out-of-band `Msg::Cancel` against an in-flight parallel query: all
+/// four workers are mid-claim in 400 ms dispatch delays when the cancel
+/// lands; every worker sees the cancelled guard at its next checkpoint,
+/// one typed E0909 surfaces, and the connection keeps working.
+#[test]
+fn parallel_cancel_stops_all_workers_once() {
+    let dir = write_big_fixture();
+    let serve = Serve::spawn_with(
+        &["--data-dir", dir.to_str().unwrap(), "--exec-threads", "4"],
+        &[("GRAQL_FAILPOINTS", "core/exec/morsel-dispatch=6*delay(400)")],
+    );
+    let mut s = connect(&serve.addr);
+    s.execute_script(BIG_SCHEMA).unwrap();
+    let handle = s.cancel_handle().unwrap();
+
+    let started = Instant::now();
+    let exec = std::thread::spawn(move || {
+        let r = s.execute_script(BIG_SCAN);
+        (s, r)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    handle.cancel().unwrap();
+
+    let (mut s, result) = exec.join().unwrap();
+    let err = result.expect_err("the cancel must kill the parallel query");
+    assert!(matches!(err, GraqlError::Cancelled(_)), "{err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "workers did not stop promptly after the cancel: {:?}",
+        started.elapsed()
+    );
+
+    let outputs = s.execute_script(BIG_QUICK).unwrap();
+    assert!(
+        matches!(&outputs[..], [SessionOutput::Table(_)]),
+        "{outputs:?}"
+    );
+    let describe = s.describe().unwrap();
+    assert!(describe.contains("1 cancelled"), "{describe}");
+    serve.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Budget kills stay typed under parallelism: the guard's row accounting
+/// is shared (atomic) across workers, so the 12 000-row result trips the
+/// 100-row cap with a single typed budget error, and the same connection
+/// serves an in-budget query right after.
+#[test]
+fn parallel_budget_kill_is_typed_once() {
+    let dir = write_big_fixture();
+    let serve = Serve::spawn_with(
+        &[
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--exec-threads",
+            "4",
+            "--max-result-rows",
+            "100",
+        ],
+        &[],
+    );
+    let mut s = connect(&serve.addr);
+    s.execute_script(BIG_SCHEMA).unwrap();
+
+    let err = s
+        .execute_script(BIG_SCAN)
+        .expect_err("row budget must trip on the parallel scan");
+    assert!(matches!(err, GraqlError::Budget(_)), "{err:?}");
+
+    let outputs = s.execute_script(BIG_QUICK).unwrap();
+    assert!(
+        matches!(&outputs[..], [SessionOutput::Table(_)]),
+        "{outputs:?}"
+    );
+    let describe = s.describe().unwrap();
+    assert!(describe.contains("1 budget-killed"), "{describe}");
+    serve.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Admission control: with `--max-concurrency 1` and a long-running query
 /// holding the slot, a second client is shed with the retryable busy
 /// error; with retries enabled the backoff loop absorbs the shed and the

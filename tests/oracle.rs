@@ -119,6 +119,113 @@ fn clean_run_is_byte_identical_across_all_paths() {
     );
 }
 
+/// The morsel-parallel executor must be **byte-identical** to the serial
+/// one (DESIGN.md §4.8): the same seeded scripts run against engines at
+/// `threads = 1, 2, 4, 8`, and — for the relational lane — the naive
+/// reference evaluator. Graph scripts exercise the parallel hop-expansion
+/// and path-enumeration kernels, whose output *row order* is part of the
+/// contract; the reference evaluator is relational-only, so they compare
+/// engine-vs-engine.
+///
+/// Knobs: `GRAQL_ORACLE_SCRIPTS` (relational count, default 200),
+/// `GRAQL_ORACLE_GRAPH_SCRIPTS` (graph count, default 60),
+/// `GRAQL_ORACLE_SEED`.
+#[test]
+fn parallel_engines_are_byte_identical_to_serial() {
+    let _guard = exclusive();
+    let base = graql::bsbm::build_database(scale()).unwrap();
+    let seed = env_u64("GRAQL_ORACLE_SEED", 1);
+    let n_rel = env_u64("GRAQL_ORACLE_SCRIPTS", 200);
+    let n_graph = env_u64("GRAQL_ORACLE_GRAPH_SCRIPTS", 60);
+
+    let mut gen = ScriptGen::new(seed);
+    // (script, relational?) — graph scripts have no reference evaluation.
+    let mut scripts: Vec<(String, bool)> = Vec::new();
+    for _ in 0..n_rel {
+        scripts.push((gen.next_script(), true));
+    }
+    for _ in 0..n_graph {
+        scripts.push((gen.next_graph_script(), false));
+    }
+
+    const LANES: [usize; 4] = [1, 2, 4, 8];
+    let servers: Vec<Server> = LANES
+        .iter()
+        .map(|&threads| {
+            let server = Server::new(base.clone());
+            server.database_mut().config_mut().threads = threads;
+            server
+        })
+        .collect();
+    let mut sessions: Vec<_> = servers
+        .iter()
+        .map(|s| s.connect("admin").unwrap())
+        .collect();
+
+    let mut divergences = Vec::new();
+    for (i, (script, relational)) in scripts.iter().enumerate() {
+        let outs: Vec<String> = sessions
+            .iter_mut()
+            .map(|s| render_outcome(&s.execute_script_sealed(script)))
+            .collect();
+        let serial = &outs[0];
+        let mut diverged = outs.iter().any(|o| o != serial);
+        let reference_out = if *relational {
+            let r = render_outcome(&reference_outputs(&base, script));
+            diverged |= &r != serial;
+            Some(r)
+        } else {
+            None
+        };
+        if diverged {
+            let tag = format!("par_seed{seed}_script{i}");
+            let mut named: Vec<(&str, &str)> = vec![
+                ("threads1", outs[0].as_str()),
+                ("threads2", outs[1].as_str()),
+                ("threads4", outs[2].as_str()),
+                ("threads8", outs[3].as_str()),
+            ];
+            if let Some(r) = &reference_out {
+                named.push(("reference", r.as_str()));
+            }
+            oracle::write_divergence(&divergence_dir(), &tag, script, &named).unwrap();
+            divergences.push(tag);
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "{} of {} scripts diverged between serial and parallel engines \
+         (artifacts in {}): {:?}",
+        divergences.len(),
+        scripts.len(),
+        divergence_dir().display(),
+        divergences
+    );
+}
+
+/// The parallel lane under transport chaos: the served engine runs at
+/// `threads = 4` while net faults are armed, and the remote path must
+/// still agree with the (serial) local and reference paths byte for byte.
+#[test]
+fn parallel_fault_armed_run_is_byte_identical() {
+    let faults: &[(&str, &str)] = &[
+        ("net/frame/read-err", "2*err"),
+        ("net/server/drop-before-reply", "1*err"),
+    ];
+    for (fault_idx, &(site, spec)) in faults.iter().enumerate() {
+        let guard = arm_exclusive(&[(site, spec)], 0xFB);
+        let mut rig = Rig::new();
+        rig.server.database_mut().config_mut().threads = 4;
+        let divergences = run_oracle(&mut rig, 11, 15, &format!("parfault{fault_idx}_"));
+        rig.net.shutdown();
+        drop(guard);
+        assert!(
+            divergences.is_empty(),
+            "divergence with fault {site}={spec} armed on a threads=4 engine: {divergences:?}"
+        );
+    }
+}
+
 /// With a transient transport fault armed, the remote path must *still*
 /// agree byte-for-byte — the client's retry machinery makes the chaos
 /// invisible (read-only scripts are idempotent).
