@@ -57,5 +57,7 @@ pub use exec::results::QueryOutput;
 pub use persist::{load_dir, save_dir};
 pub use plan::ExecConfig;
 pub use script::{run_script, run_script_pipelined, ScriptReport};
-pub use server::{Role, Server, Session, SessionOutput};
-pub use wal::{DurabilityOptions, RecoveryReport, Wal, WalPayload};
+pub use server::{ReplRole, Role, Server, Session, SessionOutput};
+pub use wal::{
+    decode_frames, DurabilityOptions, RecoveryReport, ReplBootstrap, ShippedBatch, Wal, WalPayload,
+};

@@ -45,7 +45,24 @@ use rustc_hash::FxHashMap;
 
 use crate::database::{Database, StmtOutput};
 use crate::exec::results::QueryOutput;
-use crate::wal::{DurabilityOptions, RecoveryReport, Wal, WalPayload};
+use crate::wal::{DurabilityOptions, RecoveryReport, ReplBootstrap, ShippedBatch, Wal, WalPayload};
+
+/// Replication role of a server (paper §III's server tier, stretched
+/// across nodes): a **primary** accepts writes and ships its fsynced WAL
+/// batches to subscribers; a **replica** applies that stream into its own
+/// epoch chain and serves read-only queries lock-free, fencing every
+/// write with [`GraqlError::NotPrimary`] so clients redirect instead of
+/// diverging the copies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ReplRole {
+    /// Accepts writes; the root of the replication tree.
+    #[default]
+    Primary,
+    /// Read-only follower of the primary at `primary` (host:port, as
+    /// given to `--replica-of` — echoed verbatim in `NotPrimary` errors
+    /// so clients know where to go).
+    Replica { primary: String },
+}
 
 /// Access level of a user account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +146,10 @@ struct ServerShared {
     /// Present on durable servers: every mutating statement commits to
     /// the log before its epoch is published.
     wal: Option<Wal>,
+    /// Replication role. Checked under `write_lock` on every write path
+    /// so a concurrent `Promote` can never interleave with a fenced
+    /// statement.
+    role: RwLock<ReplRole>,
 }
 
 impl ServerShared {
@@ -235,6 +256,7 @@ impl Server {
                 users: RwLock::new(users),
                 metrics,
                 wal,
+                role: RwLock::new(ReplRole::Primary),
             }),
         }
     }
@@ -273,6 +295,122 @@ impl Server {
         let _wl = self.shared.write_lock.lock();
         let db = self.shared.snapshot();
         wal.checkpoint(&db)
+    }
+
+    /// The current replication role.
+    pub fn repl_role(&self) -> ReplRole {
+        self.shared.role.read().clone()
+    }
+
+    /// True when this server is a read-only replica.
+    pub fn is_replica(&self) -> bool {
+        matches!(&*self.shared.role.read(), ReplRole::Replica { .. })
+    }
+
+    /// The primary's address when this server is a replica.
+    pub fn replica_primary(&self) -> Option<String> {
+        match &*self.shared.role.read() {
+            ReplRole::Primary => None,
+            ReplRole::Replica { primary } => Some(primary.clone()),
+        }
+    }
+
+    /// Demotes this server into a read-only replica of `primary`. Every
+    /// subsequent write statement fails with `E0911 NotPrimary` carrying
+    /// that address; only [`Server::apply_replicated_records`] may mutate
+    /// state. Taken under the write lock so in-flight writers finish (or
+    /// fence) atomically with the role change.
+    pub fn set_replica_of(&self, primary: impl Into<String>) {
+        let _wl = self.shared.write_lock.lock();
+        *self.shared.role.write() = ReplRole::Replica {
+            primary: primary.into(),
+        };
+    }
+
+    /// Fences a replica into a writable primary (the admin `Promote`
+    /// message). Idempotent: promoting a primary is a no-op. Returns the
+    /// role that was in effect *before* the call, so callers can log the
+    /// transition.
+    pub fn promote(&self) -> ReplRole {
+        let _wl = self.shared.write_lock.lock();
+        let mut role = self.shared.role.write();
+        std::mem::take(&mut *role)
+    }
+
+    /// The highest write-ahead-log LSN known durable on this node (0 on
+    /// in-memory servers and before the first commit). A replica resumes
+    /// its subscription at `wal_durable_lsn() + 1`.
+    pub fn wal_durable_lsn(&self) -> u64 {
+        self.shared.wal.as_ref().map_or(0, |w| w.durable_lsn())
+    }
+
+    /// Registers a live feed of fsynced WAL batches (the replication
+    /// source). See [`Wal::subscribe_commits`]. Errors on in-memory
+    /// servers — there is no log to ship.
+    pub fn subscribe_commits(&self) -> Result<std::sync::mpsc::Receiver<ShippedBatch>> {
+        let wal = self.repl_wal()?;
+        Ok(wal.subscribe_commits())
+    }
+
+    /// Everything a subscriber needs to catch up to `durable_lsn()`:
+    /// snapshot files (if the replica is behind the last checkpoint) plus
+    /// the durable log suffix. See [`Wal::repl_bootstrap`].
+    pub fn repl_bootstrap(&self, from_lsn: u64) -> Result<ReplBootstrap> {
+        self.repl_wal()?.repl_bootstrap(from_lsn)
+    }
+
+    /// Installs a snapshot received from the primary as the replica's
+    /// database, re-basing the local log at `watermark` (the first LSN
+    /// the stream will deliver). The replica's previous state is
+    /// discarded — the snapshot *is* the new truth.
+    pub fn install_snapshot(&self, db: Database, watermark: u64) -> Result<()> {
+        let wal = self.repl_wal()?;
+        let _wl = self.shared.write_lock.lock();
+        wal.rebase(&db, watermark)?;
+        self.shared.install(db);
+        Ok(())
+    }
+
+    /// Applies a batch of replicated WAL records: each payload replays
+    /// into a working copy (the same replay path crash recovery uses),
+    /// the records append to the local log (durable before the epoch is
+    /// published, exactly like a primary write), and one new epoch is
+    /// installed for the whole batch. Records at or below the local
+    /// durable watermark are skipped — replay is idempotent, so a
+    /// reconnecting replica may safely receive overlap. Returns the
+    /// local durable LSN after the batch.
+    ///
+    /// Errors if this server was promoted meanwhile: the tailer must
+    /// stop feeding a node that now accepts its own writes.
+    pub fn apply_replicated_records(&self, records: &[(u64, WalPayload)]) -> Result<u64> {
+        let wal = self.repl_wal()?;
+        let _wl = self.shared.write_lock.lock();
+        if !matches!(&*self.shared.role.read(), ReplRole::Replica { .. }) {
+            return Err(GraqlError::net(
+                "replication apply refused: this server is no longer a replica",
+            ));
+        }
+        let durable = wal.durable_lsn();
+        let fresh: Vec<&(u64, WalPayload)> =
+            records.iter().filter(|(lsn, _)| *lsn > durable).collect();
+        if fresh.is_empty() {
+            return Ok(durable);
+        }
+        let mut working = Database::clone(&self.shared.snapshot());
+        for (_, payload) in &fresh {
+            crate::wal::apply_record(&mut working, payload)?;
+        }
+        let owned: Vec<(u64, WalPayload)> = fresh.into_iter().cloned().collect();
+        let durable = wal.append_replicated(&owned)?;
+        self.shared.install(Database::clone(&working));
+        self.shared.maybe_checkpoint(&working);
+        Ok(durable)
+    }
+
+    fn repl_wal(&self) -> Result<&Wal> {
+        self.shared.wal.as_ref().ok_or_else(|| {
+            GraqlError::net("replication requires a durable server (start with --durable)")
+        })
     }
 
     /// Registers a user account.
@@ -340,6 +478,14 @@ impl Server {
     pub fn describe(&self) -> Result<String> {
         let db = self.shared.ensure_stats()?;
         let mut out = String::new();
+        match &*self.shared.role.read() {
+            ReplRole::Primary => {
+                let _ = writeln!(out, "role: primary");
+            }
+            ReplRole::Replica { primary } => {
+                let _ = writeln!(out, "role: replica of {primary}");
+            }
+        }
         let _ = writeln!(out, "tables:");
         for name in db.catalog().table_names() {
             let rows = db.table(name).map_or(0, |t| t.n_rows());
@@ -569,6 +715,14 @@ impl Session {
             // later one fails — matching the historical mid-script-error
             // semantics.
             let _wl = self.shared.write_lock.lock();
+            // Replicas fence writes *under the write lock*: a concurrent
+            // Promote either lands before this statement (which then
+            // executes as a primary write) or after it failed — never in
+            // between. The statement has not executed, so the client may
+            // safely re-submit it at the primary the error names.
+            if let ReplRole::Replica { primary } = &*self.shared.role.read() {
+                return Err(GraqlError::not_primary(primary.clone()));
+            }
             let mut working = Database::clone(&self.shared.snapshot());
             crate::analyze::analyze_script(working.catalog(), script)?;
             let mut outs = Vec::with_capacity(script.statements.len());

@@ -43,7 +43,7 @@ pub use record::WalPayload;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use graql_parser::ast;
@@ -87,6 +87,35 @@ struct PendingRecord {
     frame: Vec<u8>,
 }
 
+/// One fsynced group-commit batch as shipped to replication subscribers:
+/// the records' raw on-disk frames, byte-identical to `wal.log`, plus the
+/// LSN range they cover. Produced by the commit thread *after* the batch's
+/// fsync succeeds, so a shipped record is always an acknowledged record.
+#[derive(Debug, Clone)]
+pub struct ShippedBatch {
+    pub first_lsn: u64,
+    pub last_lsn: u64,
+    /// Concatenated frames (`[len][checksum][lsn][kind][payload]`…).
+    pub frames: Vec<u8>,
+}
+
+/// A checkpoint's files as `(relative name, bytes)` pairs, in the order
+/// they should be written out.
+pub type SnapshotFiles = Vec<(String, Vec<u8>)>;
+
+/// What a replica needs to start (or resume) tailing this log from
+/// `from_lsn` — see [`Wal::repl_bootstrap`].
+#[derive(Debug, Default)]
+pub struct ReplBootstrap {
+    /// `Some((watermark, files))` when the log has been folded past
+    /// `from_lsn`: the latest checkpoint's files, to be loaded before any
+    /// frame is applied. The stream resumes at `watermark`.
+    pub snapshot: Option<(u64, SnapshotFiles)>,
+    /// Already-durable records at or past the resume point, batched as
+    /// raw concatenated frames (empty when the replica is caught up).
+    pub backlog: Vec<ShippedBatch>,
+}
+
 /// State under the queue mutex: the append queue plus every LSN cursor.
 /// Lock order is queue → file; nothing waits on a condvar while holding
 /// the file lock.
@@ -123,6 +152,10 @@ struct WalInner {
     file: Mutex<FileState>,
     metrics: Arc<WalMetrics>,
     opts: DurabilityOptions,
+    /// Replication subscribers: each fsynced batch is forwarded to every
+    /// live sender; a hung-up receiver is dropped on the next send.
+    /// Locked only briefly and never while `queue` or `file` is held.
+    subs: Mutex<Vec<mpsc::Sender<ShippedBatch>>>,
 }
 
 /// Handle to one database's write-ahead log. Owns the commit thread;
@@ -239,6 +272,7 @@ impl Wal {
             file: Mutex::new(FileState { file, durable_len }),
             metrics,
             opts,
+            subs: Mutex::new(Vec::new()),
         });
         let thread = {
             let inner = Arc::clone(&inner);
@@ -353,6 +387,172 @@ impl Wal {
         Ok(())
     }
 
+    /// Highest LSN whose record (and every predecessor that was ever
+    /// durable) is fsynced. 0 before the first commit.
+    pub fn durable_lsn(&self) -> u64 {
+        lock(&self.inner.queue).durable_lsn
+    }
+
+    /// The LSN the next committed record will receive. A replica's
+    /// resume point is `durable_lsn() + 1`, not this: failed LSNs consume
+    /// numbers without reaching the log.
+    pub fn next_lsn(&self) -> u64 {
+        lock(&self.inner.queue).next_lsn
+    }
+
+    /// Subscribes to the committed-record stream: every batch fsynced
+    /// *after* this call is delivered (raw frames + LSN range) in commit
+    /// order. Pair with [`Wal::repl_bootstrap`] — subscribe first, then
+    /// fetch the backlog, then dedupe the overlap by LSN — so no record
+    /// is missed between the two. The subscription ends when the receiver
+    /// is dropped.
+    pub fn subscribe_commits(&self) -> mpsc::Receiver<ShippedBatch> {
+        let (tx, rx) = mpsc::channel();
+        lock(&self.inner.subs).push(tx);
+        rx
+    }
+
+    /// Everything a replica resuming from `from_lsn` needs that is
+    /// already on disk: the latest checkpoint (only when the log has been
+    /// folded past `from_lsn`) plus the durable log records at or past
+    /// the resume point. Serialized against checkpoints via the queue
+    /// lock, so snapshot, meta and log are read as one consistent view.
+    pub fn repl_bootstrap(&self, from_lsn: u64) -> Result<ReplBootstrap> {
+        let q = lock(&self.inner.queue);
+        if let Some(msg) = &q.poisoned {
+            return Err(GraqlError::ingest(format!("wal: log unusable: {msg}")));
+        }
+        let (generation, watermark) = read_meta(&self.inner.dir)?;
+        let mut out = ReplBootstrap::default();
+        let resume = if from_lsn < watermark && generation > 0 {
+            let snap = snapshot_dir(&self.inner.dir, generation);
+            let io = |e: std::io::Error| GraqlError::ingest(format!("wal: snapshot read: {e}"));
+            let mut files = Vec::new();
+            let mut names: Vec<String> = std::fs::read_dir(&snap)
+                .map_err(io)?
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            for name in names {
+                let bytes = std::fs::read(snap.join(&name)).map_err(io)?;
+                files.push((name, bytes));
+            }
+            out.snapshot = Some((watermark, files));
+            watermark
+        } else {
+            from_lsn
+        };
+        // The durable log prefix, filtered to the resume point. Reading
+        // under the file lock pins `durable_len` (the commit thread may
+        // extend the file concurrently past it; those batches arrive via
+        // the subscription instead).
+        let bytes = {
+            let mut f = lock(&self.inner.file);
+            let mut buf = vec![0u8; f.durable_len as usize];
+            let io = |e: std::io::Error| GraqlError::ingest(format!("wal: log read: {e}"));
+            f.file.seek(SeekFrom::Start(0)).map_err(io)?;
+            f.file.read_exact(&mut buf).map_err(io)?;
+            buf
+        };
+        drop(q);
+        let (records, _) = record::scan(&bytes[record::HEADER_LEN as usize..]);
+        let mut frames = Vec::new();
+        let mut range: Option<(u64, u64)> = None;
+        for rec in &records {
+            if rec.lsn < resume {
+                continue;
+            }
+            frames.extend_from_slice(&record::encode_frame(rec.lsn, &rec.payload));
+            range = Some((range.map_or(rec.lsn, |(f0, _)| f0), rec.lsn));
+        }
+        if let Some((first_lsn, last_lsn)) = range {
+            out.backlog.push(ShippedBatch {
+                first_lsn,
+                last_lsn,
+                frames,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Appends a batch of replicated records (primary-assigned LSNs,
+    /// re-encoded byte-identically to the primary's log) and blocks until
+    /// they are durable on this node. Records at or below the current
+    /// `durable_lsn` are skipped, so re-delivered batches after a
+    /// reconnect are idempotent. Returns the new durable LSN.
+    ///
+    /// Unlike [`Wal::commit`], a previously *failed* LSN may be retried:
+    /// the replica's log has a single writer (the apply loop), so when
+    /// the queue is idle the failure latch is cleared and the re-sent
+    /// record gets another append. Poison (a torn on-disk tail) still
+    /// refuses all further work.
+    pub fn append_replicated(&self, records: &[(u64, WalPayload)]) -> Result<u64> {
+        let mut q = lock(&self.inner.queue);
+        if let Some(msg) = &q.poisoned {
+            return Err(GraqlError::ingest(format!("wal: log unusable: {msg}")));
+        }
+        if !q.in_flight && q.pending.is_empty() && q.failed_through > q.durable_lsn {
+            // Single-writer retry contract (see doc comment).
+            q.failed_through = 0;
+            q.failure = None;
+        }
+        let mut last = 0u64;
+        for (lsn, payload) in records {
+            if *lsn <= q.durable_lsn {
+                continue;
+            }
+            q.pending.push(PendingRecord {
+                lsn: *lsn,
+                frame: record::encode_frame(*lsn, payload),
+            });
+            q.next_lsn = q.next_lsn.max(lsn + 1);
+            last = *lsn;
+        }
+        if last == 0 {
+            return Ok(q.durable_lsn);
+        }
+        self.inner.work.notify_one();
+        loop {
+            if q.failed_through >= last {
+                let msg = q
+                    .failure
+                    .clone()
+                    .unwrap_or_else(|| "wal: replicated append failed".to_string());
+                return Err(GraqlError::ingest(msg));
+            }
+            if q.durable_lsn >= last {
+                return Ok(q.durable_lsn);
+            }
+            q = wait(&self.inner.done, q);
+        }
+    }
+
+    /// Re-bases a replica's log onto a freshly received snapshot: `db`
+    /// reflects everything through `watermark - 1`; the local log is
+    /// folded into a new generation whose replay watermark is the
+    /// primary's, so subsequent replicated records continue at primary
+    /// LSNs. Call only from the single apply thread, with no commit in
+    /// flight.
+    pub fn rebase(&self, db: &Database, watermark: u64) -> Result<()> {
+        {
+            let mut q = lock(&self.inner.queue);
+            while q.in_flight || !q.pending.is_empty() {
+                if q.poisoned.is_some() {
+                    break;
+                }
+                q = wait(&self.inner.done, q);
+            }
+            if let Some(msg) = &q.poisoned {
+                return Err(GraqlError::ingest(format!("wal: log unusable: {msg}")));
+            }
+            q.next_lsn = watermark;
+            q.durable_lsn = watermark.saturating_sub(1);
+        }
+        self.checkpoint(db)
+    }
+
     /// Records committed since the last checkpoint.
     pub fn records_since_checkpoint(&self) -> u64 {
         lock(&self.inner.queue).records_since_checkpoint
@@ -457,6 +657,28 @@ fn sweep_orphans(dir: &Path, keep: u64) {
             let _ = std::fs::remove_file(entry.path());
         }
     }
+}
+
+/// Decodes a buffer of concatenated replication frames back into
+/// `(lsn, payload)` records. Strict: the whole buffer must parse — a
+/// short or checksum-failing tail is a transport error (the stream ships
+/// only fsynced frames), never silently dropped like a local torn tail.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<(u64, WalPayload)>> {
+    let (records, valid) = record::scan(bytes);
+    if valid != bytes.len() {
+        return Err(GraqlError::net(format!(
+            "replication batch: {} undecodable trailing bytes",
+            bytes.len() - valid
+        )));
+    }
+    Ok(records.into_iter().map(|r| (r.lsn, r.payload)).collect())
+}
+
+/// Applies one replicated/replayed record through the normal execution
+/// path — public so the replication apply loop reuses exactly the
+/// recovery semantics.
+pub fn apply_record(db: &mut Database, payload: &WalPayload) -> Result<()> {
+    apply_payload(db, payload)
 }
 
 /// Replays one committed record through the normal execution path, so
@@ -592,6 +814,7 @@ fn commit_thread(inner: &WalInner) {
         let max_lsn = batch.last().expect("batches are non-empty").lsn;
         let n = batch.len() as u64;
         let result = write_batch(inner, &batch);
+        let shipped = result.is_ok();
         let mut q = lock(&inner.queue);
         q.in_flight = false;
         match result {
@@ -610,7 +833,27 @@ fn commit_thread(inner: &WalInner) {
         }
         drop(q);
         inner.done.notify_all();
+        if shipped {
+            ship_batch(inner, &batch);
+        }
     }
+}
+
+/// Forwards one fsynced batch to every replication subscriber. Runs on
+/// the commit thread *after* waiters were woken — shipping never delays
+/// an acknowledgement — and never blocks: senders are unbounded, and a
+/// hung-up receiver is pruned here.
+fn ship_batch(inner: &WalInner, batch: &[PendingRecord]) {
+    let mut subs = lock(&inner.subs);
+    if subs.is_empty() {
+        return;
+    }
+    let shipped = ShippedBatch {
+        first_lsn: batch.first().expect("non-empty").lsn,
+        last_lsn: batch.last().expect("non-empty").lsn,
+        frames: batch.iter().flat_map(|r| r.frame.iter().copied()).collect(),
+    };
+    subs.retain(|tx| tx.send(shipped.clone()).is_ok());
 }
 
 #[cfg(test)]

@@ -24,6 +24,8 @@
 //! goes to the caller instead.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 use graql_core::{Role, SessionOutput};
@@ -32,7 +34,12 @@ use graql_types::{Diagnostics, GraqlError, Result};
 
 use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
 use crate::proto::{self, diags_from_wire, Msg, TableAssembler, PROTO_VERSION};
+use crate::server::NetStats;
 use crate::GemsSession;
+
+/// How many `NotPrimary` redirects one request will follow before giving
+/// up (guards against promotion ping-pong).
+const MAX_REDIRECTS: u32 = 3;
 
 /// Bounded-retry tuning for idempotent requests.
 #[derive(Debug, Clone)]
@@ -72,6 +79,10 @@ pub struct ConnectOptions {
     pub max_frame: usize,
     /// Retry behaviour for idempotent requests.
     pub retry: RetryPolicy,
+    /// When set, retry/reconnect/failover counts also land in this shared
+    /// registry (so e.g. a replica's tailer reports into the replica's
+    /// own metrics endpoint). The session always keeps local counts too.
+    pub stats: Option<Arc<NetStats>>,
 }
 
 impl ConnectOptions {
@@ -82,6 +93,7 @@ impl ConnectOptions {
             timeout: Duration::from_secs(60),
             max_frame: MAX_FRAME,
             retry: RetryPolicy::default(),
+            stats: None,
         }
     }
 
@@ -101,6 +113,19 @@ impl ConnectOptions {
         self.retry.max_backoff = cap;
         self
     }
+
+    /// Replaces the whole retry policy (the `gems-shell
+    /// --retries/--backoff-ms` flags build one of these).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Mirrors resilience counters into a shared [`NetStats`].
+    pub fn with_stats(mut self, stats: Arc<NetStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
 }
 
 /// A session against a remote GEMS server.
@@ -111,8 +136,12 @@ pub struct RemoteSession {
     role: Role,
     server_banner: String,
     max_frame: usize,
-    /// Resolved server addresses, kept for reconnect-on-retry.
+    /// Resolved server addresses, tried in order — the failover list. A
+    /// `NotPrimary` redirect moves the primary's address to the front.
     addrs: Vec<SocketAddr>,
+    /// The endpoint the current socket is connected to (failover
+    /// detection compares reconnects against it).
+    current: SocketAddr,
     opts: ConnectOptions,
     /// Set when a transport error left the connection unusable; the next
     /// request reconnects first.
@@ -121,15 +150,20 @@ pub struct RemoteSession {
     jitter: u64,
     /// How many reconnect-and-retry cycles this session has performed.
     retries: u64,
+    /// How many times the session re-established its connection.
+    reconnects: u64,
+    /// How many reconnects landed on a different endpoint (read failover
+    /// or write redirect).
+    failovers: u64,
 }
 
 /// Connects to the first reachable of `addrs`. Failures are retryable:
 /// the server may be restarting or shedding load.
-fn open_socket(addrs: &[SocketAddr], connect_timeout: Duration) -> Result<TcpStream> {
+fn open_socket(addrs: &[SocketAddr], connect_timeout: Duration) -> Result<(TcpStream, SocketAddr)> {
     let mut last_err: Option<std::io::Error> = None;
     for candidate in addrs {
         match TcpStream::connect_timeout(candidate, connect_timeout) {
-            Ok(s) => return Ok(s),
+            Ok(s) => return Ok((s, *candidate)),
             Err(e) => last_err = Some(e),
         }
     }
@@ -139,7 +173,7 @@ fn open_socket(addrs: &[SocketAddr], connect_timeout: Duration) -> Result<TcpStr
     }))
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -149,7 +183,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// Sleeps `base * 2^(attempt-1)` capped at `max_backoff`, scaled by a
 /// deterministic jitter factor in `[0.5, 1.0)`.
-fn sleep_backoff(policy: &RetryPolicy, attempt: u32, jitter: &mut u64) {
+pub(crate) fn sleep_backoff(policy: &RetryPolicy, attempt: u32, jitter: &mut u64) {
     let exp = policy
         .base_backoff
         .saturating_mul(1u32 << (attempt - 1).min(16));
@@ -212,7 +246,7 @@ impl RemoteSession {
         }
         let mut jitter = opts.retry.jitter_seed;
         let mut attempt = 0u32;
-        let stream = loop {
+        let (stream, current) = loop {
             match open_socket(&addrs, opts.connect_timeout) {
                 Ok(s) => break s,
                 Err(e) if e.is_retryable() && attempt < opts.retry.max_retries => {
@@ -229,10 +263,13 @@ impl RemoteSession {
             server_banner: String::new(),
             max_frame: opts.max_frame,
             addrs,
+            current,
             jitter,
             opts,
             broken: true,
             retries: 0,
+            reconnects: 0,
+            failovers: 0,
         };
         loop {
             match session.handshake() {
@@ -259,6 +296,21 @@ impl RemoteSession {
         self.retries
     }
 
+    /// How many times the session re-established its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// How many reconnects switched endpoints (failover or redirect).
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The endpoint the session is currently connected to.
+    pub fn connected_addr(&self) -> SocketAddr {
+        self.current
+    }
+
     /// Round-trips a `Ping` (liveness / latency probe).
     pub fn ping(&mut self) -> Result<()> {
         self.request(true, |s| {
@@ -266,6 +318,24 @@ impl RemoteSession {
             match s.recv()? {
                 Msg::Pong => Ok(()),
                 other => Err(GraqlError::net(format!("expected Pong, got {other:?}"))),
+            }
+        })
+    }
+
+    /// Promotes the connected server to primary (admin only). Idempotent:
+    /// promoting a server that is already primary is a no-op, so a lost
+    /// reply is safely retried.
+    pub fn promote(&mut self) -> Result<()> {
+        self.request(true, |s| {
+            s.send(&Msg::Promote)?;
+            match s.recv()? {
+                Msg::Done { .. } => Ok(()),
+                Msg::Error {
+                    status, message, ..
+                } => Err(GraqlError::from_wire_status(status, message)),
+                other => Err(GraqlError::net(format!(
+                    "expected Done after Promote, got {other:?}"
+                ))),
             }
         })
     }
@@ -287,9 +357,44 @@ impl RemoteSession {
         })
     }
 
-    /// Opens a fresh socket to the first reachable address.
+    /// Opens a fresh socket to the first reachable address, counting the
+    /// reconnect (and the failover, when it lands elsewhere).
     fn reconnect_socket(&mut self) -> Result<()> {
-        self.stream = open_socket(&self.addrs, self.opts.connect_timeout)?;
+        let (stream, addr) = open_socket(&self.addrs, self.opts.connect_timeout)?;
+        self.stream = stream;
+        self.reconnects += 1;
+        let failed_over = addr != self.current;
+        if failed_over {
+            self.failovers += 1;
+        }
+        self.current = addr;
+        if let Some(stats) = &self.opts.stats {
+            stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            if failed_over {
+                stats.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-points the failover list at `primary` (a `NotPrimary` redirect
+    /// target): its addresses move to the front, the broken connection is
+    /// abandoned, and the next request reconnects there.
+    fn redirect_to(&mut self, primary: &str) -> Result<()> {
+        let fresh: Vec<SocketAddr> = primary
+            .to_socket_addrs()
+            .map_err(|e| GraqlError::net(format!("cannot resolve redirect target {primary}: {e}")))?
+            .collect();
+        if fresh.is_empty() {
+            return Err(GraqlError::net(format!(
+                "redirect target {primary} resolves to nothing"
+            )));
+        }
+        self.addrs.retain(|a| !fresh.contains(a));
+        for (i, a) in fresh.into_iter().enumerate() {
+            self.addrs.insert(i, a);
+        }
+        self.broken = true;
         Ok(())
     }
 
@@ -367,6 +472,9 @@ impl RemoteSession {
                     }
                     attempt += 1;
                     self.retries += 1;
+                    if let Some(stats) = &self.opts.stats {
+                        stats.retries.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.backoff(attempt);
                 }
                 other => return other,
@@ -459,10 +567,25 @@ impl GemsSession for RemoteSession {
         let script = graql_parser::parse(text)?;
         let ir = graql_core::ir::encode(&script);
         let idempotent = is_read_only(&script);
-        self.request(idempotent, |s| {
-            s.send(&Msg::Submit { ir: ir.to_vec() })?;
-            s.collect_outputs()
-        })
+        let mut redirects = 0u32;
+        loop {
+            let result = self.request(idempotent, |s| {
+                s.send(&Msg::Submit { ir: ir.to_vec() })?;
+                s.collect_outputs()
+            });
+            // `NotPrimary` means the statement did NOT execute (the
+            // replica fences before touching state), so following the
+            // redirect and re-submitting is always safe — even for
+            // non-idempotent writes.
+            match result {
+                Err(e) if redirects < MAX_REDIRECTS && e.redirect_to().is_some() => {
+                    let primary = e.redirect_to().expect("checked").to_string();
+                    redirects += 1;
+                    self.redirect_to(&primary)?;
+                }
+                other => return other,
+            }
+        }
     }
 
     fn check_script(&mut self, text: &str) -> Result<Diagnostics> {

@@ -36,10 +36,12 @@
 pub mod client;
 pub mod frame;
 pub mod proto;
+pub mod replica;
 pub mod server;
 
-pub use client::{CancelHandle, ConnectOptions, RemoteSession};
+pub use client::{CancelHandle, ConnectOptions, RemoteSession, RetryPolicy};
 pub use proto::{Msg, PROTO_VERSION};
+pub use replica::{start_tailer, ReplicaTailer};
 pub use server::{serve, NetServer, NetStats, ServeOptions};
 
 use graql_types::{Diagnostics, Result};

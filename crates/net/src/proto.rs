@@ -23,8 +23,12 @@ use graql_types::{
 /// to [`Msg`] encoding. Version 2 added [`Msg::Cancel`] and the
 /// governance error statuses (deadline / cancelled / budget); version 3
 /// added [`Msg::Metrics`] / [`Msg::MetricsReport`] and the
-/// [`Msg::ProfileReport`] output for `profile` statements.
-pub const PROTO_VERSION: u16 = 3;
+/// [`Msg::ProfileReport`] output for `profile` statements; version 4
+/// added the WAL-shipping replication messages ([`Msg::ReplSubscribe`],
+/// [`Msg::ReplSnapshot`], [`Msg::ReplBatch`], [`Msg::ReplAck`],
+/// [`Msg::ReplHeartbeat`], [`Msg::Promote`]) and the `NotPrimary` error
+/// status (15) carrying the primary's address.
+pub const PROTO_VERSION: u16 = 4;
 
 /// Magic opening every `Hello` payload, so a non-GraQL peer (or a stale
 /// client) fails the handshake loudly instead of being misparsed.
@@ -71,6 +75,22 @@ pub enum Msg {
     /// Request the server's metrics in Prometheus exposition text — the
     /// same rendering the `--metrics-addr` HTTP endpoint serves.
     Metrics,
+    /// A replica subscribes to the primary's committed-WAL stream,
+    /// resuming from its durable applied-LSN watermark: "send every
+    /// record with `lsn >= from_lsn`". The connection switches into
+    /// streaming mode; the primary answers with optional
+    /// [`Msg::ReplSnapshot`] chunks (when the log no longer reaches back
+    /// to `from_lsn`) followed by [`Msg::ReplBatch`] frames and idle
+    /// [`Msg::ReplHeartbeat`]s.
+    ReplSubscribe { from_lsn: u64 },
+    /// The replica's durable-apply acknowledgement: every record with
+    /// `lsn <= lsn` is applied and fsynced on the replica. Drives the
+    /// primary's per-replica lag accounting.
+    ReplAck { lsn: u64 },
+    /// Admin fencing: turn this replica into a writable primary. The
+    /// replica stops tailing, drops its read-only gate, and starts
+    /// accepting writes. Idempotent on a node that is already primary.
+    Promote,
 
     // -- server → client ----------------------------------------------------
     /// Handshake accepted: negotiated version, granted role, banner.
@@ -118,6 +138,29 @@ pub enum Msg {
     ProfileReport { text: String, json: String },
     /// Answer to [`Msg::Metrics`].
     MetricsReport { text: String },
+    /// One chunk of the primary's latest checkpoint, shipped to a
+    /// subscribing replica whose `from_lsn` predates the log's start.
+    /// `data` is appended to snapshot file `name` on the replica;
+    /// `watermark` is the LSN the snapshot folds through (the stream of
+    /// batches resumes there); `last` marks the final chunk of the whole
+    /// snapshot.
+    ReplSnapshot {
+        watermark: u64,
+        name: String,
+        data: Vec<u8>,
+        last: bool,
+    },
+    /// One fsynced group-commit batch: the records' raw on-disk WAL
+    /// frames (`[len][checksum][lsn][kind][payload]`, byte-identical to
+    /// the primary's `wal.log`), covering LSNs `first_lsn..=last_lsn`.
+    ReplBatch {
+        first_lsn: u64,
+        last_lsn: u64,
+        frames: Vec<u8>,
+    },
+    /// Idle keep-alive on the replication stream, carrying the primary's
+    /// current durable LSN so a fully caught-up replica can observe lag 0.
+    ReplHeartbeat { durable_lsn: u64 },
 }
 
 // -- low-level helpers (same shapes as the IR codec) -------------------------
@@ -259,6 +302,15 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
         Msg::Goodbye => b.put_u8(5),
         Msg::Cancel => b.put_u8(6),
         Msg::Metrics => b.put_u8(7),
+        Msg::ReplSubscribe { from_lsn } => {
+            b.put_u8(8);
+            b.put_u64_le(*from_lsn);
+        }
+        Msg::ReplAck { lsn } => {
+            b.put_u8(9);
+            b.put_u64_le(*lsn);
+        }
+        Msg::Promote => b.put_u8(10),
         Msg::Welcome {
             proto,
             role,
@@ -353,6 +405,34 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             b.put_u8(30);
             put_str(&mut b, text);
         }
+        Msg::ReplSnapshot {
+            watermark,
+            name,
+            data,
+            last,
+        } => {
+            b.put_u8(31);
+            b.put_u64_le(*watermark);
+            put_str(&mut b, name);
+            b.put_u32_le(data.len() as u32);
+            b.put_slice(data);
+            b.put_u8(u8::from(*last));
+        }
+        Msg::ReplBatch {
+            first_lsn,
+            last_lsn,
+            frames,
+        } => {
+            b.put_u8(32);
+            b.put_u64_le(*first_lsn);
+            b.put_u64_le(*last_lsn);
+            b.put_u32_le(frames.len() as u32);
+            b.put_slice(frames);
+        }
+        Msg::ReplHeartbeat { durable_lsn } => {
+            b.put_u8(33);
+            b.put_u64_le(*durable_lsn);
+        }
     }
     b.to_vec()
 }
@@ -383,6 +463,11 @@ pub fn decode(mut data: &[u8]) -> Result<Msg> {
         5 => Msg::Goodbye,
         6 => Msg::Cancel,
         7 => Msg::Metrics,
+        8 => Msg::ReplSubscribe {
+            from_lsn: get_u64(buf)?,
+        },
+        9 => Msg::ReplAck { lsn: get_u64(buf)? },
+        10 => Msg::Promote,
         16 => Msg::Welcome {
             proto: get_u16(buf)?,
             role: get_u8(buf)?,
@@ -471,6 +556,20 @@ pub fn decode(mut data: &[u8]) -> Result<Msg> {
         },
         30 => Msg::MetricsReport {
             text: get_str(buf)?,
+        },
+        31 => Msg::ReplSnapshot {
+            watermark: get_u64(buf)?,
+            name: get_str(buf)?,
+            data: get_bytes(buf)?,
+            last: get_u8(buf)? != 0,
+        },
+        32 => Msg::ReplBatch {
+            first_lsn: get_u64(buf)?,
+            last_lsn: get_u64(buf)?,
+            frames: get_bytes(buf)?,
+        },
+        33 => Msg::ReplHeartbeat {
+            durable_lsn: get_u64(buf)?,
         },
         t => return Err(GraqlError::net(format!("unknown message tag {t}"))),
     };
@@ -641,6 +740,7 @@ fn intern_code(code: &str) -> Option<&'static str> {
         codes::DEADLINE,
         codes::CANCELLED,
         codes::BUDGET,
+        codes::NOT_PRIMARY,
         codes::UNUSED_LABEL,
         codes::UNREAD_RESULT,
         codes::ALWAYS_FALSE,
@@ -752,6 +852,21 @@ mod tests {
             Msg::MetricsReport {
                 text: "# TYPE graql_queries_total counter\n".into(),
             },
+            Msg::ReplSubscribe { from_lsn: 17 },
+            Msg::ReplAck { lsn: 16 },
+            Msg::Promote,
+            Msg::ReplSnapshot {
+                watermark: 17,
+                name: "catalog.graql".into(),
+                data: vec![99, 114, 101, 97, 116, 101],
+                last: false,
+            },
+            Msg::ReplBatch {
+                first_lsn: 18,
+                last_lsn: 19,
+                frames: vec![0, 1, 2, 3, 255],
+            },
+            Msg::ReplHeartbeat { durable_lsn: 19 },
         ]
     }
 

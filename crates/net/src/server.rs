@@ -11,7 +11,7 @@
 //! `graql_core::server`) let read-only scripts from different
 //! connections execute concurrently while DDL/ingest serialize.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -19,7 +19,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use graql_core::{Server, Session};
+use graql_core::{ReplRole, Role, Server, Session};
 use graql_types::{
     GraqlError, ProfileReport, QueryBudget, QueryGuard, QueryOutcome, QueryProfile, Result,
 };
@@ -30,6 +30,15 @@ use crate::proto::{self, diags_to_wire, error_msg, output_msgs, Msg, PROTO_VERSI
 /// How often blocked loops (accept, worker reads) wake to poll the
 /// shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
+
+/// Replication stream: heartbeat cadence on an idle subscription (tells
+/// the replica the primary is alive and how far its durable LSN is).
+const REPL_HEARTBEAT: Duration = Duration::from_secs(1);
+
+/// Replication snapshot transfer: one file is shipped in chunks of at
+/// most this many bytes, so a multi-gigabyte checkpoint never needs a
+/// single oversized frame.
+const SNAPSHOT_CHUNK: usize = 1 << 20;
 
 /// Tuning for [`serve`].
 #[derive(Debug, Clone)]
@@ -216,6 +225,33 @@ pub struct NetStats {
     /// Governance: largest byte footprint (RSS proxy) any single query
     /// accounted, successful or not.
     pub query_peak_bytes: AtomicU64,
+    /// Client-side resilience: requests re-sent after a retryable error.
+    /// Counted by [`crate::RemoteSession`] when it shares this registry
+    /// (the replica tailer does), so a node's own outbound retries show
+    /// up in its metrics.
+    pub retries: AtomicU64,
+    /// Client-side resilience: connections re-established (same or
+    /// different endpoint).
+    pub reconnects: AtomicU64,
+    /// Client-side resilience: reconnects that landed on a *different*
+    /// endpoint than the previous one (read failover / write redirect).
+    pub failovers: AtomicU64,
+    /// Replication source: replicas currently subscribed to this node.
+    pub repl_replicas_connected: AtomicU64,
+    /// Replication source: fsynced WAL batches shipped to replicas.
+    pub repl_batches_shipped: AtomicU64,
+    /// Replication source: WAL records shipped (sum of batch LSN spans).
+    pub repl_records_shipped: AtomicU64,
+    /// Replication source: snapshot chunks sent during initial sync.
+    pub repl_snapshot_chunks: AtomicU64,
+    /// Replication source: acks received from replicas.
+    pub repl_acks: AtomicU64,
+    /// Replication source: heartbeats sent on idle streams.
+    pub repl_heartbeats: AtomicU64,
+    /// Per-replica lag (primary durable LSN minus the replica's last
+    /// acked LSN), keyed by peer address. Entries vanish when the
+    /// subscription drops.
+    pub repl_lag: Mutex<BTreeMap<String, u64>>,
 }
 
 impl NetStats {
@@ -226,13 +262,38 @@ impl NetStats {
         self.request_micros_max.fetch_max(micros, Ordering::Relaxed);
     }
 
+    /// Updates one replica's lag entry (primary side, on each ack).
+    pub fn note_repl_lag(&self, peer: &str, lag: u64) {
+        if let Ok(mut lags) = self.repl_lag.lock() {
+            lags.insert(peer.to_string(), lag);
+        }
+    }
+
+    /// Drops one replica's lag entry (subscription ended).
+    pub fn forget_repl_lag(&self, peer: &str) {
+        if let Ok(mut lags) = self.repl_lag.lock() {
+            lags.remove(peer);
+        }
+    }
+
+    /// The largest per-replica lag, and the lag table itself.
+    fn repl_lag_snapshot(&self) -> (u64, Vec<(String, u64)>) {
+        let lags: Vec<(String, u64)> = self
+            .repl_lag
+            .lock()
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default();
+        let max = lags.iter().map(|(_, v)| *v).max().unwrap_or(0);
+        (max, lags)
+    }
+
     /// Renders the `net:` section appended to `describe` output.
     pub fn render(&self) -> String {
         let requests = self.requests.load(Ordering::Relaxed);
         let total = self.request_micros_total.load(Ordering::Relaxed);
         let mean = total.checked_div(requests).unwrap_or(0);
-        format!(
-            "net:\n  connections: {} active, {} total, {} refused\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n  governance: {} shed, {} cancelled, {} deadline-killed, {} budget-killed, peak query bytes {}\n",
+        let mut out = format!(
+            "net:\n  connections: {} active, {} total, {} refused\n  messages: {} in, {} out\n  bytes: {} in, {} out\n  requests: {} (mean {} us, max {} us)\n  governance: {} shed, {} cancelled, {} deadline-killed, {} budget-killed, peak query bytes {}\n  resilience: {} retries, {} reconnects, {} failovers\n",
             self.connections_active.load(Ordering::Relaxed),
             self.connections_total.load(Ordering::Relaxed),
             self.connections_refused.load(Ordering::Relaxed),
@@ -248,7 +309,26 @@ impl NetStats {
             self.queries_deadline_killed.load(Ordering::Relaxed),
             self.queries_budget_killed.load(Ordering::Relaxed),
             self.query_peak_bytes.load(Ordering::Relaxed),
-        )
+            self.retries.load(Ordering::Relaxed),
+            self.reconnects.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+        );
+        use std::fmt::Write as _;
+        let (_, lags) = self.repl_lag_snapshot();
+        let _ = writeln!(
+            out,
+            "repl:\n  replicas: {} connected\n  shipped: {} batches, {} records, {} snapshot chunks\n  acks: {}, heartbeats: {}",
+            self.repl_replicas_connected.load(Ordering::Relaxed),
+            self.repl_batches_shipped.load(Ordering::Relaxed),
+            self.repl_records_shipped.load(Ordering::Relaxed),
+            self.repl_snapshot_chunks.load(Ordering::Relaxed),
+            self.repl_acks.load(Ordering::Relaxed),
+            self.repl_heartbeats.load(Ordering::Relaxed),
+        );
+        for (peer, lag) in lags {
+            let _ = writeln!(out, "  lag {peer}: {lag} records");
+        }
+        out
     }
 
     /// Renders the wire counters as Prometheus exposition lines, appended
@@ -344,6 +424,77 @@ impl NetStats {
             "query_peak_bytes",
             "Largest byte footprint any single query accounted.",
             c(&self.query_peak_bytes),
+        );
+        counter(
+            &mut out,
+            "retries_total",
+            "Outbound requests re-sent after a retryable error.",
+            c(&self.retries),
+        );
+        counter(
+            &mut out,
+            "reconnects_total",
+            "Outbound connections re-established.",
+            c(&self.reconnects),
+        );
+        counter(
+            &mut out,
+            "failovers_total",
+            "Outbound reconnects that switched endpoints.",
+            c(&self.failovers),
+        );
+        let repl_counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP graql_repl_{name} {help}");
+            let _ = writeln!(out, "# TYPE graql_repl_{name} counter");
+            let _ = writeln!(out, "graql_repl_{name} {v}");
+        };
+        let repl_gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP graql_repl_{name} {help}");
+            let _ = writeln!(out, "# TYPE graql_repl_{name} gauge");
+            let _ = writeln!(out, "graql_repl_{name} {v}");
+        };
+        repl_gauge(
+            &mut out,
+            "replicas_connected",
+            "Replicas currently subscribed to this node's WAL stream.",
+            c(&self.repl_replicas_connected),
+        );
+        repl_counter(
+            &mut out,
+            "batches_shipped_total",
+            "Fsynced WAL batches shipped to replicas.",
+            c(&self.repl_batches_shipped),
+        );
+        repl_counter(
+            &mut out,
+            "records_shipped_total",
+            "WAL records shipped to replicas.",
+            c(&self.repl_records_shipped),
+        );
+        repl_counter(
+            &mut out,
+            "snapshot_chunks_total",
+            "Snapshot chunks sent during replica initial sync.",
+            c(&self.repl_snapshot_chunks),
+        );
+        repl_counter(
+            &mut out,
+            "acks_total",
+            "Replication acks received from replicas.",
+            c(&self.repl_acks),
+        );
+        repl_counter(
+            &mut out,
+            "heartbeats_total",
+            "Replication heartbeats sent on idle streams.",
+            c(&self.repl_heartbeats),
+        );
+        let (max_lag, _) = self.repl_lag_snapshot();
+        repl_gauge(
+            &mut out,
+            "max_lag_records",
+            "Largest per-replica lag in WAL records.",
+            max_lag,
         );
         out
     }
@@ -809,6 +960,46 @@ fn handle_connection(
                 })?;
             }
             Msg::Ping => wire.send(&Msg::Pong)?,
+            Msg::Promote => {
+                if session.role() != Role::Admin {
+                    wire.send(&error_msg(&GraqlError::exec(format!(
+                        "user '{}' (analyst) may not promote this server",
+                        session.user()
+                    ))))?;
+                    continue;
+                }
+                let was = server.promote();
+                if let ReplRole::Replica { primary } = &was {
+                    eprintln!("gems-serve: promoted to primary (was replica of {primary})");
+                }
+                stats.note_request(started.elapsed().as_micros() as u64);
+                wire.send(&Msg::Done {
+                    stmts: 0,
+                    micros: started.elapsed().as_micros() as u64,
+                })?;
+            }
+            Msg::ReplSubscribe { from_lsn } => {
+                if session.role() != Role::Admin {
+                    wire.send(&error_msg(&GraqlError::exec(format!(
+                        "user '{}' (analyst) may not subscribe to the WAL stream",
+                        session.user()
+                    ))))?;
+                    continue;
+                }
+                if !server.is_durable() {
+                    wire.send(&error_msg(&GraqlError::net(
+                        "replication requires a durable server (start with --durable)",
+                    )))?;
+                    continue;
+                }
+                // The connection becomes a one-way WAL stream (plus acks
+                // coming back); it never returns to request dispatch.
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "unknown".to_string());
+                return serve_replication(&wire, server, stats, shutdown, from_lsn, &peer);
+            }
             Msg::Goodbye => return Ok(()),
             other => {
                 wire.send(&error_msg(&GraqlError::net(format!(
@@ -967,6 +1158,132 @@ fn run_submit(
         Err(e) => wire.send(&error_msg(&e))?,
     }
     Ok(None)
+}
+
+/// Serves one replica's WAL subscription until the connection drops, the
+/// replica says `Goodbye`, or the server shuts down.
+///
+/// Ordering is the crux: the commit-feed subscription is registered
+/// *before* the bootstrap view is taken, so no batch can fall between
+/// "what the bootstrap saw" and "what the channel delivers" — overlap is
+/// possible (a batch both in the bootstrap backlog and the channel) and
+/// resolved by LSN (`last_sent`), a gap is not. The replica applies
+/// idempotently by LSN as a second line of defense.
+fn serve_replication(
+    wire: &Wire<'_>,
+    server: &Server,
+    stats: &NetStats,
+    shutdown: &AtomicBool,
+    from_lsn: u64,
+    peer: &str,
+) -> Result<()> {
+    let rx = server.subscribe_commits()?;
+    let boot = server.repl_bootstrap(from_lsn)?;
+    stats
+        .repl_replicas_connected
+        .fetch_add(1, Ordering::Relaxed);
+    let result = stream_to_replica(wire, server, stats, shutdown, from_lsn, peer, rx, boot);
+    stats
+        .repl_replicas_connected
+        .fetch_sub(1, Ordering::Relaxed);
+    stats.forget_repl_lag(peer);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stream_to_replica(
+    wire: &Wire<'_>,
+    server: &Server,
+    stats: &NetStats,
+    shutdown: &AtomicBool,
+    from_lsn: u64,
+    peer: &str,
+    rx: std::sync::mpsc::Receiver<graql_core::ShippedBatch>,
+    boot: graql_core::ReplBootstrap,
+) -> Result<()> {
+    let mut last_sent = from_lsn.saturating_sub(1);
+    // Initial sync: the replica is behind the last checkpoint, so the log
+    // alone cannot catch it up — ship the snapshot files first. `last` is
+    // set on the final chunk of the final file; the replica loads the
+    // directory and re-bases its log at the watermark when it sees it.
+    if let Some((watermark, files)) = &boot.snapshot {
+        last_sent = last_sent.max(watermark.saturating_sub(1));
+        let n_files = files.len();
+        for (fi, (name, data)) in files.iter().enumerate() {
+            let chunks: Vec<&[u8]> = if data.is_empty() {
+                vec![&[]]
+            } else {
+                data.chunks(SNAPSHOT_CHUNK).collect()
+            };
+            let n_chunks = chunks.len();
+            for (ci, chunk) in chunks.into_iter().enumerate() {
+                wire.send(&Msg::ReplSnapshot {
+                    watermark: *watermark,
+                    name: name.clone(),
+                    data: chunk.to_vec(),
+                    last: fi + 1 == n_files && ci + 1 == n_chunks,
+                })?;
+                stats.repl_snapshot_chunks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let mut backlog = boot.backlog;
+    let mut last_heartbeat = Instant::now();
+    loop {
+        // Everything sendable right now: the bootstrap backlog first,
+        // then whatever the commit thread shipped since.
+        while let Ok(batch) = rx.try_recv() {
+            backlog.push(batch);
+        }
+        for batch in backlog.drain(..) {
+            if batch.last_lsn <= last_sent {
+                continue; // overlap between bootstrap view and live feed
+            }
+            graql_types::failpoint!("net/repl/stream", GraqlError::net);
+            let span = batch.last_lsn - batch.first_lsn + 1;
+            wire.send(&Msg::ReplBatch {
+                first_lsn: batch.first_lsn,
+                last_lsn: batch.last_lsn,
+                frames: batch.frames,
+            })?;
+            stats.repl_batches_shipped.fetch_add(1, Ordering::Relaxed);
+            stats
+                .repl_records_shipped
+                .fetch_add(span, Ordering::Relaxed);
+            last_sent = batch.last_lsn;
+            last_heartbeat = Instant::now();
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if last_heartbeat.elapsed() >= REPL_HEARTBEAT {
+            wire.send(&Msg::ReplHeartbeat {
+                durable_lsn: server.wal_durable_lsn(),
+            })?;
+            stats.repl_heartbeats.fetch_add(1, Ordering::Relaxed);
+            last_heartbeat = Instant::now();
+        }
+        // Wait for acks (or anything else) with the standard short read
+        // timeout — this is also the stream's pacing delay: new batches
+        // are drained at most POLL after their fsync.
+        match wire.recv()? {
+            FrameRead::TimedOut => {}
+            FrameRead::Closed => return Ok(()),
+            FrameRead::Frame(p) => match proto::decode(&p) {
+                Ok(Msg::ReplAck { lsn }) => {
+                    stats.repl_acks.fetch_add(1, Ordering::Relaxed);
+                    stats.note_repl_lag(peer, server.wal_durable_lsn().saturating_sub(lsn));
+                }
+                Ok(Msg::Goodbye) => return Ok(()),
+                Ok(other) => {
+                    return Err(GraqlError::net(format!(
+                        "unexpected message {other:?} on a replication stream"
+                    )))
+                }
+                Err(e) => return Err(e),
+            },
+        }
+    }
 }
 
 /// Runs the server side of version negotiation and authentication.

@@ -74,6 +74,18 @@ pub const FAULT_MATRIX: &[FaultCase] = &[
     // must abort the query with one typed error and leave the server up.
     case("core/exec/morsel-dispatch", "1*err"),
     case("core/exec/morsel-merge", "1*err"),
+    // Replication faults (crates/net/src/{server,replica}.rs). `stream`
+    // fires on the primary before a batch is shipped; `apply` fires on
+    // the replica before a received batch is applied; `ack` fires on the
+    // replica after the batch is locally durable but before the ack is
+    // sent. All three kill the subscription; the contract is exact
+    // LSN-resume on reconnect — no record applied twice or skipped
+    // (tests/replication.rs drives these through reconnect cycles; the
+    // generic matrix rig skips them because no replication stream runs
+    // there).
+    case("net/repl/stream", "1*err"),
+    case("net/repl/apply", "1*err"),
+    case("net/repl/ack", "1*err"),
 ];
 
 static ARM_LOCK: Mutex<()> = Mutex::new(());
@@ -119,8 +131,14 @@ mod tests {
             failpoints::parse_spec(c.spec)
                 .unwrap_or_else(|e| panic!("{}: bad spec {:?}: {e}", c.site, c.spec));
         }
-        // All three subsystems are represented.
-        for prefix in ["net/frame/", "net/server/", "net/client/", "core/"] {
+        // Every subsystem is represented.
+        for prefix in [
+            "net/frame/",
+            "net/server/",
+            "net/client/",
+            "net/repl/",
+            "core/",
+        ] {
             assert!(
                 FAULT_MATRIX.iter().any(|c| c.site.starts_with(prefix)),
                 "no matrix entry under {prefix}"

@@ -138,6 +138,9 @@ pub mod codes {
     pub const CANCELLED: &str = "E0909";
     /// A row/byte budget was exceeded (governance kill).
     pub const BUDGET: &str = "E0910";
+    /// A write was submitted to a read-only replica; the message carries
+    /// the primary's address for client-side redirect.
+    pub const NOT_PRIMARY: &str = "E0911";
 
     /// Label defined but never referenced.
     pub const UNUSED_LABEL: &str = "W0201";
@@ -254,6 +257,11 @@ impl Diagnostic {
             GraqlError::Deadline(m) => Diagnostic::error(codes::DEADLINE, m.clone(), fallback),
             GraqlError::Cancelled(m) => Diagnostic::error(codes::CANCELLED, m.clone(), fallback),
             GraqlError::Budget(m) => Diagnostic::error(codes::BUDGET, m.clone(), fallback),
+            GraqlError::NotPrimary { primary } => Diagnostic::error(
+                codes::NOT_PRIMARY,
+                format!("writes must go to {primary}"),
+                fallback,
+            ),
         }
     }
 
@@ -286,6 +294,12 @@ impl Diagnostic {
                 codes::DEADLINE => GraqlError::Deadline(located),
                 codes::CANCELLED => GraqlError::Cancelled(located),
                 codes::BUDGET => GraqlError::Budget(located),
+                codes::NOT_PRIMARY => GraqlError::NotPrimary {
+                    primary: located
+                        .strip_prefix("writes must go to ")
+                        .unwrap_or(&located)
+                        .to_string(),
+                },
                 _ => GraqlError::Exec(located),
             },
         }
@@ -546,6 +560,7 @@ mod tests {
             GraqlError::deadline("d"),
             GraqlError::cancelled("c"),
             GraqlError::budget("b"),
+            GraqlError::not_primary("10.0.0.1:5557"),
         ] {
             let back = Diagnostic::from_error(&err, Span::default()).into_error();
             assert_eq!(

@@ -53,6 +53,14 @@ pub enum GraqlError {
     /// exceeded; execution was aborted before the limit could be blown
     /// further. Not retryable without raising the budget.
     Budget(String),
+    /// The statement writes, but this node is a read-only replica.
+    /// Carries the primary's advertised address so clients can redirect
+    /// the write instead of failing; the statement was *not* executed,
+    /// so re-submitting it elsewhere is always safe.
+    NotPrimary {
+        /// `host:port` of the primary this replica follows.
+        primary: String,
+    },
 }
 
 /// Payload of [`GraqlError::Net`]: the message plus a retryability class.
@@ -116,6 +124,13 @@ impl GraqlError {
     pub fn budget(m: impl Into<String>) -> Self {
         GraqlError::Budget(m.into())
     }
+    /// A write was refused because this node is a replica; `primary` is
+    /// the address writes must be redirected to.
+    pub fn not_primary(primary: impl Into<String>) -> Self {
+        GraqlError::NotPrimary {
+            primary: primary.into(),
+        }
+    }
     /// A non-retryable network error (protocol violation, bad peer).
     pub fn net(m: impl Into<String>) -> Self {
         GraqlError::Net(NetError {
@@ -137,6 +152,16 @@ impl GraqlError {
     /// request may safely retry (see [`NetError`]).
     pub fn is_retryable(&self) -> bool {
         matches!(self, GraqlError::Net(ne) if ne.retryable)
+    }
+
+    /// The primary's advertised address when this is a
+    /// [`GraqlError::NotPrimary`] rejection — the redirect target for
+    /// client-side write failover.
+    pub fn redirect_to(&self) -> Option<&str> {
+        match self {
+            GraqlError::NotPrimary { primary } if !primary.is_empty() => Some(primary),
+            _ => None,
+        }
     }
 
     /// Stable one-byte status code for error frames on the wire
@@ -163,6 +188,7 @@ impl GraqlError {
             GraqlError::Deadline(_) => 12,
             GraqlError::Cancelled(_) => 13,
             GraqlError::Budget(_) => 14,
+            GraqlError::NotPrimary { .. } => 15,
         }
     }
 
@@ -215,6 +241,9 @@ impl GraqlError {
             12 => GraqlError::Deadline(strip("deadline error: ", message)),
             13 => GraqlError::Cancelled(strip("cancelled: ", message)),
             14 => GraqlError::Budget(strip("budget error: ", message)),
+            15 => GraqlError::NotPrimary {
+                primary: strip("not primary: writes must go to ", message),
+            },
             other => GraqlError::net(format!("unknown wire status {other}: {message}")),
         }
     }
@@ -260,6 +289,9 @@ impl fmt::Display for GraqlError {
             GraqlError::Deadline(m) => write!(f, "deadline error: {m}"),
             GraqlError::Cancelled(m) => write!(f, "cancelled: {m}"),
             GraqlError::Budget(m) => write!(f, "budget error: {m}"),
+            GraqlError::NotPrimary { primary } => {
+                write!(f, "not primary: writes must go to {primary}")
+            }
         }
     }
 }
@@ -305,6 +337,7 @@ mod tests {
             GraqlError::deadline("d"),
             GraqlError::cancelled("ca"),
             GraqlError::budget("b"),
+            GraqlError::not_primary("10.0.0.1:5557"),
         ];
         for e in errors {
             let status = e.wire_status();
@@ -333,6 +366,7 @@ mod tests {
             GraqlError::deadline("query deadline exceeded"),
             GraqlError::cancelled("query cancelled by client"),
             GraqlError::budget("row budget exceeded: 3 rows produced, limit 2"),
+            GraqlError::not_primary("10.0.0.1:5557"),
         ];
         for e in errors {
             let back = GraqlError::from_wire_status(e.wire_status(), e.to_string());
@@ -361,6 +395,21 @@ mod tests {
         assert!(!GraqlError::deadline("d").is_retryable());
         assert!(!GraqlError::cancelled("c").is_retryable());
         assert!(!GraqlError::budget("b").is_retryable());
+    }
+
+    #[test]
+    fn not_primary_carries_the_redirect_target_across_the_wire() {
+        let e = GraqlError::not_primary("127.0.0.1:6001");
+        assert_eq!(e.redirect_to(), Some("127.0.0.1:6001"));
+        assert!(
+            !e.is_retryable(),
+            "redirects are handled, not blind-retried"
+        );
+        assert!(!e.is_static());
+        let back = GraqlError::from_wire_status(e.wire_status(), e.to_string());
+        assert_eq!(back.redirect_to(), Some("127.0.0.1:6001"));
+        assert_eq!(e, back);
+        assert_eq!(GraqlError::exec("x").redirect_to(), None);
     }
 
     #[test]

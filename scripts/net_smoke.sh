@@ -12,8 +12,8 @@ workdir="$(mktemp -d)"
 log="${SERVE_LOG:-$workdir/gems-serve.log}"
 metrics_out="${METRICS_OUT:-$workdir/metrics.prom}"
 slow_log="${SLOW_LOG:-$workdir/slow-queries.jsonl}"
-serve_pid="" durable_pid="" durable2_pid=""
-trap 'kill $serve_pid $durable_pid $durable2_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+serve_pid="" durable_pid="" durable2_pid="" prim_pid="" repl_pid=""
+trap 'kill $serve_pid $durable_pid $durable2_pid $prim_pid $repl_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 # Fixtures for scripts/berlin_demo.graql.
 printf 'p1,Alpha,m1,10.0\np2,Beta,m1,20.0\np3,Gamma,m2,30.0\n' > "$workdir/Products.csv"
@@ -188,6 +188,128 @@ if [ ! -f "$ddir/wal.meta" ]; then
     exit 1
 fi
 
+# ---- Replication round: kill -9 the primary mid-stream, promote ----
+# A durable primary streams its WAL to a hot standby. Batches are
+# acknowledged, the standby catches up, then the primary is SIGKILLed
+# while a feeder is still writing. The standby is promoted and must hold
+# every batch it had replicated before the kill (whole 3-row batches,
+# nothing torn) and accept writes afterwards.
+pdir="$workdir/prim" rdir="$workdir/repl"
+plog="${PRIMARY_LOG:-$workdir/gems-serve-primary.log}"
+rlog="${REPLICA_LOG:-$workdir/gems-serve-replica.log}"
+mkfifo "$workdir/pctl" "$workdir/rctl"
+sleep 120 > "$workdir/pctl" &
+pholder_pid=$!
+sleep 120 > "$workdir/rctl" &
+rholder_pid=$!
+"$bindir/gems-serve" --addr 127.0.0.1:0 --durable "$pdir" --data-dir "$workdir" \
+    < "$workdir/pctl" > "$plog" 2>&1 &
+prim_pid=$!
+paddr=""
+for _ in $(seq 100); do
+    paddr="$(sed -n 's/^gems-serve listening on //p' "$plog")"
+    [ -n "$paddr" ] && break
+    sleep 0.1
+done
+if [ -z "$paddr" ]; then
+    echo "net_smoke: replication primary never became ready" >&2
+    cat "$plog" >&2
+    exit 1
+fi
+# The replica gets the same --data-dir: replicated ingests carry their
+# CSV text in the WAL record, but once *promoted* it executes fresh
+# ingest statements that resolve paths locally.
+"$bindir/gems-serve" --addr 127.0.0.1:0 --durable "$rdir" --replica-of "$paddr" \
+    --data-dir "$workdir" < "$workdir/rctl" > "$rlog" 2>&1 &
+repl_pid=$!
+raddr=""
+for _ in $(seq 100); do
+    raddr="$(sed -n 's/^gems-serve listening on //p' "$rlog")"
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+if [ -z "$raddr" ]; then
+    echo "net_smoke: replica never became ready" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+if ! grep -q "^gems-serve: replica of $paddr" "$rlog"; then
+    echo "net_smoke: replica did not announce its role" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+
+# Acknowledged setup on the primary: schema plus one 3-row batch.
+"$bindir/gems-shell" "$workdir/d_setup.graql" --connect "$paddr" --user admin > /dev/null
+
+repl_rows() {
+    "$bindir/gems-shell" "$workdir/d_verify.graql" --connect "$1" --user admin \
+        2>/dev/null | sed -n 's/^\[0\] table (\([0-9]*\) rows):$/\1/p'
+}
+
+# The standby must catch up to the acknowledged batch through the stream.
+caught=""
+for _ in $(seq 100); do
+    caught="$(repl_rows "$raddr" || true)"
+    [ "${caught:-0}" -ge 3 ] 2>/dev/null && break
+    sleep 0.1
+done
+if [ "${caught:-0}" -lt 3 ]; then
+    echo "net_smoke: replica never caught up (rows: '${caught:-none}')" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+
+# Feed more acknowledged batches, sample the replicated watermark, then
+# SIGKILL the primary mid-stream.
+(
+    for _ in $(seq 50); do
+        "$bindir/gems-shell" "$workdir/d_batch.graql" --connect "$paddr" --user admin \
+            > /dev/null 2>&1 || exit 0
+    done
+) &
+rfeeder_pid=$!
+sleep 0.7
+replicated_before="$(repl_rows "$raddr")"
+kill -9 "$prim_pid" 2>/dev/null || true
+wait "$prim_pid" 2>/dev/null || true
+wait "$rfeeder_pid" 2>/dev/null || true
+kill "$pholder_pid" 2>/dev/null || true
+prim_pid=""
+
+# Promote the standby over the wire; it becomes writable.
+"$bindir/gems-shell" --promote --connect "$raddr" --user admin
+if ! grep -q '^gems-serve: promoted to primary' "$rlog"; then
+    echo "net_smoke: replica log does not record the promotion" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+
+# Everything replicated before the kill survives promotion: whole 3-row
+# batches only, at least as many as the pre-kill sample.
+promoted_rows="$(repl_rows "$raddr")"
+if [ -z "$promoted_rows" ] || [ $((promoted_rows % 3)) -ne 0 ] \
+    || [ "$promoted_rows" -lt "${replicated_before:-3}" ]; then
+    echo "net_smoke: promoted replica lost batches: had ${replicated_before:-?}," \
+        "now '${promoted_rows:-none}' (want a multiple of 3, no smaller)" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+
+# The promoted node accepts writes.
+"$bindir/gems-shell" "$workdir/d_batch.graql" --connect "$raddr" --user admin > /dev/null
+post_write_rows="$(repl_rows "$raddr")"
+if [ "$post_write_rows" -ne $((promoted_rows + 3)) ]; then
+    echo "net_smoke: post-promotion write went wrong: $promoted_rows -> $post_write_rows" >&2
+    exit 1
+fi
+
+echo shutdown > "$workdir/rctl"
+kill "$rholder_pid" 2>/dev/null || true
+wait "$repl_pid"
+repl_pid=""
+
 echo "net_smoke: OK ($(wc -l < "$workdir/local.out") identical output lines," \
     "$ok_count ok queries scraped, $(wc -l < "$slow_log") slow-log lines," \
-    "durable recovery held $rows rows across kill -9)"
+    "durable recovery held $rows rows across kill -9," \
+    "promoted replica held $promoted_rows rows and kept writing)"

@@ -19,10 +19,14 @@
 //! Prints a single `gems-serve listening on ADDR` line (flushed) once
 //! ready, so supervisors and CI scripts can wait for it.
 //!
-//! The server runs until stdin reaches EOF or a line reading `shutdown`
-//! arrives — both trigger a graceful shutdown that drains in-flight
-//! requests. Process supervisors that pipe stdin therefore get clean
-//! teardown for free; `kill` still works, it just skips the drain.
+//! The server runs until stdin reaches EOF, a line reading `shutdown`
+//! arrives, or the process receives SIGTERM/SIGINT — all three trigger a
+//! graceful shutdown that drains in-flight requests and (on durable
+//! servers) folds the log into a final checkpoint. Process supervisors
+//! therefore get clean teardown from a plain `kill`; `kill -9` still
+//! works, it just skips the drain. A stdin line reading `promote` fences
+//! a replica into a writable primary (the same transition the wire
+//! `Promote` message performs).
 //!
 //! With `--durable DIR` the database lives in `DIR`: every mutating
 //! statement is write-ahead logged before it is acknowledged, startup
@@ -31,14 +35,66 @@
 //! log into a fresh snapshot. `kill -9` loses nothing that was
 //! acknowledged. `--checkpoint-every N` tunes how many log records
 //! accumulate before an automatic checkpoint (0 = only on shutdown).
+//!
+//! With `--replica-of HOST:PORT` (requires `--durable`) the server comes
+//! up as a read-only hot standby: it bootstraps from the primary's
+//! latest checkpoint, tails the primary's WAL stream into its own log
+//! and epoch chain, serves read-only queries lock-free, and rejects
+//! writes with `E0911 NotPrimary` carrying the primary's address. It
+//! reconnects with bounded backoff across primary restarts, resuming
+//! exactly at its durable watermark. Promotion (wire `Promote` or the
+//! stdin `promote` line) fences it into a writable primary.
 
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::mpsc;
 use std::time::Duration;
 
-use graql::core::{load_dir, Database, DurabilityOptions, Role, Server};
-use graql::net::{serve, ServeOptions};
+use graql::core::{load_dir, Database, DurabilityOptions, ReplRole, Role, Server};
+use graql::net::{serve, RetryPolicy, ServeOptions};
 use graql::types::QueryBudget;
+
+/// SIGTERM/SIGINT as a flag instead of process death, so orchestration
+/// can stop the server cleanly (drain + final checkpoint) without the
+/// stdin pipe. Bound by hand because the tree carries no libc crate: std
+/// already links the C library, `signal(2)` is in it, and the handler
+/// body is a single atomic store (async-signal-safe).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_stop(_: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_stop as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_stop as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn stop_requested() -> bool {
+        false
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -48,7 +104,7 @@ fn usage() -> ! {
          [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
          [--max-connections N] [--error-budget N] [--max-concurrency N] \
          [--queue-wait-ms MS] [--max-result-rows N] [--max-query-bytes N] \
-         [--exec-threads N] \
+         [--exec-threads N] [--replica-of HOST:PORT] \
          [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--slow-query-log FILE]"
     );
     std::process::exit(2);
@@ -68,6 +124,7 @@ fn main() -> ExitCode {
     let mut users: Vec<(String, Role)> = Vec::new();
     let mut budget = QueryBudget::UNLIMITED;
     let mut exec_threads: Option<usize> = None;
+    let mut replica_of: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => opts.addr = args.next().unwrap_or_else(|| usage()),
@@ -175,6 +232,7 @@ fn main() -> ExitCode {
                     _ => usage(),
                 }
             }
+            "--replica-of" => replica_of = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-addr" => opts.metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--slow-query-ms" => {
                 let ms = args.next().unwrap_or_else(|| usage());
@@ -266,6 +324,20 @@ fn main() -> ExitCode {
         }
     }
 
+    // Replica mode: fence writes *before* the listener opens, so not a
+    // single client write can slip in ahead of the role.
+    if let Some(primary) = &replica_of {
+        if durable.is_none() {
+            eprintln!(
+                "gems-serve: --replica-of requires --durable \
+                 (the replica persists its applied-LSN watermark in its own log)"
+            );
+            return ExitCode::FAILURE;
+        }
+        server.set_replica_of(primary.clone());
+        eprintln!("gems-serve: replica of {primary} (read-only until promoted)");
+    }
+
     let server_handle = server.clone();
     let mut net = match serve(server, opts) {
         Ok(net) => net,
@@ -274,6 +346,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The tailer starts after the listener so its reconnect counters land
+    // in this node's stats; it resumes from the local durable watermark.
+    let mut tailer = replica_of.as_ref().map(|primary| {
+        graql::net::start_tailer(
+            server_handle.clone(),
+            primary.clone(),
+            RetryPolicy::default(),
+            net.stats(),
+        )
+    });
     graql::net::server::announce(&mut std::io::stdout(), net.local_addr());
     if let Some(addr) = net.metrics_addr() {
         println!("gems-serve metrics on http://{addr}/metrics");
@@ -281,18 +363,44 @@ fn main() -> ExitCode {
         let _ = std::io::stdout().flush();
     }
 
-    // Serve until stdin closes (or an explicit `shutdown` line), then
-    // drain gracefully.
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line {
+    // Serve until stdin closes (or an explicit `shutdown` line) or a
+    // SIGTERM/SIGINT arrives, then drain gracefully. Stdin is watched
+    // from a helper thread so the main thread can poll the signal flag.
+    sig::install();
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(l) = line else { break };
+            if tx.send(l).is_err() {
+                return;
+            }
+        }
+        let _ = tx.send("shutdown".to_string()); // EOF
+    });
+    loop {
+        if sig::stop_requested() {
+            eprintln!("gems-serve: received stop signal");
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(l) if l.trim() == "shutdown" => break,
+            Ok(l) if l.trim() == "promote" => match server_handle.promote() {
+                ReplRole::Replica { primary } => {
+                    eprintln!("gems-serve: promoted to primary (was replica of {primary})")
+                }
+                ReplRole::Primary => eprintln!("gems-serve: already primary"),
+            },
             Ok(_) => {}
-            Err(_) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
     eprintln!("gems-serve: shutting down (draining in-flight requests)");
     net.shutdown();
+    if let Some(t) = tailer.as_mut() {
+        t.stop();
+    }
     // Fold the log into a snapshot so the next start replays nothing.
     if let Err(e) = server_handle.checkpoint_now() {
         eprintln!("gems-serve: final checkpoint failed (log is intact): {e}");

@@ -7,6 +7,8 @@
 //! gems-shell script.graql --check-only # same
 //! gems-shell check script.graql --json # machine-readable diagnostics
 //! gems-shell script.graql --connect HOST:PORT --user NAME [--timeout SECS]
+//! gems-shell script.graql --connect HOST:PORT,HOST:PORT [--retries N] [--backoff-ms MS]
+//! gems-shell --promote --connect HOST:PORT   # fence a replica into a primary
 //! ```
 //!
 //! Executes the script statement by statement (or with the dependence
@@ -30,6 +32,13 @@
 //! diagnostic objects (stable `code`, `severity`, `message`, `line`,
 //! `col`, `len`, `notes`) for editor and CI integration; it works both
 //! locally and with `--connect`.
+//!
+//! `--connect` accepts a comma-separated endpoint list: the session
+//! connects to the first reachable one, transparently redirects writes to
+//! the primary when a replica answers `E0911 NotPrimary`, and fails reads
+//! over to the next endpoint when a node dies. `--retries` and
+//! `--backoff-ms` tune the retry policy; `--promote` sends the admin
+//! `Promote` message instead of running a script.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -41,7 +50,9 @@ fn usage() -> ! {
         "usage: gems-shell <script.graql> [--data-dir DIR] [--param NAME=VALUE]... \
          [--parallel] [--out FILE] [--save DIR] [--dot SUBGRAPH=FILE] [--check-only]\n\
          \x20      gems-shell check <script.graql> [--json]\n\
-         \x20      gems-shell <script.graql> --connect HOST:PORT [--user NAME] [--timeout SECS]"
+         \x20      gems-shell <script.graql> --connect HOST:PORT[,HOST:PORT...] [--user NAME] \
+         [--timeout SECS] [--retries N] [--backoff-ms MS]\n\
+         \x20      gems-shell --promote --connect HOST:PORT [--user NAME]"
     );
     std::process::exit(2);
 }
@@ -158,6 +169,23 @@ fn print_session_outputs(outputs: &[graql::core::SessionOutput]) {
     }
 }
 
+/// Resolves a comma-separated endpoint list into one failover address
+/// list, preserving order (first entry = preferred endpoint).
+fn resolve_endpoints(spec: &str) -> std::result::Result<Vec<std::net::SocketAddr>, String> {
+    use std::net::ToSocketAddrs;
+    let mut addrs = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.to_socket_addrs() {
+            Ok(resolved) => addrs.extend(resolved),
+            Err(e) => return Err(format!("cannot resolve {part}: {e}")),
+        }
+    }
+    if addrs.is_empty() {
+        return Err(format!("'{spec}' resolves to no address"));
+    }
+    Ok(addrs)
+}
+
 /// The `--connect` mode: the whole script runs on a remote `gems-serve`
 /// through [`graql::net::RemoteSession`].
 #[allow(clippy::too_many_arguments)]
@@ -165,6 +193,8 @@ fn run_remote(
     addr: &str,
     user: &str,
     timeout: Duration,
+    retry: graql::net::RetryPolicy,
+    promote: bool,
     text: &str,
     script_path: &str,
     check_only: bool,
@@ -172,14 +202,35 @@ fn run_remote(
     out_path: Option<&str>,
 ) -> ExitCode {
     use graql::net::{ConnectOptions, GemsSession, RemoteSession};
-    let opts = ConnectOptions::new(user).with_timeout(timeout);
-    let mut session = match RemoteSession::connect(addr, opts) {
+    let endpoints = match resolve_endpoints(addr) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gems-shell: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = ConnectOptions::new(user)
+        .with_timeout(timeout)
+        .with_retry_policy(retry);
+    let mut session = match RemoteSession::connect(&endpoints[..], opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("gems-shell: cannot connect to {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if promote {
+        return match session.promote() {
+            Ok(()) => {
+                println!("promoted {} to primary", session.connected_addr());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gems-shell: promote failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if check_only {
         return match session.check_script(text) {
             Ok(diags) => render_check(&diags, text, script_path, json),
@@ -259,6 +310,8 @@ fn main() -> ExitCode {
     let mut connect: Option<String> = None;
     let mut user = "admin".to_string();
     let mut timeout = Duration::from_secs(60);
+    let mut retry = graql::net::RetryPolicy::default();
+    let mut promote = false;
     // `gems-shell check <script>` is sugar for `<script> --check-only`.
     if args.peek().map(String::as_str) == Some("check") {
         args.next();
@@ -295,10 +348,39 @@ fn main() -> ExitCode {
                     Err(_) => usage(),
                 }
             }
+            "--retries" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u32>() {
+                    Ok(n) => retry.max_retries = n,
+                    Err(_) => usage(),
+                }
+            }
+            "--backoff-ms" => {
+                let ms = args.next().unwrap_or_else(|| usage());
+                match ms.parse::<u64>() {
+                    Ok(ms) => retry.base_backoff = Duration::from_millis(ms),
+                    Err(_) => usage(),
+                }
+            }
+            "--promote" => promote = true,
             "--help" | "-h" => usage(),
             _ if script_path.is_none() => script_path = Some(a),
             _ => usage(),
         }
+    }
+    // `--promote` is a complete remote command on its own: no script.
+    if promote {
+        let Some(addr) = connect else {
+            eprintln!("gems-shell: --promote requires --connect");
+            return ExitCode::FAILURE;
+        };
+        if script_path.is_some() {
+            eprintln!("gems-shell: --promote does not take a script");
+            return ExitCode::FAILURE;
+        }
+        return run_remote(
+            &addr, &user, timeout, retry, true, "", "", false, false, None,
+        );
     }
     let Some(script_path) = script_path else {
         usage()
@@ -331,6 +413,8 @@ fn main() -> ExitCode {
             &addr,
             &user,
             timeout,
+            retry,
+            false,
             &text,
             &script_path,
             check_only,
