@@ -8,7 +8,7 @@
 //! * `exec_rewrite_{on,off}` — end-to-end Q1 latency with rewrites
 //!   enabled vs disabled: the rewriter must never make queries slower.
 //!
-//! Informational lane: not part of the pinned BENCH_5.json regression set.
+//! Informational lane: not part of the pinned BENCH_10.json regression set.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use graql_bench::{berlin, run_rows};

@@ -46,6 +46,36 @@ fn bench(c: &mut Criterion) {
         });
     }
 
+    // Pipelined multiplexing (proto v5): DEPTH requests in flight on one
+    // connection, demuxed by request id, vs the one-at-a-time remote
+    // path above. Per-element time is the sustained per-query cost with
+    // the wire round trip amortized across the window. The `pipelined`
+    // bench uses a wire-dominated point lookup (where pipelining pays:
+    // single-in-flight spends most of its time waiting on the RTT);
+    // `q1_pipelined` shows the compute-bound end, where the gain is
+    // bounded by the engine, not the wire.
+    const DEPTH: usize = 64;
+    let tiny = "select id from table Producers where country = 'US'";
+    group.bench_function("tiny_remote", |b| {
+        b.iter(|| black_box(remote.execute_script(tiny).unwrap().len()));
+    });
+    for (name, query) in [
+        ("pipelined", tiny),
+        ("q1_pipelined", graql_bsbm::queries::q1()),
+    ] {
+        let ir = graql_core::ir::encode(&graql_parser::parse(query).unwrap());
+        group.throughput(Throughput::Elements(DEPTH as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ids: Vec<u64> = (0..DEPTH).map(|_| remote.submit_ir(&ir).unwrap()).collect();
+                for id in ids {
+                    black_box(remote.wait(id).unwrap().len());
+                }
+            });
+        });
+        group.throughput(Throughput::Elements(1));
+    }
+
     // Streamed throughput: a full wide-table scan crosses the wire in
     // row batches; the in-process run bounds the engine-side cost.
     let scan = "select id, label, producer, propertyNumeric_1, date from table Products";

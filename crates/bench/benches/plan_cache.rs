@@ -1,0 +1,41 @@
+//! EXP-PLANCACHE: what compiling a query costs, and what caching saves.
+//!
+//! The serve path caches analysis-validated, rewrite-applied statement
+//! lists keyed by (epoch, script text). This bench isolates the win: the
+//! same Berlin queries through a `Server` session with the cache at its
+//! default capacity (every iteration after the first is a hit) vs with
+//! the cache disabled (every iteration re-parses, re-analyzes and
+//! re-rewrites). The spread between the two is the compile cost the
+//! pipelined serve path no longer pays per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use graql_bench::berlin;
+use graql_core::Server;
+
+fn bench(c: &mut Criterion) {
+    let server = Server::new(berlin(400));
+    let mut sess = server.connect("admin").expect("session");
+
+    let mut group = c.benchmark_group("plan_cache");
+    let tiny = "select id from table Producers where country = 'US'";
+    for (name, query) in [
+        ("tiny", tiny),
+        ("q1", graql_bsbm::queries::q1()),
+        ("q2", graql_bsbm::queries::q2()),
+    ] {
+        server.set_plan_cache_capacity(1024);
+        group.bench_function(format!("{name}_cached"), |b| {
+            b.iter(|| black_box(sess.execute_script(query).unwrap().len()));
+        });
+        server.set_plan_cache_capacity(0);
+        group.bench_function(format!("{name}_uncached"), |b| {
+            b.iter(|| black_box(sess.execute_script(query).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

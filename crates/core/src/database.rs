@@ -66,6 +66,11 @@ pub struct Database {
     config: ExecConfig,
     /// Directory `ingest` paths resolve against.
     data_dir: PathBuf,
+    /// The epoch sequence number this database was published under by an
+    /// MVCC server (0 for embedded databases that never pass through one).
+    /// Carried *inside* the epoch so plan-cache keys derived from a pinned
+    /// snapshot can never race a concurrent install.
+    epoch_seq: u64,
 }
 
 impl Database {
@@ -85,6 +90,18 @@ impl Database {
 
     pub fn config(&self) -> &ExecConfig {
         &self.config
+    }
+
+    /// The epoch sequence this snapshot was published under (see the
+    /// field docs; 0 outside an MVCC server).
+    pub fn epoch_seq(&self) -> u64 {
+        self.epoch_seq
+    }
+
+    /// Stamps the epoch sequence. Called by the server's install path,
+    /// under its write lock, just before the epoch becomes visible.
+    pub fn set_epoch_seq(&mut self, seq: u64) {
+        self.epoch_seq = seq;
     }
 
     pub fn config_mut(&mut self) -> &mut ExecConfig {
@@ -591,6 +608,24 @@ impl Database {
             None
         };
         let sel = rewritten.as_ref().map(|r| &r.sel).unwrap_or(sel);
+        let mut ctx = self.exec_ctx(guard)?;
+        ctx.obs = obs;
+        match &sel.source {
+            ast::SelectSource::Graph(_) => execute_graph_select(&ctx, sel),
+            ast::SelectSource::Table(_) => Ok(QueryOutput::Table(execute_table_select(&ctx, sel)?)),
+        }
+    }
+
+    /// [`Database::execute_select_observed`] for a statement whose
+    /// rewrites were already applied (a plan-cache hit). The cached
+    /// statement is stored post-rewrite, so running the rewriter again
+    /// would be redundant work — this entry point skips it.
+    pub fn execute_select_prepared(
+        &self,
+        sel: &ast::SelectStmt,
+        guard: &QueryGuard,
+        obs: Option<&QueryProfile>,
+    ) -> Result<QueryOutput> {
         let mut ctx = self.exec_ctx(guard)?;
         ctx.obs = obs;
         match &sel.source {

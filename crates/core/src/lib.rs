@@ -47,6 +47,7 @@ pub mod ir;
 pub mod lint;
 pub mod persist;
 pub mod plan;
+pub mod plancache;
 pub mod script;
 pub mod server;
 pub mod wal;
@@ -56,6 +57,7 @@ pub use database::{Database, PlanMode, StmtOutput};
 pub use exec::results::QueryOutput;
 pub use persist::{load_dir, save_dir};
 pub use plan::ExecConfig;
+pub use plancache::PlanCache;
 pub use script::{run_script, run_script_pipelined, ScriptReport};
 pub use server::{ReplRole, Role, Server, Session, SessionOutput};
 pub use wal::{

@@ -45,6 +45,7 @@ use rustc_hash::FxHashMap;
 
 use crate::database::{Database, StmtOutput};
 use crate::exec::results::QueryOutput;
+use crate::plancache::PlanCache;
 use crate::wal::{DurabilityOptions, RecoveryReport, ReplBootstrap, ShippedBatch, Wal, WalPayload};
 
 /// Replication role of a server (paper §III's server tier, stretched
@@ -150,6 +151,9 @@ struct ServerShared {
     /// so a concurrent `Promote` can never interleave with a fenced
     /// statement.
     role: RwLock<ReplRole>,
+    /// Compiled-plan cache for read-only scripts, keyed by
+    /// `(epoch_seq, normalized text)` — see [`crate::plancache`].
+    plan_cache: PlanCache,
 }
 
 impl ServerShared {
@@ -160,10 +164,17 @@ impl ServerShared {
     }
 
     /// Publishes `db` as the new epoch. Callers must hold `write_lock`.
-    fn install(&self, db: Database) -> Arc<Database> {
+    ///
+    /// The epoch sequence is stamped *into* the database before the
+    /// `Arc` is published, so plan-cache keys derived from a pinned
+    /// snapshot can never race a concurrent install; entries compiled
+    /// against older epochs are retired in the same breath.
+    fn install(&self, mut db: Database) -> Arc<Database> {
+        let seq = self.epoch_id.fetch_add(1, Ordering::Relaxed) + 1;
+        db.set_epoch_seq(seq);
+        self.plan_cache.invalidate_epochs_before(seq);
         let arc = Arc::new(db);
         *self.epoch.write() = Arc::clone(&arc);
-        self.epoch_id.fetch_add(1, Ordering::Relaxed);
         arc
     }
 
@@ -248,6 +259,8 @@ impl Server {
         if let Some(w) = &wal {
             metrics.attach_wal(Arc::clone(w.metrics()));
         }
+        let plan_cache = PlanCache::default();
+        metrics.attach_plan_cache(Arc::clone(plan_cache.metrics()));
         Server {
             shared: Arc::new(ServerShared {
                 epoch: RwLock::new(Arc::new(db)),
@@ -257,6 +270,7 @@ impl Server {
                 metrics,
                 wal,
                 role: RwLock::new(ReplRole::Primary),
+                plan_cache,
             }),
         }
     }
@@ -284,6 +298,22 @@ impl Server {
     /// The monotonic epoch counter (ticks once per published epoch).
     pub fn epoch_id(&self) -> u64 {
         self.shared.epoch_id.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the compiled-plan cache (`gems-serve --plan-cache N`);
+    /// 0 disables it.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.shared.plan_cache.set_capacity(capacity);
+    }
+
+    /// Number of live plan-cache entries (tests, diagnostics).
+    pub fn plan_cache_len(&self) -> usize {
+        self.shared.plan_cache.len()
+    }
+
+    /// Drops every cached plan.
+    pub fn plan_cache_clear(&self) {
+        self.shared.plan_cache.clear();
     }
 
     /// Folds the write-ahead log into a fresh snapshot now (no-op on an
@@ -333,6 +363,11 @@ impl Server {
     /// transition.
     pub fn promote(&self) -> ReplRole {
         let _wl = self.shared.write_lock.lock();
+        // A freshly promoted primary flushes its plan cache: replicated
+        // epochs stop arriving and locally published ones take over, so
+        // starting clean keeps the invariant simple (every entry was
+        // compiled under this node's own epoch discipline).
+        self.shared.plan_cache.clear();
         let mut role = self.shared.role.write();
         std::mem::take(&mut *role)
     }
@@ -685,14 +720,57 @@ impl Session {
             // lock-free against it: a concurrent ingest installs newer
             // epochs without ever invalidating this one.
             let db = self.shared.ensure_graph()?;
-            crate::analyze::analyze_script(db.catalog(), script)?;
-            script
-                .statements
+            let cache = &self.shared.plan_cache;
+            // Plan-cache fast path: key by the pinned epoch's own
+            // sequence + the script's normalized rendering. A hit skips
+            // static analysis and the rewrite passes; a miss compiles
+            // once (selects stored post-rewrite) and shares the result
+            // with every later request against this epoch.
+            let prepared: Option<Arc<Vec<Stmt>>> = if cache.enabled() {
+                let text = script.to_string();
+                match cache.lookup(db.epoch_seq(), &text) {
+                    Some(stmts) => Some(stmts),
+                    None => {
+                        crate::analyze::analyze_script(db.catalog(), script)?;
+                        let stmts: Vec<Stmt> = script
+                            .statements
+                            .iter()
+                            .map(|s| match s {
+                                Stmt::Select(sel) if db.config().rewrite => {
+                                    match crate::analysis::rewrite_select(sel) {
+                                        Some(r) => Stmt::Select(r.sel),
+                                        None => s.clone(),
+                                    }
+                                }
+                                _ => s.clone(),
+                            })
+                            .collect();
+                        let stmts = Arc::new(stmts);
+                        cache.insert(db.epoch_seq(), text, Arc::clone(&stmts));
+                        Some(stmts)
+                    }
+                }
+            } else {
+                crate::analyze::analyze_script(db.catalog(), script)?;
+                None
+            };
+            let run_stmts: &[Stmt] = prepared
+                .as_deref()
+                .map(Vec::as_slice)
+                .unwrap_or(&script.statements);
+            run_stmts
                 .iter()
                 .map(|s| {
                     graql_types::failpoint!("core/exec/cancel-stmt", GraqlError::exec);
                     guard.check()?;
                     match s {
+                        Stmt::Select(sel) if prepared.is_some() => {
+                            // Rewrites were applied at compile time.
+                            Ok(match db.execute_select_prepared(sel, guard, obs)? {
+                                QueryOutput::Table(t) => StmtOutput::Table(t),
+                                QueryOutput::Subgraph(sg) => StmtOutput::Subgraph(sg),
+                            })
+                        }
                         Stmt::Select(sel) => {
                             Ok(match db.execute_select_observed(sel, guard, obs)? {
                                 QueryOutput::Table(t) => StmtOutput::Table(t),

@@ -7,8 +7,20 @@
 //! caret rendering users expect, without a round trip) and shipped as
 //! binary IR — the paper's client→front-end format (§III).
 //!
+//! ## Pipelining (protocol v5)
+//!
+//! Every frame carries a request id, so one connection can have many
+//! queries in flight: [`RemoteSession::submit`] sends a query and returns
+//! immediately with its id, [`RemoteSession::wait`] (or the non-blocking
+//! [`RemoteSession::poll`]) collects a reply, and the session demuxes
+//! interleaved reply streams by id. The classic blocking
+//! `execute_script` is submit-then-wait with a pipeline depth of one.
+//!
 //! Every wait is bounded: connect, reads and writes all carry deadlines,
-//! and a server that stops replying yields a typed
+//! and each in-flight request has its *own* deadline (anchored at
+//! submit), so a server sitting on one reply cannot stall unrelated
+//! requests — the others keep their budgets and fail individually. A
+//! server that stops replying yields a typed
 //! [`GraqlError::Net`](graql_types::GraqlError) — never a hang.
 //!
 //! ## Retry
@@ -16,17 +28,20 @@
 //! Transport faults (connection reset, truncated frame, timed-out read,
 //! an overloaded server refusing the connection) surface as *retryable*
 //! [`NetError`](graql_types::NetError)s. For **idempotent** requests —
-//! ping, describe, check, and read-only submits — the session transparently
-//! reconnects and retries with exponential backoff plus deterministic
-//! jitter, up to [`RetryPolicy::max_retries`] times. Requests that mutate
-//! server state (DDL, ingest, `into` captures) are never retried: a lost
-//! reply does not reveal whether the mutation landed, so the typed error
-//! goes to the caller instead.
+//! ping, describe, check, and read-only submits — the blocking API
+//! transparently reconnects and retries with exponential backoff plus
+//! deterministic jitter, up to [`RetryPolicy::max_retries`] times.
+//! Requests that mutate server state (DDL, ingest, `into` captures) are
+//! never retried: a lost reply does not reveal whether the mutation
+//! landed, so the typed error goes to the caller instead. A reconnect
+//! fails every pipelined request that was in flight with a retryable
+//! error — resubmitting is the caller's decision.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use graql_core::{Role, SessionOutput};
 use graql_parser::ast::{Script, Stmt};
@@ -40,6 +55,11 @@ use crate::GemsSession;
 /// How many `NotPrimary` redirects one request will follow before giving
 /// up (guards against promotion ping-pong).
 const MAX_REDIRECTS: u32 = 3;
+
+/// Granularity of the demux pump's socket reads: long waits are chopped
+/// into slices of at most this, so per-request deadlines are enforced
+/// promptly even while blocked on an unrelated reply.
+const PUMP_SLICE: Duration = Duration::from_millis(50);
 
 /// Bounded-retry tuning for idempotent requests.
 #[derive(Debug, Clone)]
@@ -72,8 +92,9 @@ pub struct ConnectOptions {
     pub user: String,
     /// TCP connect deadline.
     pub connect_timeout: Duration,
-    /// Per-reply deadline: if the server sends nothing for this long
-    /// while a reply is owed, the request fails with a typed error.
+    /// Per-request deadline, anchored when the request is submitted: if
+    /// its reply has not fully arrived by then, that request (and only
+    /// that request) fails with a typed error.
     pub timeout: Duration,
     /// Hard cap on one frame's payload, both directions.
     pub max_frame: usize,
@@ -128,6 +149,15 @@ impl ConnectOptions {
     }
 }
 
+/// Demux state of one in-flight request: the outputs assembled so far
+/// and the request's own deadline.
+#[derive(Debug)]
+struct InFlight {
+    outputs: Vec<SessionOutput>,
+    table: Option<TableAssembler>,
+    deadline: Instant,
+}
+
 /// A session against a remote GEMS server.
 #[derive(Debug)]
 pub struct RemoteSession {
@@ -155,6 +185,17 @@ pub struct RemoteSession {
     /// How many reconnects landed on a different endpoint (read failover
     /// or write redirect).
     failovers: u64,
+    /// Request id allocator. Ids are connection-scoped and never 0 (the
+    /// wire reserves 0 for cancel-all / unsolicited errors).
+    next_id: u64,
+    /// Requests submitted but not yet fully replied, keyed by id.
+    inflight: HashMap<u64, InFlight>,
+    /// Finished requests not yet collected by `wait`/`poll`.
+    completed: HashMap<u64, Result<Vec<SessionOutput>>>,
+    /// Control round trips awaiting their reply (see `rpc`).
+    awaiting_control: std::collections::HashSet<u64>,
+    /// Control replies (pong, reports, ...) routed by id.
+    control: HashMap<u64, Msg>,
 }
 
 /// Connects to the first reachable of `addrs`. Failures are retryable:
@@ -192,12 +233,12 @@ pub(crate) fn sleep_backoff(policy: &RetryPolicy, attempt: u32, jitter: &mut u64
     std::thread::sleep(capped.mul_f64(factor));
 }
 
-/// Cancels this session's in-flight request from another thread (e.g. a
-/// Ctrl-C handler): writes an out-of-band [`Msg::Cancel`] frame on a
-/// clone of the session's socket. The server trips the request's guard
-/// and the query aborts at its next cooperative checkpoint; the session
-/// then receives a typed `Cancelled` error as the request's reply and
-/// stays usable.
+/// Cancels this session's in-flight requests from another thread (e.g. a
+/// Ctrl-C handler): writes an out-of-band [`Msg::Cancel`] frame tagged
+/// with id 0 — cancel-everything — on a clone of the session's socket.
+/// The server trips each request's guard and the queries abort at their
+/// next cooperative checkpoint; the session then receives typed
+/// `Cancelled` errors as the replies and stays usable.
 ///
 /// The handle is bound to the socket it was cloned from: after the
 /// session reconnects (retry), take a fresh handle.
@@ -208,19 +249,26 @@ pub struct CancelHandle {
 }
 
 impl CancelHandle {
-    /// Requests cancellation of whatever is executing on the session's
+    /// Requests cancellation of everything executing on the session's
     /// connection. Best-effort and idempotent; errors only if the frame
     /// could not be written.
     pub fn cancel(&self) -> Result<()> {
-        let payload = proto::encode(&Msg::Cancel);
+        let payload = proto::encode_tagged(0, &Msg::Cancel);
+        let mut w = &self.stream;
+        write_frame(&mut w, &payload, self.max_frame)
+    }
+
+    /// Requests cancellation of one specific in-flight request.
+    pub fn cancel_request(&self, request_id: u64) -> Result<()> {
+        let payload = proto::encode_tagged(request_id, &Msg::Cancel);
         let mut w = &self.stream;
         write_frame(&mut w, &payload, self.max_frame)
     }
 }
 
 impl RemoteSession {
-    /// A [`CancelHandle`] for the current connection, for cancelling an
-    /// in-flight request from another thread.
+    /// A [`CancelHandle`] for the current connection, for cancelling
+    /// in-flight requests from another thread.
     pub fn cancel_handle(&self) -> Result<CancelHandle> {
         Ok(CancelHandle {
             stream: self
@@ -270,6 +318,11 @@ impl RemoteSession {
             retries: 0,
             reconnects: 0,
             failovers: 0,
+            next_id: 0,
+            inflight: HashMap::new(),
+            completed: HashMap::new(),
+            awaiting_control: std::collections::HashSet::new(),
+            control: HashMap::new(),
         };
         loop {
             match session.handshake() {
@@ -313,12 +366,9 @@ impl RemoteSession {
 
     /// Round-trips a `Ping` (liveness / latency probe).
     pub fn ping(&mut self) -> Result<()> {
-        self.request(true, |s| {
-            s.send(&Msg::Ping)?;
-            match s.recv()? {
-                Msg::Pong => Ok(()),
-                other => Err(GraqlError::net(format!("expected Pong, got {other:?}"))),
-            }
+        self.request(true, |s| match s.rpc(&Msg::Ping)? {
+            Msg::Pong => Ok(()),
+            other => Err(GraqlError::net(format!("expected Pong, got {other:?}"))),
         })
     }
 
@@ -326,35 +376,319 @@ impl RemoteSession {
     /// promoting a server that is already primary is a no-op, so a lost
     /// reply is safely retried.
     pub fn promote(&mut self) -> Result<()> {
-        self.request(true, |s| {
-            s.send(&Msg::Promote)?;
-            match s.recv()? {
-                Msg::Done { .. } => Ok(()),
-                Msg::Error {
-                    status, message, ..
-                } => Err(GraqlError::from_wire_status(status, message)),
-                other => Err(GraqlError::net(format!(
-                    "expected Done after Promote, got {other:?}"
-                ))),
-            }
+        self.request(true, |s| match s.rpc(&Msg::Promote)? {
+            Msg::Done { .. } => Ok(()),
+            Msg::Error {
+                status, message, ..
+            } => Err(GraqlError::from_wire_status(status, message)),
+            other => Err(GraqlError::net(format!(
+                "expected Done after Promote, got {other:?}"
+            ))),
         })
     }
 
     /// Fetches the server's metrics in Prometheus exposition text — the
     /// same body the `--metrics-addr` HTTP endpoint serves. Idempotent.
     pub fn metrics(&mut self) -> Result<String> {
-        self.request(true, |s| {
-            s.send(&Msg::Metrics)?;
-            match s.recv()? {
-                Msg::MetricsReport { text } => Ok(text),
-                Msg::Error {
-                    status, message, ..
-                } => Err(GraqlError::from_wire_status(status, message)),
-                other => Err(GraqlError::net(format!(
-                    "expected MetricsReport, got {other:?}"
-                ))),
-            }
+        self.request(true, |s| match s.rpc(&Msg::Metrics)? {
+            Msg::MetricsReport { text } => Ok(text),
+            Msg::Error {
+                status, message, ..
+            } => Err(GraqlError::from_wire_status(status, message)),
+            other => Err(GraqlError::net(format!(
+                "expected MetricsReport, got {other:?}"
+            ))),
         })
+    }
+
+    // -- the pipelined API ---------------------------------------------------
+
+    /// Submits a script without waiting for its reply, returning the
+    /// request id to [`RemoteSession::wait`]/[`RemoteSession::poll`] on.
+    /// Any number of requests may be in flight at once; the server
+    /// interleaves and the session demuxes by id. `submit` itself never
+    /// retries — with a pipeline in flight, only the caller knows which
+    /// requests are safe to resubmit.
+    pub fn submit(&mut self, text: &str) -> Result<u64> {
+        let script = graql_parser::parse(text)?;
+        let ir = graql_core::ir::encode(&script);
+        self.submit_ir(&ir)
+    }
+
+    /// [`RemoteSession::submit`] for pre-compiled IR.
+    pub fn submit_ir(&mut self, ir: &[u8]) -> Result<u64> {
+        if self.broken {
+            self.reconnect()?;
+        }
+        let id = self.fresh_id();
+        // Register before sending: a reply cannot arrive before the
+        // request is written, but an error path mustn't leak the entry.
+        self.inflight.insert(
+            id,
+            InFlight {
+                outputs: Vec::new(),
+                table: None,
+                deadline: Instant::now() + self.opts.timeout,
+            },
+        );
+        if let Err(e) = self.send_tagged(id, &Msg::Submit { ir: ir.to_vec() }) {
+            self.inflight.remove(&id);
+            self.broken = true;
+            self.fail_all_inflight("connection lost while submitting");
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Number of submitted requests whose replies have not been collected.
+    pub fn pending(&self) -> usize {
+        self.inflight.len() + self.completed.len()
+    }
+
+    /// Non-blocking check on one request: drains whatever reply frames
+    /// have arrived and returns the outputs if request `id` is complete,
+    /// `None` if it is still in flight.
+    pub fn poll(&mut self, id: u64) -> Result<Option<Vec<SessionOutput>>> {
+        if !self.completed.contains_key(&id) && self.inflight.contains_key(&id) {
+            // A transport fault fails the pipeline into `completed`;
+            // fall through and hand back this request's entry.
+            let _ = self.pump(Duration::ZERO);
+            self.expire_deadlines();
+        }
+        match self.completed.remove(&id) {
+            Some(result) => result.map(Some),
+            None if self.inflight.contains_key(&id) => Ok(None),
+            None => Err(GraqlError::net(format!("unknown request id {id}"))),
+        }
+    }
+
+    /// Blocks until request `id` completes (reply fully received, its
+    /// deadline expired, or the connection died) and returns its outputs.
+    pub fn wait(&mut self, id: u64) -> Result<Vec<SessionOutput>> {
+        loop {
+            if let Some(result) = self.completed.remove(&id) {
+                return result;
+            }
+            if !self.inflight.contains_key(&id) {
+                return Err(GraqlError::net(format!("unknown request id {id}")));
+            }
+            self.expire_deadlines();
+            if self.completed.contains_key(&id) {
+                continue;
+            }
+            // Read with a slice bounded by the *soonest* in-flight
+            // deadline, not this request's: one slow reply must not
+            // stall the deadline enforcement of the others.
+            let now = Instant::now();
+            let soonest = self
+                .inflight
+                .values()
+                .map(|e| e.deadline)
+                .min()
+                .unwrap_or(now);
+            let slice = soonest.saturating_duration_since(now).min(PUMP_SLICE);
+            if let Err(e) = self.pump(slice) {
+                // A transport fault failed the whole pipeline into
+                // `completed`; return this request's entry so it is
+                // consumed (the error is the same retryable one).
+                return self.completed.remove(&id).unwrap_or(Err(e));
+            }
+        }
+    }
+
+    /// Cancels one in-flight request (best-effort, out of band). The
+    /// request still completes — typically with a typed `Cancelled`
+    /// error — and must still be collected.
+    pub fn cancel_request(&mut self, id: u64) -> Result<()> {
+        self.send_tagged(id, &Msg::Cancel)
+    }
+
+    /// Allocates the next request id (connection-scoped, never 0).
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Fails every in-flight request with a retryable transport error
+    /// (called when the connection is known dead — the pipeline cannot
+    /// be salvaged, individual resubmission is the caller's decision).
+    fn fail_all_inflight(&mut self, why: &str) {
+        for (id, _) in std::mem::take(&mut self.inflight) {
+            self.completed
+                .insert(id, Err(GraqlError::net_retryable(why.to_string())));
+        }
+    }
+
+    /// Completes every request whose own deadline has passed with a
+    /// typed error. Unrelated requests are untouched. The request is
+    /// *abandoned*, not cancelled: the server may still complete it
+    /// (the reply frames are dropped as strays), so a lost reply to a
+    /// write means "unknown whether it landed" — exactly the contract
+    /// the no-retry-on-mutation rule is built on. Callers who want the
+    /// server to stop spending use [`RemoteSession::cancel_request`].
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, e)| now >= e.deadline)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            self.inflight.remove(&id);
+            self.completed.insert(
+                id,
+                Err(GraqlError::net_retryable(
+                    "server did not reply within the deadline",
+                )),
+            );
+        }
+    }
+
+    /// Reads at most one frame (waiting up to `wait`) and routes it to
+    /// its in-flight request. Transport faults fail the whole pipeline.
+    fn pump(&mut self, wait: Duration) -> Result<()> {
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+            .map_err(|e| GraqlError::net(format!("read timeout: {e}")))?;
+        match read_frame(&mut self.stream, self.max_frame) {
+            Ok(FrameRead::Frame(p)) => {
+                let (id, msg) = proto::decode_tagged(&p)?;
+                self.route(id, msg);
+                Ok(())
+            }
+            Ok(FrameRead::TimedOut) => Ok(()),
+            Ok(FrameRead::Closed) => {
+                self.broken = true;
+                self.fail_all_inflight("server closed the connection");
+                Err(GraqlError::net_retryable("server closed the connection"))
+            }
+            Err(e) => {
+                self.broken = true;
+                self.fail_all_inflight("connection failed mid-reply");
+                Err(e)
+            }
+        }
+    }
+
+    /// Feeds one routed message into its request's assembly state.
+    /// Frames for unknown ids (replies to requests we already expired)
+    /// are dropped — except id-0 errors, which the server uses for
+    /// unsolicited connection-level failures (idle hangup, overload
+    /// refusal) and which poison the connection for the next request.
+    fn route(&mut self, id: u64, msg: Msg) {
+        if self.awaiting_control.remove(&id) {
+            self.control.insert(id, msg);
+            return;
+        }
+        let Some(entry) = self.inflight.get_mut(&id) else {
+            if id == 0 {
+                if let Msg::Error { .. } = &msg {
+                    self.broken = true;
+                }
+            }
+            return;
+        };
+        let finish: Option<Result<Vec<SessionOutput>>> = match msg {
+            Msg::Created { name } => {
+                entry.outputs.push(SessionOutput::Created(name));
+                None
+            }
+            Msg::Ingested { table, rows } => {
+                entry.outputs.push(SessionOutput::Ingested { table, rows });
+                None
+            }
+            Msg::TableHeader { cols } => {
+                if entry.table.is_some() {
+                    Some(Err(GraqlError::net("nested table stream")))
+                } else {
+                    match TableAssembler::new(&cols) {
+                        Ok(t) => {
+                            entry.table = Some(t);
+                            None
+                        }
+                        Err(e) => Some(Err(e)),
+                    }
+                }
+            }
+            Msg::TableRows { rows } => match entry.table.as_mut() {
+                Some(t) => match t.push_rows(&rows) {
+                    Ok(()) => None,
+                    Err(e) => Some(Err(e)),
+                },
+                None => Some(Err(GraqlError::net("rows outside a table stream"))),
+            },
+            Msg::TableEnd => match entry.table.take() {
+                Some(t) => {
+                    entry.outputs.push(SessionOutput::Table(t.finish()));
+                    None
+                }
+                None => Some(Err(GraqlError::net("TableEnd outside a table stream"))),
+            },
+            Msg::Subgraph {
+                n_vertices,
+                n_edges,
+                summary,
+            } => {
+                entry.outputs.push(SessionOutput::Subgraph {
+                    n_vertices,
+                    n_edges,
+                    summary,
+                });
+                None
+            }
+            Msg::Pipelined => {
+                entry.outputs.push(SessionOutput::Pipelined);
+                None
+            }
+            Msg::ProfileReport { text, json } => {
+                entry.outputs.push(SessionOutput::Profile { text, json });
+                None
+            }
+            Msg::Done { .. } => Some(Ok(std::mem::take(&mut entry.outputs))),
+            Msg::Error {
+                status, message, ..
+            } => Some(Err(GraqlError::from_wire_status(status, message))),
+            other => Some(Err(GraqlError::net(format!(
+                "unexpected message in result stream: {other:?}"
+            )))),
+        };
+        if let Some(result) = finish {
+            self.inflight.remove(&id);
+            self.completed.insert(id, result);
+        }
+    }
+
+    /// One tagged control round trip (ping, describe, metrics, ...):
+    /// sends the request and pumps until its reply routes back, while
+    /// unrelated pipelined replies keep demuxing normally.
+    fn rpc(&mut self, msg: &Msg) -> Result<Msg> {
+        let id = self.fresh_id();
+        if let Err(e) = self.send_tagged(id, msg) {
+            self.broken = true;
+            return Err(e);
+        }
+        self.awaiting_control.insert(id);
+        let deadline = Instant::now() + self.opts.timeout;
+        loop {
+            if let Some(reply) = self.control.remove(&id) {
+                return Ok(reply);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.awaiting_control.remove(&id);
+                self.broken = true;
+                return Err(GraqlError::net_retryable(
+                    "server did not reply within the deadline",
+                ));
+            }
+            self.expire_deadlines();
+            let slice = (deadline - now).min(PUMP_SLICE);
+            if let Err(e) = self.pump(slice) {
+                self.awaiting_control.remove(&id);
+                return Err(e);
+            }
+        }
     }
 
     /// Opens a fresh socket to the first reachable address, counting the
@@ -398,7 +732,9 @@ impl RemoteSession {
         Ok(())
     }
 
-    /// Configures the socket and performs Hello/Welcome on it.
+    /// Configures the socket and performs Hello/Welcome on it. The
+    /// pipeline is empty here (a reconnect already failed it), so the
+    /// reply is read directly.
     fn handshake(&mut self) -> Result<()> {
         self.stream
             .set_nodelay(true)
@@ -409,11 +745,15 @@ impl RemoteSession {
         self.stream
             .set_write_timeout(Some(self.opts.timeout))
             .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
-        self.send(&Msg::Hello {
-            proto: PROTO_VERSION,
-            user: self.user.clone(),
-        })?;
-        match self.recv()? {
+        let id = self.fresh_id();
+        self.send_tagged(
+            id,
+            &Msg::Hello {
+                proto: PROTO_VERSION,
+                user: self.user.clone(),
+            },
+        )?;
+        match self.recv_direct()? {
             Msg::Welcome {
                 proto,
                 role,
@@ -436,8 +776,13 @@ impl RemoteSession {
         }
     }
 
-    /// Tears down the broken connection and establishes a new one.
+    /// Tears down the broken connection and establishes a new one. The
+    /// old pipeline dies with the old socket: every in-flight request is
+    /// failed retryable (their ids are meaningless to the new server).
     fn reconnect(&mut self) -> Result<()> {
+        self.fail_all_inflight("connection re-established, request lost in flight");
+        self.awaiting_control.clear();
+        self.control.clear();
         self.reconnect_socket()?;
         self.handshake()
     }
@@ -482,71 +827,21 @@ impl RemoteSession {
         }
     }
 
-    fn send(&mut self, msg: &Msg) -> Result<()> {
+    fn send_tagged(&mut self, request_id: u64, msg: &Msg) -> Result<()> {
         graql_types::failpoint!("net/client/send-delay");
-        let payload = proto::encode(msg);
+        let payload = proto::encode_tagged(request_id, msg);
         write_frame(&mut self.stream, &payload, self.max_frame)
     }
 
-    /// Receives one message, turning idle timeouts and mid-reply closes
-    /// into typed errors (the client is always owed a reply here).
-    fn recv(&mut self) -> Result<Msg> {
+    /// Receives one message ignoring its tag — handshake only, where the
+    /// pipeline is empty and exactly one reply is owed.
+    fn recv_direct(&mut self) -> Result<Msg> {
         match read_frame(&mut self.stream, self.max_frame)? {
-            FrameRead::Frame(p) => proto::decode(&p),
+            FrameRead::Frame(p) => proto::decode_tagged(&p).map(|(_, m)| m),
             FrameRead::TimedOut => Err(GraqlError::net_retryable(
                 "server did not reply within the deadline",
             )),
             FrameRead::Closed => Err(GraqlError::net_retryable("server closed the connection")),
-        }
-    }
-
-    /// Collects a `Submit` reply stream into statement outputs.
-    fn collect_outputs(&mut self) -> Result<Vec<SessionOutput>> {
-        let mut outputs = Vec::new();
-        let mut table: Option<TableAssembler> = None;
-        loop {
-            match self.recv()? {
-                Msg::Created { name } => outputs.push(SessionOutput::Created(name)),
-                Msg::Ingested { table, rows } => {
-                    outputs.push(SessionOutput::Ingested { table, rows })
-                }
-                Msg::TableHeader { cols } => {
-                    if table.is_some() {
-                        return Err(GraqlError::net("nested table stream"));
-                    }
-                    table = Some(TableAssembler::new(&cols)?);
-                }
-                Msg::TableRows { rows } => match table.as_mut() {
-                    Some(t) => t.push_rows(&rows)?,
-                    None => return Err(GraqlError::net("rows outside a table stream")),
-                },
-                Msg::TableEnd => match table.take() {
-                    Some(t) => outputs.push(SessionOutput::Table(t.finish())),
-                    None => return Err(GraqlError::net("TableEnd outside a table stream")),
-                },
-                Msg::Subgraph {
-                    n_vertices,
-                    n_edges,
-                    summary,
-                } => outputs.push(SessionOutput::Subgraph {
-                    n_vertices,
-                    n_edges,
-                    summary,
-                }),
-                Msg::Pipelined => outputs.push(SessionOutput::Pipelined),
-                Msg::ProfileReport { text, json } => {
-                    outputs.push(SessionOutput::Profile { text, json })
-                }
-                Msg::Done { .. } => return Ok(outputs),
-                Msg::Error {
-                    status, message, ..
-                } => return Err(GraqlError::from_wire_status(status, message)),
-                other => {
-                    return Err(GraqlError::net(format!(
-                        "unexpected message in result stream: {other:?}"
-                    )))
-                }
-            }
         }
     }
 }
@@ -569,9 +864,11 @@ impl GemsSession for RemoteSession {
         let idempotent = is_read_only(&script);
         let mut redirects = 0u32;
         loop {
+            // The blocking API is the pipelined one at depth 1:
+            // submit-then-wait, inside the retry wrapper.
             let result = self.request(idempotent, |s| {
-                s.send(&Msg::Submit { ir: ir.to_vec() })?;
-                s.collect_outputs()
+                let id = s.submit_ir(&ir)?;
+                s.wait(id)
             });
             // `NotPrimary` means the statement did NOT execute (the
             // replica fences before touching state), so following the
@@ -590,10 +887,9 @@ impl GemsSession for RemoteSession {
 
     fn check_script(&mut self, text: &str) -> Result<Diagnostics> {
         self.request(true, |s| {
-            s.send(&Msg::Check {
+            match s.rpc(&Msg::Check {
                 text: text.to_string(),
-            })?;
-            match s.recv()? {
+            })? {
                 Msg::CheckReport { diags } => Ok(diags_from_wire(&diags)),
                 Msg::Error {
                     status, message, ..
@@ -606,17 +902,14 @@ impl GemsSession for RemoteSession {
     }
 
     fn describe(&mut self) -> Result<String> {
-        self.request(true, |s| {
-            s.send(&Msg::Describe)?;
-            match s.recv()? {
-                Msg::DescribeReport { text } => Ok(text),
-                Msg::Error {
-                    status, message, ..
-                } => Err(GraqlError::from_wire_status(status, message)),
-                other => Err(GraqlError::net(format!(
-                    "expected DescribeReport, got {other:?}"
-                ))),
-            }
+        self.request(true, |s| match s.rpc(&Msg::Describe)? {
+            Msg::DescribeReport { text } => Ok(text),
+            Msg::Error {
+                status, message, ..
+            } => Err(GraqlError::from_wire_status(status, message)),
+            other => Err(GraqlError::net(format!(
+                "expected DescribeReport, got {other:?}"
+            ))),
         })
     }
 
@@ -632,7 +925,7 @@ impl GemsSession for RemoteSession {
 impl Drop for RemoteSession {
     fn drop(&mut self) {
         if !self.broken {
-            let _ = self.send(&Msg::Goodbye);
+            let _ = self.send_tagged(0, &Msg::Goodbye);
         }
     }
 }

@@ -13,16 +13,22 @@
 //!   payload length, then the payload. Oversized and truncated frames are
 //!   rejected without allocation of attacker-controlled size; read deadlines
 //!   distinguish idle timeouts (clean) from mid-frame stalls (error).
-//! * [`proto`] — the versioned message enum. Queries ship as the existing
-//!   binary IR (`graql_core::ir`); everything else — hello/welcome
-//!   negotiation, static-check requests, catalog describe, streamed result
-//!   batches, error frames carrying wire status bytes and stable `E`-codes —
-//!   is one tagged message each.
-//! * [`server`] / [`client`] — a thread-per-connection [`server::NetServer`]
-//!   hosting concurrent [`graql_core::Session`]s over one shared
-//!   [`graql_core::Server`], and a [`client::RemoteSession`] implementing
-//!   the same [`GemsSession`] trait as the in-process session, so callers
-//!   (the `gems-shell` binary) switch transports without code changes.
+//! * [`proto`] — the versioned message enum, each message prefixed with a
+//!   u64-LE `request_id` so many requests can be in flight on one
+//!   connection (id 0 is connection-scoped traffic). Queries ship as the
+//!   existing binary IR (`graql_core::ir`); everything else —
+//!   hello/welcome negotiation, static-check requests, catalog describe,
+//!   streamed result batches, error frames carrying wire status bytes and
+//!   stable `E`-codes — is one tagged message each.
+//! * [`server`] / [`client`] — a [`server::NetServer`] running one reader
+//!   thread per connection that demuxes tagged frames into a shared,
+//!   bounded worker pool (round-robin across connections, fair-share
+//!   admission), hosting concurrent [`graql_core::Session`]s over one
+//!   shared [`graql_core::Server`]; and a [`client::RemoteSession`]
+//!   implementing the same [`GemsSession`] trait as the in-process
+//!   session — plus the pipelined `submit`/`poll`/`wait` API for
+//!   multiplexed in-flight requests — so callers (the `gems-shell`
+//!   binary) switch transports without code changes.
 //!
 //! Robustness is part of the subsystem: hard per-request deadlines
 //! enforced through each request's [`graql_types::QueryGuard`],

@@ -168,8 +168,13 @@ fn tail_once(
         .set_write_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| GraqlError::net(format!("write timeout: {e}")))?;
 
+    // One subscription = one logical request: every frame the tailer
+    // sends (and every stream frame the primary sends back) carries the
+    // subscribe request's id. Acks reuse it; the primary ignores their
+    // tag anyway.
+    const SUB_ID: u64 = 1;
     let send = |msg: &Msg| -> Result<()> {
-        let payload = proto::encode(msg);
+        let payload = proto::encode_tagged(SUB_ID, msg);
         let mut w = &stream;
         write_frame(&mut w, &payload, MAX_FRAME)
     };
@@ -287,7 +292,7 @@ fn recv_blocking(stream: &TcpStream, stop: &AtomicBool) -> Result<Recv> {
         }
         let mut r = stream;
         match read_frame(&mut r, MAX_FRAME)? {
-            FrameRead::Frame(p) => return proto::decode(&p).map(Recv::Msg),
+            FrameRead::Frame(p) => return proto::decode_tagged(&p).map(|(_, m)| Recv::Msg(m)),
             FrameRead::TimedOut => continue,
             FrameRead::Closed => return Ok(Recv::Closed),
         }

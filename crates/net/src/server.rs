@@ -1,17 +1,31 @@
 //! The networked GEMS front-end server.
 //!
-//! Thread-per-connection over `std::net`: one nonblocking accept loop
-//! polling a shutdown flag, one worker thread per client. Workers read
-//! with a short socket timeout so they notice shutdown at frame
-//! boundaries while never interrupting an in-flight request — graceful
-//! shutdown therefore *drains*: every request that started finishes and
+//! **Pipelined multiplexed architecture** (protocol v5): one nonblocking
+//! accept loop polling a shutdown flag, one *reader* thread per client
+//! connection, and a bounded pool of *worker* threads executing queries.
+//! The reader demultiplexes tagged frames: control traffic (ping, check,
+//! describe, metrics, promote, cancel) is answered inline, while each
+//! `Submit` is stamped into the connection's in-flight table and enqueued
+//! on the shared scheduler. Workers drain connections round-robin — one
+//! job per turn, so a pipelining client cannot starve its neighbours —
+//! and write their reply frames (tagged with the originating request id)
+//! directly to the client socket under the connection's write lock.
+//! Admission control (the internal `ExecGate`) spans the pool with per-connection
+//! fair shares.
+//!
+//! Because the reader keeps reading while queries execute, an
+//! out-of-band `Cancel` lands immediately — whether its target is still
+//! queued or already on a worker — and a vanished client cancels every
+//! request it had in flight.
+//!
+//! Graceful shutdown *drains*: every request that started finishes and
 //! its reply is flushed before the connection closes.
 //!
 //! All sessions share one [`graql_core::Server`]; its internal locks (see
 //! `graql_core::server`) let read-only scripts from different
 //! connections execute concurrently while DDL/ingest serialize.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,9 +39,9 @@ use graql_types::{
 };
 
 use crate::frame::{read_frame, write_frame, FrameRead, MAX_FRAME};
-use crate::proto::{self, diags_to_wire, error_msg, output_msgs, Msg, PROTO_VERSION};
+use crate::proto::{self, diags_to_wire, error_msg, output_frames, Msg, PROTO_VERSION};
 
-/// How often blocked loops (accept, worker reads) wake to poll the
+/// How often blocked loops (accept, reader waits) wake to poll the
 /// shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
 
@@ -47,11 +61,14 @@ pub struct ServeOptions {
     /// [`NetServer::local_addr`]).
     pub addr: String,
     /// Hard per-request deadline, folded into the request's
-    /// [`QueryGuard`]: execution aborts cooperatively at its next
-    /// checkpoint with a typed deadline error and the worker thread is
-    /// immediately reusable.
+    /// [`QueryGuard`] *at enqueue time* — it covers scheduler queue wait
+    /// as well as execution, so a backed-up pool cannot silently extend
+    /// the budget. Execution aborts cooperatively at its next checkpoint
+    /// with a typed deadline error and the worker is immediately
+    /// reusable.
     pub request_timeout: Duration,
-    /// Connections idle longer than this are closed.
+    /// Connections idle longer than this are closed (idle = no frames
+    /// and nothing in flight).
     pub idle_timeout: Duration,
     /// Hard cap on one frame's payload, both directions.
     pub max_frame: usize,
@@ -72,6 +89,13 @@ pub struct ServeOptions {
     /// How long an admitted-but-queued request may wait for an execution
     /// slot before being shed.
     pub queue_wait: Duration,
+    /// Worker threads executing `Submit`s across all connections.
+    /// 0 = one per available core.
+    pub workers: usize,
+    /// Cap on one connection's submitted-but-unfinished requests; excess
+    /// submits are shed immediately with a retryable busy error, keeping
+    /// per-connection queue depth (and reply latency) bounded.
+    pub max_inflight_per_conn: usize,
     /// When set, serve the engine + wire metrics as Prometheus exposition
     /// text over HTTP on this address (port 0 picks a free port, see
     /// [`NetServer::metrics_addr`]).
@@ -96,6 +120,8 @@ impl Default for ServeOptions {
             max_connections: 256,
             max_concurrency: 64,
             queue_wait: Duration::from_millis(200),
+            workers: 0,
+            max_inflight_per_conn: 1024,
             metrics_addr: None,
             slow_query_ms: None,
             slow_query_log: None,
@@ -147,34 +173,49 @@ impl SlowLog {
     }
 }
 
-/// The admission gate: a counting semaphore with a bounded queue wait.
-/// Requests past `max` concurrent executions block on the condvar; if no
-/// slot frees within the queue wait they are shed (load shedding), which
-/// keeps queue depth — and therefore tail latency — bounded.
+/// The admission gate: a counting semaphore with a bounded queue wait and
+/// **per-connection fairness**. Total concurrent executions are capped at
+/// `max`; when several connections hold slots simultaneously, each is
+/// further capped at its fair share `max(1, max / holders)` so one
+/// pipelining client cannot monopolize the pool — while a *lone*
+/// connection may still use every slot (the single-client throughput
+/// case). Requests that get no admissible slot within the queue wait are
+/// shed, which keeps queue depth — and therefore tail latency — bounded.
 #[derive(Debug)]
 struct ExecGate {
-    active: Mutex<u64>,
+    inner: Mutex<GateInner>,
     freed: Condvar,
     max: u64,
+}
+
+#[derive(Debug, Default)]
+struct GateInner {
+    total: u64,
+    /// Slots held per connection id; entries exist only while > 0.
+    per_conn: HashMap<u64, u64>,
 }
 
 impl ExecGate {
     fn new(max: u64) -> ExecGate {
         ExecGate {
-            active: Mutex::new(0),
+            inner: Mutex::new(GateInner::default()),
             freed: Condvar::new(),
             max: max.max(1),
         }
     }
 
-    /// Acquires an execution slot, waiting at most `queue_wait`. Returns
-    /// false when the request must be shed.
-    fn admit(&self, queue_wait: Duration) -> bool {
+    /// Acquires an execution slot for connection `conn`, waiting at most
+    /// `queue_wait`. Returns false when the request must be shed.
+    fn admit(&self, conn: u64, queue_wait: Duration) -> bool {
         let deadline = Instant::now() + queue_wait;
-        let mut active = self.active.lock().expect("gate poisoned");
+        let mut inner = self.inner.lock().expect("gate poisoned");
         loop {
-            if *active < self.max {
-                *active += 1;
+            let mine = inner.per_conn.get(&conn).copied().unwrap_or(0);
+            let holders = inner.per_conn.len() as u64 + u64::from(mine == 0);
+            let fair = (self.max / holders.max(1)).max(1);
+            if inner.total < self.max && mine < fair {
+                inner.total += 1;
+                *inner.per_conn.entry(conn).or_insert(0) += 1;
                 return true;
             }
             let now = Instant::now();
@@ -183,17 +224,25 @@ impl ExecGate {
             }
             let (guard, _) = self
                 .freed
-                .wait_timeout(active, deadline - now)
+                .wait_timeout(inner, deadline - now)
                 .expect("gate poisoned");
-            active = guard;
+            inner = guard;
         }
     }
 
-    fn release(&self) {
-        let mut active = self.active.lock().expect("gate poisoned");
-        *active = active.saturating_sub(1);
-        drop(active);
-        self.freed.notify_one();
+    fn release(&self, conn: u64) {
+        let mut inner = self.inner.lock().expect("gate poisoned");
+        inner.total = inner.total.saturating_sub(1);
+        if let Some(n) = inner.per_conn.get_mut(&conn) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                inner.per_conn.remove(&conn);
+            }
+        }
+        drop(inner);
+        // Fairness thresholds shift when holder counts change, so every
+        // waiter re-evaluates.
+        self.freed.notify_all();
     }
 }
 
@@ -213,7 +262,7 @@ pub struct NetStats {
     pub request_micros_total: AtomicU64,
     pub request_micros_max: AtomicU64,
     /// Governance: requests shed at the admission gate (no free slot
-    /// within the queue wait).
+    /// within the queue wait) or at the per-connection in-flight cap.
     pub queries_shed: AtomicU64,
     /// Governance: requests killed by a wire `Cancel` (or the client
     /// vanishing mid-request).
@@ -501,9 +550,9 @@ impl NetStats {
 }
 
 /// The full Prometheus exposition body: the engine registry first (query
-/// outcomes, latency histograms), then the wire counters. The same text
-/// backs the HTTP endpoint and the [`Msg::Metrics`] wire request, so both
-/// views always agree.
+/// outcomes, latency histograms, plan-cache series), then the wire
+/// counters. The same text backs the HTTP endpoint and the
+/// [`Msg::Metrics`] wire request, so both views always agree.
 pub fn metrics_text(server: &Server, stats: &NetStats) -> String {
     let mut out = server.metrics().render_prometheus();
     out.push_str(&stats.render_prometheus());
@@ -538,7 +587,8 @@ impl NetServer {
     }
 
     /// Graceful shutdown: stop accepting, let every in-flight request
-    /// finish and flush its reply, then join all workers. Idempotent.
+    /// finish and flush its reply, then join readers and workers.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_handle.take() {
@@ -676,6 +726,172 @@ fn serve_one_scrape(mut stream: TcpStream, server: &Server, stats: &NetStats) {
     let _ = stream.flush();
 }
 
+// -- the scheduler: per-connection demux queues + a fairness ring ------------
+
+/// One queued `Submit`. The guard was minted (and registered in the
+/// connection's in-flight table) by the reader at enqueue time, so its
+/// deadline covers queue wait and a `Cancel` can trip it before a worker
+/// ever picks it up.
+struct Job {
+    conn: Arc<Conn>,
+    id: u64,
+    ir: Vec<u8>,
+    guard: Arc<QueryGuard>,
+    received: Instant,
+}
+
+#[derive(Default)]
+struct SchedInner {
+    /// Round-robin ring of connections with queued work. Each connection
+    /// appears at most once (`in_ring`).
+    ring: VecDeque<u64>,
+    in_ring: HashSet<u64>,
+    queues: HashMap<u64, VecDeque<Job>>,
+    stopped: bool,
+}
+
+/// The worker pool's feed: per-connection FIFO queues drained round-robin.
+/// A worker takes ONE job per turn and immediately re-appends the
+/// connection if more of its work is queued — so (a) connections share
+/// the pool fairly and (b) one connection's pipelined requests can still
+/// run on several workers at once.
+struct Scheduler {
+    inner: Mutex<SchedInner>,
+    ready: Condvar,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(SchedInner::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Queue depth for one connection (the per-connection in-flight cap
+    /// is enforced against the in-flight table, not this, but tests peek).
+    fn enqueue(&self, job: Job) {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        let cid = job.conn.id;
+        inner.queues.entry(cid).or_default().push_back(job);
+        if inner.in_ring.insert(cid) {
+            inner.ring.push_back(cid);
+        }
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// The next job, blocking until one is available. `None` only after
+    /// [`Scheduler::stop`] AND every queue is drained — shutdown drains.
+    fn next(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        loop {
+            if let Some(cid) = inner.ring.pop_front() {
+                inner.in_ring.remove(&cid);
+                let (job, more) = match inner.queues.get_mut(&cid) {
+                    Some(q) => (q.pop_front(), !q.is_empty()),
+                    None => (None, false),
+                };
+                if more {
+                    inner.ring.push_back(cid);
+                    inner.in_ring.insert(cid);
+                    // Another worker can take the connection's next job
+                    // while we execute this one.
+                    self.ready.notify_one();
+                } else {
+                    inner.queues.remove(&cid);
+                }
+                match job {
+                    Some(j) => return Some(j),
+                    None => continue, // stale ring entry (connection drained)
+                }
+            }
+            if inner.stopped {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait_timeout(inner, POLL)
+                .expect("scheduler poisoned")
+                .0;
+        }
+    }
+
+    fn stop(&self) {
+        self.inner.lock().expect("scheduler poisoned").stopped = true;
+        self.ready.notify_all();
+    }
+}
+
+// -- per-connection shared state ---------------------------------------------
+
+/// Shared per-connection state: the socket (reader reads, workers write
+/// under `write`), the authenticated user, and the in-flight request
+/// table the reader cancels into.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    user: String,
+    /// Serializes reply frames from concurrent workers (and the reader's
+    /// inline control replies). One request's frames are written by one
+    /// worker in order; frames of different requests may interleave —
+    /// that is what the request id tag is for.
+    write: Mutex<()>,
+    max_frame: usize,
+    stats: Arc<NetStats>,
+    /// Set when the client vanished or the connection is being torn
+    /// down; workers skip their replies.
+    closed: AtomicBool,
+    /// Request id → its governance guard, for the whole life of the
+    /// request (queued through replied). The reader trips these on
+    /// `Cancel` frames and on client disappearance.
+    inflight: Mutex<HashMap<u64, Arc<QueryGuard>>>,
+}
+
+impl Conn {
+    fn send_payload(&self, payload: &[u8]) -> Result<()> {
+        if self.closed.load(Ordering::Relaxed) {
+            return Err(GraqlError::net("connection closed"));
+        }
+        let _w = self.write.lock().expect("conn write lock poisoned");
+        let mut w = &self.stream;
+        write_frame(&mut w, payload, self.max_frame)?;
+        self.stats.msgs_out.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn send(&self, request_id: u64, msg: &Msg) -> Result<()> {
+        self.send_payload(&proto::encode_tagged(request_id, msg))
+    }
+
+    /// Marks the connection dead and unblocks the reader (shutting the
+    /// socket down makes its next read return immediately).
+    fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Trips one in-flight request's guard (or all of them for id 0 —
+    /// the legacy whole-connection cancel).
+    fn cancel(&self, request_id: u64) {
+        let inflight = self.inflight.lock().expect("inflight poisoned");
+        if request_id == 0 {
+            for g in inflight.values() {
+                g.cancel();
+            }
+        } else if let Some(g) = inflight.get(&request_id) {
+            g.cancel();
+        }
+    }
+
+    fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("inflight poisoned").len()
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     server: Server,
@@ -685,7 +901,43 @@ fn accept_loop(
     gate: Arc<ExecGate>,
     slow: Option<Arc<SlowLog>>,
 ) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // The bounded worker pool, shared by every connection. The floor
+    // matters on small machines: workers spend much of their time parked
+    // on the admission gate or socket writes, and with a single worker
+    // one slow query would monopolize job pickup — requests behind it
+    // could not even reach the gate to be shed.
+    let n_workers = if opts.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+            .max(4)
+    } else {
+        opts.workers
+    };
+    let sched = Arc::new(Scheduler::new());
+    let pool: Vec<JoinHandle<()>> = (0..n_workers)
+        .map(|_| {
+            let sched = Arc::clone(&sched);
+            let server = server.clone();
+            let opts = opts.clone();
+            let stats = Arc::clone(&stats);
+            let gate = Arc::clone(&gate);
+            let slow = slow.clone();
+            std::thread::spawn(move || {
+                while let Some(job) = sched.next() {
+                    execute_job(&job, &server, &opts, &stats, &gate, slow.as_deref());
+                    job.conn
+                        .inflight
+                        .lock()
+                        .expect("inflight poisoned")
+                        .remove(&job.id);
+                }
+            })
+        })
+        .collect();
+
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn_id: u64 = 1;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -711,29 +963,24 @@ fn accept_loop(
                     refuse_connection(stream, active, &opts, &stats);
                     continue;
                 }
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
                 let server = server.clone();
                 let opts = opts.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
-                let gate = Arc::clone(&gate);
-                let slow = slow.clone();
-                workers.push(std::thread::spawn(move || {
+                let sched = Arc::clone(&sched);
+                readers.push(std::thread::spawn(move || {
                     stats.connections_total.fetch_add(1, Ordering::Relaxed);
                     stats.connections_active.fetch_add(1, Ordering::Relaxed);
-                    // Worker errors are connection-fatal but never
+                    // Reader errors are connection-fatal but never
                     // server-fatal.
                     let _ = handle_connection(
-                        stream,
-                        &server,
-                        &opts,
-                        &shutdown,
-                        &stats,
-                        &gate,
-                        slow.as_deref(),
+                        stream, conn_id, &server, &opts, &shutdown, &stats, &sched,
                     );
                     stats.connections_active.fetch_sub(1, Ordering::Relaxed);
                 }));
-                workers.retain(|h| !h.is_finished());
+                readers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
@@ -741,9 +988,13 @@ fn accept_loop(
             Err(_) => std::thread::sleep(POLL),
         }
     }
-    // Drain: workers notice the flag at their next frame boundary and
-    // finish any request already in flight first.
-    for h in workers {
+    // Drain: readers notice the flag once their in-flight table is empty
+    // (workers keep executing meanwhile), then the pool spins down.
+    for h in readers {
+        let _ = h.join();
+    }
+    sched.stop();
+    for h in pool {
         let _ = h.join();
     }
 }
@@ -756,14 +1007,19 @@ fn refuse_connection(stream: TcpStream, active: u64, opts: &ServeOptions, stats:
     // some platforms; the refusal write should block (briefly).
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(POLL));
-    let payload = proto::encode(&error_msg(&GraqlError::net_retryable(format!(
-        "server overloaded ({active} active connections), try again later"
-    ))));
+    let payload = proto::encode_tagged(
+        0,
+        &error_msg(&GraqlError::net_retryable(format!(
+            "server overloaded ({active} active connections), try again later"
+        ))),
+    );
     let mut w = &stream;
     let _ = write_frame(&mut w, &payload, opts.max_frame);
 }
 
-/// A connection's framed transport with counters.
+/// A connection's framed transport with counters — used by the paths a
+/// single thread owns (handshake, replication streaming). Concurrent
+/// senders go through [`Conn`] instead.
 struct Wire<'a> {
     stream: &'a TcpStream,
     stats: &'a NetStats,
@@ -771,8 +1027,8 @@ struct Wire<'a> {
 }
 
 impl Wire<'_> {
-    fn send(&self, msg: &Msg) -> Result<()> {
-        let payload = proto::encode(msg);
+    fn send(&self, request_id: u64, msg: &Msg) -> Result<()> {
+        let payload = proto::encode_tagged(request_id, msg);
         let mut w = self.stream;
         write_frame(&mut w, &payload, self.max_frame)?;
         self.stats.msgs_out.fetch_add(1, Ordering::Relaxed);
@@ -795,19 +1051,23 @@ impl Wire<'_> {
     }
 }
 
+/// The per-connection reader: handshake, then the demux loop — control
+/// traffic answered inline, `Submit`s enqueued on the shared scheduler,
+/// `Cancel`s tripped into the in-flight table.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
+    conn_id: u64,
     server: &Server,
     opts: &ServeOptions,
     shutdown: &AtomicBool,
-    stats: &NetStats,
-    gate: &ExecGate,
-    slow: Option<&SlowLog>,
+    stats: &Arc<NetStats>,
+    sched: &Scheduler,
 ) -> Result<()> {
     stream
         .set_nodelay(true)
         .map_err(|e| GraqlError::net(format!("nodelay: {e}")))?;
-    // Short read timeout: the worker wakes at frame boundaries to poll
+    // Short read timeout: the reader wakes at frame boundaries to poll
     // the shutdown flag and account idle time.
     stream
         .set_read_timeout(Some(POLL))
@@ -827,48 +1087,85 @@ fn handle_connection(
         None => return Ok(()), // rejected or closed; error frame already sent
     };
 
+    let conn = Arc::new(Conn {
+        id: conn_id,
+        stream: stream
+            .try_clone()
+            .map_err(|e| GraqlError::net(format!("cannot clone stream: {e}")))?,
+        user: session.user().to_string(),
+        write: Mutex::new(()),
+        max_frame: opts.max_frame,
+        stats: Arc::clone(stats),
+        closed: AtomicBool::new(false),
+        inflight: Mutex::new(HashMap::new()),
+    });
+
     // Graceful degradation: a connection sending garbage gets error-frame
     // replies until its budget is spent, then a hangup. Frame-level
     // desync (unreadable framing) still closes immediately below.
     let mut error_budget = opts.error_budget;
     let mut idle = Duration::ZERO;
-    // Frames that arrived while a Submit was executing (the connection
-    // thread keeps reading so a wire Cancel can land); they are processed
-    // in order once the request finishes.
-    let mut pending: VecDeque<Vec<u8>> = VecDeque::new();
     loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(()); // at a frame boundary: nothing in flight
+        // Shutdown drains: leave only when nothing of ours is queued or
+        // executing (workers still need the socket for their replies).
+        if shutdown.load(Ordering::SeqCst) && conn.inflight_len() == 0 {
+            return Ok(());
         }
-        let frame = match pending.pop_front() {
-            Some(p) => p,
-            None => match wire.recv()? {
-                FrameRead::TimedOut => {
-                    idle += POLL;
-                    if idle >= opts.idle_timeout {
-                        // Retryable: a fresh connection fixes an idle hangup.
-                        let _ = wire.send(&Msg::Error {
+        let frame = match wire.recv() {
+            Ok(FrameRead::TimedOut) => {
+                if conn.inflight_len() > 0 {
+                    idle = Duration::ZERO; // busy, not idle
+                    continue;
+                }
+                idle += POLL;
+                if idle >= opts.idle_timeout {
+                    // Retryable: a fresh connection fixes an idle hangup.
+                    let _ = conn.send(
+                        0,
+                        &Msg::Error {
                             status: GraqlError::net_retryable("").wire_status(),
                             code: graql_types::codes::NET_OTHER.to_string(),
                             message: format!("idle for {}s, closing", idle.as_secs()),
-                        });
-                        return Ok(());
-                    }
-                    continue;
+                        },
+                    );
+                    return Ok(());
                 }
-                FrameRead::Closed => return Ok(()),
-                FrameRead::Frame(p) => p,
-            },
+                continue;
+            }
+            Ok(FrameRead::Closed) => {
+                // The client vanished. Queued-but-unstarted requests are
+                // skipped (workers check `closed` before executing), but
+                // anything already executing runs to completion — a lost
+                // client is indistinguishable from a lost reply, and
+                // killing its writes would make "did my DDL land?"
+                // nondeterministic. The per-request deadline still
+                // bounds the zombie work.
+                conn.closed.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+            Ok(FrameRead::Frame(p)) => p,
+            Err(e) => {
+                conn.closed.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
         };
-        let msg = match proto::decode(&frame) {
-            Ok(m) => m,
+        let (request_id, msg) = match proto::decode_tagged(&frame) {
+            Ok(x) => x,
             Err(e) => {
                 // Unparseable frame (well-delimited, bad contents —
                 // e.g. corrupted in transit): report it as retryable
-                // so the client re-sends, and consume budget.
-                let _ = wire.send(&error_msg(&GraqlError::net_retryable(format!(
-                    "could not decode request: {e}"
-                ))));
+                // so the client re-sends, and consume budget. Echo the
+                // id prefix when it survived.
+                let rid = frame
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    .unwrap_or(0);
+                let _ = conn.send(
+                    rid,
+                    &error_msg(&GraqlError::net_retryable(format!(
+                        "could not decode request: {e}"
+                    ))),
+                );
                 error_budget = error_budget.saturating_sub(1);
                 if error_budget == 0 {
                     return Err(e);
@@ -881,65 +1178,61 @@ fn handle_connection(
         let started = Instant::now();
         match msg {
             Msg::Submit { ir } => {
-                // Admission control: acquire an execution slot or shed.
-                let shed_armed = {
-                    #[cfg(feature = "failpoints")]
-                    {
-                        matches!(
-                            graql_types::failpoints::hit("net/server/shed"),
-                            Some(graql_types::failpoints::Action::Refuse)
-                        )
-                    }
-                    #[cfg(not(feature = "failpoints"))]
-                    {
-                        false
+                // Per-connection backpressure: a bounded in-flight table
+                // (the scheduler queue is its mirror) sheds excess
+                // submits with the same retryable busy error the gate
+                // uses, so a runaway pipeline degrades loudly.
+                let guard = {
+                    let mut inflight = conn.inflight.lock().expect("inflight poisoned");
+                    if inflight.len() >= opts.max_inflight_per_conn {
+                        None
+                    } else {
+                        let mut budget: QueryBudget = server.query_budget();
+                        budget.deadline = Some(match budget.deadline {
+                            Some(d) => d.min(opts.request_timeout),
+                            None => opts.request_timeout,
+                        });
+                        let guard = Arc::new(QueryGuard::new(budget));
+                        inflight.insert(request_id, Arc::clone(&guard));
+                        Some(guard)
                     }
                 };
-                if shed_armed || !gate.admit(opts.queue_wait) {
-                    stats.queries_shed.fetch_add(1, Ordering::Relaxed);
-                    server.metrics().note_outcome(QueryOutcome::Shed);
-                    wire.send(&error_msg(&GraqlError::net_retryable(format!(
-                        "server busy ({} queries executing), try again later",
-                        opts.max_concurrency
-                    ))))?;
-                    continue;
-                }
-                let submit = run_submit(
-                    &mut session,
-                    &ir,
-                    &wire,
-                    server,
-                    opts,
-                    stats,
-                    slow,
-                    &mut pending,
-                );
-                gate.release();
-                let conn_err = submit?;
-                #[cfg(feature = "failpoints")]
-                if graql_types::failpoints::hit("net/server/drop-before-reply").is_some() {
-                    // The request executed but its reply is lost — the
-                    // "server died before replying" fault.
-                    return Err(GraqlError::net(
-                        "failpoint 'net/server/drop-before-reply': dropping connection",
-                    ));
-                }
-                if let Some(e) = conn_err {
-                    // The client vanished mid-request; the query was
-                    // cancelled and drained, nothing left to reply to.
-                    return Err(e);
+                match guard {
+                    Some(guard) => sched.enqueue(Job {
+                        conn: Arc::clone(&conn),
+                        id: request_id,
+                        ir,
+                        guard,
+                        received: started,
+                    }),
+                    None => {
+                        stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+                        server.metrics().note_outcome(QueryOutcome::Shed);
+                        conn.send(
+                            request_id,
+                            &error_msg(&GraqlError::net_retryable(format!(
+                                "connection has {} requests in flight, try again later",
+                                opts.max_inflight_per_conn
+                            ))),
+                        )?;
+                    }
                 }
             }
             Msg::Cancel => {
-                // Nothing in flight on this connection (a Cancel racing a
-                // reply that already went out): harmless, ignore.
+                // Targets the tagged request id; 0 cancels everything in
+                // flight. A Cancel racing a reply that already went out
+                // finds no entry and is harmless.
+                conn.cancel(request_id);
             }
             Msg::Check { text } => {
                 let diags = session.check_script(&text);
                 stats.note_request(started.elapsed().as_micros() as u64);
-                wire.send(&Msg::CheckReport {
-                    diags: diags_to_wire(&diags),
-                })?;
+                conn.send(
+                    request_id,
+                    &Msg::CheckReport {
+                        diags: diags_to_wire(&diags),
+                    },
+                )?;
             }
             Msg::Describe => {
                 let result = session.describe();
@@ -948,24 +1241,30 @@ fn handle_connection(
                     Ok(mut text) => {
                         text.push('\n');
                         text.push_str(&stats.render());
-                        wire.send(&Msg::DescribeReport { text })?;
+                        conn.send(request_id, &Msg::DescribeReport { text })?;
                     }
-                    Err(e) => wire.send(&error_msg(&e))?,
+                    Err(e) => conn.send(request_id, &error_msg(&e))?,
                 }
             }
             Msg::Metrics => {
                 stats.note_request(started.elapsed().as_micros() as u64);
-                wire.send(&Msg::MetricsReport {
-                    text: metrics_text(server, stats),
-                })?;
+                conn.send(
+                    request_id,
+                    &Msg::MetricsReport {
+                        text: metrics_text(server, stats),
+                    },
+                )?;
             }
-            Msg::Ping => wire.send(&Msg::Pong)?,
+            Msg::Ping => conn.send(request_id, &Msg::Pong)?,
             Msg::Promote => {
                 if session.role() != Role::Admin {
-                    wire.send(&error_msg(&GraqlError::exec(format!(
-                        "user '{}' (analyst) may not promote this server",
-                        session.user()
-                    ))))?;
+                    conn.send(
+                        request_id,
+                        &error_msg(&GraqlError::exec(format!(
+                            "user '{}' (analyst) may not promote this server",
+                            session.user()
+                        ))),
+                    )?;
                     continue;
                 }
                 let was = server.promote();
@@ -973,38 +1272,59 @@ fn handle_connection(
                     eprintln!("gems-serve: promoted to primary (was replica of {primary})");
                 }
                 stats.note_request(started.elapsed().as_micros() as u64);
-                wire.send(&Msg::Done {
-                    stmts: 0,
-                    micros: started.elapsed().as_micros() as u64,
-                })?;
+                conn.send(
+                    request_id,
+                    &Msg::Done {
+                        stmts: 0,
+                        micros: started.elapsed().as_micros() as u64,
+                    },
+                )?;
             }
             Msg::ReplSubscribe { from_lsn } => {
                 if session.role() != Role::Admin {
-                    wire.send(&error_msg(&GraqlError::exec(format!(
-                        "user '{}' (analyst) may not subscribe to the WAL stream",
-                        session.user()
-                    ))))?;
+                    conn.send(
+                        request_id,
+                        &error_msg(&GraqlError::exec(format!(
+                            "user '{}' (analyst) may not subscribe to the WAL stream",
+                            session.user()
+                        ))),
+                    )?;
                     continue;
                 }
                 if !server.is_durable() {
-                    wire.send(&error_msg(&GraqlError::net(
-                        "replication requires a durable server (start with --durable)",
-                    )))?;
+                    conn.send(
+                        request_id,
+                        &error_msg(&GraqlError::net(
+                            "replication requires a durable server (start with --durable)",
+                        )),
+                    )?;
                     continue;
                 }
                 // The connection becomes a one-way WAL stream (plus acks
-                // coming back); it never returns to request dispatch.
+                // coming back), every frame tagged with the subscribe
+                // request's id; it never returns to request dispatch.
                 let peer = stream
                     .peer_addr()
                     .map(|a| a.to_string())
                     .unwrap_or_else(|_| "unknown".to_string());
-                return serve_replication(&wire, server, stats, shutdown, from_lsn, &peer);
+                return serve_replication(
+                    &wire, request_id, server, stats, shutdown, from_lsn, &peer,
+                );
             }
-            Msg::Goodbye => return Ok(()),
+            Msg::Goodbye => {
+                // Same contract as a vanished client: queued work is
+                // skipped, running work completes (replies to a
+                // said-goodbye client just fail to write).
+                conn.closed.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
             other => {
-                wire.send(&error_msg(&GraqlError::net(format!(
-                    "unexpected message {other:?} (session already established)"
-                ))))?;
+                conn.send(
+                    request_id,
+                    &error_msg(&GraqlError::net(format!(
+                        "unexpected message {other:?} (session already established)"
+                    ))),
+                )?;
                 error_budget = error_budget.saturating_sub(1);
                 if error_budget == 0 {
                     return Err(GraqlError::net("per-connection error budget exhausted"));
@@ -1014,89 +1334,82 @@ fn handle_connection(
     }
 }
 
-/// Executes one `Submit` under a per-request [`QueryGuard`], with the
-/// connection thread polling the socket for an out-of-band [`Msg::Cancel`]
-/// while an executor thread runs the query.
-///
-/// The guard's deadline is the server's request timeout folded with the
-/// database's configured budget, so a runaway query aborts cooperatively
-/// (typed deadline/budget error) and the executor thread — a scoped
-/// thread, joined before this returns — is immediately reusable.
-///
-/// Returns `Ok(Some(err))` when the client vanished mid-request: the
-/// query was cancelled and drained, but there is no one left to reply to,
-/// so the caller should close the connection with `err`. The outer
-/// `Err` means the reply could not be written (connection-fatal).
-#[allow(clippy::too_many_arguments)]
-fn run_submit(
-    session: &mut Session,
-    ir: &[u8],
-    wire: &Wire<'_>,
+/// Worker-side execution of one queued `Submit`: admission control, the
+/// query itself (on this worker thread — cancellation arrives via the
+/// guard the reader holds), then the tagged reply frames.
+fn execute_job(
+    job: &Job,
     server: &Server,
     opts: &ServeOptions,
     stats: &NetStats,
+    gate: &ExecGate,
     slow: Option<&SlowLog>,
-    pending: &mut VecDeque<Vec<u8>>,
-) -> Result<Option<GraqlError>> {
+) {
+    let conn = &*job.conn;
+    if conn.closed.load(Ordering::Relaxed) {
+        return; // client already gone; nothing to execute or reply to
+    }
+    // Admission control: acquire an execution slot or shed.
+    let shed_armed = {
+        #[cfg(feature = "failpoints")]
+        {
+            matches!(
+                graql_types::failpoints::hit("net/server/shed"),
+                Some(graql_types::failpoints::Action::Refuse)
+            )
+        }
+        #[cfg(not(feature = "failpoints"))]
+        {
+            false
+        }
+    };
+    // The queue-wait budget is anchored at enqueue, so time spent in the
+    // scheduler waiting for a worker counts against it: a request stuck
+    // behind a saturated pool sheds as soon as a worker sees it instead
+    // of waiting the full budget again. A free slot still admits.
+    let queue_budget = (job.received + opts.queue_wait).saturating_duration_since(Instant::now());
+    if shed_armed || !gate.admit(conn.id, queue_budget) {
+        stats.queries_shed.fetch_add(1, Ordering::Relaxed);
+        server.metrics().note_outcome(QueryOutcome::Shed);
+        let _ = conn.send(
+            job.id,
+            &error_msg(&GraqlError::net_retryable(format!(
+                "server busy ({} queries executing), try again later",
+                opts.max_concurrency
+            ))),
+        );
+        return;
+    }
+    run_submit(job, server, stats, slow);
+    gate.release(conn.id);
+}
+
+/// Executes one admitted `Submit` and writes its reply. The guard's
+/// deadline was anchored when the request arrived, so queue wait counts
+/// against it; a runaway query aborts cooperatively (typed
+/// deadline/budget error) and the worker is immediately reusable.
+fn run_submit(job: &Job, server: &Server, stats: &NetStats, slow: Option<&SlowLog>) {
+    let conn = &*job.conn;
     // Delay-only site: simulates a slow query under the request deadline
     // without wall-clock-sized sleeps in tests.
     graql_types::failpoint!("net/server/exec-delay");
 
-    let mut budget: QueryBudget = server.query_budget();
-    budget.deadline = Some(match budget.deadline {
-        Some(d) => d.min(opts.request_timeout),
-        None => opts.request_timeout,
-    });
-    let guard = QueryGuard::new(budget);
+    let guard = &*job.guard;
     // Slow-query logging needs the stage breakdown, so the whole request
     // runs with a profile armed; without a slow log the obs stays `None`
     // and execution keeps the zero-overhead path.
     let profile = slow.map(|_| QueryProfile::new());
     let obs = profile.as_ref();
 
-    let started = Instant::now();
-    let (result, conn_err) = std::thread::scope(|s| {
-        let exec = s.spawn(|| session.execute_ir_observed(ir, &guard, obs));
-        let mut conn_err: Option<GraqlError> = None;
-        while !exec.is_finished() {
-            // Fast queries finish within the first poll window; don't pay
-            // a blocking socket read (up to POLL) for them.
-            if started.elapsed() < POLL {
-                std::thread::sleep(Duration::from_millis(1));
-                continue;
-            }
-            match wire.recv() {
-                Ok(FrameRead::TimedOut) => {}
-                Ok(FrameRead::Closed) => {
-                    // The client vanished: kill its query, reclaim the
-                    // executor at the next checkpoint.
-                    guard.cancel();
-                    conn_err = Some(GraqlError::net("client closed the connection mid-request"));
-                    break;
-                }
-                Ok(FrameRead::Frame(p)) => {
-                    if matches!(proto::decode(&p), Ok(Msg::Cancel)) {
-                        guard.cancel();
-                    } else {
-                        // Not ours to handle mid-request; process in order
-                        // after the reply goes out.
-                        pending.push_back(p);
-                    }
-                }
-                Err(e) => {
-                    guard.cancel();
-                    conn_err = Some(e);
-                    break;
-                }
-            }
-        }
-        let result = exec
-            .join()
-            .unwrap_or_else(|_| Err(GraqlError::exec("executor thread panicked")));
-        (result, conn_err)
-    });
+    // Sessions are cheap (an `Arc` + user + role): minting one per
+    // request lets any number of a connection's requests execute
+    // concurrently on different workers.
+    let result = match server.connect(&conn.user) {
+        Ok(mut session) => session.execute_ir_observed(&job.ir, guard, obs),
+        Err(e) => Err(e),
+    };
 
-    let elapsed = started.elapsed();
+    let elapsed = job.received.elapsed();
     stats.note_request(elapsed.as_micros() as u64);
     stats
         .query_peak_bytes
@@ -1132,36 +1445,51 @@ fn run_submit(
             );
             server.metrics().slow_queries.inc();
             slow.note(
-                session.user(),
+                &conn.user,
                 elapsed.as_micros() as u64,
                 outcome.name(),
                 &report,
             );
         }
     }
-    if conn_err.is_some() {
-        return Ok(conn_err);
+    #[cfg(feature = "failpoints")]
+    if graql_types::failpoints::hit("net/server/drop-before-reply").is_some() {
+        // The request executed but its reply is lost — the "server died
+        // before replying" fault. Closing the socket unblocks the reader.
+        conn.close();
+        return;
     }
-    match result {
-        Ok(outputs) => {
-            let stmts = outputs.len() as u32;
-            for out in &outputs {
-                for m in output_msgs(out) {
-                    wire.send(&m)?;
+    // Reply; write failures mean the client is gone — mark the
+    // connection closed so the reader and other workers stop too.
+    let replied = (|| -> Result<()> {
+        match result {
+            Ok(outputs) => {
+                let stmts = outputs.len() as u32;
+                for out in &outputs {
+                    for frame in output_frames(job.id, out) {
+                        conn.send_payload(&frame)?;
+                    }
                 }
+                conn.send(
+                    job.id,
+                    &Msg::Done {
+                        stmts,
+                        micros: elapsed.as_micros() as u64,
+                    },
+                )?;
             }
-            wire.send(&Msg::Done {
-                stmts,
-                micros: elapsed.as_micros() as u64,
-            })?;
+            Err(e) => conn.send(job.id, &error_msg(&e))?,
         }
-        Err(e) => wire.send(&error_msg(&e))?,
+        Ok(())
+    })();
+    if replied.is_err() && !conn.closed.load(Ordering::Relaxed) {
+        conn.close();
     }
-    Ok(None)
 }
 
 /// Serves one replica's WAL subscription until the connection drops, the
-/// replica says `Goodbye`, or the server shuts down.
+/// replica says `Goodbye`, or the server shuts down. Every stream frame
+/// is tagged with the subscribe request's id.
 ///
 /// Ordering is the crux: the commit-feed subscription is registered
 /// *before* the bootstrap view is taken, so no batch can fall between
@@ -1171,6 +1499,7 @@ fn run_submit(
 /// idempotently by LSN as a second line of defense.
 fn serve_replication(
     wire: &Wire<'_>,
+    sub_id: u64,
     server: &Server,
     stats: &NetStats,
     shutdown: &AtomicBool,
@@ -1182,7 +1511,9 @@ fn serve_replication(
     stats
         .repl_replicas_connected
         .fetch_add(1, Ordering::Relaxed);
-    let result = stream_to_replica(wire, server, stats, shutdown, from_lsn, peer, rx, boot);
+    let result = stream_to_replica(
+        wire, sub_id, server, stats, shutdown, from_lsn, peer, rx, boot,
+    );
     stats
         .repl_replicas_connected
         .fetch_sub(1, Ordering::Relaxed);
@@ -1193,6 +1524,7 @@ fn serve_replication(
 #[allow(clippy::too_many_arguments)]
 fn stream_to_replica(
     wire: &Wire<'_>,
+    sub_id: u64,
     server: &Server,
     stats: &NetStats,
     shutdown: &AtomicBool,
@@ -1217,12 +1549,15 @@ fn stream_to_replica(
             };
             let n_chunks = chunks.len();
             for (ci, chunk) in chunks.into_iter().enumerate() {
-                wire.send(&Msg::ReplSnapshot {
-                    watermark: *watermark,
-                    name: name.clone(),
-                    data: chunk.to_vec(),
-                    last: fi + 1 == n_files && ci + 1 == n_chunks,
-                })?;
+                wire.send(
+                    sub_id,
+                    &Msg::ReplSnapshot {
+                        watermark: *watermark,
+                        name: name.clone(),
+                        data: chunk.to_vec(),
+                        last: fi + 1 == n_files && ci + 1 == n_chunks,
+                    },
+                )?;
                 stats.repl_snapshot_chunks.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -1241,11 +1576,14 @@ fn stream_to_replica(
             }
             graql_types::failpoint!("net/repl/stream", GraqlError::net);
             let span = batch.last_lsn - batch.first_lsn + 1;
-            wire.send(&Msg::ReplBatch {
-                first_lsn: batch.first_lsn,
-                last_lsn: batch.last_lsn,
-                frames: batch.frames,
-            })?;
+            wire.send(
+                sub_id,
+                &Msg::ReplBatch {
+                    first_lsn: batch.first_lsn,
+                    last_lsn: batch.last_lsn,
+                    frames: batch.frames,
+                },
+            )?;
             stats.repl_batches_shipped.fetch_add(1, Ordering::Relaxed);
             stats
                 .repl_records_shipped
@@ -1257,9 +1595,12 @@ fn stream_to_replica(
             return Ok(());
         }
         if last_heartbeat.elapsed() >= REPL_HEARTBEAT {
-            wire.send(&Msg::ReplHeartbeat {
-                durable_lsn: server.wal_durable_lsn(),
-            })?;
+            wire.send(
+                sub_id,
+                &Msg::ReplHeartbeat {
+                    durable_lsn: server.wal_durable_lsn(),
+                },
+            )?;
             stats.repl_heartbeats.fetch_add(1, Ordering::Relaxed);
             last_heartbeat = Instant::now();
         }
@@ -1269,13 +1610,13 @@ fn stream_to_replica(
         match wire.recv()? {
             FrameRead::TimedOut => {}
             FrameRead::Closed => return Ok(()),
-            FrameRead::Frame(p) => match proto::decode(&p) {
-                Ok(Msg::ReplAck { lsn }) => {
+            FrameRead::Frame(p) => match proto::decode_tagged(&p) {
+                Ok((_, Msg::ReplAck { lsn })) => {
                     stats.repl_acks.fetch_add(1, Ordering::Relaxed);
                     stats.note_repl_lag(peer, server.wal_durable_lsn().saturating_sub(lsn));
                 }
-                Ok(Msg::Goodbye) => return Ok(()),
-                Ok(other) => {
+                Ok((_, Msg::Goodbye)) => return Ok(()),
+                Ok((_, other)) => {
                     return Err(GraqlError::net(format!(
                         "unexpected message {other:?} on a replication stream"
                     )))
@@ -1288,7 +1629,7 @@ fn stream_to_replica(
 
 /// Runs the server side of version negotiation and authentication.
 /// Returns `None` when the connection was rejected (error frame sent) or
-/// closed before a `Hello`.
+/// closed before a `Hello`. The reply echoes the `Hello` frame's id.
 fn handshake(
     wire: &Wire<'_>,
     server: &Server,
@@ -1296,7 +1637,7 @@ fn handshake(
     shutdown: &AtomicBool,
 ) -> Result<Option<Session>> {
     let mut idle = Duration::ZERO;
-    let msg = loop {
+    let (hello_id, msg) = loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(None);
         }
@@ -1308,15 +1649,18 @@ fn handshake(
                 }
             }
             FrameRead::Closed => return Ok(None),
-            FrameRead::Frame(p) => match proto::decode(&p) {
+            FrameRead::Frame(p) => match proto::decode_tagged(&p) {
                 Ok(m) => break m,
                 Err(e) => {
                     // A garbled Hello is transport corruption, not a bad
                     // client: re-handshaking on a fresh connection is
                     // always safe, so tell the client to retry.
-                    let _ = wire.send(&error_msg(&GraqlError::net_retryable(format!(
-                        "could not decode handshake: {e}"
-                    ))));
+                    let _ = wire.send(
+                        0,
+                        &error_msg(&GraqlError::net_retryable(format!(
+                            "could not decode handshake: {e}"
+                        ))),
+                    );
                     return Ok(None);
                 }
             },
@@ -1325,29 +1669,36 @@ fn handshake(
     let (proto_version, user) = match msg {
         Msg::Hello { proto, user } => (proto, user),
         other => {
-            wire.send(&error_msg(&GraqlError::net(format!(
-                "expected Hello, got {other:?}"
-            ))))?;
+            wire.send(
+                hello_id,
+                &error_msg(&GraqlError::net(format!("expected Hello, got {other:?}"))),
+            )?;
             return Ok(None);
         }
     };
     if proto_version != PROTO_VERSION {
-        wire.send(&error_msg(&GraqlError::net(format!(
-            "protocol version mismatch: client speaks v{proto_version}, server speaks v{PROTO_VERSION}"
-        ))))?;
+        wire.send(
+            hello_id,
+            &error_msg(&GraqlError::net(format!(
+                "protocol version mismatch: client speaks v{proto_version}, server speaks v{PROTO_VERSION}"
+            ))),
+        )?;
         return Ok(None);
     }
     match server.connect(&user) {
         Ok(session) => {
-            wire.send(&Msg::Welcome {
-                proto: PROTO_VERSION,
-                role: session.role().wire_tag(),
-                server: opts.banner.clone(),
-            })?;
+            wire.send(
+                hello_id,
+                &Msg::Welcome {
+                    proto: PROTO_VERSION,
+                    role: session.role().wire_tag(),
+                    server: opts.banner.clone(),
+                },
+            )?;
             Ok(Some(session))
         }
         Err(e) => {
-            wire.send(&error_msg(&e))?;
+            wire.send(hello_id, &error_msg(&e))?;
             Ok(None)
         }
     }

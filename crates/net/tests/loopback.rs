@@ -251,11 +251,14 @@ fn mid_stream_disconnect_is_typed_error() {
         let FrameRead::Frame(_hello) = read_frame(&mut r, MAX_FRAME).unwrap() else {
             return;
         };
-        let welcome = proto::encode(&Msg::Welcome {
-            proto: graql_net::PROTO_VERSION,
-            role: 0,
-            server: "fake".to_string(),
-        });
+        let welcome = proto::encode_tagged(
+            1,
+            &Msg::Welcome {
+                proto: graql_net::PROTO_VERSION,
+                role: 0,
+                server: "fake".to_string(),
+            },
+        );
         let mut w = &stream;
         write_frame(&mut w, &welcome, MAX_FRAME).unwrap();
         // Wait for the Submit, then vanish without replying.

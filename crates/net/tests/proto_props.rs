@@ -36,6 +36,13 @@ proptest! {
         let _ = proto::decode(&bytes);
     }
 
+    /// Arbitrary payloads through the v5 tagged-frame decoder (request
+    /// id prefix + message) never panic either.
+    #[test]
+    fn tagged_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = proto::decode_tagged(&bytes);
+    }
+
     /// Tag-led payloads (valid first byte, arbitrary rest) never panic —
     /// denser coverage of each variant's field decoding.
     #[test]
@@ -113,10 +120,13 @@ fn version_mismatch_rejected_cleanly() {
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
 
-    let hello = proto::encode(&Msg::Hello {
-        proto: PROTO_VERSION + 1,
-        user: "admin".to_string(),
-    });
+    let hello = proto::encode_tagged(
+        7,
+        &Msg::Hello {
+            proto: PROTO_VERSION + 1,
+            user: "admin".to_string(),
+        },
+    );
     let mut w = &stream;
     write_frame(&mut w, &hello, MAX_FRAME).unwrap();
 
@@ -124,8 +134,9 @@ fn version_mismatch_rejected_cleanly() {
     let FrameRead::Frame(p) = read_frame(&mut r, MAX_FRAME).unwrap() else {
         panic!("expected an error frame, not silence");
     };
-    match proto::decode(&p).unwrap() {
-        Msg::Error { message, .. } => {
+    match proto::decode_tagged(&p).unwrap() {
+        (id, Msg::Error { message, .. }) => {
+            assert_eq!(id, 7, "the rejection echoes the Hello's request id");
             assert!(message.contains("version mismatch"), "{message}");
         }
         other => panic!("expected Error, got {other:?}"),
@@ -158,9 +169,15 @@ fn non_graql_client_rejected() {
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
 
-    // A frame whose payload opens with tag 0 but the wrong magic.
+    // A frame with a request-id prefix whose payload opens with tag 0
+    // but the wrong magic.
     let mut w = &stream;
-    write_frame(&mut w, b"\x00XXXX\x01\x00", MAX_FRAME).unwrap();
+    write_frame(
+        &mut w,
+        b"\x01\x00\x00\x00\x00\x00\x00\x00\x00XXXX\x01\x00",
+        MAX_FRAME,
+    )
+    .unwrap();
 
     // The connection errors out server-side; we observe close or error,
     // never a hang (read timeout above bounds the wait).

@@ -38,6 +38,8 @@ pub use date::Date;
 pub use diag::{codes, Diagnostic, Diagnostics, Severity, Span};
 pub use error::{GraqlError, NetError, Result};
 pub use guard::{QueryBudget, QueryGuard};
-pub use obs::{MetricsRegistry, ProfileReport, QueryOutcome, QueryProfile, Stage, WalMetrics};
+pub use obs::{
+    MetricsRegistry, PlanCacheMetrics, ProfileReport, QueryOutcome, QueryProfile, Stage, WalMetrics,
+};
 pub use symbol::{Interner, Symbol};
 pub use value::{CmpOp, DataType, Value};

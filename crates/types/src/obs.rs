@@ -675,6 +675,90 @@ impl WalMetrics {
 }
 
 // ---------------------------------------------------------------------------
+// PlanCacheMetrics
+// ---------------------------------------------------------------------------
+
+/// Counters for the compiled-plan cache (`graql_core::plancache`).
+///
+/// Lives in `graql-types` for the same reason [`WalMetrics`] does: the
+/// registry renders it without depending on core. The cache holds an
+/// `Arc` to the instance it registers via
+/// [`MetricsRegistry::attach_plan_cache`]; lookups touch only relaxed
+/// atomics, so a scrape never contends with the serve path.
+#[derive(Debug, Default)]
+pub struct PlanCacheMetrics {
+    /// Lookups answered from the cache (decode/analyze/rewrite skipped).
+    pub hits: Counter,
+    /// Lookups that fell through to a cold compile.
+    pub misses: Counter,
+    /// Entries dropped: LRU capacity evictions, epoch-publish
+    /// invalidations and promotion flushes all count here.
+    pub evictions: Counter,
+    /// Entries currently resident.
+    entries: AtomicU64,
+}
+
+impl PlanCacheMetrics {
+    pub fn new() -> PlanCacheMetrics {
+        PlanCacheMetrics::default()
+    }
+
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    pub fn set_entries(&self, n: u64) {
+        self.entries.store(n, Ordering::Relaxed);
+    }
+
+    /// The `plan cache:` line merged into the registry's `describe`
+    /// section.
+    pub fn render_describe(&self) -> String {
+        format!(
+            "    plan cache: {} hits, {} misses, {} evictions, {} entries\n",
+            self.hits.get(),
+            self.misses.get(),
+            self.evictions.get(),
+            self.entries(),
+        )
+    }
+
+    /// Prometheus exposition of the plan-cache series
+    /// (`graql_plan_cache_*`).
+    pub fn render_prometheus(&self, out: &mut String) {
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP graql_plan_cache_{name} {help}");
+            let _ = writeln!(out, "# TYPE graql_plan_cache_{name} counter");
+            let _ = writeln!(out, "graql_plan_cache_{name} {v}");
+        };
+        counter(
+            out,
+            "hits_total",
+            "Plan-cache lookups answered from the cache.",
+            self.hits.get(),
+        );
+        counter(
+            out,
+            "misses_total",
+            "Plan-cache lookups that compiled cold.",
+            self.misses.get(),
+        );
+        counter(
+            out,
+            "evictions_total",
+            "Plan-cache entries dropped (LRU, epoch invalidation, flush).",
+            self.evictions.get(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP graql_plan_cache_entries Plan-cache entries currently resident."
+        );
+        let _ = writeln!(out, "# TYPE graql_plan_cache_entries gauge");
+        let _ = writeln!(out, "graql_plan_cache_entries {}", self.entries());
+    }
+}
+
+// ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 
@@ -745,6 +829,10 @@ pub struct MetricsRegistry {
     /// `describe` / Prometheus output byte-identical to before the
     /// storage engine existed.
     wal: OnceLock<Arc<WalMetrics>>,
+    /// Plan-cache metrics, attached once by servers that run with a
+    /// compiled-plan cache. `None` (embedded `Database` use) keeps the
+    /// output free of plan-cache lines.
+    plan_cache: OnceLock<Arc<PlanCacheMetrics>>,
 }
 
 impl MetricsRegistry {
@@ -807,6 +895,18 @@ impl MetricsRegistry {
         self.wal.get()
     }
 
+    /// Attaches the plan cache's metrics so they render in `describe` and
+    /// the Prometheus exposition. First attach wins, like
+    /// [`MetricsRegistry::attach_wal`].
+    pub fn attach_plan_cache(&self, pc: Arc<PlanCacheMetrics>) {
+        let _ = self.plan_cache.set(pc);
+    }
+
+    /// The attached plan-cache metrics, if a cache is registered.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCacheMetrics>> {
+        self.plan_cache.get()
+    }
+
     /// The `metrics:` section merged into `describe` output. The counter
     /// values here are the same atomics the Prometheus exposition reads,
     /// so the two always agree.
@@ -831,6 +931,9 @@ impl MetricsRegistry {
             self.profiles_recorded.get(),
             self.slow_queries.get()
         );
+        if let Some(pc) = self.plan_cache.get() {
+            out.push_str(&pc.render_describe());
+        }
         if let Some(wal) = self.wal.get() {
             out.push_str(&wal.render_describe());
         }
@@ -910,6 +1013,9 @@ impl MetricsRegistry {
             }
             let labels = format!("stage=\"{}\"", stage.name());
             hist.render_prometheus(&mut out, "graql_stage_duration_nanoseconds", &labels);
+        }
+        if let Some(pc) = self.plan_cache.get() {
+            pc.render_prometheus(&mut out);
         }
         if let Some(wal) = self.wal.get() {
             wal.render_prometheus(&mut out);

@@ -4,9 +4,9 @@
 #   scripts/bench_snapshot.sh                 run the pinned benches, write a
 #                                             fresh snapshot, fail on >25%
 #                                             regression vs the committed
-#                                             BENCH_5.json baseline
+#                                             BENCH_10.json baseline
 #   scripts/bench_snapshot.sh --bless         run the benches and overwrite
-#                                             BENCH_5.json (baseline blessing)
+#                                             BENCH_10.json (baseline blessing)
 #   scripts/bench_snapshot.sh --compare A B   compare two snapshot files only
 #   scripts/bench_snapshot.sh --self-test     prove the comparator: a
 #                                             synthetic 2x regression must
@@ -15,8 +15,8 @@
 #
 # Environment:
 #   BENCH_OUT=path             where the fresh snapshot lands
-#                              (default target/bench/BENCH_5.json)
-#   BENCH_BASELINE=path        committed baseline (default BENCH_5.json)
+#                              (default target/bench/BENCH_10.json)
+#   BENCH_BASELINE=path        committed baseline (default BENCH_10.json)
 #   BENCH_THRESHOLD=ratio      regression ratio (default 1.25 = +25%)
 #   BENCH_ALLOW_REGRESSION=1   report regressions but exit 0 (noisy runners)
 #
@@ -25,14 +25,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${BENCH_BASELINE:-BENCH_5.json}"
-OUT="${BENCH_OUT:-target/bench/BENCH_5.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_10.json}"
+OUT="${BENCH_OUT:-target/bench/BENCH_10.json}"
 THRESHOLD="${BENCH_THRESHOLD:-1.25}"
 # The pinned subset: one graph-query bench, one relational-kernel bench,
-# one threading bench, one wire bench, and the WAL commit bench. The rest
-# of the benches stay local-only — this lane is a regression tripwire,
-# not a paper artifact.
-BENCHES=(berlin_queries relational_ops parallel_scaling net_roundtrip wal)
+# one threading bench, one wire bench (including the pipelined serve
+# path), the plan-cache bench and the WAL commit bench. The rest of the
+# benches stay local-only — this lane is a regression tripwire, not a
+# paper artifact.
+BENCHES=(berlin_queries relational_ops parallel_scaling net_roundtrip plan_cache wal)
 
 host_fingerprint() {
     local cpu cores

@@ -5,15 +5,104 @@
 # (--metrics-addr, --slow-query-ms 0) and the Prometheus scrape is
 # validated; CI uploads gems-serve.log, the scrape and the slow-query log
 # on failure. Runnable locally: scripts/net_smoke.sh [target/release]
+#
+# scripts/net_smoke.sh --throughput [bindir] runs the throughput lane
+# instead: a release gems-serve on loopback driven by the pipelined
+# loadgen (gems-shell --loadgen), with a qps floor. Knobs:
+#   THROUGHPUT_MIN_QPS=N      sustained-qps floor (default 10000)
+#   THROUGHPUT_ALLOW_SLOW=1   report a miss but exit 0 (noisy runners)
+#   THROUGHPUT_DURATION_MS=N  measurement window (default 5000)
+#   THROUGHPUT_DEPTH=N        pipeline depth (default 64)
+#   LOADGEN_JSON=path         qps + latency-histogram artifact
+#                             (default $workdir/loadgen.json)
 set -euo pipefail
 
-bindir="${1:-target/release}"
+mode=smoke
+bindir=target/release
+for arg in "$@"; do
+    case "$arg" in
+    --throughput) mode=throughput ;;
+    *) bindir="$arg" ;;
+    esac
+done
 workdir="$(mktemp -d)"
 log="${SERVE_LOG:-$workdir/gems-serve.log}"
 metrics_out="${METRICS_OUT:-$workdir/metrics.prom}"
 slow_log="${SLOW_LOG:-$workdir/slow-queries.jsonl}"
 serve_pid="" durable_pid="" durable2_pid="" prim_pid="" repl_pid=""
 trap 'kill $serve_pid $durable_pid $durable2_pid $prim_pid $repl_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# ---- Throughput lane (--throughput): pipelined loadgen + qps floor ----
+if [ "$mode" = throughput ]; then
+    min_qps="${THROUGHPUT_MIN_QPS:-10000}"
+    dur_ms="${THROUGHPUT_DURATION_MS:-5000}"
+    depth="${THROUGHPUT_DEPTH:-64}"
+    json_out="${LOADGEN_JSON:-$workdir/loadgen.json}"
+    tlog="${SERVE_LOG:-$workdir/gems-serve.log}"
+    tmetrics="${METRICS_OUT:-$workdir/metrics.prom}"
+
+    printf '1,10\n2,20\n3,30\n4,40\n' > "$workdir/T.csv"
+    cat > "$workdir/tp_init.graql" <<'GRAQL'
+create table T(id integer, v integer)
+ingest table T T.csv
+GRAQL
+    cat > "$workdir/tp_query.graql" <<'GRAQL'
+select v from table T where id = 1
+GRAQL
+
+    mkfifo "$workdir/tctl"
+    sleep 300 > "$workdir/tctl" &
+    tholder_pid=$!
+    "$bindir/gems-serve" --addr 127.0.0.1:0 --data-dir "$workdir" \
+        --init "$workdir/tp_init.graql" --metrics-addr 127.0.0.1:0 \
+        < "$workdir/tctl" > "$tlog" 2>&1 &
+    serve_pid=$!
+    taddr=""
+    for _ in $(seq 100); do
+        taddr="$(sed -n 's/^gems-serve listening on //p' "$tlog")"
+        [ -n "$taddr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$taddr" ]; then
+        echo "net_smoke: gems-serve never became ready" >&2
+        cat "$tlog" >&2
+        exit 1
+    fi
+    tmaddr="$(sed -n 's|^gems-serve metrics on http://||p' "$tlog" | sed 's|/metrics$||')"
+
+    "$bindir/gems-shell" "$workdir/tp_query.graql" --connect "$taddr" --user admin \
+        --loadgen --duration-ms "$dur_ms" --depth "$depth" --loadgen-json "$json_out"
+
+    # The loadgen replays one script: after the first compile, every
+    # request must be a plan-cache hit, and the counters prove it.
+    curl -fsS "http://$tmaddr/metrics" > "$tmetrics"
+    hits="$(sed -n 's/^graql_plan_cache_hits_total //p' "$tmetrics")"
+    if [ "${hits:-0}" -lt 100 ]; then
+        echo "net_smoke: expected >=100 plan-cache hits under loadgen, got '${hits:-0}'" >&2
+        grep '^graql_plan_cache' "$tmetrics" >&2 || cat "$tmetrics" >&2
+        exit 1
+    fi
+
+    echo shutdown > "$workdir/tctl"
+    kill "$tholder_pid" 2>/dev/null || true
+    wait "$serve_pid"
+    serve_pid=""
+
+    qps="$(jq -r '.qps' "$json_out")"
+    p99="$(jq -r '.latency_us.p99' "$json_out")"
+    echo "net_smoke: throughput lane sustained ${qps} qps (p99 ${p99}us," \
+        "depth $depth, ${hits} plan-cache hits, artifact: $json_out)"
+    if [ "$(jq -n --argjson q "$qps" --argjson m "$min_qps" '$q < $m')" = true ]; then
+        if [ "${THROUGHPUT_ALLOW_SLOW:-0}" = "1" ]; then
+            echo "net_smoke: qps floor $min_qps missed — advisory only" \
+                "(THROUGHPUT_ALLOW_SLOW=1)" >&2
+            exit 0
+        fi
+        echo "net_smoke: FAIL — sustained qps $qps below floor $min_qps" >&2
+        exit 1
+    fi
+    exit 0
+fi
 
 # Fixtures for scripts/berlin_demo.graql.
 printf 'p1,Alpha,m1,10.0\np2,Beta,m1,20.0\np3,Gamma,m2,30.0\n' > "$workdir/Products.csv"

@@ -9,7 +9,7 @@
 //!            [--max-connections N] [--error-budget N]
 //!            [--max-concurrency N] [--queue-wait-ms MS]
 //!            [--max-result-rows N] [--max-query-bytes N]
-//!            [--exec-threads N]
+//!            [--exec-threads N] [--workers N] [--plan-cache N]
 //!            [--metrics-addr HOST:PORT] [--slow-query-ms MS]
 //!            [--slow-query-log FILE]
 //! ```
@@ -104,7 +104,7 @@ fn usage() -> ! {
          [--idle-timeout SECS] [--request-timeout-ms MS] [--idle-timeout-ms MS] \
          [--max-connections N] [--error-budget N] [--max-concurrency N] \
          [--queue-wait-ms MS] [--max-result-rows N] [--max-query-bytes N] \
-         [--exec-threads N] [--replica-of HOST:PORT] \
+         [--exec-threads N] [--workers N] [--plan-cache N] [--replica-of HOST:PORT] \
          [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--slow-query-log FILE]"
     );
     std::process::exit(2);
@@ -124,6 +124,7 @@ fn main() -> ExitCode {
     let mut users: Vec<(String, Role)> = Vec::new();
     let mut budget = QueryBudget::UNLIMITED;
     let mut exec_threads: Option<usize> = None;
+    let mut plan_cache: Option<usize> = None;
     let mut replica_of: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -232,6 +233,24 @@ fn main() -> ExitCode {
                     _ => usage(),
                 }
             }
+            // Serve-path worker pool size: 0 = one per available core
+            // (with a small floor). Distinct from --exec-threads, which
+            // sizes the morsel pool *inside* one query.
+            "--workers" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    Ok(n) => opts.workers = n,
+                    Err(_) => usage(),
+                }
+            }
+            // Compiled-plan cache capacity in entries (0 disables).
+            "--plan-cache" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    Ok(n) => plan_cache = Some(n),
+                    Err(_) => usage(),
+                }
+            }
             "--replica-of" => replica_of = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-addr" => opts.metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--slow-query-ms" => {
@@ -293,6 +312,9 @@ fn main() -> ExitCode {
     }
     if let Some(n) = exec_threads {
         server.database_mut().config_mut().threads = n;
+    }
+    if let Some(n) = plan_cache {
+        server.set_plan_cache_capacity(n);
     }
     if let Some(path) = init {
         let text = match std::fs::read_to_string(&path) {

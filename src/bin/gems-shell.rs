@@ -39,6 +39,13 @@
 //! over to the next endpoint when a node dies. `--retries` and
 //! `--backoff-ms` tune the retry policy; `--promote` sends the admin
 //! `Promote` message instead of running a script.
+//!
+//! `--loadgen` turns the shell into a pipelined load generator: the
+//! script is compiled to IR once, then submitted over a single connection
+//! with `--depth` requests in flight (the v5 multiplexed pipeline) for
+//! `--duration-ms`. It prints a one-line throughput summary and, with
+//! `--loadgen-json FILE`, writes qps plus a latency histogram as JSON for
+//! the CI throughput lane.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -52,7 +59,9 @@ fn usage() -> ! {
          \x20      gems-shell check <script.graql> [--json]\n\
          \x20      gems-shell <script.graql> --connect HOST:PORT[,HOST:PORT...] [--user NAME] \
          [--timeout SECS] [--retries N] [--backoff-ms MS]\n\
-         \x20      gems-shell --promote --connect HOST:PORT [--user NAME]"
+         \x20      gems-shell --promote --connect HOST:PORT [--user NAME]\n\
+         \x20      gems-shell <script.graql> --connect HOST:PORT --loadgen \
+         [--duration-ms MS] [--depth N] [--loadgen-json FILE]"
     );
     std::process::exit(2);
 }
@@ -186,6 +195,147 @@ fn resolve_endpoints(spec: &str) -> std::result::Result<Vec<std::net::SocketAddr
     Ok(addrs)
 }
 
+/// The `--loadgen` mode: a closed-loop pipelined load generator. One
+/// connection, `depth` requests in flight, FIFO collection (the server
+/// preserves no cross-request order guarantee, but replies to a steady
+/// pipeline arrive near-FIFO, so waiting on the oldest id keeps the
+/// pipe full without a poll sweep).
+fn run_loadgen(
+    addr: &str,
+    user: &str,
+    timeout: Duration,
+    text: &str,
+    duration: Duration,
+    depth: usize,
+    json_out: Option<&str>,
+) -> ExitCode {
+    use graql::net::{ConnectOptions, RemoteSession};
+    use std::collections::VecDeque;
+    use std::time::Instant;
+
+    let endpoints = match resolve_endpoints(addr) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gems-shell: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script = match graql::parser::parse(text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gems-shell: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ir = graql::core::ir::encode(&script);
+    let opts = ConnectOptions::new(user)
+        .with_timeout(timeout)
+        .with_retries(0);
+    let mut session = match RemoteSession::connect(&endpoints[..], opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gems-shell: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // One synchronous warmup request faults in the plan cache and proves
+    // the script executes before the clock starts.
+    let warm = session.submit_ir(&ir).and_then(|id| session.wait(id));
+    if let Err(e) = warm {
+        eprintln!("gems-shell: loadgen warmup failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let start = Instant::now();
+    let end = start + duration;
+    let mut window: VecDeque<(u64, Instant)> = VecDeque::with_capacity(depth);
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut errors: u64 = 0;
+    loop {
+        let refill = Instant::now() < end;
+        if !refill && window.is_empty() {
+            break;
+        }
+        while refill && window.len() < depth {
+            match session.submit_ir(&ir) {
+                Ok(id) => window.push_back((id, Instant::now())),
+                Err(e) => {
+                    eprintln!("gems-shell: loadgen submit failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let Some((id, t0)) = window.pop_front() else {
+            break;
+        };
+        match session.wait(id) {
+            Ok(_) => lat_us.push(t0.elapsed().as_micros() as u64),
+            Err(e) => {
+                errors += 1;
+                // A broken transport fails every in-flight request the
+                // same way; one report is enough.
+                if errors == 1 {
+                    eprintln!("gems-shell: loadgen request failed: {e}");
+                }
+            }
+        }
+    }
+    let wall = start.elapsed();
+
+    lat_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat_us.is_empty() {
+            return 0;
+        }
+        let idx = ((lat_us.len() as f64 - 1.0) * p).round() as usize;
+        lat_us[idx]
+    };
+    let (p50, p90, p99) = (pct(0.50), pct(0.90), pct(0.99));
+    let max = lat_us.last().copied().unwrap_or(0);
+    let n = lat_us.len() as u64;
+    let qps = n as f64 / wall.as_secs_f64().max(1e-9);
+
+    // Power-of-two latency buckets: [upper_bound_us, count] pairs.
+    let mut histogram: Vec<(u64, u64)> = Vec::new();
+    for &us in &lat_us {
+        let bound = us.max(1).next_power_of_two();
+        match histogram.last_mut() {
+            Some((b, c)) if *b == bound => *c += 1,
+            _ => histogram.push((bound, 1)),
+        }
+    }
+
+    println!(
+        "loadgen: {n} requests in {:.2}s -> {qps:.0} qps \
+         (depth {depth}, p50 {p50}us, p90 {p90}us, p99 {p99}us, max {max}us, {errors} errors)",
+        wall.as_secs_f64()
+    );
+    if let Some(path) = json_out {
+        let buckets: Vec<String> = histogram
+            .iter()
+            .map(|(b, c)| format!("[{b},{c}]"))
+            .collect();
+        let json = format!(
+            "{{\"requests\":{n},\"errors\":{errors},\"duration_ms\":{},\"depth\":{depth},\
+             \"qps\":{qps:.1},\"latency_us\":{{\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\
+             \"max\":{max}}},\"histogram_us\":[{}]}}\n",
+            wall.as_millis(),
+            buckets.join(",")
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("gems-shell: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote loadgen report to {path}");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// The `--connect` mode: the whole script runs on a remote `gems-serve`
 /// through [`graql::net::RemoteSession`].
 #[allow(clippy::too_many_arguments)]
@@ -312,6 +462,10 @@ fn main() -> ExitCode {
     let mut timeout = Duration::from_secs(60);
     let mut retry = graql::net::RetryPolicy::default();
     let mut promote = false;
+    let mut loadgen = false;
+    let mut duration = Duration::from_millis(3000);
+    let mut depth: usize = 64;
+    let mut loadgen_json: Option<String> = None;
     // `gems-shell check <script>` is sugar for `<script> --check-only`.
     if args.peek().map(String::as_str) == Some("check") {
         args.next();
@@ -363,6 +517,22 @@ fn main() -> ExitCode {
                 }
             }
             "--promote" => promote = true,
+            "--loadgen" => loadgen = true,
+            "--duration-ms" => {
+                let ms = args.next().unwrap_or_else(|| usage());
+                match ms.parse::<u64>() {
+                    Ok(ms) if ms >= 1 => duration = Duration::from_millis(ms),
+                    _ => usage(),
+                }
+            }
+            "--depth" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => depth = n,
+                    _ => usage(),
+                }
+            }
+            "--loadgen-json" => loadgen_json = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ if script_path.is_none() => script_path = Some(a),
             _ => usage(),
@@ -392,6 +562,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if loadgen {
+        let Some(addr) = connect else {
+            eprintln!("gems-shell: --loadgen requires --connect");
+            return ExitCode::FAILURE;
+        };
+        return run_loadgen(
+            &addr,
+            &user,
+            timeout,
+            &text,
+            duration,
+            depth,
+            loadgen_json.as_deref(),
+        );
+    }
 
     if let Some(addr) = connect {
         // These flags need the database in this process; over the wire

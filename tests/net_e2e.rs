@@ -371,6 +371,97 @@ fn idle_hangup_reconnects_transparently() {
     serve.stop();
 }
 
+/// Pipelined multiplexing (proto v5): a window of tagged requests goes
+/// out before any reply is read, and the client demuxes the replies by
+/// request id — including collecting them in the *reverse* of submission
+/// order. Each request carries a distinguishing predicate so a reply
+/// swapped onto the wrong id would be caught by its payload, not just by
+/// its presence.
+#[test]
+fn pipelined_requests_demux_out_of_order() {
+    let dir = std::env::temp_dir().join(format!("graql_net_pipe_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rows: String = (1..=32).map(|i| format!("{i}\n")).collect();
+    std::fs::write(dir.join("nums.csv"), rows).unwrap();
+
+    let serve = Serve::spawn(&["--data-dir", dir.to_str().unwrap()]);
+    let mut s = RemoteSession::connect(serve.addr.as_str(), ConnectOptions::new("admin")).unwrap();
+    s.execute_script("create table Nums(n integer)\ningest table Nums nums.csv")
+        .unwrap();
+
+    // Fill the window: 32 distinct point lookups in flight at once.
+    let ids: Vec<(u64, i64)> = (1..=32)
+        .map(|i| {
+            let id = s
+                .submit(&format!("select n from table Nums where n = {i}"))
+                .unwrap();
+            (id, i)
+        })
+        .collect();
+    assert_eq!(s.pending(), ids.len());
+
+    // Drain newest-first: the ids prove each reply found its request.
+    for &(id, i) in ids.iter().rev() {
+        let outputs = s.wait(id).unwrap();
+        match &outputs[..] {
+            [SessionOutput::Table(t)] => {
+                assert_eq!(t.n_rows(), 1, "request {i}");
+                assert_eq!(t.get(0, 0), graql::Value::Int(i), "reply misrouted");
+            }
+            other => panic!("request {i}: {other:?}"),
+        }
+    }
+    assert_eq!(s.pending(), 0);
+    serve.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Per-request deadline isolation: one slow response must not stall
+/// unrelated request ids on the same connection. The first submitted
+/// request eats a one-shot 600ms virtual delay; the second, submitted
+/// behind it, completes on another worker well before the delay elapses
+/// — and the slow one still lands afterwards.
+#[test]
+fn slow_request_does_not_stall_other_ids() {
+    let serve = Serve::spawn_with(
+        &[],
+        &[("GRAQL_FAILPOINTS", "net/server/exec-delay=1*delay(600)")],
+    );
+    let mut s = RemoteSession::connect(
+        serve.addr.as_str(),
+        ConnectOptions::new("admin")
+            .with_timeout(Duration::from_secs(10))
+            .with_retries(0),
+    )
+    .unwrap();
+
+    let slow = s.submit("create table Slow(a integer)").unwrap();
+    let fast = s.submit("create table Fast(a integer)").unwrap();
+
+    let started = std::time::Instant::now();
+    s.wait(fast).expect("the fast request must complete");
+    let fast_elapsed = started.elapsed();
+    s.wait(slow).expect("the delayed request still completes");
+    let slow_elapsed = started.elapsed();
+
+    assert!(
+        fast_elapsed < Duration::from_millis(450),
+        "fast request stalled {fast_elapsed:?} behind the delayed one"
+    );
+    assert!(
+        slow_elapsed >= Duration::from_millis(500),
+        "the virtual delay never fired ({slow_elapsed:?}) — the isolation \
+         claim above proved nothing"
+    );
+
+    // Both requests really executed, in spite of the reply reordering.
+    let outputs = s.execute_script("select a from table Slow").unwrap();
+    assert!(matches!(&outputs[..], [SessionOutput::Table(_)]));
+    let outputs = s.execute_script("select a from table Fast").unwrap();
+    assert!(matches!(&outputs[..], [SessionOutput::Table(_)]));
+    serve.stop();
+}
+
 /// The graceful path: `shutdown` on stdin drains and exits 0.
 #[test]
 fn shutdown_command_drains_and_exits_zero() {
